@@ -1,0 +1,204 @@
+//! A minimal double-precision complex number.
+//!
+//! Only what the FFT needs — add, sub, mul, scale, conjugate, magnitude —
+//! implemented in-crate because no numerics crates are on the approved
+//! dependency list. Layout is `repr(C)` so a matrix of complex elements is
+//! exactly the 16-bytes-per-element stream the paper's Eq. 5 counts
+//! (`rows² × 16 / P` bytes per partition).
+
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+#[repr(C)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// Additive identity.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// Multiplicative identity.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Construct from parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// `e^{iθ}` — a point on the unit circle; the FFT's twiddle factors.
+    pub fn cis(theta: f64) -> Self {
+        Complex64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `re² + im²`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiply by a real scalar.
+    pub fn scale(self, k: f64) -> Self {
+        Complex64 {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// Serialize to the 16-byte little-endian wire form used when complex
+    /// matrices stream through the INIC datapath.
+    pub fn to_le_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.re.to_le_bytes());
+        out[8..].copy_from_slice(&self.im.to_le_bytes());
+        out
+    }
+
+    /// Inverse of [`to_le_bytes`](Self::to_le_bytes).
+    pub fn from_le_bytes(b: [u8; 16]) -> Self {
+        Complex64 {
+            re: f64::from_le_bytes(b[..8].try_into().unwrap()),
+            im: f64::from_le_bytes(b[8..].try_into().unwrap()),
+        }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    fn add(self, rhs: Self) -> Self {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    fn sub(self, rhs: Self) -> Self {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex64 {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    fn mul(self, rhs: Self) -> Self {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex64 {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    fn neg(self) -> Self {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+/// Approximate equality helper for float-based tests.
+pub fn approx_eq(a: Complex64, b: Complex64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_hold_numerically() {
+        let a = Complex64::new(1.5, -2.0);
+        let b = Complex64::new(-0.5, 3.25);
+        assert_eq!(a + b, b + a);
+        assert_eq!(a * b, b * a);
+        assert_eq!(a + Complex64::ZERO, a);
+        assert_eq!(a * Complex64::ONE, a);
+        assert_eq!(a - a, Complex64::ZERO);
+        assert_eq!(a + (-a), Complex64::ZERO);
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(Complex64::I * Complex64::I, -Complex64::ONE);
+    }
+
+    #[test]
+    fn cis_lies_on_unit_circle() {
+        for k in 0..16 {
+            let theta = std::f64::consts::TAU * k as f64 / 16.0;
+            let z = Complex64::cis(theta);
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn conj_negates_imaginary() {
+        let z = Complex64::new(2.0, 5.0);
+        assert_eq!(z.conj(), Complex64::new(2.0, -5.0));
+        // z * conj(z) = |z|²
+        let p = z * z.conj();
+        assert!((p.re - z.norm_sqr()).abs() < 1e-12);
+        assert!(p.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn byte_roundtrip_is_exact() {
+        let z = Complex64::new(std::f64::consts::PI, -std::f64::consts::E);
+        assert_eq!(Complex64::from_le_bytes(z.to_le_bytes()), z);
+    }
+
+    #[test]
+    fn sixteen_bytes_per_element() {
+        // Paper Eq. 5: "16 is the number of bytes to store a complex
+        // double precision element".
+        assert_eq!(std::mem::size_of::<Complex64>(), 16);
+    }
+
+    #[test]
+    fn scale_and_assign_ops() {
+        let mut z = Complex64::new(1.0, 2.0);
+        z += Complex64::new(1.0, 1.0);
+        assert_eq!(z, Complex64::new(2.0, 3.0));
+        z -= Complex64::new(2.0, 2.0);
+        assert_eq!(z, Complex64::new(0.0, 1.0));
+        z *= Complex64::I;
+        assert_eq!(z, Complex64::new(-1.0, 0.0));
+        assert_eq!(z.scale(3.0), Complex64::new(-3.0, 0.0));
+    }
+}

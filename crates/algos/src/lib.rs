@@ -1,0 +1,32 @@
+//! # acc-algos — computational kernels for the ACC reproduction
+//!
+//! The actual mathematics and data movement the paper's two applications
+//! perform, implemented as pure functions so the same code runs:
+//!
+//! * on the simulated **host CPU** path (traditional NIC implementations),
+//! * inside the simulated **FPGA datapath** (INIC implementations, see
+//!   `acc-fpga`), and
+//! * in the **test oracles** that check both against each other.
+//!
+//! Contents:
+//!
+//! * [`complex`] — a self-contained `Complex64` type (no external num
+//!   crates are in the approved dependency list).
+//! * [`fft`] — iterative radix-2 decimation-in-time FFT, inverse FFT,
+//!   2D FFT, and a naive `O(n²)` DFT used as a property-test oracle. This
+//!   stands in for FFTW: the paper uses only FFTW's parallel *template*
+//!   (1D row FFTs + distributed transposes), which `acc-core` rebuilds.
+//! * [`transpose`] — the three-phase distributed matrix transpose the
+//!   paper's Section 3.1.2 describes: local block transpose, all-to-all
+//!   block exchange, final interleave permutation.
+//! * [`sort`] — Agarwal-style count sort, power-of-two bucket sort, the
+//!   prototype's two-phase bucket sort, and quicksort/std baselines.
+//! * [`workload`] — seeded workload generators (uniform keys, matrices).
+
+pub mod complex;
+pub mod fft;
+pub mod sort;
+pub mod transpose;
+pub mod workload;
+
+pub use complex::Complex64;

@@ -1,0 +1,72 @@
+//! Criterion benchmarks over the simulation substrate itself: raw
+//! event throughput of the discrete-event kernel and end-to-end rates
+//! for the two NIC stacks.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+use std::any::Any;
+
+use acc_core::cluster::{run_fft, run_sort, ClusterSpec, Technology};
+use acc_sim::{Component, Ctx, SimDuration, SimTime, Simulation};
+
+/// A component that bounces an event to itself `n` times.
+struct Bouncer {
+    remaining: u64,
+}
+
+impl Component for Bouncer {
+    fn handle(&mut self, _ev: Box<dyn Any>, ctx: &mut Ctx) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.self_in(SimDuration::from_nanos(10), ());
+        }
+    }
+    fn name(&self) -> &str {
+        "bouncer"
+    }
+}
+
+fn bench_event_throughput(c: &mut Criterion) {
+    let events = 100_000u64;
+    let mut g = c.benchmark_group("des_kernel");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(4));
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("self_event_chain_100k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(0);
+            let id = sim.add(Bouncer { remaining: events });
+            sim.schedule_at(SimTime::ZERO, id, ());
+            sim.run();
+            sim.events_processed()
+        })
+    });
+    g.finish();
+}
+
+fn bench_cluster_scenarios(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_scenarios");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(4));
+    let spec = |tech| {
+        let mut s = ClusterSpec::new(4, tech);
+        s.verify = false;
+        s
+    };
+    g.bench_function("fft_64_gigabit", |b| {
+        b.iter(|| run_fft(spec(Technology::GigabitTcp), 64))
+    });
+    g.bench_function("fft_64_inic_ideal", |b| {
+        b.iter(|| run_fft(spec(Technology::InicIdeal), 64))
+    });
+    g.bench_function("sort_2e16_gigabit", |b| {
+        b.iter(|| run_sort(spec(Technology::GigabitTcp), 1 << 16))
+    });
+    g.bench_function("sort_2e16_inic_ideal", |b| {
+        b.iter(|| run_sort(spec(Technology::InicIdeal), 1 << 16))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_throughput, bench_cluster_scenarios);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Ablation over the INIC design constants the paper argues for:
+//!
+//! * **packet size** (Section 4.2 picks 1024 bytes: "there is no
+//!   particular incentive to maximize the packet size") — Eqs. 13–14
+//!   scale linearly with it, and header overhead scales inversely;
+//! * **DMA threshold** (Eq. 15's 64 KiB minimum card→host transfer) —
+//!   the N-bucket fill latency scales with it, while small transfers
+//!   waste DMA efficiency;
+//! * **receive bucket count N** — more buckets make count sort
+//!   cache-resident (host time down) but raise Eq. 15's fill latency.
+
+use acc_core::model::sort::{SortModel, DMA_MIN, KEY_BYTES};
+use acc_sim::{Bandwidth, DataSize};
+
+fn main() {
+    let total_keys: u64 = 1 << 25;
+    let p = 8usize;
+    let model = SortModel::new(total_keys);
+
+    println!("# Packet-size ablation (Eqs. 13-14 latency terms, P = {p})");
+    println!(
+        "{:>8} {:>14} {:>14} {:>12}",
+        "packet", "Tdtc+Tdtg", "hdr overhead", ""
+    );
+    for pkt in [256u64, 512, 1024, 2048, 4096] {
+        let t_dtc = DataSize::from_bytes(p as u64 * pkt) / Bandwidth::from_mib_per_sec(80);
+        let t_dtg = DataSize::from_bytes(p as u64 * pkt) / Bandwidth::from_mib_per_sec(90);
+        let overhead = 16.0 / (pkt as f64 + 16.0) * 100.0;
+        println!(
+            "{:>8} {:>11.1} us {:>12.2} % {:>12}",
+            pkt,
+            (t_dtc + t_dtg).as_secs_f64() * 1e6,
+            overhead,
+            if pkt == 1024 { "<- paper" } else { "" }
+        );
+    }
+    println!("# Latency stays microseconds at any size; 1024 B keeps overhead");
+    println!("# under 2% — the paper's \"no incentive to maximize\" holds.\n");
+
+    println!("# DMA-threshold ablation (Eq. 15 fill latency, P = {p})");
+    let n = model.recv_buckets(p);
+    println!("{:>10} {:>14} {:>12}", "threshold", "Tdfg", "");
+    for thresh in [8u64 * 1024, 16 * 1024, 32 * 1024, 65_536, 131_072, 262_144] {
+        let t = DataSize::from_bytes(n * thresh) / Bandwidth::from_mib_per_sec(90);
+        println!(
+            "{:>10} {:>11.1} ms {:>12}",
+            thresh,
+            t.as_secs_f64() * 1e3,
+            if thresh == DMA_MIN { "<- paper" } else { "" }
+        );
+    }
+    println!("# Smaller thresholds cut the fill latency linearly but sacrifice");
+    println!("# DMA efficiency; 64 KiB is where 2001 PCI DMA saturates.\n");
+
+    println!("# Receive-bucket ablation (host count-sort time vs Eq. 15, P = {p})");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "N", "bucket KiB", "Tcount", "Tdfg"
+    );
+    let keys_per_node = total_keys / p as u64;
+    for n in [16u64, 64, 128, 256, 512, 1024] {
+        let bucket_bytes = DataSize::from_bytes((keys_per_node * KEY_BYTES / n).max(1));
+        let t_count = model.kernels.count_sort_time(keys_per_node, bucket_bytes);
+        let t_dfg = DataSize::from_bytes(n * DMA_MIN) / Bandwidth::from_mib_per_sec(90);
+        println!(
+            "{:>8} {:>14.0} {:>11.0} ms {:>11.1} ms",
+            n,
+            bucket_bytes.as_kib_f64(),
+            t_count.as_secs_f64() * 1e3,
+            t_dfg.as_secs_f64() * 1e3
+        );
+    }
+    println!("# Too few buckets leave count sort DRAM-bound (3x slower); past");
+    println!("# cache residency, more buckets only add fill latency — matching");
+    println!("# the paper's \">= 128 buckets\" rule for 2^21-key partitions.");
+}

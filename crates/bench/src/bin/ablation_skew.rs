@@ -1,0 +1,61 @@
+//! Ablation: key-distribution skew × partitioning strategy.
+//!
+//! The paper sorts uniformly distributed keys and admits "this is not a
+//! realistic assumption", pointing at "sampling in a pre-sort phase" as
+//! the known fix. This binary quantifies both halves of that remark on
+//! the simulated cluster:
+//!
+//! * Gaussian keys under the paper's top-bits partitioning overload the
+//!   middle ranks — the makespan balloons with P;
+//! * the same keys under sampled range splitters restore near-uniform
+//!   balance and the uniform-key speedups.
+
+use acc_bench::figure_spec;
+use acc_core::cluster::{
+    run_sort_custom, KeyDistribution, PartitionStrategy, Technology,
+};
+
+fn main() {
+    let total_keys: u64 = 1 << 22;
+    let tech = Technology::InicIdeal;
+    println!("# Skew ablation: integer sort, 2^22 keys, ideal INIC");
+    println!(
+        "{:>3} {:>16} {:>18} {:>20}",
+        "P", "uniform/topbits", "gaussian/topbits", "gaussian/splitters"
+    );
+    for p in [2usize, 4, 8, 16] {
+        let uniform = run_sort_custom(
+            figure_spec(p, tech),
+            total_keys,
+            KeyDistribution::Uniform,
+            PartitionStrategy::TopBits,
+        )
+        .total;
+        let skewed = run_sort_custom(
+            figure_spec(p, tech),
+            total_keys,
+            KeyDistribution::Gaussian,
+            PartitionStrategy::TopBits,
+        )
+        .total;
+        let balanced = run_sort_custom(
+            figure_spec(p, tech),
+            total_keys,
+            KeyDistribution::Gaussian,
+            PartitionStrategy::SampledSplitters,
+        )
+        .total;
+        println!(
+            "{:>3} {:>13.2} ms {:>15.2} ms {:>17.2} ms",
+            p,
+            uniform.as_millis_f64(),
+            skewed.as_millis_f64(),
+            balanced.as_millis_f64()
+        );
+    }
+    println!();
+    println!("# Top-bits partitioning sends nearly all Gaussian keys to the");
+    println!("# middle ranks: their count-sort dominates the makespan. Sampled");
+    println!("# splitters recover the uniform-key behaviour, validating the");
+    println!("# paper's pre-sort sampling remark.");
+}

@@ -1,0 +1,96 @@
+//! Command-line scenario runner: pick an application, a technology, a
+//! node count and a problem size, get the verified timing decomposition.
+//!
+//! ```sh
+//! cargo run --release -p acc-bench --bin acc_cluster -- fft inic-ideal 8 256
+//! cargo run --release -p acc-bench --bin acc_cluster -- sort gigabit-tcp 4 1048576
+//! cargo run --release -p acc-bench --bin acc_cluster -- allreduce inic-prototype 8 262144
+//! ```
+
+use acc_core::cluster::{
+    run_allreduce, run_fft, run_sort, ClusterSpec, Technology,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: acc_cluster <fft|sort|allreduce> <technology> <P> <size>\n\
+         technologies: fast-ethernet gigabit-tcp inic-ideal inic-prototype inic-protocol-only\n\
+         size: matrix edge (fft), total keys (sort), vector elements (allreduce)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_tech(s: &str) -> Technology {
+    Technology::ALL
+        .into_iter()
+        .find(|t| t.label() == s)
+        .unwrap_or_else(|| {
+            eprintln!("unknown technology {s:?}");
+            usage()
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [app, tech, p, size] = args.as_slice() else {
+        usage();
+    };
+    let tech = parse_tech(tech);
+    let p: usize = p.parse().unwrap_or_else(|_| usage());
+    let size: u64 = size.parse().unwrap_or_else(|_| usage());
+    let spec = ClusterSpec::new(p, tech);
+    match app.as_str() {
+        "fft" => {
+            let r = run_fft(spec, size as usize);
+            println!(
+                "fft {}x{} on {} x{}: total {:.3} ms (compute {:.3} ms, transpose {:.3} ms \
+                 [comm {:.3} / host {:.3}]), verified={}",
+                size,
+                size,
+                tech.label(),
+                p,
+                r.total.as_millis_f64(),
+                r.compute.as_millis_f64(),
+                r.transpose.as_millis_f64(),
+                r.transpose_comm.as_millis_f64(),
+                r.transpose_compute.as_millis_f64(),
+                r.verified
+            );
+        }
+        "sort" => {
+            let r = run_sort(spec, size);
+            println!(
+                "sort {} keys on {} x{}: total {:.3} ms (bucket1 {:.3}, comm {:.3}, \
+                 bucket2 {:.3}, count {:.3}), verified={}",
+                size,
+                tech.label(),
+                p,
+                r.total.as_millis_f64(),
+                r.bucket1.as_millis_f64(),
+                r.comm.as_millis_f64(),
+                r.bucket2.as_millis_f64(),
+                r.count.as_millis_f64(),
+                r.verified
+            );
+        }
+        "allreduce" => {
+            if tech == Technology::InicProtocol {
+                eprintln!("allreduce has no protocol-only variant");
+                usage();
+            }
+            let r = run_allreduce(spec, size as usize);
+            println!(
+                "allreduce {} f64 on {} x{}: total {:.3} ms (comm {:.3}, host reduce {:.3}), \
+                 verified={}",
+                size,
+                tech.label(),
+                p,
+                r.total.as_millis_f64(),
+                r.comm.as_millis_f64(),
+                r.reduce.as_millis_f64(),
+                r.verified
+            );
+        }
+        _ => usage(),
+    }
+}

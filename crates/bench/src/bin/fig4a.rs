@@ -1,0 +1,37 @@
+//! Figure 4(a): FFTW speedups for an Intelligent NIC vs a Gigabit
+//! Ethernet cluster, 256×256 and 512×512, P = 1..16.
+//!
+//! As in the paper, the INIC curves come from the Section 4 analytic
+//! model (Eqs. 3–10, evaluated at every P) and the Gigabit curves from
+//! measurement — here, the discrete-event simulation of the TCP
+//! cluster at power-of-two P.
+
+use acc_bench::{fft_serial_time, fft_speedup_series};
+use acc_core::cluster::Technology;
+use acc_core::model::FftModel;
+use acc_core::report::{FigureReport, Series};
+
+fn main() {
+    let mut fig = FigureReport::new(
+        "Figure 4(a)",
+        "FFTW speedups for an Intelligent NIC and a cluster based on Gigabit Ethernet",
+        "P",
+        "speedup",
+    );
+    for rows in [256usize, 512] {
+        let model = FftModel::new(rows);
+        let mut inic = Series::new(format!("INIC Speedup {rows}x{rows}"));
+        for p in 1..=16usize {
+            inic.push(p as f64, model.speedup(p));
+        }
+        fig.add(inic);
+        let serial = fft_serial_time(rows);
+        fig.add(fft_speedup_series(
+            &format!("Gigabit Ethernet Speedup {rows}x{rows}"),
+            Technology::GigabitTcp,
+            rows,
+            serial,
+        ));
+    }
+    fig.print();
+}

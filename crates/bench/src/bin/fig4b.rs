@@ -1,0 +1,43 @@
+//! Figure 4(b): decomposition of the 512×512 transpose — Gigabit NIC
+//! communication time, Gigabit NIC compute time (local transpose +
+//! final permutation on the host), modelled INIC transpose time, and
+//! partition size, vs the number of processors.
+
+use acc_bench::{figure_spec, partition_series, SIM_PROCS};
+use acc_core::cluster::{run_fft, Technology};
+use acc_core::model::FftModel;
+use acc_core::report::{FigureReport, Series};
+
+fn main() {
+    let rows = 512usize;
+    let mut fig = FigureReport::new(
+        "Figure 4(b)",
+        "Decomposition of time spent in each transpose phase vs partition size (512x512)",
+        "P",
+        "time (ms) / partition (KiB)",
+    );
+    let mut comm = Series::new("NIC Transpose Comm. Time (ms)");
+    let mut compute = Series::new("NIC Transpose Compute Time (ms)");
+    for &p in &SIM_PROCS {
+        if p == 1 {
+            continue; // no transpose communication on one node
+        }
+        let r = run_fft(figure_spec(p, Technology::GigabitTcp), rows);
+        comm.push(p as f64, r.transpose_comm.as_millis_f64());
+        compute.push(p as f64, r.transpose_compute.as_millis_f64());
+    }
+    fig.add(comm);
+    fig.add(compute);
+
+    let model = FftModel::new(rows);
+    let mut inic = Series::new("INIC Transpose Time (ms)");
+    for p in 2..=16usize {
+        inic.push(p as f64, model.t_trans(p).as_millis_f64());
+    }
+    fig.add(inic);
+    fig.add(partition_series(
+        "Partition Size (KiB)",
+        rows as u64 * rows as u64 * 16,
+    ));
+    fig.print();
+}

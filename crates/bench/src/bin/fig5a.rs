@@ -1,0 +1,37 @@
+//! Figure 5(a): timed components of the serialized parallel integer
+//! sort on Gigabit Ethernet — count-sort time, phase-1 and phase-2
+//! bucket-sort times, communication time, and partition size, vs the
+//! number of processors, for 2²⁵ uniform keys.
+
+use acc_bench::{figure_spec, partition_series, SIM_PROCS};
+use acc_core::cluster::{run_sort, Technology};
+use acc_core::report::{FigureReport, Series};
+
+fn main() {
+    let total_keys: u64 = 1 << 25;
+    let mut fig = FigureReport::new(
+        "Figure 5(a)",
+        "Sort phase times and partition size vs processors (2^25 keys, Gigabit Ethernet)",
+        "P",
+        "time (ms) / partition (KiB)",
+    );
+    let mut count = Series::new("Count Sort Time (ms)");
+    let mut b1 = Series::new("Phase 1 Bucket Sort Time (ms)");
+    let mut b2 = Series::new("Phase 2 Bucket Sort Time (ms)");
+    let mut comm = Series::new("Communication Time (ms)");
+    for &p in &SIM_PROCS {
+        let r = run_sort(figure_spec(p, Technology::GigabitTcp), total_keys);
+        count.push(p as f64, r.count.as_millis_f64());
+        b1.push(p as f64, r.bucket1.as_millis_f64());
+        b2.push(p as f64, r.bucket2.as_millis_f64());
+        if p > 1 {
+            comm.push(p as f64, r.comm.as_millis_f64());
+        }
+    }
+    fig.add(count);
+    fig.add(b1);
+    fig.add(b2);
+    fig.add(comm);
+    fig.add(partition_series("Partition Size (KiB)", total_keys * 4));
+    fig.print();
+}

@@ -1,0 +1,32 @@
+//! Figure 5(b): integer-sort parallel speedups — modelled ideal INIC
+//! (Eqs. 11–17) vs the simulated Gigabit Ethernet implementation, for
+//! 2²⁵ uniform keys.
+
+use acc_bench::{sort_serial_time, sort_speedup_series};
+use acc_core::cluster::Technology;
+use acc_core::model::SortModel;
+use acc_core::report::{FigureReport, Series};
+
+fn main() {
+    let total_keys: u64 = 1 << 25;
+    let mut fig = FigureReport::new(
+        "Figure 5(b)",
+        "Integer sort parallel speedups, INIC vs Gigabit Ethernet (2^25 keys)",
+        "P",
+        "speedup",
+    );
+    let serial = sort_serial_time(total_keys);
+    fig.add(sort_speedup_series(
+        "Gigabit Ethernet Speedup",
+        Technology::GigabitTcp,
+        total_keys,
+        serial,
+    ));
+    let model = SortModel::new(total_keys);
+    let mut inic = Series::new("INIC Speedup");
+    for p in 1..=16usize {
+        inic.push(p as f64, model.speedup(p));
+    }
+    fig.add(inic);
+    fig.print();
+}

@@ -1,0 +1,32 @@
+//! Figure 8(b): integer-sort parallel speedup — prototype INIC vs
+//! Gigabit Ethernet, 2²⁵ uniform keys, from the discrete-event
+//! simulation. The prototype pays the shared-card-bus penalty and the
+//! host-side phase-2 bucket sort, yet still beats the commodity NIC.
+
+use acc_bench::{sort_serial_time, sort_speedup_series};
+use acc_core::cluster::Technology;
+use acc_core::report::FigureReport;
+
+fn main() {
+    let total_keys: u64 = 1 << 25;
+    let mut fig = FigureReport::new(
+        "Figure 8(b)",
+        "Integer sort parallel speedup: prototype INIC vs Gigabit Ethernet (2^25 keys)",
+        "P",
+        "speedup",
+    );
+    let serial = sort_serial_time(total_keys);
+    fig.add(sort_speedup_series(
+        "Gigabit Ethernet Speedup",
+        Technology::GigabitTcp,
+        total_keys,
+        serial,
+    ));
+    fig.add(sort_speedup_series(
+        "Prototype INIC Speedup",
+        Technology::InicPrototype,
+        total_keys,
+        serial,
+    ));
+    fig.print();
+}

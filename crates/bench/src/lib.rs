@@ -1,0 +1,143 @@
+//! # acc-bench — figure regenerators and benchmarks
+//!
+//! One binary per evaluation figure in the paper (`fig4a`, `fig4b`,
+//! `fig5a`, `fig5b`, `fig8a`, `fig8b`), two ablation binaries, and three
+//! criterion benchmark suites over the real kernels and the simulation
+//! engine. See `EXPERIMENTS.md` at the repository root for the
+//! paper-vs-measured record of every figure.
+//!
+//! ## Conventions
+//!
+//! * Speedups are always relative to the **serial baseline**: the
+//!   simulated single-processor Gigabit run, which exercises no network
+//!   and equals a plain serial execution of the application (or, for
+//!   the analytic INIC curves, the model's own serial term built from
+//!   the identical kernel calibration).
+//! * Simulated points sweep `P ∈ {1, 2, 4, 8, 16}` — power-of-two node
+//!   counts, which both workloads require for even partitioning; the
+//!   paper itself notes its non-power-of-two INIC points are
+//!   interpolated "strictly to smooth the curve".
+//! * Figure workloads run with result verification off (the serial
+//!   oracle at 2²⁵ keys costs more than the experiment); correctness at
+//!   these scales is covered by the integration test suite.
+
+use acc_core::cluster::{run_fft, run_sort, ClusterSpec, Technology};
+use acc_core::report::Series;
+
+/// The simulated processor sweep.
+pub const SIM_PROCS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// A spec with verification disabled for large figure workloads.
+pub fn figure_spec(p: usize, technology: Technology) -> ClusterSpec {
+    let mut spec = ClusterSpec::new(p, technology);
+    spec.verify = false;
+    spec
+}
+
+/// Simulated FFT total times over the sweep.
+pub fn fft_totals(technology: Technology, rows: usize) -> Vec<(usize, f64)> {
+    SIM_PROCS
+        .iter()
+        .map(|&p| {
+            let r = run_fft(figure_spec(p, technology), rows);
+            (p, r.total.as_secs_f64())
+        })
+        .collect()
+}
+
+/// Simulated FFT speedup series for one technology, normalised to the
+/// serial (Gigabit P=1) time.
+pub fn fft_speedup_series(
+    name: &str,
+    technology: Technology,
+    rows: usize,
+    serial: f64,
+) -> Series {
+    let mut s = Series::new(name);
+    for (p, t) in fft_totals(technology, rows) {
+        s.push(p as f64, serial / t);
+    }
+    s
+}
+
+/// The serial FFT baseline: simulated Gigabit run at P=1 (no network
+/// activity — pure compute + local transposes).
+pub fn fft_serial_time(rows: usize) -> f64 {
+    run_fft(figure_spec(1, Technology::GigabitTcp), rows)
+        .total
+        .as_secs_f64()
+}
+
+/// Simulated sort total times over the sweep.
+pub fn sort_totals(technology: Technology, total_keys: u64) -> Vec<(usize, f64)> {
+    SIM_PROCS
+        .iter()
+        .map(|&p| {
+            let r = run_sort(figure_spec(p, technology), total_keys);
+            (p, r.total.as_secs_f64())
+        })
+        .collect()
+}
+
+/// The serial sort baseline: simulated Gigabit run at P=1.
+pub fn sort_serial_time(total_keys: u64) -> f64 {
+    run_sort(figure_spec(1, Technology::GigabitTcp), total_keys)
+        .total
+        .as_secs_f64()
+}
+
+/// Simulated sort speedup series for one technology.
+pub fn sort_speedup_series(
+    name: &str,
+    technology: Technology,
+    total_keys: u64,
+    serial: f64,
+) -> Series {
+    let mut s = Series::new(name);
+    for (p, t) in sort_totals(technology, total_keys) {
+        s.push(p as f64, serial / t);
+    }
+    s
+}
+
+/// Partition-size series in KiB (the right-hand axes of Figs. 4(b) and
+/// 5(a)).
+pub fn partition_series(name: &str, total_bytes: u64) -> Series {
+    let mut s = Series::new(name);
+    for &p in &SIM_PROCS {
+        s.push(p as f64, total_bytes as f64 / p as f64 / 1024.0);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_baseline_is_positive_and_stable() {
+        let a = fft_serial_time(64);
+        let b = fft_serial_time(64);
+        assert!(a > 0.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn partition_series_halves_per_doubling() {
+        let s = partition_series("S", 1 << 20);
+        assert_eq!(s.at(1.0), Some(1024.0));
+        assert_eq!(s.at(2.0), Some(512.0));
+        assert_eq!(s.at(16.0), Some(64.0));
+    }
+
+    #[test]
+    fn speedup_series_has_all_sweep_points() {
+        let serial = fft_serial_time(64);
+        let s = fft_speedup_series("x", Technology::InicIdeal, 64, serial);
+        assert_eq!(s.points.len(), SIM_PROCS.len());
+        // P=1 speedup close to 1 for the technology whose baseline this is.
+        let own = fft_speedup_series("g", Technology::GigabitTcp, 64, serial);
+        let s1 = own.at(1.0).unwrap();
+        assert!((s1 - 1.0).abs() < 1e-9);
+    }
+}

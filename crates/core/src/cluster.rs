@@ -1,0 +1,627 @@
+//! Cluster construction and end-to-end scenario runners.
+//!
+//! [`run_fft`] and [`run_sort`] build a P-node cluster of the requested
+//! [`Technology`], run the application to completion, verify the result
+//! against a serial oracle, and return a timing decomposition. These two
+//! functions are what the figure regenerators, the integration tests and
+//! the examples all call.
+
+use acc_algos::fft::{fft_2d, Matrix};
+use acc_algos::sort::is_sorted;
+use acc_algos::transpose::{join_row_blocks, split_row_blocks};
+use acc_algos::sort::splitters_from_sample;
+use acc_algos::workload::{distributed_uniform_keys, gaussian_keys, random_matrix};
+use acc_fpga::{CardPorts, FpgaDevice, InicCard, InicMode};
+use acc_host::{HostKernels, InterruptCosts, ModerationPolicy};
+use acc_net::port::EgressPort;
+use acc_net::{EthernetKind, LinkParams, MacAddr, Switch, SwitchParams};
+use acc_proto::{HostPathCosts, TcpHostNic, TcpParams};
+use acc_sim::{ComponentId, SimDuration, SimTime, Simulation};
+
+use crate::drivers::fft::FftDriver;
+use crate::drivers::reduce::ReduceDriver;
+use crate::drivers::sort::{SortDriver, SortVariant};
+use crate::drivers::Attachment;
+
+/// The four network technologies the paper evaluates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Technology {
+    /// 100 Mb/s Ethernet + TCP (Fig. 8(a)'s lowest curves).
+    FastEthernet,
+    /// 1 Gb/s Ethernet + TCP (the commodity baseline everywhere).
+    GigabitTcp,
+    /// The Section-4 next-generation INIC (dual-ported card, dense
+    /// FPGA).
+    InicIdeal,
+    /// The ACEII prototype INIC (shared 132 MB/s card bus, 4085XLA).
+    InicPrototype,
+    /// An ideal INIC used **only** as a protocol processor (Section 2's
+    /// second mode): no per-packet interrupts and the lightweight
+    /// protocol, but all data manipulation stays on the host. The mode
+    /// ablation for the paper's claim that reconfigurable computing and
+    /// the NIC "enable each other to succeed".
+    InicProtocol,
+}
+
+impl Technology {
+    /// All five, in the paper's presentation order (the protocol-only
+    /// mode last — it is our Section 2 mode ablation, not a paper
+    /// configuration).
+    pub const ALL: [Technology; 5] = [
+        Technology::FastEthernet,
+        Technology::GigabitTcp,
+        Technology::InicIdeal,
+        Technology::InicPrototype,
+        Technology::InicProtocol,
+    ];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Technology::FastEthernet => "fast-ethernet",
+            Technology::GigabitTcp => "gigabit-tcp",
+            Technology::InicIdeal => "inic-ideal",
+            Technology::InicPrototype => "inic-prototype",
+            Technology::InicProtocol => "inic-protocol-only",
+        }
+    }
+
+    /// Whether this technology uses an INIC card.
+    pub fn is_inic(self) -> bool {
+        matches!(
+            self,
+            Technology::InicIdeal | Technology::InicPrototype | Technology::InicProtocol
+        )
+    }
+
+    fn link_kind(self) -> EthernetKind {
+        match self {
+            Technology::FastEthernet => EthernetKind::Fast,
+            _ => EthernetKind::Gigabit,
+        }
+    }
+}
+
+/// A cluster scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterSpec {
+    /// Node count.
+    pub p: usize,
+    /// Network technology.
+    pub technology: Technology,
+    /// Workload seed (recorded with every experiment).
+    pub seed: u64,
+    /// Verify results against serial oracles (disable only for very
+    /// large figure runs where the oracle itself is the bottleneck).
+    pub verify: bool,
+}
+
+impl ClusterSpec {
+    /// A verifying spec.
+    pub fn new(p: usize, technology: Technology) -> ClusterSpec {
+        ClusterSpec {
+            p,
+            technology,
+            seed: 0xACC,
+            verify: true,
+        }
+    }
+}
+
+/// Result of one FFT run.
+#[derive(Clone, Debug)]
+pub struct FftRunResult {
+    /// Wall time from computation start (post-configuration) to the last
+    /// node finishing.
+    pub total: SimDuration,
+    /// Maximum per-node row-FFT compute time.
+    pub compute: SimDuration,
+    /// Maximum per-node transpose time (both transposes).
+    pub transpose: SimDuration,
+    /// Maximum per-node host compute buried in the transposes (local
+    /// transpose + final permutation; zero on INIC paths).
+    pub transpose_compute: SimDuration,
+    /// Maximum per-node pure communication share of the transposes.
+    pub transpose_comm: SimDuration,
+    /// Whether the distributed result matched `fft_2d` (always true
+    /// unless `verify` was off).
+    pub verified: bool,
+    /// Frames dropped in the switch. The INIC protocol's scheduling
+    /// guarantee ("no packet loss as the total amount of data put into
+    /// the network never exceeds the network buffers") is asserted: INIC
+    /// runs with drops panic.
+    pub switch_drops: u64,
+    /// Maximum per-node host CPU time spent on protocol processing
+    /// (zero on INIC technologies — the card does it).
+    pub protocol_cpu: SimDuration,
+    /// Total interrupts taken across the cluster on the network path.
+    pub interrupts: u64,
+}
+
+/// Result of one sort run.
+#[derive(Clone, Debug)]
+pub struct SortRunResult {
+    /// Wall time from start (post-configuration) to the last node done.
+    pub total: SimDuration,
+    /// Max per-node host phase-1 bucket time.
+    pub bucket1: SimDuration,
+    /// Max per-node exchange wall time.
+    pub comm: SimDuration,
+    /// Max per-node host phase-2 bucket time.
+    pub bucket2: SimDuration,
+    /// Max per-node count-sort time.
+    pub count: SimDuration,
+    /// Whether the distributed result matched a serial sort.
+    pub verified: bool,
+    /// Frames dropped in the switch (always 0 on INIC technologies).
+    pub switch_drops: u64,
+    /// Maximum per-node host CPU time spent on protocol processing.
+    pub protocol_cpu: SimDuration,
+    /// Total interrupts taken across the cluster on the network path.
+    pub interrupts: u64,
+}
+
+/// Everything wired up for one run.
+struct Wiring {
+    sim: Simulation,
+    drivers: Vec<ComponentId>,
+    nics: Vec<ComponentId>,
+    switch: ComponentId,
+    technology: Technology,
+}
+
+/// Build the sim, switch, and per-node network attachment for `spec`;
+/// `make_driver` turns each rank's attachment into its driver.
+fn wire(
+    spec: ClusterSpec,
+    make_driver: impl Fn(usize, Attachment) -> DriverBox,
+) -> Wiring {
+    let mut sim = Simulation::new(spec.seed);
+    let link = LinkParams::for_kind(spec.technology.link_kind());
+    let macs: Vec<MacAddr> = (0..spec.p).map(|i| MacAddr::for_node(i, 0)).collect();
+    let driver_ids: Vec<ComponentId> = (0..spec.p).map(|_| sim.reserve_id()).collect();
+    let nic_ids: Vec<ComponentId> = (0..spec.p).map(|_| sim.reserve_id()).collect();
+    let switch_id = sim.reserve_id();
+    let mut switch = Switch::new("switch", SwitchParams::default());
+    for rank in 0..spec.p {
+        let sw_port = switch.attach(macs[rank], nic_ids[rank], 0, link);
+        let uplink = EgressPort::new(
+            link.rate,
+            link.prop_delay,
+            acc_net::presets::NIC_BUFFER,
+            switch_id,
+            sw_port,
+            0,
+        );
+        let attachment = match spec.technology {
+            Technology::FastEthernet | Technology::GigabitTcp => {
+                sim.register(
+                    nic_ids[rank],
+                    TcpHostNic::new(
+                        format!("tcp{rank}"),
+                        macs[rank],
+                        driver_ids[rank],
+                        uplink,
+                        TcpParams::default(),
+                        HostPathCosts::athlon_pci(),
+                        InterruptCosts::athlon_linux24(),
+                        ModerationPolicy::syskonnect_default(),
+                    ),
+                );
+                Attachment::Tcp {
+                    nic: nic_ids[rank],
+                    macs: macs.clone(),
+                }
+            }
+            Technology::InicIdeal | Technology::InicProtocol => {
+                sim.register(
+                    nic_ids[rank],
+                    InicCard::new(
+                        format!("inic{rank}"),
+                        rank as u32,
+                        macs[rank],
+                        driver_ids[rank],
+                        uplink,
+                        FpgaDevice::virtex_next_gen(),
+                        CardPorts::ideal(),
+                    ),
+                );
+                Attachment::Inic {
+                    card: nic_ids[rank],
+                    macs: macs.clone(),
+                    mode: if spec.technology == Technology::InicProtocol {
+                        InicMode::ProtocolProcessor
+                    } else {
+                        InicMode::Combined
+                    },
+                }
+            }
+            Technology::InicPrototype => {
+                sim.register(
+                    nic_ids[rank],
+                    InicCard::new(
+                        format!("inic{rank}"),
+                        rank as u32,
+                        macs[rank],
+                        driver_ids[rank],
+                        uplink,
+                        FpgaDevice::xc4085xla(),
+                        CardPorts::aceii(),
+                    ),
+                );
+                Attachment::Inic {
+                    card: nic_ids[rank],
+                    macs: macs.clone(),
+                    mode: InicMode::Combined,
+                }
+            }
+        };
+        match make_driver(rank, attachment) {
+            DriverBox::Fft(d) => sim.register(driver_ids[rank], *d),
+            DriverBox::Sort(d) => sim.register(driver_ids[rank], *d),
+            DriverBox::Reduce(d) => sim.register(driver_ids[rank], *d),
+        }
+    }
+    sim.register(switch_id, switch);
+    for &d in &driver_ids {
+        sim.schedule_at(SimTime::ZERO, d, ());
+    }
+    Wiring {
+        sim,
+        drivers: driver_ids,
+        nics: nic_ids,
+        switch: switch_id,
+        technology: spec.technology,
+    }
+}
+
+impl Wiring {
+    /// Frames dropped at switch output queues during the run.
+    fn switch_drops(&self) -> u64 {
+        self.sim.component::<Switch>(self.switch).total_drops()
+    }
+
+    /// Maximum per-node protocol CPU time and total interrupts taken on
+    /// the host side of the network path. On INIC technologies the host
+    /// takes only the cards' completion interrupts and spends no
+    /// protocol CPU at all.
+    fn protocol_costs(&self) -> (SimDuration, u64) {
+        match self.technology {
+            Technology::FastEthernet | Technology::GigabitTcp => {
+                let mut cpu = SimDuration::ZERO;
+                let mut interrupts = 0u64;
+                for &nic in &self.nics {
+                    let stack = self.sim.component::<TcpHostNic>(nic);
+                    cpu = cpu.max(stack.cpu_time());
+                    interrupts += stack.interrupt_totals().1;
+                }
+                (cpu, interrupts)
+            }
+            Technology::InicIdeal | Technology::InicPrototype | Technology::InicProtocol => {
+                let interrupts = self
+                    .nics
+                    .iter()
+                    .map(|&nic| self.sim.component::<InicCard>(nic).interrupts_raised())
+                    .sum();
+                (SimDuration::ZERO, interrupts)
+            }
+        }
+    }
+}
+
+/// Type-erased driver hand-off from the closure to the registry.
+enum DriverBox {
+    Fft(Box<FftDriver>),
+    Sort(Box<SortDriver>),
+    Reduce(Box<ReduceDriver>),
+}
+
+/// Run the 2D-FFT application on a `rows × rows` matrix.
+///
+/// # Panics
+/// Panics if `rows` is not a power of two or `spec.p` does not divide it.
+pub fn run_fft(spec: ClusterSpec, rows: usize) -> FftRunResult {
+    assert!(rows.is_power_of_two(), "matrix edge must be a power of two");
+    assert!(spec.p >= 1 && rows.is_multiple_of(spec.p), "P must divide rows");
+    let matrix = random_matrix(rows, spec.seed);
+    let slabs = split_row_blocks(&matrix, spec.p);
+    let kernels = HostKernels::athlon_1ghz();
+    let mut w = wire(spec, |rank, attachment| {
+        DriverBox::Fft(Box::new(FftDriver::new(
+            rank,
+            spec.p,
+            rows,
+            slabs[rank].clone(),
+            attachment,
+            kernels.clone(),
+        )))
+    });
+    w.sim.run();
+    let mut total_end = SimTime::ZERO;
+    let mut start = SimTime::MAX;
+    let mut compute = SimDuration::ZERO;
+    let mut transpose = SimDuration::ZERO;
+    let mut transpose_compute = SimDuration::ZERO;
+    let mut transpose_comm = SimDuration::ZERO;
+    let mut out_slabs: Vec<Matrix> = Vec::new();
+    for &d in &w.drivers {
+        let drv = w.sim.component::<FftDriver>(d);
+        assert!(drv.is_done(), "node did not finish");
+        let t = &drv.timings;
+        let done = t.done_at.expect("done");
+        let began = t.started_at.expect("started");
+        if done > total_end {
+            total_end = done;
+        }
+        if began < start {
+            start = began;
+        }
+        if t.compute > compute {
+            compute = t.compute;
+        }
+        if t.transpose > transpose {
+            transpose = t.transpose;
+        }
+        transpose_compute = transpose_compute.max(t.transpose_compute);
+        transpose_comm = transpose_comm.max(t.transpose - t.transpose_compute);
+        out_slabs.push(drv.result().clone());
+    }
+    let verified = if spec.verify {
+        let got = join_row_blocks(&out_slabs);
+        let expect = fft_2d(&matrix);
+        let diff = got.max_abs_diff(&expect);
+        assert!(
+            diff < 1e-6,
+            "distributed FFT diverges from serial oracle by {diff}"
+        );
+        true
+    } else {
+        false
+    };
+    let switch_drops = w.switch_drops();
+    if spec.technology.is_inic() {
+        assert_eq!(
+            switch_drops, 0,
+            "INIC schedule must never oversubscribe switch buffers"
+        );
+    }
+    let (protocol_cpu, interrupts) = w.protocol_costs();
+    FftRunResult {
+        total: total_end.since(start),
+        compute,
+        transpose,
+        transpose_compute,
+        transpose_comm,
+        verified,
+        switch_drops,
+        protocol_cpu,
+        interrupts,
+    }
+}
+
+/// The key distribution of a sort workload.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KeyDistribution {
+    /// Uniform keys — the paper's stated (and admittedly unrealistic)
+    /// assumption.
+    Uniform,
+    /// Gaussian keys, as in the NAS benchmarks the paper cites — the
+    /// skewed case its uniform assumption dodges.
+    Gaussian,
+}
+
+/// How keys are assigned to destination ranks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PartitionStrategy {
+    /// Top bits of the key (the paper's implicit choice; balanced only
+    /// for uniform keys).
+    TopBits,
+    /// Range splitters chosen from a pre-sort sample — the fix the
+    /// paper points at for non-uniform data ("sampling in a pre-sort
+    /// phase helps address the shortcomings of our assumption").
+    SampledSplitters,
+}
+
+/// Run the integer-sort application on `total_keys` uniform keys spread
+/// evenly over the nodes (the paper's configuration).
+pub fn run_sort(spec: ClusterSpec, total_keys: u64) -> SortRunResult {
+    run_sort_custom(
+        spec,
+        total_keys,
+        KeyDistribution::Uniform,
+        PartitionStrategy::TopBits,
+    )
+}
+
+/// Run the integer sort with an explicit key distribution and
+/// partitioning strategy (the skew ablation).
+pub fn run_sort_custom(
+    spec: ClusterSpec,
+    total_keys: u64,
+    distribution: KeyDistribution,
+    strategy: PartitionStrategy,
+) -> SortRunResult {
+    assert!(spec.p >= 1);
+    let per_node = (total_keys / spec.p as u64) as usize;
+    let inputs: Vec<Vec<u32>> = match distribution {
+        KeyDistribution::Uniform => distributed_uniform_keys(per_node, spec.p, spec.seed),
+        KeyDistribution::Gaussian => (0..spec.p)
+            .map(|rank| {
+                gaussian_keys(per_node, spec.seed.wrapping_add(rank as u64 * 0x9E37_79B9))
+            })
+            .collect(),
+    };
+    // The pre-sort sampling phase: each rank contributes a sparse sample
+    // of its keys; the shared splitter table is the sample's quantiles.
+    // Its cost (a few KiB broadcast) is negligible at these scales and
+    // is not charged.
+    let splitters = match strategy {
+        PartitionStrategy::TopBits => None,
+        PartitionStrategy::SampledSplitters => {
+            let step = (per_node / 128).max(1);
+            let sample: Vec<u32> = inputs
+                .iter()
+                .flat_map(|keys| keys.iter().step_by(step).copied())
+                .collect();
+            Some(splitters_from_sample(&sample, spec.p))
+        }
+    };
+    let variant = match spec.technology {
+        Technology::FastEthernet | Technology::GigabitTcp => SortVariant::HostOnly,
+        Technology::InicIdeal => SortVariant::InicFull,
+        Technology::InicPrototype => SortVariant::InicTwoPhase,
+        Technology::InicProtocol => SortVariant::ProtocolOnly,
+    };
+    let kernels = HostKernels::athlon_1ghz();
+    let mut w = wire(spec, |rank, attachment| {
+        let mut driver = SortDriver::new(
+            rank,
+            spec.p,
+            inputs[rank].clone(),
+            variant,
+            attachment,
+            kernels.clone(),
+        );
+        if let Some(sp) = &splitters {
+            driver = driver.with_splitters(sp.clone());
+        }
+        DriverBox::Sort(Box::new(driver))
+    });
+    w.sim.run();
+    let mut total_end = SimTime::ZERO;
+    let mut start = SimTime::MAX;
+    let (mut bucket1, mut comm, mut bucket2, mut count) = (
+        SimDuration::ZERO,
+        SimDuration::ZERO,
+        SimDuration::ZERO,
+        SimDuration::ZERO,
+    );
+    let mut outputs: Vec<Vec<u32>> = Vec::new();
+    for &d in &w.drivers {
+        let drv = w.sim.component::<SortDriver>(d);
+        assert!(drv.is_done(), "node did not finish");
+        let t = &drv.timings;
+        let done = t.done_at.expect("done");
+        let began = t.started_at.expect("started");
+        if done > total_end {
+            total_end = done;
+        }
+        if began < start {
+            start = began;
+        }
+        bucket1 = bucket1.max(t.bucket1);
+        comm = comm.max(t.comm);
+        bucket2 = bucket2.max(t.bucket2);
+        count = count.max(t.count);
+        outputs.push(drv.result().to_vec());
+    }
+    let verified = if spec.verify {
+        // Concatenated per-rank outputs form the globally sorted key
+        // sequence, equal (as a multiset and order) to a serial sort of
+        // all inputs.
+        let got: Vec<u32> = outputs.concat();
+        assert!(is_sorted(&got), "global output not sorted");
+        let mut expect: Vec<u32> = inputs.concat();
+        expect.sort_unstable();
+        assert_eq!(got, expect, "distributed sort diverges from serial sort");
+        true
+    } else {
+        false
+    };
+    let switch_drops = w.switch_drops();
+    if spec.technology.is_inic() {
+        assert_eq!(
+            switch_drops, 0,
+            "INIC schedule must never oversubscribe switch buffers"
+        );
+    }
+    let (protocol_cpu, interrupts) = w.protocol_costs();
+    SortRunResult {
+        total: total_end.since(start),
+        bucket1,
+        comm,
+        bucket2,
+        count,
+        verified,
+        switch_drops,
+        protocol_cpu,
+        interrupts,
+    }
+}
+
+/// Result of one AllReduce run (collective-operations extension).
+#[derive(Clone, Debug)]
+pub struct ReduceRunResult {
+    /// Wall time from start (post-configuration) to the last node done.
+    pub total: SimDuration,
+    /// Max per-node exchange wall time.
+    pub comm: SimDuration,
+    /// Max per-node host reduction time (zero on INIC paths).
+    pub reduce: SimDuration,
+    /// Whether every node obtained the exact element-wise sum.
+    pub verified: bool,
+}
+
+/// Run a flat AllReduce (sum) of one `elems`-element f64 vector per
+/// node on the chosen technology.
+pub fn run_allreduce(spec: ClusterSpec, elems: usize) -> ReduceRunResult {
+    assert!(spec.p >= 1);
+    // Deterministic per-rank contributions with an exactly computable
+    // sum (integers below 2^52 stay exact in f64 regardless of the
+    // reduction order).
+    let vector_for = |rank: usize| -> Vec<f64> {
+        (0..elems)
+            .map(|i| ((rank + 1) * (i % 1000 + 1)) as f64)
+            .collect()
+    };
+    let kernels = HostKernels::athlon_1ghz();
+    let mut w = wire(spec, |rank, attachment| {
+        DriverBox::Reduce(Box::new(ReduceDriver::new(
+            rank,
+            spec.p,
+            vector_for(rank),
+            attachment,
+            kernels.clone(),
+        )))
+    });
+    w.sim.run();
+    let mut total_end = SimTime::ZERO;
+    let mut start = SimTime::MAX;
+    let mut comm = SimDuration::ZERO;
+    let mut reduce = SimDuration::ZERO;
+    let mut results: Vec<Vec<f64>> = Vec::new();
+    for &d in &w.drivers {
+        let drv = w.sim.component::<ReduceDriver>(d);
+        assert!(drv.is_done(), "node did not finish");
+        let t = &drv.timings;
+        total_end = total_end.max(t.done_at.expect("done"));
+        start = start.min(t.started_at.expect("started"));
+        comm = comm.max(t.comm);
+        reduce = reduce.max(t.reduce);
+        results.push(drv.result().to_vec());
+    }
+    let verified = if spec.verify {
+        let expect: Vec<f64> = (0..elems)
+            .map(|i| {
+                (0..spec.p)
+                    .map(|rank| ((rank + 1) * (i % 1000 + 1)) as f64)
+                    .sum()
+            })
+            .collect();
+        for (rank, r) in results.iter().enumerate() {
+            assert_eq!(r, &expect, "rank {rank} reduction mismatch");
+        }
+        true
+    } else {
+        false
+    };
+    if spec.technology.is_inic() {
+        assert_eq!(w.switch_drops(), 0, "INIC collective must not drop");
+    }
+    ReduceRunResult {
+        total: total_end.since(start),
+        comm,
+        reduce,
+        verified,
+    }
+}

@@ -1,0 +1,481 @@
+//! The per-node 2D-FFT driver — the FFTW parallel template of
+//! Section 3.1 on every network technology.
+//!
+//! The four steps (❶ row FFTs, ❷ transpose, ❸ row FFTs, ❹ transpose) are
+//! a per-node state machine. Compute steps are identical across
+//! technologies (charged through [`HostKernels`], executed for real on
+//! the slab). The transpose differs:
+//!
+//! * **commodity NIC** (Fig. 2(a)): the host charges the local-transpose
+//!   memory pass, sends each transposed block to its peer over TCP,
+//!   accumulates inbound blocks, then charges the final-permutation pass
+//!   before assembling the new slab;
+//! * **INIC** (Fig. 2(b)): the whole manipulation — local transpose,
+//!   packetize, de-packetize, interleave — runs on the card; the host
+//!   hands the slab to [`InicScatter`] and receives the assembled result
+//!   with [`InicGatherComplete`], paying no memory passes at all.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use acc_algos::fft::{fft_in_place, Direction, Matrix};
+use acc_algos::transpose::{
+    bytes_to_slab, extract_transposed_block, interleave_block, slab_to_bytes,
+};
+use acc_fpga::{
+    Bitstream, GatherKind, InicConfigure, InicConfigured, InicExpect, InicGatherComplete,
+    InicMode, InicScatter, InicScatterDone, ScatterKind,
+};
+use acc_host::HostKernels;
+use acc_proto::{TcpDelivered, TcpSend};
+use acc_sim::{Component, Ctx, DataSize, SimDuration, SimTime};
+
+use super::Attachment;
+
+/// Where the state machine is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    /// Waiting for the start event / card configuration.
+    Init,
+    /// Row FFTs number `i` (1 or 2).
+    Fft(u8),
+    /// Transpose number `i`: commodity local-transpose charge running.
+    LocalTranspose(u8),
+    /// Transpose number `i`: blocks in flight / being gathered.
+    Exchange(u8),
+    /// Transpose number `i`: final-permutation charge running.
+    Permute(u8),
+    /// Finished.
+    Done,
+}
+
+/// Self events marking the end of charged compute.
+struct FftComputeDone;
+struct LocalTransposeDone;
+struct PermuteDone;
+
+/// Timing record of one completed run, readable after `sim.run()`.
+#[derive(Clone, Debug, Default)]
+pub struct FftTimings {
+    /// Sum of both row-FFT phases.
+    pub compute: SimDuration,
+    /// Sum of both transposes (wall time per node, including overlap).
+    pub transpose: SimDuration,
+    /// Host compute buried inside the transposes (local transpose +
+    /// final permutation charges) — zero on INIC paths, where the card
+    /// absorbs the data manipulation.
+    pub transpose_compute: SimDuration,
+    /// When this node finished step ❹ (absolute).
+    pub done_at: Option<SimTime>,
+    /// When this node started step ❶ (absolute; after configuration on
+    /// INIC technologies).
+    pub started_at: Option<SimTime>,
+}
+
+/// The per-node FFT application driver.
+pub struct FftDriver {
+    label: String,
+    rank: usize,
+    p: usize,
+    rows: usize,
+    m: usize,
+    attachment: Attachment,
+    kernels: HostKernels,
+    slab: Matrix,
+    phase: Phase,
+    phase_entered: SimTime,
+    /// Start of the current transpose sub-phase (local transpose or
+    /// final permutation) for the compute/comm decomposition.
+    subphase_entered: SimTime,
+    /// Inbound block bytes per (src_rank, transpose#) — commodity path.
+    rx: HashMap<(usize, u8), Vec<u8>>,
+    /// Current pairwise exchange step (1-based) — commodity path. The
+    /// transpose is "a serialized communications step" (Section 3.1.2):
+    /// step `s` sends to `(rank+s) mod P` and waits for the block from
+    /// `(rank−s) mod P` before proceeding, as FFTW's pairwise exchange
+    /// does.
+    exchange_step: usize,
+    /// Assembled results delivered early by the card, keyed by stream.
+    early_gathers: HashMap<u32, Vec<u8>>,
+    /// Raw gather held while the final-permutation charge runs
+    /// (protocol-processor mode): per-source concatenated blocks plus
+    /// per-source end offsets.
+    raw_gather: Option<(Vec<u8>, Vec<usize>)>,
+    /// Timings, filled as the run progresses.
+    pub timings: FftTimings,
+}
+
+impl FftDriver {
+    /// Build a driver holding `slab` (the node's `rows/P × rows` row
+    /// block).
+    pub fn new(
+        rank: usize,
+        p: usize,
+        rows: usize,
+        slab: Matrix,
+        attachment: Attachment,
+        kernels: HostKernels,
+    ) -> FftDriver {
+        assert_eq!(slab.rows(), rows / p, "slab height");
+        assert_eq!(slab.cols(), rows, "slab width");
+        FftDriver {
+            label: format!("fft-driver{rank}"),
+            rank,
+            p,
+            rows,
+            m: rows / p,
+            attachment,
+            kernels,
+            slab,
+            phase: Phase::Init,
+            phase_entered: SimTime::ZERO,
+            subphase_entered: SimTime::ZERO,
+            rx: HashMap::new(),
+            exchange_step: 0,
+            early_gathers: HashMap::new(),
+            raw_gather: None,
+            timings: FftTimings::default(),
+        }
+    }
+
+    /// The node's final slab (the 2D FFT's row block) once done.
+    pub fn result(&self) -> &Matrix {
+        assert_eq!(self.phase, Phase::Done, "driver not finished");
+        &self.slab
+    }
+
+    /// Whether the run completed.
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
+    fn partition_bytes(&self) -> DataSize {
+        DataSize::from_bytes((self.m * self.rows * 16) as u64)
+    }
+
+    // ---- phase transitions ----
+
+    fn begin_fft(&mut self, which: u8, ctx: &mut Ctx) {
+        self.phase = Phase::Fft(which);
+        self.phase_entered = ctx.now();
+        if which == 1 {
+            self.timings.started_at = Some(ctx.now());
+        }
+        // The real computation.
+        for r in 0..self.slab.rows() {
+            fft_in_place(self.slab.row_mut(r), Direction::Forward);
+        }
+        // The charged time: one of the two Eq. 4 halves.
+        let charge = self.kernels.fft_compute_time(self.rows, self.p) / 2;
+        ctx.self_in(charge, FftComputeDone);
+    }
+
+    fn on_fft_done(&mut self, ctx: &mut Ctx) {
+        let Phase::Fft(which) = self.phase else {
+            panic!("{}: FftComputeDone outside Fft phase", self.label);
+        };
+        self.timings.compute += ctx.now().since(self.phase_entered);
+        self.begin_transpose(which, ctx);
+    }
+
+    fn begin_transpose(&mut self, which: u8, ctx: &mut Ctx) {
+        self.phase_entered = ctx.now();
+        if matches!(
+            self.attachment.inic_mode(),
+            None | Some(InicMode::ProtocolProcessor)
+        ) {
+            // Host performs the data manipulation (commodity NIC, or an
+            // INIC used purely as a protocol processor).
+            self.phase = Phase::LocalTranspose(which);
+            self.subphase_entered = ctx.now();
+            let charge = self.kernels.local_transpose_time(self.partition_bytes());
+            ctx.self_in(charge, LocalTransposeDone);
+            return;
+        }
+        match &self.attachment {
+            Attachment::Inic { card, macs, .. } => {
+                let card = *card;
+                let stream = u32::from(which);
+                // The card might already hold the full gather (tiny P,
+                // fast peers): consume it immediately if so.
+                self.phase = Phase::Exchange(which);
+                ctx.send_now(
+                    card,
+                    InicExpect {
+                        stream,
+                        kind: GatherKind::InterleaveBlocks {
+                            m: self.m,
+                            rows: self.rows,
+                        },
+                        sources: (0..self.p as u32)
+                            .map(|s| (s, Some(self.m * self.m * 16)))
+                            .collect(),
+                    },
+                );
+                ctx.send_now(
+                    card,
+                    InicScatter {
+                        stream,
+                        kind: ScatterKind::TransposeBlocks { m: self.m },
+                        data: slab_to_bytes(&self.slab),
+                        dests: macs.clone(),
+                    },
+                );
+                if let Some(bytes) = self.early_gathers.remove(&stream) {
+                    self.finish_inic_transpose(which, bytes, ctx);
+                }
+            }
+            Attachment::Tcp { .. } => unreachable!("handled above"),
+        }
+    }
+
+    /// Local transpose charge done. Commodity path: begin the
+    /// serialized pairwise exchange. Protocol-processor path: hand the
+    /// pre-transposed blocks to the card for transmission.
+    fn on_local_transpose_done(&mut self, ctx: &mut Ctx) {
+        let Phase::LocalTranspose(which) = self.phase else {
+            panic!("{}: LocalTransposeDone out of phase", self.label);
+        };
+        self.timings.transpose_compute += ctx.now().since(self.subphase_entered);
+        self.phase = Phase::Exchange(which);
+        if let Attachment::Inic { card, macs, mode } = &self.attachment {
+            debug_assert_eq!(*mode, InicMode::ProtocolProcessor);
+            let card = *card;
+            let macs = macs.clone();
+            let stream = u32::from(which);
+            let block_bytes = self.m * self.m * 16;
+            // Blocks in ring order (own rank first), transposed on the
+            // host — the card only packetizes.
+            let mut data = Vec::with_capacity(self.p * block_bytes);
+            for step in 0..self.p {
+                let q = (self.rank + step) % self.p;
+                data.extend(slab_to_bytes(&extract_transposed_block(&self.slab, q)));
+            }
+            ctx.send_now(
+                card,
+                InicExpect {
+                    stream,
+                    kind: GatherKind::Raw,
+                    sources: (0..self.p as u32).map(|s| (s, Some(block_bytes))).collect(),
+                },
+            );
+            ctx.send_now(
+                card,
+                InicScatter {
+                    stream,
+                    kind: ScatterKind::Raw {
+                        parts: vec![block_bytes; self.p],
+                    },
+                    data,
+                    dests: macs,
+                },
+            );
+            return;
+        }
+        self.exchange_step = 1;
+        self.send_current_step_block(which, ctx);
+        self.check_exchange_complete(ctx);
+    }
+
+    /// Post the block for the current exchange step.
+    fn send_current_step_block(&mut self, which: u8, ctx: &mut Ctx) {
+        if self.exchange_step >= self.p {
+            return;
+        }
+        let Attachment::Tcp { nic, macs } = &self.attachment else {
+            unreachable!("pairwise exchange only on the commodity path");
+        };
+        let nic = *nic;
+        let q = (self.rank + self.exchange_step) % self.p;
+        let peer = macs[q];
+        let block = extract_transposed_block(&self.slab, q);
+        ctx.send_now(
+            nic,
+            TcpSend {
+                peer,
+                chan: u16::from(which),
+                data: slab_to_bytes(&block),
+            },
+        );
+    }
+
+    fn on_tcp_delivered(&mut self, d: TcpDelivered, ctx: &mut Ctx) {
+        let src = self
+            .attachment
+            .macs()
+            .iter()
+            .position(|&m| m == d.peer)
+            .expect("delivery from unknown MAC");
+        self.rx
+            .entry((src, d.chan as u8))
+            .or_default()
+            .extend_from_slice(&d.data);
+        self.check_exchange_complete(ctx);
+    }
+
+    /// Advance the serialized exchange as far as received data allows:
+    /// step `s` completes only when the block from `(rank−s) mod P` has
+    /// fully arrived; only then is step `s+1`'s block posted.
+    fn check_exchange_complete(&mut self, ctx: &mut Ctx) {
+        let Phase::Exchange(which) = self.phase else {
+            return;
+        };
+        if matches!(self.attachment, Attachment::Inic { .. }) {
+            return; // completion is signalled by the card
+        }
+        let block_bytes = self.m * self.m * 16;
+        while self.exchange_step < self.p {
+            let from = (self.rank + self.p - self.exchange_step) % self.p;
+            let have = self
+                .rx
+                .get(&(from, which))
+                .is_some_and(|b| b.len() >= block_bytes);
+            if !have {
+                return;
+            }
+            self.exchange_step += 1;
+            self.send_current_step_block(which, ctx);
+        }
+        // All steps done: charge the final permutation.
+        self.phase = Phase::Permute(which);
+        self.subphase_entered = ctx.now();
+        let charge = self
+            .kernels
+            .final_permutation_time(self.partition_bytes());
+        ctx.self_in(charge, PermuteDone);
+    }
+
+    /// Commodity path: permutation charge done — assemble the new slab.
+    fn on_permute_done(&mut self, ctx: &mut Ctx) {
+        let Phase::Permute(which) = self.phase else {
+            panic!("{}: PermuteDone out of phase", self.label);
+        };
+        self.timings.transpose_compute += ctx.now().since(self.subphase_entered);
+        let block_bytes = self.m * self.m * 16;
+        let mut out = Matrix::zeros(self.m, self.rows);
+        if let Some((data, bounds)) = self.raw_gather.take() {
+            // Protocol-processor path: per-source blocks arrived via the
+            // card, already transposed by this host's peers.
+            let mut start = 0usize;
+            for (s, &end) in bounds.iter().enumerate() {
+                let block = bytes_to_slab(&data[start..end], self.m, self.m);
+                interleave_block(&mut out, s, &block);
+                start = end;
+            }
+        } else {
+            for s in 0..self.p {
+                let block = if s == self.rank {
+                    extract_transposed_block(&self.slab, self.rank)
+                } else {
+                    let buf = self
+                        .rx
+                        .get_mut(&(s, which))
+                        .expect("checked complete");
+                    let bytes: Vec<u8> = buf.drain(..block_bytes).collect();
+                    bytes_to_slab(&bytes, self.m, self.m)
+                };
+                interleave_block(&mut out, s, &block);
+            }
+        }
+        self.slab = out;
+        self.finish_transpose(which, ctx);
+    }
+
+    /// INIC path: the card delivered the assembled slab.
+    fn finish_inic_transpose(&mut self, which: u8, bytes: Vec<u8>, ctx: &mut Ctx) {
+        self.slab = bytes_to_slab(&bytes, self.m, self.rows);
+        self.finish_transpose(which, ctx);
+    }
+
+    fn finish_transpose(&mut self, which: u8, ctx: &mut Ctx) {
+        self.timings.transpose += ctx.now().since(self.phase_entered);
+        match which {
+            1 => self.begin_fft(2, ctx),
+            2 => {
+                self.phase = Phase::Done;
+                self.timings.done_at = Some(ctx.now());
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+impl Component for FftDriver {
+    fn handle(&mut self, ev: Box<dyn Any>, ctx: &mut Ctx) {
+        if ev.downcast_ref::<()>().is_some() {
+            match &self.attachment {
+                Attachment::Inic { card, mode, .. } => {
+                    let card = *card;
+                    let bitstream = match mode {
+                        InicMode::ProtocolProcessor => Bitstream::protocol_only(),
+                        _ => Bitstream::fft_transpose(self.m),
+                    };
+                    ctx.send_now(card, InicConfigure { bitstream });
+                }
+                Attachment::Tcp { .. } => self.begin_fft(1, ctx),
+            }
+            return;
+        }
+        let ev = match ev.downcast::<InicConfigured>() {
+            Ok(cfg) => {
+                cfg.result.unwrap_or_else(|e| {
+                    panic!("{}: FFT bitstream rejected: {e}", self.label)
+                });
+                self.begin_fft(1, ctx);
+                return;
+            }
+            Err(ev) => ev,
+        };
+        if ev.downcast_ref::<FftComputeDone>().is_some() {
+            return self.on_fft_done(ctx);
+        }
+        if ev.downcast_ref::<LocalTransposeDone>().is_some() {
+            return self.on_local_transpose_done(ctx);
+        }
+        if ev.downcast_ref::<PermuteDone>().is_some() {
+            return self.on_permute_done(ctx);
+        }
+        let ev = match ev.downcast::<TcpDelivered>() {
+            Ok(d) => return self.on_tcp_delivered(*d, ctx),
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<InicGatherComplete>() {
+            Ok(g) => {
+                match self.phase {
+                    Phase::Exchange(which) if u32::from(which) == g.stream => {
+                        if self.attachment.inic_mode() == Some(InicMode::ProtocolProcessor) {
+                            // Host still owes the final permutation.
+                            self.raw_gather = Some((
+                                g.data,
+                                g.bucket_bounds.expect("raw gather carries bounds"),
+                            ));
+                            self.phase = Phase::Permute(which);
+                            self.subphase_entered = ctx.now();
+                            let charge = self
+                                .kernels
+                                .final_permutation_time(self.partition_bytes());
+                            ctx.self_in(charge, PermuteDone);
+                        } else {
+                            self.finish_inic_transpose(which, g.data, ctx);
+                        }
+                    }
+                    _ => {
+                        // Completed before we (re-)entered the phase —
+                        // possible only with extreme skew; hold it.
+                        self.early_gathers.insert(g.stream, g.data);
+                    }
+                }
+                return;
+            }
+            Err(ev) => ev,
+        };
+        if ev.downcast_ref::<InicScatterDone>().is_some() {
+            return; // send-side completion is informational here
+        }
+        panic!("{}: unknown event", self.label);
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}

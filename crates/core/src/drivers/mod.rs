@@ -1,0 +1,90 @@
+//! Per-node application drivers.
+//!
+//! A driver is the "host program" of one cluster node: it owns the
+//! node's data partition, charges host compute time through the
+//! calibrated kernel models, performs the *actual* data transformations
+//! (the same `acc-algos` functions the oracles use), and talks to its
+//! network attachment — a [`TcpHostNic`](acc_proto::TcpHostNic) for the
+//! commodity technologies or an [`InicCard`](acc_fpga::InicCard) for
+//! the INIC technologies.
+
+pub mod fft;
+pub mod reduce;
+pub mod sort;
+
+use acc_fpga::InicMode;
+use acc_net::MacAddr;
+use acc_sim::ComponentId;
+
+/// How a node reaches the network.
+#[derive(Clone, Debug)]
+pub enum Attachment {
+    /// Commodity NIC + kernel TCP (Fast or Gigabit Ethernet — the link
+    /// rate is a property of the wiring, not the driver).
+    Tcp {
+        /// The node's `TcpHostNic` component.
+        nic: ComponentId,
+        /// MAC of every rank.
+        macs: Vec<MacAddr>,
+    },
+    /// Intelligent NIC.
+    Inic {
+        /// The node's `InicCard` component.
+        card: ComponentId,
+        /// MAC of every rank.
+        macs: Vec<MacAddr>,
+        /// Operating mode: [`InicMode::Combined`] fuses the application
+        /// operators into the datapath; [`InicMode::ProtocolProcessor`]
+        /// offloads only the protocol, leaving the data manipulation on
+        /// the host (the Section 2 mode ablation).
+        mode: InicMode,
+    },
+}
+
+impl Attachment {
+    /// MAC table shared by both variants.
+    pub fn macs(&self) -> &[MacAddr] {
+        match self {
+            Attachment::Tcp { macs, .. } | Attachment::Inic { macs, .. } => macs,
+        }
+    }
+
+    /// The INIC operating mode, if this is an INIC attachment.
+    pub fn inic_mode(&self) -> Option<InicMode> {
+        match self {
+            Attachment::Inic { mode, .. } => Some(*mode),
+            Attachment::Tcp { .. } => None,
+        }
+    }
+}
+
+/// Receive-side bucket count for a per-node key volume: enough buckets
+/// that each bucket fits the processor cache, and never fewer than the
+/// paper's 128 ("on a problem size of 2²¹ keys or more, a minimum of 128
+/// buckets are needed for the problem to map well into cache").
+pub fn recv_buckets_for(keys_per_node: u64) -> usize {
+    let target_bucket_bytes = 128 * 1024;
+    let needed = (keys_per_node * 4).div_ceil(target_bucket_bytes).max(128);
+    needed.next_power_of_two() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_count_floors_at_128() {
+        assert_eq!(recv_buckets_for(1 << 10), 128);
+        assert_eq!(recv_buckets_for(1 << 21), 128);
+    }
+
+    #[test]
+    fn bucket_count_grows_for_big_partitions() {
+        // 2²⁵ keys = 128 MiB → 1024 buckets of 128 KiB.
+        assert_eq!(recv_buckets_for(1 << 25), 1024);
+        // Power of two always.
+        for shift in 10..26 {
+            assert!(recv_buckets_for(1u64 << shift).is_power_of_two());
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! The AllReduce driver — the collective-operations extension.
+//!
+//! The paper's summary claims the INIC architecture can "accelerate
+//! functions ranging from collective operations to MPI derived data
+//! types". This driver implements the simplest interesting collective:
+//! a flat AllReduce (sum) of one double-precision vector per node.
+//!
+//! * **Commodity path**: every node TCP-broadcasts its vector, receives
+//!   the other `P−1` vectors, and reduces them on the host (memory-bound
+//!   streaming charge).
+//! * **INIC path**: the card broadcasts the vector with the lightweight
+//!   protocol and the `ReduceSum` operator folds every arriving stream
+//!   into an accumulator in card memory *as it arrives* — only the
+//!   reduced vector ever crosses to the host, and the host does zero
+//!   arithmetic.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use acc_fpga::{
+    Bitstream, GatherKind, InicConfigure, InicConfigured, InicExpect, InicGatherComplete,
+    InicScatter, InicScatterDone, ScatterKind,
+};
+use acc_host::HostKernels;
+use acc_proto::{TcpDelivered, TcpSend};
+use acc_sim::{Component, Ctx, SimDuration, SimTime};
+
+use super::Attachment;
+
+/// Serialize a double vector to little-endian bytes.
+pub fn f64s_to_bytes(v: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.len() * 8);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+/// Inverse of [`f64s_to_bytes`].
+pub fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
+    assert_eq!(bytes.len() % 8, 0, "f64 stream length");
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect()
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    Init,
+    Exchange,
+    Reduce,
+    Done,
+}
+
+struct ReduceComputeDone;
+
+/// Timing record of one AllReduce.
+#[derive(Clone, Debug, Default)]
+pub struct ReduceTimings {
+    /// Exchange wall time.
+    pub comm: SimDuration,
+    /// Host reduction time (zero on the INIC path).
+    pub reduce: SimDuration,
+    /// Completion instant.
+    pub done_at: Option<SimTime>,
+    /// Start instant (post-configuration).
+    pub started_at: Option<SimTime>,
+}
+
+/// Per-node AllReduce driver.
+pub struct ReduceDriver {
+    label: String,
+    rank: usize,
+    p: usize,
+    attachment: Attachment,
+    kernels: HostKernels,
+    vector: Vec<f64>,
+    rx: HashMap<usize, Vec<u8>>,
+    pending: usize,
+    result: Vec<f64>,
+    phase: Phase,
+    phase_entered: SimTime,
+    /// Timing decomposition.
+    pub timings: ReduceTimings,
+}
+
+impl ReduceDriver {
+    /// Build a driver holding this rank's contribution.
+    pub fn new(
+        rank: usize,
+        p: usize,
+        vector: Vec<f64>,
+        attachment: Attachment,
+        kernels: HostKernels,
+    ) -> ReduceDriver {
+        ReduceDriver {
+            label: format!("reduce-driver{rank}"),
+            rank,
+            p,
+            attachment,
+            kernels,
+            vector,
+            rx: HashMap::new(),
+            pending: 0,
+            result: Vec::new(),
+            phase: Phase::Init,
+            phase_entered: SimTime::ZERO,
+            timings: ReduceTimings::default(),
+        }
+    }
+
+    /// The reduced vector (identical on every rank), once done.
+    pub fn result(&self) -> &[f64] {
+        assert_eq!(self.phase, Phase::Done, "driver not finished");
+        &self.result
+    }
+
+    /// Whether the run completed.
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
+    fn begin(&mut self, ctx: &mut Ctx) {
+        self.timings.started_at = Some(ctx.now());
+        self.phase = Phase::Exchange;
+        self.phase_entered = ctx.now();
+        self.pending = self.p - 1;
+        match &self.attachment {
+            Attachment::Inic { card, macs, .. } => {
+                let card = *card;
+                let macs = macs.clone();
+                let elems = self.vector.len();
+                ctx.send_now(
+                    card,
+                    InicExpect {
+                        stream: 1,
+                        kind: GatherKind::ReduceF64 { elems },
+                        sources: (0..self.p as u32).map(|s| (s, Some(elems * 8))).collect(),
+                    },
+                );
+                ctx.send_now(
+                    card,
+                    InicScatter {
+                        stream: 1,
+                        kind: ScatterKind::Broadcast,
+                        data: f64s_to_bytes(&self.vector),
+                        dests: macs,
+                    },
+                );
+            }
+            Attachment::Tcp { nic, macs } => {
+                let nic = *nic;
+                let macs = macs.clone();
+                for step in 1..self.p {
+                    let q = (self.rank + step) % self.p;
+                    ctx.send_now(
+                        nic,
+                        TcpSend {
+                            peer: macs[q],
+                            chan: 7,
+                            data: f64s_to_bytes(&self.vector),
+                        },
+                    );
+                }
+                self.check_exchange_complete(ctx);
+            }
+        }
+    }
+
+    fn check_exchange_complete(&mut self, ctx: &mut Ctx) {
+        if self.phase != Phase::Exchange {
+            return;
+        }
+        let want = self.vector.len() * 8;
+        let complete = (0..self.p)
+            .filter(|&s| s != self.rank)
+            .all(|s| self.rx.get(&s).is_some_and(|b| b.len() >= want));
+        if !complete {
+            return;
+        }
+        self.timings.comm += ctx.now().since(self.phase_entered);
+        self.phase = Phase::Reduce;
+        self.phase_entered = ctx.now();
+        // The real reduction.
+        let mut acc = self.vector.clone();
+        for s in 0..self.p {
+            if s == self.rank {
+                continue;
+            }
+            let other = bytes_to_f64s(&self.rx[&s]);
+            for (a, b) in acc.iter_mut().zip(&other) {
+                *a += b;
+            }
+        }
+        self.result = acc;
+        let charge = self
+            .kernels
+            .reduce_time(self.vector.len() as u64, self.p as u64);
+        ctx.self_in(charge, ReduceComputeDone);
+    }
+
+    fn finish(&mut self, ctx: &mut Ctx) {
+        self.timings.done_at = Some(ctx.now());
+        self.phase = Phase::Done;
+    }
+}
+
+impl Component for ReduceDriver {
+    fn handle(&mut self, ev: Box<dyn Any>, ctx: &mut Ctx) {
+        if ev.downcast_ref::<()>().is_some() {
+            match &self.attachment {
+                Attachment::Inic { card, .. } => {
+                    let card = *card;
+                    ctx.send_now(
+                        card,
+                        InicConfigure {
+                            bitstream: Bitstream::allreduce(),
+                        },
+                    );
+                }
+                Attachment::Tcp { .. } => self.begin(ctx),
+            }
+            return;
+        }
+        let ev = match ev.downcast::<InicConfigured>() {
+            Ok(cfg) => {
+                cfg.result.unwrap_or_else(|e| {
+                    panic!("{}: allreduce bitstream rejected: {e}", self.label)
+                });
+                self.begin(ctx);
+                return;
+            }
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<TcpDelivered>() {
+            Ok(d) => {
+                let src = self
+                    .attachment
+                    .macs()
+                    .iter()
+                    .position(|&m| m == d.peer)
+                    .expect("unknown peer");
+                self.rx.entry(src).or_default().extend_from_slice(&d.data);
+                self.check_exchange_complete(ctx);
+                return;
+            }
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<InicGatherComplete>() {
+            Ok(g) => {
+                assert_eq!(self.phase, Phase::Exchange);
+                self.timings.comm += ctx.now().since(self.phase_entered);
+                self.result = bytes_to_f64s(&g.data);
+                self.finish(ctx);
+                return;
+            }
+            Err(ev) => ev,
+        };
+        if ev.downcast_ref::<ReduceComputeDone>().is_some() {
+            assert_eq!(self.phase, Phase::Reduce);
+            self.timings.reduce += ctx.now().since(self.phase_entered);
+            self.finish(ctx);
+            return;
+        }
+        if ev.downcast_ref::<InicScatterDone>().is_some() {
+            return;
+        }
+        panic!("{}: unknown event", self.label);
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_byte_roundtrip() {
+        let v = vec![1.5, -2.25, std::f64::consts::PI, 0.0, f64::MAX];
+        assert_eq!(bytes_to_f64s(&f64s_to_bytes(&v)), v);
+    }
+}

@@ -1,0 +1,536 @@
+//! The per-node integer-sort driver — Section 3.2 on every network
+//! technology.
+//!
+//! Pipeline: bucket the local keys by destination rank, exchange
+//! (bucket `i` goes to rank `i`), bucket the received keys into
+//! cache-sized buckets, count-sort every bucket. Where each step runs
+//! depends on the technology:
+//!
+//! * **commodity NIC** (Fig. 3(a)): both bucket passes on the host CPU;
+//!   TCP carries length-prefixed key streams.
+//! * **ideal INIC** (Fig. 3(b)): both bucket passes in the card
+//!   datapath; the host only count-sorts cache-resident buckets.
+//! * **prototype INIC** (Fig. 7): the 4085XLA only fits a 16-bucket
+//!   sorter, so the card delivers 16 coarse buckets and the host runs a
+//!   second bucket pass before count-sorting — "surprisingly, this can
+//!   provide higher performance than having the host sort directly into
+//!   16 × N buckets".
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use acc_algos::sort::{
+    bucket_index, bucket_sort, bytes_to_keys, count_sort, destination_by_splitters,
+    destination_rank, is_sorted, keys_to_bytes,
+};
+use acc_fpga::{
+    Bitstream, GatherKind, InicConfigure, InicConfigured, InicExpect, InicGatherComplete,
+    InicMode, InicScatter, InicScatterDone, ScatterKind,
+};
+use acc_host::HostKernels;
+use acc_proto::{TcpDelivered, TcpSend};
+use acc_sim::{Component, Ctx, DataSize, SimDuration, SimTime};
+
+use super::{recv_buckets_for, Attachment};
+
+/// How the receive-side bucketing is split between card and host.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SortVariant {
+    /// Commodity NIC: host does everything.
+    HostOnly,
+    /// Ideal INIC: card buckets straight into the final `N` buckets.
+    InicFull,
+    /// Prototype INIC: card buckets into 16; host re-buckets into `N`.
+    InicTwoPhase,
+    /// INIC as a pure protocol processor: host does both bucket passes,
+    /// the card only carries the lightweight protocol (mode ablation).
+    ProtocolOnly,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    Init,
+    /// Host phase-1 bucket charge running (commodity only).
+    Bucket1,
+    /// Keys in flight.
+    Exchange,
+    /// Host phase-2 bucket charge running.
+    Bucket2,
+    /// Count-sort charge running.
+    Count,
+    Done,
+}
+
+struct Bucket1Done;
+struct Bucket2Done;
+struct CountDone;
+
+/// Timing decomposition of one node's run.
+#[derive(Clone, Debug, Default)]
+pub struct SortTimings {
+    /// Host phase-1 bucket time (zero on INIC paths).
+    pub bucket1: SimDuration,
+    /// Exchange wall time (first send to all-received).
+    pub comm: SimDuration,
+    /// Host phase-2 bucket time (zero on the ideal INIC path).
+    pub bucket2: SimDuration,
+    /// Final count-sort time.
+    pub count: SimDuration,
+    /// Absolute completion instant.
+    pub done_at: Option<SimTime>,
+    /// Absolute start instant (post-configuration).
+    pub started_at: Option<SimTime>,
+}
+
+/// The per-node integer-sort driver.
+pub struct SortDriver {
+    label: String,
+    rank: usize,
+    p: usize,
+    variant: SortVariant,
+    attachment: Attachment,
+    kernels: HostKernels,
+    keys: Vec<u32>,
+    /// Optional range splitters for the destination partitioning (the
+    /// pre-sort sampling extension for skewed keys); `None` = the
+    /// paper's top-bits partitioning.
+    splitters: Option<Vec<u32>>,
+    /// Final cache-sized bucket count `N`.
+    recv_buckets: usize,
+    phase: Phase,
+    phase_entered: SimTime,
+    /// Commodity receive reassembly: raw bytes per src rank.
+    rx: HashMap<usize, Vec<u8>>,
+    /// Commodity: keys received (parsed once each stream's length-prefix
+    /// is satisfied).
+    received_keys: Vec<Vec<u32>>,
+    streams_pending: usize,
+    /// INIC gather result (16 or N card buckets, concatenated).
+    card_bucket_data: Option<(Vec<u8>, Vec<usize>)>,
+    sorted: Vec<u32>,
+    /// Timing decomposition.
+    pub timings: SortTimings,
+}
+
+impl SortDriver {
+    /// Build a driver holding this rank's initial keys.
+    pub fn new(
+        rank: usize,
+        p: usize,
+        keys: Vec<u32>,
+        variant: SortVariant,
+        attachment: Attachment,
+        kernels: HostKernels,
+    ) -> SortDriver {
+        let recv_buckets = recv_buckets_for(keys.len() as u64);
+        SortDriver {
+            label: format!("sort-driver{rank}"),
+            rank,
+            p,
+            variant,
+            attachment,
+            kernels,
+            keys,
+            splitters: None,
+            recv_buckets,
+            phase: Phase::Init,
+            phase_entered: SimTime::ZERO,
+            rx: HashMap::new(),
+            received_keys: Vec::new(),
+            streams_pending: 0,
+            card_bucket_data: None,
+            sorted: Vec::new(),
+            timings: SortTimings::default(),
+        }
+    }
+
+    /// Use sampled range splitters instead of top-bits partitioning
+    /// (builder style; must be the same table on every rank).
+    #[must_use]
+    pub fn with_splitters(mut self, splitters: Vec<u32>) -> SortDriver {
+        assert_eq!(splitters.len() + 1, self.p, "need P-1 splitters");
+        self.splitters = Some(splitters);
+        self
+    }
+
+    /// Distribute this node's keys to their destination ranks using the
+    /// active partitioning (top bits or splitters).
+    fn partition_keys(&self) -> Vec<Vec<u32>> {
+        match &self.splitters {
+            Some(sp) => {
+                let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); self.p];
+                for &k in &self.keys {
+                    buckets[destination_by_splitters(k, sp)].push(k);
+                }
+                buckets
+            }
+            None if self.p == 1 => vec![self.keys.clone()],
+            None => bucket_sort(&self.keys, self.p),
+        }
+    }
+
+    /// This rank's sorted key range, available when done.
+    pub fn result(&self) -> &[u32] {
+        assert_eq!(self.phase, Phase::Done, "driver not finished");
+        &self.sorted
+    }
+
+    /// Whether the run completed.
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
+    fn local_bytes(&self) -> DataSize {
+        DataSize::from_bytes(self.keys.len() as u64 * 4)
+    }
+
+    // ---- start ----
+
+    fn begin(&mut self, ctx: &mut Ctx) {
+        self.timings.started_at = Some(ctx.now());
+        self.streams_pending = self.p - 1;
+        match self.variant {
+            SortVariant::HostOnly | SortVariant::ProtocolOnly => {
+                self.phase = Phase::Bucket1;
+                self.phase_entered = ctx.now();
+                let charge = self
+                    .kernels
+                    .bucket_sort_time(self.keys.len() as u64, self.local_bytes());
+                ctx.self_in(charge, Bucket1Done);
+            }
+            SortVariant::InicFull | SortVariant::InicTwoPhase => {
+                // Card does phase 1; hand the raw keys straight over.
+                self.phase = Phase::Exchange;
+                self.phase_entered = ctx.now();
+                let Attachment::Inic { card, macs, .. } = &self.attachment else {
+                    panic!("INIC variant without INIC attachment");
+                };
+                let card = *card;
+                let macs = macs.clone();
+                let k = self.card_recv_buckets();
+                ctx.send_now(
+                    card,
+                    InicExpect {
+                        stream: 1,
+                        kind: GatherKind::BucketKeys { k },
+                        sources: (0..self.p as u32).map(|s| (s, None)).collect(),
+                    },
+                );
+                ctx.send_now(
+                    card,
+                    InicScatter {
+                        stream: 1,
+                        kind: ScatterKind::BucketKeys {
+                            p: self.p,
+                            splitters: self.splitters.clone(),
+                        },
+                        data: keys_to_bytes(&self.keys),
+                        dests: macs,
+                    },
+                );
+            }
+        }
+    }
+
+    /// On-card receive bucket count: the final N on the ideal card, 16
+    /// on the prototype.
+    fn card_recv_buckets(&self) -> usize {
+        match self.variant {
+            SortVariant::InicFull => self.recv_buckets,
+            SortVariant::InicTwoPhase => 16,
+            SortVariant::HostOnly | SortVariant::ProtocolOnly => unreachable!(),
+        }
+    }
+
+    // ---- commodity path ----
+
+    fn on_bucket1_done(&mut self, ctx: &mut Ctx) {
+        assert_eq!(self.phase, Phase::Bucket1);
+        self.timings.bucket1 += ctx.now().since(self.phase_entered);
+        self.phase = Phase::Exchange;
+        self.phase_entered = ctx.now();
+        if self.variant == SortVariant::ProtocolOnly {
+            return self.raw_exchange_via_card(ctx);
+        }
+        let Attachment::Tcp { nic, macs } = &self.attachment else {
+            panic!("HostOnly variant without TCP attachment");
+        };
+        let nic = *nic;
+        let macs = macs.clone();
+        let buckets = self.partition_keys();
+        for step in 1..self.p {
+            let q = (self.rank + step) % self.p;
+            // Length-prefixed key stream: the receiver learns each
+            // sender's (data-dependent) total from the first 8 bytes.
+            let body = keys_to_bytes(&buckets[q]);
+            let mut data = (body.len() as u64).to_le_bytes().to_vec();
+            data.extend_from_slice(&body);
+            ctx.send_now(
+                nic,
+                TcpSend {
+                    peer: macs[q],
+                    chan: 1,
+                    data,
+                },
+            );
+        }
+        // Our own bucket stays home.
+        self.received_keys.push(buckets[self.rank].clone());
+        self.check_exchange_complete(ctx);
+    }
+
+    /// Protocol-processor path: host-bucketed parts ride the card's
+    /// lightweight protocol.
+    fn raw_exchange_via_card(&mut self, ctx: &mut Ctx) {
+        let Attachment::Inic { card, macs, mode } = &self.attachment else {
+            panic!("ProtocolOnly variant without INIC attachment");
+        };
+        debug_assert_eq!(*mode, InicMode::ProtocolProcessor);
+        let card = *card;
+        let macs = macs.clone();
+        let buckets = self.partition_keys();
+        let mut parts = vec![0usize; self.p];
+        let mut data = Vec::with_capacity(self.keys.len() * 4);
+        for step in 0..self.p {
+            let q = (self.rank + step) % self.p;
+            parts[q] = buckets[q].len() * 4;
+            data.extend(keys_to_bytes(&buckets[q]));
+        }
+        ctx.send_now(
+            card,
+            InicExpect {
+                stream: 1,
+                kind: GatherKind::Raw,
+                sources: (0..self.p as u32).map(|s| (s, None)).collect(),
+            },
+        );
+        ctx.send_now(
+            card,
+            InicScatter {
+                stream: 1,
+                kind: ScatterKind::Raw { parts },
+                data,
+                dests: macs,
+            },
+        );
+    }
+
+    fn on_tcp_delivered(&mut self, d: TcpDelivered, ctx: &mut Ctx) {
+        let src = self
+            .attachment
+            .macs()
+            .iter()
+            .position(|&m| m == d.peer)
+            .expect("delivery from unknown MAC");
+        let buf = self.rx.entry(src).or_default();
+        buf.extend_from_slice(&d.data);
+        // Completed stream? 8-byte length prefix + body.
+        if buf.len() >= 8 {
+            let want = u64::from_le_bytes(buf[..8].try_into().unwrap()) as usize;
+            if buf.len() >= 8 + want {
+                let body: Vec<u8> = buf[8..8 + want].to_vec();
+                assert_eq!(
+                    buf.len(),
+                    8 + want,
+                    "sender sent more than one stream on this channel"
+                );
+                self.rx.remove(&src);
+                self.received_keys.push(bytes_to_keys(&body));
+                self.streams_pending -= 1;
+            }
+        }
+        self.check_exchange_complete(ctx);
+    }
+
+    fn check_exchange_complete(&mut self, ctx: &mut Ctx) {
+        if self.phase != Phase::Exchange || self.streams_pending > 0 {
+            return;
+        }
+        if matches!(self.variant, SortVariant::HostOnly) {
+            self.timings.comm += ctx.now().since(self.phase_entered);
+            self.begin_bucket2(ctx);
+        }
+    }
+
+    /// Phase-2 host bucket pass (commodity; also the prototype's second
+    /// phase, reached from the gather instead).
+    fn begin_bucket2(&mut self, ctx: &mut Ctx) {
+        self.phase = Phase::Bucket2;
+        self.phase_entered = ctx.now();
+        let n_keys: u64 = match self.variant {
+            SortVariant::HostOnly => self
+                .received_keys
+                .iter()
+                .map(|v| v.len() as u64)
+                .sum(),
+            SortVariant::InicTwoPhase | SortVariant::ProtocolOnly => {
+                let (data, _) = self.card_bucket_data.as_ref().expect("gather data");
+                (data.len() / 4) as u64
+            }
+            SortVariant::InicFull => unreachable!("ideal INIC skips phase 2"),
+        };
+        let working = DataSize::from_bytes(n_keys * 4);
+        let charge = self.kernels.bucket_sort_time(n_keys, working);
+        ctx.self_in(charge, Bucket2Done);
+    }
+
+    fn on_bucket2_done(&mut self, ctx: &mut Ctx) {
+        assert_eq!(self.phase, Phase::Bucket2);
+        self.timings.bucket2 += ctx.now().since(self.phase_entered);
+        self.begin_count(ctx);
+    }
+
+    // ---- final count sort (all variants) ----
+
+    fn begin_count(&mut self, ctx: &mut Ctx) {
+        self.phase = Phase::Count;
+        self.phase_entered = ctx.now();
+        // Assemble the node's keys grouped into N cache-sized buckets.
+        let grouped: Vec<Vec<u32>> = match self.variant {
+            SortVariant::HostOnly => {
+                let all: Vec<u32> = self.received_keys.concat();
+                bucket_sort_into_n(&all, self.recv_buckets)
+            }
+            SortVariant::InicTwoPhase | SortVariant::ProtocolOnly => {
+                let (data, _bounds) = self.card_bucket_data.take().expect("gather data");
+                let all = bytes_to_keys(&data);
+                bucket_sort_into_n(&all, self.recv_buckets)
+            }
+            SortVariant::InicFull => {
+                let (data, bounds) = self.card_bucket_data.take().expect("gather data");
+                let keys = bytes_to_keys(&data);
+                let mut out = Vec::with_capacity(bounds.len());
+                let mut start = 0usize;
+                for &end in &bounds {
+                    out.push(keys[start / 4..end / 4].to_vec());
+                    start = end;
+                }
+                out
+            }
+        };
+        let n_keys: u64 = grouped.iter().map(|b| b.len() as u64).sum();
+        let bucket_bytes =
+            DataSize::from_bytes((n_keys * 4 / self.recv_buckets as u64).max(1));
+        let charge = self.kernels.count_sort_time(n_keys, bucket_bytes);
+        // The real sort.
+        let mut sorted = Vec::with_capacity(n_keys as usize);
+        for b in grouped {
+            sorted.extend(count_sort(&b));
+        }
+        debug_assert!(is_sorted(&sorted));
+        self.sorted = sorted;
+        ctx.self_in(charge, CountDone);
+    }
+
+    fn on_count_done(&mut self, ctx: &mut Ctx) {
+        assert_eq!(self.phase, Phase::Count);
+        self.timings.count += ctx.now().since(self.phase_entered);
+        self.phase = Phase::Done;
+        self.timings.done_at = Some(ctx.now());
+        // Every key we hold belongs to this rank.
+        debug_assert!(match &self.splitters {
+            Some(sp) => self
+                .sorted
+                .iter()
+                .all(|&k| destination_by_splitters(k, sp) == self.rank),
+            None =>
+                self.p == 1
+                    || self
+                        .sorted
+                        .iter()
+                        .all(|&k| destination_rank(k, self.p) == self.rank),
+        });
+    }
+
+    // ---- INIC path ----
+
+    fn on_gather(&mut self, g: InicGatherComplete, ctx: &mut Ctx) {
+        assert_eq!(self.phase, Phase::Exchange, "{}: gather out of phase", self.label);
+        self.timings.comm += ctx.now().since(self.phase_entered);
+        let bounds = g.bucket_bounds.expect("bucket/raw gather carries bounds");
+        self.card_bucket_data = Some((g.data, bounds));
+        match self.variant {
+            SortVariant::InicFull => self.begin_count(ctx),
+            SortVariant::InicTwoPhase | SortVariant::ProtocolOnly => self.begin_bucket2(ctx),
+            SortVariant::HostOnly => unreachable!(),
+        }
+    }
+}
+
+/// Group keys into `n` buckets by top bits, preserving order (the
+/// host-side phase-2 pass, shared by the commodity and prototype paths).
+fn bucket_sort_into_n(keys: &[u32], n: usize) -> Vec<Vec<u32>> {
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &k in keys {
+        buckets[bucket_index(k, n)].push(k);
+    }
+    buckets
+}
+
+impl Component for SortDriver {
+    fn handle(&mut self, ev: Box<dyn Any>, ctx: &mut Ctx) {
+        if ev.downcast_ref::<()>().is_some() {
+            match (&self.attachment, self.variant) {
+                (Attachment::Inic { card, .. }, SortVariant::ProtocolOnly) => {
+                    let card = *card;
+                    ctx.send_now(
+                        card,
+                        InicConfigure {
+                            bitstream: Bitstream::protocol_only(),
+                        },
+                    );
+                }
+                (Attachment::Inic { card, .. }, v) => {
+                    assert_ne!(v, SortVariant::HostOnly);
+                    let card = *card;
+                    let send_k = self.p.next_power_of_two().max(2);
+                    let recv_k = self.card_recv_buckets();
+                    ctx.send_now(
+                        card,
+                        InicConfigure {
+                            bitstream: Bitstream::int_sort(send_k.max(16), recv_k),
+                        },
+                    );
+                }
+                (Attachment::Tcp { .. }, SortVariant::HostOnly) => self.begin(ctx),
+                _ => panic!("{}: attachment/variant mismatch", self.label),
+            }
+            return;
+        }
+        let ev = match ev.downcast::<InicConfigured>() {
+            Ok(cfg) => {
+                cfg.result.unwrap_or_else(|e| {
+                    panic!("{}: sort bitstream rejected: {e}", self.label)
+                });
+                self.begin(ctx);
+                return;
+            }
+            Err(ev) => ev,
+        };
+        if ev.downcast_ref::<Bucket1Done>().is_some() {
+            return self.on_bucket1_done(ctx);
+        }
+        if ev.downcast_ref::<Bucket2Done>().is_some() {
+            return self.on_bucket2_done(ctx);
+        }
+        if ev.downcast_ref::<CountDone>().is_some() {
+            return self.on_count_done(ctx);
+        }
+        let ev = match ev.downcast::<TcpDelivered>() {
+            Ok(d) => return self.on_tcp_delivered(*d, ctx),
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<InicGatherComplete>() {
+            Ok(g) => return self.on_gather(*g, ctx),
+            Err(ev) => ev,
+        };
+        if ev.downcast_ref::<InicScatterDone>().is_some() {
+            return;
+        }
+        panic!("{}: unknown event", self.label);
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}

@@ -1,0 +1,27 @@
+//! # acc-core — the Adaptable Computing Cluster
+//!
+//! The paper's primary contribution, rebuilt as a library: Beowulf
+//! cluster scenarios where every node's network interface is either a
+//! commodity NIC (Fast Ethernet or Gigabit Ethernet over the modelled
+//! TCP stack) or an **INIC** — reconfigurable computing inserted in the
+//! network datapath (ideal Section-4 card or ACEII prototype).
+//!
+//! * [`cluster`] — build a P-node cluster of a chosen
+//!   [`cluster::Technology`] and run the two evaluation applications on
+//!   it end-to-end (real data, checked against serial oracles).
+//! * [`drivers`] — the per-node application drivers: the FFTW-template
+//!   2D FFT (Section 3.1) and the distributed integer sort
+//!   (Section 3.2), each with a commodity-NIC and an INIC
+//!   implementation.
+//! * [`model`] — the closed-form performance models of Section 4
+//!   (Eqs. 3–17), used for the INIC curves of Figs. 4 and 5 and
+//!   cross-checked against the simulator in tests.
+//! * [`report`] — speedup tables and gnuplot-style series shared by the
+//!   figure regenerators in `acc-bench`.
+
+pub mod cluster;
+pub mod drivers;
+pub mod model;
+pub mod report;
+
+pub use cluster::{ClusterSpec, FftRunResult, SortRunResult, Technology};

@@ -1,0 +1,172 @@
+//! The FFT performance model of Section 4.1 (Eqs. 3–10).
+
+use acc_host::HostKernels;
+use acc_sim::{DataSize, SimDuration};
+
+/// Bytes per complex double-precision element (Eq. 5's constant 16).
+pub const ELEM_BYTES: u64 = 16;
+
+/// The Section 4.1 model for the FFTW application on an ideal INIC.
+#[derive(Clone, Debug)]
+pub struct FftModel {
+    /// Matrix edge (the paper's `rows`; matrices are square).
+    pub rows: usize,
+    /// Host kernel calibration supplying `T_1D-FFT`.
+    pub kernels: HostKernels,
+}
+
+impl FftModel {
+    /// Model for a `rows × rows` transform with the standard Athlon
+    /// calibration.
+    pub fn new(rows: usize) -> FftModel {
+        FftModel {
+            rows,
+            kernels: HostKernels::athlon_1ghz(),
+        }
+    }
+
+    /// Eq. 5: the per-processor partition size
+    /// `S = rows² × 16 / P` in bytes.
+    pub fn partition_size(&self, p: usize) -> DataSize {
+        DataSize::from_bytes(self.rows as u64 * self.rows as u64 * ELEM_BYTES / p as u64)
+    }
+
+    /// Eq. 4: `T_compute = 2 × T_1D-FFT(rows) × rows / P`.
+    pub fn t_compute(&self, p: usize) -> SimDuration {
+        self.kernels.fft_compute_time(self.rows, p)
+    }
+
+    /// Eq. 6: host memory → FPGA memory, `(S/P) / 80 MiB/s`.
+    ///
+    /// Only `S/P` appears because movement is pipelined: after the first
+    /// processor's worth is on the card, the host-side transfer hides
+    /// behind transmission.
+    pub fn t_dtc(&self, p: usize) -> SimDuration {
+        let s_over_p = self.partition_size(p).bytes() / p as u64;
+        DataSize::from_bytes(s_over_p) / acc_sim::Bandwidth::from_mib_per_sec(80)
+    }
+
+    /// Eq. 7: FPGA memory → network, `(S/P) / 90 MiB/s`.
+    pub fn t_dtg(&self, p: usize) -> SimDuration {
+        let s_over_p = self.partition_size(p).bytes() / p as u64;
+        DataSize::from_bytes(s_over_p) / acc_sim::Bandwidth::from_mib_per_sec(90)
+    }
+
+    /// Eq. 8: receive from the network,
+    /// `((P−1) × S / P) / 90 MiB/s` — receives pipeline with sends after
+    /// one processor's worth is in flight.
+    pub fn t_dfg(&self, p: usize) -> SimDuration {
+        let bytes = (p as u64 - 1) * self.partition_size(p).bytes() / p as u64;
+        DataSize::from_bytes(bytes) / acc_sim::Bandwidth::from_mib_per_sec(90)
+    }
+
+    /// Eq. 9: the final copy to the host, `S / 80 MiB/s` — it "must wait
+    /// on all data to be received".
+    pub fn t_dth(&self, p: usize) -> SimDuration {
+        self.partition_size(p) / acc_sim::Bandwidth::from_mib_per_sec(80)
+    }
+
+    /// Eq. 10: both transposes,
+    /// `T_trans = 2 × (T_dtc + T_dtg + T_dfg + T_dth)`.
+    pub fn t_trans(&self, p: usize) -> SimDuration {
+        (self.t_dtc(p) + self.t_dtg(p) + self.t_dfg(p) + self.t_dth(p)) * 2
+    }
+
+    /// Eq. 3: `T = T_compute + T_trans` for the INIC implementation.
+    pub fn t_total(&self, p: usize) -> SimDuration {
+        self.t_compute(p) + self.t_trans(p)
+    }
+
+    /// The single-processor baseline used for every speedup curve: the
+    /// serial FFTW run — all compute plus two purely local transposes.
+    pub fn t_serial(&self) -> SimDuration {
+        let whole = DataSize::from_bytes(self.rows as u64 * self.rows as u64 * ELEM_BYTES);
+        self.t_compute(1) + self.kernels.local_transpose_time(whole) * 2
+    }
+
+    /// INIC speedup at `p` processors (Fig. 4(a)'s INIC curves).
+    pub fn speedup(&self, p: usize) -> f64 {
+        self.t_serial().as_secs_f64() / self.t_total(p).as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_size_matches_eq5() {
+        let m = FftModel::new(512);
+        // 512² × 16 = 4 MiB total.
+        assert_eq!(m.partition_size(1), DataSize::from_mib(4));
+        assert_eq!(m.partition_size(4), DataSize::from_mib(1));
+        assert_eq!(m.partition_size(16), DataSize::from_kib(256));
+    }
+
+    #[test]
+    fn transfer_terms_scale_as_the_equations_say() {
+        let m = FftModel::new(512);
+        for p in [2usize, 4, 8, 16] {
+            // t_dtc : t_dtg = 90 : 80 (same bytes, different rates).
+            let r = m.t_dtc(p).as_secs_f64() / m.t_dtg(p).as_secs_f64();
+            assert!((r - 90.0 / 80.0).abs() < 1e-6, "p={p} ratio {r}");
+            // t_dfg = (P-1) × t_dtg.
+            let q = m.t_dfg(p).as_secs_f64() / m.t_dtg(p).as_secs_f64();
+            assert!((q - (p as f64 - 1.0)).abs() < 1e-6, "p={p} q={q}");
+        }
+    }
+
+    #[test]
+    fn transpose_time_halves_roughly_with_p() {
+        // S scales as 1/P and every term scales down with it, so the
+        // modelled transpose time decreases superlinearly in P.
+        let m = FftModel::new(512);
+        let t2 = m.t_trans(2).as_secs_f64();
+        let t4 = m.t_trans(4).as_secs_f64();
+        let t8 = m.t_trans(8).as_secs_f64();
+        assert!(t2 > 1.8 * t4, "t2={t2} t4={t4}");
+        assert!(t4 > 1.8 * t8);
+    }
+
+    #[test]
+    fn speedup_is_near_linear_through_16() {
+        // Fig. 4(a): "near linear speedup for our INIC based system",
+        // superlinear where the partition drops into cache.
+        for rows in [256usize, 512] {
+            let m = FftModel::new(rows);
+            let s16 = m.speedup(16);
+            assert!(
+                s16 > 12.0,
+                "rows={rows}: INIC speedup at P=16 is {s16:.2}, paper shows ≳14"
+            );
+            // Monotone increasing over the evaluated range.
+            let mut prev = 0.0;
+            for p in [1usize, 2, 4, 8, 16] {
+                let s = m.speedup(p);
+                assert!(s > prev, "rows={rows} p={p}: {s} ≤ {prev}");
+                prev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn speedup_at_one_processor_close_to_unity() {
+        // At P=1 the model still charges card round trips, so speedup is
+        // slightly below 1 — it must not exceed the serial baseline.
+        let m = FftModel::new(256);
+        let s = m.speedup(1);
+        assert!((0.5..=1.0).contains(&s), "speedup(1) = {s}");
+    }
+
+    #[test]
+    fn transpose_is_communication_bound_at_scale() {
+        // Past the cache knee compute shrinks 1/P while t_dth shrinks
+        // 1/P too — the model stays balanced; just sanity-check both
+        // components stay positive and finite.
+        let m = FftModel::new(512);
+        for p in [2usize, 4, 8, 16] {
+            assert!(m.t_compute(p) > SimDuration::ZERO);
+            assert!(m.t_trans(p) > SimDuration::ZERO);
+        }
+    }
+}

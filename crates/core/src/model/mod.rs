@@ -1,0 +1,13 @@
+//! Closed-form performance models — the paper's Section 4.
+//!
+//! These are the equations the paper uses to predict the next-generation
+//! INIC's performance (its prototype could not reach them). They are
+//! deliberately implemented *literally*, constant-for-constant, so a
+//! reader can diff them against the paper; the simulator cross-checks
+//! them in `tests/model_vs_sim.rs`.
+
+pub mod fft;
+pub mod sort;
+
+pub use fft::FftModel;
+pub use sort::SortModel;

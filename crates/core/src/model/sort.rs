@@ -1,0 +1,188 @@
+//! The integer-sort performance model of Section 4.2 (Eqs. 11–17).
+
+use acc_host::HostKernels;
+use acc_sim::{Bandwidth, DataSize, SimDuration};
+
+/// Bytes per key (Eq. 12's constant 4).
+pub const KEY_BYTES: u64 = 4;
+
+/// INIC packet size assumed by Eqs. 13–14.
+pub const PACKET_BYTES: u64 = 1024;
+
+/// The minimum card→host transfer for DMA efficiency (Eq. 15's 65536).
+pub const DMA_MIN: u64 = 65_536;
+
+/// The Section 4.2 model for the parallel integer sort on an ideal INIC.
+#[derive(Clone, Debug)]
+pub struct SortModel {
+    /// Total keys sorted across the cluster (the paper's `E_init`,
+    /// 2²⁵ in Fig. 5).
+    pub total_keys: u64,
+    /// Host kernel calibration for `T_countsort` and the Gigabit
+    /// baseline's bucket phases.
+    pub kernels: HostKernels,
+}
+
+impl SortModel {
+    /// Model for `total_keys` keys (the paper's Fig. 5 uses 2²⁵).
+    pub fn new(total_keys: u64) -> SortModel {
+        SortModel {
+            total_keys,
+            kernels: HostKernels::athlon_1ghz(),
+        }
+    }
+
+    /// Receive-side bucket count `N`, "based on the data size": enough
+    /// buckets that each holds ≈128 KiB (cache-resident), floored at the
+    /// paper's 128-bucket minimum.
+    pub fn recv_buckets(&self, p: usize) -> u64 {
+        let keys_per_node = self.total_keys / p as u64;
+        let needed = (keys_per_node * KEY_BYTES)
+            .div_ceil(128 * 1024)
+            .max(128);
+        needed.next_power_of_two()
+    }
+
+    /// Eq. 12: partition size `S = 4 × E_init / P` bytes.
+    pub fn partition_size(&self, p: usize) -> DataSize {
+        DataSize::from_bytes(KEY_BYTES * self.total_keys / p as u64)
+    }
+
+    /// Eq. 13: `T_dtc = P × 1024 / 80 MiB/s` — the worst-case wait for
+    /// the first packet's worth of each destination's bin to fill before
+    /// transmission can begin.
+    pub fn t_dtc(&self, p: usize) -> SimDuration {
+        DataSize::from_bytes(p as u64 * PACKET_BYTES) / Bandwidth::from_mib_per_sec(80)
+    }
+
+    /// Eq. 14: `T_dtg = P × 1024 / 90 MiB/s`.
+    pub fn t_dtg(&self, p: usize) -> SimDuration {
+        DataSize::from_bytes(p as u64 * PACKET_BYTES) / Bandwidth::from_mib_per_sec(90)
+    }
+
+    /// Eq. 15: `T_dfg = N × 65536 / 90 MiB/s` — N bucket-threshold
+    /// fills before any one bucket is guaranteed to cross the DMA
+    /// threshold.
+    pub fn t_dfg(&self, p: usize) -> SimDuration {
+        DataSize::from_bytes(self.recv_buckets(p) * DMA_MIN) / Bandwidth::from_mib_per_sec(90)
+    }
+
+    /// Eq. 16: `T_dth = S / 80 MiB/s` — retrieving the results.
+    pub fn t_dth(&self, p: usize) -> SimDuration {
+        self.partition_size(p) / Bandwidth::from_mib_per_sec(80)
+    }
+
+    /// Eq. 17: `T_INIC = T_dtc + T_dtg + T_dfg + T_dth`.
+    pub fn t_inic(&self, p: usize) -> SimDuration {
+        self.t_dtc(p) + self.t_dtg(p) + self.t_dfg(p) + self.t_dth(p)
+    }
+
+    /// The final count-sort phase on `E/P` keys in cache-resident
+    /// buckets — "dependent on the number of elements on each processor
+    /// and thus the same for any of our implementations".
+    pub fn t_countsort(&self, p: usize) -> SimDuration {
+        let keys = self.total_keys / p as u64;
+        let bucket_bytes = DataSize::from_bytes(
+            (keys * KEY_BYTES / self.recv_buckets(p)).max(1),
+        );
+        self.kernels.count_sort_time(keys, bucket_bytes)
+    }
+
+    /// Eq. 11: `T = T_countsort + T_INIC`.
+    pub fn t_total(&self, p: usize) -> SimDuration {
+        self.t_countsort(p) + self.t_inic(p)
+    }
+
+    /// The serial baseline: both bucket-sort passes over DRAM-resident
+    /// data (the "over 5 seconds" of Section 4.2) plus the count sort.
+    pub fn t_serial(&self) -> SimDuration {
+        let working = self.partition_size(1);
+        let bucket = self.kernels.bucket_sort_time(self.total_keys, working);
+        bucket + bucket + self.t_countsort(1)
+    }
+
+    /// INIC speedup (Fig. 5(b)'s INIC curve). Superlinear, because the
+    /// serial baseline carries the bucket sorts the INIC absorbs.
+    pub fn speedup(&self, p: usize) -> f64 {
+        self.t_serial().as_secs_f64() / self.t_total(p).as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_model() -> SortModel {
+        SortModel::new(1 << 25)
+    }
+
+    #[test]
+    fn partition_matches_fig5a_axis() {
+        // Fig. 5(a) right axis: ~131072 KB at P=1 for 2²⁵ keys.
+        let m = paper_model();
+        assert_eq!(m.partition_size(1).bytes(), 128 * 1024 * 1024);
+        assert_eq!(m.partition_size(16).bytes(), 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn latency_terms_are_small_against_dma_term() {
+        // Eqs. 13–15 are latency offsets; Eq. 16 carries the volume. At
+        // the paper's scale the DMA term dominates.
+        let m = paper_model();
+        for p in [2usize, 4, 8, 16] {
+            let latency = m.t_dtc(p) + m.t_dtg(p) + m.t_dfg(p);
+            assert!(
+                m.t_dth(p) > latency,
+                "p={p}: t_dth {:?} vs latency {:?}",
+                m.t_dth(p),
+                latency
+            );
+        }
+    }
+
+    #[test]
+    fn countsort_time_matches_fig5a_scale() {
+        // Fig. 5(a): count sort ≈ 2.3 s at P=1, halving with P.
+        let m = paper_model();
+        let t1 = m.t_countsort(1).as_secs_f64();
+        assert!((1.9..2.6).contains(&t1), "t_countsort(1) = {t1}");
+        let t2 = m.t_countsort(2).as_secs_f64();
+        assert!((t1 / t2 - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn inic_speedup_is_superlinear() {
+        // Fig. 5(b): the INIC curve rises well above the ideal line
+        // because the serial baseline's ~5 s of bucket sorting vanishes.
+        let m = paper_model();
+        for p in [2usize, 4, 8, 16] {
+            let s = m.speedup(p);
+            assert!(
+                s > p as f64,
+                "p={p}: INIC speedup {s:.2} should exceed linear"
+            );
+        }
+        // And the paper's Fig. 5(b) tops out near ~30 at P=16.
+        let s16 = m.speedup(16);
+        assert!((20.0..40.0).contains(&s16), "speedup(16) = {s16:.1}");
+    }
+
+    #[test]
+    fn speedup_grows_monotonically() {
+        let m = paper_model();
+        let mut prev = 0.0;
+        for p in [1usize, 2, 4, 8, 16] {
+            let s = m.speedup(p);
+            assert!(s > prev, "p={p}: {s} ≤ {prev}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn eq13_is_linear_in_p() {
+        let m = paper_model();
+        let a = m.t_dtc(4).as_secs_f64();
+        let b = m.t_dtc(8).as_secs_f64();
+        assert!((b / a - 2.0).abs() < 1e-9);
+    }
+}

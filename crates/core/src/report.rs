@@ -1,0 +1,199 @@
+//! Report formatting shared by the figure regenerators.
+//!
+//! Each paper figure is a set of named series over a processor-count
+//! axis. [`FigureReport`] collects them and prints both a human-readable
+//! table and a gnuplot/CSV block, so `cargo run -p acc-bench --bin
+//! fig4a` (etc.) reproduces the figure's data exactly.
+
+use std::fmt::Write as _;
+
+/// One named data series (e.g. "INIC Speedup 512x512").
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points; `x` is usually the processor count.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Empty series.
+    pub fn new(name: impl Into<String>) -> Series {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The y value at a given x, if present.
+    pub fn at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|&&(px, _)| (px - x).abs() < 1e-9)
+            .map(|&(_, y)| y)
+    }
+}
+
+/// A figure: axis labels plus its series.
+#[derive(Clone, Debug)]
+pub struct FigureReport {
+    /// Figure id, e.g. "Figure 4(a)".
+    pub id: String,
+    /// Caption summarising what is plotted.
+    pub caption: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl FigureReport {
+    /// New empty figure.
+    pub fn new(
+        id: impl Into<String>,
+        caption: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> FigureReport {
+        FigureReport {
+            id: id.into(),
+            caption: caption.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a series.
+    pub fn add(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// All x values appearing in any series, sorted and deduplicated.
+    pub fn x_values(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        xs
+    }
+
+    /// Render as an aligned text table (one row per x, one column per
+    /// series).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.caption);
+        let _ = writeln!(out, "# x: {}   y: {}", self.x_label, self.y_label);
+        let mut header = format!("{:>8}", self.x_label);
+        for s in &self.series {
+            let _ = write!(header, "  {:>28}", s.name);
+        }
+        let _ = writeln!(out, "{header}");
+        for x in self.x_values() {
+            let mut row = format!("{x:>8.0}");
+            for s in &self.series {
+                match s.at(x) {
+                    Some(y) => {
+                        let _ = write!(row, "  {y:>28.3}");
+                    }
+                    None => {
+                        let _ = write!(row, "  {:>28}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out, "{row}");
+        }
+        out
+    }
+
+    /// Render as CSV (header row then one line per x).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let mut header = self.x_label.clone();
+        for s in &self.series {
+            let _ = write!(header, ",{}", s.name);
+        }
+        let _ = writeln!(out, "{header}");
+        for x in self.x_values() {
+            let mut row = format!("{x}");
+            for s in &self.series {
+                match s.at(x) {
+                    Some(y) => {
+                        let _ = write!(row, ",{y}");
+                    }
+                    None => row.push(','),
+                }
+            }
+            let _ = writeln!(out, "{row}");
+        }
+        out
+    }
+
+    /// Print both renderings to stdout (what the `fig*` binaries do).
+    pub fn print(&self) {
+        println!("{}", self.to_table());
+        println!("--- CSV ---");
+        println!("{}", self.to_csv());
+    }
+}
+
+/// The processor counts the paper's figures sweep.
+pub const PAPER_PROC_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureReport {
+        let mut fig = FigureReport::new("Fig T", "test", "P", "speedup");
+        let mut a = Series::new("a");
+        a.push(1.0, 1.0);
+        a.push(2.0, 1.9);
+        let mut b = Series::new("b");
+        b.push(2.0, 1.5);
+        b.push(4.0, 2.5);
+        fig.add(a);
+        fig.add(b);
+        fig
+    }
+
+    #[test]
+    fn x_values_union_sorted() {
+        assert_eq!(sample().x_values(), vec![1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn series_lookup() {
+        let fig = sample();
+        assert_eq!(fig.series[0].at(2.0), Some(1.9));
+        assert_eq!(fig.series[0].at(4.0), None);
+    }
+
+    #[test]
+    fn table_contains_all_series_and_gaps() {
+        let t = sample().to_table();
+        assert!(t.contains("Fig T"));
+        assert!(t.contains('a') && t.contains('b'));
+        assert!(t.contains('-'), "missing points render as dashes");
+    }
+
+    #[test]
+    fn csv_round_numbers() {
+        let c = sample().to_csv();
+        let mut lines = c.lines();
+        assert_eq!(lines.next(), Some("P,a,b"));
+        assert_eq!(lines.next(), Some("1,1,"));
+        assert_eq!(lines.next(), Some("2,1.9,1.5"));
+        assert_eq!(lines.next(), Some("4,,2.5"));
+    }
+}

@@ -1,0 +1,1093 @@
+//! The Intelligent NIC card component.
+//!
+//! One [`InicCard`] per node replaces the TCP stack of the commodity
+//! path. The host driver (in `acc-core`) interacts with it through four
+//! messages:
+//!
+//! * [`InicConfigure`] — load a bitstream (checked against the device's
+//!   CLB capacity; the prototype *cannot* load the 128-bucket sorter).
+//! * [`InicScatter`] — hand over a local partition; the card streams it
+//!   host→FPGA, applies the send-side operator (block transpose or
+//!   bucket distribution), packetizes and transmits each piece to its
+//!   destination node. Transmission starts as soon as one packet's worth
+//!   of a destination's data exists — the "no computational cost for
+//!   starting a send" property of Section 3.2.2.
+//! * [`InicExpect`] — announce the inbound streams of an all-to-all.
+//! * incoming frames — de-packetized, transformed (interleave/bucket)
+//!   and accumulated in INIC memory; bucket gathers DMA to the host in
+//!   64 KiB pieces as thresholds fill (Eq. 15), interleave gathers DMA
+//!   once all data is present (Eq. 9). One completion interrupt per
+//!   gather — "virtual elimination of interrupts" (Section 4.1).
+//!
+//! Timing flows through [`EngineTimeline`]s. The **ideal** card has four
+//! independent engines (host-in/out at 80 MiB/s, net-in/out at
+//! 90 MiB/s — the Eq. 6–9 rates); the **prototype** funnels all four
+//! directions through a single 132 MB/s timeline, reproducing the ACEII
+//! bottleneck. Data transforms are *functional*: the bytes delivered to
+//! the host are checked against host-side oracles in tests.
+
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+
+use acc_algos::sort::{bucket_index, bytes_to_keys, keys_to_bytes};
+use acc_algos::transpose::{bytes_to_slab, extract_transposed_block, interleave_block, slab_to_bytes};
+use acc_net::port::EgressPort;
+use acc_net::{EtherType, Frame, FrameArrival, MacAddr, PortTxDone};
+use acc_proto::{InicPacket, StreamDemux, INIC_HEADER, INIC_PAYLOAD};
+use acc_sim::{Bandwidth, Component, ComponentId, Ctx, DataSize, SimDuration, SimTime};
+
+use crate::device::{Bitstream, ConfigError, FpgaDevice};
+use crate::ops::OperatorKind;
+use crate::timeline::EngineTimeline;
+
+/// Minimum card→host DMA transfer "to ensure efficiency of the DMA
+/// operation" (Eq. 15's 64 KiB).
+pub const DMA_THRESHOLD: u64 = 65_536;
+
+/// Per-destination flow-control window: a sender may have at most this
+/// many un-credited payload bytes in flight toward one peer. With
+/// P−1 ≤ 15 senders converging on one receiver, 24 KiB per sender keeps
+/// the switch's 512 KiB output buffer from overflowing even under
+/// pathological skew — the guarantee the paper gets from its balanced
+/// schedule, generalised to unbalanced traffic.
+pub const CREDIT_WINDOW: u64 = 24 * 1024;
+
+/// The receiver returns a credit packet after consuming this many bytes
+/// from one sender.
+pub const CREDIT_QUANTUM: u64 = CREDIT_WINDOW / 4;
+
+/// The card's datapath port model.
+pub enum CardPorts {
+    /// Ideal INIC: independent pipelined engines per direction.
+    Dual {
+        /// Host→card DMA engine (Eq. 6: 80 MiB/s).
+        host_in: EngineTimeline,
+        /// Card→host DMA engine (Eq. 9: 80 MiB/s).
+        host_out: EngineTimeline,
+        /// Network→card engine (Eq. 8: 90 MiB/s).
+        net_in: EngineTimeline,
+        /// Card→network engine (Eq. 7: 90 MiB/s).
+        net_out: EngineTimeline,
+    },
+    /// ACEII prototype: one bus carries everything.
+    Shared {
+        /// The single 132 MB/s card bus.
+        bus: EngineTimeline,
+    },
+}
+
+impl CardPorts {
+    /// The Section 4 ideal card.
+    pub fn ideal() -> CardPorts {
+        CardPorts::Dual {
+            host_in: EngineTimeline::new(Bandwidth::from_mib_per_sec(80), SimDuration::ZERO),
+            host_out: EngineTimeline::new(Bandwidth::from_mib_per_sec(80), SimDuration::ZERO),
+            net_in: EngineTimeline::new(Bandwidth::from_mib_per_sec(90), SimDuration::ZERO),
+            net_out: EngineTimeline::new(Bandwidth::from_mib_per_sec(90), SimDuration::ZERO),
+        }
+    }
+
+    /// The ACEII prototype card.
+    pub fn aceii() -> CardPorts {
+        CardPorts::Shared {
+            bus: EngineTimeline::new(
+                Bandwidth::from_mb_per_sec(132),
+                SimDuration::from_micros(1),
+            ),
+        }
+    }
+
+    fn host_in(&mut self, now: SimTime, bytes: DataSize) -> SimTime {
+        match self {
+            CardPorts::Dual { host_in, .. } => host_in.reserve(now, bytes),
+            CardPorts::Shared { bus } => bus.reserve(now, bytes),
+        }
+    }
+
+    fn host_out(&mut self, now: SimTime, bytes: DataSize) -> SimTime {
+        match self {
+            CardPorts::Dual { host_out, .. } => host_out.reserve(now, bytes),
+            CardPorts::Shared { bus } => bus.reserve(now, bytes),
+        }
+    }
+
+    fn net_in(&mut self, now: SimTime, bytes: DataSize) -> SimTime {
+        match self {
+            CardPorts::Dual { net_in, .. } => net_in.reserve(now, bytes),
+            CardPorts::Shared { bus } => bus.reserve(now, bytes),
+        }
+    }
+
+    fn net_out(&mut self, now: SimTime, bytes: DataSize) -> SimTime {
+        match self {
+            CardPorts::Dual { net_out, .. } => net_out.reserve(now, bytes),
+            CardPorts::Shared { bus } => bus.reserve(now, bytes),
+        }
+    }
+}
+
+/// The send-side transform of a scatter.
+#[derive(Clone, Debug)]
+pub enum ScatterKind {
+    /// FFT transpose: the data is an `M × rows` slab; block `q`
+    /// (transposed on the fly) goes to destination `q`.
+    TransposeBlocks {
+        /// Block edge (rows per processor).
+        m: usize,
+    },
+    /// Integer sort: the data is a key stream; key `k` goes to
+    /// destination `bucket_index(k, p)` — or, when `splitters` is set,
+    /// to the rank whose sampled key range contains it. The splitter
+    /// table is a small comparator cascade on the card (the pre-sort
+    /// sampling extension for non-uniform keys).
+    BucketKeys {
+        /// Number of destinations (processors).
+        p: usize,
+        /// Optional `p − 1` range splitters (ascending).
+        splitters: Option<Vec<u32>>,
+    },
+    /// Protocol-processor mode: the host already performed the data
+    /// manipulation; the card only packetizes and transmits.
+    /// `parts[q]` is the byte length destined for rank `q`; `data` is
+    /// their concatenation in ring order (own rank's part first, then
+    /// `rank+1`, `rank+2`, …).
+    Raw {
+        /// Rank-indexed part lengths.
+        parts: Vec<usize>,
+    },
+    /// Collective extension: replicate the whole buffer to every
+    /// destination (the send half of the naive AllReduce).
+    Broadcast,
+}
+
+/// The receive-side transform and DMA policy of a gather.
+#[derive(Clone, Copy, Debug)]
+pub enum GatherKind {
+    /// FFT transpose receive: interleave each source's `M × M` block
+    /// into column-block position `src` of the output slab; DMA the slab
+    /// to the host only once complete (Eq. 9).
+    InterleaveBlocks {
+        /// Block edge.
+        m: usize,
+        /// Output slab width (= m × P).
+        rows: usize,
+    },
+    /// Sort receive: distribute incoming keys into `k` on-card buckets;
+    /// DMA to the host in 64 KiB pieces as data accumulates (Eq. 15).
+    BucketKeys {
+        /// On-card bucket count (16 on the prototype, ≥128 ideal).
+        k: usize,
+    },
+    /// Protocol-processor mode: no transform; streams trickle to the
+    /// host as they arrive and are delivered per source (the
+    /// `bucket_bounds` of [`InicGatherComplete`] carry the per-source
+    /// end offsets, ordered by source rank).
+    Raw,
+    /// Collective extension: element-wise sum of every source's f64
+    /// vector in card memory; only the reduced vector crosses to the
+    /// host (the receive half of AllReduce).
+    ReduceF64 {
+        /// Vector length in elements.
+        elems: usize,
+    },
+}
+
+/// Driver → card: load a bitstream.
+#[derive(Debug)]
+pub struct InicConfigure {
+    /// Operators to configure.
+    pub bitstream: Bitstream,
+}
+
+/// Card → driver: configuration finished (or was rejected).
+#[derive(Debug)]
+pub struct InicConfigured {
+    /// `Err` if the device lacks the logic resources.
+    pub result: Result<(), ConfigError>,
+}
+
+/// Driver → card: stream a partition out to the cluster.
+#[derive(Debug)]
+pub struct InicScatter {
+    /// Transfer id (shared by all nodes in one collective).
+    pub stream: u32,
+    /// Send-side transform.
+    pub kind: ScatterKind,
+    /// The partition's bytes (slab or key stream).
+    pub data: Vec<u8>,
+    /// Destination table: `dests[q]` is the MAC of rank `q`; the entry
+    /// for this card's own rank routes through card memory without
+    /// touching the wire.
+    pub dests: Vec<MacAddr>,
+}
+
+/// Driver → card: announce the inbound side of a collective.
+#[derive(Debug)]
+pub struct InicExpect {
+    /// Transfer id.
+    pub stream: u32,
+    /// Receive-side transform / DMA policy.
+    pub kind: GatherKind,
+    /// `(src_rank, total_bytes)` per inbound stream; `None` totals are
+    /// learned from the fin packet (sort).
+    pub sources: Vec<(u32, Option<usize>)>,
+}
+
+/// Card → driver: a scatter's last packet has left the card.
+#[derive(Debug)]
+pub struct InicScatterDone {
+    /// Transfer id.
+    pub stream: u32,
+}
+
+/// Card → driver: a gather is fully assembled in host memory.
+#[derive(Debug)]
+pub struct InicGatherComplete {
+    /// Transfer id.
+    pub stream: u32,
+    /// The assembled bytes (output slab, or keys grouped by bucket).
+    pub data: Vec<u8>,
+    /// For bucket gathers: end offset (in bytes) of each bucket within
+    /// `data`.
+    pub bucket_bounds: Option<Vec<usize>>,
+}
+
+// --- internal events ---
+
+/// Configuration delay elapsed.
+struct ConfigDone {
+    result: Result<(), ConfigError>,
+}
+
+/// A send chunk finished host→card DMA + send transform.
+struct ChunkStaged;
+
+/// A frame's payload cleared net→card + receive transform.
+struct RecvProcessed {
+    pkt: InicPacket,
+    /// Sender's MAC (for returning flow-control credits); `None` for
+    /// local loopback chunks, which bypass flow control.
+    src_mac: Option<MacAddr>,
+}
+
+/// Card→net engine finished; put the frame on the wire.
+struct EmitFrame {
+    frame: Frame,
+}
+
+/// All host-out DMA for a gather completed.
+struct GatherDmaDone {
+    stream: u32,
+}
+
+/// One queued send chunk.
+struct SendChunk {
+    dest: Option<MacAddr>,
+    pkt: InicPacket,
+    /// Whether this chunk's bytes cross host→card DMA. Broadcast
+    /// replicas are cloned in card memory, so only the first copy pays
+    /// the host bus.
+    charge_host: bool,
+    /// Last chunk of its scatter: emit [`InicScatterDone`] after it.
+    ends_scatter: bool,
+}
+
+/// Per-gather receive state.
+struct Gather {
+    kind: GatherKind,
+    /// Streams still open.
+    remaining: usize,
+    /// Completed per-source payloads (src_rank → bytes).
+    done: Vec<(u32, Vec<u8>)>,
+    /// Bytes received but not yet DMA'd to the host (bucket gathers).
+    undma: u64,
+    /// Completion time of the last host-out DMA issued for this gather.
+    dma_done_at: SimTime,
+    /// Whether final assembly has been scheduled.
+    finishing: bool,
+}
+
+/// The INIC card component (NIC + FPGA datapath).
+pub struct InicCard {
+    label: String,
+    my_rank: u32,
+    mac: MacAddr,
+    app: ComponentId,
+    uplink: EgressPort,
+    device: FpgaDevice,
+    bitstream: Option<Bitstream>,
+    ports: CardPorts,
+    /// Send-side transform pipeline.
+    xform_send: EngineTimeline,
+    /// Receive-side transform pipeline.
+    xform_recv: EngineTimeline,
+    /// Chunks awaiting host→card admission.
+    send_queue: VecDeque<SendChunk>,
+    /// Whether a host-in admission is outstanding.
+    host_in_busy: bool,
+    demux: StreamDemux,
+    gathers: HashMap<u32, Gather>,
+    /// Packets that arrived before their gather was announced (a fast
+    /// peer can be one phase ahead); replayed on [`InicExpect`].
+    early_pkts: HashMap<u32, Vec<InicPacket>>,
+    /// Per-destination flow-control window (defaults to
+    /// [`CREDIT_WINDOW`]; the credit-window ablation sweeps it).
+    credit_window: u64,
+    /// Un-credited payload bytes in flight per destination MAC.
+    outstanding: HashMap<MacAddr, u64>,
+    /// Bytes consumed from each source MAC not yet returned as credit.
+    pending_credit: HashMap<MacAddr, u64>,
+    /// Cost of the single completion interrupt per gather.
+    completion_interrupt: SimDuration,
+    /// Bytes of card memory currently committed (scatter staging +
+    /// gather accumulation).
+    mem_in_use: u64,
+    interrupts_raised: u64,
+}
+
+impl InicCard {
+    /// Build a card. `uplink` must be wired to the switch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        label: impl Into<String>,
+        my_rank: u32,
+        mac: MacAddr,
+        app: ComponentId,
+        uplink: EgressPort,
+        device: FpgaDevice,
+        ports: CardPorts,
+    ) -> InicCard {
+        InicCard {
+            label: label.into(),
+            my_rank,
+            mac,
+            app,
+            uplink,
+            device,
+            bitstream: None,
+            ports,
+            // Until configured, transforms run at a placeholder rate;
+            // configure() resets these from the bitstream.
+            xform_send: EngineTimeline::new(
+                Bandwidth::from_mib_per_sec(300),
+                SimDuration::ZERO,
+            ),
+            xform_recv: EngineTimeline::new(
+                Bandwidth::from_mib_per_sec(300),
+                SimDuration::ZERO,
+            ),
+            send_queue: VecDeque::new(),
+            host_in_busy: false,
+            demux: StreamDemux::new(),
+            gathers: HashMap::new(),
+            early_pkts: HashMap::new(),
+            credit_window: CREDIT_WINDOW,
+            outstanding: HashMap::new(),
+            pending_credit: HashMap::new(),
+            completion_interrupt: SimDuration::from_micros(12),
+            mem_in_use: 0,
+            interrupts_raised: 0,
+        }
+    }
+
+    /// Override the per-destination flow-control window (builder
+    /// style); used by the credit-window ablation.
+    #[must_use]
+    pub fn with_credit_window(mut self, bytes: u64) -> InicCard {
+        assert!(bytes >= 2048, "window must hold at least two packets");
+        self.credit_window = bytes;
+        self
+    }
+
+    /// Completion interrupts raised so far (the paper's "single
+    /// interrupt per transpose" claim is asserted against this).
+    pub fn interrupts_raised(&self) -> u64 {
+        self.interrupts_raised
+    }
+
+    /// The configured bitstream, if any.
+    pub fn bitstream(&self) -> Option<&Bitstream> {
+        self.bitstream.as_ref()
+    }
+
+    // ---- configuration ----
+
+    fn on_configure(&mut self, bitstream: Bitstream, ctx: &mut Ctx) {
+        let result = bitstream.check(&self.device);
+        if result.is_ok() {
+            let rate = bitstream
+                .min_rate()
+                .unwrap_or(Bandwidth::from_mib_per_sec(300));
+            self.xform_send = EngineTimeline::new(rate, SimDuration::ZERO);
+            self.xform_recv = EngineTimeline::new(rate, SimDuration::ZERO);
+            self.bitstream = Some(bitstream);
+        }
+        ctx.self_in(self.device.config_time, ConfigDone { result });
+    }
+
+    // ---- scatter (send) path ----
+
+    fn on_scatter(&mut self, scatter: InicScatter, ctx: &mut Ctx) {
+        {
+            let bs = self
+                .bitstream
+                .as_ref()
+                .expect("scatter before configuration");
+            assert!(bs.has(OperatorKind::Packetize), "bitstream lacks Packetize");
+            match &scatter.kind {
+                ScatterKind::TransposeBlocks { m } => assert!(
+                    bs.has(OperatorKind::LocalTranspose { m: *m }),
+                    "bitstream lacks LocalTranspose{{{m}}}"
+                ),
+                ScatterKind::BucketKeys { p, splitters } => {
+                    assert!(
+                        bs.operators().iter().any(|o| matches!(
+                            o.kind,
+                            OperatorKind::BucketSort { k } if k >= *p
+                        )),
+                        "bitstream lacks a BucketSort wide enough for P={p}"
+                    );
+                    if let Some(sp) = splitters {
+                        assert_eq!(sp.len() + 1, *p, "need P-1 splitters");
+                        assert!(
+                            sp.windows(2).all(|w| w[0] <= w[1]),
+                            "splitters must be ascending"
+                        );
+                    }
+                }
+                ScatterKind::Raw { parts } => {
+                    assert_eq!(
+                        parts.len(),
+                        scatter.dests.len(),
+                        "raw parts must cover every destination"
+                    );
+                    assert_eq!(
+                        parts.iter().sum::<usize>(),
+                        scatter.data.len(),
+                        "raw parts must cover the data exactly"
+                    );
+                }
+                ScatterKind::Broadcast => {}
+            }
+        }
+        // Scatter data is streamed, never resident: only a FIFO's worth
+        // of packets occupies card memory at any instant, so no
+        // reservation is taken against the device's memory budget.
+        let p = scatter.dests.len();
+        let chunks: Vec<(Option<MacAddr>, InicPacket)> = match &scatter.kind {
+            ScatterKind::TransposeBlocks { m } => self.plan_transpose_scatter(&scatter, *m, p),
+            ScatterKind::BucketKeys { p: kp, splitters } => {
+                assert_eq!(*kp, p, "bucket fan-out must match dests");
+                let splitters = splitters.clone();
+                self.plan_bucket_scatter(&scatter, p, splitters.as_deref())
+            }
+            ScatterKind::Raw { parts } => {
+                let parts = parts.clone();
+                self.plan_raw_scatter(&scatter, &parts, p)
+            }
+            ScatterKind::Broadcast => self.plan_broadcast_scatter(&scatter, p),
+        };
+        let broadcast = matches!(scatter.kind, ScatterKind::Broadcast);
+        let n = chunks.len();
+        let mut seen_offsets: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for (i, (dest, pkt)) in chunks.into_iter().enumerate() {
+            // Broadcast replicas of an already-fetched packet stay in
+            // card memory; every other scatter pays host DMA per chunk.
+            let charge_host = !broadcast || seen_offsets.insert(pkt.offset);
+            self.send_queue.push_back(SendChunk {
+                dest,
+                pkt,
+                charge_host,
+                ends_scatter: i == n - 1,
+            });
+        }
+        self.admit_next_chunk(ctx);
+    }
+
+    /// Cut an FFT slab into per-destination transposed blocks.
+    fn plan_transpose_scatter(
+        &self,
+        scatter: &InicScatter,
+        m: usize,
+        p: usize,
+    ) -> Vec<(Option<MacAddr>, InicPacket)> {
+        let elem = 16;
+        let total_elems = scatter.data.len() / elem;
+        let rows = total_elems / m;
+        assert_eq!(rows, m * p, "slab shape inconsistent with dests");
+        let slab = bytes_to_slab(&scatter.data, m, rows);
+        let mut out = Vec::new();
+        // Destinations in ring-schedule order: start with our own block
+        // (it never touches the wire), then (rank+1), (rank+2), …
+        for step in 0..p {
+            let q = (self.my_rank as usize + step) % p;
+            let block = extract_transposed_block(&slab, q);
+            let bytes = slab_to_bytes(&block);
+            let dest = if q == self.my_rank as usize {
+                None
+            } else {
+                Some(scatter.dests[q])
+            };
+            for pkt in InicPacket::packetize(self.my_rank, scatter.stream, &bytes) {
+                out.push((dest, pkt));
+            }
+        }
+        out
+    }
+
+    /// Route keys to their destination ranks, emitting each packet as
+    /// soon as a destination's staging buffer fills (one-packet
+    /// threshold).
+    fn plan_bucket_scatter(
+        &self,
+        scatter: &InicScatter,
+        p: usize,
+        splitters: Option<&[u32]>,
+    ) -> Vec<(Option<MacAddr>, InicPacket)> {
+        let keys = bytes_to_keys(&scatter.data);
+        let mut staging: Vec<Vec<u32>> = vec![Vec::new(); p];
+        let mut offsets: Vec<u32> = vec![0; p];
+        let keys_per_pkt = INIC_PAYLOAD / 4;
+        let mut out = Vec::new();
+        let emit = |q: usize,
+                        staging: &mut Vec<Vec<u32>>,
+                        offsets: &mut Vec<u32>,
+                        fin: bool,
+                        out: &mut Vec<(Option<MacAddr>, InicPacket)>| {
+            let bytes = keys_to_bytes(&staging[q]);
+            staging[q].clear();
+            let pkt = InicPacket {
+                src_rank: self.my_rank,
+                stream: scatter.stream,
+                offset: offsets[q],
+                fin,
+                credit: false,
+                data: bytes,
+            };
+            offsets[q] += pkt.data.len() as u32;
+            let dest = if q == self.my_rank as usize {
+                None
+            } else {
+                Some(scatter.dests[q])
+            };
+            out.push((dest, pkt));
+        };
+        for &key in &keys {
+            // P=1 degenerates to a local pass-through.
+            let q = match splitters {
+                Some(sp) => acc_algos::sort::destination_by_splitters(key, sp),
+                None if p == 1 => 0,
+                None => bucket_index(key, p),
+            };
+            staging[q].push(key);
+            if staging[q].len() == keys_per_pkt {
+                emit(q, &mut staging, &mut offsets, false, &mut out);
+            }
+        }
+        // Flush every destination with a fin packet (possibly empty) so
+        // receivers learn the totals.
+        for q in 0..p {
+            emit(q, &mut staging, &mut offsets, true, &mut out);
+        }
+        out
+    }
+
+    /// Cut host-prepared per-destination parts into packets without any
+    /// transform (protocol-processor mode).
+    fn plan_raw_scatter(
+        &self,
+        scatter: &InicScatter,
+        parts: &[usize],
+        p: usize,
+    ) -> Vec<(Option<MacAddr>, InicPacket)> {
+        let mut out = Vec::new();
+        let mut offset = 0usize;
+        for step in 0..p {
+            let q = (self.my_rank as usize + step) % p;
+            let len = parts[q];
+            let segment = &scatter.data[offset..offset + len];
+            offset += len;
+            let local = q == self.my_rank as usize;
+            if local && len == 0 {
+                // Nothing for ourselves: no loopback fin needed (remote
+                // peers still get one so they learn a zero total).
+                continue;
+            }
+            let dest = if local { None } else { Some(scatter.dests[q]) };
+            for pkt in InicPacket::packetize(self.my_rank, scatter.stream, segment) {
+                out.push((dest, pkt));
+            }
+        }
+        assert_eq!(offset, scatter.data.len(), "raw parts did not consume data");
+        out
+    }
+
+    /// Replicate the buffer to every destination (AllReduce send half).
+    /// Packet-major order: each packet is fetched from host memory once
+    /// and its card-memory replicas follow immediately.
+    fn plan_broadcast_scatter(
+        &self,
+        scatter: &InicScatter,
+        p: usize,
+    ) -> Vec<(Option<MacAddr>, InicPacket)> {
+        let pkts = InicPacket::packetize(self.my_rank, scatter.stream, &scatter.data);
+        let mut out = Vec::with_capacity(pkts.len() * p);
+        for pkt in pkts {
+            for step in 0..p {
+                let q = (self.my_rank as usize + step) % p;
+                let dest = if q == self.my_rank as usize {
+                    None
+                } else {
+                    Some(scatter.dests[q])
+                };
+                out.push((dest, pkt.clone()));
+            }
+        }
+        out
+    }
+
+    fn admit_next_chunk(&mut self, ctx: &mut Ctx) {
+        if self.host_in_busy {
+            return;
+        }
+        // Find the first chunk whose destination window has room,
+        // rotating blocked chunks to the back (out-of-order emission is
+        // fine — receivers reassemble by offset). Local chunks bypass
+        // flow control.
+        let mut scanned = 0usize;
+        let total = self.send_queue.len();
+        while scanned < total {
+            let admissible = {
+                let chunk = self.send_queue.front().expect("scanned < len");
+                match chunk.dest {
+                    None => true,
+                    Some(mac) => {
+                        let inflight = self.outstanding.get(&mac).copied().unwrap_or(0);
+                        inflight + chunk.pkt.data.len() as u64 <= self.credit_window
+                    }
+                }
+            };
+            if admissible {
+                let chunk = self.send_queue.front().expect("checked");
+                if let Some(mac) = chunk.dest {
+                    *self.outstanding.entry(mac).or_insert(0) +=
+                        chunk.pkt.data.len() as u64;
+                }
+                let bytes =
+                    DataSize::from_bytes((chunk.pkt.data.len() + INIC_HEADER) as u64);
+                self.host_in_busy = true;
+                if chunk.charge_host {
+                    let t1 = self.ports.host_in(ctx.now(), bytes);
+                    let t2 = self.xform_send.reserve(t1, bytes);
+                    ctx.self_in(t2.since(ctx.now()), ChunkStaged);
+                } else {
+                    // Card-memory replica: no host DMA, no transform.
+                    ctx.self_in(acc_sim::SimDuration::ZERO, ChunkStaged);
+                }
+                return;
+            }
+            let blocked = self.send_queue.pop_front().expect("checked");
+            self.send_queue.push_back(blocked);
+            scanned += 1;
+        }
+        // Every queued destination is window-blocked; a returning
+        // credit will re-run admission.
+    }
+
+    fn on_chunk_staged(&mut self, ctx: &mut Ctx) {
+        self.host_in_busy = false;
+        let chunk = self
+            .send_queue
+            .pop_front()
+            .expect("ChunkStaged with empty queue");
+        // Start the next chunk's DMA immediately (pipelining).
+        self.admit_next_chunk(ctx);
+        let bytes = DataSize::from_bytes((chunk.pkt.data.len() + INIC_HEADER) as u64);
+        match chunk.dest {
+            Some(mac) => {
+                let t3 = self.ports.net_out(ctx.now(), bytes);
+                let frame = Frame::new(self.mac, mac, EtherType::Inic, chunk.pkt.encode());
+                ctx.self_in(t3.since(ctx.now()), EmitFrame { frame });
+                if chunk.ends_scatter {
+                    let stream = chunk.pkt.stream;
+                    ctx.send_in(
+                        t3.since(ctx.now()),
+                        self.app,
+                        InicScatterDone { stream },
+                    );
+                }
+            }
+            None => {
+                // Local loopback: pass straight to the receive transform.
+                let t3 = self.xform_recv.reserve(ctx.now(), bytes);
+                let pkt = chunk.pkt.clone();
+                ctx.self_in(
+                    t3.since(ctx.now()),
+                    RecvProcessed {
+                        pkt,
+                        src_mac: None,
+                    },
+                );
+                if chunk.ends_scatter {
+                    let stream = chunk.pkt.stream;
+                    ctx.send_in(
+                        t3.since(ctx.now()),
+                        self.app,
+                        InicScatterDone { stream },
+                    );
+                }
+            }
+        }
+    }
+
+    // ---- gather (receive) path ----
+
+    fn on_expect(&mut self, expect: InicExpect, ctx: &mut Ctx) {
+        let bs = self.bitstream.as_ref().expect("expect before configuration");
+        match expect.kind {
+            GatherKind::InterleaveBlocks { m, rows } => {
+                assert!(
+                    bs.has(OperatorKind::InterleaveBlocks { m }),
+                    "bitstream lacks InterleaveBlocks{{{m}}}"
+                );
+                // The full output slab accumulates in card memory.
+                self.reserve_memory((m * rows * 16) as u64);
+            }
+            GatherKind::BucketKeys { k } => {
+                assert!(
+                    bs.has(OperatorKind::BucketSort { k }),
+                    "bitstream lacks BucketSort{{{k}}}"
+                );
+            }
+            GatherKind::Raw => {
+                // Pure protocol processing; any datapath can pass data
+                // through.
+            }
+            GatherKind::ReduceF64 { elems } => {
+                assert!(
+                    bs.has(OperatorKind::ReduceSum),
+                    "bitstream lacks ReduceSum"
+                );
+                // The accumulator vector lives in card memory.
+                self.reserve_memory(elems as u64 * 8);
+            }
+        }
+        for &(src, total) in &expect.sources {
+            match total {
+                Some(t) => self.demux.expect(src, expect.stream, t),
+                None => self.demux.expect_unknown(src, expect.stream),
+            }
+        }
+        let prev = self.gathers.insert(
+            expect.stream,
+            Gather {
+                kind: expect.kind,
+                remaining: expect.sources.len(),
+                done: Vec::new(),
+                undma: 0,
+                dma_done_at: ctx.now(),
+                finishing: false,
+            },
+        );
+        assert!(prev.is_none(), "gather {} announced twice", expect.stream);
+        // Replay packets that beat the announcement (credits were
+        // already granted when they first arrived).
+        if let Some(early) = self.early_pkts.remove(&expect.stream) {
+            for pkt in early {
+                self.replay_recv(pkt, ctx);
+            }
+        }
+    }
+
+    fn on_frame(&mut self, frame: Frame, ctx: &mut Ctx) {
+        debug_assert_eq!(frame.ethertype, EtherType::Inic);
+        let bytes = DataSize::from_bytes(frame.payload.len() as u64);
+        let t1 = self.ports.net_in(ctx.now(), bytes);
+        let t2 = self.xform_recv.reserve(t1, bytes);
+        let pkt = InicPacket::decode(&frame.payload);
+        let src_mac = Some(frame.src);
+        ctx.self_in(t2.since(ctx.now()), RecvProcessed { pkt, src_mac });
+    }
+
+    fn on_recv_processed(&mut self, pkt: InicPacket, src_mac: Option<MacAddr>, ctx: &mut Ctx) {
+        // Flow-control credit: the peer consumed `offset` bytes of our
+        // in-flight data; reopen its window and retry admission.
+        if pkt.credit {
+            let mac = src_mac.expect("credits only arrive off the wire");
+            let entry = self.outstanding.entry(mac).or_insert(0);
+            *entry = entry.saturating_sub(u64::from(pkt.offset));
+            self.admit_next_chunk(ctx);
+            return;
+        }
+        // Grant credit back to remote senders as their data is consumed.
+        if let Some(mac) = src_mac {
+            let pending = self.pending_credit.entry(mac).or_insert(0);
+            *pending += pkt.data.len() as u64;
+            if *pending >= self.credit_window / 4 || pkt.fin {
+                let amount = *pending;
+                *pending = 0;
+                self.send_credit(mac, pkt.stream, amount, ctx);
+            }
+        }
+        if !self.gathers.contains_key(&pkt.stream) {
+            // Gather not announced yet: buffer in card memory.
+            self.early_pkts.entry(pkt.stream).or_default().push(pkt);
+            return;
+        }
+        self.accept_into_gather(pkt, ctx);
+    }
+
+    /// Account a data packet against its gather: trickle DMA for
+    /// bucket/raw gathers, stream reassembly, and completion.
+    fn accept_into_gather(&mut self, pkt: InicPacket, ctx: &mut Ctx) {
+        let stream = pkt.stream;
+        let gather = self.gathers.get_mut(&stream).expect("gather announced");
+        // Bucket gathers trickle data to the host in DMA_THRESHOLD
+        // pieces as it accumulates (Eq. 15); interleave gathers hold
+        // everything on the card until complete (Eq. 9).
+        if matches!(
+            gather.kind,
+            GatherKind::BucketKeys { .. } | GatherKind::Raw
+        ) {
+            gather.undma += pkt.data.len() as u64;
+            let mut dma_pieces = 0u64;
+            while gather.undma >= DMA_THRESHOLD {
+                gather.undma -= DMA_THRESHOLD;
+                dma_pieces += 1;
+            }
+            for _ in 0..dma_pieces {
+                let end = self
+                    .ports
+                    .host_out(ctx.now(), DataSize::from_bytes(DMA_THRESHOLD));
+                let g = self.gathers.get_mut(&stream).expect("still present");
+                if end > g.dma_done_at {
+                    g.dma_done_at = end;
+                }
+            }
+        }
+        if let Some((src, _s, data)) = self.demux.accept(&pkt) {
+            let gather = self.gathers.get_mut(&stream).expect("checked above");
+            gather.done.push((src, data));
+            gather.remaining -= 1;
+            if gather.remaining == 0 && !gather.finishing {
+                gather.finishing = true;
+                self.finish_gather(stream, ctx);
+            }
+        }
+    }
+
+    /// All streams complete: issue the remaining host DMA and schedule
+    /// final assembly.
+    fn finish_gather(&mut self, stream: u32, ctx: &mut Ctx) {
+        let (kind, undma, total_bytes) = {
+            let g = &self.gathers[&stream];
+            let total: usize = g.done.iter().map(|(_, d)| d.len()).sum();
+            (g.kind, g.undma, total as u64)
+        };
+        let tail = match kind {
+            // Interleave: the whole slab crosses to the host now, in
+            // efficient DMA-threshold pieces.
+            GatherKind::InterleaveBlocks { .. } => total_bytes,
+            // Bucket/raw: only the sub-threshold remainder is left.
+            GatherKind::BucketKeys { .. } | GatherKind::Raw => undma,
+            // Reduce: only the reduced vector crosses to the host.
+            GatherKind::ReduceF64 { elems } => elems as u64 * 8,
+        };
+        let mut last = ctx.now();
+        let mut left = tail;
+        while left > 0 {
+            let piece = left.min(DMA_THRESHOLD);
+            last = self.ports.host_out(ctx.now(), DataSize::from_bytes(piece));
+            left -= piece;
+        }
+        let g = self.gathers.get_mut(&stream).expect("present");
+        if last > g.dma_done_at {
+            g.dma_done_at = last;
+        }
+        let delay = g.dma_done_at.saturating_since(ctx.now()) + self.completion_interrupt;
+        ctx.self_in(delay, GatherDmaDone { stream });
+    }
+
+    fn on_gather_dma_done(&mut self, stream: u32, ctx: &mut Ctx) {
+        let mut gather = self.gathers.remove(&stream).expect("gather state");
+        self.interrupts_raised += 1;
+        ctx.stats().counter(&self.label, "completion_interrupts").inc();
+        // Deterministic assembly order: by source rank.
+        gather.done.sort_by_key(|&(src, _)| src);
+        let (data, bucket_bounds) = match gather.kind {
+            GatherKind::InterleaveBlocks { m, rows } => {
+                let mut out = acc_algos::fft::Matrix::zeros(m, rows);
+                for (src, bytes) in &gather.done {
+                    let block = bytes_to_slab(bytes, m, m);
+                    interleave_block(&mut out, *src as usize, &block);
+                }
+                self.release_memory((m * rows * 16) as u64);
+                (slab_to_bytes(&out), None)
+            }
+            GatherKind::BucketKeys { k } => {
+                // Keys grouped into the card's k buckets, preserving
+                // (src-rank, arrival) order within each bucket.
+                let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); k];
+                for (_src, bytes) in &gather.done {
+                    for key in bytes_to_keys(bytes) {
+                        buckets[bucket_index(key, k)].push(key);
+                    }
+                }
+                let mut bounds = Vec::with_capacity(k);
+                let mut flat = Vec::new();
+                for b in &buckets {
+                    flat.extend_from_slice(b);
+                    bounds.push(flat.len() * 4);
+                }
+                (keys_to_bytes(&flat), Some(bounds))
+            }
+            GatherKind::Raw => {
+                // Per-source concatenation (already sorted by rank),
+                // with per-source end offsets in the bounds.
+                let mut flat = Vec::new();
+                let mut bounds = Vec::with_capacity(gather.done.len());
+                for (_src, bytes) in &gather.done {
+                    flat.extend_from_slice(bytes);
+                    bounds.push(flat.len());
+                }
+                (flat, Some(bounds))
+            }
+            GatherKind::ReduceF64 { elems } => {
+                let mut acc = vec![0.0f64; elems];
+                for (src, bytes) in &gather.done {
+                    assert_eq!(
+                        bytes.len(),
+                        elems * 8,
+                        "source {src} vector length mismatch"
+                    );
+                    for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+                        acc[i] += f64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+                    }
+                }
+                self.release_memory(elems as u64 * 8);
+                let mut out = Vec::with_capacity(elems * 8);
+                for v in acc {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                (out, None)
+            }
+        };
+        ctx.send_now(
+            self.app,
+            InicGatherComplete {
+                stream,
+                data,
+                bucket_bounds,
+            },
+        );
+    }
+
+    /// Emit a zero-data credit packet to `mac` re-granting `amount`
+    /// consumed bytes. Credits ride the normal net-out path (they cost
+    /// a minimum-size frame of wire time).
+    fn send_credit(&mut self, mac: MacAddr, stream: u32, amount: u64, ctx: &mut Ctx) {
+        let pkt = InicPacket {
+            src_rank: self.my_rank,
+            stream,
+            offset: amount as u32,
+            fin: false,
+            credit: true,
+            data: vec![],
+        };
+        let bytes = DataSize::from_bytes(INIC_HEADER as u64);
+        let t = self.ports.net_out(ctx.now(), bytes);
+        let frame = Frame::new(self.mac, mac, EtherType::Inic, pkt.encode());
+        ctx.self_in(t.since(ctx.now()), EmitFrame { frame });
+    }
+
+    /// Re-deliver an early-buffered data packet to its (now announced)
+    /// gather, skipping the credit bookkeeping already done on arrival.
+    fn replay_recv(&mut self, pkt: InicPacket, ctx: &mut Ctx) {
+        debug_assert!(!pkt.credit);
+        let stream = pkt.stream;
+        assert!(
+            self.gathers.contains_key(&stream),
+            "replay into missing gather"
+        );
+        self.accept_into_gather(pkt, ctx);
+    }
+
+    // ---- card memory accounting ----
+
+    fn reserve_memory(&mut self, bytes: u64) {
+        self.mem_in_use += bytes;
+        assert!(
+            self.mem_in_use <= self.device.memory.bytes(),
+            "{}: card memory exhausted ({} > {}) — partition too large for {}",
+            self.label,
+            self.mem_in_use,
+            self.device.memory.bytes(),
+            self.device.part
+        );
+    }
+
+    fn release_memory(&mut self, bytes: u64) {
+        self.mem_in_use = self.mem_in_use.saturating_sub(bytes);
+    }
+}
+
+impl Component for InicCard {
+    fn handle(&mut self, ev: Box<dyn Any>, ctx: &mut Ctx) {
+        let ev = match ev.downcast::<InicConfigure>() {
+            Ok(cfg) => return self.on_configure(cfg.bitstream, ctx),
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<ConfigDone>() {
+            Ok(done) => {
+                let app = self.app;
+                ctx.send_now(app, InicConfigured { result: done.result });
+                return;
+            }
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<InicScatter>() {
+            Ok(s) => return self.on_scatter(*s, ctx),
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<InicExpect>() {
+            Ok(e) => return self.on_expect(*e, ctx),
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<ChunkStaged>() {
+            Ok(_) => return self.on_chunk_staged(ctx),
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<EmitFrame>() {
+            Ok(emit) => {
+                let ok = self.uplink.enqueue(emit.frame, ctx);
+                assert!(
+                    ok,
+                    "{}: INIC uplink overflow — schedule oversubscribed the NIC buffer",
+                    self.label
+                );
+                return;
+            }
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<FrameArrival>() {
+            Ok(arr) => return self.on_frame(arr.frame, ctx),
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<RecvProcessed>() {
+            Ok(r) => return self.on_recv_processed(r.pkt, r.src_mac, ctx),
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<PortTxDone>() {
+            Ok(_) => return self.uplink.tx_done(ctx),
+            Err(ev) => ev,
+        };
+        match ev.downcast::<GatherDmaDone>() {
+            Ok(d) => self.on_gather_dma_done(d.stream, ctx),
+            Err(_) => panic!("inic {}: unknown event", self.label),
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}

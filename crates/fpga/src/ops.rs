@@ -1,0 +1,137 @@
+//! Streaming dataflow operators and their resource costs.
+//!
+//! A bitstream is a set of operators wired into the datapath (Figs. 2(b),
+//! 3(b), 7 of the paper all draw exactly these blocks: FIFOs, packetize/
+//! de-packetize, a local transpose or bucket sort, and a permutation
+//! memory). Each operator costs CLBs — the scarce resource that forced
+//! the prototype's two-phase bucket sort — and sustains a streaming rate.
+
+use acc_sim::Bandwidth;
+
+/// The operator vocabulary of the paper's datapath diagrams.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum OperatorKind {
+    /// Rate-decoupling FIFO between stages.
+    Fifo,
+    /// Cut an outgoing stream into wire packets and add headers.
+    Packetize,
+    /// Strip headers and reassemble an incoming stream.
+    Depacketize,
+    /// Transpose M×M blocks of 16-byte elements on the fly (FFT send
+    /// side, Fig. 2(b) top).
+    LocalTranspose {
+        /// Block edge length.
+        m: usize,
+    },
+    /// Interleave received blocks into the output slab via the
+    /// permutation memory (FFT receive side, Fig. 2(b) bottom).
+    InterleaveBlocks {
+        /// Block edge length.
+        m: usize,
+    },
+    /// Distribute 32-bit keys into `k` buckets by top bits (integer
+    /// sort, Fig. 3(b)); `k` drives the CLB cost — the full receive-side
+    /// sort needs ≥128 buckets, which the 4085XLA cannot hold.
+    BucketSort {
+        /// Bucket count (power of two).
+        k: usize,
+    },
+    /// Element-wise sum of incoming f64 streams into an accumulator in
+    /// INIC memory — the collective-operations extension the paper's
+    /// summary points at ("the potential to accelerate functions
+    /// ranging from collective operations to MPI derived data types").
+    ReduceSum,
+    /// Identity (protocol-processor mode).
+    Passthrough,
+}
+
+/// An operator instance with its resource and performance envelope.
+#[derive(Clone, Copy, Debug)]
+pub struct OperatorSpec {
+    /// What it does.
+    pub kind: OperatorKind,
+    /// Configurable-logic-block cost on the device.
+    pub clbs: u32,
+    /// Sustained streaming rate through the operator.
+    pub rate: Bandwidth,
+}
+
+impl OperatorKind {
+    /// Default synthesis result for this operator on the 4085XLA-class
+    /// parts the prototype uses. CLB counts follow the structure of each
+    /// block: the bucket sorter needs a comparator tree, a bucket-state
+    /// table and `k` packet builders, so it scales with `k`; transpose
+    /// and interleave are address-generator dominated.
+    pub fn spec(self) -> OperatorSpec {
+        let (clbs, rate_mib) = match self {
+            OperatorKind::Fifo => (60, 400),
+            OperatorKind::Packetize => (120, 400),
+            OperatorKind::Depacketize => (120, 400),
+            OperatorKind::LocalTranspose { m } => (250 + (m as u32) / 8, 300),
+            OperatorKind::InterleaveBlocks { m } => (250 + (m as u32) / 8, 300),
+            OperatorKind::BucketSort { k } => {
+                assert!(k.is_power_of_two() && k >= 2, "bucket operator needs power-of-two k");
+                (180 + 24 * k as u32, 350)
+            }
+            // A double-precision accumulator pipeline: wide adder plus
+            // accumulator addressing.
+            OperatorKind::ReduceSum => (420, 250),
+            OperatorKind::Passthrough => (10, 1000),
+        };
+        OperatorSpec {
+            kind: self,
+            clbs,
+            rate: Bandwidth::from_mib_per_sec(rate_mib),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_sort_cost_scales_with_k() {
+        let k16 = OperatorKind::BucketSort { k: 16 }.spec().clbs;
+        let k128 = OperatorKind::BucketSort { k: 128 }.spec().clbs;
+        assert!(k16 < k128);
+        // 16 buckets fit a 4085XLA (3136 CLBs) with room for the
+        // protocol blocks; 128 buckets alone exceed it.
+        assert!(k16 < 1000);
+        assert!(k128 > 3136);
+    }
+
+    #[test]
+    fn transpose_cost_grows_slowly_with_block_size() {
+        let m32 = OperatorKind::LocalTranspose { m: 32 }.spec().clbs;
+        let m256 = OperatorKind::LocalTranspose { m: 256 }.spec().clbs;
+        assert!(m256 > m32);
+        assert!(m256 < 400, "transpose must stay cheap: {m256}");
+    }
+
+    #[test]
+    fn rates_exceed_the_card_buses() {
+        // Operators must not be the bottleneck on either card generation
+        // (the paper's bottlenecks are the buses, not the logic).
+        for kind in [
+            OperatorKind::Fifo,
+            OperatorKind::Packetize,
+            OperatorKind::Depacketize,
+            OperatorKind::LocalTranspose { m: 64 },
+            OperatorKind::InterleaveBlocks { m: 64 },
+            OperatorKind::BucketSort { k: 16 },
+        ] {
+            let rate = kind.spec().rate;
+            assert!(
+                rate.bytes_per_sec() >= Bandwidth::from_mib_per_sec(150).bytes_per_sec(),
+                "{kind:?} too slow"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn bucket_operator_rejects_bad_k() {
+        OperatorKind::BucketSort { k: 12 }.spec();
+    }
+}

@@ -1,0 +1,257 @@
+//! Interrupt costs and moderation (coalescing).
+//!
+//! Two facts from the paper drive this module (Section 4.1):
+//!
+//! 1. "modern systems are incapable of handling an interrupt per packet
+//!    at the full data rate of Gigabit Ethernet" — at ~81 k frames/s and
+//!    ~12 µs per interrupt the CPU would saturate, so
+//! 2. "high speed network interfaces typically use some form of
+//!    interrupt mitigation — based on a time-out or number of messages
+//!    received ... but it interacts poorly with TCP slow-start for short
+//!    messages" — the coalescing timer adds latency to every ACK-clocked
+//!    round trip, which is fatal when cwnd is still small.
+//!
+//! The INIC "virtually eliminates interrupts from the communication
+//! path" — it needs no moderation at all: a single completion interrupt
+//! per bulk transfer, charged by the INIC card model directly.
+
+use acc_sim::SimDuration;
+
+/// CPU costs of interrupt-driven receive processing, calibrated to a
+/// 2001-era Linux 2.4 kernel on the 1 GHz Athlon.
+#[derive(Clone, Copy, Debug)]
+pub struct InterruptCosts {
+    /// Fixed cost of taking one interrupt (context save, handler entry,
+    /// cache pollution).
+    pub per_interrupt: SimDuration,
+    /// Per-segment protocol processing (checksum already on NIC; header
+    /// parsing, socket demux, copy scheduling).
+    pub per_segment: SimDuration,
+}
+
+impl InterruptCosts {
+    /// The calibration used throughout: 12 µs per interrupt, 3 µs per
+    /// segment. At these costs per-frame interrupts at GigE line rate
+    /// would consume ~122% of the CPU — the infeasibility the paper
+    /// asserts (checked by a unit test below).
+    pub fn athlon_linux24() -> InterruptCosts {
+        InterruptCosts {
+            per_interrupt: SimDuration::from_micros(12),
+            per_segment: SimDuration::from_micros(3),
+        }
+    }
+
+    /// Total CPU time to service one interrupt covering `segments`
+    /// coalesced segments.
+    pub fn service_time(&self, segments: u32) -> SimDuration {
+        self.per_interrupt + self.per_segment * u64::from(segments)
+    }
+}
+
+/// When the NIC raises a receive interrupt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModerationPolicy {
+    /// Interrupt on every frame (the infeasible baseline; kept for the
+    /// protocol ablation bench).
+    PerFrame,
+    /// Coalesce: interrupt when `max_frames` are pending or `timeout`
+    /// after the first pending frame, whichever first. SysKonnect-class
+    /// defaults are tens of frames / ~100 µs.
+    Coalesced {
+        /// Frame-count threshold.
+        max_frames: u32,
+        /// Timer from first un-serviced frame.
+        timeout: SimDuration,
+    },
+}
+
+impl ModerationPolicy {
+    /// The SysKonnect-like default used for the Gigabit Ethernet runs.
+    pub fn syskonnect_default() -> ModerationPolicy {
+        ModerationPolicy::Coalesced {
+            max_frames: 16,
+            timeout: SimDuration::from_micros(100),
+        }
+    }
+}
+
+/// What the NIC model must do after notifying the moderator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModeratorAction {
+    /// Raise the interrupt now.
+    FireNow,
+    /// Arm (or keep) a timer to fire after this delay from *now*.
+    ArmTimer(SimDuration),
+    /// Nothing to do (timer already armed, or spurious timer).
+    None,
+}
+
+/// The coalescing state machine. Pure — the owning NIC component calls
+/// [`on_frame`](Self::on_frame) per arrival, schedules timers for
+/// [`ModeratorAction::ArmTimer`], calls [`on_timer`](Self::on_timer) when
+/// they fire, and [`service`](Self::service) when the interrupt is taken.
+#[derive(Clone, Debug)]
+pub struct InterruptModerator {
+    policy: ModerationPolicy,
+    pending: u32,
+    timer_armed: bool,
+    /// Timer generation counter: a serviced batch invalidates in-flight
+    /// timers so a stale timer event is recognised and ignored.
+    generation: u64,
+    interrupts_raised: u64,
+    frames_seen: u64,
+}
+
+impl InterruptModerator {
+    /// New moderator with the given policy.
+    pub fn new(policy: ModerationPolicy) -> InterruptModerator {
+        InterruptModerator {
+            policy,
+            pending: 0,
+            timer_armed: false,
+            generation: 0,
+            interrupts_raised: 0,
+            frames_seen: 0,
+        }
+    }
+
+    /// A frame has arrived in the NIC ring.
+    pub fn on_frame(&mut self) -> ModeratorAction {
+        self.pending += 1;
+        self.frames_seen += 1;
+        match self.policy {
+            ModerationPolicy::PerFrame => ModeratorAction::FireNow,
+            ModerationPolicy::Coalesced {
+                max_frames,
+                timeout,
+            } => {
+                if self.pending >= max_frames {
+                    ModeratorAction::FireNow
+                } else if !self.timer_armed {
+                    self.timer_armed = true;
+                    ModeratorAction::ArmTimer(timeout)
+                } else {
+                    ModeratorAction::None
+                }
+            }
+        }
+    }
+
+    /// A previously armed timer fired; `generation` is the value of
+    /// [`timer_generation`](Self::timer_generation) captured when it was
+    /// armed.
+    pub fn on_timer(&mut self, generation: u64) -> ModeratorAction {
+        if generation != self.generation || self.pending == 0 {
+            // Stale: an interrupt already serviced this batch.
+            return ModeratorAction::None;
+        }
+        ModeratorAction::FireNow
+    }
+
+    /// Current timer generation; capture when arming a timer.
+    pub fn timer_generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The interrupt is being taken: returns the number of frames
+    /// serviced and resets the batch.
+    pub fn service(&mut self) -> u32 {
+        let n = self.pending;
+        self.pending = 0;
+        self.timer_armed = false;
+        self.generation += 1;
+        self.interrupts_raised += 1;
+        n
+    }
+
+    /// Frames seen / interrupts raised so far (for the ablation reports).
+    pub fn totals(&self) -> (u64, u64) {
+        (self.frames_seen, self.interrupts_raised)
+    }
+
+    /// Frames currently awaiting an interrupt.
+    pub fn pending(&self) -> u32 {
+        self.pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_frame_interrupts_are_infeasible_at_line_rate() {
+        // The Section 4.1 claim: max-size GigE frames arrive every
+        // 12.304 µs; servicing each costs 15 µs > arrival interval.
+        let costs = InterruptCosts::athlon_linux24();
+        let per_frame = costs.service_time(1);
+        let arrival_interval = SimDuration::from_nanos(12_304);
+        assert!(per_frame > arrival_interval);
+    }
+
+    #[test]
+    fn coalescing_restores_feasibility() {
+        // 16 frames per interrupt: 12 + 16×3 = 60 µs per 16×12.3 µs.
+        let costs = InterruptCosts::athlon_linux24();
+        let batch = costs.service_time(16);
+        let arrival_interval = SimDuration::from_nanos(12_304 * 16);
+        assert!(batch < arrival_interval);
+    }
+
+    #[test]
+    fn per_frame_policy_fires_every_time() {
+        let mut m = InterruptModerator::new(ModerationPolicy::PerFrame);
+        for _ in 0..5 {
+            assert_eq!(m.on_frame(), ModeratorAction::FireNow);
+            assert_eq!(m.service(), 1);
+        }
+        assert_eq!(m.totals(), (5, 5));
+    }
+
+    #[test]
+    fn coalesced_fires_on_count_threshold() {
+        let mut m = InterruptModerator::new(ModerationPolicy::Coalesced {
+            max_frames: 3,
+            timeout: SimDuration::from_micros(100),
+        });
+        assert!(matches!(m.on_frame(), ModeratorAction::ArmTimer(_)));
+        assert_eq!(m.on_frame(), ModeratorAction::None);
+        assert_eq!(m.on_frame(), ModeratorAction::FireNow);
+        assert_eq!(m.service(), 3);
+    }
+
+    #[test]
+    fn coalesced_timer_flushes_partial_batch() {
+        let mut m = InterruptModerator::new(ModerationPolicy::syskonnect_default());
+        let action = m.on_frame();
+        let generation = m.timer_generation();
+        assert!(matches!(action, ModeratorAction::ArmTimer(_)));
+        assert_eq!(m.on_timer(generation), ModeratorAction::FireNow);
+        assert_eq!(m.service(), 1);
+    }
+
+    #[test]
+    fn stale_timer_is_ignored() {
+        let mut m = InterruptModerator::new(ModerationPolicy::Coalesced {
+            max_frames: 2,
+            timeout: SimDuration::from_micros(100),
+        });
+        m.on_frame();
+        let stale_generation = m.timer_generation();
+        assert_eq!(m.on_frame(), ModeratorAction::FireNow); // threshold
+        assert_eq!(m.service(), 2);
+        // The armed timer now fires late: must be recognised as stale.
+        assert_eq!(m.on_timer(stale_generation), ModeratorAction::None);
+    }
+
+    #[test]
+    fn timer_rearms_for_next_batch() {
+        let mut m = InterruptModerator::new(ModerationPolicy::syskonnect_default());
+        m.on_frame();
+        let generation = m.timer_generation();
+        m.on_timer(generation);
+        m.service();
+        // Next frame after service arms a fresh timer.
+        assert!(matches!(m.on_frame(), ModeratorAction::ArmTimer(_)));
+    }
+}

@@ -1,0 +1,267 @@
+//! Calibrated host-CPU cost models for the application kernels.
+//!
+//! The simulator charges compute time from closed-form models whose
+//! constants are anchored to the paper's own measurements on the 1 GHz
+//! Athlon testbed:
+//!
+//! * **Count sort** — Fig. 5(a) shows ≈2.3 s for the full 2²⁵-key problem
+//!   on one processor ⇒ ≈15 M keys/s when buckets are cache-resident.
+//! * **Bucket sort** — Section 4.2 attributes "over 5 seconds in the
+//!   serial implementation" to the two bucket-sort phases of 2²⁵ keys
+//!   ⇒ ≈13 M keys/s per pass on DRAM-resident data.
+//! * **1D FFT** — FFTW-class split-radix code sustains a few hundred
+//!   MFLOPS on this machine; 350 MFLOPS cache-resident / 150 MFLOPS
+//!   DRAM-resident reproduces the compute curve and its cache knees
+//!   (the paper: "the curve is smooth except at 2–3 and 6–8 processors
+//!   where the local partition fits into a faster level of the memory
+//!   hierarchy").
+//! * **Quicksort** — the paper measured count sort "as much as 2.5×
+//!   faster than quicksort"; the model gives quicksort the standard
+//!   `n log n` comparison cost at a rate that lands in that ratio.
+//!
+//! All methods return [`SimDuration`] so drivers charge them directly.
+
+use acc_sim::{DataSize, SimDuration};
+
+use crate::memory::MemoryHierarchy;
+
+/// Calibrated per-node kernel cost models.
+#[derive(Clone, Debug)]
+pub struct HostKernels {
+    mem: MemoryHierarchy,
+    /// Effective FFT rate when the working set is cache-resident (FLOP/s).
+    flops_cache: f64,
+    /// Effective FFT rate when the working set streams from DRAM.
+    flops_dram: f64,
+    /// Bucket-sort throughput, cache-resident (keys/s).
+    bucket_rate_cache: f64,
+    /// Bucket-sort throughput, DRAM-resident (keys/s).
+    bucket_rate_dram: f64,
+    /// Count-sort throughput when the bucket fits cache (keys/s).
+    count_rate_cache: f64,
+    /// Count-sort throughput when it does not (keys/s).
+    count_rate_dram: f64,
+    /// Quicksort rate divisor: comparisons/s.
+    quicksort_cmp_rate: f64,
+    /// Fraction of streaming bandwidth achieved by the strided accesses
+    /// of a local matrix transpose in DRAM.
+    transpose_efficiency_dram: f64,
+    /// Same, when the block is cache-resident.
+    transpose_efficiency_cache: f64,
+}
+
+impl HostKernels {
+    /// The 1 GHz Athlon calibration used throughout the reproduction.
+    pub fn athlon_1ghz() -> HostKernels {
+        HostKernels {
+            mem: MemoryHierarchy::athlon_1ghz(),
+            flops_cache: 350.0e6,
+            flops_dram: 150.0e6,
+            bucket_rate_cache: 40.0e6,
+            bucket_rate_dram: 13.0e6,
+            count_rate_cache: 15.0e6,
+            count_rate_dram: 5.0e6,
+            quicksort_cmp_rate: 90.0e6,
+            transpose_efficiency_dram: 0.35,
+            transpose_efficiency_cache: 0.8,
+        }
+    }
+
+    /// The memory hierarchy behind these models.
+    pub fn memory(&self) -> &MemoryHierarchy {
+        &self.mem
+    }
+
+    /// Time for one 1D complex-double FFT of length `n`, given the total
+    /// per-processor working set (which decides the cache residency of
+    /// the row data). Cost = `5 n log₂ n` FLOPs at the effective rate.
+    pub fn fft_row_time(&self, n: usize, working_set: DataSize) -> SimDuration {
+        assert!(n.is_power_of_two() && n >= 2, "FFT length must be a power of two ≥ 2");
+        let flops = 5.0 * n as f64 * (n.trailing_zeros() as f64);
+        let rate = if self.mem.fits_in_cache(working_set) {
+            self.flops_cache
+        } else {
+            self.flops_dram
+        };
+        SimDuration::from_secs_f64(flops / rate)
+    }
+
+    /// Paper Eq. 4: `T_compute = 2 × T_1D-FFT(rows) × rows / P`, with the
+    /// per-processor partition (`rows² × 16 / P` bytes) as the working
+    /// set.
+    pub fn fft_compute_time(&self, rows: usize, p: usize) -> SimDuration {
+        assert!(p >= 1);
+        let partition = DataSize::from_bytes(rows as u64 * rows as u64 * 16 / p as u64);
+        let per_row = self.fft_row_time(rows, partition);
+        SimDuration::from_secs_f64(2.0 * per_row.as_secs_f64() * rows as f64 / p as f64)
+    }
+
+    /// Host-side local transpose of a `bytes` partition (phase 1.1 in
+    /// Fig. 2a): read + write passes at strided-access efficiency.
+    pub fn local_transpose_time(&self, bytes: DataSize) -> SimDuration {
+        let bw = self.mem.effective_bandwidth(bytes);
+        let eff = if self.mem.fits_in_cache(bytes) {
+            self.transpose_efficiency_cache
+        } else {
+            self.transpose_efficiency_dram
+        };
+        // Two streams (load + store) through the bottleneck level.
+        let effective = bw.scaled(eff);
+        effective.transfer_time(bytes) * 2
+    }
+
+    /// Host-side final permutation / interleave (phase 2.3 in Fig. 2a) —
+    /// same access pattern class as the local transpose.
+    pub fn final_permutation_time(&self, bytes: DataSize) -> SimDuration {
+        self.local_transpose_time(bytes)
+    }
+
+    /// One stable bucket-distribution pass over `n_keys` keys whose data
+    /// occupies `working_set`.
+    pub fn bucket_sort_time(&self, n_keys: u64, working_set: DataSize) -> SimDuration {
+        let rate = if self.mem.fits_in_cache(working_set) {
+            self.bucket_rate_cache
+        } else {
+            self.bucket_rate_dram
+        };
+        SimDuration::from_secs_f64(n_keys as f64 / rate)
+    }
+
+    /// Count sort of `n_keys` keys; `bucket_bytes` is the per-bucket
+    /// working set that decides cache residency (the ≥128-bucket rule).
+    pub fn count_sort_time(&self, n_keys: u64, bucket_bytes: DataSize) -> SimDuration {
+        let rate = if self.mem.fits_in_cache(bucket_bytes) {
+            self.count_rate_cache
+        } else {
+            self.count_rate_dram
+        };
+        SimDuration::from_secs_f64(n_keys as f64 / rate)
+    }
+
+    /// Quicksort baseline: `1.39 n log₂ n` expected comparisons.
+    pub fn quicksort_time(&self, n_keys: u64) -> SimDuration {
+        if n_keys < 2 {
+            return SimDuration::ZERO;
+        }
+        let n = n_keys as f64;
+        let cmps = 1.39 * n * n.log2();
+        SimDuration::from_secs_f64(cmps / self.quicksort_cmp_rate)
+    }
+
+    /// Element-wise reduction of `sources` double-precision vectors of
+    /// `elems` elements each: memory-bound streaming of every source
+    /// plus the accumulator traffic.
+    pub fn reduce_time(&self, elems: u64, sources: u64) -> SimDuration {
+        let stream_bytes = DataSize::from_bytes(sources * elems * 8);
+        let working = DataSize::from_bytes((sources + 1) * elems * 8);
+        // One read stream per source plus accumulator read+write ≈ 1.5×.
+        let bw = self.mem.effective_bandwidth(working).scaled(0.66);
+        bw.transfer_time(stream_bytes)
+    }
+
+    /// Plain memory copy of `bytes` within a `working_set`-sized region.
+    pub fn memcpy_time(&self, bytes: DataSize, working_set: DataSize) -> SimDuration {
+        // Load + store.
+        self.mem
+            .effective_bandwidth(working_set)
+            .transfer_time(bytes)
+            * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k() -> HostKernels {
+        HostKernels::athlon_1ghz()
+    }
+
+    #[test]
+    fn count_sort_calibration_matches_fig5a() {
+        // 2²⁵ keys in cache-resident buckets ≈ 2.2 s (paper shows ≈2.3 s).
+        let t = k().count_sort_time(1 << 25, DataSize::from_kib(128));
+        let secs = t.as_secs_f64();
+        assert!((1.9..2.6).contains(&secs), "count sort {secs} s");
+    }
+
+    #[test]
+    fn serial_bucket_sorting_exceeds_five_seconds() {
+        // Section 4.2: "over 5 seconds in the serial implementation" for
+        // the two DRAM-resident bucket passes of 2²⁵ keys.
+        let kern = k();
+        let per_pass = kern.bucket_sort_time(1 << 25, DataSize::from_mib(128));
+        let both = per_pass + per_pass;
+        assert!(both.as_secs_f64() > 5.0, "got {} s", both.as_secs_f64());
+        assert!(both.as_secs_f64() < 7.0, "got {} s", both.as_secs_f64());
+    }
+
+    #[test]
+    fn count_sort_beats_quicksort_by_about_2_5x() {
+        // Section 3.2: count sort "as much as 2.5× faster than quicksort".
+        let kern = k();
+        let n = 1u64 << 22;
+        let qs = kern.quicksort_time(n).as_secs_f64();
+        // Pipeline: one bucket pass over the full DRAM-resident array,
+        // then cache-resident count sorts (the measured configuration).
+        let cs = kern
+            .bucket_sort_time(n, DataSize::from_bytes(n * 4))
+            .as_secs_f64()
+            + kern.count_sort_time(n, DataSize::from_kib(128)).as_secs_f64();
+        let ratio = qs / cs;
+        assert!(
+            (1.8..3.2).contains(&ratio),
+            "quicksort/countsort ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn fft_compute_knees_at_cache_boundaries() {
+        // 256×256: partition leaves DRAM between P=2 and P=4 — per-row
+        // time drops by the cache/DRAM rate ratio there, and scaling is
+        // superlinear across the knee.
+        let kern = k();
+        let t2 = kern.fft_compute_time(256, 2).as_secs_f64();
+        let t4 = kern.fft_compute_time(256, 4).as_secs_f64();
+        let t8 = kern.fft_compute_time(256, 8).as_secs_f64();
+        assert!(t2 / t4 > 2.0, "superlinear drop at knee: {}", t2 / t4);
+        // Past the knee, scaling is linear again.
+        let lin = t4 / t8;
+        assert!((1.9..2.1).contains(&lin), "linear past knee: {lin}");
+    }
+
+    #[test]
+    fn fft_serial_time_is_paper_scale() {
+        // 512×512 serial compute should be tens-to-hundreds of ms
+        // (Fig. 4(b) shows transpose-phase times up to ~180 ms on a
+        // comparable scale).
+        let t = k().fft_compute_time(512, 1).as_millis_f64();
+        assert!((100.0..400.0).contains(&t), "512² serial compute {t} ms");
+    }
+
+    #[test]
+    fn local_transpose_slower_than_memcpy() {
+        let kern = k();
+        let s = DataSize::from_mib(4);
+        assert!(kern.local_transpose_time(s) > kern.memcpy_time(s, s));
+    }
+
+    #[test]
+    fn cache_resident_kernels_are_faster() {
+        let kern = k();
+        let small = DataSize::from_kib(128);
+        let big = DataSize::from_mib(16);
+        assert!(kern.bucket_sort_time(1 << 20, small) < kern.bucket_sort_time(1 << 20, big));
+        assert!(kern.count_sort_time(1 << 20, small) < kern.count_sort_time(1 << 20, big));
+        assert!(
+            kern.fft_row_time(256, small) < kern.fft_row_time(256, big)
+        );
+    }
+
+    #[test]
+    fn quicksort_degenerate_inputs() {
+        assert_eq!(k().quicksort_time(0), SimDuration::ZERO);
+        assert_eq!(k().quicksort_time(1), SimDuration::ZERO);
+        assert!(k().quicksort_time(2) > SimDuration::ZERO);
+    }
+}

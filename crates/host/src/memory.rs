@@ -1,0 +1,195 @@
+//! The PC memory hierarchy model.
+//!
+//! The paper repeatedly leans on memory-hierarchy effects:
+//!
+//! * FFT compute time has knees "at 2–3 processors and 6–8 processors
+//!   where the local partition fits into a faster level of the memory
+//!   hierarchy" (Section 4.1);
+//! * the receive-side bucket sort exists precisely to make count-sort
+//!   working sets cache-resident (Section 3.2);
+//! * "cache memory bandwidth on a commodity processor is much higher
+//!   than the comparable memory bandwidth for an INIC", which is why
+//!   count sort stays on the host (Section 3.2.2).
+//!
+//! The model is deliberately simple: each level has a capacity and a
+//! sustained bandwidth, and a working set streams at the bandwidth of the
+//! smallest level that holds it. That is exactly the granularity the
+//! paper's analysis uses.
+
+use acc_sim::{Bandwidth, DataSize, SimDuration};
+
+/// One level of the hierarchy.
+#[derive(Clone, Copy, Debug)]
+pub struct MemoryLevel {
+    /// Level name for reports ("L1", "L2", "DRAM").
+    pub name: &'static str,
+    /// Capacity of this level.
+    pub capacity: DataSize,
+    /// Sustained streaming bandwidth when the working set resides here.
+    pub bandwidth: Bandwidth,
+}
+
+/// An ordered (smallest/fastest first) memory hierarchy.
+#[derive(Clone, Debug)]
+pub struct MemoryHierarchy {
+    levels: Vec<MemoryLevel>,
+}
+
+impl MemoryHierarchy {
+    /// Build from levels ordered fastest-first.
+    ///
+    /// # Panics
+    /// Panics if levels are not strictly increasing in capacity and
+    /// non-increasing in bandwidth.
+    pub fn new(levels: Vec<MemoryLevel>) -> MemoryHierarchy {
+        assert!(!levels.is_empty(), "hierarchy needs at least one level");
+        for w in levels.windows(2) {
+            assert!(
+                w[0].capacity < w[1].capacity,
+                "level capacities must increase"
+            );
+            assert!(
+                w[0].bandwidth >= w[1].bandwidth,
+                "level bandwidths must not increase"
+            );
+        }
+        MemoryHierarchy { levels }
+    }
+
+    /// The hierarchy of the prototype's 1 GHz Athlon (Thunderbird) nodes:
+    /// 64 KiB L1D at ~8 GiB/s, 256 KiB full-speed L2 at ~2.5 GiB/s, and
+    /// PC133 SDRAM sustaining ~400 MiB/s on copy-like access patterns.
+    pub fn athlon_1ghz() -> MemoryHierarchy {
+        MemoryHierarchy::new(vec![
+            MemoryLevel {
+                name: "L1",
+                capacity: DataSize::from_kib(64),
+                bandwidth: Bandwidth::from_mib_per_sec(8192),
+            },
+            MemoryLevel {
+                name: "L2",
+                capacity: DataSize::from_kib(256),
+                bandwidth: Bandwidth::from_mib_per_sec(2560),
+            },
+            MemoryLevel {
+                name: "DRAM",
+                capacity: DataSize::from_mib(512),
+                bandwidth: Bandwidth::from_mib_per_sec(400),
+            },
+        ])
+    }
+
+    /// The level a working set of `size` resides in (the smallest level
+    /// that holds it; working sets beyond the last level still report the
+    /// last level — the machine pages rather than failing).
+    pub fn level_for(&self, size: DataSize) -> &MemoryLevel {
+        self.levels
+            .iter()
+            .find(|l| size <= l.capacity)
+            .unwrap_or_else(|| self.levels.last().expect("non-empty"))
+    }
+
+    /// Sustained bandwidth for streaming over a working set of `size`.
+    pub fn effective_bandwidth(&self, size: DataSize) -> Bandwidth {
+        self.level_for(size).bandwidth
+    }
+
+    /// Time to stream `bytes` once over a working set of `working_set`
+    /// total size.
+    pub fn stream_time(&self, bytes: DataSize, working_set: DataSize) -> SimDuration {
+        self.effective_bandwidth(working_set).transfer_time(bytes)
+    }
+
+    /// The levels, fastest first.
+    pub fn levels(&self) -> &[MemoryLevel] {
+        &self.levels
+    }
+
+    /// Convenience: does a working set fit in any cache level (i.e. not
+    /// the final DRAM level)?
+    pub fn fits_in_cache(&self, size: DataSize) -> bool {
+        self.levels[..self.levels.len() - 1]
+            .iter()
+            .any(|l| size <= l.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn athlon_levels_are_ordered() {
+        let m = MemoryHierarchy::athlon_1ghz();
+        assert_eq!(m.levels().len(), 3);
+        assert_eq!(m.levels()[0].name, "L1");
+        assert_eq!(m.levels()[2].name, "DRAM");
+    }
+
+    #[test]
+    fn level_selection_by_working_set() {
+        let m = MemoryHierarchy::athlon_1ghz();
+        assert_eq!(m.level_for(DataSize::from_kib(32)).name, "L1");
+        assert_eq!(m.level_for(DataSize::from_kib(64)).name, "L1");
+        assert_eq!(m.level_for(DataSize::from_kib(65)).name, "L2");
+        assert_eq!(m.level_for(DataSize::from_kib(300)).name, "DRAM");
+        // Beyond physical memory still reports DRAM.
+        assert_eq!(m.level_for(DataSize::from_mib(1024)).name, "DRAM");
+    }
+
+    #[test]
+    fn fft_partition_knees_match_paper() {
+        // 256×256 complex doubles = 1 MiB total. The per-processor
+        // partition is 1 MiB / P: it drops into L2 going from P=2 (512
+        // KiB, DRAM) to P=4 (256 KiB, L2) — the paper's "2–3 processors"
+        // knee — and into L1 between P=8 and P=16 — the "6–8" knee is the
+        // same effect for the row working set.
+        let m = MemoryHierarchy::athlon_1ghz();
+        let total = DataSize::from_mib(1);
+        let part = |p: u64| DataSize::from_bytes(total.bytes() / p);
+        assert_eq!(m.level_for(part(2)).name, "DRAM");
+        assert_eq!(m.level_for(part(4)).name, "L2");
+        assert_eq!(m.level_for(part(16)).name, "L1");
+    }
+
+    #[test]
+    fn cache_bandwidth_dwarfs_dram() {
+        // The Section 3.2.2 justification for host-side count sort.
+        let m = MemoryHierarchy::athlon_1ghz();
+        let cache = m.effective_bandwidth(DataSize::from_kib(128));
+        let dram = m.effective_bandwidth(DataSize::from_mib(64));
+        assert!(cache.bytes_per_sec() >= 4 * dram.bytes_per_sec());
+    }
+
+    #[test]
+    fn stream_time_uses_working_set_level() {
+        let m = MemoryHierarchy::athlon_1ghz();
+        let in_cache = m.stream_time(DataSize::from_kib(128), DataSize::from_kib(128));
+        let in_dram = m.stream_time(DataSize::from_kib(128), DataSize::from_mib(16));
+        assert!(in_cache < in_dram);
+    }
+
+    #[test]
+    fn fits_in_cache_boundary() {
+        let m = MemoryHierarchy::athlon_1ghz();
+        assert!(m.fits_in_cache(DataSize::from_kib(256)));
+        assert!(!m.fits_in_cache(DataSize::from_kib(257)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacities must increase")]
+    fn rejects_unordered_levels() {
+        MemoryHierarchy::new(vec![
+            MemoryLevel {
+                name: "a",
+                capacity: DataSize::from_kib(64),
+                bandwidth: Bandwidth::from_mib_per_sec(100),
+            },
+            MemoryLevel {
+                name: "b",
+                capacity: DataSize::from_kib(64),
+                bandwidth: Bandwidth::from_mib_per_sec(50),
+            },
+        ]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Ethernet frames and addresses.
+
+use acc_sim::DataSize;
+
+/// Layer-2 overhead that occupies the wire per frame but never reaches
+/// the payload: preamble + SFD (8) + dst/src/ethertype (14) + FCS (4) +
+/// inter-frame gap (12).
+pub const WIRE_OVERHEAD: u64 = 8 + 14 + 4 + 12;
+
+/// Minimum Ethernet payload; shorter payloads are padded on the wire.
+pub const MIN_PAYLOAD: u64 = 46;
+
+/// Maximum standard Ethernet payload (no jumbo frames in 2001 commodity
+/// gear, and the paper's INIC protocol deliberately uses 1024-byte
+/// packets well under it).
+pub const MAX_PAYLOAD: u64 = 1500;
+
+/// A 48-bit MAC address, stored compactly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MacAddr(pub u64);
+
+impl MacAddr {
+    /// Deterministic per-node address used by cluster builders: node `i`
+    /// NIC `j` gets a distinct MAC.
+    pub fn for_node(node: usize, nic: usize) -> MacAddr {
+        MacAddr(0x02_00_00_00_00_00 | ((node as u64) << 8) | nic as u64)
+    }
+
+    /// The broadcast address.
+    pub const BROADCAST: MacAddr = MacAddr(0xFF_FF_FF_FF_FF_FF);
+}
+
+/// The protocol carried by a frame. The TCP path wraps payload in IP+TCP
+/// headers; the INIC path runs its application-specific protocol directly
+/// on Ethernet (Section 4.2: "each design can have a protocol built
+/// directly on Ethernet").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EtherType {
+    /// IPv4 (carrying the modelled TCP).
+    Ipv4,
+    /// The INIC application-specific protocol.
+    Inic,
+    /// Anything else (tests).
+    Other(u16),
+}
+
+/// A simulated Ethernet frame.
+///
+/// The payload carries *real bytes* — the data that applications sort and
+/// transform — so end-to-end correctness is checked, not just timing.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// Source address.
+    pub src: MacAddr,
+    /// Destination address.
+    pub dst: MacAddr,
+    /// Carried protocol.
+    pub ethertype: EtherType,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Build a frame.
+    ///
+    /// # Panics
+    /// Panics if the payload exceeds [`MAX_PAYLOAD`]; segmentation is the
+    /// sender's job and oversize frames indicate a protocol bug.
+    pub fn new(src: MacAddr, dst: MacAddr, ethertype: EtherType, payload: Vec<u8>) -> Frame {
+        assert!(
+            payload.len() as u64 <= MAX_PAYLOAD,
+            "payload {} exceeds Ethernet MTU {}",
+            payload.len(),
+            MAX_PAYLOAD
+        );
+        Frame {
+            src,
+            dst,
+            ethertype,
+            payload,
+        }
+    }
+
+    /// Bytes this frame occupies on the wire, including overhead, padding
+    /// and the inter-frame gap — what serialization time is computed from.
+    pub fn wire_size(&self) -> DataSize {
+        let payload = (self.payload.len() as u64).max(MIN_PAYLOAD);
+        DataSize::from_bytes(payload + WIRE_OVERHEAD)
+    }
+
+    /// Bytes buffered for this frame in NIC/switch memory (header + actual
+    /// payload; the gap and preamble are not stored).
+    pub fn buffer_size(&self) -> DataSize {
+        DataSize::from_bytes(self.payload.len() as u64 + 18)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_sim::Bandwidth;
+
+    fn frame(n: usize) -> Frame {
+        Frame::new(
+            MacAddr::for_node(0, 0),
+            MacAddr::for_node(1, 0),
+            EtherType::Other(0),
+            vec![0u8; n],
+        )
+    }
+
+    #[test]
+    fn wire_size_includes_overhead_and_padding() {
+        assert_eq!(frame(1500).wire_size().bytes(), 1538);
+        assert_eq!(frame(46).wire_size().bytes(), 84);
+        // Tiny payloads pad to the 64-byte minimum frame (84 on the wire).
+        assert_eq!(frame(1).wire_size().bytes(), 84);
+        assert_eq!(frame(0).wire_size().bytes(), 84);
+    }
+
+    #[test]
+    fn full_size_frame_rate_matches_line_rate() {
+        // Canonical check: 1 Gb/s carries ~81,274 max-size frames/s.
+        let gig = Bandwidth::from_mbit_per_sec(1000);
+        let t = gig.transfer_time(frame(1500).wire_size());
+        let fps = 1.0 / t.as_secs_f64();
+        assert!((fps - 81_274.0).abs() < 1.0, "fps = {fps}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds Ethernet MTU")]
+    fn oversize_payload_rejected() {
+        frame(1501);
+    }
+
+    #[test]
+    fn macs_are_unique_per_node_and_nic() {
+        let mut seen = std::collections::HashSet::new();
+        for node in 0..16 {
+            for nic in 0..3 {
+                assert!(seen.insert(MacAddr::for_node(node, nic)));
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_size_is_smaller_than_wire_size() {
+        let f = frame(1024);
+        assert!(f.buffer_size().bytes() < f.wire_size().bytes());
+        assert_eq!(f.buffer_size().bytes(), 1042);
+    }
+}

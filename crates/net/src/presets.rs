@@ -1,0 +1,90 @@
+//! Parameter presets for the fabrics in the prototype cluster.
+
+use acc_sim::{Bandwidth, DataSize, SimDuration};
+
+/// The two commodity Ethernet generations in the testbed (Section 5).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EthernetKind {
+    /// 100 Mb/s Fast Ethernet.
+    Fast,
+    /// 1 Gb/s Gigabit Ethernet (SysKonnect PCI NIC / PMC NIC).
+    Gigabit,
+}
+
+impl EthernetKind {
+    /// Line rate.
+    pub fn rate(self) -> Bandwidth {
+        match self {
+            EthernetKind::Fast => Bandwidth::from_mbit_per_sec(100),
+            EthernetKind::Gigabit => Bandwidth::from_mbit_per_sec(1000),
+        }
+    }
+}
+
+/// Physical link parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkParams {
+    /// Line rate.
+    pub rate: Bandwidth,
+    /// One-way propagation + PHY delay.
+    pub prop_delay: SimDuration,
+}
+
+impl LinkParams {
+    /// A cluster-room cable: ~20 m of copper plus PHY latency, ≈ 500 ns.
+    pub fn for_kind(kind: EthernetKind) -> LinkParams {
+        LinkParams {
+            rate: kind.rate(),
+            prop_delay: SimDuration::from_nanos(500),
+        }
+    }
+}
+
+/// Switch parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SwitchParams {
+    /// Per-output-port buffer capacity. 512 KiB/port is typical of
+    /// 2001-era GigE switches and is the bound the INIC protocol's credit
+    /// scheme respects ("the total amount of data put into the network
+    /// never exceeds the total size of the network buffers").
+    pub port_buffer: DataSize,
+    /// Fixed forwarding latency (lookup + scheduling) added after the
+    /// full frame is received.
+    pub forwarding_latency: SimDuration,
+}
+
+impl Default for SwitchParams {
+    fn default() -> Self {
+        SwitchParams {
+            port_buffer: DataSize::from_kib(512),
+            forwarding_latency: SimDuration::from_micros(4),
+        }
+    }
+}
+
+/// NIC-side transmit/receive buffering (SysKonnect cards carried on the
+/// order of 512 KiB of packet memory).
+pub const NIC_BUFFER: DataSize = DataSize::from_kib(512);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_match_standards() {
+        assert_eq!(EthernetKind::Fast.rate().bytes_per_sec(), 12_500_000);
+        assert_eq!(
+            EthernetKind::Gigabit.rate().bytes_per_sec(),
+            125_000_000
+        );
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let sw = SwitchParams::default();
+        assert_eq!(sw.port_buffer, DataSize::from_kib(512));
+        assert!(sw.forwarding_latency > SimDuration::ZERO);
+        let link = LinkParams::for_kind(EthernetKind::Gigabit);
+        assert_eq!(link.rate, EthernetKind::Gigabit.rate());
+    }
+}

@@ -1,0 +1,416 @@
+//! The INIC's application-specific wire protocol.
+//!
+//! Section 4.2: "A packet size of 1024 is reasonable since each design
+//! can have a protocol built directly on Ethernet. This minimizes
+//! overhead in the packets." And Section 4.1: "The protocol also has the
+//! advantage of knowing exactly how much data to expect; hence, the
+//! protocol needs minimal acknowledgement information."
+//!
+//! A transfer is a **stream**: `(src_rank, stream_id)` plus a byte total
+//! that is either known a priori (the FFT transpose — the all-to-all
+//! schedule fixes every block size) or learned from the final packet's
+//! `fin` flag (the integer sort — bucket sizes are data-dependent, so
+//! the sender marks its last packet). Packets carry a 16-byte header and
+//! up to [`INIC_PAYLOAD`] data bytes; the receiver's [`StreamRx`]
+//! tracker detects completion by byte count — no ACKs, no
+//! retransmission machinery. Loss-freedom is an *invariant* the cluster
+//! tests assert (the schedule never oversubscribes switch buffers), not
+//! something the protocol recovers from.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Data bytes per INIC packet (the paper's 1024).
+pub const INIC_PAYLOAD: usize = 1024;
+
+/// Header bytes per INIC packet.
+pub const INIC_HEADER: usize = 16;
+
+/// One packet of an INIC stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InicPacket {
+    /// Sending rank (cluster-level id, not MAC).
+    pub src_rank: u32,
+    /// Stream identifier, unique per (src, transfer).
+    pub stream: u32,
+    /// Byte offset of this packet's payload within the stream.
+    pub offset: u32,
+    /// Marks the stream's final packet; `offset + data.len()` is then
+    /// the stream total.
+    pub fin: bool,
+    /// A flow-control credit rather than data: `offset` carries the
+    /// number of payload bytes the receiver has consumed and re-grants
+    /// to the sender's window. Credits never enter stream reassembly.
+    pub credit: bool,
+    /// Payload bytes (≤ [`INIC_PAYLOAD`]).
+    pub data: Vec<u8>,
+}
+
+impl InicPacket {
+    /// Encode to the Ethernet payload: 16-byte header then data.
+    pub fn encode(&self) -> Vec<u8> {
+        assert!(self.data.len() <= INIC_PAYLOAD, "INIC packet over-long");
+        let mut out = Vec::with_capacity(INIC_HEADER + self.data.len());
+        out.extend_from_slice(&self.src_rank.to_le_bytes());
+        out.extend_from_slice(&self.stream.to_le_bytes());
+        out.extend_from_slice(&self.offset.to_le_bytes());
+        out.extend_from_slice(&(self.data.len() as u16).to_le_bytes());
+        let flags = u16::from(self.fin) | (u16::from(self.credit) << 1);
+        out.extend_from_slice(&flags.to_le_bytes());
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Decode from an Ethernet payload.
+    ///
+    /// # Panics
+    /// Panics on malformed packets — corruption cannot occur in the
+    /// simulator, so it indicates a datapath bug.
+    pub fn decode(bytes: &[u8]) -> InicPacket {
+        assert!(bytes.len() >= INIC_HEADER, "short INIC packet");
+        let src_rank = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+        let stream = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        let offset = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        let len = u16::from_le_bytes(bytes[12..14].try_into().unwrap()) as usize;
+        let flags = u16::from_le_bytes(bytes[14..16].try_into().unwrap());
+        assert_eq!(bytes.len(), INIC_HEADER + len, "INIC length mismatch");
+        InicPacket {
+            src_rank,
+            stream,
+            offset,
+            fin: flags & 1 != 0,
+            credit: flags & 2 != 0,
+            data: bytes[INIC_HEADER..].to_vec(),
+        }
+    }
+
+    /// Split a buffer into a stream's packets, marking the last `fin`.
+    /// An empty buffer yields one zero-length fin packet so the receiver
+    /// still learns the (zero) total.
+    pub fn packetize(src_rank: u32, stream: u32, data: &[u8]) -> Vec<InicPacket> {
+        if data.is_empty() {
+            return vec![InicPacket {
+                src_rank,
+                stream,
+                offset: 0,
+                fin: true,
+                credit: false,
+                data: vec![],
+            }];
+        }
+        let n = data.len().div_ceil(INIC_PAYLOAD);
+        data.chunks(INIC_PAYLOAD)
+            .enumerate()
+            .map(|(i, chunk)| InicPacket {
+                src_rank,
+                stream,
+                offset: (i * INIC_PAYLOAD) as u32,
+                fin: i == n - 1,
+                credit: false,
+                data: chunk.to_vec(),
+            })
+            .collect()
+    }
+
+    /// Packets needed for `bytes` of data (at least one — the fin).
+    pub fn packet_count(bytes: u64) -> u64 {
+        bytes.div_ceil(INIC_PAYLOAD as u64).max(1)
+    }
+
+    /// Total Ethernet payload bytes (headers included) for a `bytes`
+    /// stream — the protocol-efficiency number the models use.
+    pub fn wire_payload_bytes(bytes: u64) -> u64 {
+        bytes + Self::packet_count(bytes) * INIC_HEADER as u64
+    }
+}
+
+/// Reassembles one incoming stream. The total size may be known a
+/// priori ([`StreamRx::new`]) or learned from the fin packet
+/// ([`StreamRx::new_unknown`]).
+#[derive(Debug)]
+pub struct StreamRx {
+    total: Option<usize>,
+    received: usize,
+    segments: BTreeMap<u32, Vec<u8>>,
+}
+
+impl StreamRx {
+    /// Start expecting exactly `total` bytes.
+    pub fn new(total: usize) -> StreamRx {
+        StreamRx {
+            total: Some(total),
+            received: 0,
+            segments: BTreeMap::new(),
+        }
+    }
+
+    /// Start a stream whose size the fin packet will reveal.
+    pub fn new_unknown() -> StreamRx {
+        StreamRx {
+            total: None,
+            received: 0,
+            segments: BTreeMap::new(),
+        }
+    }
+
+    /// Accept one packet. Duplicate packets panic — the INIC protocol
+    /// never retransmits, so a duplicate is a simulator bug.
+    pub fn accept(&mut self, pkt: &InicPacket) {
+        assert!(!pkt.credit, "credit packets never enter reassembly");
+        if pkt.fin {
+            let implied = pkt.offset as usize + pkt.data.len();
+            if let Some(t) = self.total {
+                assert_eq!(t, implied, "fin total disagrees with announced total");
+            }
+            self.total = Some(implied);
+        }
+        if pkt.data.is_empty() {
+            return;
+        }
+        let prev = self.segments.insert(pkt.offset, pkt.data.clone());
+        assert!(
+            prev.is_none(),
+            "duplicate INIC packet at offset {}",
+            pkt.offset
+        );
+        self.received += pkt.data.len();
+        if let Some(t) = self.total {
+            assert!(self.received <= t, "stream overran its total");
+        }
+    }
+
+    /// Bytes received so far.
+    pub fn received(&self) -> usize {
+        self.received
+    }
+
+    /// Whether the whole stream has arrived (requires the total to be
+    /// known, via announcement or fin).
+    pub fn complete(&self) -> bool {
+        self.total == Some(self.received)
+    }
+
+    /// Take the reassembled bytes.
+    ///
+    /// # Panics
+    /// Panics if the stream is incomplete.
+    pub fn into_bytes(self) -> Vec<u8> {
+        assert!(
+            self.complete(),
+            "stream incomplete: {}/{:?}",
+            self.received,
+            self.total
+        );
+        let total = self.total.expect("complete implies known total");
+        let mut out = Vec::with_capacity(total);
+        let mut expect = 0u32;
+        for (off, seg) in self.segments {
+            assert_eq!(off, expect, "gap in completed stream");
+            expect += seg.len() as u32;
+            out.extend_from_slice(&seg);
+        }
+        assert_eq!(out.len(), total);
+        out
+    }
+}
+
+/// Tracks multiple concurrent inbound streams keyed by `(src, stream)` —
+/// the receive side of the all-to-all, where P−1 streams interleave.
+#[derive(Default, Debug)]
+pub struct StreamDemux {
+    streams: HashMap<(u32, u32), StreamRx>,
+}
+
+impl StreamDemux {
+    /// Empty demux.
+    pub fn new() -> StreamDemux {
+        Self::default()
+    }
+
+    /// Announce an expected stream with a known size.
+    pub fn expect(&mut self, src_rank: u32, stream: u32, total: usize) {
+        let prev = self.streams.insert((src_rank, stream), StreamRx::new(total));
+        assert!(prev.is_none(), "stream ({src_rank},{stream}) announced twice");
+    }
+
+    /// Announce an expected stream whose size the fin packet reveals.
+    pub fn expect_unknown(&mut self, src_rank: u32, stream: u32) {
+        let prev = self
+            .streams
+            .insert((src_rank, stream), StreamRx::new_unknown());
+        assert!(prev.is_none(), "stream ({src_rank},{stream}) announced twice");
+    }
+
+    /// Feed one packet; returns the completed stream's bytes when this
+    /// packet finishes it.
+    pub fn accept(&mut self, pkt: &InicPacket) -> Option<(u32, u32, Vec<u8>)> {
+        let key = (pkt.src_rank, pkt.stream);
+        let rx = self
+            .streams
+            .get_mut(&key)
+            .unwrap_or_else(|| panic!("packet for unannounced stream {key:?}"));
+        rx.accept(pkt);
+        if rx.complete() {
+            let rx = self.streams.remove(&key).expect("present");
+            Some((key.0, key.1, rx.into_bytes()))
+        } else {
+            None
+        }
+    }
+
+    /// Number of still-open streams.
+    pub fn open_streams(&self) -> usize {
+        self.streams.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn credit_flag_roundtrips() {
+        let c = InicPacket {
+            src_rank: 5,
+            stream: 1,
+            offset: 16384, // credited bytes
+            fin: false,
+            credit: true,
+            data: vec![],
+        };
+        let d = InicPacket::decode(&c.encode());
+        assert!(d.credit && !d.fin);
+        assert_eq!(d.offset, 16384);
+    }
+
+    #[test]
+    #[should_panic(expected = "credit packets never enter reassembly")]
+    fn reassembly_rejects_credits() {
+        let mut rx = StreamRx::new_unknown();
+        rx.accept(&InicPacket {
+            src_rank: 0,
+            stream: 0,
+            offset: 0,
+            fin: false,
+            credit: true,
+            data: vec![],
+        });
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let p = InicPacket {
+            src_rank: 3,
+            stream: 9,
+            offset: 2048,
+            fin: true,
+            credit: false,
+            data: (0..100u8).collect(),
+        };
+        assert_eq!(InicPacket::decode(&p.encode()), p);
+    }
+
+    #[test]
+    fn packetize_covers_data_exactly_and_marks_fin() {
+        let data: Vec<u8> = (0..3000).map(|i| (i % 251) as u8).collect();
+        let pkts = InicPacket::packetize(1, 2, &data);
+        assert_eq!(pkts.len(), 3);
+        assert_eq!(pkts[0].data.len(), 1024);
+        assert_eq!(pkts[2].data.len(), 952);
+        assert_eq!(pkts[1].offset, 1024);
+        assert!(!pkts[0].fin && !pkts[1].fin && pkts[2].fin);
+        let total: usize = pkts.iter().map(|p| p.data.len()).sum();
+        assert_eq!(total, data.len());
+    }
+
+    #[test]
+    fn empty_stream_still_sends_a_fin() {
+        let pkts = InicPacket::packetize(0, 0, &[]);
+        assert_eq!(pkts.len(), 1);
+        assert!(pkts[0].fin && pkts[0].data.is_empty());
+        let mut rx = StreamRx::new_unknown();
+        rx.accept(&pkts[0]);
+        assert!(rx.complete());
+        assert!(rx.into_bytes().is_empty());
+    }
+
+    #[test]
+    fn wire_overhead_is_under_two_percent() {
+        // 16/1040 ≈ 1.5% — the "minimal overhead" claim.
+        let data = 1_000_000u64;
+        let wire = InicPacket::wire_payload_bytes(data);
+        let overhead = wire as f64 / data as f64 - 1.0;
+        assert!(overhead < 0.02, "overhead {overhead}");
+    }
+
+    #[test]
+    fn stream_rx_reassembles_out_of_order() {
+        let data: Vec<u8> = (0..2500).map(|i| (i % 241) as u8).collect();
+        let pkts = InicPacket::packetize(0, 0, &data);
+        let mut rx = StreamRx::new(data.len());
+        for p in pkts.iter().rev() {
+            rx.accept(p);
+        }
+        assert!(rx.complete());
+        assert_eq!(rx.into_bytes(), data);
+    }
+
+    #[test]
+    fn unknown_total_learned_from_fin() {
+        let data = vec![7u8; 1500];
+        let pkts = InicPacket::packetize(0, 0, &data);
+        let mut rx = StreamRx::new_unknown();
+        rx.accept(&pkts[0]);
+        assert!(!rx.complete());
+        rx.accept(&pkts[1]);
+        assert!(rx.complete());
+        assert_eq!(rx.into_bytes(), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate INIC packet")]
+    fn duplicate_packet_panics() {
+        let pkts = InicPacket::packetize(0, 0, &[1u8; 100]);
+        let mut rx = StreamRx::new(100);
+        rx.accept(&pkts[0]);
+        rx.accept(&pkts[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fin total disagrees")]
+    fn fin_mismatch_panics() {
+        let mut rx = StreamRx::new(500);
+        rx.accept(&InicPacket {
+            src_rank: 0,
+            stream: 0,
+            offset: 0,
+            fin: true,
+            credit: false,
+            data: vec![0; 100],
+        });
+    }
+
+    #[test]
+    fn demux_tracks_concurrent_streams() {
+        let a: Vec<u8> = vec![1; 2048];
+        let b: Vec<u8> = vec![2; 1024];
+        let mut demux = StreamDemux::new();
+        demux.expect(0, 7, a.len());
+        demux.expect_unknown(1, 7);
+        let pa = InicPacket::packetize(0, 7, &a);
+        let pb = InicPacket::packetize(1, 7, &b);
+        assert!(demux.accept(&pa[0]).is_none());
+        let done_b = demux.accept(&pb[0]);
+        assert_eq!(done_b, Some((1, 7, b)));
+        let done_a = demux.accept(&pa[1]);
+        assert_eq!(done_a, Some((0, 7, a)));
+        assert_eq!(demux.open_streams(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unannounced stream")]
+    fn unannounced_stream_panics() {
+        let mut demux = StreamDemux::new();
+        let p = InicPacket::packetize(0, 0, &[0u8; 10]);
+        demux.accept(&p[0]);
+    }
+}

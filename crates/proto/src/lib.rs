@@ -1,0 +1,24 @@
+//! # acc-proto — protocol models
+//!
+//! The paper's Section 4.1 argument is that the Gigabit Ethernet
+//! cluster's poor scaling "is a characteristic of the TCP/IP protocol and
+//! the PC system architecture", not of the wire. This crate implements
+//! both protocol families so that claim can be reproduced rather than
+//! asserted:
+//!
+//! * [`tcp`] — a TCP-like reliable byte stream over the simulated
+//!   Ethernet: slow start (with idle restart), congestion avoidance,
+//!   RTO + fast retransmit, delayed ACKs, a 64 KiB window (no window
+//!   scaling — 2001 defaults), 40-byte IP+TCP header overhead, and full
+//!   coupling to the host model: interrupt moderation on receive, paced
+//!   PCI/DMA crossing on transmit, per-segment CPU costs.
+//! * [`inic_wire`] — the INIC's application-specific protocol "built
+//!   directly on Ethernet": fixed 1024-byte packets, a 16-byte header,
+//!   sender-known transfer sizes, and a stream reassembly tracker that
+//!   needs no per-packet acknowledgements.
+
+pub mod inic_wire;
+pub mod tcp;
+
+pub use inic_wire::{InicPacket, StreamDemux, StreamRx, INIC_HEADER, INIC_PAYLOAD};
+pub use tcp::{HostPathCosts, TcpDelivered, TcpHostNic, TcpParams, TcpSend};

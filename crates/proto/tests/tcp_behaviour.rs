@@ -1,0 +1,388 @@
+//! End-to-end behaviour tests for the TCP model over the simulated
+//! Ethernet fabric: correctness of the byte stream, bulk goodput in the
+//! calibrated range, the short-message/moderation pathology, slow-start
+//! ramping, and loss recovery under incast.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use acc_host::{InterruptCosts, ModerationPolicy};
+use acc_net::port::EgressPort;
+use acc_net::{LinkParams, MacAddr, Switch, SwitchParams};
+use acc_proto::{HostPathCosts, TcpDelivered, TcpHostNic, TcpParams, TcpSend};
+use acc_sim::{Component, ComponentId, Ctx, DataSize, SimTime, Simulation};
+
+/// Test application: fires its outbox at t=0, records deliveries.
+struct App {
+    nic: ComponentId,
+    outbox: Vec<TcpSend>,
+    received: HashMap<(MacAddr, u16), Vec<u8>>,
+    last_delivery: Option<SimTime>,
+}
+
+impl Component for App {
+    fn handle(&mut self, ev: Box<dyn Any>, ctx: &mut Ctx) {
+        if ev.downcast_ref::<()>().is_some() {
+            for send in self.outbox.drain(..) {
+                ctx.send_now(self.nic, send);
+            }
+        } else if let Ok(d) = ev.downcast::<TcpDelivered>() {
+            self.last_delivery = Some(ctx.now());
+            self.received
+                .entry((d.peer, d.chan))
+                .or_default()
+                .extend_from_slice(&d.data);
+        } else {
+            panic!("app: unexpected event");
+        }
+    }
+    fn name(&self) -> &str {
+        "app"
+    }
+}
+
+struct Cluster {
+    sim: Simulation,
+    apps: Vec<ComponentId>,
+    nics: Vec<ComponentId>,
+    macs: Vec<MacAddr>,
+}
+
+/// Build `n` TCP hosts on one switch. `outbox(i)` seeds node i's sends.
+fn build(
+    n: usize,
+    sw_params: SwitchParams,
+    policy: ModerationPolicy,
+    outbox: impl Fn(usize, &[MacAddr]) -> Vec<TcpSend>,
+) -> Cluster {
+    let mut sim = Simulation::new(7);
+    let link = LinkParams::for_kind(acc_net::EthernetKind::Gigabit);
+    let macs: Vec<MacAddr> = (0..n).map(|i| MacAddr::for_node(i, 0)).collect();
+    let app_ids: Vec<ComponentId> = (0..n).map(|_| sim.reserve_id()).collect();
+    let nic_ids: Vec<ComponentId> = (0..n).map(|_| sim.reserve_id()).collect();
+    let switch_id = sim.reserve_id();
+    let mut switch = Switch::new("sw", sw_params);
+    for i in 0..n {
+        let sw_port = switch.attach(macs[i], nic_ids[i], 0, link);
+        let uplink = EgressPort::new(
+            link.rate,
+            link.prop_delay,
+            acc_net::presets::NIC_BUFFER,
+            switch_id,
+            sw_port,
+            0,
+        );
+        sim.register(
+            nic_ids[i],
+            TcpHostNic::new(
+                format!("tcp{i}"),
+                macs[i],
+                app_ids[i],
+                uplink,
+                TcpParams::default(),
+                HostPathCosts::athlon_pci(),
+                InterruptCosts::athlon_linux24(),
+                policy,
+            ),
+        );
+        sim.register(
+            app_ids[i],
+            App {
+                nic: nic_ids[i],
+                outbox: outbox(i, &macs),
+                received: HashMap::new(),
+                last_delivery: None,
+            },
+        );
+    }
+    sim.register(switch_id, switch);
+    for &a in &app_ids {
+        sim.schedule_at(SimTime::ZERO, a, ());
+    }
+    Cluster {
+        sim,
+        apps: app_ids,
+        nics: nic_ids,
+        macs,
+    }
+}
+
+fn pattern(n: usize, seed: u8) -> Vec<u8> {
+    (0..n).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+}
+
+#[test]
+fn bulk_transfer_delivers_identical_bytes_at_calibrated_goodput() {
+    let data = pattern(1_000_000, 3);
+    let expect = data.clone();
+    let mut c = build(
+        2,
+        SwitchParams::default(),
+        ModerationPolicy::syskonnect_default(),
+        |i, macs| {
+            if i == 0 {
+                vec![TcpSend {
+                    peer: macs[1],
+                    chan: 1,
+                    data: pattern(1_000_000, 3),
+                }]
+            } else {
+                vec![]
+            }
+        },
+    );
+    drop(data);
+    c.sim.run();
+    let app1 = c.sim.component::<App>(c.apps[1]);
+    let got = &app1.received[&(c.macs[0], 1)];
+    assert_eq!(got, &expect, "delivered bytes differ");
+    let t = app1.last_delivery.expect("delivered").as_secs_f64();
+    let goodput = 1.0e6 / t / 1.0e6; // MB/s
+    assert!(
+        (25.0..70.0).contains(&goodput),
+        "bulk TCP goodput {goodput:.1} MB/s outside the calibrated band"
+    );
+}
+
+#[test]
+fn short_message_latency_includes_moderation_delay() {
+    let mut c = build(
+        2,
+        SwitchParams::default(),
+        ModerationPolicy::syskonnect_default(),
+        |i, macs| {
+            if i == 0 {
+                vec![TcpSend {
+                    peer: macs[1],
+                    chan: 1,
+                    data: vec![42u8; 512],
+                }]
+            } else {
+                vec![]
+            }
+        },
+    );
+    c.sim.run();
+    let app1 = c.sim.component::<App>(c.apps[1]);
+    let t = app1.last_delivery.expect("delivered");
+    // One 512-byte segment serialises in ~5 µs; the observed latency is
+    // dominated by the 100 µs coalescing timeout plus service time.
+    let micros = t.as_secs_f64() * 1e6;
+    assert!(micros > 100.0, "latency {micros:.1} µs too low — moderation missing");
+    assert!(micros < 1_000.0, "latency {micros:.1} µs implausibly high");
+}
+
+#[test]
+fn moderation_trades_small_message_latency_for_batch_size() {
+    // A single small segment: with per-frame interrupts the receiver
+    // services it immediately; with coalescing it waits out the 100 µs
+    // timer — the exact latency tax Section 4.1 blames for the TCP
+    // slow-start pathology.
+    let latency = |policy| {
+        let mut c = build(2, SwitchParams::default(), policy, |i, macs| {
+            if i == 0 {
+                vec![TcpSend {
+                    peer: macs[1],
+                    chan: 1,
+                    data: vec![1u8; 256],
+                }]
+            } else {
+                vec![]
+            }
+        });
+        c.sim.run();
+        c.sim
+            .component::<App>(c.apps[1])
+            .last_delivery
+            .expect("delivered")
+    };
+    let t_per = latency(ModerationPolicy::PerFrame);
+    let t_mod = latency(ModerationPolicy::syskonnect_default());
+    let gap = t_mod.since(t_per).as_secs_f64() * 1e6;
+    assert!(
+        (80.0..130.0).contains(&gap),
+        "coalescing should add ≈100 µs to a lone segment, added {gap:.1} µs"
+    );
+
+    // Bulk stream: under either policy, ISR masking plus (for the
+    // coalesced case) the frame-count threshold keeps interrupts well
+    // below the frame count.
+    let mut c = build(
+        2,
+        SwitchParams::default(),
+        ModerationPolicy::syskonnect_default(),
+        |i, macs| {
+            if i == 0 {
+                vec![TcpSend {
+                    peer: macs[1],
+                    chan: 1,
+                    data: pattern(200_000, 1),
+                }]
+            } else {
+                vec![]
+            }
+        },
+    );
+    c.sim.run();
+    let (frames, interrupts) = c
+        .sim
+        .component::<TcpHostNic>(c.nics[1])
+        .interrupt_totals();
+    assert!(
+        interrupts * 4 < frames,
+        "bulk stream should batch many frames per interrupt: {interrupts} vs {frames}"
+    );
+}
+
+#[test]
+fn slow_start_makes_short_transfers_far_slower_than_line_rate() {
+    // 64 KiB should take several RTTs of ramping, an order of magnitude
+    // beyond its ~0.5 ms wire time.
+    let size = 64 * 1024;
+    let mut c = build(
+        2,
+        SwitchParams::default(),
+        ModerationPolicy::syskonnect_default(),
+        move |i, macs| {
+            if i == 0 {
+                vec![TcpSend {
+                    peer: macs[1],
+                    chan: 1,
+                    data: pattern(size, 9),
+                }]
+            } else {
+                vec![]
+            }
+        },
+    );
+    c.sim.run();
+    let t = c
+        .sim
+        .component::<App>(c.apps[1])
+        .last_delivery
+        .expect("delivered")
+        .as_secs_f64();
+    let wire = size as f64 / 125.0e6;
+    assert!(
+        t > 2.0 * wire,
+        "64 KiB took {t:.6}s, wire time {wire:.6}s — slow start absent"
+    );
+    let got = &c.sim.component::<App>(c.apps[1]).received[&(c.macs[0], 1)];
+    assert_eq!(got.len(), size);
+}
+
+#[test]
+fn incast_loss_is_recovered_and_stream_stays_correct() {
+    // Four senders blast one receiver through a switch with tiny output
+    // buffers: drops are guaranteed, TCP must retransmit, and every byte
+    // must still arrive exactly once, in order.
+    let sw = SwitchParams {
+        port_buffer: DataSize::from_kib(24),
+        ..SwitchParams::default()
+    };
+    let per_sender = 200_000usize;
+    let mut c = build(
+        5,
+        sw,
+        ModerationPolicy::syskonnect_default(),
+        move |i, macs| {
+            if i > 0 {
+                vec![TcpSend {
+                    peer: macs[0],
+                    chan: i as u16,
+                    data: pattern(per_sender, i as u8),
+                }]
+            } else {
+                vec![]
+            }
+        },
+    );
+    c.sim.run();
+    let receiver = c.sim.component::<App>(c.apps[0]);
+    for i in 1..5usize {
+        let got = &receiver.received[&(c.macs[i], i as u16)];
+        assert_eq!(got, &pattern(per_sender, i as u8), "stream from {i} corrupt");
+    }
+    let retx: u64 = c
+        .nics
+        .iter()
+        .map(|&id| c.sim.component::<TcpHostNic>(id).retransmits())
+        .sum();
+    assert!(retx > 0, "tiny buffers + incast must force retransmissions");
+}
+
+#[test]
+fn concurrent_flows_between_same_pair_are_independent() {
+    let mut c = build(
+        2,
+        SwitchParams::default(),
+        ModerationPolicy::syskonnect_default(),
+        |i, macs| {
+            if i == 0 {
+                (1..=3u16)
+                    .map(|chan| TcpSend {
+                        peer: macs[1],
+                        chan,
+                        data: pattern(50_000, chan as u8),
+                    })
+                    .collect()
+            } else {
+                vec![]
+            }
+        },
+    );
+    c.sim.run();
+    let app1 = c.sim.component::<App>(c.apps[1]);
+    for chan in 1..=3u16 {
+        assert_eq!(
+            app1.received[&(c.macs[0], chan)],
+            pattern(50_000, chan as u8),
+            "chan {chan}"
+        );
+    }
+}
+
+#[test]
+fn bidirectional_transfer_works() {
+    let mut c = build(
+        2,
+        SwitchParams::default(),
+        ModerationPolicy::syskonnect_default(),
+        |i, macs| {
+            vec![TcpSend {
+                peer: macs[1 - i],
+                chan: 5,
+                data: pattern(100_000, i as u8),
+            }]
+        },
+    );
+    c.sim.run();
+    for i in 0..2usize {
+        let app = c.sim.component::<App>(c.apps[i]);
+        assert_eq!(
+            app.received[&(c.macs[1 - i], 5)],
+            pattern(100_000, (1 - i) as u8)
+        );
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let run = || {
+        let mut c = build(
+            3,
+            SwitchParams::default(),
+            ModerationPolicy::syskonnect_default(),
+            |i, macs| {
+                vec![TcpSend {
+                    peer: macs[(i + 1) % 3],
+                    chan: 0,
+                    data: pattern(30_000, i as u8),
+                }]
+            },
+        );
+        c.sim.run();
+        c.sim.now()
+    };
+    assert_eq!(run(), run());
+}

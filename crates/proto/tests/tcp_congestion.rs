@@ -1,0 +1,238 @@
+//! Congestion-control behaviour tests: slow-start restart after idle
+//! (the short-message pathology's enabler) and RTO-driven recovery
+//! under sustained loss.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use acc_host::{InterruptCosts, ModerationPolicy};
+use acc_net::port::EgressPort;
+use acc_net::{LinkParams, MacAddr, Switch, SwitchParams};
+use acc_proto::{HostPathCosts, TcpDelivered, TcpHostNic, TcpParams, TcpSend};
+use acc_sim::{Component, ComponentId, Ctx, DataSize, SimDuration, SimTime, Simulation};
+
+/// App that sends a sequence of (delay-from-start, message) pairs and
+/// records when each byte total is reached.
+struct ScriptedApp {
+    nic: ComponentId,
+    script: Vec<(SimDuration, TcpSend)>,
+    received: HashMap<(MacAddr, u16), Vec<u8>>,
+    milestones: Vec<(usize, SimTime)>,
+    total: usize,
+}
+
+/// Fire one scripted send.
+struct Fire(usize);
+
+impl Component for ScriptedApp {
+    fn handle(&mut self, ev: Box<dyn Any>, ctx: &mut Ctx) {
+        if ev.downcast_ref::<()>().is_some() {
+            for (i, (delay, _)) in self.script.iter().enumerate() {
+                ctx.self_in(*delay, Fire(i));
+            }
+            return;
+        }
+        if let Some(&Fire(i)) = ev.downcast_ref::<Fire>() {
+            let (_, send) = &self.script[i];
+            ctx.send_now(
+                self.nic,
+                TcpSend {
+                    peer: send.peer,
+                    chan: send.chan,
+                    data: send.data.clone(),
+                },
+            );
+            return;
+        }
+        if let Ok(d) = ev.downcast::<TcpDelivered>() {
+            self.total += d.data.len();
+            self.milestones.push((self.total, ctx.now()));
+            self.received
+                .entry((d.peer, d.chan))
+                .or_default()
+                .extend_from_slice(&d.data);
+            return;
+        }
+        panic!("scripted app: unexpected event");
+    }
+    fn name(&self) -> &str {
+        "scripted"
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn build_pair(
+    script: Vec<(SimDuration, TcpSend)>,
+    sw: SwitchParams,
+    kinds: [acc_net::EthernetKind; 2],
+) -> (Simulation, [ComponentId; 2], [ComponentId; 2]) {
+    let mut sim = Simulation::new(21);
+    let macs = [MacAddr::for_node(0, 0), MacAddr::for_node(1, 0)];
+    let apps = [sim.reserve_id(), sim.reserve_id()];
+    let nics = [sim.reserve_id(), sim.reserve_id()];
+    let switch_id = sim.reserve_id();
+    let mut switch = Switch::new("sw", sw);
+    for i in 0..2 {
+        let link = LinkParams::for_kind(kinds[i]);
+        let sw_port = switch.attach(macs[i], nics[i], 0, link);
+        let uplink = EgressPort::new(
+            link.rate,
+            link.prop_delay,
+            acc_net::presets::NIC_BUFFER,
+            switch_id,
+            sw_port,
+            0,
+        );
+        sim.register(
+            nics[i],
+            TcpHostNic::new(
+                format!("tcp{i}"),
+                macs[i],
+                apps[i],
+                uplink,
+                TcpParams::default(),
+                HostPathCosts::athlon_pci(),
+                InterruptCosts::athlon_linux24(),
+                ModerationPolicy::syskonnect_default(),
+            ),
+        );
+        sim.register(
+            apps[i],
+            ScriptedApp {
+                nic: nics[i],
+                script: if i == 0 { std::mem::take(&mut vec![]) } else { vec![] },
+                received: HashMap::new(),
+                milestones: Vec::new(),
+                total: 0,
+            },
+        );
+    }
+    // Install the script on app 0 (two-phase construction keeps the
+    // closure-free builder simple).
+    sim.component_mut::<ScriptedApp>(apps[0]).script = script;
+    sim.register(switch_id, switch);
+    sim.schedule_at(SimTime::ZERO, apps[0], ());
+    (sim, apps, nics)
+}
+
+fn burst(peer: MacAddr, bytes: usize) -> TcpSend {
+    TcpSend {
+        peer,
+        chan: 1,
+        data: vec![0x5A; bytes],
+    }
+}
+
+#[test]
+fn idle_restart_resets_the_congestion_window() {
+    // Two identical 64 KiB bursts. Back-to-back, the second rides the
+    // opened window and finishes much faster; separated by more than an
+    // RTO of idle time, slow-start restart makes it as slow as the
+    // first.
+    let peer = MacAddr::for_node(1, 0);
+    let size = 64 * 1024;
+
+    let run = |gap: SimDuration| -> (f64, f64) {
+        let script = vec![
+            (SimDuration::ZERO, burst(peer, size)),
+            (gap, burst(peer, size)),
+        ];
+        let (mut sim, apps, _) = build_pair(
+            script,
+            SwitchParams::default(),
+            [acc_net::EthernetKind::Gigabit; 2],
+        );
+        sim.run();
+        let ms = &sim.component::<ScriptedApp>(apps[1]).milestones;
+        let t_first = ms
+            .iter()
+            .find(|&&(total, _)| total >= size)
+            .expect("first burst delivered")
+            .1;
+        let t_second = ms
+            .iter()
+            .find(|&&(total, _)| total >= 2 * size)
+            .expect("second burst delivered")
+            .1;
+        (
+            t_first.as_secs_f64(),
+            t_second.as_secs_f64() - gap.as_secs_f64().max(t_first.as_secs_f64()),
+        )
+    };
+
+    // Short gap (cwnd stays open): second burst well faster than first.
+    let short_gap = SimDuration::from_millis(20);
+    let (first_warm, second_warm) = run(short_gap);
+    assert!(
+        second_warm < 0.7 * first_warm,
+        "warm window should be faster: first {first_warm:.6}s second {second_warm:.6}s"
+    );
+
+    // Long gap (> initial RTO 1 s): slow start restarts; the second
+    // burst takes about as long as the first again.
+    let long_gap = SimDuration::from_secs(2);
+    let (first_cold, second_cold) = run(long_gap);
+    assert!(
+        second_cold > 0.8 * first_cold,
+        "idle restart missing: first {first_cold:.6}s second {second_cold:.6}s"
+    );
+}
+
+#[test]
+fn sustained_loss_recovers_through_rto_and_all_bytes_arrive() {
+    // A rate mismatch (Gigabit sender into a Fast Ethernet receiver
+    // port) with a tiny switch buffer forces repeated drops; the stream
+    // must still complete, with visible retransmission activity.
+    let peer = MacAddr::for_node(1, 0);
+    let size = 300_000;
+    let sw = SwitchParams {
+        port_buffer: DataSize::from_bytes(4500), // ~3 segments
+        ..SwitchParams::default()
+    };
+    let script = vec![(SimDuration::ZERO, burst(peer, size))];
+    let (mut sim, apps, nics) = build_pair(
+        script,
+        sw,
+        [acc_net::EthernetKind::Gigabit, acc_net::EthernetKind::Fast],
+    );
+    sim.run();
+    let got = &sim.component::<ScriptedApp>(apps[1]).received[&(MacAddr::for_node(0, 0), 1)];
+    assert_eq!(got.len(), size, "stream incomplete under loss");
+    assert!(got.iter().all(|&b| b == 0x5A));
+    let sender = sim.component::<TcpHostNic>(nics[0]);
+    assert!(sender.retransmits() > 0, "loss must force retransmissions");
+    // With a 3-segment buffer, windows beyond ~4 segments always
+    // overflow, so timeouts (not just fast retransmit) must appear.
+    assert!(sender.rto_fires() > 0, "expected RTO-driven recovery");
+}
+
+#[test]
+fn rto_backoff_grows_under_repeated_timeouts() {
+    // Same pathological buffer; the total time must reflect exponential
+    // backoff (not a livelock of instant retransmissions).
+    let peer = MacAddr::for_node(1, 0);
+    let size = 100_000;
+    let sw = SwitchParams {
+        port_buffer: DataSize::from_bytes(4500),
+        ..SwitchParams::default()
+    };
+    let script = vec![(SimDuration::ZERO, burst(peer, size))];
+    let (mut sim, apps, nics) = build_pair(
+        script,
+        sw,
+        [acc_net::EthernetKind::Gigabit, acc_net::EthernetKind::Fast],
+    );
+    sim.run();
+    let done = sim
+        .component::<ScriptedApp>(apps[1])
+        .milestones
+        .last()
+        .expect("delivered")
+        .1;
+    let rto_fires = sim.component::<TcpHostNic>(nics[0]).rto_fires();
+    // Every RTO waits at least the 200 ms floor.
+    assert!(
+        done.as_secs_f64() >= 0.2 * rto_fires.min(3) as f64,
+        "completion {done} too fast for {rto_fires} timeouts"
+    );
+}

@@ -1,0 +1,301 @@
+//! The simulation engine: component registry + event loop.
+
+use std::any::Any;
+
+use crate::component::{Component, ComponentId, Ctx};
+use crate::event::EventQueue;
+use crate::rng::SimRng;
+use crate::stats::StatsRegistry;
+use crate::time::SimTime;
+use crate::trace::TraceBuffer;
+
+/// The discrete-event simulation engine.
+///
+/// Owns all components, the future-event list, the RNG, statistics and the
+/// trace buffer. Scenarios are built in two phases: reserve ids (so
+/// components can be wired to each other before construction), register the
+/// component objects, then seed initial events and [`run`](Self::run).
+pub struct Simulation {
+    components: Vec<Option<Box<dyn Component>>>,
+    queue: EventQueue,
+    now: SimTime,
+    rng: SimRng,
+    stats: StatsRegistry,
+    trace: TraceBuffer,
+    events_processed: u64,
+    /// Safety valve: panic if a scenario exceeds this many events
+    /// (default: effectively unlimited). Helps catch livelock bugs such as
+    /// two protocol stacks ACKing each other forever.
+    event_limit: u64,
+}
+
+impl Simulation {
+    /// Create an engine with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Simulation {
+            components: Vec::new(),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            rng: SimRng::seed_from(seed),
+            stats: StatsRegistry::new(),
+            trace: TraceBuffer::disabled(),
+            events_processed: 0,
+            event_limit: u64::MAX,
+        }
+    }
+
+    /// Enable the bounded trace buffer (keeps the most recent `capacity`
+    /// entries).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = TraceBuffer::with_capacity(capacity);
+    }
+
+    /// Set a hard limit on processed events; exceeding it panics with a
+    /// trace dump. Useful in tests to catch event livelock.
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Reserve a fresh [`ComponentId`]. The slot must be filled with
+    /// [`register`](Self::register) before any event addressed to it is
+    /// delivered.
+    pub fn reserve_id(&mut self) -> ComponentId {
+        let id = ComponentId::from_raw(self.components.len());
+        self.components.push(None);
+        id
+    }
+
+    /// Install a component in a previously reserved slot.
+    ///
+    /// # Panics
+    /// Panics if the slot is already occupied.
+    pub fn register<C: Component + 'static>(&mut self, id: ComponentId, component: C) {
+        let slot = &mut self.components[id.index()];
+        assert!(
+            slot.is_none(),
+            "component slot {:?} registered twice",
+            id
+        );
+        *slot = Some(Box::new(component));
+    }
+
+    /// Convenience: reserve an id and register in one step, for components
+    /// that do not need to know their own id before construction.
+    pub fn add<C: Component + 'static>(&mut self, component: C) -> ComponentId {
+        let id = self.reserve_id();
+        self.register(id, component);
+        id
+    }
+
+    /// Schedule an initial event at an absolute instant.
+    pub fn schedule_at<M: Any>(&mut self, time: SimTime, target: ComponentId, payload: M) {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past ({time} < {})",
+            self.now
+        );
+        self.queue.push(time, target, Box::new(payload));
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// The statistics registry.
+    pub fn stats(&self) -> &StatsRegistry {
+        &self.stats
+    }
+
+    /// Mutable access to the statistics registry (for pre-run registration
+    /// or post-run probes).
+    pub fn stats_mut(&mut self) -> &mut StatsRegistry {
+        &mut self.stats
+    }
+
+    /// The trace buffer (entries only exist if tracing was enabled).
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    /// Immutable access to a registered component, downcast to `C`.
+    ///
+    /// Scenario drivers use this after `run()` to pull results out of
+    /// terminal components.
+    pub fn component<C: Component>(&self, id: ComponentId) -> &C {
+        let c: &dyn Component = self.components[id.index()]
+            .as_deref()
+            .expect("component slot never registered");
+        let any: &dyn Any = c;
+        any.downcast_ref::<C>().expect("component type mismatch")
+    }
+
+    /// Mutable access to a registered component, downcast to `C`.
+    pub fn component_mut<C: Component>(&mut self, id: ComponentId) -> &mut C {
+        let c: &mut dyn Component = self.components[id.index()]
+            .as_deref_mut()
+            .expect("component slot never registered");
+        let any: &mut dyn Any = c;
+        any.downcast_mut::<C>().expect("component type mismatch")
+    }
+
+    /// Process a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "event queue produced stale event");
+        self.now = ev.time;
+        self.events_processed += 1;
+        if self.events_processed > self.event_limit {
+            panic!(
+                "event limit exceeded ({} events) — likely livelock.\n{}",
+                self.event_limit,
+                self.trace.dump()
+            );
+        }
+        let slot = self.components[ev.target.index()]
+            .take()
+            .unwrap_or_else(|| panic!("event for unregistered component {:?}", ev.target));
+        let mut component = slot;
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: ev.target,
+                queue: &mut self.queue,
+                rng: &mut self.rng,
+                stats: &mut self.stats,
+                trace: &mut self.trace,
+            };
+            component.handle(ev.payload, &mut ctx);
+        }
+        self.components[ev.target.index()] = Some(component);
+        true
+    }
+
+    /// Run until the event queue is exhausted. Returns the final time.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    /// Run until the queue empties or `deadline` is reached, whichever is
+    /// first. Events scheduled at exactly `deadline` are processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        while let Some(t) = self.queue.next_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline && self.queue.next_time().is_some() {
+            // Stopped by deadline with pending later events: advance the
+            // clock to the deadline so callers observe a consistent "ran
+            // until" time.
+            self.now = deadline;
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    struct Counter {
+        count: u64,
+    }
+
+    impl Component for Counter {
+        fn handle(&mut self, _ev: Box<dyn Any>, _ctx: &mut Ctx) {
+            self.count += 1;
+        }
+        fn name(&self) -> &str {
+            "counter"
+        }
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = Simulation::new(0);
+        let id = sim.add(Counter { count: 0 });
+        for ms in [1u64, 2, 3, 10] {
+            sim.schedule_at(SimTime::ZERO + SimDuration::from_millis(ms), id, ());
+        }
+        let deadline = SimTime::ZERO + SimDuration::from_millis(5);
+        sim.run_until(deadline);
+        assert_eq!(sim.component::<Counter>(id).count, 3);
+        assert_eq!(sim.now(), deadline);
+        sim.run();
+        assert_eq!(sim.component::<Counter>(id).count, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "event limit exceeded")]
+    fn event_limit_catches_livelock() {
+        struct Livelock;
+        impl Component for Livelock {
+            fn handle(&mut self, _ev: Box<dyn Any>, ctx: &mut Ctx) {
+                ctx.self_in(SimDuration::from_nanos(1), ());
+            }
+            fn name(&self) -> &str {
+                "livelock"
+            }
+        }
+        let mut sim = Simulation::new(0);
+        sim.set_event_limit(1000);
+        let id = sim.add(Livelock);
+        sim.schedule_at(SimTime::ZERO, id, ());
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_registration_panics() {
+        let mut sim = Simulation::new(0);
+        let id = sim.reserve_id();
+        sim.register(id, Counter { count: 0 });
+        sim.register(id, Counter { count: 0 });
+    }
+
+    #[test]
+    fn component_accessors_roundtrip() {
+        let mut sim = Simulation::new(0);
+        let id = sim.add(Counter { count: 7 });
+        assert_eq!(sim.component::<Counter>(id).count, 7);
+        sim.component_mut::<Counter>(id).count = 9;
+        assert_eq!(sim.component::<Counter>(id).count, 9);
+    }
+
+    #[test]
+    fn identical_seeds_are_deterministic() {
+        fn run_once() -> (u64, u64) {
+            struct Random {
+                sum: u64,
+            }
+            impl Component for Random {
+                fn handle(&mut self, _ev: Box<dyn Any>, ctx: &mut Ctx) {
+                    self.sum = self.sum.wrapping_add(ctx.rng().next_u64());
+                    if !self.sum.is_multiple_of(3) {
+                        ctx.self_in(SimDuration::from_nanos(self.sum % 100 + 1), ());
+                    }
+                }
+                fn name(&self) -> &str {
+                    "random"
+                }
+            }
+            let mut sim = Simulation::new(12345);
+            let id = sim.add(Random { sum: 0 });
+            sim.schedule_at(SimTime::ZERO, id, ());
+            sim.run();
+            (sim.component::<Random>(id).sum, sim.now().as_ps())
+        }
+        assert_eq!(run_once(), run_once());
+    }
+}

@@ -1,0 +1,160 @@
+//! The event queue: a deterministic priority queue of scheduled events.
+
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::component::ComponentId;
+use crate::time::SimTime;
+
+/// An event scheduled for delivery to a component.
+///
+/// The payload is type-erased; each domain crate defines its own message
+/// enums and downcasts in its `Component::handle` implementation. This
+/// mirrors how real buses carry opaque transactions that endpoints decode.
+pub struct ScheduledEvent {
+    /// Delivery instant.
+    pub time: SimTime,
+    /// Monotone insertion sequence number; breaks time ties so execution
+    /// order is independent of heap internals.
+    pub seq: u64,
+    /// Destination component.
+    pub target: ComponentId,
+    /// Opaque message payload.
+    pub payload: Box<dyn Any>,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for ScheduledEvent {}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq)
+        // pops first. Same-time events deliver in scheduling order, which
+        // is what a causally-ordered hardware bus would do.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic future-event list.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<ScheduledEvent>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `payload` for `target` at absolute instant `time`.
+    pub fn push(&mut self, time: SimTime, target: ComponentId, payload: Box<dyn Any>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent {
+            time,
+            seq,
+            target,
+            payload,
+        });
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<ScheduledEvent> {
+        self.heap.pop()
+    }
+
+    /// Peek at the delivery time of the earliest event.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (diagnostics).
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn id(n: usize) -> ComponentId {
+        ComponentId::from_raw(n)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        let t = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
+        q.push(t(5), id(0), Box::new(5u32));
+        q.push(t(1), id(0), Box::new(1u32));
+        q.push(t(3), id(0), Box::new(3u32));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| *e.payload.downcast::<u32>().unwrap())
+            .collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.push(SimTime::ZERO, id(0), Box::new(i));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| *e.payload.downcast::<u32>().unwrap())
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn next_time_tracks_head() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_time(), None);
+        q.push(SimTime::from_ps(10), id(1), Box::new(()));
+        q.push(SimTime::from_ps(2), id(1), Box::new(()));
+        assert_eq!(q.next_time(), Some(SimTime::from_ps(2)));
+        q.pop();
+        assert_eq!(q.next_time(), Some(SimTime::from_ps(10)));
+    }
+
+    #[test]
+    fn counts_scheduled_events() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime::ZERO, id(0), Box::new(()));
+        q.push(SimTime::ZERO, id(0), Box::new(()));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_total(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.scheduled_total(), 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! Deterministic random number generation for simulations.
+//!
+//! A thin wrapper over a splitmix64/xoshiro-style generator implemented
+//! in-crate so results are stable across `rand` crate versions — the
+//! figures in EXPERIMENTS.md must regenerate bit-identically even after a
+//! dependency bump. The `rand`-based helpers in `acc-algos` are used only
+//! for workload *generation*, where the seed is recorded alongside the
+//! experiment.
+
+/// xoshiro256++ seeded via splitmix64, as recommended by its authors.
+///
+/// Not cryptographic; plenty for jittering timings and sampling loss.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Seed the generator. Any seed (including 0) is valid.
+    pub fn seed_from(seed: u64) -> Self {
+        // splitmix64 expansion of the 64-bit seed into 256 bits of state.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        SimRng { s }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, n)` using Lemire's multiply-shift rejection.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn gen_range(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "gen_range(0)");
+        // Unbiased: reject the short range of the low product.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0,1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Derive an independent child generator (for giving each component
+    /// its own stream without coupling their consumption order).
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SimRng::seed_from(99);
+        let mut b = SimRng::seed_from(99);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_range_stays_in_range() {
+        let mut rng = SimRng::seed_from(7);
+        for n in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..100 {
+                assert!(rng.gen_range(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_one_is_always_zero() {
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..10 {
+            assert_eq!(rng.gen_range(1), 0);
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = SimRng::seed_from(123);
+        let mut buckets = [0u32; 10];
+        let trials = 100_000;
+        for _ in 0..trials {
+            buckets[rng.gen_range(10) as usize] += 1;
+        }
+        let expected = trials / 10;
+        for (i, &b) in buckets.iter().enumerate() {
+            let dev = (b as i64 - expected as i64).abs();
+            assert!(
+                dev < expected as i64 / 10,
+                "bucket {i} count {b} deviates too far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = SimRng::seed_from(11);
+        for _ in 0..1000 {
+            let v = rng.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability_extremes() {
+        let mut rng = SimRng::seed_from(3);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut parent = SimRng::seed_from(42);
+        let mut child = parent.fork();
+        // Child does not replay the parent's stream.
+        let p: Vec<u64> = (0..10).map(|_| parent.next_u64()).collect();
+        let c: Vec<u64> = (0..10).map(|_| child.next_u64()).collect();
+        assert_ne!(p, c);
+    }
+}

@@ -1,0 +1,317 @@
+//! Statistics collection: counters, gauges, histograms and time series.
+//!
+//! Keys are `(scope, name)` string pairs — scope is usually a component
+//! name such as `"nic3"` or `"switch"`. Cheap enough for simulation-rate
+//! updates; values are pulled after a run for report generation.
+
+use std::collections::BTreeMap;
+
+use crate::time::SimTime;
+
+/// A monotonically increasing event counter.
+#[derive(Default, Debug, Clone)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Increment by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// A last-writer-wins instantaneous value.
+#[derive(Default, Debug, Clone)]
+pub struct Gauge {
+    value: f64,
+    max_seen: f64,
+}
+
+impl Gauge {
+    /// Set the current value, tracking the maximum ever seen.
+    pub fn set(&mut self, v: f64) {
+        self.value = v;
+        if v > self.max_seen {
+            self.max_seen = v;
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        self.value
+    }
+
+    /// Maximum value ever set.
+    pub fn max(&self) -> f64 {
+        self.max_seen
+    }
+}
+
+/// An append-only `(time, value)` series, e.g. queue depth over time.
+#[derive(Default, Debug, Clone)]
+pub struct Series {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl Series {
+    /// Append a sample.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        self.points.push((t, v));
+    }
+
+    /// All samples in insertion (= time) order.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean of sample values (0.0 for an empty series).
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Maximum sample value (0.0 for an empty series).
+    pub fn max(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0.0_f64, f64::max)
+    }
+}
+
+/// A fixed-boundary histogram over `f64` samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Create with ascending bucket upper bounds; an implicit overflow
+    /// bucket catches values above the last bound.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let n = bounds.len();
+        Histogram {
+            bounds,
+            counts: vec![0; n + 1],
+            total: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += v;
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of all samples (0.0 if none).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+/// Registry of all metrics, keyed by `(scope, name)`.
+#[derive(Default)]
+pub struct StatsRegistry {
+    counters: BTreeMap<(String, String), Counter>,
+    gauges: BTreeMap<(String, String), Gauge>,
+    series: BTreeMap<(String, String), Series>,
+}
+
+impl StatsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetch or create a counter.
+    pub fn counter(&mut self, scope: &str, name: &str) -> &mut Counter {
+        self.counters
+            .entry((scope.to_owned(), name.to_owned()))
+            .or_default()
+    }
+
+    /// Fetch or create a gauge.
+    pub fn gauge(&mut self, scope: &str, name: &str) -> &mut Gauge {
+        self.gauges
+            .entry((scope.to_owned(), name.to_owned()))
+            .or_default()
+    }
+
+    /// Fetch or create a time series.
+    pub fn series(&mut self, scope: &str, name: &str) -> &mut Series {
+        self.series
+            .entry((scope.to_owned(), name.to_owned()))
+            .or_default()
+    }
+
+    /// Read a counter value if it exists.
+    pub fn counter_value(&self, scope: &str, name: &str) -> Option<u64> {
+        self.counters
+            .get(&(scope.to_owned(), name.to_owned()))
+            .map(Counter::get)
+    }
+
+    /// Read a gauge value if it exists.
+    pub fn gauge_value(&self, scope: &str, name: &str) -> Option<f64> {
+        self.gauges
+            .get(&(scope.to_owned(), name.to_owned()))
+            .map(Gauge::get)
+    }
+
+    /// Read a series if it exists.
+    pub fn series_ref(&self, scope: &str, name: &str) -> Option<&Series> {
+        self.series.get(&(scope.to_owned(), name.to_owned()))
+    }
+
+    /// Iterate all counters in deterministic (sorted key) order.
+    pub fn counters(&self) -> impl Iterator<Item = (&(String, String), u64)> {
+        self.counters.iter().map(|(k, v)| (k, v.get()))
+    }
+
+    /// Render every metric as a sorted text block (debugging, goldens).
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for ((scope, name), c) in &self.counters {
+            let _ = writeln!(out, "counter {scope}.{name} = {}", c.get());
+        }
+        for ((scope, name), g) in &self.gauges {
+            let _ = writeln!(
+                out,
+                "gauge   {scope}.{name} = {} (max {})",
+                g.get(),
+                g.max()
+            );
+        }
+        for ((scope, name), s) in &self.series {
+            let _ = writeln!(
+                out,
+                "series  {scope}.{name}: n={} mean={:.3} max={:.3}",
+                s.len(),
+                s.mean(),
+                s.max()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut reg = StatsRegistry::new();
+        reg.counter("nic0", "frames_tx").inc();
+        reg.counter("nic0", "frames_tx").add(4);
+        assert_eq!(reg.counter_value("nic0", "frames_tx"), Some(5));
+        assert_eq!(reg.counter_value("nic0", "missing"), None);
+    }
+
+    #[test]
+    fn gauge_tracks_max() {
+        let mut reg = StatsRegistry::new();
+        let g = reg.gauge("switch", "queue_depth");
+        g.set(3.0);
+        g.set(10.0);
+        g.set(2.0);
+        assert_eq!(g.get(), 2.0);
+        assert_eq!(g.max(), 10.0);
+    }
+
+    #[test]
+    fn series_statistics() {
+        let mut s = Series::default();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        s.push(SimTime::from_ps(1), 1.0);
+        s.push(SimTime::from_ps(2), 3.0);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.max(), 3.0);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(vec![1.0, 10.0, 100.0]);
+        for v in [0.5, 5.0, 50.0, 500.0, 0.1] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 1]);
+        assert_eq!(h.total(), 5);
+        assert!((h.mean() - 111.12).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn histogram_rejects_bad_bounds() {
+        Histogram::new(vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn dump_is_deterministic_and_sorted() {
+        let mut reg = StatsRegistry::new();
+        reg.counter("b", "x").inc();
+        reg.counter("a", "y").add(2);
+        let d = reg.dump();
+        let a_pos = d.find("a.y").unwrap();
+        let b_pos = d.find("b.x").unwrap();
+        assert!(a_pos < b_pos);
+    }
+}

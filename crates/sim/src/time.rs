@@ -1,0 +1,557 @@
+//! Simulated time, durations, data sizes and bandwidths.
+//!
+//! All timing in the simulator is integer picoseconds. At 1 Gb/s one byte
+//! serialises in 8 000 ps, so picosecond resolution keeps even Gigabit
+//! Ethernet byte times exactly representable; a `u64` of picoseconds spans
+//! ~213 days of simulated time, far beyond any scenario in the paper.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Picoseconds per second.
+const PS_PER_SEC: u64 = 1_000_000_000_000;
+
+/// An absolute instant in simulated time (picoseconds since simulation
+/// start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time (picoseconds).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+    /// Largest representable instant; used as a sentinel for "never".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Raw picoseconds since simulation start.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Whole nanoseconds since simulation start (truncating).
+    pub const fn as_nanos(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds since simulation start as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_SEC as f64
+    }
+
+    /// Milliseconds since simulation start as a float (for reporting only).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1.0e9
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    /// Panics if `earlier` is later than `self`; simulated time never runs
+    /// backwards, so this indicates a scenario bug.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("SimTime::since: earlier instant is in the future"),
+        )
+    }
+
+    /// Saturating difference, for code that tolerates reordered probes.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// Largest representable duration; used as an "infinite" timeout.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Construct from raw picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        SimDuration(ps)
+    }
+
+    /// Construct from whole nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns * 1_000)
+    }
+
+    /// Construct from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * PS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest
+    /// picosecond. Negative and non-finite inputs are clamped to zero, so
+    /// derived cost models cannot schedule into the past.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((s * PS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Raw picoseconds.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Whole nanoseconds (truncating).
+    pub const fn as_nanos(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_SEC as f64
+    }
+
+    /// Milliseconds as a float (for reporting only).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1.0e9
+    }
+
+    /// True if this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+
+    /// Checked multiplication by a count (e.g. per-packet cost × packets).
+    pub fn checked_mul(self, n: u64) -> Option<SimDuration> {
+        self.0.checked_mul(n).map(SimDuration)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("SimTime overflow: scenario exceeds ~213 days"),
+        )
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", fmt_ps(self.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fmt_ps(self.0))
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fmt_ps(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fmt_ps(self.0))
+    }
+}
+
+/// Human-readable picosecond formatting with an auto-selected unit.
+fn fmt_ps(ps: u64) -> String {
+    if ps >= PS_PER_SEC {
+        format!("{:.6}s", ps as f64 / PS_PER_SEC as f64)
+    } else if ps >= 1_000_000_000 {
+        format!("{:.3}ms", ps as f64 / 1.0e9)
+    } else if ps >= 1_000_000 {
+        format!("{:.3}us", ps as f64 / 1.0e6)
+    } else if ps >= 1_000 {
+        format!("{:.3}ns", ps as f64 / 1.0e3)
+    } else {
+        format!("{ps}ps")
+    }
+}
+
+/// An amount of data in bytes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DataSize(u64);
+
+impl DataSize {
+    /// No data.
+    pub const ZERO: DataSize = DataSize(0);
+
+    /// Construct from bytes.
+    pub const fn from_bytes(b: u64) -> Self {
+        DataSize(b)
+    }
+
+    /// Construct from binary kilobytes (KiB).
+    pub const fn from_kib(k: u64) -> Self {
+        DataSize(k * 1024)
+    }
+
+    /// Construct from binary megabytes (MiB).
+    pub const fn from_mib(m: u64) -> Self {
+        DataSize(m * 1024 * 1024)
+    }
+
+    /// Size in bytes.
+    pub const fn bytes(self) -> u64 {
+        self.0
+    }
+
+    /// Size in KiB as a float (reporting).
+    pub fn as_kib_f64(self) -> f64 {
+        self.0 as f64 / 1024.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: DataSize) -> DataSize {
+        DataSize(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: DataSize) -> Option<DataSize> {
+        self.0.checked_add(rhs.0).map(DataSize)
+    }
+}
+
+impl Add for DataSize {
+    type Output = DataSize;
+    fn add(self, rhs: DataSize) -> DataSize {
+        DataSize(self.0.checked_add(rhs.0).expect("DataSize overflow"))
+    }
+}
+
+impl AddAssign for DataSize {
+    fn add_assign(&mut self, rhs: DataSize) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for DataSize {
+    type Output = DataSize;
+    fn sub(self, rhs: DataSize) -> DataSize {
+        DataSize(self.0.checked_sub(rhs.0).expect("DataSize underflow"))
+    }
+}
+
+impl Mul<u64> for DataSize {
+    type Output = DataSize;
+    fn mul(self, rhs: u64) -> DataSize {
+        DataSize(self.0.checked_mul(rhs).expect("DataSize overflow"))
+    }
+}
+
+impl fmt::Debug for DataSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1024 * 1024 {
+            write!(f, "{:.2}MiB", self.0 as f64 / (1024.0 * 1024.0))
+        } else if self.0 >= 1024 {
+            write!(f, "{:.2}KiB", self.0 as f64 / 1024.0)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+impl fmt::Display for DataSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A transfer rate.
+///
+/// Internally bytes/second; constructors exist for the units the paper
+/// uses: megabits/s for network links (decimal, as Ethernet rates are) and
+/// MB/s for bus and card rates. Note the paper's Section 4 rates (80 and
+/// 90 "MB/s") are binary mega (×1024×1024) — see [`Bandwidth::from_mib_per_sec`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bandwidth {
+    bytes_per_sec: u64,
+}
+
+impl Bandwidth {
+    /// From raw bytes per second.
+    pub const fn from_bytes_per_sec(b: u64) -> Self {
+        Bandwidth { bytes_per_sec: b }
+    }
+
+    /// From decimal megabits per second (e.g. Ethernet's 100 Mb/s, 1000 Mb/s).
+    pub const fn from_mbit_per_sec(mbit: u64) -> Self {
+        Bandwidth {
+            bytes_per_sec: mbit * 1_000_000 / 8,
+        }
+    }
+
+    /// From decimal megabytes per second (e.g. PCI's 132 MB/s = 33 MHz × 4 B).
+    pub const fn from_mb_per_sec(mb: u64) -> Self {
+        Bandwidth {
+            bytes_per_sec: mb * 1_000_000,
+        }
+    }
+
+    /// From binary megabytes (MiB) per second. The paper's Eq. 6–9 rates
+    /// divide by `80 × 1024 × 1024` and `90 × 1024 × 1024`, i.e. MiB/s.
+    pub const fn from_mib_per_sec(mib: u64) -> Self {
+        Bandwidth {
+            bytes_per_sec: mib * 1024 * 1024,
+        }
+    }
+
+    /// Rate in bytes per second.
+    pub const fn bytes_per_sec(self) -> u64 {
+        self.bytes_per_sec
+    }
+
+    /// Rate in MiB/s as a float (reporting).
+    pub fn as_mib_per_sec_f64(self) -> f64 {
+        self.bytes_per_sec as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Time to move `size` at this rate, rounded up to the next picosecond.
+    ///
+    /// # Panics
+    /// Panics on a zero rate; a zero-bandwidth resource is a configuration
+    /// error, not a modelling input.
+    pub fn transfer_time(self, size: DataSize) -> SimDuration {
+        assert!(self.bytes_per_sec > 0, "zero bandwidth");
+        // ceil(size * PS_PER_SEC / rate) using u128 to avoid overflow.
+        let num = size.bytes() as u128 * PS_PER_SEC as u128;
+        let den = self.bytes_per_sec as u128;
+        SimDuration::from_ps(num.div_ceil(den) as u64)
+    }
+
+    /// The slower of two rates — the streaming rate of two pipeline stages
+    /// in series.
+    pub fn min(self, other: Bandwidth) -> Bandwidth {
+        if self.bytes_per_sec <= other.bytes_per_sec {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Scale this rate by a factor in `[0, 1]` (e.g. DMA efficiency).
+    pub fn scaled(self, factor: f64) -> Bandwidth {
+        assert!(
+            (0.0..=1.0).contains(&factor),
+            "bandwidth scale factor out of range: {factor}"
+        );
+        Bandwidth {
+            bytes_per_sec: (self.bytes_per_sec as f64 * factor) as u64,
+        }
+    }
+}
+
+impl Div<Bandwidth> for DataSize {
+    type Output = SimDuration;
+    fn div(self, rhs: Bandwidth) -> SimDuration {
+        rhs.transfer_time(self)
+    }
+}
+
+impl fmt::Debug for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}MiB/s", self.as_mib_per_sec_f64())
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t = SimTime::ZERO + SimDuration::from_micros(5);
+        assert_eq!(t.as_nanos(), 5_000);
+        let d = t.since(SimTime::ZERO);
+        assert_eq!(d, SimDuration::from_micros(5));
+        assert_eq!((t + d).since(t), d);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier instant is in the future")]
+    fn since_panics_on_backwards_time() {
+        SimTime::ZERO.since(SimTime::from_ps(1));
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_secs(1).as_ps(), 1_000_000_000_000);
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1000));
+        assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1000));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
+        );
+    }
+
+    #[test]
+    fn from_secs_f64_clamps_pathological_inputs() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::INFINITY),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn gigabit_byte_time_is_exact() {
+        // 1 Gb/s = 125,000,000 B/s; one byte = 8 ns = 8000 ps exactly.
+        let gig = Bandwidth::from_mbit_per_sec(1000);
+        assert_eq!(
+            gig.transfer_time(DataSize::from_bytes(1)),
+            SimDuration::from_nanos(8)
+        );
+        // A 1500-byte frame serialises in 12 µs.
+        assert_eq!(
+            gig.transfer_time(DataSize::from_bytes(1500)),
+            SimDuration::from_micros(12)
+        );
+    }
+
+    #[test]
+    fn transfer_time_rounds_up() {
+        // 3 bytes at 7 B/s: 3/7 s = 428571428571.43 ps → rounds up.
+        let bw = Bandwidth::from_bytes_per_sec(7);
+        let t = bw.transfer_time(DataSize::from_bytes(3));
+        assert_eq!(t.as_ps(), 428_571_428_572);
+    }
+
+    #[test]
+    fn paper_rates_use_binary_megabytes() {
+        // Eq. 6: S/P over 80 × 1024 × 1024.
+        let host_to_card = Bandwidth::from_mib_per_sec(80);
+        assert_eq!(host_to_card.bytes_per_sec(), 80 * 1024 * 1024);
+        let t = host_to_card.transfer_time(DataSize::from_mib(80));
+        assert_eq!(t, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn datasize_div_bandwidth_sugar() {
+        let t = DataSize::from_mib(90) / Bandwidth::from_mib_per_sec(90);
+        assert_eq!(t, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn bandwidth_min_and_scale() {
+        let a = Bandwidth::from_mib_per_sec(80);
+        let b = Bandwidth::from_mib_per_sec(90);
+        assert_eq!(a.min(b), a);
+        assert_eq!(b.min(a), a);
+        let half = b.scaled(0.5);
+        assert_eq!(half.bytes_per_sec(), 45 * 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bandwidth_scale_rejects_out_of_range() {
+        Bandwidth::from_mib_per_sec(1).scaled(1.5);
+    }
+
+    #[test]
+    fn display_picks_sane_units() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(8)), "8.000ns");
+        assert_eq!(format!("{}", SimDuration::from_millis(3)), "3.000ms");
+        assert_eq!(format!("{}", DataSize::from_kib(64)), "64.00KiB");
+    }
+
+    #[test]
+    fn datasize_arithmetic() {
+        let a = DataSize::from_kib(1) + DataSize::from_bytes(24);
+        assert_eq!(a.bytes(), 1048);
+        assert_eq!((a - DataSize::from_bytes(24)).bytes(), 1024);
+        assert_eq!((DataSize::from_bytes(3) * 4).bytes(), 12);
+        assert_eq!(
+            DataSize::from_bytes(5).saturating_sub(DataSize::from_kib(1)),
+            DataSize::ZERO
+        );
+    }
+}

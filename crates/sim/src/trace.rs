@@ -1,0 +1,135 @@
+//! Bounded event tracing for post-mortem debugging of scenarios.
+
+use std::collections::VecDeque;
+
+use crate::component::ComponentId;
+use crate::time::SimTime;
+
+/// One trace record.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// When the traced action happened.
+    pub time: SimTime,
+    /// Which component recorded it.
+    pub component: ComponentId,
+    /// Free-form message.
+    pub message: String,
+}
+
+/// A ring buffer of recent [`TraceEntry`] records.
+///
+/// Disabled by default (zero capacity, zero cost); enable per scenario via
+/// [`crate::Simulation::enable_trace`]. When a scenario assertion fails the
+/// engine dumps the tail of this buffer, which is usually enough to see the
+/// last few protocol exchanges before the failure.
+pub struct TraceBuffer {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// A buffer that records nothing.
+    pub fn disabled() -> Self {
+        TraceBuffer {
+            entries: VecDeque::new(),
+            capacity: 0,
+            dropped: 0,
+        }
+    }
+
+    /// A buffer keeping the most recent `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceBuffer {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Whether tracing is active.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Record an entry (no-op when disabled).
+    pub fn record(&mut self, time: SimTime, component: ComponentId, message: String) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry {
+            time,
+            component,
+            message,
+        });
+    }
+
+    /// Entries currently retained, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// How many entries were evicted by the ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Render retained entries as text.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.dropped > 0 {
+            let _ = writeln!(out, "... {} earlier entries dropped ...", self.dropped);
+        }
+        for e in &self.entries {
+            let _ = writeln!(out, "[{}] {:?} {}", e.time, e.component, e.message);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_buffer_records_nothing() {
+        let mut t = TraceBuffer::disabled();
+        assert!(!t.enabled());
+        t.record(SimTime::ZERO, ComponentId::from_raw(0), "x".into());
+        assert_eq!(t.entries().count(), 0);
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut t = TraceBuffer::with_capacity(3);
+        for i in 0..5 {
+            t.record(
+                SimTime::from_ps(i),
+                ComponentId::from_raw(0),
+                format!("m{i}"),
+            );
+        }
+        let msgs: Vec<&str> = t.entries().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["m2", "m3", "m4"]);
+        assert_eq!(t.dropped(), 2);
+        assert!(t.dump().contains("2 earlier entries dropped"));
+    }
+
+    #[test]
+    fn dump_formats_entries() {
+        let mut t = TraceBuffer::with_capacity(2);
+        t.record(
+            SimTime::from_ps(1_000),
+            ComponentId::from_raw(3),
+            "hello".into(),
+        );
+        let d = t.dump();
+        assert!(d.contains("#3"));
+        assert!(d.contains("hello"));
+    }
+}

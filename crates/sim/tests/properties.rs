@@ -1,0 +1,96 @@
+//! Property tests over the simulation kernel's arithmetic foundations.
+
+use proptest::prelude::*;
+
+use acc_sim::{Bandwidth, DataSize, SimDuration, SimRng, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn time_add_then_since_roundtrips(base in 0u64..1 << 50, delta in 0u64..1 << 50) {
+        let t0 = SimTime::from_ps(base);
+        let d = SimDuration::from_ps(delta);
+        prop_assert_eq!((t0 + d).since(t0), d);
+        prop_assert!((t0 + d) >= t0);
+    }
+
+    #[test]
+    fn transfer_time_is_monotone_in_size(
+        a in 0u64..1 << 32,
+        b in 0u64..1 << 32,
+        mib in 1u64..100_000,
+    ) {
+        let bw = Bandwidth::from_mib_per_sec(mib);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            bw.transfer_time(DataSize::from_bytes(lo))
+                <= bw.transfer_time(DataSize::from_bytes(hi))
+        );
+    }
+
+    #[test]
+    fn transfer_time_is_antitone_in_rate(
+        bytes in 1u64..1 << 32,
+        r1 in 1u64..100_000,
+        r2 in 1u64..100_000,
+    ) {
+        let (slow, fast) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        let size = DataSize::from_bytes(bytes);
+        prop_assert!(
+            Bandwidth::from_mib_per_sec(fast).transfer_time(size)
+                <= Bandwidth::from_mib_per_sec(slow).transfer_time(size)
+        );
+    }
+
+    #[test]
+    fn transfer_time_never_undershoots_exact_value(
+        bytes in 1u64..1 << 30,
+        rate in 1u64..1 << 32,
+    ) {
+        // Rounded-up integer picoseconds must cover the exact quotient.
+        let bw = Bandwidth::from_bytes_per_sec(rate);
+        let t = bw.transfer_time(DataSize::from_bytes(bytes));
+        let exact = bytes as f64 / rate as f64;
+        prop_assert!(t.as_secs_f64() >= exact - 1e-12);
+        // And never overshoot by more than one picosecond.
+        prop_assert!(t.as_secs_f64() <= exact + 2e-12);
+    }
+
+    #[test]
+    fn rng_range_bounds_hold(seed in any::<u64>(), n in 1u64..=1 << 48) {
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.gen_range(n) < n);
+        }
+    }
+
+    #[test]
+    fn rng_streams_reproducible(seed in any::<u64>()) {
+        let mut a = SimRng::seed_from(seed);
+        let mut b = SimRng::seed_from(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn duration_scaling_distributes(d in 0u64..1 << 40, k in 0u64..1 << 10) {
+        let dur = SimDuration::from_ps(d);
+        let mut sum = SimDuration::ZERO;
+        for _ in 0..k.min(100) {
+            sum += dur;
+        }
+        prop_assert_eq!(sum, dur * k.min(100));
+    }
+
+    #[test]
+    fn datasize_division_equals_transfer_time(
+        bytes in 0u64..1 << 40,
+        mib in 1u64..10_000,
+    ) {
+        let bw = Bandwidth::from_mib_per_sec(mib);
+        let size = DataSize::from_bytes(bytes);
+        prop_assert_eq!(size / bw, bw.transfer_time(size));
+    }
+}

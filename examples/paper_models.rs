@@ -1,0 +1,57 @@
+//! Print the paper's Section 4 analytic models (Eqs. 3–17) as tables:
+//! the predicted ideal-INIC FFT transpose decomposition and speedups,
+//! and the predicted integer-sort times — the same closed forms behind
+//! the INIC curves of Figs. 4 and 5.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example paper_models
+//! ```
+
+use acc::core::model::{FftModel, SortModel};
+use acc::core::report::PAPER_PROC_COUNTS;
+
+fn main() {
+    for rows in [256usize, 512] {
+        let m = FftModel::new(rows);
+        println!("== FFT model, {rows}x{rows} (Eqs. 3-10) ==");
+        println!(
+            "{:>3} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9}",
+            "P", "S (KiB)", "Tdtc", "Tdtg", "Tdfg", "Tdth", "Ttrans", "speedup"
+        );
+        for &p in &PAPER_PROC_COUNTS {
+            println!(
+                "{:>3} {:>12.1} {:>7.3} ms {:>7.3} ms {:>7.3} ms {:>7.3} ms {:>7.3} ms {:>9.2}",
+                p,
+                m.partition_size(p).as_kib_f64(),
+                m.t_dtc(p).as_millis_f64(),
+                m.t_dtg(p).as_millis_f64(),
+                m.t_dfg(p).as_millis_f64(),
+                m.t_dth(p).as_millis_f64(),
+                m.t_trans(p).as_millis_f64(),
+                m.speedup(p),
+            );
+        }
+        println!();
+    }
+
+    let s = SortModel::new(1 << 25);
+    println!("== Integer sort model, 2^25 keys (Eqs. 11-17) ==");
+    println!(
+        "{:>3} {:>12} {:>6} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        "P", "S (KiB)", "N", "Tinic", "Tcount", "Ttotal", "Tserial", "speedup"
+    );
+    for &p in &PAPER_PROC_COUNTS {
+        println!(
+            "{:>3} {:>12.0} {:>6} {:>7.3} ms {:>7.0} ms {:>7.0} ms {:>7.0} ms {:>9.2}",
+            p,
+            s.partition_size(p).as_kib_f64(),
+            s.recv_buckets(p),
+            s.t_inic(p).as_millis_f64(),
+            s.t_countsort(p).as_millis_f64(),
+            s.t_total(p).as_millis_f64(),
+            s.t_serial().as_millis_f64(),
+            s.speedup(p),
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! # ACC — A Reconfigurable Extension to the Network Interface of Beowulf Clusters
+//!
+//! Umbrella crate re-exporting the whole workspace, so examples and
+//! downstream users can depend on one crate:
+//!
+//! * [`sim`] — deterministic discrete-event kernel,
+//! * [`net`] — Ethernet frames, links, switches,
+//! * [`proto`] — TCP model + the INIC application-specific protocol,
+//! * [`host`] — commodity-PC models (memory hierarchy, buses,
+//!   interrupts, kernel cost models),
+//! * [`fpga`] — FPGA devices, bitstreams, dataflow operators, INIC
+//!   cards,
+//! * [`algos`] — FFT / transpose / sorting kernels and workloads,
+//! * [`core`] — the Adaptable Computing Cluster: scenario runners,
+//!   application drivers, Section-4 analytic models, reports.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use acc::core::{cluster, Technology, ClusterSpec};
+//!
+//! // A 4-node Gigabit-Ethernet cluster vs the same cluster with ideal
+//! // INICs, running a 64×64 distributed 2D FFT end to end.
+//! let gige = cluster::run_fft(ClusterSpec::new(4, Technology::GigabitTcp), 64);
+//! let inic = cluster::run_fft(ClusterSpec::new(4, Technology::InicIdeal), 64);
+//! assert!(gige.verified && inic.verified);
+//! assert!(inic.transpose < gige.transpose);
+//! ```
+
+pub use acc_algos as algos;
+pub use acc_core as core;
+pub use acc_fpga as fpga;
+pub use acc_host as host;
+pub use acc_net as net;
+pub use acc_proto as proto;
+pub use acc_sim as sim;

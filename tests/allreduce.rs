@@ -1,0 +1,46 @@
+//! End-to-end AllReduce (collective-operations extension) tests.
+
+use acc::core::cluster::{run_allreduce, ClusterSpec, Technology};
+
+#[test]
+fn allreduce_verifies_on_every_technology() {
+    for tech in Technology::ALL {
+        if tech == Technology::InicProtocol {
+            continue; // the reduce driver has no protocol-only variant
+        }
+        let r = run_allreduce(ClusterSpec::new(4, tech), 10_000);
+        assert!(r.verified, "{}", tech.label());
+    }
+}
+
+#[test]
+fn allreduce_across_processor_counts() {
+    for p in [1usize, 2, 4, 8, 16] {
+        for tech in [Technology::GigabitTcp, Technology::InicIdeal] {
+            let r = run_allreduce(ClusterSpec::new(p, tech), 4096);
+            assert!(r.verified, "p={p} {}", tech.label());
+        }
+    }
+}
+
+#[test]
+fn inic_allreduce_eliminates_host_reduction() {
+    let elems = 100_000;
+    let inic = run_allreduce(ClusterSpec::new(8, Technology::InicIdeal), elems);
+    assert!(inic.reduce.is_zero(), "card must absorb the arithmetic");
+    let tcp = run_allreduce(ClusterSpec::new(8, Technology::GigabitTcp), elems);
+    assert!(!tcp.reduce.is_zero());
+    assert!(
+        inic.total < tcp.total,
+        "INIC {:?} should beat TCP {:?}",
+        inic.total,
+        tcp.total
+    );
+}
+
+#[test]
+fn allreduce_is_deterministic() {
+    let a = run_allreduce(ClusterSpec::new(4, Technology::InicIdeal), 50_000);
+    let b = run_allreduce(ClusterSpec::new(4, Technology::InicIdeal), 50_000);
+    assert_eq!(a.total, b.total);
+}
