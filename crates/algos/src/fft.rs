@@ -19,7 +19,10 @@ use crate::complex::Complex64;
 
 /// Checks `n` is a power of two and at least one.
 fn assert_pow2(n: usize) {
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
 }
 
 /// In-place bit-reversal permutation.

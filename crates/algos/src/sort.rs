@@ -20,7 +20,10 @@
 
 /// Number of buckets must be a power of two so bucketing is a shift.
 fn bucket_shift(k: usize) -> u32 {
-    assert!(k.is_power_of_two() && k >= 2, "bucket count must be a power of two ≥ 2, got {k}");
+    assert!(
+        k.is_power_of_two() && k >= 2,
+        "bucket count must be a power of two ≥ 2, got {k}"
+    );
     32 - k.trailing_zeros()
 }
 
@@ -238,9 +241,7 @@ pub fn splitters_from_sample(sample: &[u32], p: usize) -> Vec<u32> {
     );
     let mut sorted = sample.to_vec();
     sorted.sort_unstable();
-    (1..p)
-        .map(|i| sorted[i * sorted.len() / p])
-        .collect()
+    (1..p).map(|i| sorted[i * sorted.len() / p]).collect()
 }
 
 /// Destination rank under range partitioning: the number of splitters
@@ -263,7 +264,11 @@ pub fn keys_to_bytes(keys: &[u32]) -> Vec<u8> {
 
 /// Inverse of [`keys_to_bytes`].
 pub fn bytes_to_keys(bytes: &[u8]) -> Vec<u32> {
-    assert_eq!(bytes.len() % 4, 0, "key stream must be a multiple of 4 bytes");
+    assert_eq!(
+        bytes.len() % 4,
+        0,
+        "key stream must be a multiple of 4 bytes"
+    );
     bytes
         .chunks_exact(4)
         .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
@@ -465,7 +470,12 @@ mod tests {
         let expect = keys.len() / 16;
         for b in &buckets {
             let dev = (b.len() as i64 - expect as i64).abs();
-            assert!(dev < expect as i64 / 4, "bucket size {} vs {}", b.len(), expect);
+            assert!(
+                dev < expect as i64 / 4,
+                "bucket size {} vs {}",
+                b.len(),
+                expect
+            );
         }
     }
 }

@@ -23,7 +23,10 @@ use crate::fft::Matrix;
 /// # Panics
 /// Panics unless `p` divides the row count.
 pub fn split_row_blocks(m: &Matrix, p: usize) -> Vec<Matrix> {
-    assert!(p > 0 && m.rows().is_multiple_of(p), "P must divide the row count");
+    assert!(
+        p > 0 && m.rows().is_multiple_of(p),
+        "P must divide the row count"
+    );
     let block_rows = m.rows() / p;
     (0..p)
         .map(|b| {
@@ -238,11 +241,7 @@ mod tests {
             let m = numbered(rows, rows);
             let slabs = split_row_blocks(&m, p);
             let t = distributed_transpose(&slabs);
-            assert_eq!(
-                join_row_blocks(&t),
-                m.transposed(),
-                "rows={rows} p={p}"
-            );
+            assert_eq!(join_row_blocks(&t), m.transposed(), "rows={rows} p={p}");
         }
     }
 
@@ -293,7 +292,10 @@ mod tests {
                 let step = &ring_schedule(p, rank)[s - 1];
                 recv_count[step.send_to] += 1;
             }
-            assert!(recv_count.iter().all(|&c| c == 1), "step {s} not a matching");
+            assert!(
+                recv_count.iter().all(|&c| c == 1),
+                "step {s} not a matching"
+            );
         }
     }
 

@@ -5,17 +5,65 @@
 //! precedent it keeps for comparability. We reproduce exactly that:
 //! uniform `u32` keys from a recorded seed. Matrix workloads for the FFT
 //! use smooth deterministic signals so spectra are predictable in tests.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! Generation uses an in-crate xoshiro256++ (seeded via splitmix64), so
+//! recorded seeds regenerate bit-identical workloads forever — no
+//! external RNG crate whose stream could shift across versions.
 
 use crate::complex::Complex64;
 use crate::fft::Matrix;
 
+/// xoshiro256++ seeded via splitmix64 — the same construction as
+/// `acc_sim::SimRng`, duplicated here because `acc-algos` sits below the
+/// simulation kernel in the crate graph.
+struct KeyRng {
+    s: [u64; 4],
+}
+
+impl KeyRng {
+    fn seed_from(seed: u64) -> KeyRng {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        KeyRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform float in `[0, 1)` from 53 random mantissa bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
 /// `n` uniformly distributed 32-bit keys from `seed`.
 pub fn uniform_keys(n: usize, seed: u64) -> Vec<u32> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen::<u32>()).collect()
+    let mut rng = KeyRng::seed_from(seed);
+    (0..n).map(|_| rng.next_u32()).collect()
 }
 
 /// Keys pre-partitioned across `p` processors: processor `i` gets
@@ -31,13 +79,13 @@ pub fn distributed_uniform_keys(n_per_proc: usize, p: usize, seed: u64) -> Vec<V
 /// benchmarks use Gaussian keys; the paper notes its uniform choice is
 /// unrealistic — this generator powers the skew-sensitivity ablation.
 pub fn gaussian_keys(n: usize, seed: u64) -> Vec<u32> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = KeyRng::seed_from(seed);
     let mean = (u32::MAX / 2) as f64;
     let sigma = mean / 4.0;
     (0..n)
         .map(|_| {
-            let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-            let u2: f64 = rng.gen();
+            let u1: f64 = rng.next_f64().max(f64::MIN_POSITIVE);
+            let u2: f64 = rng.next_f64();
             let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
             (mean + sigma * z).clamp(0.0, u32::MAX as f64) as u32
         })
@@ -64,9 +112,9 @@ pub fn wave_matrix(n: usize) -> Matrix {
 
 /// A random complex matrix from `seed` (uniform in the unit square).
 pub fn random_matrix(n: usize, seed: u64) -> Matrix {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = KeyRng::seed_from(seed);
     let data = (0..n * n)
-        .map(|_| Complex64::new(rng.gen::<f64>(), rng.gen::<f64>()))
+        .map(|_| Complex64::new(rng.next_f64(), rng.next_f64()))
         .collect();
     Matrix::from_data(n, n, data)
 }
@@ -90,11 +138,23 @@ mod tests {
     }
 
     #[test]
+    fn uniform_keys_cover_the_range() {
+        let keys = uniform_keys(50_000, 17);
+        let mid = u32::MAX / 2;
+        let high = keys.iter().filter(|&&k| k > mid).count();
+        let frac = high as f64 / keys.len() as f64;
+        assert!((frac - 0.5).abs() < 0.02, "high fraction {frac}");
+    }
+
+    #[test]
     fn gaussian_keys_cluster_near_mean() {
         let keys = gaussian_keys(50_000, 77);
         let mid = (u32::MAX / 2) as f64;
         let mean: f64 = keys.iter().map(|&k| k as f64).sum::<f64>() / keys.len() as f64;
-        assert!((mean - mid).abs() < mid * 0.02, "mean {mean} too far from {mid}");
+        assert!(
+            (mean - mid).abs() < mid * 0.02,
+            "mean {mean} too far from {mid}"
+        );
         // Middle half of the range holds far more than the uniform 50%.
         let in_middle = keys
             .iter()

@@ -1,60 +1,46 @@
-//! Criterion benchmarks over the FFT and transpose kernels.
+//! Benchmarks over the FFT and transpose kernels.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
 use std::hint::black_box;
 
 use acc_algos::fft::{fft, fft_2d};
 use acc_algos::transpose::{distributed_transpose, split_row_blocks};
 use acc_algos::workload::{random_matrix, wave_matrix};
 use acc_algos::Complex64;
+use acc_bench::harness::bench;
 
-fn bench_fft_1d(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fft_1d");
-    g.sample_size(30);
-    g.measurement_time(Duration::from_secs(3));
+fn main() {
     for log_n in [8u32, 10, 12, 14] {
         let n = 1usize << log_n;
         let input: Vec<Complex64> = (0..n)
             .map(|i| Complex64::new((i as f64 * 0.01).sin(), (i as f64 * 0.02).cos()))
             .collect();
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, input| {
-            b.iter(|| fft(black_box(input)))
+        bench("fft_1d", &format!("n_{n}"), 30, Some(n as u64), || {
+            fft(black_box(&input))
         });
     }
-    g.finish();
-}
 
-fn bench_fft_2d(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fft_2d");
-    g.sample_size(20);
-    g.measurement_time(Duration::from_secs(4));
     for n in [64usize, 128, 256] {
         let m = wave_matrix(n);
-        g.throughput(Throughput::Elements((n * n) as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
-            b.iter(|| fft_2d(black_box(m)))
-        });
+        bench(
+            "fft_2d",
+            &format!("n_{n}"),
+            20,
+            Some((n * n) as u64),
+            || fft_2d(black_box(&m)),
+        );
     }
-    g.finish();
-}
 
-fn bench_distributed_transpose(c: &mut Criterion) {
     // The pure data-manipulation cost of the three-phase transpose —
     // what the INIC absorbs into the datapath.
-    let mut g = c.benchmark_group("distributed_transpose_256");
-    g.sample_size(20);
-    g.measurement_time(Duration::from_secs(3));
     let m = random_matrix(256, 7);
     for p in [2usize, 4, 8, 16] {
         let slabs = split_row_blocks(&m, p);
-        g.bench_with_input(BenchmarkId::from_parameter(p), &slabs, |b, slabs| {
-            b.iter(|| distributed_transpose(black_box(slabs)))
-        });
+        bench(
+            "distributed_transpose_256",
+            &format!("p_{p}"),
+            20,
+            None,
+            || distributed_transpose(black_box(&slabs)),
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_fft_1d, bench_fft_2d, bench_distributed_transpose);
-criterion_main!(benches);

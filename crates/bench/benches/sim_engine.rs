@@ -1,11 +1,11 @@
-//! Criterion benchmarks over the simulation substrate itself: raw
-//! event throughput of the discrete-event kernel and end-to-end rates
-//! for the two NIC stacks.
+//! Benchmarks over the simulation substrate itself: raw event
+//! throughput of the discrete-event kernel and end-to-end rates for the
+//! two NIC stacks. Plain `harness = false` binaries on
+//! [`acc_bench::harness`].
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::time::Duration;
 use std::any::Any;
 
+use acc_bench::harness::bench;
 use acc_core::cluster::{run_fft, run_sort, ClusterSpec, Technology};
 use acc_sim::{Component, Ctx, SimDuration, SimTime, Simulation};
 
@@ -26,47 +26,41 @@ impl Component for Bouncer {
     }
 }
 
-fn bench_event_throughput(c: &mut Criterion) {
+fn main() {
     let events = 100_000u64;
-    let mut g = c.benchmark_group("des_kernel");
-    g.sample_size(20);
-    g.measurement_time(Duration::from_secs(4));
-    g.throughput(Throughput::Elements(events));
-    g.bench_function("self_event_chain_100k", |b| {
-        b.iter(|| {
+    bench(
+        "des_kernel",
+        "self_event_chain_100k",
+        20,
+        Some(events),
+        || {
             let mut sim = Simulation::new(0);
             let id = sim.add(Bouncer { remaining: events });
             sim.schedule_at(SimTime::ZERO, id, ());
             sim.run();
             sim.events_processed()
-        })
-    });
-    g.finish();
-}
+        },
+    );
 
-fn bench_cluster_scenarios(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cluster_scenarios");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(4));
     let spec = |tech| {
         let mut s = ClusterSpec::new(4, tech);
         s.verify = false;
         s
     };
-    g.bench_function("fft_64_gigabit", |b| {
-        b.iter(|| run_fft(spec(Technology::GigabitTcp), 64))
+    bench("cluster_scenarios", "fft_64_gigabit", 10, None, || {
+        run_fft(spec(Technology::GigabitTcp), 64)
     });
-    g.bench_function("fft_64_inic_ideal", |b| {
-        b.iter(|| run_fft(spec(Technology::InicIdeal), 64))
+    bench("cluster_scenarios", "fft_64_inic_ideal", 10, None, || {
+        run_fft(spec(Technology::InicIdeal), 64)
     });
-    g.bench_function("sort_2e16_gigabit", |b| {
-        b.iter(|| run_sort(spec(Technology::GigabitTcp), 1 << 16))
+    bench("cluster_scenarios", "sort_2e16_gigabit", 10, None, || {
+        run_sort(spec(Technology::GigabitTcp), 1 << 16)
     });
-    g.bench_function("sort_2e16_inic_ideal", |b| {
-        b.iter(|| run_sort(spec(Technology::InicIdeal), 1 << 16))
-    });
-    g.finish();
+    bench(
+        "cluster_scenarios",
+        "sort_2e16_inic_ideal",
+        10,
+        None,
+        || run_sort(spec(Technology::InicIdeal), 1 << 16),
+    );
 }
-
-criterion_group!(benches, bench_event_throughput, bench_cluster_scenarios);
-criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Criterion benchmarks over the real sorting kernels.
+//! Benchmarks over the real sorting kernels.
 //!
 //! Re-measures the paper's in-text claims on this machine:
 //!
@@ -9,78 +9,54 @@
 //!   problem to map well into cache" at 2²¹ keys — sweep the bucket
 //!   count and watch the count-sort pipeline's throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
 use std::hint::black_box;
 
 use acc_algos::sort::{bucket_then_count_sort, count_sort, quicksort};
 use acc_algos::workload::uniform_keys;
+use acc_bench::harness::bench;
 
-fn bench_sort_comparison(c: &mut Criterion) {
+fn main() {
     let n = 1 << 21;
     let keys = uniform_keys(n, 2001);
-    let mut g = c.benchmark_group("sort_comparison_2e21");
-    g.sample_size(20);
-    g.measurement_time(Duration::from_secs(5));
-    g.throughput(Throughput::Elements(n as u64));
-    g.bench_function("count_sort_direct", |b| {
-        b.iter(|| count_sort(black_box(&keys)))
+    let g = "sort_comparison_2e21";
+    bench(g, "count_sort_direct", 20, Some(n as u64), || {
+        count_sort(black_box(&keys))
     });
-    g.bench_function("bucket128_then_count", |b| {
-        b.iter(|| bucket_then_count_sort(black_box(&keys), 128))
+    bench(g, "bucket128_then_count", 20, Some(n as u64), || {
+        bucket_then_count_sort(black_box(&keys), 128)
     });
-    g.bench_function("quicksort", |b| {
-        b.iter(|| {
-            let mut k = keys.clone();
-            quicksort(&mut k);
-            k
-        })
+    bench(g, "quicksort", 20, Some(n as u64), || {
+        let mut k = keys.clone();
+        quicksort(&mut k);
+        k
     });
-    g.bench_function("std_sort_unstable", |b| {
-        b.iter(|| {
-            let mut k = keys.clone();
-            k.sort_unstable();
-            k
-        })
+    bench(g, "std_sort_unstable", 20, Some(n as u64), || {
+        let mut k = keys.clone();
+        k.sort_unstable();
+        k
     });
-    g.finish();
-}
 
-fn bench_bucket_sweep(c: &mut Criterion) {
     // The ≥128-bucket claim: pipeline throughput vs bucket count.
-    let n = 1 << 21;
     let keys = uniform_keys(n, 31337);
-    let mut g = c.benchmark_group("bucket_count_sweep_2e21");
-    g.sample_size(20);
-    g.measurement_time(Duration::from_secs(4));
-    g.throughput(Throughput::Elements(n as u64));
     for k in [2usize, 16, 64, 128, 256, 1024] {
-        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| bucket_then_count_sort(black_box(&keys), k))
-        });
+        bench(
+            "bucket_count_sweep_2e21",
+            &format!("{k}_buckets"),
+            20,
+            Some(n as u64),
+            || bucket_then_count_sort(black_box(&keys), k),
+        );
     }
-    g.finish();
-}
 
-fn bench_problem_size_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("count_sort_scaling");
-    g.sample_size(20);
-    g.measurement_time(Duration::from_secs(3));
     for shift in [16u32, 18, 20, 22] {
         let n = 1usize << shift;
         let keys = uniform_keys(n, u64::from(shift));
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &keys, |b, keys| {
-            b.iter(|| bucket_then_count_sort(black_box(keys), 128))
-        });
+        bench(
+            "count_sort_scaling",
+            &format!("n_{n}"),
+            20,
+            Some(n as u64),
+            || bucket_then_count_sort(black_box(&keys), 128),
+        );
     }
-    g.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_sort_comparison,
-    bench_bucket_sweep,
-    bench_problem_size_scaling
-);
-criterion_main!(benches);

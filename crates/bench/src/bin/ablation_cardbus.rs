@@ -11,7 +11,10 @@ fn main() {
     println!("# Card-bus ablation: shared 132 MB/s bus (ACEII) vs dual-ported card");
     println!();
     println!("## 2D FFT 512x512 — transpose time (ms)");
-    println!("{:>3} {:>12} {:>12} {:>8}", "P", "ideal", "prototype", "penalty");
+    println!(
+        "{:>3} {:>12} {:>12} {:>8}",
+        "P", "ideal", "prototype", "penalty"
+    );
     for &p in &SIM_PROCS {
         if p == 1 {
             continue;
@@ -28,7 +31,10 @@ fn main() {
     }
     println!();
     println!("## Integer sort 2^22 keys — redistribution time (ms)");
-    println!("{:>3} {:>12} {:>12} {:>8}", "P", "ideal", "prototype", "penalty");
+    println!(
+        "{:>3} {:>12} {:>12} {:>8}",
+        "P", "ideal", "prototype", "penalty"
+    );
     for &p in &SIM_PROCS {
         if p == 1 {
             continue;

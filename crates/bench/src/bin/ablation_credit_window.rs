@@ -152,7 +152,10 @@ fn run_incast(window: u64) -> (Option<f64>, u64) {
 fn main() {
     println!("# Credit-window ablation: 8 senders x 256 KiB into one receiver");
     println!("# switch output buffer = 512 KiB; safe bound: 8 x W <= 512 KiB");
-    println!("{:>10} {:>14} {:>10} {:>10}", "window", "completion", "drops", "");
+    println!(
+        "{:>10} {:>14} {:>10} {:>10}",
+        "window", "completion", "drops", ""
+    );
     for window in [4u64, 8, 16, 24, 32, 48, 64, 128].map(|k| k * 1024) {
         let (done, drops) = run_incast(window);
         let outcome = match done {
@@ -164,7 +167,11 @@ fn main() {
             window / 1024,
             outcome,
             drops,
-            if window == 24 * 1024 { "<- default" } else { "" }
+            if window == 24 * 1024 {
+                "<- default"
+            } else {
+                ""
+            }
         );
     }
     println!();

@@ -1,0 +1,19 @@
+//! Fault-injection campaign: completion time, goodput, and recovery
+//! effort for the integer sort under swept frame-loss rates, per
+//! technology. The paper evaluates the INIC protocol only on a
+//! loss-free switched network ("no packet loss as the total amount of
+//! data put into the network never exceeds the network buffers"); this
+//! ablation asks what each stack pays once that assumption breaks, with
+//! the lightweight protocol extended by checksums, NACKs, and sender
+//! timeout-retransmission (see DESIGN.md §5.11).
+//!
+//! Deterministic end to end: the fault-plan seed fixes every per-link
+//! loss sequence, so re-running this binary reproduces the table
+//! byte-for-byte.
+
+use acc_bench::campaign::{fault_campaign, CampaignConfig};
+
+fn main() {
+    let report = fault_campaign(&CampaignConfig::default());
+    report.print();
+}

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use acc_host::{InterruptCosts, ModerationPolicy};
 use acc_net::port::EgressPort;
 use acc_net::{EthernetKind, LinkParams, MacAddr, Switch, SwitchParams};
-use acc_proto::{HostPathCosts, InicPacket, TcpDelivered, TcpHostNic, TcpParams, TcpSend};
+use acc_proto::{HostPathCosts, TcpDelivered, TcpHostNic, TcpParams, TcpSend};
 use acc_sim::{Bandwidth, Component, ComponentId, Ctx, DataSize, SimTime, Simulation};
 
 /// Sender/receiver application for one point of the sweep.
@@ -111,9 +111,9 @@ fn tcp_transfer_time(bytes: usize, policy: ModerationPolicy) -> f64 {
 /// through the slowest port (80 MiB/s host side), 16 B header per
 /// 1024 B packet, one completion interrupt.
 fn inic_transfer_time(bytes: usize) -> f64 {
-    let wire = InicPacket::wire_payload_bytes(bytes as u64);
+    let wire = acc_proto::wire_payload_bytes(bytes);
     let port = Bandwidth::from_mib_per_sec(80);
-    let t = port.transfer_time(DataSize::from_bytes(wire));
+    let t = port.transfer_time(DataSize::from_bytes(wire as u64));
     t.as_secs_f64() + 12e-6 // completion interrupt
 }
 

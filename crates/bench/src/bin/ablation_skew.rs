@@ -11,9 +11,7 @@
 //!   balance and the uniform-key speedups.
 
 use acc_bench::figure_spec;
-use acc_core::cluster::{
-    run_sort_custom, KeyDistribution, PartitionStrategy, Technology,
-};
+use acc_core::cluster::{run_sort_custom, KeyDistribution, PartitionStrategy, Technology};
 
 fn main() {
     let total_keys: u64 = 1 << 22;

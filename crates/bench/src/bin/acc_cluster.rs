@@ -7,9 +7,7 @@
 //! cargo run --release -p acc-bench --bin acc_cluster -- allreduce inic-prototype 8 262144
 //! ```
 
-use acc_core::cluster::{
-    run_allreduce, run_fft, run_sort, ClusterSpec, Technology,
-};
+use acc_core::cluster::{run_allreduce, run_fft, run_sort, ClusterSpec, Technology};
 
 fn usage() -> ! {
     eprintln!(

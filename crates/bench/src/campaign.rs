@@ -1,0 +1,122 @@
+//! The fault-injection campaign behind the `ablation_faults` binary.
+//!
+//! Sweeps uniform frame-loss probability across every link of the star
+//! for each technology, runs the integer sort with result verification
+//! **on** (the point of the campaign is that the answer stays right),
+//! and reports completion time, goodput, and recovery effort. The
+//! whole campaign is deterministic: the [`FaultPlan`] seed fixes every
+//! per-link loss sequence, so two runs of the same configuration
+//! produce byte-identical reports.
+
+use acc_chaos::{FaultEvent, FaultPlan, LinkId};
+use acc_core::cluster::{run_sort, ClusterSpec, SortRunResult, Technology};
+use acc_core::report::{FigureReport, Series};
+
+/// One campaign configuration.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Cluster size.
+    pub p: usize,
+    /// Total keys sorted (spread evenly over the nodes).
+    pub total_keys: u64,
+    /// Fault-plan seed — fixes every per-link loss sequence.
+    pub seed: u64,
+    /// Frame-loss probabilities to sweep, in percent (0 = pristine).
+    pub loss_pcts: Vec<f64>,
+    /// Technologies under test.
+    pub technologies: Vec<Technology>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            p: 4,
+            total_keys: 1 << 16,
+            seed: 0xFA17,
+            loss_pcts: vec![0.0, 0.5, 1.0, 2.0, 5.0],
+            technologies: vec![Technology::GigabitTcp, Technology::InicIdeal],
+        }
+    }
+}
+
+/// Short legend label for a technology.
+fn tech_label(t: Technology) -> &'static str {
+    match t {
+        Technology::FastEthernet => "Fast",
+        Technology::GigabitTcp => "Gigabit",
+        Technology::InicIdeal => "INIC",
+        Technology::InicPrototype => "INIC-proto",
+        Technology::InicProtocol => "INIC-pp",
+    }
+}
+
+/// Run one campaign point.
+fn run_point(cfg: &CampaignConfig, technology: Technology, loss_pct: f64) -> SortRunResult {
+    let mut spec = ClusterSpec::new(cfg.p, technology);
+    // A plan is always attached — at 0% loss it costs nothing on the
+    // links but keeps the recovery protocol armed, so the 0% column
+    // doubles as the protocol-overhead baseline.
+    let mut plan = FaultPlan::new(cfg.seed);
+    if loss_pct > 0.0 {
+        plan.push(FaultEvent::FrameLoss {
+            link: LinkId::All,
+            prob: loss_pct / 100.0,
+        });
+    }
+    spec = spec.with_fault_plan(plan);
+    run_sort(spec, cfg.total_keys)
+}
+
+/// Run the full sweep and collect it into one report: per technology, a
+/// completion-time series (ms), a goodput series (application MiB
+/// sorted per second of wall time), and a retransmission-count series,
+/// over the loss-percentage axis.
+pub fn fault_campaign(cfg: &CampaignConfig) -> FigureReport {
+    let mut report = FigureReport::new(
+        "Fault campaign",
+        format!(
+            "Integer sort of 2^{} keys on P={} under uniform frame loss (plan seed {:#x})",
+            cfg.total_keys.ilog2(),
+            cfg.p,
+            cfg.seed,
+        ),
+        "loss %",
+        "per-series units: ms | MiB/s | count",
+    );
+    let app_mib = cfg.total_keys as f64 * 4.0 / (1024.0 * 1024.0);
+    for &tech in &cfg.technologies {
+        let mut time_ms = Series::new(format!("{} time (ms)", tech_label(tech)));
+        let mut goodput = Series::new(format!("{} goodput (MiB/s)", tech_label(tech)));
+        let mut retrans = Series::new(format!("{} retransmits", tech_label(tech)));
+        for &pct in &cfg.loss_pcts {
+            let r = run_point(cfg, tech, pct);
+            assert!(r.verified, "campaign point must still sort correctly");
+            let secs = r.total.as_secs_f64();
+            time_ms.push(pct, secs * 1e3);
+            goodput.push(pct, app_mib / secs);
+            retrans.push(pct, r.retransmits as f64);
+        }
+        report.add(time_ms);
+        report.add(goodput);
+        report.add(retrans);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_loss_point_has_no_retransmits() {
+        let cfg = CampaignConfig {
+            loss_pcts: vec![0.0],
+            technologies: vec![Technology::GigabitTcp, Technology::InicIdeal],
+            ..CampaignConfig::default()
+        };
+        let report = fault_campaign(&cfg);
+        for s in report.series.iter().filter(|s| s.name.contains("retrans")) {
+            assert_eq!(s.at(0.0), Some(0.0), "{}", s.name);
+        }
+    }
+}

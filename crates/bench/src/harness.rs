@@ -1,0 +1,39 @@
+//! A minimal wall-clock benchmark harness.
+//!
+//! The container has no benchmarking crate, so the `[[bench]]` targets
+//! (`harness = false`) are plain binaries built on this module: each
+//! case is warmed once, run a fixed number of iterations, and reported
+//! as min / mean wall time plus element throughput when the case has a
+//! natural element count. Numbers are indicative, not statistically
+//! rigorous — the repository's quantitative claims all live in the
+//! simulated experiments, not here.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Run `f` `iters` times (after one warm-up call) and print one result
+/// line. `elems` is the per-iteration element count for throughput, or
+/// `None` for pure latency cases.
+pub fn bench<R>(group: &str, name: &str, iters: u32, elems: Option<u64>, mut f: impl FnMut() -> R) {
+    assert!(iters > 0);
+    black_box(f());
+    let mut min = f64::INFINITY;
+    let mut total = 0.0f64;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(f());
+        let dt = t0.elapsed().as_secs_f64();
+        min = min.min(dt);
+        total += dt;
+    }
+    let mean = total / f64::from(iters);
+    let rate = match elems {
+        Some(n) if min > 0.0 => format!("  {:>9.2} Melem/s", n as f64 / min / 1e6),
+        _ => String::new(),
+    };
+    println!(
+        "{group:<24} {name:<28} min {:>9.3} ms  mean {:>9.3} ms{rate}",
+        min * 1e3,
+        mean * 1e3,
+    );
+}

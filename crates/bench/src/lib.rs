@@ -24,6 +24,9 @@
 use acc_core::cluster::{run_fft, run_sort, ClusterSpec, Technology};
 use acc_core::report::Series;
 
+pub mod campaign;
+pub mod harness;
+
 /// The simulated processor sweep.
 pub const SIM_PROCS: [usize; 5] = [1, 2, 4, 8, 16];
 
@@ -47,12 +50,7 @@ pub fn fft_totals(technology: Technology, rows: usize) -> Vec<(usize, f64)> {
 
 /// Simulated FFT speedup series for one technology, normalised to the
 /// serial (Gigabit P=1) time.
-pub fn fft_speedup_series(
-    name: &str,
-    technology: Technology,
-    rows: usize,
-    serial: f64,
-) -> Series {
+pub fn fft_speedup_series(name: &str, technology: Technology, rows: usize, serial: f64) -> Series {
     let mut s = Series::new(name);
     for (p, t) in fft_totals(technology, rows) {
         s.push(p as f64, serial / t);

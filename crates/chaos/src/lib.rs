@@ -1,0 +1,319 @@
+//! # acc-chaos — deterministic fault injection
+//!
+//! A [`FaultPlan`] is a seeded, declarative description of everything
+//! that goes wrong during a run: frame loss, corruption, reordering and
+//! jitter on individual links, switch-buffer squeezes, node stall
+//! windows, and FPGA card failures. Scenarios attach a plan before
+//! wiring; the cluster builder compiles the link-level events into
+//! per-port [`Impairment`]s and schedules the card failures.
+//!
+//! Everything is deterministic: each link derives its own RNG stream
+//! from the plan seed and the link's identity alone, so the same plan
+//! produces bit-identical fault sequences regardless of how many links
+//! exist, the order they are wired, or what traffic the others carry.
+
+use acc_net::Impairment;
+use acc_sim::{DataSize, SimDuration, SimRng, SimTime};
+
+/// One direction of one edge in the star topology.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LinkId {
+    /// Node `i` → switch (the node's NIC/card uplink egress).
+    NodeUplink(u32),
+    /// Switch → node `i` (the switch output port toward that node).
+    SwitchDownlink(u32),
+    /// Every link in both directions.
+    All,
+}
+
+impl LinkId {
+    /// Whether an event targeted at `self` applies to concrete link
+    /// `other` (`All` matches everything; `All` itself is never a
+    /// concrete link).
+    fn covers(self, other: LinkId) -> bool {
+        self == LinkId::All || self == other
+    }
+
+    /// A stable small integer unique per concrete link, for deriving
+    /// that link's RNG stream.
+    fn stream_key(self) -> u64 {
+        match self {
+            LinkId::NodeUplink(i) => 2 * u64::from(i),
+            LinkId::SwitchDownlink(i) => 2 * u64::from(i) + 1,
+            LinkId::All => panic!("All is not a concrete link"),
+        }
+    }
+}
+
+/// One injected fault.
+#[derive(Clone, PartialEq, Debug)]
+pub enum FaultEvent {
+    /// Independent per-frame loss with probability `prob`.
+    FrameLoss { link: LinkId, prob: f64 },
+    /// Independent per-frame payload corruption with probability `prob`.
+    FrameCorruption { link: LinkId, prob: f64 },
+    /// Delay a frame by `delay` with probability `prob`, letting later
+    /// frames overtake it.
+    FrameReorder {
+        link: LinkId,
+        prob: f64,
+        delay: SimDuration,
+    },
+    /// Uniform random extra delay in `[0, max)` on every frame.
+    LinkJitter { link: LinkId, max: SimDuration },
+    /// Total blackout of a link during `[from, until)`.
+    LinkOutage {
+        link: LinkId,
+        from: SimTime,
+        until: SimTime,
+    },
+    /// Squeeze a port buffer down to `capacity` during `[from, until)`
+    /// (models switch memory pressure from background traffic).
+    BufferSqueeze {
+        link: LinkId,
+        from: SimTime,
+        until: SimTime,
+        capacity: DataSize,
+    },
+    /// Node `node` freezes during `[from, until)`: nothing it sends gets
+    /// out and nothing sent to it arrives (both link directions black
+    /// out).
+    NodeStall {
+        node: u32,
+        from: SimTime,
+        until: SimTime,
+    },
+    /// Node `node`'s INIC card dies permanently at `at`; the host must
+    /// fall back to its commodity path.
+    CardFailure { node: u32, at: SimTime },
+    /// Node `node`'s card goes dark for a reconfiguration window of
+    /// `hold` starting at `at` (modelled as an outage on both link
+    /// directions — the card itself survives).
+    CardReconfigure {
+        node: u32,
+        at: SimTime,
+        hold: SimDuration,
+    },
+}
+
+/// A seeded, fully deterministic fault schedule for one run.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan drawing all randomness from `seed`.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Builder-style event append.
+    #[must_use]
+    pub fn with(mut self, ev: FaultEvent) -> FaultPlan {
+        self.events.push(ev);
+        self
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, ev: FaultEvent) {
+        self.events.push(ev);
+    }
+
+    /// The plan seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The scheduled events.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The RNG stream for one concrete link: a function of the plan
+    /// seed and the link identity only.
+    fn link_rng(&self, link: LinkId) -> SimRng {
+        SimRng::seed_from(
+            self.seed
+                .wrapping_add(link.stream_key().wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        )
+    }
+
+    /// Compile every event touching concrete link `link` into an
+    /// [`Impairment`], or `None` if the link is clean (so ports on the
+    /// happy path carry no per-frame cost).
+    pub fn impairment_for(&self, link: LinkId) -> Option<Impairment> {
+        let mut imp = Impairment::new(self.link_rng(link));
+        for ev in &self.events {
+            match *ev {
+                FaultEvent::FrameLoss { link: l, prob } if l.covers(link) => {
+                    imp = imp.with_loss(prob);
+                }
+                FaultEvent::FrameCorruption { link: l, prob } if l.covers(link) => {
+                    imp = imp.with_corruption(prob);
+                }
+                FaultEvent::FrameReorder {
+                    link: l,
+                    prob,
+                    delay,
+                } if l.covers(link) => {
+                    imp = imp.with_reorder(prob, delay);
+                }
+                FaultEvent::LinkJitter { link: l, max } if l.covers(link) => {
+                    imp = imp.with_jitter(max);
+                }
+                FaultEvent::LinkOutage {
+                    link: l,
+                    from,
+                    until,
+                } if l.covers(link) => {
+                    imp = imp.with_outage(from, until);
+                }
+                FaultEvent::BufferSqueeze {
+                    link: l,
+                    from,
+                    until,
+                    capacity,
+                } if l.covers(link) => {
+                    imp = imp.with_squeeze(from, until, capacity);
+                }
+                FaultEvent::NodeStall { node, from, until }
+                    if LinkId::NodeUplink(node) == link || LinkId::SwitchDownlink(node) == link =>
+                {
+                    imp = imp.with_outage(from, until);
+                }
+                FaultEvent::CardReconfigure { node, at, hold }
+                    if LinkId::NodeUplink(node) == link || LinkId::SwitchDownlink(node) == link =>
+                {
+                    imp = imp.with_outage(at, at + hold);
+                }
+                _ => {}
+            }
+        }
+        if imp.is_active() {
+            Some(imp)
+        } else {
+            None
+        }
+    }
+
+    /// Permanent card deaths, as `(node, at)` pairs in event order.
+    pub fn card_failures(&self) -> Vec<(u32, SimTime)> {
+        self.events
+            .iter()
+            .filter_map(|ev| match *ev {
+                FaultEvent::CardFailure { node, at } => Some((node, at)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether any card dies permanently under this plan.
+    pub fn has_card_failures(&self) -> bool {
+        self.events
+            .iter()
+            .any(|ev| matches!(ev, FaultEvent::CardFailure { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_net::Verdict;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn clean_links_compile_to_none() {
+        let plan = FaultPlan::new(1).with(FaultEvent::FrameLoss {
+            link: LinkId::NodeUplink(2),
+            prob: 0.5,
+        });
+        assert!(plan.impairment_for(LinkId::NodeUplink(2)).is_some());
+        assert!(plan.impairment_for(LinkId::NodeUplink(3)).is_none());
+        assert!(plan.impairment_for(LinkId::SwitchDownlink(2)).is_none());
+    }
+
+    #[test]
+    fn all_covers_every_concrete_link() {
+        let plan = FaultPlan::new(1).with(FaultEvent::FrameLoss {
+            link: LinkId::All,
+            prob: 0.1,
+        });
+        for i in 0..4 {
+            assert!(plan.impairment_for(LinkId::NodeUplink(i)).is_some());
+            assert!(plan.impairment_for(LinkId::SwitchDownlink(i)).is_some());
+        }
+    }
+
+    #[test]
+    fn link_streams_are_independent_and_reproducible() {
+        let plan = FaultPlan::new(0xFA11).with(FaultEvent::FrameLoss {
+            link: LinkId::All,
+            prob: 0.3,
+        });
+        let fate = |link: LinkId| {
+            let mut imp = plan.impairment_for(link).unwrap();
+            (0..256)
+                .map(|_| matches!(imp.judge(SimTime::ZERO), Verdict::Drop))
+                .collect::<Vec<bool>>()
+        };
+        // Same link → identical sequence; sibling link → a different one.
+        assert_eq!(fate(LinkId::NodeUplink(0)), fate(LinkId::NodeUplink(0)));
+        assert_ne!(fate(LinkId::NodeUplink(0)), fate(LinkId::NodeUplink(1)));
+        assert_ne!(fate(LinkId::NodeUplink(0)), fate(LinkId::SwitchDownlink(0)));
+    }
+
+    #[test]
+    fn node_stall_blacks_out_both_directions() {
+        let plan = FaultPlan::new(9).with(FaultEvent::NodeStall {
+            node: 1,
+            from: ms(10),
+            until: ms(20),
+        });
+        for link in [LinkId::NodeUplink(1), LinkId::SwitchDownlink(1)] {
+            let mut imp = plan.impairment_for(link).unwrap();
+            assert!(matches!(imp.judge(ms(15)), Verdict::Drop));
+            assert!(matches!(imp.judge(ms(25)), Verdict::Deliver));
+        }
+        assert!(plan.impairment_for(LinkId::NodeUplink(0)).is_none());
+    }
+
+    #[test]
+    fn card_failures_extracted_in_order() {
+        let plan = FaultPlan::new(3)
+            .with(FaultEvent::CardFailure { node: 2, at: ms(5) })
+            .with(FaultEvent::FrameLoss {
+                link: LinkId::All,
+                prob: 0.01,
+            })
+            .with(FaultEvent::CardFailure { node: 0, at: ms(9) });
+        assert!(plan.has_card_failures());
+        assert_eq!(plan.card_failures(), vec![(2, ms(5)), (0, ms(9))]);
+        assert!(!FaultPlan::new(3).has_card_failures());
+    }
+
+    #[test]
+    fn reconfigure_is_a_temporary_outage_not_a_failure() {
+        let plan = FaultPlan::new(4).with(FaultEvent::CardReconfigure {
+            node: 0,
+            at: ms(1),
+            hold: SimDuration::from_millis(2),
+        });
+        assert!(!plan.has_card_failures());
+        let mut imp = plan.impairment_for(LinkId::NodeUplink(0)).unwrap();
+        assert!(matches!(imp.judge(ms(2)), Verdict::Drop));
+        assert!(matches!(imp.judge(ms(4)), Verdict::Deliver));
+    }
+}

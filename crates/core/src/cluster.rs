@@ -8,10 +8,11 @@
 
 use acc_algos::fft::{fft_2d, Matrix};
 use acc_algos::sort::is_sorted;
-use acc_algos::transpose::{join_row_blocks, split_row_blocks};
 use acc_algos::sort::splitters_from_sample;
+use acc_algos::transpose::{join_row_blocks, split_row_blocks};
 use acc_algos::workload::{distributed_uniform_keys, gaussian_keys, random_matrix};
-use acc_fpga::{CardPorts, FpgaDevice, InicCard, InicMode};
+use acc_chaos::{FaultPlan, LinkId};
+use acc_fpga::{CardPorts, FpgaDevice, InicCard, InicKill, InicMode};
 use acc_host::{HostKernels, InterruptCosts, ModerationPolicy};
 use acc_net::port::EgressPort;
 use acc_net::{EthernetKind, LinkParams, MacAddr, Switch, SwitchParams};
@@ -21,7 +22,7 @@ use acc_sim::{ComponentId, SimDuration, SimTime, Simulation};
 use crate::drivers::fft::FftDriver;
 use crate::drivers::reduce::ReduceDriver;
 use crate::drivers::sort::{SortDriver, SortVariant};
-use crate::drivers::Attachment;
+use crate::drivers::{Attachment, CardFailed};
 
 /// The four network technologies the paper evaluates.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -83,7 +84,7 @@ impl Technology {
 }
 
 /// A cluster scenario.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ClusterSpec {
     /// Node count.
     pub p: usize,
@@ -94,6 +95,13 @@ pub struct ClusterSpec {
     /// Verify results against serial oracles (disable only for very
     /// large figure runs where the oracle itself is the bottleneck).
     pub verify: bool,
+    /// Deterministic fault schedule. `None` (the default) wires the
+    /// pristine cluster with zero fault-injection overhead — the golden
+    /// figures run exactly as before. `Some` compiles the plan into
+    /// per-link impairments, enables the INIC recovery protocol, and
+    /// (if the plan kills cards) wires a commodity fallback NIC per
+    /// node and schedules the failures.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl ClusterSpec {
@@ -104,7 +112,15 @@ impl ClusterSpec {
             technology,
             seed: 0xACC,
             verify: true,
+            fault_plan: None,
         }
+    }
+
+    /// Attach a fault plan (builder style).
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> ClusterSpec {
+        self.fault_plan = Some(plan);
+        self
     }
 }
 
@@ -136,6 +152,13 @@ pub struct FftRunResult {
     pub protocol_cpu: SimDuration,
     /// Total interrupts taken across the cluster on the network path.
     pub interrupts: u64,
+    /// Total retransmitted segments/packets across the cluster (TCP
+    /// RTO + fast retransmits, or INIC recovery resends). Zero on a
+    /// fault-free run.
+    pub retransmits: u64,
+    /// Nodes that finished over the degraded commodity fallback path
+    /// after a card failure.
+    pub degraded_nodes: u64,
 }
 
 /// Result of one sort run.
@@ -159,6 +182,13 @@ pub struct SortRunResult {
     pub protocol_cpu: SimDuration,
     /// Total interrupts taken across the cluster on the network path.
     pub interrupts: u64,
+    /// Total retransmitted segments/packets across the cluster (TCP
+    /// RTO + fast retransmits, or INIC recovery resends). Zero on a
+    /// fault-free run.
+    pub retransmits: u64,
+    /// Nodes that finished over the degraded commodity fallback path
+    /// after a card failure.
+    pub degraded_nodes: u64,
 }
 
 /// Everything wired up for one run.
@@ -172,20 +202,30 @@ struct Wiring {
 
 /// Build the sim, switch, and per-node network attachment for `spec`;
 /// `make_driver` turns each rank's attachment into its driver.
-fn wire(
-    spec: ClusterSpec,
-    make_driver: impl Fn(usize, Attachment) -> DriverBox,
-) -> Wiring {
+fn wire(spec: &ClusterSpec, make_driver: impl Fn(usize, Attachment) -> DriverBox) -> Wiring {
     let mut sim = Simulation::new(spec.seed);
     let link = LinkParams::for_kind(spec.technology.link_kind());
+    let plan = spec.fault_plan.as_ref();
     let macs: Vec<MacAddr> = (0..spec.p).map(|i| MacAddr::for_node(i, 0)).collect();
     let driver_ids: Vec<ComponentId> = (0..spec.p).map(|_| sim.reserve_id()).collect();
     let nic_ids: Vec<ComponentId> = (0..spec.p).map(|_| sim.reserve_id()).collect();
     let switch_id = sim.reserve_id();
     let mut switch = Switch::new("switch", SwitchParams::default());
+    // When the plan can kill a card, every node gets a commodity
+    // fallback NIC on a second switch port: after a failure the whole
+    // collective restarts over TCP, so every rank needs the path, not
+    // just the failing one. The fallback links carry no impairments —
+    // the scenario under test is the card failure itself.
+    let with_fallback = spec.technology.is_inic() && plan.is_some_and(FaultPlan::has_card_failures);
+    let fallback_macs: Vec<MacAddr> = (0..spec.p).map(|i| MacAddr::for_node(i, 1)).collect();
+    let fallback_ids: Vec<ComponentId> = if with_fallback {
+        (0..spec.p).map(|_| sim.reserve_id()).collect()
+    } else {
+        Vec::new()
+    };
     for rank in 0..spec.p {
         let sw_port = switch.attach(macs[rank], nic_ids[rank], 0, link);
-        let uplink = EgressPort::new(
+        let mut uplink = EgressPort::new(
             link.rate,
             link.prop_delay,
             acc_net::presets::NIC_BUFFER,
@@ -193,6 +233,41 @@ fn wire(
             sw_port,
             0,
         );
+        if let Some(pl) = plan {
+            if let Some(imp) = pl.impairment_for(LinkId::NodeUplink(rank as u32)) {
+                uplink.set_impairment(imp);
+            }
+            if let Some(imp) = pl.impairment_for(LinkId::SwitchDownlink(rank as u32)) {
+                switch.set_port_impairment(sw_port, imp);
+            }
+        }
+        let fallback = if with_fallback {
+            let fb_port = switch.attach(fallback_macs[rank], fallback_ids[rank], 0, link);
+            let fb_uplink = EgressPort::new(
+                link.rate,
+                link.prop_delay,
+                acc_net::presets::NIC_BUFFER,
+                switch_id,
+                fb_port,
+                0,
+            );
+            sim.register(
+                fallback_ids[rank],
+                TcpHostNic::new(
+                    format!("tcp-fb{rank}"),
+                    fallback_macs[rank],
+                    driver_ids[rank],
+                    fb_uplink,
+                    TcpParams::default(),
+                    HostPathCosts::athlon_pci(),
+                    InterruptCosts::athlon_linux24(),
+                    ModerationPolicy::syskonnect_default(),
+                ),
+            );
+            Some((fallback_ids[rank], fallback_macs.clone()))
+        } else {
+            None
+        };
         let attachment = match spec.technology {
             Technology::FastEthernet | Technology::GigabitTcp => {
                 sim.register(
@@ -224,7 +299,8 @@ fn wire(
                         uplink,
                         FpgaDevice::virtex_next_gen(),
                         CardPorts::ideal(),
-                    ),
+                    )
+                    .with_reliability(plan.is_some()),
                 );
                 Attachment::Inic {
                     card: nic_ids[rank],
@@ -234,6 +310,7 @@ fn wire(
                     } else {
                         InicMode::Combined
                     },
+                    fallback,
                 }
             }
             Technology::InicPrototype => {
@@ -247,12 +324,14 @@ fn wire(
                         uplink,
                         FpgaDevice::xc4085xla(),
                         CardPorts::aceii(),
-                    ),
+                    )
+                    .with_reliability(plan.is_some()),
                 );
                 Attachment::Inic {
                     card: nic_ids[rank],
                     macs: macs.clone(),
                     mode: InicMode::Combined,
+                    fallback,
                 }
             }
         };
@@ -265,6 +344,20 @@ fn wire(
     sim.register(switch_id, switch);
     for &d in &driver_ids {
         sim.schedule_at(SimTime::ZERO, d, ());
+    }
+    // Schedule the card deaths: the card itself goes dark, and every
+    // driver is told so the collective can fail over together.
+    if spec.technology.is_inic() {
+        if let Some(pl) = plan {
+            for (node, at) in pl.card_failures() {
+                let node_idx = node as usize;
+                assert!(node_idx < spec.p, "fault plan kills a card beyond P");
+                sim.schedule_at(at, nic_ids[node_idx], InicKill);
+                for &d in &driver_ids {
+                    sim.schedule_at(at, d, CardFailed { node });
+                }
+            }
+        }
     }
     Wiring {
         sim,
@@ -279,6 +372,22 @@ impl Wiring {
     /// Frames dropped at switch output queues during the run.
     fn switch_drops(&self) -> u64 {
         self.sim.component::<Switch>(self.switch).total_drops()
+    }
+
+    /// Total retransmissions across the cluster, whichever stack did
+    /// them: INIC recovery resends plus TCP RTO and fast retransmits.
+    fn total_retransmits(&self) -> u64 {
+        self.sim
+            .stats()
+            .counters()
+            .filter(|((_, name), _)| {
+                matches!(
+                    name.as_str(),
+                    "retransmits" | "rto_retransmits" | "fast_retransmits"
+                )
+            })
+            .map(|(_, v)| v)
+            .sum()
     }
 
     /// Maximum per-node protocol CPU time and total interrupts taken on
@@ -322,11 +431,14 @@ enum DriverBox {
 /// Panics if `rows` is not a power of two or `spec.p` does not divide it.
 pub fn run_fft(spec: ClusterSpec, rows: usize) -> FftRunResult {
     assert!(rows.is_power_of_two(), "matrix edge must be a power of two");
-    assert!(spec.p >= 1 && rows.is_multiple_of(spec.p), "P must divide rows");
+    assert!(
+        spec.p >= 1 && rows.is_multiple_of(spec.p),
+        "P must divide rows"
+    );
     let matrix = random_matrix(rows, spec.seed);
     let slabs = split_row_blocks(&matrix, spec.p);
     let kernels = HostKernels::athlon_1ghz();
-    let mut w = wire(spec, |rank, attachment| {
+    let mut w = wire(&spec, |rank, attachment| {
         DriverBox::Fft(Box::new(FftDriver::new(
             rank,
             spec.p,
@@ -343,10 +455,14 @@ pub fn run_fft(spec: ClusterSpec, rows: usize) -> FftRunResult {
     let mut transpose = SimDuration::ZERO;
     let mut transpose_compute = SimDuration::ZERO;
     let mut transpose_comm = SimDuration::ZERO;
+    let mut degraded_nodes = 0u64;
     let mut out_slabs: Vec<Matrix> = Vec::new();
     for &d in &w.drivers {
         let drv = w.sim.component::<FftDriver>(d);
         assert!(drv.is_done(), "node did not finish");
+        if drv.degraded() {
+            degraded_nodes += 1;
+        }
         let t = &drv.timings;
         let done = t.done_at.expect("done");
         let began = t.started_at.expect("started");
@@ -379,7 +495,7 @@ pub fn run_fft(spec: ClusterSpec, rows: usize) -> FftRunResult {
         false
     };
     let switch_drops = w.switch_drops();
-    if spec.technology.is_inic() {
+    if spec.technology.is_inic() && spec.fault_plan.is_none() {
         assert_eq!(
             switch_drops, 0,
             "INIC schedule must never oversubscribe switch buffers"
@@ -396,6 +512,8 @@ pub fn run_fft(spec: ClusterSpec, rows: usize) -> FftRunResult {
         switch_drops,
         protocol_cpu,
         interrupts,
+        retransmits: w.total_retransmits(),
+        degraded_nodes,
     }
 }
 
@@ -446,9 +564,7 @@ pub fn run_sort_custom(
     let inputs: Vec<Vec<u32>> = match distribution {
         KeyDistribution::Uniform => distributed_uniform_keys(per_node, spec.p, spec.seed),
         KeyDistribution::Gaussian => (0..spec.p)
-            .map(|rank| {
-                gaussian_keys(per_node, spec.seed.wrapping_add(rank as u64 * 0x9E37_79B9))
-            })
+            .map(|rank| gaussian_keys(per_node, spec.seed.wrapping_add(rank as u64 * 0x9E37_79B9)))
             .collect(),
     };
     // The pre-sort sampling phase: each rank contributes a sparse sample
@@ -473,7 +589,7 @@ pub fn run_sort_custom(
         Technology::InicProtocol => SortVariant::ProtocolOnly,
     };
     let kernels = HostKernels::athlon_1ghz();
-    let mut w = wire(spec, |rank, attachment| {
+    let mut w = wire(&spec, |rank, attachment| {
         let mut driver = SortDriver::new(
             rank,
             spec.p,
@@ -496,10 +612,14 @@ pub fn run_sort_custom(
         SimDuration::ZERO,
         SimDuration::ZERO,
     );
+    let mut degraded_nodes = 0u64;
     let mut outputs: Vec<Vec<u32>> = Vec::new();
     for &d in &w.drivers {
         let drv = w.sim.component::<SortDriver>(d);
         assert!(drv.is_done(), "node did not finish");
+        if drv.degraded() {
+            degraded_nodes += 1;
+        }
         let t = &drv.timings;
         let done = t.done_at.expect("done");
         let began = t.started_at.expect("started");
@@ -529,7 +649,7 @@ pub fn run_sort_custom(
         false
     };
     let switch_drops = w.switch_drops();
-    if spec.technology.is_inic() {
+    if spec.technology.is_inic() && spec.fault_plan.is_none() {
         assert_eq!(
             switch_drops, 0,
             "INIC schedule must never oversubscribe switch buffers"
@@ -546,6 +666,8 @@ pub fn run_sort_custom(
         switch_drops,
         protocol_cpu,
         interrupts,
+        retransmits: w.total_retransmits(),
+        degraded_nodes,
     }
 }
 
@@ -575,7 +697,7 @@ pub fn run_allreduce(spec: ClusterSpec, elems: usize) -> ReduceRunResult {
             .collect()
     };
     let kernels = HostKernels::athlon_1ghz();
-    let mut w = wire(spec, |rank, attachment| {
+    let mut w = wire(&spec, |rank, attachment| {
         DriverBox::Reduce(Box::new(ReduceDriver::new(
             rank,
             spec.p,
@@ -615,7 +737,7 @@ pub fn run_allreduce(spec: ClusterSpec, elems: usize) -> ReduceRunResult {
     } else {
         false
     };
-    if spec.technology.is_inic() {
+    if spec.technology.is_inic() && spec.fault_plan.is_none() {
         assert_eq!(w.switch_drops(), 0, "INIC collective must not drop");
     }
     ReduceRunResult {

@@ -23,8 +23,8 @@ use acc_algos::transpose::{
     bytes_to_slab, extract_transposed_block, interleave_block, slab_to_bytes,
 };
 use acc_fpga::{
-    Bitstream, GatherKind, InicConfigure, InicConfigured, InicExpect, InicGatherComplete,
-    InicMode, InicScatter, InicScatterDone, ScatterKind,
+    Bitstream, GatherKind, InicConfigure, InicConfigured, InicExpect, InicGatherComplete, InicMode,
+    InicScatter, InicScatterDone, ScatterKind,
 };
 use acc_host::HostKernels;
 use acc_proto::{TcpDelivered, TcpSend};
@@ -49,10 +49,13 @@ enum Phase {
     Done,
 }
 
-/// Self events marking the end of charged compute.
-struct FftComputeDone;
-struct LocalTransposeDone;
-struct PermuteDone;
+/// Self events marking the end of charged compute. Each carries the
+/// epoch it was scheduled in: a card failover bumps the epoch and
+/// restarts the state machine, and compute timers from the abandoned
+/// attempt must not fire into the new one.
+struct FftComputeDone(u64);
+struct LocalTransposeDone(u64);
+struct PermuteDone(u64);
 
 /// Timing record of one completed run, readable after `sim.run()`.
 #[derive(Clone, Debug, Default)]
@@ -101,6 +104,14 @@ pub struct FftDriver {
     /// (protocol-processor mode): per-source concatenated blocks plus
     /// per-source end offsets.
     raw_gather: Option<(Vec<u8>, Vec<usize>)>,
+    /// Untouched copy of the input slab: `begin_fft` transforms `slab`
+    /// in place, so a card-failure restart needs the original back.
+    pristine: Matrix,
+    /// Restart epoch; bumped on card failover so stale self events die.
+    epoch: u64,
+    /// Whether this driver abandoned its INIC card and restarted over
+    /// the commodity fallback path.
+    failed_over: bool,
     /// Timings, filled as the run progresses.
     pub timings: FftTimings,
 }
@@ -126,6 +137,7 @@ impl FftDriver {
             m: rows / p,
             attachment,
             kernels,
+            pristine: slab.clone(),
             slab,
             phase: Phase::Init,
             phase_entered: SimTime::ZERO,
@@ -134,6 +146,8 @@ impl FftDriver {
             exchange_step: 0,
             early_gathers: HashMap::new(),
             raw_gather: None,
+            epoch: 0,
+            failed_over: false,
             timings: FftTimings::default(),
         }
     }
@@ -149,6 +163,11 @@ impl FftDriver {
         self.phase == Phase::Done
     }
 
+    /// Whether the driver completed over the degraded fallback path.
+    pub fn degraded(&self) -> bool {
+        self.failed_over
+    }
+
     fn partition_bytes(&self) -> DataSize {
         DataSize::from_bytes((self.m * self.rows * 16) as u64)
     }
@@ -158,7 +177,9 @@ impl FftDriver {
     fn begin_fft(&mut self, which: u8, ctx: &mut Ctx) {
         self.phase = Phase::Fft(which);
         self.phase_entered = ctx.now();
-        if which == 1 {
+        // A failover restart keeps the original start instant: the cost
+        // of the aborted attempt is part of the degraded run's time.
+        if which == 1 && self.timings.started_at.is_none() {
             self.timings.started_at = Some(ctx.now());
         }
         // The real computation.
@@ -167,7 +188,7 @@ impl FftDriver {
         }
         // The charged time: one of the two Eq. 4 halves.
         let charge = self.kernels.fft_compute_time(self.rows, self.p) / 2;
-        ctx.self_in(charge, FftComputeDone);
+        ctx.self_in(charge, FftComputeDone(self.epoch));
     }
 
     fn on_fft_done(&mut self, ctx: &mut Ctx) {
@@ -189,7 +210,7 @@ impl FftDriver {
             self.phase = Phase::LocalTranspose(which);
             self.subphase_entered = ctx.now();
             let charge = self.kernels.local_transpose_time(self.partition_bytes());
-            ctx.self_in(charge, LocalTransposeDone);
+            ctx.self_in(charge, LocalTransposeDone(self.epoch));
             return;
         }
         match &self.attachment {
@@ -238,7 +259,10 @@ impl FftDriver {
         };
         self.timings.transpose_compute += ctx.now().since(self.subphase_entered);
         self.phase = Phase::Exchange(which);
-        if let Attachment::Inic { card, macs, mode } = &self.attachment {
+        if let Attachment::Inic {
+            card, macs, mode, ..
+        } = &self.attachment
+        {
             debug_assert_eq!(*mode, InicMode::ProtocolProcessor);
             let card = *card;
             let macs = macs.clone();
@@ -339,10 +363,8 @@ impl FftDriver {
         // All steps done: charge the final permutation.
         self.phase = Phase::Permute(which);
         self.subphase_entered = ctx.now();
-        let charge = self
-            .kernels
-            .final_permutation_time(self.partition_bytes());
-        ctx.self_in(charge, PermuteDone);
+        let charge = self.kernels.final_permutation_time(self.partition_bytes());
+        ctx.self_in(charge, PermuteDone(self.epoch));
     }
 
     /// Commodity path: permutation charge done — assemble the new slab.
@@ -367,10 +389,7 @@ impl FftDriver {
                 let block = if s == self.rank {
                     extract_transposed_block(&self.slab, self.rank)
                 } else {
-                    let buf = self
-                        .rx
-                        .get_mut(&(s, which))
-                        .expect("checked complete");
+                    let buf = self.rx.get_mut(&(s, which)).expect("checked complete");
                     let bytes: Vec<u8> = buf.drain(..block_bytes).collect();
                     bytes_to_slab(&bytes, self.m, self.m)
                 };
@@ -398,6 +417,40 @@ impl FftDriver {
             _ => unreachable!(),
         }
     }
+
+    /// The whole cluster degrades together: drop the dead card (even a
+    /// healthy one — peers can no longer reach every rank through the
+    /// INIC path) and restart from the pristine slab copy over the
+    /// commodity fallback NIC.
+    fn on_card_failed(&mut self, ctx: &mut Ctx) {
+        if self.failed_over {
+            return; // a second card death changes nothing
+        }
+        let (nic, macs) = match &self.attachment {
+            Attachment::Inic {
+                fallback: Some((nic, macs)),
+                ..
+            } => (*nic, macs.clone()),
+            _ => panic!("{}: card failure without a wired fallback path", self.label),
+        };
+        ctx.stats().counter(&self.label, "card_failovers").inc();
+        self.failed_over = true;
+        self.epoch += 1;
+        self.attachment = Attachment::Tcp { nic, macs };
+        // Discard all partial progress — `slab` was transformed in place
+        // by the aborted attempt, so restart from the pristine copy.
+        // Only the original start instant survives into the timings.
+        self.slab = self.pristine.clone();
+        self.rx.clear();
+        self.exchange_step = 0;
+        self.early_gathers.clear();
+        self.raw_gather = None;
+        let started = self.timings.started_at;
+        self.timings = FftTimings::default();
+        self.timings.started_at = started;
+        self.phase = Phase::Init;
+        self.begin_fft(1, ctx);
+    }
 }
 
 impl Component for FftDriver {
@@ -416,24 +469,38 @@ impl Component for FftDriver {
             }
             return;
         }
+        if ev.downcast_ref::<super::CardFailed>().is_some() {
+            return self.on_card_failed(ctx);
+        }
         let ev = match ev.downcast::<InicConfigured>() {
             Ok(cfg) => {
-                cfg.result.unwrap_or_else(|e| {
-                    panic!("{}: FFT bitstream rejected: {e}", self.label)
-                });
+                if self.failed_over {
+                    return; // the card answered just before it died
+                }
+                cfg.result
+                    .unwrap_or_else(|e| panic!("{}: FFT bitstream rejected: {e}", self.label));
                 self.begin_fft(1, ctx);
                 return;
             }
             Err(ev) => ev,
         };
-        if ev.downcast_ref::<FftComputeDone>().is_some() {
-            return self.on_fft_done(ctx);
+        if let Some(FftComputeDone(epoch)) = ev.downcast_ref::<FftComputeDone>() {
+            if *epoch == self.epoch {
+                return self.on_fft_done(ctx);
+            }
+            return; // compute timer from an abandoned attempt
         }
-        if ev.downcast_ref::<LocalTransposeDone>().is_some() {
-            return self.on_local_transpose_done(ctx);
+        if let Some(LocalTransposeDone(epoch)) = ev.downcast_ref::<LocalTransposeDone>() {
+            if *epoch == self.epoch {
+                return self.on_local_transpose_done(ctx);
+            }
+            return;
         }
-        if ev.downcast_ref::<PermuteDone>().is_some() {
-            return self.on_permute_done(ctx);
+        if let Some(PermuteDone(epoch)) = ev.downcast_ref::<PermuteDone>() {
+            if *epoch == self.epoch {
+                return self.on_permute_done(ctx);
+            }
+            return;
         }
         let ev = match ev.downcast::<TcpDelivered>() {
             Ok(d) => return self.on_tcp_delivered(*d, ctx),
@@ -441,20 +508,20 @@ impl Component for FftDriver {
         };
         let ev = match ev.downcast::<InicGatherComplete>() {
             Ok(g) => {
+                if self.failed_over {
+                    return; // stale card traffic from before the failure
+                }
                 match self.phase {
                     Phase::Exchange(which) if u32::from(which) == g.stream => {
                         if self.attachment.inic_mode() == Some(InicMode::ProtocolProcessor) {
                             // Host still owes the final permutation.
-                            self.raw_gather = Some((
-                                g.data,
-                                g.bucket_bounds.expect("raw gather carries bounds"),
-                            ));
+                            self.raw_gather =
+                                Some((g.data, g.bucket_bounds.expect("raw gather carries bounds")));
                             self.phase = Phase::Permute(which);
                             self.subphase_entered = ctx.now();
-                            let charge = self
-                                .kernels
-                                .final_permutation_time(self.partition_bytes());
-                            ctx.self_in(charge, PermuteDone);
+                            let charge =
+                                self.kernels.final_permutation_time(self.partition_bytes());
+                            ctx.self_in(charge, PermuteDone(self.epoch));
                         } else {
                             self.finish_inic_transpose(which, g.data, ctx);
                         }

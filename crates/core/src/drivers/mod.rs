@@ -38,7 +38,22 @@ pub enum Attachment {
         /// offloads only the protocol, leaving the data manipulation on
         /// the host (the Section 2 mode ablation).
         mode: InicMode,
+        /// Degradation path: a commodity `TcpHostNic` per rank (this
+        /// node's component id, every rank's fallback MAC table), wired
+        /// only when the fault plan can kill a card. On [`CardFailed`]
+        /// the driver abandons the card and restarts over this path.
+        fallback: Option<(ComponentId, Vec<MacAddr>)>,
     },
+}
+
+/// Cluster → every driver: node `node`'s INIC card died permanently.
+/// All ranks fail over together (a collective needs every peer on the
+/// same path) and restart the computation from their retained inputs
+/// over the commodity fallback NICs.
+#[derive(Clone, Copy, Debug)]
+pub struct CardFailed {
+    /// Rank whose card died.
+    pub node: u32,
 }
 
 impl Attachment {

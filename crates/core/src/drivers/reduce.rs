@@ -266,6 +266,11 @@ impl Component for ReduceDriver {
         if ev.downcast_ref::<InicScatterDone>().is_some() {
             return;
         }
+        if ev.downcast_ref::<super::CardFailed>().is_some() {
+            // AllReduce has no degradation path; the run will simply
+            // fail to quiesce into Done and the scenario asserts.
+            return;
+        }
         panic!("{}: unknown event", self.label);
     }
 

@@ -24,8 +24,8 @@ use acc_algos::sort::{
     destination_rank, is_sorted, keys_to_bytes,
 };
 use acc_fpga::{
-    Bitstream, GatherKind, InicConfigure, InicConfigured, InicExpect, InicGatherComplete,
-    InicMode, InicScatter, InicScatterDone, ScatterKind,
+    Bitstream, GatherKind, InicConfigure, InicConfigured, InicExpect, InicGatherComplete, InicMode,
+    InicScatter, InicScatterDone, ScatterKind,
 };
 use acc_host::HostKernels;
 use acc_proto::{TcpDelivered, TcpSend};
@@ -61,9 +61,13 @@ enum Phase {
     Done,
 }
 
-struct Bucket1Done;
-struct Bucket2Done;
-struct CountDone;
+/// Self events marking the end of charged compute. Each carries the
+/// epoch it was scheduled in: a card failover bumps the epoch and
+/// restarts the state machine, and compute timers from the abandoned
+/// attempt must not fire into the new one.
+struct Bucket1Done(u64);
+struct Bucket2Done(u64);
+struct CountDone(u64);
 
 /// Timing decomposition of one node's run.
 #[derive(Clone, Debug, Default)]
@@ -108,6 +112,11 @@ pub struct SortDriver {
     /// INIC gather result (16 or N card buckets, concatenated).
     card_bucket_data: Option<(Vec<u8>, Vec<usize>)>,
     sorted: Vec<u32>,
+    /// Restart epoch; bumped on card failover so stale self events die.
+    epoch: u64,
+    /// Whether this driver abandoned its INIC card and restarted over
+    /// the commodity fallback path.
+    failed_over: bool,
     /// Timing decomposition.
     pub timings: SortTimings,
 }
@@ -140,6 +149,8 @@ impl SortDriver {
             streams_pending: 0,
             card_bucket_data: None,
             sorted: Vec::new(),
+            epoch: 0,
+            failed_over: false,
             timings: SortTimings::default(),
         }
     }
@@ -180,6 +191,11 @@ impl SortDriver {
         self.phase == Phase::Done
     }
 
+    /// Whether the driver completed over the degraded fallback path.
+    pub fn degraded(&self) -> bool {
+        self.failed_over
+    }
+
     fn local_bytes(&self) -> DataSize {
         DataSize::from_bytes(self.keys.len() as u64 * 4)
     }
@@ -187,7 +203,11 @@ impl SortDriver {
     // ---- start ----
 
     fn begin(&mut self, ctx: &mut Ctx) {
-        self.timings.started_at = Some(ctx.now());
+        // A failover restart keeps the original start instant: the cost
+        // of the aborted attempt is part of the degraded run's time.
+        if self.timings.started_at.is_none() {
+            self.timings.started_at = Some(ctx.now());
+        }
         self.streams_pending = self.p - 1;
         match self.variant {
             SortVariant::HostOnly | SortVariant::ProtocolOnly => {
@@ -196,7 +216,7 @@ impl SortDriver {
                 let charge = self
                     .kernels
                     .bucket_sort_time(self.keys.len() as u64, self.local_bytes());
-                ctx.self_in(charge, Bucket1Done);
+                ctx.self_in(charge, Bucket1Done(self.epoch));
             }
             SortVariant::InicFull | SortVariant::InicTwoPhase => {
                 // Card does phase 1; hand the raw keys straight over.
@@ -282,7 +302,10 @@ impl SortDriver {
     /// Protocol-processor path: host-bucketed parts ride the card's
     /// lightweight protocol.
     fn raw_exchange_via_card(&mut self, ctx: &mut Ctx) {
-        let Attachment::Inic { card, macs, mode } = &self.attachment else {
+        let Attachment::Inic {
+            card, macs, mode, ..
+        } = &self.attachment
+        else {
             panic!("ProtocolOnly variant without INIC attachment");
         };
         debug_assert_eq!(*mode, InicMode::ProtocolProcessor);
@@ -358,11 +381,7 @@ impl SortDriver {
         self.phase = Phase::Bucket2;
         self.phase_entered = ctx.now();
         let n_keys: u64 = match self.variant {
-            SortVariant::HostOnly => self
-                .received_keys
-                .iter()
-                .map(|v| v.len() as u64)
-                .sum(),
+            SortVariant::HostOnly => self.received_keys.iter().map(|v| v.len() as u64).sum(),
             SortVariant::InicTwoPhase | SortVariant::ProtocolOnly => {
                 let (data, _) = self.card_bucket_data.as_ref().expect("gather data");
                 (data.len() / 4) as u64
@@ -371,7 +390,7 @@ impl SortDriver {
         };
         let working = DataSize::from_bytes(n_keys * 4);
         let charge = self.kernels.bucket_sort_time(n_keys, working);
-        ctx.self_in(charge, Bucket2Done);
+        ctx.self_in(charge, Bucket2Done(self.epoch));
     }
 
     fn on_bucket2_done(&mut self, ctx: &mut Ctx) {
@@ -409,8 +428,7 @@ impl SortDriver {
             }
         };
         let n_keys: u64 = grouped.iter().map(|b| b.len() as u64).sum();
-        let bucket_bytes =
-            DataSize::from_bytes((n_keys * 4 / self.recv_buckets as u64).max(1));
+        let bucket_bytes = DataSize::from_bytes((n_keys * 4 / self.recv_buckets as u64).max(1));
         let charge = self.kernels.count_sort_time(n_keys, bucket_bytes);
         // The real sort.
         let mut sorted = Vec::with_capacity(n_keys as usize);
@@ -419,7 +437,7 @@ impl SortDriver {
         }
         debug_assert!(is_sorted(&sorted));
         self.sorted = sorted;
-        ctx.self_in(charge, CountDone);
+        ctx.self_in(charge, CountDone(self.epoch));
     }
 
     fn on_count_done(&mut self, ctx: &mut Ctx) {
@@ -444,8 +462,46 @@ impl SortDriver {
 
     // ---- INIC path ----
 
+    /// The whole cluster degrades together: drop the dead card (even a
+    /// healthy one — peers can no longer reach every rank through the
+    /// INIC path) and restart from the retained input keys over the
+    /// commodity fallback NIC.
+    fn on_card_failed(&mut self, ctx: &mut Ctx) {
+        if self.failed_over {
+            return; // a second card death changes nothing
+        }
+        let (nic, macs) = match &self.attachment {
+            Attachment::Inic {
+                fallback: Some((nic, macs)),
+                ..
+            } => (*nic, macs.clone()),
+            _ => panic!("{}: card failure without a wired fallback path", self.label),
+        };
+        ctx.stats().counter(&self.label, "card_failovers").inc();
+        self.failed_over = true;
+        self.epoch += 1;
+        self.attachment = Attachment::Tcp { nic, macs };
+        self.variant = SortVariant::HostOnly;
+        // Discard every trace of the aborted exchange. The input keys
+        // were never mutated, so the restart recomputes from scratch;
+        // only the original start instant survives into the timings.
+        self.rx.clear();
+        self.received_keys.clear();
+        self.card_bucket_data = None;
+        self.sorted.clear();
+        let started = self.timings.started_at;
+        self.timings = SortTimings::default();
+        self.timings.started_at = started;
+        self.begin(ctx);
+    }
+
     fn on_gather(&mut self, g: InicGatherComplete, ctx: &mut Ctx) {
-        assert_eq!(self.phase, Phase::Exchange, "{}: gather out of phase", self.label);
+        assert_eq!(
+            self.phase,
+            Phase::Exchange,
+            "{}: gather out of phase",
+            self.label
+        );
         self.timings.comm += ctx.now().since(self.phase_entered);
         let bounds = g.bucket_bounds.expect("bucket/raw gather carries bounds");
         self.card_bucket_data = Some((g.data, bounds));
@@ -497,31 +553,50 @@ impl Component for SortDriver {
             }
             return;
         }
+        if ev.downcast_ref::<super::CardFailed>().is_some() {
+            return self.on_card_failed(ctx);
+        }
         let ev = match ev.downcast::<InicConfigured>() {
             Ok(cfg) => {
-                cfg.result.unwrap_or_else(|e| {
-                    panic!("{}: sort bitstream rejected: {e}", self.label)
-                });
+                if self.failed_over {
+                    return; // the card answered just before it died
+                }
+                cfg.result
+                    .unwrap_or_else(|e| panic!("{}: sort bitstream rejected: {e}", self.label));
                 self.begin(ctx);
                 return;
             }
             Err(ev) => ev,
         };
-        if ev.downcast_ref::<Bucket1Done>().is_some() {
-            return self.on_bucket1_done(ctx);
+        if let Some(Bucket1Done(epoch)) = ev.downcast_ref::<Bucket1Done>() {
+            if *epoch == self.epoch {
+                return self.on_bucket1_done(ctx);
+            }
+            return; // compute timer from an abandoned attempt
         }
-        if ev.downcast_ref::<Bucket2Done>().is_some() {
-            return self.on_bucket2_done(ctx);
+        if let Some(Bucket2Done(epoch)) = ev.downcast_ref::<Bucket2Done>() {
+            if *epoch == self.epoch {
+                return self.on_bucket2_done(ctx);
+            }
+            return;
         }
-        if ev.downcast_ref::<CountDone>().is_some() {
-            return self.on_count_done(ctx);
+        if let Some(CountDone(epoch)) = ev.downcast_ref::<CountDone>() {
+            if *epoch == self.epoch {
+                return self.on_count_done(ctx);
+            }
+            return;
         }
         let ev = match ev.downcast::<TcpDelivered>() {
             Ok(d) => return self.on_tcp_delivered(*d, ctx),
             Err(ev) => ev,
         };
         let ev = match ev.downcast::<InicGatherComplete>() {
-            Ok(g) => return self.on_gather(*g, ctx),
+            Ok(g) => {
+                if self.failed_over {
+                    return; // stale card traffic from before the failure
+                }
+                return self.on_gather(*g, ctx);
+            }
             Err(ev) => ev,
         };
         if ev.downcast_ref::<InicScatterDone>().is_some() {

@@ -37,9 +37,7 @@ impl SortModel {
     /// paper's 128-bucket minimum.
     pub fn recv_buckets(&self, p: usize) -> u64 {
         let keys_per_node = self.total_keys / p as u64;
-        let needed = (keys_per_node * KEY_BYTES)
-            .div_ceil(128 * 1024)
-            .max(128);
+        let needed = (keys_per_node * KEY_BYTES).div_ceil(128 * 1024).max(128);
         needed.next_power_of_two()
     }
 
@@ -82,9 +80,7 @@ impl SortModel {
     /// and thus the same for any of our implementations".
     pub fn t_countsort(&self, p: usize) -> SimDuration {
         let keys = self.total_keys / p as u64;
-        let bucket_bytes = DataSize::from_bytes(
-            (keys * KEY_BYTES / self.recv_buckets(p)).max(1),
-        );
+        let bucket_bytes = DataSize::from_bytes((keys * KEY_BYTES / self.recv_buckets(p)).max(1));
         self.kernels.count_sort_time(keys, bucket_bytes)
     }
 

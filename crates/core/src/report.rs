@@ -100,7 +100,13 @@ impl FigureReport {
         }
         let _ = writeln!(out, "{header}");
         for x in self.x_values() {
-            let mut row = format!("{x:>8.0}");
+            // Processor counts print as integers; fractional axes (e.g.
+            // loss percentages) keep their decimals.
+            let mut row = if x.fract() == 0.0 {
+                format!("{x:>8.0}")
+            } else {
+                format!("{x:>8.2}")
+            };
             for s in &self.series {
                 match s.at(x) {
                     Some(y) => {

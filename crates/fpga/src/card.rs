@@ -27,13 +27,15 @@
 //! the host are checked against host-side oracles in tests.
 
 use std::any::Any;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use acc_algos::sort::{bucket_index, bytes_to_keys, keys_to_bytes};
-use acc_algos::transpose::{bytes_to_slab, extract_transposed_block, interleave_block, slab_to_bytes};
+use acc_algos::transpose::{
+    bytes_to_slab, extract_transposed_block, interleave_block, slab_to_bytes,
+};
 use acc_net::port::EgressPort;
 use acc_net::{EtherType, Frame, FrameArrival, MacAddr, PortTxDone};
-use acc_proto::{InicPacket, StreamDemux, INIC_HEADER, INIC_PAYLOAD};
+use acc_proto::{packetize, InicPacket, StreamDemux, INIC_HEADER, INIC_PAYLOAD};
 use acc_sim::{Bandwidth, Component, ComponentId, Ctx, DataSize, SimDuration, SimTime};
 
 use crate::device::{Bitstream, ConfigError, FpgaDevice};
@@ -55,6 +57,18 @@ pub const CREDIT_WINDOW: u64 = 24 * 1024;
 /// The receiver returns a credit packet after consuming this many bytes
 /// from one sender.
 pub const CREDIT_QUANTUM: u64 = CREDIT_WINDOW / 4;
+
+/// Base retransmission timeout when protocol recovery is enabled. The
+/// timer only penalises a stream when no flow-control credit arrived
+/// from its destination during the whole interval, so the base can be
+/// generous: it is several times the drain time of a full credit
+/// window.
+pub const RETRANS_TIMEOUT: SimDuration = SimDuration::from_millis(2);
+
+/// Give up on a destination after this many consecutive timeout
+/// retransmissions without any sign of life (its card died); the
+/// stream's window is abandoned so the rest of the schedule can drain.
+pub const MAX_RETRIES: u32 = 12;
 
 /// The card's datapath port model.
 pub enum CardPorts {
@@ -90,10 +104,7 @@ impl CardPorts {
     /// The ACEII prototype card.
     pub fn aceii() -> CardPorts {
         CardPorts::Shared {
-            bus: EngineTimeline::new(
-                Bandwidth::from_mb_per_sec(132),
-                SimDuration::from_micros(1),
-            ),
+            bus: EngineTimeline::new(Bandwidth::from_mb_per_sec(132), SimDuration::from_micros(1)),
         }
     }
 
@@ -252,11 +263,29 @@ pub struct InicGatherComplete {
     pub bucket_bounds: Option<Vec<usize>>,
 }
 
+/// Fault injection → card: the card hardware dies, permanently. Every
+/// subsequent event addressed to it — frames, DMA completions, driver
+/// requests — is silently swallowed. Scheduled by the cluster builder
+/// when a [`FaultPlan`] contains a card failure.
+///
+/// [`FaultPlan`]: https://docs.rs/acc-chaos
+#[derive(Debug)]
+pub struct InicKill;
+
 // --- internal events ---
 
 /// Configuration delay elapsed.
 struct ConfigDone {
     result: Result<(), ConfigError>,
+}
+
+/// Retransmission timer for one `(destination, stream)` send window.
+/// Stale generations (the window was re-armed or ACKed since) are
+/// ignored on delivery.
+struct RetransTimer {
+    dest: MacAddr,
+    stream: u32,
+    gen: u64,
 }
 
 /// A send chunk finished host→card DMA + send transform.
@@ -290,6 +319,38 @@ struct SendChunk {
     charge_host: bool,
     /// Last chunk of its scatter: emit [`InicScatterDone`] after it.
     ends_scatter: bool,
+}
+
+/// Sender-side state for one `(destination, stream)` pair under
+/// protocol recovery: every un-ACKed data packet, kept until the
+/// receiver confirms the whole stream.
+struct TxStream {
+    /// Un-ACKed packets by offset.
+    pending: BTreeMap<u32, InicPacket>,
+    /// Consecutive timeouts with no credit progress.
+    retries: u32,
+    /// Current timeout (doubles per stalled retransmission).
+    timeout: SimDuration,
+    /// Timer generation; a fired timer with a stale generation is dead.
+    gen: u64,
+    /// Whether a timer is in flight for this stream.
+    armed: bool,
+    /// Credit-arrival count from the destination at the last timer
+    /// fire; unchanged across a whole interval ⇒ the stream is stalled.
+    credit_mark: u64,
+}
+
+impl TxStream {
+    fn new() -> TxStream {
+        TxStream {
+            pending: BTreeMap::new(),
+            retries: 0,
+            timeout: RETRANS_TIMEOUT,
+            gen: 0,
+            armed: false,
+            credit_mark: 0,
+        }
+    }
 }
 
 /// Per-gather receive state.
@@ -328,8 +389,24 @@ pub struct InicCard {
     demux: StreamDemux,
     gathers: HashMap<u32, Gather>,
     /// Packets that arrived before their gather was announced (a fast
-    /// peer can be one phase ahead); replayed on [`InicExpect`].
-    early_pkts: HashMap<u32, Vec<InicPacket>>,
+    /// peer can be one phase ahead), with the sender MAC for recovery
+    /// control traffic; replayed on [`InicExpect`].
+    early_pkts: HashMap<u32, Vec<(InicPacket, Option<MacAddr>)>>,
+    /// Whether the loss-recovery protocol (checksums already always on:
+    /// ACK/NACK/timeout-retransmit) is enabled. Off on the fault-free
+    /// path so the golden figures carry zero recovery overhead.
+    reliability: bool,
+    /// Hardware death switch — see [`InicKill`].
+    dead: bool,
+    /// Sender-side recovery windows.
+    tx_window: HashMap<(MacAddr, u32), TxStream>,
+    /// Credit packets ever received per peer (stall detection).
+    credits_from: HashMap<MacAddr, u64>,
+    /// Last gap offset NACKed per `(src_rank, stream)`, to avoid
+    /// NACK storms while the repair is in flight.
+    last_nacked: HashMap<(u32, u32), u32>,
+    /// Data packets retransmitted (timeout blasts + NACK repairs).
+    retransmits: u64,
     /// Per-destination flow-control window (defaults to
     /// [`CREDIT_WINDOW`]; the credit-window ablation sweeps it).
     credit_window: u64,
@@ -368,19 +445,19 @@ impl InicCard {
             ports,
             // Until configured, transforms run at a placeholder rate;
             // configure() resets these from the bitstream.
-            xform_send: EngineTimeline::new(
-                Bandwidth::from_mib_per_sec(300),
-                SimDuration::ZERO,
-            ),
-            xform_recv: EngineTimeline::new(
-                Bandwidth::from_mib_per_sec(300),
-                SimDuration::ZERO,
-            ),
+            xform_send: EngineTimeline::new(Bandwidth::from_mib_per_sec(300), SimDuration::ZERO),
+            xform_recv: EngineTimeline::new(Bandwidth::from_mib_per_sec(300), SimDuration::ZERO),
             send_queue: VecDeque::new(),
             host_in_busy: false,
             demux: StreamDemux::new(),
             gathers: HashMap::new(),
             early_pkts: HashMap::new(),
+            reliability: false,
+            dead: false,
+            tx_window: HashMap::new(),
+            credits_from: HashMap::new(),
+            last_nacked: HashMap::new(),
+            retransmits: 0,
             credit_window: CREDIT_WINDOW,
             outstanding: HashMap::new(),
             pending_credit: HashMap::new(),
@@ -399,10 +476,26 @@ impl InicCard {
         self
     }
 
+    /// Enable the loss-recovery protocol: receiver stream ACKs and gap
+    /// NACKs, sender timeout retransmission with exponential backoff
+    /// and bounded retries, and drop-instead-of-panic handling of
+    /// undecodable frames and uplink overflow. The cluster builder
+    /// turns this on exactly when a fault plan is attached.
+    #[must_use]
+    pub fn with_reliability(mut self, on: bool) -> InicCard {
+        self.reliability = on;
+        self
+    }
+
     /// Completion interrupts raised so far (the paper's "single
     /// interrupt per transpose" claim is asserted against this).
     pub fn interrupts_raised(&self) -> u64 {
         self.interrupts_raised
+    }
+
+    /// Data packets this card retransmitted (timeout and NACK repair).
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
     }
 
     /// The configured bitstream, if any.
@@ -528,7 +621,7 @@ impl InicCard {
             } else {
                 Some(scatter.dests[q])
             };
-            for pkt in InicPacket::packetize(self.my_rank, scatter.stream, &bytes) {
+            for pkt in packetize(self.my_rank, scatter.stream, &bytes) {
                 out.push((dest, pkt));
             }
         }
@@ -550,10 +643,10 @@ impl InicCard {
         let keys_per_pkt = INIC_PAYLOAD / 4;
         let mut out = Vec::new();
         let emit = |q: usize,
-                        staging: &mut Vec<Vec<u32>>,
-                        offsets: &mut Vec<u32>,
-                        fin: bool,
-                        out: &mut Vec<(Option<MacAddr>, InicPacket)>| {
+                    staging: &mut Vec<Vec<u32>>,
+                    offsets: &mut Vec<u32>,
+                    fin: bool,
+                    out: &mut Vec<(Option<MacAddr>, InicPacket)>| {
             let bytes = keys_to_bytes(&staging[q]);
             staging[q].clear();
             let pkt = InicPacket {
@@ -562,6 +655,8 @@ impl InicCard {
                 offset: offsets[q],
                 fin,
                 credit: false,
+                nack: false,
+                ack: false,
                 data: bytes,
             };
             offsets[q] += pkt.data.len() as u32;
@@ -614,7 +709,7 @@ impl InicCard {
                 continue;
             }
             let dest = if local { None } else { Some(scatter.dests[q]) };
-            for pkt in InicPacket::packetize(self.my_rank, scatter.stream, segment) {
+            for pkt in packetize(self.my_rank, scatter.stream, segment) {
                 out.push((dest, pkt));
             }
         }
@@ -630,7 +725,7 @@ impl InicCard {
         scatter: &InicScatter,
         p: usize,
     ) -> Vec<(Option<MacAddr>, InicPacket)> {
-        let pkts = InicPacket::packetize(self.my_rank, scatter.stream, &scatter.data);
+        let pkts = packetize(self.my_rank, scatter.stream, &scatter.data);
         let mut out = Vec::with_capacity(pkts.len() * p);
         for pkt in pkts {
             for step in 0..p {
@@ -670,11 +765,9 @@ impl InicCard {
             if admissible {
                 let chunk = self.send_queue.front().expect("checked");
                 if let Some(mac) = chunk.dest {
-                    *self.outstanding.entry(mac).or_insert(0) +=
-                        chunk.pkt.data.len() as u64;
+                    *self.outstanding.entry(mac).or_insert(0) += chunk.pkt.data.len() as u64;
                 }
-                let bytes =
-                    DataSize::from_bytes((chunk.pkt.data.len() + INIC_HEADER) as u64);
+                let bytes = DataSize::from_bytes((chunk.pkt.data.len() + INIC_HEADER) as u64);
                 self.host_in_busy = true;
                 if chunk.charge_host {
                     let t1 = self.ports.host_in(ctx.now(), bytes);
@@ -708,33 +801,37 @@ impl InicCard {
                 let t3 = self.ports.net_out(ctx.now(), bytes);
                 let frame = Frame::new(self.mac, mac, EtherType::Inic, chunk.pkt.encode());
                 ctx.self_in(t3.since(ctx.now()), EmitFrame { frame });
+                if self.reliability {
+                    // Keep a copy until the receiver ACKs the stream,
+                    // and make sure a retransmission timer is running.
+                    let key = (mac, chunk.pkt.stream);
+                    let entry = self.tx_window.entry(key).or_insert_with(TxStream::new);
+                    entry.pending.insert(chunk.pkt.offset, chunk.pkt.clone());
+                    if !entry.armed {
+                        entry.armed = true;
+                        entry.gen += 1;
+                        let timer = RetransTimer {
+                            dest: mac,
+                            stream: chunk.pkt.stream,
+                            gen: entry.gen,
+                        };
+                        let timeout = entry.timeout;
+                        ctx.self_in(timeout, timer);
+                    }
+                }
                 if chunk.ends_scatter {
                     let stream = chunk.pkt.stream;
-                    ctx.send_in(
-                        t3.since(ctx.now()),
-                        self.app,
-                        InicScatterDone { stream },
-                    );
+                    ctx.send_in(t3.since(ctx.now()), self.app, InicScatterDone { stream });
                 }
             }
             None => {
                 // Local loopback: pass straight to the receive transform.
                 let t3 = self.xform_recv.reserve(ctx.now(), bytes);
                 let pkt = chunk.pkt.clone();
-                ctx.self_in(
-                    t3.since(ctx.now()),
-                    RecvProcessed {
-                        pkt,
-                        src_mac: None,
-                    },
-                );
+                ctx.self_in(t3.since(ctx.now()), RecvProcessed { pkt, src_mac: None });
                 if chunk.ends_scatter {
                     let stream = chunk.pkt.stream;
-                    ctx.send_in(
-                        t3.since(ctx.now()),
-                        self.app,
-                        InicScatterDone { stream },
-                    );
+                    ctx.send_in(t3.since(ctx.now()), self.app, InicScatterDone { stream });
                 }
             }
         }
@@ -743,7 +840,10 @@ impl InicCard {
     // ---- gather (receive) path ----
 
     fn on_expect(&mut self, expect: InicExpect, ctx: &mut Ctx) {
-        let bs = self.bitstream.as_ref().expect("expect before configuration");
+        let bs = self
+            .bitstream
+            .as_ref()
+            .expect("expect before configuration");
         match expect.kind {
             GatherKind::InterleaveBlocks { m, rows } => {
                 assert!(
@@ -764,10 +864,7 @@ impl InicCard {
                 // through.
             }
             GatherKind::ReduceF64 { elems } => {
-                assert!(
-                    bs.has(OperatorKind::ReduceSum),
-                    "bitstream lacks ReduceSum"
-                );
+                assert!(bs.has(OperatorKind::ReduceSum), "bitstream lacks ReduceSum");
                 // The accumulator vector lives in card memory.
                 self.reserve_memory(elems as u64 * 8);
             }
@@ -793,8 +890,8 @@ impl InicCard {
         // Replay packets that beat the announcement (credits were
         // already granted when they first arrived).
         if let Some(early) = self.early_pkts.remove(&expect.stream) {
-            for pkt in early {
-                self.replay_recv(pkt, ctx);
+            for (pkt, src_mac) in early {
+                self.replay_recv(pkt, src_mac, ctx);
             }
         }
     }
@@ -804,7 +901,17 @@ impl InicCard {
         let bytes = DataSize::from_bytes(frame.payload.len() as u64);
         let t1 = self.ports.net_in(ctx.now(), bytes);
         let t2 = self.xform_recv.reserve(t1, bytes);
-        let pkt = InicPacket::decode(&frame.payload);
+        let pkt = match InicPacket::decode(&frame.payload) {
+            Ok(pkt) => pkt,
+            // Corrupted on the wire: drop it; the sender's timeout (or
+            // the receiver's gap NACK) recovers the payload. Without
+            // reliability a bad frame is a simulator bug, not a fault.
+            Err(_) if self.reliability => {
+                ctx.stats().counter(&self.label, "rx_decode_drops").inc();
+                return;
+            }
+            Err(err) => panic!("{}: undecodable INIC frame: {err:?}", self.label),
+        };
         let src_mac = Some(frame.src);
         ctx.self_in(t2.since(ctx.now()), RecvProcessed { pkt, src_mac });
     }
@@ -814,9 +921,23 @@ impl InicCard {
         // in-flight data; reopen its window and retry admission.
         if pkt.credit {
             let mac = src_mac.expect("credits only arrive off the wire");
+            *self.credits_from.entry(mac).or_insert(0) += 1;
             let entry = self.outstanding.entry(mac).or_insert(0);
             *entry = entry.saturating_sub(u64::from(pkt.offset));
             self.admit_next_chunk(ctx);
+            return;
+        }
+        // Recovery ACK: the peer consumed our whole stream; forget the
+        // retransmission window.
+        if pkt.ack {
+            let mac = src_mac.expect("acks only arrive off the wire");
+            self.tx_window.remove(&(mac, pkt.stream));
+            return;
+        }
+        // Recovery NACK: the peer is missing one packet; resend it.
+        if pkt.nack {
+            let mac = src_mac.expect("nacks only arrive off the wire");
+            self.resend_one(mac, pkt.stream, pkt.offset, ctx);
             return;
         }
         // Grant credit back to remote senders as their data is consumed.
@@ -829,26 +950,35 @@ impl InicCard {
                 self.send_credit(mac, pkt.stream, amount, ctx);
             }
         }
-        if !self.gathers.contains_key(&pkt.stream) {
-            // Gather not announced yet: buffer in card memory.
-            self.early_pkts.entry(pkt.stream).or_default().push(pkt);
+        // A duplicate of a stream the demux already completed means our
+        // stream ACK was lost: re-ACK so the sender stops resending.
+        if self.reliability && self.demux.is_completed(pkt.src_rank, pkt.stream) {
+            if let Some(mac) = src_mac {
+                self.send_ack(mac, pkt.stream, ctx);
+            }
             return;
         }
-        self.accept_into_gather(pkt, ctx);
+        if !self.gathers.contains_key(&pkt.stream) {
+            // Gather not announced yet: buffer in card memory.
+            self.early_pkts
+                .entry(pkt.stream)
+                .or_default()
+                .push((pkt, src_mac));
+            return;
+        }
+        self.accept_into_gather(pkt, src_mac, ctx);
     }
 
     /// Account a data packet against its gather: trickle DMA for
-    /// bucket/raw gathers, stream reassembly, and completion.
-    fn accept_into_gather(&mut self, pkt: InicPacket, ctx: &mut Ctx) {
+    /// bucket/raw gathers, stream reassembly, recovery control traffic,
+    /// and completion.
+    fn accept_into_gather(&mut self, pkt: InicPacket, src_mac: Option<MacAddr>, ctx: &mut Ctx) {
         let stream = pkt.stream;
         let gather = self.gathers.get_mut(&stream).expect("gather announced");
         // Bucket gathers trickle data to the host in DMA_THRESHOLD
         // pieces as it accumulates (Eq. 15); interleave gathers hold
         // everything on the card until complete (Eq. 9).
-        if matches!(
-            gather.kind,
-            GatherKind::BucketKeys { .. } | GatherKind::Raw
-        ) {
+        if matches!(gather.kind, GatherKind::BucketKeys { .. } | GatherKind::Raw) {
             gather.undma += pkt.data.len() as u64;
             let mut dma_pieces = 0u64;
             while gather.undma >= DMA_THRESHOLD {
@@ -866,12 +996,32 @@ impl InicCard {
             }
         }
         if let Some((src, _s, data)) = self.demux.accept(&pkt) {
+            if self.reliability {
+                self.last_nacked.remove(&(src, stream));
+                if let Some(mac) = src_mac {
+                    self.send_ack(mac, stream, ctx);
+                }
+            }
             let gather = self.gathers.get_mut(&stream).expect("checked above");
             gather.done.push((src, data));
             gather.remaining -= 1;
             if gather.remaining == 0 && !gather.finishing {
                 gather.finishing = true;
                 self.finish_gather(stream, ctx);
+            }
+        } else if let (true, Some(mac)) = (self.reliability, src_mac) {
+            // Incomplete after this packet. If there's a hole below it
+            // (loss, or reordering overtook it) ask for the first
+            // missing packet — but only once per distinct gap, and
+            // always on fin, which proves nothing more is coming.
+            if let Some(missing) = self.demux.missing(pkt.src_rank, stream) {
+                let key = (pkt.src_rank, stream);
+                let gap_is_below = missing < pkt.offset || pkt.fin;
+                let already = self.last_nacked.get(&key) == Some(&missing) && !pkt.fin;
+                if gap_is_below && !already {
+                    self.last_nacked.insert(key, missing);
+                    self.send_nack(mac, stream, missing, ctx);
+                }
             }
         }
     }
@@ -911,7 +1061,9 @@ impl InicCard {
     fn on_gather_dma_done(&mut self, stream: u32, ctx: &mut Ctx) {
         let mut gather = self.gathers.remove(&stream).expect("gather state");
         self.interrupts_raised += 1;
-        ctx.stats().counter(&self.label, "completion_interrupts").inc();
+        ctx.stats()
+            .counter(&self.label, "completion_interrupts")
+            .inc();
         // Deterministic assembly order: by source rank.
         gather.done.sort_by_key(|&(src, _)| src);
         let (data, bucket_bounds) = match gather.kind {
@@ -986,30 +1138,127 @@ impl InicCard {
     /// consumed bytes. Credits ride the normal net-out path (they cost
     /// a minimum-size frame of wire time).
     fn send_credit(&mut self, mac: MacAddr, stream: u32, amount: u64, ctx: &mut Ctx) {
-        let pkt = InicPacket {
-            src_rank: self.my_rank,
-            stream,
-            offset: amount as u32,
-            fin: false,
-            credit: true,
-            data: vec![],
-        };
+        let pkt = InicPacket::credit_grant(self.my_rank, stream, amount as u32);
+        self.send_control(mac, pkt, ctx);
+    }
+
+    /// Receiver → sender: the whole stream arrived and was consumed.
+    fn send_ack(&mut self, mac: MacAddr, stream: u32, ctx: &mut Ctx) {
+        ctx.stats().counter(&self.label, "acks_sent").inc();
+        let pkt = InicPacket::stream_ack(self.my_rank, stream);
+        self.send_control(mac, pkt, ctx);
+    }
+
+    /// Receiver → sender: the stream has a hole at `missing`; resend it.
+    fn send_nack(&mut self, mac: MacAddr, stream: u32, missing: u32, ctx: &mut Ctx) {
+        ctx.stats().counter(&self.label, "nacks_sent").inc();
+        let pkt = InicPacket::repair_nack(self.my_rank, stream, missing);
+        self.send_control(mac, pkt, ctx);
+    }
+
+    /// Emit a zero-data control packet over the normal net-out path
+    /// (it costs a minimum-size frame of wire time).
+    fn send_control(&mut self, mac: MacAddr, pkt: InicPacket, ctx: &mut Ctx) {
         let bytes = DataSize::from_bytes(INIC_HEADER as u64);
         let t = self.ports.net_out(ctx.now(), bytes);
         let frame = Frame::new(self.mac, mac, EtherType::Inic, pkt.encode());
         ctx.self_in(t.since(ctx.now()), EmitFrame { frame });
     }
 
+    // ---- loss recovery (sender side) ----
+
+    /// Resend one still-pending packet in response to a NACK.
+    /// Retransmissions bypass host DMA and the send transform (the
+    /// packet lives in card memory) but pay the net-out engine.
+    fn resend_one(&mut self, mac: MacAddr, stream: u32, offset: u32, ctx: &mut Ctx) {
+        let Some(pkt) = self
+            .tx_window
+            .get(&(mac, stream))
+            .and_then(|e| e.pending.get(&offset))
+            .cloned()
+        else {
+            // Already abandoned (or a stale NACK for an ACKed stream).
+            return;
+        };
+        self.retransmits += 1;
+        ctx.stats().counter(&self.label, "retransmits").inc();
+        let bytes = DataSize::from_bytes((pkt.data.len() + INIC_HEADER) as u64);
+        let t = self.ports.net_out(ctx.now(), bytes);
+        let frame = Frame::new(self.mac, mac, EtherType::Inic, pkt.encode());
+        ctx.self_in(t.since(ctx.now()), EmitFrame { frame });
+    }
+
+    /// Timeout for one `(dest, stream)` window. Credit arrivals from
+    /// the destination during the interval mean the peer is alive and
+    /// consuming — re-arm without penalty. A genuinely silent interval
+    /// means the tail of the stream (or the peer's ACK) was lost: blast
+    /// every un-ACKed packet back out with doubled timeout, and give
+    /// the destination up for dead after [`MAX_RETRIES`] silent rounds
+    /// so the rest of the schedule can still drain.
+    fn on_retrans_timer(&mut self, dest: MacAddr, stream: u32, gen: u64, ctx: &mut Ctx) {
+        let label = self.label.clone();
+        let credits_seen = self.credits_from.get(&dest).copied().unwrap_or(0);
+        let Some(entry) = self.tx_window.get_mut(&(dest, stream)) else {
+            return; // ACKed since the timer was armed.
+        };
+        if entry.gen != gen {
+            return; // Superseded by a newer arm.
+        }
+        if credits_seen != entry.credit_mark {
+            entry.credit_mark = credits_seen;
+            entry.retries = 0;
+            entry.gen += 1;
+            let timer = RetransTimer {
+                dest,
+                stream,
+                gen: entry.gen,
+            };
+            let timeout = entry.timeout;
+            ctx.self_in(timeout, timer);
+            return;
+        }
+        entry.retries += 1;
+        if entry.retries > MAX_RETRIES {
+            self.tx_window.remove(&(dest, stream));
+            // Unreachable peer: stop holding its flow-control window so
+            // queued chunks drain (into the void) and the scatter —
+            // whose completion the failed-over driver ignores — still
+            // quiesces.
+            self.outstanding.remove(&dest);
+            ctx.stats().counter(&label, "retrans_abandoned").inc();
+            self.admit_next_chunk(ctx);
+            return;
+        }
+        entry.timeout = entry.timeout * 2;
+        entry.gen += 1;
+        let timer = RetransTimer {
+            dest,
+            stream,
+            gen: entry.gen,
+        };
+        let timeout = entry.timeout;
+        let pkts: Vec<InicPacket> = entry.pending.values().cloned().collect();
+        ctx.self_in(timeout, timer);
+        for pkt in pkts {
+            self.retransmits += 1;
+            ctx.stats().counter(&label, "retransmits").inc();
+            let bytes = DataSize::from_bytes((pkt.data.len() + INIC_HEADER) as u64);
+            let t = self.ports.net_out(ctx.now(), bytes);
+            let frame = Frame::new(self.mac, dest, EtherType::Inic, pkt.encode());
+            ctx.self_in(t.since(ctx.now()), EmitFrame { frame });
+        }
+    }
+
     /// Re-deliver an early-buffered data packet to its (now announced)
     /// gather, skipping the credit bookkeeping already done on arrival.
-    fn replay_recv(&mut self, pkt: InicPacket, ctx: &mut Ctx) {
-        debug_assert!(!pkt.credit);
+    fn replay_recv(&mut self, pkt: InicPacket, src_mac: Option<MacAddr>, ctx: &mut Ctx) {
+        debug_assert!(!pkt.is_control());
         let stream = pkt.stream;
         assert!(
             self.gathers.contains_key(&stream),
             "replay into missing gather"
         );
-        self.accept_into_gather(pkt, ctx);
+        self.accept_into_gather(pkt, src_mac, ctx);
     }
 
     // ---- card memory accounting ----
@@ -1033,6 +1282,17 @@ impl InicCard {
 
 impl Component for InicCard {
     fn handle(&mut self, ev: Box<dyn Any>, ctx: &mut Ctx) {
+        if ev.downcast_ref::<InicKill>().is_some() {
+            self.dead = true;
+            ctx.stats().counter(&self.label, "card_killed").inc();
+            return;
+        }
+        // A dead card swallows everything: frames rot on the wire,
+        // timers fire into the void, the driver hears nothing. Recovery
+        // happens above (peer retry abandonment, host fallback).
+        if self.dead {
+            return;
+        }
         let ev = match ev.downcast::<InicConfigure>() {
             Ok(cfg) => return self.on_configure(cfg.bitstream, ctx),
             Err(ev) => ev,
@@ -1040,7 +1300,12 @@ impl Component for InicCard {
         let ev = match ev.downcast::<ConfigDone>() {
             Ok(done) => {
                 let app = self.app;
-                ctx.send_now(app, InicConfigured { result: done.result });
+                ctx.send_now(
+                    app,
+                    InicConfigured {
+                        result: done.result,
+                    },
+                );
                 return;
             }
             Err(ev) => ev,
@@ -1060,11 +1325,19 @@ impl Component for InicCard {
         let ev = match ev.downcast::<EmitFrame>() {
             Ok(emit) => {
                 let ok = self.uplink.enqueue(emit.frame, ctx);
-                assert!(
-                    ok,
-                    "{}: INIC uplink overflow — schedule oversubscribed the NIC buffer",
-                    self.label
-                );
+                if !ok && self.reliability {
+                    // Retransmission bursts can exceed the NIC buffer;
+                    // the drop is itself recovered by the protocol.
+                    ctx.stats()
+                        .counter(&self.label, "uplink_overflow_drops")
+                        .inc();
+                } else {
+                    assert!(
+                        ok,
+                        "{}: INIC uplink overflow — schedule oversubscribed the NIC buffer",
+                        self.label
+                    );
+                }
                 return;
             }
             Err(ev) => ev,
@@ -1079,6 +1352,10 @@ impl Component for InicCard {
         };
         let ev = match ev.downcast::<PortTxDone>() {
             Ok(_) => return self.uplink.tx_done(ctx),
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<RetransTimer>() {
+            Ok(t) => return self.on_retrans_timer(t.dest, t.stream, t.gen, ctx),
             Err(ev) => ev,
         };
         match ev.downcast::<GatherDmaDone>() {

@@ -209,7 +209,9 @@ mod tests {
 
     #[test]
     fn allreduce_fits_both_generations() {
-        assert!(Bitstream::allreduce().check(&FpgaDevice::xc4085xla()).is_ok());
+        assert!(Bitstream::allreduce()
+            .check(&FpgaDevice::xc4085xla())
+            .is_ok());
         assert!(Bitstream::allreduce()
             .check(&FpgaDevice::virtex_next_gen())
             .is_ok());

@@ -27,8 +27,8 @@ pub mod ops;
 pub mod timeline;
 
 pub use card::{
-    CardPorts, GatherKind, InicCard, InicConfigure, InicConfigured, InicExpect,
-    InicGatherComplete, InicScatter, InicScatterDone, ScatterKind,
+    CardPorts, GatherKind, InicCard, InicConfigure, InicConfigured, InicExpect, InicGatherComplete,
+    InicKill, InicScatter, InicScatterDone, ScatterKind,
 };
 pub use device::{Bitstream, ConfigError, FpgaDevice};
 pub use ops::{OperatorKind, OperatorSpec};

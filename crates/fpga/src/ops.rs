@@ -70,7 +70,10 @@ impl OperatorKind {
             OperatorKind::LocalTranspose { m } => (250 + (m as u32) / 8, 300),
             OperatorKind::InterleaveBlocks { m } => (250 + (m as u32) / 8, 300),
             OperatorKind::BucketSort { k } => {
-                assert!(k.is_power_of_two() && k >= 2, "bucket operator needs power-of-two k");
+                assert!(
+                    k.is_power_of_two() && k >= 2,
+                    "bucket operator needs power-of-two k"
+                );
                 (180 + 24 * k as u32, 350)
             }
             // A double-precision accumulator pipeline: wide adder plus

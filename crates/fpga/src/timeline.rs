@@ -35,7 +35,11 @@ impl EngineTimeline {
     /// Reserve a transaction of `bytes` starting no earlier than `now`.
     /// Returns the completion instant.
     pub fn reserve(&mut self, now: SimTime, bytes: DataSize) -> SimTime {
-        let start = if self.free_at > now { self.free_at } else { now };
+        let start = if self.free_at > now {
+            self.free_at
+        } else {
+            now
+        };
         let dur = self.per_txn_overhead + self.rate.transfer_time(bytes);
         self.free_at = start + dur;
         self.busy_time += dur;
@@ -70,10 +74,7 @@ mod tests {
 
     #[test]
     fn back_to_back_reservations_serialize() {
-        let mut e = EngineTimeline::new(
-            Bandwidth::from_mib_per_sec(80),
-            SimDuration::ZERO,
-        );
+        let mut e = EngineTimeline::new(Bandwidth::from_mib_per_sec(80), SimDuration::ZERO);
         let t0 = SimTime::ZERO;
         let end1 = e.reserve(t0, DataSize::from_mib(80));
         assert_eq!(end1, t0 + SimDuration::from_secs(1));
@@ -84,10 +85,7 @@ mod tests {
 
     #[test]
     fn idle_gap_is_not_charged() {
-        let mut e = EngineTimeline::new(
-            Bandwidth::from_mib_per_sec(10),
-            SimDuration::ZERO,
-        );
+        let mut e = EngineTimeline::new(Bandwidth::from_mib_per_sec(10), SimDuration::ZERO);
         e.reserve(SimTime::ZERO, DataSize::from_mib(10));
         // Next request arrives after a 5 s gap; starts immediately.
         let late = SimTime::ZERO + SimDuration::from_secs(5);
@@ -98,10 +96,8 @@ mod tests {
 
     #[test]
     fn per_txn_overhead_accumulates() {
-        let mut e = EngineTimeline::new(
-            Bandwidth::from_mib_per_sec(1),
-            SimDuration::from_micros(10),
-        );
+        let mut e =
+            EngineTimeline::new(Bandwidth::from_mib_per_sec(1), SimDuration::from_micros(10));
         for _ in 0..5 {
             e.reserve(SimTime::ZERO, DataSize::from_bytes(0));
         }
@@ -110,10 +106,7 @@ mod tests {
 
     #[test]
     fn counters_track_bytes() {
-        let mut e = EngineTimeline::new(
-            Bandwidth::from_mib_per_sec(1),
-            SimDuration::ZERO,
-        );
+        let mut e = EngineTimeline::new(Bandwidth::from_mib_per_sec(1), SimDuration::ZERO);
         e.reserve(SimTime::ZERO, DataSize::from_kib(3));
         e.reserve(SimTime::ZERO, DataSize::from_kib(5));
         assert_eq!(e.bytes_moved(), 8 * 1024);

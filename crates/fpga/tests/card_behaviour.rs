@@ -22,13 +22,8 @@ use acc_sim::{Component, ComponentId, Ctx, SimTime, Simulation};
 /// What the driver should run after configuration completes.
 #[derive(Clone)]
 enum Plan {
-    Transpose {
-        slab: Vec<u8>,
-        m: usize,
-    },
-    Sort {
-        keys: Vec<u8>,
-    },
+    Transpose { slab: Vec<u8>, m: usize },
+    Sort { keys: Vec<u8> },
 }
 
 /// Minimal per-node driver: configure → expect + scatter → record result.
@@ -110,7 +105,11 @@ impl Component for Driver {
         let ev = match ev.downcast::<InicGatherComplete>() {
             Err(ev) => ev,
             Ok(done) => {
-                assert!(self.result.is_none(), "rank {} double completion", self.rank);
+                assert!(
+                    self.result.is_none(),
+                    "rank {} double completion",
+                    self.rank
+                );
                 self.result = Some((ctx.now(), done.data, done.bucket_bounds));
                 return;
             }
@@ -180,20 +179,21 @@ fn build_cluster(
     (sim, driver_ids)
 }
 
-fn run_transpose(p: usize, n: usize, ports: fn() -> CardPorts, device: FpgaDevice) -> (Vec<Matrix>, SimTime) {
+fn run_transpose(
+    p: usize,
+    n: usize,
+    ports: fn() -> CardPorts,
+    device: FpgaDevice,
+) -> (Vec<Matrix>, SimTime) {
     let m = n / p;
     let matrix = random_matrix(n, 42);
     let slabs = split_row_blocks(&matrix, p);
-    let (mut sim, drivers) = build_cluster(
-        p,
-        ports,
-        device,
-        Bitstream::fft_transpose(m),
-        |i| Plan::Transpose {
+    let (mut sim, drivers) = build_cluster(p, ports, device, Bitstream::fft_transpose(m), |i| {
+        Plan::Transpose {
             slab: slab_to_bytes(&slabs[i]),
             m,
-        },
-    );
+        }
+    });
     sim.run();
     let mut out = Vec::new();
     let mut finish = SimTime::ZERO;
@@ -259,7 +259,9 @@ fn prototype_transpose_is_correct_but_slower() {
 fn inic_sort_scatter_routes_every_key_to_its_rank() {
     let p = 4;
     let n_per = 20_000;
-    let inputs: Vec<Vec<u32>> = (0..p).map(|i| uniform_keys(n_per, 100 + i as u64)).collect();
+    let inputs: Vec<Vec<u32>> = (0..p)
+        .map(|i| uniform_keys(n_per, 100 + i as u64))
+        .collect();
     let inputs_clone = inputs.clone();
     let (mut sim, drivers) = build_cluster(
         p,
@@ -408,5 +410,8 @@ fn oversized_bitstream_is_rejected_via_event() {
         .component::<CfgApp>(app_id)
         .outcome
         .expect("configuration reply");
-    assert!(outcome.is_err(), "4085XLA must reject the 128-bucket sorter");
+    assert!(
+        outcome.is_err(),
+        "4085XLA must reject the 128-bucket sorter"
+    );
 }

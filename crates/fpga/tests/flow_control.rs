@@ -196,7 +196,13 @@ fn balanced_all_to_all_pays_no_measurable_credit_cost() {
                         },
                     );
                     let parts: Vec<usize> = (0..self.p)
-                        .map(|q| if q == self.rank as usize { 0 } else { self.part })
+                        .map(|q| {
+                            if q == self.rank as usize {
+                                0
+                            } else {
+                                self.part
+                            }
+                        })
                         .collect();
                     let data = vec![self.rank as u8; self.part * (self.p - 1)];
                     ctx.send_now(

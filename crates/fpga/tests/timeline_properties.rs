@@ -1,21 +1,18 @@
-//! Property tests for the card resource timelines: serialization,
-//! work conservation, and monotonicity — the invariants every INIC
-//! timing number rests on.
-
-use proptest::prelude::*;
+//! Randomized invariant tests for the card resource timelines:
+//! serialization, work conservation, and monotonicity — the invariants
+//! every INIC timing number rests on.
 
 use acc_fpga::EngineTimeline;
-use acc_sim::{Bandwidth, DataSize, SimDuration, SimTime};
+use acc_sim::{Bandwidth, DataSize, SimDuration, SimRng, SimTime};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn reservations_never_overlap_and_conserve_work(
-        sizes in prop::collection::vec(1u64..1 << 20, 1..40),
-        rate_mib in 1u64..1000,
-        overhead_us in 0u64..10,
-    ) {
+#[test]
+fn reservations_never_overlap_and_conserve_work() {
+    let mut g = SimRng::seed_from(0xC1);
+    for _ in 0..128 {
+        let count = 1 + g.gen_range(39) as usize;
+        let sizes: Vec<u64> = (0..count).map(|_| 1 + g.gen_range((1 << 20) - 1)).collect();
+        let rate_mib = 1 + g.gen_range(999);
+        let overhead_us = g.gen_range(10);
         let mut e = EngineTimeline::new(
             Bandwidth::from_mib_per_sec(rate_mib),
             SimDuration::from_micros(overhead_us),
@@ -25,27 +22,26 @@ proptest! {
         for &s in &sizes {
             let end = e.reserve(SimTime::ZERO, DataSize::from_bytes(s));
             // Strictly serialized: each transaction ends after the last.
-            prop_assert!(end > prev_end);
+            assert!(end > prev_end);
             prev_end = end;
             total_bytes += s;
         }
-        prop_assert_eq!(e.bytes_moved(), total_bytes);
+        assert_eq!(e.bytes_moved(), total_bytes);
         // Work conservation: busy time equals the final end when every
         // request was issued at t=0 (no idle gaps possible).
-        prop_assert_eq!(e.busy_time().as_ps(), prev_end.as_ps());
-        prop_assert_eq!(e.free_at(), prev_end);
+        assert_eq!(e.busy_time().as_ps(), prev_end.as_ps());
+        assert_eq!(e.free_at(), prev_end);
     }
+}
 
-    #[test]
-    fn later_arrivals_never_finish_earlier(
-        a in 1u64..1 << 16,
-        b in 1u64..1 << 16,
-        gap_ns in 0u64..1_000_000,
-    ) {
-        let mk = || EngineTimeline::new(
-            Bandwidth::from_mib_per_sec(90),
-            SimDuration::ZERO,
-        );
+#[test]
+fn later_arrivals_never_finish_earlier() {
+    let mut g = SimRng::seed_from(0xC2);
+    for _ in 0..128 {
+        let a = 1 + g.gen_range((1 << 16) - 1);
+        let b = 1 + g.gen_range((1 << 16) - 1);
+        let gap_ns = g.gen_range(1_000_000);
+        let mk = || EngineTimeline::new(Bandwidth::from_mib_per_sec(90), SimDuration::ZERO);
         // Same two transactions, second arriving later, can only end
         // later (or equal, once the gap exceeds the first's duration).
         let mut early = mk();
@@ -55,19 +51,21 @@ proptest! {
         late.reserve(SimTime::ZERO, DataSize::from_bytes(a));
         let arrive = SimTime::ZERO + SimDuration::from_nanos(gap_ns);
         let end_late = late.reserve(arrive, DataSize::from_bytes(b));
-        prop_assert!(end_late >= end_early);
+        assert!(end_late >= end_early);
     }
+}
 
-    #[test]
-    fn idle_engine_latency_is_exactly_the_transfer_time(
-        bytes in 1u64..1 << 24,
-        rate_mib in 1u64..2000,
-    ) {
+#[test]
+fn idle_engine_latency_is_exactly_the_transfer_time() {
+    let mut g = SimRng::seed_from(0xC3);
+    for _ in 0..128 {
+        let bytes = 1 + g.gen_range((1 << 24) - 1);
+        let rate_mib = 1 + g.gen_range(1999);
         let rate = Bandwidth::from_mib_per_sec(rate_mib);
         let mut e = EngineTimeline::new(rate, SimDuration::ZERO);
         let start = SimTime::ZERO + SimDuration::from_millis(5);
         let end = e.reserve(start, DataSize::from_bytes(bytes));
-        prop_assert_eq!(
+        assert_eq!(
             end.since(start),
             rate.transfer_time(DataSize::from_bytes(bytes))
         );

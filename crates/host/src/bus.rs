@@ -52,9 +52,7 @@ impl BusParams {
     /// Sustained rate for a long transfer under these parameters.
     pub fn sustained_rate(&self) -> Bandwidth {
         let burst_time = self.rate.transfer_time(self.burst) + self.per_burst_overhead;
-        Bandwidth::from_bytes_per_sec(
-            (self.burst.bytes() as f64 / burst_time.as_secs_f64()) as u64,
-        )
+        Bandwidth::from_bytes_per_sec((self.burst.bytes() as f64 / burst_time.as_secs_f64()) as u64)
     }
 
     /// Closed-form time for `bytes` crossing an *uncontended* bus —
@@ -159,9 +157,8 @@ impl SharedBus {
             let burst_len;
             {
                 let head = self.lanes[idx].1.front_mut().expect("non-empty lane");
-                burst_len = DataSize::from_bytes(
-                    head.remaining.bytes().min(self.params.burst.bytes()),
-                );
+                burst_len =
+                    DataSize::from_bytes(head.remaining.bytes().min(self.params.burst.bytes()));
                 head.remaining = head.remaining.saturating_sub(burst_len);
             }
             self.busy = true;
@@ -177,7 +174,10 @@ impl SharedBus {
     }
 
     fn finish_burst(&mut self, ctx: &mut Ctx) {
-        let idx = self.active_lane.take().expect("BurstDone with no active lane");
+        let idx = self
+            .active_lane
+            .take()
+            .expect("BurstDone with no active lane");
         self.busy = false;
         let done = {
             let head = self.lanes[idx].1.front().expect("active lane emptied");
@@ -296,7 +296,10 @@ mod tests {
         let sustained = p.sustained_rate().bytes_per_sec();
         assert!(sustained < p.rate.bytes_per_sec());
         // ~128 MB/s with 4 KiB bursts and 1 µs overhead per burst.
-        assert!((120_000_000..132_000_000).contains(&sustained), "{sustained}");
+        assert!(
+            (120_000_000..132_000_000).contains(&sustained),
+            "{sustained}"
+        );
     }
 
     #[test]
@@ -346,19 +349,11 @@ mod tests {
         // burst of total/3 pacing, and the last at exactly the
         // all-alone time for 3 MiB.
         let mb = DataSize::from_mib(1);
-        let (mut sim, reqs, _) = build(vec![
-            vec![(1, mb)],
-            vec![(2, mb)],
-            vec![(3, mb)],
-        ]);
+        let (mut sim, reqs, _) = build(vec![vec![(1, mb)], vec![(2, mb)], vec![(3, mb)]]);
         sim.run();
         let times: Vec<f64> = reqs
             .iter()
-            .map(|&r| {
-                sim.component::<Requester>(r).completions[0]
-                    .1
-                    .as_secs_f64()
-            })
+            .map(|&r| sim.component::<Requester>(r).completions[0].1.as_secs_f64())
             .collect();
         let all = BusParams::pci_32_33()
             .uncontended_time(DataSize::from_mib(3))

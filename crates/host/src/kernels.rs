@@ -76,7 +76,10 @@ impl HostKernels {
     /// per-processor working set (which decides the cache residency of
     /// the row data). Cost = `5 n log₂ n` FLOPs at the effective rate.
     pub fn fft_row_time(&self, n: usize, working_set: DataSize) -> SimDuration {
-        assert!(n.is_power_of_two() && n >= 2, "FFT length must be a power of two ≥ 2");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "FFT length must be a power of two ≥ 2"
+        );
         let flops = 5.0 * n as f64 * (n.trailing_zeros() as f64);
         let rate = if self.mem.fits_in_cache(working_set) {
             self.flops_cache
@@ -207,7 +210,9 @@ mod tests {
         let cs = kern
             .bucket_sort_time(n, DataSize::from_bytes(n * 4))
             .as_secs_f64()
-            + kern.count_sort_time(n, DataSize::from_kib(128)).as_secs_f64();
+            + kern
+                .count_sort_time(n, DataSize::from_kib(128))
+                .as_secs_f64();
         let ratio = qs / cs;
         assert!(
             (1.8..3.2).contains(&ratio),
@@ -253,9 +258,7 @@ mod tests {
         let big = DataSize::from_mib(16);
         assert!(kern.bucket_sort_time(1 << 20, small) < kern.bucket_sort_time(1 << 20, big));
         assert!(kern.count_sort_time(1 << 20, small) < kern.count_sort_time(1 << 20, big));
-        assert!(
-            kern.fft_row_time(256, small) < kern.fft_row_time(256, big)
-        );
+        assert!(kern.fft_row_time(256, small) < kern.fft_row_time(256, big));
     }
 
     #[test]

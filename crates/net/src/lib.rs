@@ -17,11 +17,13 @@
 //!   matching the prototype cluster (Section 5).
 
 pub mod frame;
+pub mod impair;
 pub mod port;
 pub mod presets;
 pub mod switch;
 
 pub use frame::{EtherType, Frame, MacAddr};
+pub use impair::{ImpairCounters, Impairment, Verdict};
 pub use port::{EgressPort, FrameArrival, PortTxDone};
 pub use presets::{EthernetKind, LinkParams, SwitchParams};
 pub use switch::Switch;

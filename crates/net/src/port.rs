@@ -11,6 +11,7 @@ use acc_sim::{Bandwidth, ComponentId, Ctx, DataSize, SimDuration};
 use std::collections::VecDeque;
 
 use crate::frame::Frame;
+use crate::impair::{Impairment, Verdict};
 
 /// Event delivered to a port's owner when the in-flight frame has fully
 /// serialized; the owner must call [`EgressPort::tx_done`].
@@ -54,6 +55,8 @@ pub struct EgressPort {
     drops: u64,
     /// Frames fully transmitted.
     sent: u64,
+    /// Optional fault model consulted per frame (None = pristine link).
+    impair: Option<Impairment>,
 }
 
 impl EgressPort {
@@ -79,14 +82,30 @@ impl EgressPort {
             busy: false,
             drops: 0,
             sent: 0,
+            impair: None,
         }
+    }
+
+    /// Attach a fault model; every subsequent frame is judged by it.
+    pub fn set_impairment(&mut self, imp: Impairment) {
+        self.impair = Some(imp);
+    }
+
+    /// The attached fault model, if any (for reading counters).
+    pub fn impairment(&self) -> Option<&Impairment> {
+        self.impair.as_ref()
     }
 
     /// Enqueue a frame for transmission. Returns `false` (and counts a
     /// drop) if the buffer cannot hold it.
     pub fn enqueue(&mut self, frame: Frame, ctx: &mut Ctx) -> bool {
         let size = frame.buffer_size();
-        if self.buffered + size > self.capacity {
+        let capacity = self
+            .impair
+            .as_ref()
+            .and_then(|i| i.capacity_override(ctx.now()))
+            .map_or(self.capacity, |cap| cap.min(self.capacity));
+        if self.buffered + size > capacity {
             self.drops += 1;
             return false;
         }
@@ -109,19 +128,30 @@ impl EgressPort {
     }
 
     fn start_next(&mut self, ctx: &mut Ctx) {
-        let frame = self.queue.pop_front().expect("start_next on empty queue");
+        let mut frame = self.queue.pop_front().expect("start_next on empty queue");
         self.busy = true;
         self.buffered = self.buffered.saturating_sub(frame.buffer_size());
         let ser = self.rate.transfer_time(frame.wire_size());
-        self.sent += 1;
         ctx.self_in(
             ser,
             PortTxDone {
                 port: self.own_port,
             },
         );
+        // The sender always pays full serialization time; the fault model
+        // only decides what happens to the bits after they leave.
+        let mut extra = SimDuration::ZERO;
+        if let Some(imp) = self.impair.as_mut() {
+            match imp.judge(ctx.now()) {
+                Verdict::Drop => return,
+                Verdict::Corrupt => imp.corrupt_payload(&mut frame.payload),
+                Verdict::Delay(d) => extra = d,
+                Verdict::Deliver => {}
+            }
+        }
+        self.sent += 1;
         ctx.send_in(
-            ser + self.prop_delay,
+            ser + self.prop_delay + extra,
             self.peer,
             FrameArrival {
                 port: self.peer_port,
@@ -194,7 +224,9 @@ mod tests {
 
     impl Component for Receiver {
         fn handle(&mut self, ev: Box<dyn Any>, ctx: &mut Ctx) {
-            let arr = ev.downcast::<FrameArrival>().expect("receiver wants frames");
+            let arr = ev
+                .downcast::<FrameArrival>()
+                .expect("receiver wants frames");
             self.arrivals
                 .push((ctx.now(), arr.port, arr.frame.payload.len()));
         }

@@ -73,10 +73,7 @@ mod tests {
     #[test]
     fn rates_match_standards() {
         assert_eq!(EthernetKind::Fast.rate().bytes_per_sec(), 12_500_000);
-        assert_eq!(
-            EthernetKind::Gigabit.rate().bytes_per_sec(),
-            125_000_000
-        );
+        assert_eq!(EthernetKind::Gigabit.rate().bytes_per_sec(), 125_000_000);
     }
 
     #[test]

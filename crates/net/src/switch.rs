@@ -68,6 +68,30 @@ impl Switch {
         self.ports.len()
     }
 
+    /// Attach a fault model to one output port (the switch→device
+    /// downlink direction).
+    pub fn set_port_impairment(&mut self, port: usize, imp: crate::impair::Impairment) {
+        self.ports[port].set_impairment(imp);
+    }
+
+    /// Read access to one output port (counters, impairment state).
+    pub fn port(&self, idx: usize) -> &EgressPort {
+        &self.ports[idx]
+    }
+
+    /// Frames discarded by fault injection across all output ports
+    /// (distinct from queue-overflow drops).
+    pub fn impair_lost_total(&self) -> u64 {
+        self.ports
+            .iter()
+            .filter_map(EgressPort::impairment)
+            .map(|i| {
+                let c = i.counters();
+                c.lost + c.outage_drops
+            })
+            .sum()
+    }
+
     /// Total frames dropped across all output queues.
     pub fn total_drops(&self) -> u64 {
         self.ports.iter().map(EgressPort::drops).sum()
@@ -243,9 +267,11 @@ mod tests {
         assert_eq!(inbox.len(), 1);
         assert_eq!(inbox[0].1.payload, vec![0u8; 1000]);
         // Arrival after: host ser + prop + forwarding + switch ser + prop.
-        let ser = Bandwidth::from_mbit_per_sec(1000)
-            .transfer_time(unicast(0, 2, 1000).wire_size());
-        let expect = ser + SimDuration::from_nanos(500) + SimDuration::from_micros(4) + ser
+        let ser = Bandwidth::from_mbit_per_sec(1000).transfer_time(unicast(0, 2, 1000).wire_size());
+        let expect = ser
+            + SimDuration::from_nanos(500)
+            + SimDuration::from_micros(4)
+            + ser
             + SimDuration::from_nanos(500);
         assert_eq!(inbox[0].0, SimTime::ZERO + expect);
     }
@@ -297,8 +323,7 @@ mod tests {
         let inbox = &sim.component::<Host>(ids[0]).inbox;
         assert_eq!(inbox.len(), 2);
         let gap = inbox[1].0.since(inbox[0].0);
-        let ser = Bandwidth::from_mbit_per_sec(1000)
-            .transfer_time(unicast(1, 0, 1000).wire_size());
+        let ser = Bandwidth::from_mbit_per_sec(1000).transfer_time(unicast(1, 0, 1000).wire_size());
         assert_eq!(gap, ser, "second delivery exactly one serialization later");
     }
 

@@ -1,132 +1,255 @@
-//! The INIC's application-specific wire protocol.
+//! The INIC's lightweight application-specific protocol, built directly
+//! on Ethernet (Section 4.2: "each design can have a protocol built
+//! directly on Ethernet, lowering the processing requirements and
+//! latency"; Section 4.1: "The protocol also has the advantage of
+//! knowing exactly how much data to expect; hence, the protocol needs
+//! minimal acknowledgement information").
 //!
-//! Section 4.2: "A packet size of 1024 is reasonable since each design
-//! can have a protocol built directly on Ethernet. This minimizes
-//! overhead in the packets." And Section 4.1: "The protocol also has the
-//! advantage of knowing exactly how much data to expect; hence, the
-//! protocol needs minimal acknowledgement information."
+//! The wire format is a fixed 16-byte header in front of up to
+//! [`INIC_PAYLOAD`] bytes of data:
 //!
-//! A transfer is a **stream**: `(src_rank, stream_id)` plus a byte total
-//! that is either known a priori (the FFT transpose — the all-to-all
-//! schedule fixes every block size) or learned from the final packet's
-//! `fin` flag (the integer sort — bucket sizes are data-dependent, so
-//! the sender marks its last packet). Packets carry a 16-byte header and
-//! up to [`INIC_PAYLOAD`] data bytes; the receiver's [`StreamRx`]
-//! tracker detects completion by byte count — no ACKs, no
-//! retransmission machinery. Loss-freedom is an *invariant* the cluster
-//! tests assert (the schedule never oversubscribes switch buffers), not
-//! something the protocol recovers from.
+//! ```text
+//! [0..2)   src_rank   u16 LE — sending node's rank
+//! [2..4)   stream     u16 LE — application stream id
+//! [4..8)   offset     u32 LE — byte offset of this payload in the stream
+//! [8..10)  len        u16 LE — payload length
+//! [10..12) flags      u16 LE — FIN | CREDIT | NACK | ACK
+//! [12..16) checksum   u32 LE — FNV-1a over header bytes [0..12) + data
+//! ```
+//!
+//! The checksum makes corruption *detectable*; the `offset` field makes
+//! retransmission *idempotent* (a duplicate lands on an already-filled
+//! segment and is ignored); ACK/NACK control packets make loss
+//! *recoverable* by the sender-side window in the card model. On a clean
+//! fabric none of the recovery machinery runs — the header is the same
+//! 16 bytes the paper's protocol pays either way.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
-/// Data bytes per INIC packet (the paper's 1024).
+/// Maximum data bytes per INIC packet. The paper's prototype uses
+/// 1024-byte packets ("packets with 1 KB of data each").
 pub const INIC_PAYLOAD: usize = 1024;
 
-/// Header bytes per INIC packet.
+/// The fixed header size.
 pub const INIC_HEADER: usize = 16;
 
-/// One packet of an INIC stream.
-#[derive(Clone, Debug, PartialEq)]
+const FLAG_FIN: u16 = 1 << 0;
+const FLAG_CREDIT: u16 = 1 << 1;
+const FLAG_NACK: u16 = 1 << 2;
+const FLAG_ACK: u16 = 1 << 3;
+
+/// Why a received packet failed to decode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// Fewer bytes than one header.
+    Short,
+    /// The header's length field disagrees with the bytes present.
+    LengthMismatch,
+    /// The checksum does not cover the bytes received — corruption.
+    Checksum,
+}
+
+/// FNV-1a over a couple of byte slices — cheap, deterministic, and
+/// sensitive to single-bit flips anywhere in header or data.
+fn fnv1a(parts: &[&[u8]]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for part in parts {
+        for &b in *part {
+            h ^= u32::from(b);
+            h = h.wrapping_mul(0x0100_0193);
+        }
+    }
+    h
+}
+
+/// One packet of the INIC protocol.
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct InicPacket {
-    /// Sending rank (cluster-level id, not MAC).
+    /// Sending node's rank.
     pub src_rank: u32,
-    /// Stream identifier, unique per (src, transfer).
+    /// Application stream id.
     pub stream: u32,
-    /// Byte offset of this packet's payload within the stream.
+    /// Byte offset of `data` within the stream; for a CREDIT packet the
+    /// re-granted byte count; for a NACK the first missing offset.
     pub offset: u32,
-    /// Marks the stream's final packet; `offset + data.len()` is then
-    /// the stream total.
+    /// Last packet of the stream.
     pub fin: bool,
-    /// A flow-control credit rather than data: `offset` carries the
-    /// number of payload bytes the receiver has consumed and re-grants
-    /// to the sender's window. Credits never enter stream reassembly.
+    /// Flow-control credit grant (no data).
     pub credit: bool,
-    /// Payload bytes (≤ [`INIC_PAYLOAD`]).
+    /// Receiver-side repair request: "resend from `offset`" (no data).
+    pub nack: bool,
+    /// Stream fully received (no data); the sender may drop its window.
+    pub ack: bool,
+    /// Payload bytes.
     pub data: Vec<u8>,
 }
 
 impl InicPacket {
-    /// Encode to the Ethernet payload: 16-byte header then data.
-    pub fn encode(&self) -> Vec<u8> {
-        assert!(self.data.len() <= INIC_PAYLOAD, "INIC packet over-long");
-        let mut out = Vec::with_capacity(INIC_HEADER + self.data.len());
-        out.extend_from_slice(&self.src_rank.to_le_bytes());
-        out.extend_from_slice(&self.stream.to_le_bytes());
-        out.extend_from_slice(&self.offset.to_le_bytes());
-        out.extend_from_slice(&(self.data.len() as u16).to_le_bytes());
-        let flags = u16::from(self.fin) | (u16::from(self.credit) << 1);
-        out.extend_from_slice(&flags.to_le_bytes());
-        out.extend_from_slice(&self.data);
-        out
-    }
-
-    /// Decode from an Ethernet payload.
-    ///
-    /// # Panics
-    /// Panics on malformed packets — corruption cannot occur in the
-    /// simulator, so it indicates a datapath bug.
-    pub fn decode(bytes: &[u8]) -> InicPacket {
-        assert!(bytes.len() >= INIC_HEADER, "short INIC packet");
-        let src_rank = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
-        let stream = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
-        let offset = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-        let len = u16::from_le_bytes(bytes[12..14].try_into().unwrap()) as usize;
-        let flags = u16::from_le_bytes(bytes[14..16].try_into().unwrap());
-        assert_eq!(bytes.len(), INIC_HEADER + len, "INIC length mismatch");
+    /// A flow-control credit grant of `amount` bytes for `stream`.
+    pub fn credit_grant(src_rank: u32, stream: u32, amount: u32) -> InicPacket {
         InicPacket {
             src_rank,
             stream,
-            offset,
-            fin: flags & 1 != 0,
-            credit: flags & 2 != 0,
+            offset: amount,
+            fin: false,
+            credit: true,
+            nack: false,
+            ack: false,
+            data: Vec::new(),
+        }
+    }
+
+    /// A stream-complete acknowledgement.
+    pub fn stream_ack(src_rank: u32, stream: u32) -> InicPacket {
+        InicPacket {
+            src_rank,
+            stream,
+            offset: 0,
+            fin: false,
+            credit: false,
+            nack: false,
+            ack: true,
+            data: Vec::new(),
+        }
+    }
+
+    /// A repair request for the gap starting at `missing`.
+    pub fn repair_nack(src_rank: u32, stream: u32, missing: u32) -> InicPacket {
+        InicPacket {
+            src_rank,
+            stream,
+            offset: missing,
+            fin: false,
+            credit: false,
+            nack: true,
+            ack: false,
+            data: Vec::new(),
+        }
+    }
+
+    /// Whether this is a control packet that must never enter stream
+    /// reassembly.
+    pub fn is_control(&self) -> bool {
+        self.credit || self.nack || self.ack
+    }
+
+    /// Serialize to wire bytes.
+    ///
+    /// # Panics
+    /// Panics if the payload exceeds [`INIC_PAYLOAD`] or an id field
+    /// overflows its wire width — protocol bugs, not runtime conditions.
+    pub fn encode(&self) -> Vec<u8> {
+        assert!(
+            self.data.len() <= INIC_PAYLOAD,
+            "INIC payload {} exceeds {INIC_PAYLOAD}",
+            self.data.len()
+        );
+        assert!(self.src_rank <= u32::from(u16::MAX), "rank overflows u16");
+        assert!(self.stream <= u32::from(u16::MAX), "stream overflows u16");
+        let mut out = vec![0u8; INIC_HEADER + self.data.len()];
+        out[0..2].copy_from_slice(&(self.src_rank as u16).to_le_bytes());
+        out[2..4].copy_from_slice(&(self.stream as u16).to_le_bytes());
+        out[4..8].copy_from_slice(&self.offset.to_le_bytes());
+        out[8..10].copy_from_slice(&(self.data.len() as u16).to_le_bytes());
+        let mut flags = 0u16;
+        if self.fin {
+            flags |= FLAG_FIN;
+        }
+        if self.credit {
+            flags |= FLAG_CREDIT;
+        }
+        if self.nack {
+            flags |= FLAG_NACK;
+        }
+        if self.ack {
+            flags |= FLAG_ACK;
+        }
+        out[10..12].copy_from_slice(&flags.to_le_bytes());
+        let sum = fnv1a(&[&out[0..12], &self.data]);
+        out[12..16].copy_from_slice(&sum.to_le_bytes());
+        out[INIC_HEADER..].copy_from_slice(&self.data);
+        out
+    }
+
+    /// Parse wire bytes, verifying structure and checksum.
+    pub fn decode(bytes: &[u8]) -> Result<InicPacket, WireError> {
+        if bytes.len() < INIC_HEADER {
+            return Err(WireError::Short);
+        }
+        let len = u16::from_le_bytes(bytes[8..10].try_into().unwrap()) as usize;
+        if bytes.len() != INIC_HEADER + len {
+            return Err(WireError::LengthMismatch);
+        }
+        let want = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+        if fnv1a(&[&bytes[0..12], &bytes[INIC_HEADER..]]) != want {
+            return Err(WireError::Checksum);
+        }
+        let flags = u16::from_le_bytes(bytes[10..12].try_into().unwrap());
+        Ok(InicPacket {
+            src_rank: u32::from(u16::from_le_bytes(bytes[0..2].try_into().unwrap())),
+            stream: u32::from(u16::from_le_bytes(bytes[2..4].try_into().unwrap())),
+            offset: u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+            fin: flags & FLAG_FIN != 0,
+            credit: flags & FLAG_CREDIT != 0,
+            nack: flags & FLAG_NACK != 0,
+            ack: flags & FLAG_ACK != 0,
             data: bytes[INIC_HEADER..].to_vec(),
-        }
-    }
-
-    /// Split a buffer into a stream's packets, marking the last `fin`.
-    /// An empty buffer yields one zero-length fin packet so the receiver
-    /// still learns the (zero) total.
-    pub fn packetize(src_rank: u32, stream: u32, data: &[u8]) -> Vec<InicPacket> {
-        if data.is_empty() {
-            return vec![InicPacket {
-                src_rank,
-                stream,
-                offset: 0,
-                fin: true,
-                credit: false,
-                data: vec![],
-            }];
-        }
-        let n = data.len().div_ceil(INIC_PAYLOAD);
-        data.chunks(INIC_PAYLOAD)
-            .enumerate()
-            .map(|(i, chunk)| InicPacket {
-                src_rank,
-                stream,
-                offset: (i * INIC_PAYLOAD) as u32,
-                fin: i == n - 1,
-                credit: false,
-                data: chunk.to_vec(),
-            })
-            .collect()
-    }
-
-    /// Packets needed for `bytes` of data (at least one — the fin).
-    pub fn packet_count(bytes: u64) -> u64 {
-        bytes.div_ceil(INIC_PAYLOAD as u64).max(1)
-    }
-
-    /// Total Ethernet payload bytes (headers included) for a `bytes`
-    /// stream — the protocol-efficiency number the models use.
-    pub fn wire_payload_bytes(bytes: u64) -> u64 {
-        bytes + Self::packet_count(bytes) * INIC_HEADER as u64
+        })
     }
 }
 
-/// Reassembles one incoming stream. The total size may be known a
-/// priori ([`StreamRx::new`]) or learned from the fin packet
-/// ([`StreamRx::new_unknown`]).
-#[derive(Debug)]
+/// Split `data` into a stream of packets; the last carries FIN. Empty
+/// data becomes a single zero-length FIN packet.
+pub fn packetize(src_rank: u32, stream: u32, data: &[u8]) -> Vec<InicPacket> {
+    if data.is_empty() {
+        return vec![InicPacket {
+            src_rank,
+            stream,
+            offset: 0,
+            fin: true,
+            credit: false,
+            nack: false,
+            ack: false,
+            data: Vec::new(),
+        }];
+    }
+    let mut out = Vec::with_capacity(data.len().div_ceil(INIC_PAYLOAD));
+    let mut offset = 0usize;
+    while offset < data.len() {
+        let end = (offset + INIC_PAYLOAD).min(data.len());
+        out.push(InicPacket {
+            src_rank,
+            stream,
+            offset: offset as u32,
+            fin: end == data.len(),
+            credit: false,
+            nack: false,
+            ack: false,
+            data: data[offset..end].to_vec(),
+        });
+        offset = end;
+    }
+    out
+}
+
+/// Number of packets `bytes` of data occupy.
+pub fn packet_count(bytes: usize) -> usize {
+    if bytes == 0 {
+        1
+    } else {
+        bytes.div_ceil(INIC_PAYLOAD)
+    }
+}
+
+/// Total wire payload (headers + data) for `bytes` of stream data.
+pub fn wire_payload_bytes(bytes: usize) -> usize {
+    bytes + packet_count(bytes) * INIC_HEADER
+}
+
+/// Reassembly state of one incoming stream from one source.
+///
+/// Duplicate packets (retransmissions) are detected by offset and
+/// ignored, so sender-side recovery is idempotent here.
 pub struct StreamRx {
     total: Option<usize>,
     received: usize,
@@ -134,7 +257,7 @@ pub struct StreamRx {
 }
 
 impl StreamRx {
-    /// Start expecting exactly `total` bytes.
+    /// Expect exactly `total` bytes.
     pub fn new(total: usize) -> StreamRx {
         StreamRx {
             total: Some(total),
@@ -143,7 +266,8 @@ impl StreamRx {
         }
     }
 
-    /// Start a stream whose size the fin packet will reveal.
+    /// Expect an unknown number of bytes; the FIN packet announces the
+    /// total.
     pub fn new_unknown() -> StreamRx {
         StreamRx {
             total: None,
@@ -152,30 +276,32 @@ impl StreamRx {
         }
     }
 
-    /// Accept one packet. Duplicate packets panic — the INIC protocol
-    /// never retransmits, so a duplicate is a simulator bug.
-    pub fn accept(&mut self, pkt: &InicPacket) {
-        assert!(!pkt.credit, "credit packets never enter reassembly");
+    /// Fold one packet in. Returns `true` if it carried new bytes,
+    /// `false` for a duplicate (already-seen offset), which is ignored.
+    ///
+    /// # Panics
+    /// Panics on control packets and on structural inconsistencies
+    /// (total mismatch, overrun) — those are protocol bugs; corruption
+    /// is already filtered out by the decode checksum.
+    pub fn accept(&mut self, pkt: &InicPacket) -> bool {
+        assert!(!pkt.is_control(), "control packets never enter reassembly");
+        if self.segments.contains_key(&pkt.offset) {
+            // A retransmission of a segment we already hold.
+            return false;
+        }
         if pkt.fin {
-            let implied = pkt.offset as usize + pkt.data.len();
-            if let Some(t) = self.total {
-                assert_eq!(t, implied, "fin total disagrees with announced total");
+            let announced = pkt.offset as usize + pkt.data.len();
+            match self.total {
+                Some(t) => assert_eq!(t, announced, "fin total disagrees with announced total"),
+                None => self.total = Some(announced),
             }
-            self.total = Some(implied);
         }
-        if pkt.data.is_empty() {
-            return;
-        }
-        let prev = self.segments.insert(pkt.offset, pkt.data.clone());
-        assert!(
-            prev.is_none(),
-            "duplicate INIC packet at offset {}",
-            pkt.offset
-        );
         self.received += pkt.data.len();
         if let Some(t) = self.total {
             assert!(self.received <= t, "stream overran its total");
         }
+        self.segments.insert(pkt.offset, pkt.data.clone());
+        true
     }
 
     /// Bytes received so far.
@@ -183,81 +309,115 @@ impl StreamRx {
         self.received
     }
 
-    /// Whether the whole stream has arrived (requires the total to be
-    /// known, via announcement or fin).
+    /// Whether every byte has arrived.
     pub fn complete(&self) -> bool {
         self.total == Some(self.received)
     }
 
-    /// Take the reassembled bytes.
+    /// The first missing byte offset, or `None` if no gap is known
+    /// (stream complete, or tail still open with an unknown total).
+    pub fn missing(&self) -> Option<u32> {
+        let mut expected = 0u32;
+        for (&off, seg) in &self.segments {
+            if off > expected {
+                return Some(expected);
+            }
+            expected = off + seg.len() as u32;
+        }
+        match self.total {
+            Some(t) if (expected as usize) < t => Some(expected),
+            _ => None,
+        }
+    }
+
+    /// Concatenate the stream.
     ///
     /// # Panics
     /// Panics if the stream is incomplete.
     pub fn into_bytes(self) -> Vec<u8> {
-        assert!(
-            self.complete(),
-            "stream incomplete: {}/{:?}",
-            self.received,
-            self.total
-        );
-        let total = self.total.expect("complete implies known total");
-        let mut out = Vec::with_capacity(total);
-        let mut expect = 0u32;
-        for (off, seg) in self.segments {
-            assert_eq!(off, expect, "gap in completed stream");
-            expect += seg.len() as u32;
+        assert!(self.complete(), "stream incomplete");
+        let mut out = Vec::with_capacity(self.received);
+        for (_, seg) in self.segments {
             out.extend_from_slice(&seg);
         }
-        assert_eq!(out.len(), total);
         out
     }
 }
 
-/// Tracks multiple concurrent inbound streams keyed by `(src, stream)` —
-/// the receive side of the all-to-all, where P−1 streams interleave.
-#[derive(Default, Debug)]
+/// Demultiplexes packets of many `(src_rank, stream)` flows into their
+/// [`StreamRx`] states, remembering completed flows so that late
+/// retransmissions are absorbed instead of resurrecting them.
+#[derive(Default)]
 pub struct StreamDemux {
     streams: HashMap<(u32, u32), StreamRx>,
+    completed: HashSet<(u32, u32)>,
 }
 
 impl StreamDemux {
     /// Empty demux.
     pub fn new() -> StreamDemux {
-        Self::default()
+        StreamDemux::default()
     }
 
-    /// Announce an expected stream with a known size.
+    /// Announce a flow with a known total.
     pub fn expect(&mut self, src_rank: u32, stream: u32, total: usize) {
-        let prev = self.streams.insert((src_rank, stream), StreamRx::new(total));
-        assert!(prev.is_none(), "stream ({src_rank},{stream}) announced twice");
+        let prev = self
+            .streams
+            .insert((src_rank, stream), StreamRx::new(total));
+        assert!(
+            prev.is_none(),
+            "stream ({src_rank},{stream}) announced twice"
+        );
     }
 
-    /// Announce an expected stream whose size the fin packet reveals.
+    /// Announce a flow whose total the FIN will reveal.
     pub fn expect_unknown(&mut self, src_rank: u32, stream: u32) {
         let prev = self
             .streams
             .insert((src_rank, stream), StreamRx::new_unknown());
-        assert!(prev.is_none(), "stream ({src_rank},{stream}) announced twice");
+        assert!(
+            prev.is_none(),
+            "stream ({src_rank},{stream}) announced twice"
+        );
     }
 
-    /// Feed one packet; returns the completed stream's bytes when this
-    /// packet finishes it.
+    /// Fold one packet in; returns the assembled bytes when its flow
+    /// completes. Packets for already-completed flows return `None`
+    /// (late retransmissions are dropped silently).
+    ///
+    /// # Panics
+    /// Panics on packets for flows never announced.
     pub fn accept(&mut self, pkt: &InicPacket) -> Option<(u32, u32, Vec<u8>)> {
         let key = (pkt.src_rank, pkt.stream);
+        if self.completed.contains(&key) {
+            return None;
+        }
         let rx = self
             .streams
             .get_mut(&key)
             .unwrap_or_else(|| panic!("packet for unannounced stream {key:?}"));
         rx.accept(pkt);
         if rx.complete() {
-            let rx = self.streams.remove(&key).expect("present");
-            Some((key.0, key.1, rx.into_bytes()))
-        } else {
-            None
+            let rx = self.streams.remove(&key).unwrap();
+            self.completed.insert(key);
+            return Some((key.0, key.1, rx.into_bytes()));
         }
+        None
     }
 
-    /// Number of still-open streams.
+    /// Whether a flow has fully completed.
+    pub fn is_completed(&self, src_rank: u32, stream: u32) -> bool {
+        self.completed.contains(&(src_rank, stream))
+    }
+
+    /// The first missing offset of an open flow, if it has a known gap.
+    pub fn missing(&self, src_rank: u32, stream: u32) -> Option<u32> {
+        self.streams
+            .get(&(src_rank, stream))
+            .and_then(StreamRx::missing)
+    }
+
+    /// Number of announced, incomplete flows.
     pub fn open_streams(&self) -> usize {
         self.streams.len()
     }
@@ -267,150 +427,204 @@ impl StreamDemux {
 mod tests {
     use super::*;
 
-    #[test]
-    fn credit_flag_roundtrips() {
-        let c = InicPacket {
-            src_rank: 5,
-            stream: 1,
-            offset: 16384, // credited bytes
-            fin: false,
-            credit: true,
-            data: vec![],
-        };
-        let d = InicPacket::decode(&c.encode());
-        assert!(d.credit && !d.fin);
-        assert_eq!(d.offset, 16384);
-    }
-
-    #[test]
-    #[should_panic(expected = "credit packets never enter reassembly")]
-    fn reassembly_rejects_credits() {
-        let mut rx = StreamRx::new_unknown();
-        rx.accept(&InicPacket {
-            src_rank: 0,
-            stream: 0,
-            offset: 0,
-            fin: false,
-            credit: true,
-            data: vec![],
-        });
+    fn data_pkt(src: u32, stream: u32, offset: u32, fin: bool, data: Vec<u8>) -> InicPacket {
+        InicPacket {
+            src_rank: src,
+            stream,
+            offset,
+            fin,
+            credit: false,
+            nack: false,
+            ack: false,
+            data,
+        }
     }
 
     #[test]
     fn encode_decode_roundtrip() {
-        let p = InicPacket {
-            src_rank: 3,
-            stream: 9,
-            offset: 2048,
-            fin: true,
-            credit: false,
-            data: (0..100u8).collect(),
-        };
-        assert_eq!(InicPacket::decode(&p.encode()), p);
+        let pkt = data_pkt(3, 7, 2048, true, (0..255).collect());
+        let decoded = InicPacket::decode(&pkt.encode()).unwrap();
+        assert_eq!(decoded, pkt);
     }
 
     #[test]
-    fn packetize_covers_data_exactly_and_marks_fin() {
+    fn control_flags_roundtrip() {
+        for pkt in [
+            InicPacket::credit_grant(1, 2, 6144),
+            InicPacket::stream_ack(4, 9),
+            InicPacket::repair_nack(5, 1, 3072),
+        ] {
+            assert!(pkt.is_control());
+            assert_eq!(InicPacket::decode(&pkt.encode()).unwrap(), pkt);
+        }
+    }
+
+    #[test]
+    fn short_packet_rejected() {
+        assert_eq!(InicPacket::decode(&[0u8; 5]), Err(WireError::Short));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let mut bytes = data_pkt(0, 0, 0, true, vec![1; 100]).encode();
+        bytes.truncate(bytes.len() - 1);
+        assert_eq!(InicPacket::decode(&bytes), Err(WireError::LengthMismatch));
+    }
+
+    #[test]
+    fn checksum_catches_single_byte_flips() {
+        let clean = data_pkt(2, 3, 1024, false, vec![0xAB; 256]).encode();
+        assert!(InicPacket::decode(&clean).is_ok());
+        // Flip one byte anywhere — header, data, or the checksum field
+        // itself — and decode must fail. (A flip in the length field is
+        // caught as a length mismatch rather than a checksum error.)
+        for i in 0..clean.len() {
+            let mut bent = clean.clone();
+            bent[i] ^= 0x40;
+            assert!(
+                InicPacket::decode(&bent).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn packetize_splits_and_sets_fin() {
         let data: Vec<u8> = (0..3000).map(|i| (i % 251) as u8).collect();
-        let pkts = InicPacket::packetize(1, 2, &data);
+        let pkts = packetize(1, 5, &data);
         assert_eq!(pkts.len(), 3);
-        assert_eq!(pkts[0].data.len(), 1024);
-        assert_eq!(pkts[2].data.len(), 952);
+        assert_eq!(pkts.len(), packet_count(data.len()));
+        assert_eq!(pkts[0].data.len(), INIC_PAYLOAD);
+        assert_eq!(pkts[2].data.len(), 3000 - 2 * INIC_PAYLOAD);
+        assert!(pkts[2].fin && !pkts[0].fin && !pkts[1].fin);
         assert_eq!(pkts[1].offset, 1024);
-        assert!(!pkts[0].fin && !pkts[1].fin && pkts[2].fin);
-        let total: usize = pkts.iter().map(|p| p.data.len()).sum();
-        assert_eq!(total, data.len());
     }
 
     #[test]
-    fn empty_stream_still_sends_a_fin() {
-        let pkts = InicPacket::packetize(0, 0, &[]);
+    fn empty_stream_is_one_fin_packet() {
+        let pkts = packetize(0, 1, &[]);
         assert_eq!(pkts.len(), 1);
         assert!(pkts[0].fin && pkts[0].data.is_empty());
-        let mut rx = StreamRx::new_unknown();
-        rx.accept(&pkts[0]);
-        assert!(rx.complete());
-        assert!(rx.into_bytes().is_empty());
+        assert_eq!(packet_count(0), 1);
     }
 
     #[test]
-    fn wire_overhead_is_under_two_percent() {
-        // 16/1040 ≈ 1.5% — the "minimal overhead" claim.
-        let data = 1_000_000u64;
-        let wire = InicPacket::wire_payload_bytes(data);
-        let overhead = wire as f64 / data as f64 - 1.0;
-        assert!(overhead < 0.02, "overhead {overhead}");
-    }
-
-    #[test]
-    fn stream_rx_reassembles_out_of_order() {
+    fn reassembly_in_any_order() {
         let data: Vec<u8> = (0..2500).map(|i| (i % 241) as u8).collect();
-        let pkts = InicPacket::packetize(0, 0, &data);
+        let mut pkts = packetize(9, 2, &data);
+        pkts.reverse();
         let mut rx = StreamRx::new(data.len());
-        for p in pkts.iter().rev() {
-            rx.accept(p);
+        for p in &pkts {
+            assert!(rx.accept(p));
         }
         assert!(rx.complete());
         assert_eq!(rx.into_bytes(), data);
     }
 
     #[test]
-    fn unknown_total_learned_from_fin() {
-        let data = vec![7u8; 1500];
-        let pkts = InicPacket::packetize(0, 0, &data);
-        let mut rx = StreamRx::new_unknown();
-        rx.accept(&pkts[0]);
-        assert!(!rx.complete());
-        rx.accept(&pkts[1]);
+    fn duplicates_are_ignored_not_fatal() {
+        let data = vec![7u8; 2000];
+        let pkts = packetize(0, 1, &data);
+        let mut rx = StreamRx::new(data.len());
+        assert!(rx.accept(&pkts[0]));
+        assert!(!rx.accept(&pkts[0]), "duplicate must be a no-op");
+        assert!(rx.accept(&pkts[1]));
+        assert!(!rx.accept(&pkts[1]), "duplicate after completion too");
         assert!(rx.complete());
+        assert_eq!(rx.received(), data.len());
         assert_eq!(rx.into_bytes(), data);
     }
 
     #[test]
-    #[should_panic(expected = "duplicate INIC packet")]
-    fn duplicate_packet_panics() {
-        let pkts = InicPacket::packetize(0, 0, &[1u8; 100]);
-        let mut rx = StreamRx::new(100);
+    fn missing_reports_first_gap() {
+        let data = vec![1u8; 3 * INIC_PAYLOAD];
+        let pkts = packetize(0, 1, &data);
+        let mut rx = StreamRx::new(data.len());
+        rx.accept(&pkts[2]);
+        assert_eq!(rx.missing(), Some(0));
         rx.accept(&pkts[0]);
+        assert_eq!(rx.missing(), Some(INIC_PAYLOAD as u32));
+        rx.accept(&pkts[1]);
+        assert_eq!(rx.missing(), None);
+    }
+
+    #[test]
+    fn missing_sees_open_tail_with_known_total() {
+        let data = vec![1u8; 3 * INIC_PAYLOAD];
+        let pkts = packetize(0, 1, &data);
+        let mut rx = StreamRx::new(data.len());
         rx.accept(&pkts[0]);
+        rx.accept(&pkts[1]);
+        assert_eq!(rx.missing(), Some(2 * INIC_PAYLOAD as u32));
     }
 
     #[test]
     #[should_panic(expected = "fin total disagrees")]
     fn fin_mismatch_panics() {
-        let mut rx = StreamRx::new(500);
-        rx.accept(&InicPacket {
-            src_rank: 0,
-            stream: 0,
-            offset: 0,
-            fin: true,
-            credit: false,
-            data: vec![0; 100],
-        });
+        let mut rx = StreamRx::new(100);
+        rx.accept(&data_pkt(0, 0, 0, true, vec![0; 50]));
     }
 
     #[test]
-    fn demux_tracks_concurrent_streams() {
-        let a: Vec<u8> = vec![1; 2048];
-        let b: Vec<u8> = vec![2; 1024];
+    #[should_panic(expected = "never enter reassembly")]
+    fn reassembly_rejects_credits() {
+        let mut rx = StreamRx::new_unknown();
+        rx.accept(&InicPacket::credit_grant(0, 0, 1024));
+    }
+
+    #[test]
+    fn demux_routes_and_completes() {
+        let a = vec![3u8; 1500];
+        let b = vec![4u8; 800];
         let mut demux = StreamDemux::new();
-        demux.expect(0, 7, a.len());
-        demux.expect_unknown(1, 7);
-        let pa = InicPacket::packetize(0, 7, &a);
-        let pb = InicPacket::packetize(1, 7, &b);
-        assert!(demux.accept(&pa[0]).is_none());
-        let done_b = demux.accept(&pb[0]);
-        assert_eq!(done_b, Some((1, 7, b)));
-        let done_a = demux.accept(&pa[1]);
-        assert_eq!(done_a, Some((0, 7, a)));
+        demux.expect(0, 1, a.len());
+        demux.expect_unknown(1, 1);
+        assert_eq!(demux.open_streams(), 2);
+        let mut done = Vec::new();
+        for p in packetize(0, 1, &a).iter().chain(packetize(1, 1, &b).iter()) {
+            if let Some(d) = demux.accept(p) {
+                done.push(d);
+            }
+        }
+        assert_eq!(done, vec![(0, 1, a), (1, 1, b)]);
         assert_eq!(demux.open_streams(), 0);
+        assert!(demux.is_completed(0, 1) && demux.is_completed(1, 1));
+    }
+
+    #[test]
+    fn demux_absorbs_late_retransmissions() {
+        let data = vec![9u8; 600];
+        let pkts = packetize(2, 4, &data);
+        let mut demux = StreamDemux::new();
+        demux.expect(2, 4, data.len());
+        assert!(demux.accept(&pkts[0]).is_some());
+        // The flow is done; a straggling retransmission just vanishes.
+        assert_eq!(demux.accept(&pkts[0]), None);
+        assert!(demux.is_completed(2, 4));
     }
 
     #[test]
     #[should_panic(expected = "unannounced stream")]
     fn unannounced_stream_panics() {
         let mut demux = StreamDemux::new();
-        let p = InicPacket::packetize(0, 0, &[0u8; 10]);
-        demux.accept(&p[0]);
+        demux.accept(&data_pkt(5, 5, 0, true, vec![1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "announced twice")]
+    fn double_announce_panics() {
+        let mut demux = StreamDemux::new();
+        demux.expect(0, 0, 10);
+        demux.expect_unknown(0, 0);
+    }
+
+    #[test]
+    fn wire_overhead_is_under_two_percent() {
+        // 16B header on 1024B payload ≈ 1.5% — the lightweight protocol
+        // the paper contrasts with TCP/IP's 40+ bytes.
+        let bytes = 1 << 20;
+        let wire = wire_payload_bytes(bytes);
+        let overhead = (wire - bytes) as f64 / bytes as f64;
+        assert!(overhead < 0.02, "overhead {overhead}");
     }
 }

@@ -13,12 +13,16 @@
 //!   coupling to the host model: interrupt moderation on receive, paced
 //!   PCI/DMA crossing on transmit, per-segment CPU costs.
 //! * [`inic_wire`] — the INIC's application-specific protocol "built
-//!   directly on Ethernet": fixed 1024-byte packets, a 16-byte header,
-//!   sender-known transfer sizes, and a stream reassembly tracker that
-//!   needs no per-packet acknowledgements.
+//!   directly on Ethernet": fixed 1024-byte packets, a 16-byte
+//!   checksummed header, sender-known transfer sizes, duplicate-tolerant
+//!   stream reassembly, and ACK/NACK control packets for loss recovery
+//!   under fault injection.
 
 pub mod inic_wire;
 pub mod tcp;
 
-pub use inic_wire::{InicPacket, StreamDemux, StreamRx, INIC_HEADER, INIC_PAYLOAD};
+pub use inic_wire::{
+    packet_count, packetize, wire_payload_bytes, InicPacket, StreamDemux, StreamRx, WireError,
+    INIC_HEADER, INIC_PAYLOAD,
+};
 pub use tcp::{HostPathCosts, TcpDelivered, TcpHostNic, TcpParams, TcpSend};

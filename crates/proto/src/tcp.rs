@@ -27,8 +27,8 @@
 use std::any::Any;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
-use acc_net::{EtherType, Frame, FrameArrival, MacAddr, PortTxDone};
 use acc_net::port::EgressPort;
+use acc_net::{EtherType, Frame, FrameArrival, MacAddr, PortTxDone};
 use acc_sim::{Bandwidth, Component, ComponentId, Ctx, DataSize, SimDuration, SimTime};
 
 use acc_host::interrupts::{InterruptCosts, InterruptModerator, ModerationPolicy, ModeratorAction};
@@ -143,6 +143,17 @@ struct SegHeader {
 }
 
 impl SegHeader {
+    /// FNV-1a over the populated header fields plus the data — stands in
+    /// for the real TCP checksum within the modelled 40-byte header.
+    fn checksum(header: &[u8], data: &[u8]) -> u32 {
+        let mut h: u32 = 0x811C_9DC5;
+        for &b in header[0..23].iter().chain(data) {
+            h ^= u32::from(b);
+            h = h.wrapping_mul(0x0100_0193);
+        }
+        h
+    }
+
     fn encode(&self, data: &[u8]) -> Vec<u8> {
         let mut out = vec![0u8; IP_TCP_HEADER];
         out[0..2].copy_from_slice(&self.chan.to_le_bytes());
@@ -150,12 +161,23 @@ impl SegHeader {
         out[10..18].copy_from_slice(&self.ack.to_le_bytes());
         out[18] = u8::from(self.has_data);
         out[19..23].copy_from_slice(&self.window.to_le_bytes());
+        let sum = SegHeader::checksum(&out, data);
+        out[23..27].copy_from_slice(&sum.to_le_bytes());
         out.extend_from_slice(data);
         out
     }
 
-    fn decode(payload: &[u8]) -> (SegHeader, &[u8]) {
-        assert!(payload.len() >= IP_TCP_HEADER, "short TCP segment");
+    /// Parse a segment; `None` means the checksum failed (corruption on
+    /// the wire) and the segment must be discarded — the normal TCP loss
+    /// recovery then repairs the stream.
+    fn decode(payload: &[u8]) -> Option<(SegHeader, &[u8])> {
+        if payload.len() < IP_TCP_HEADER {
+            return None;
+        }
+        let want = u32::from_le_bytes(payload[23..27].try_into().unwrap());
+        if SegHeader::checksum(payload, &payload[IP_TCP_HEADER..]) != want {
+            return None;
+        }
         let h = SegHeader {
             chan: u16::from_le_bytes(payload[0..2].try_into().unwrap()),
             seq: u64::from_le_bytes(payload[2..10].try_into().unwrap()),
@@ -163,7 +185,7 @@ impl SegHeader {
             has_data: payload[18] != 0,
             window: u32::from_le_bytes(payload[19..23].try_into().unwrap()),
         };
-        (h, &payload[IP_TCP_HEADER..])
+        Some((h, &payload[IP_TCP_HEADER..]))
     }
 }
 
@@ -344,6 +366,12 @@ impl TcpHostNic {
         self.cpu_time
     }
 
+    /// The NIC-side egress port (frame counters and impairment state,
+    /// for accounting checks and reports).
+    pub fn uplink(&self) -> &EgressPort {
+        &self.uplink
+    }
+
     fn conn_mut(&mut self, key: FlowKey, now: SimTime) -> &mut TcpConn {
         let params = self.params;
         self.conns
@@ -386,8 +414,7 @@ impl TcpHostNic {
                 }
                 // Effective window; never below one MSS so a tiny cwnd
                 // cannot deadlock the flow.
-                let window =
-                    (conn.cwnd.min(f64::from(conn.peer_window)) as usize).max(MSS);
+                let window = (conn.cwnd.min(f64::from(conn.peer_window)) as usize).max(MSS);
                 let flight = conn.flight_size();
                 if flight > 0 && flight + take > window {
                     break;
@@ -472,9 +499,7 @@ impl TcpHostNic {
             let flight = conn.flight_size() as f64;
             conn.ssthresh = (flight / 2.0).max(2.0 * MSS as f64);
             conn.cwnd = MSS as f64;
-            conn.rto = SimDuration::from_secs_f64(
-                (conn.rto.as_secs_f64() * 2.0).min(60.0),
-            );
+            conn.rto = SimDuration::from_secs_f64((conn.rto.as_secs_f64() * 2.0).min(60.0));
             conn.dup_acks = 0;
             // Retransmit the earliest unacked segment.
             let (&seq, seg) = conn.inflight.iter_mut().next().expect("non-empty");
@@ -533,7 +558,10 @@ impl TcpHostNic {
         let frames = std::mem::take(&mut self.rx_ring);
         let bytes: u64 = frames.iter().map(|f| f.payload.len() as u64).sum();
         let service = self.costs.service_time(n)
-            + self.path.rx_copy_rate.transfer_time(DataSize::from_bytes(bytes));
+            + self
+                .path
+                .rx_copy_rate
+                .transfer_time(DataSize::from_bytes(bytes));
         self.cpu_time += service;
         self.servicing = true;
         ctx.self_in(service, ServiceBatch { frames });
@@ -546,7 +574,12 @@ impl TcpHostNic {
         let mut acks_to_send: Vec<FlowKey> = Vec::new();
         let mut pump_flows: Vec<FlowKey> = Vec::new();
         for frame in frames {
-            let (h, data) = SegHeader::decode(&frame.payload);
+            let Some((h, data)) = SegHeader::decode(&frame.payload) else {
+                // Corrupted on the wire: drop silently and let the
+                // sender's RTO / fast-retransmit machinery recover.
+                ctx.stats().counter(&self.label, "rx_checksum_drops").inc();
+                continue;
+            };
             let key = FlowKey {
                 peer: frame.src,
                 chan: h.chan,
@@ -689,8 +722,7 @@ impl TcpHostNic {
                         }
                     }
                     let rto = conn.srtt.expect("set") + 4.0 * conn.rttvar;
-                    conn.rto = SimDuration::from_secs_f64(rto)
-                        .max(params.min_rto);
+                    conn.rto = SimDuration::from_secs_f64(rto).max(params.min_rto);
                 }
                 // Window growth.
                 if ack >= conn.recovery_until {

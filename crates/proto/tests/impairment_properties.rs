@@ -1,0 +1,258 @@
+//! Property tests for the TCP stack under link impairment: whatever a
+//! link does to individual frames — drop them, flip their payload
+//! bytes, deliver them late and out of order — the application must
+//! still receive exactly the byte stream that was sent, and every frame
+//! offered to the switch must be accounted for as delivered, dropped at
+//! a full queue, or discarded by the fault model.
+//!
+//! No external property-testing crate: a seeded loop drives the
+//! impairment configurations, so failures reproduce exactly.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use acc_host::{InterruptCosts, ModerationPolicy};
+use acc_net::port::EgressPort;
+use acc_net::{Impairment, LinkParams, MacAddr, Switch, SwitchParams};
+use acc_proto::{HostPathCosts, TcpDelivered, TcpHostNic, TcpParams, TcpSend};
+use acc_sim::{Component, ComponentId, Ctx, SimDuration, SimRng, SimTime, Simulation};
+
+/// Test application: fires its outbox at t=0, records deliveries.
+struct App {
+    nic: ComponentId,
+    outbox: Vec<TcpSend>,
+    received: HashMap<(MacAddr, u16), Vec<u8>>,
+}
+
+impl Component for App {
+    fn handle(&mut self, ev: Box<dyn Any>, ctx: &mut Ctx) {
+        if ev.downcast_ref::<()>().is_some() {
+            for send in self.outbox.drain(..) {
+                ctx.send_now(self.nic, send);
+            }
+        } else if let Ok(d) = ev.downcast::<TcpDelivered>() {
+            self.received
+                .entry((d.peer, d.chan))
+                .or_default()
+                .extend_from_slice(&d.data);
+        } else {
+            panic!("app: unexpected event");
+        }
+    }
+    fn name(&self) -> &str {
+        "app"
+    }
+}
+
+/// What one property iteration injects on every link (both directions).
+#[derive(Clone, Copy, Debug)]
+struct Faults {
+    loss: f64,
+    corrupt: f64,
+    reorder: f64,
+    seed: u64,
+}
+
+fn impairment(f: Faults, stream: u64) -> Impairment {
+    let mut imp = Impairment::new(SimRng::seed_from(
+        f.seed
+            .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    ));
+    if f.loss > 0.0 {
+        imp = imp.with_loss(f.loss);
+    }
+    if f.corrupt > 0.0 {
+        imp = imp.with_corruption(f.corrupt);
+    }
+    if f.reorder > 0.0 {
+        imp = imp.with_reorder(f.reorder, SimDuration::from_micros(200));
+    }
+    imp
+}
+
+struct Run {
+    received: Vec<HashMap<(MacAddr, u16), Vec<u8>>>,
+    retransmits: u64,
+    frames_into_switch: u64,
+    switch_sent: u64,
+    switch_queue_drops: u64,
+    switch_impair_lost: u64,
+}
+
+/// Build `n` TCP hosts on one impaired switch, run node-0 → others
+/// transfers to quiescence, and collect the frame accounting.
+fn run_impaired(n: usize, payload: &[u8], f: Faults) -> Run {
+    let mut sim = Simulation::new(f.seed);
+    let link = LinkParams::for_kind(acc_net::EthernetKind::Gigabit);
+    let macs: Vec<MacAddr> = (0..n).map(|i| MacAddr::for_node(i, 0)).collect();
+    let app_ids: Vec<ComponentId> = (0..n).map(|_| sim.reserve_id()).collect();
+    let nic_ids: Vec<ComponentId> = (0..n).map(|_| sim.reserve_id()).collect();
+    let switch_id = sim.reserve_id();
+    let mut switch = Switch::new("sw", SwitchParams::default());
+    for i in 0..n {
+        let sw_port = switch.attach(macs[i], nic_ids[i], 0, link);
+        switch.set_port_impairment(sw_port, impairment(f, 2 * i as u64 + 1));
+        let mut uplink = EgressPort::new(
+            link.rate,
+            link.prop_delay,
+            acc_net::presets::NIC_BUFFER,
+            switch_id,
+            sw_port,
+            0,
+        );
+        uplink.set_impairment(impairment(f, 2 * i as u64));
+        sim.register(
+            nic_ids[i],
+            TcpHostNic::new(
+                format!("tcp{i}"),
+                macs[i],
+                app_ids[i],
+                uplink,
+                TcpParams::default(),
+                HostPathCosts::athlon_pci(),
+                InterruptCosts::athlon_linux24(),
+                ModerationPolicy::syskonnect_default(),
+            ),
+        );
+        let outbox = if i == 0 {
+            (1..n)
+                .map(|q| TcpSend {
+                    peer: macs[q],
+                    chan: 5,
+                    data: payload.to_vec(),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        sim.register(
+            app_ids[i],
+            App {
+                nic: nic_ids[i],
+                outbox,
+                received: HashMap::new(),
+            },
+        );
+    }
+    sim.register(switch_id, switch);
+    for &a in &app_ids {
+        sim.schedule_at(SimTime::ZERO, a, ());
+    }
+    sim.run();
+    // Frames that actually left the NIC uplinks are exactly the frames
+    // offered to the switch (uplink `sent` already excludes frames the
+    // uplink's own fault model discarded).
+    let frames_into_switch = nic_ids
+        .iter()
+        .map(|&id| sim.component::<TcpHostNic>(id).uplink().sent())
+        .sum();
+    let retransmits = nic_ids
+        .iter()
+        .map(|&id| sim.component::<TcpHostNic>(id).retransmits())
+        .sum();
+    let sw = sim.component::<Switch>(switch_id);
+    let run = Run {
+        received: app_ids
+            .iter()
+            .map(|&a| sim.component::<App>(a).received.clone())
+            .collect(),
+        retransmits,
+        frames_into_switch,
+        switch_sent: sw.total_sent(),
+        switch_queue_drops: sw.total_drops(),
+        switch_impair_lost: sw.impair_lost_total(),
+    };
+    run
+}
+
+fn pattern(n: usize, seed: u8) -> Vec<u8> {
+    (0..n)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+        .collect()
+}
+
+/// One property check: exact byte stream at every receiver plus the
+/// switch frame-accounting identity.
+fn check(f: Faults) {
+    let n = 3;
+    let payload = pattern(300_000, f.seed as u8);
+    let r = run_impaired(n, &payload, f);
+    for (q, received) in r.received.iter().enumerate().skip(1) {
+        let got = received
+            .get(&(MacAddr::for_node(0, 0), 5))
+            .unwrap_or_else(|| panic!("node {q} received nothing under {f:?}"));
+        assert_eq!(got, &payload, "node {q} byte stream diverged under {f:?}");
+    }
+    assert_eq!(
+        r.frames_into_switch,
+        r.switch_sent + r.switch_queue_drops + r.switch_impair_lost,
+        "switch frame accounting broken under {f:?}"
+    );
+    // Any frame the fault model discarded forced a recovery.
+    if r.switch_impair_lost > 0 {
+        assert!(r.retransmits > 0, "lost frames but no retransmits: {f:?}");
+    }
+}
+
+#[test]
+fn byte_stream_survives_frame_loss() {
+    for seed in [1u64, 2, 3] {
+        check(Faults {
+            loss: 0.02,
+            corrupt: 0.0,
+            reorder: 0.0,
+            seed,
+        });
+    }
+}
+
+#[test]
+fn byte_stream_survives_corruption() {
+    for seed in [4u64, 5, 6] {
+        check(Faults {
+            loss: 0.0,
+            corrupt: 0.02,
+            reorder: 0.0,
+            seed,
+        });
+    }
+}
+
+#[test]
+fn byte_stream_survives_reordering() {
+    for seed in [7u64, 8, 9] {
+        check(Faults {
+            loss: 0.0,
+            corrupt: 0.0,
+            reorder: 0.05,
+            seed,
+        });
+    }
+}
+
+#[test]
+fn byte_stream_survives_combined_impairment() {
+    for seed in [10u64, 11] {
+        check(Faults {
+            loss: 0.01,
+            corrupt: 0.01,
+            reorder: 0.02,
+            seed,
+        });
+    }
+}
+
+#[test]
+fn pristine_links_need_no_recovery() {
+    let f = Faults {
+        loss: 0.0,
+        corrupt: 0.0,
+        reorder: 0.0,
+        seed: 42,
+    };
+    let payload = pattern(100_000, 9);
+    let r = run_impaired(2, &payload, f);
+    assert_eq!(r.retransmits, 0);
+    assert_eq!(r.switch_impair_lost, 0);
+    assert_eq!(r.frames_into_switch, r.switch_sent + r.switch_queue_drops);
+}

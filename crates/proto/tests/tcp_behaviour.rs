@@ -108,7 +108,9 @@ fn build(
 }
 
 fn pattern(n: usize, seed: u8) -> Vec<u8> {
-    (0..n).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+    (0..n)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+        .collect()
 }
 
 #[test]
@@ -168,7 +170,10 @@ fn short_message_latency_includes_moderation_delay() {
     // One 512-byte segment serialises in ~5 µs; the observed latency is
     // dominated by the 100 µs coalescing timeout plus service time.
     let micros = t.as_secs_f64() * 1e6;
-    assert!(micros > 100.0, "latency {micros:.1} µs too low — moderation missing");
+    assert!(
+        micros > 100.0,
+        "latency {micros:.1} µs too low — moderation missing"
+    );
     assert!(micros < 1_000.0, "latency {micros:.1} µs implausibly high");
 }
 
@@ -224,10 +229,7 @@ fn moderation_trades_small_message_latency_for_batch_size() {
         },
     );
     c.sim.run();
-    let (frames, interrupts) = c
-        .sim
-        .component::<TcpHostNic>(c.nics[1])
-        .interrupt_totals();
+    let (frames, interrupts) = c.sim.component::<TcpHostNic>(c.nics[1]).interrupt_totals();
     assert!(
         interrupts * 4 < frames,
         "bulk stream should batch many frames per interrupt: {interrupts} vs {frames}"
@@ -301,7 +303,11 @@ fn incast_loss_is_recovered_and_stream_stays_correct() {
     let receiver = c.sim.component::<App>(c.apps[0]);
     for i in 1..5usize {
         let got = &receiver.received[&(c.macs[i], i as u16)];
-        assert_eq!(got, &pattern(per_sender, i as u8), "stream from {i} corrupt");
+        assert_eq!(
+            got,
+            &pattern(per_sender, i as u8),
+            "stream from {i} corrupt"
+        );
     }
     let retx: u64 = c
         .nics

@@ -100,7 +100,11 @@ fn build_pair(
             apps[i],
             ScriptedApp {
                 nic: nics[i],
-                script: if i == 0 { std::mem::take(&mut vec![]) } else { vec![] },
+                script: if i == 0 {
+                    std::mem::take(&mut vec![])
+                } else {
+                    vec![]
+                },
                 received: HashMap::new(),
                 milestones: Vec::new(),
                 total: 0,

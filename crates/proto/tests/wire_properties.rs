@@ -1,118 +1,200 @@
-//! Property tests over the INIC wire protocol: packetization covers
-//! every byte exactly once, headers round-trip, reassembly is
-//! order-independent, and the demux never conflates streams.
+//! Randomized invariant tests over the INIC wire protocol: packetization
+//! covers every byte exactly once, checksummed headers round-trip,
+//! reassembly is order-independent and duplicate-tolerant, and the demux
+//! never conflates streams. Driven by a seeded splitmix64 stream so every
+//! failure reproduces from the fixed seeds.
 
-use proptest::prelude::*;
+use acc_proto::{packet_count, packetize, InicPacket, StreamDemux, StreamRx, INIC_PAYLOAD};
 
-use acc_proto::{InicPacket, StreamDemux, StreamRx, INIC_PAYLOAD};
+/// Minimal splitmix64 stream for generating test cases.
+struct Gen(u64);
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn header_roundtrip(
-        src in any::<u32>(),
-        stream in any::<u32>(),
-        offset in any::<u32>(),
-        fin in any::<bool>(),
-        data in prop::collection::vec(any::<u8>(), 0..=INIC_PAYLOAD),
-    ) {
-        let p = InicPacket {
-            src_rank: src,
-            stream,
-            offset,
-            fin,
-            credit: false,
-            data,
-        };
-        prop_assert_eq!(InicPacket::decode(&p.encode()), p);
+impl Gen {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
     }
 
-    #[test]
-    fn packetize_reassembles_in_any_order(
-        data in prop::collection::vec(any::<u8>(), 0..8000),
-        seed in any::<u64>(),
-    ) {
-        let mut pkts = InicPacket::packetize(1, 2, &data);
-        // Deterministic shuffle from the seed.
-        let mut s = seed | 1;
-        for i in (1..pkts.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let j = (s >> 33) as usize % (i + 1);
-            pkts.swap(i, j);
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    fn bytes(&mut self, max_len: u64) -> Vec<u8> {
+        let n = self.below(max_len) as usize;
+        (0..n).map(|_| self.next_u64() as u8).collect()
+    }
+
+    fn shuffle<T>(&mut self, v: &mut [T]) {
+        for i in (1..v.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            v.swap(i, j);
         }
+    }
+}
+
+#[test]
+fn header_roundtrip() {
+    let mut g = Gen(0xD1);
+    for _ in 0..128 {
+        let p = InicPacket {
+            src_rank: g.below(u64::from(u16::MAX) + 1) as u32,
+            stream: g.below(u64::from(u16::MAX) + 1) as u32,
+            offset: g.next_u64() as u32,
+            fin: g.below(2) == 1,
+            credit: false,
+            nack: false,
+            ack: false,
+            data: g.bytes(INIC_PAYLOAD as u64 + 1),
+        };
+        assert_eq!(InicPacket::decode(&p.encode()).unwrap(), p);
+    }
+}
+
+#[test]
+fn corruption_never_decodes() {
+    let mut g = Gen(0xD2);
+    for _ in 0..128 {
+        let p = InicPacket {
+            src_rank: g.below(1 << 8) as u32,
+            stream: g.below(1 << 8) as u32,
+            offset: g.next_u64() as u32,
+            fin: g.below(2) == 1,
+            credit: false,
+            nack: false,
+            ack: false,
+            data: g.bytes(INIC_PAYLOAD as u64 + 1),
+        };
+        let mut bytes = p.encode();
+        let i = g.below(bytes.len() as u64) as usize;
+        let mask = 1u8 << g.below(8);
+        bytes[i] ^= mask;
+        assert!(
+            InicPacket::decode(&bytes).is_err(),
+            "flip of bit {mask:#x} at byte {i} went undetected"
+        );
+    }
+}
+
+#[test]
+fn packetize_reassembles_in_any_order_with_duplicates() {
+    let mut g = Gen(0xD3);
+    for _ in 0..96 {
+        let data = g.bytes(8000);
+        let mut pkts = packetize(1, 2, &data);
+        // Inject duplicates (simulated retransmissions), then shuffle.
+        let n = pkts.len();
+        for _ in 0..g.below(4) {
+            let i = g.below(n as u64) as usize;
+            let dup = pkts[i].clone();
+            pkts.push(dup);
+        }
+        g.shuffle(&mut pkts);
         let mut rx = StreamRx::new_unknown();
         for p in &pkts {
             rx.accept(p);
         }
-        prop_assert!(rx.complete());
-        prop_assert_eq!(rx.into_bytes(), data);
+        assert!(rx.complete());
+        assert_eq!(rx.into_bytes(), data);
     }
+}
 
-    #[test]
-    fn packetize_structure_is_exact(data in prop::collection::vec(any::<u8>(), 1..8000)) {
-        let pkts = InicPacket::packetize(0, 0, &data);
+#[test]
+fn packetize_structure_is_exact() {
+    let mut g = Gen(0xD4);
+    for _ in 0..128 {
+        let data = {
+            let mut d = g.bytes(8000);
+            if d.is_empty() {
+                d.push(0);
+            }
+            d
+        };
+        let pkts = packetize(0, 0, &data);
         // Exactly one fin, on the final packet.
-        prop_assert_eq!(pkts.iter().filter(|p| p.fin).count(), 1);
-        prop_assert!(pkts.last().unwrap().fin);
-        // Offsets are contiguous multiples of the payload size.
+        assert_eq!(pkts.iter().filter(|p| p.fin).count(), 1);
+        assert!(pkts.last().unwrap().fin);
+        // Offsets are contiguous.
         let mut expect = 0u32;
         for p in &pkts {
-            prop_assert_eq!(p.offset, expect);
+            assert_eq!(p.offset, expect);
             expect += p.data.len() as u32;
         }
-        prop_assert_eq!(expect as usize, data.len());
+        assert_eq!(expect as usize, data.len());
         // All but the last packet are full.
         for p in &pkts[..pkts.len() - 1] {
-            prop_assert_eq!(p.data.len(), INIC_PAYLOAD);
+            assert_eq!(p.data.len(), INIC_PAYLOAD);
         }
-        // Wire accounting matches.
-        prop_assert_eq!(
-            InicPacket::packet_count(data.len() as u64),
-            pkts.len() as u64
-        );
+        assert_eq!(packet_count(data.len()), pkts.len());
     }
+}
 
-    #[test]
-    fn demux_separates_streams(
-        a in prop::collection::vec(any::<u8>(), 1..3000),
-        b in prop::collection::vec(any::<u8>(), 1..3000),
-    ) {
-        let pa = InicPacket::packetize(0, 9, &a);
-        let pb = InicPacket::packetize(1, 9, &b);
+#[test]
+fn demux_separates_streams() {
+    let mut g = Gen(0xD5);
+    for _ in 0..64 {
+        let a = {
+            let mut d = g.bytes(3000);
+            d.push(1);
+            d
+        };
+        let b = {
+            let mut d = g.bytes(3000);
+            d.push(2);
+            d
+        };
+        let pa = packetize(0, 9, &a);
+        let pb = packetize(1, 9, &b);
         let mut demux = StreamDemux::new();
         demux.expect(0, 9, a.len());
         demux.expect_unknown(1, 9);
-        // Interleave.
         let mut done = Vec::new();
         let mut ia = pa.iter();
         let mut ib = pb.iter();
         loop {
             let mut progressed = false;
-            if let Some(p) = ia.next() {
-                if let Some(d) = demux.accept(p) {
-                    done.push(d);
+            for it in [&mut ia, &mut ib] {
+                if let Some(p) = it.next() {
+                    if let Some(d) = demux.accept(p) {
+                        done.push(d);
+                    }
+                    progressed = true;
                 }
-                progressed = true;
-            }
-            if let Some(p) = ib.next() {
-                if let Some(d) = demux.accept(p) {
-                    done.push(d);
-                }
-                progressed = true;
             }
             if !progressed {
                 break;
             }
         }
-        prop_assert_eq!(done.len(), 2);
+        assert_eq!(done.len(), 2);
         for (src, _stream, bytes) in done {
-            if src == 0 {
-                prop_assert_eq!(&bytes, &a);
-            } else {
-                prop_assert_eq!(&bytes, &b);
-            }
+            assert_eq!(&bytes, if src == 0 { &a } else { &b });
         }
-        prop_assert_eq!(demux.open_streams(), 0);
+        assert_eq!(demux.open_streams(), 0);
+    }
+}
+
+#[test]
+fn missing_always_points_at_the_first_gap() {
+    let mut g = Gen(0xD6);
+    for _ in 0..96 {
+        let len = 1 + g.below(8 * INIC_PAYLOAD as u64) as usize;
+        let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+        let mut pkts = packetize(3, 1, &data);
+        g.shuffle(&mut pkts);
+        let mut rx = StreamRx::new(data.len());
+        let mut seen = std::collections::HashSet::new();
+        for p in &pkts {
+            // While incomplete with a known total, `missing` must name
+            // an offset whose packet has not been accepted yet.
+            let m = rx.missing().expect("incomplete stream has a gap");
+            assert!((m as usize) < data.len());
+            assert!(!seen.contains(&m), "missing() named a received offset");
+            rx.accept(p);
+            seen.insert(p.offset);
+        }
+        assert!(rx.complete());
+        assert_eq!(rx.missing(), None);
     }
 }

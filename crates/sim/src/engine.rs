@@ -71,11 +71,7 @@ impl Simulation {
     /// Panics if the slot is already occupied.
     pub fn register<C: Component + 'static>(&mut self, id: ComponentId, component: C) {
         let slot = &mut self.components[id.index()];
-        assert!(
-            slot.is_none(),
-            "component slot {:?} registered twice",
-            id
-        );
+        assert!(slot.is_none(), "component slot {:?} registered twice", id);
         *slot = Some(Box::new(component));
     }
 
@@ -163,7 +159,7 @@ impl Simulation {
             .take()
             .unwrap_or_else(|| panic!("event for unregistered component {:?}", ev.target));
         let mut component = slot;
-        {
+        let outcome = {
             let mut ctx = Ctx {
                 now: self.now,
                 self_id: ev.target,
@@ -172,7 +168,23 @@ impl Simulation {
                 stats: &mut self.stats,
                 trace: &mut self.trace,
             };
-            component.handle(ev.payload, &mut ctx);
+            // Catch component panics so a failing scenario assertion
+            // can be annotated with the trace tail before unwinding —
+            // the post-mortem path the trace buffer exists for.
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                component.handle(ev.payload, &mut ctx);
+            }))
+        };
+        if let Err(cause) = outcome {
+            if self.trace.enabled() {
+                eprintln!(
+                    "--- trace tail at failure (t={}, component {:?}) ---\n{}",
+                    self.now,
+                    ev.target,
+                    self.trace.dump_to_string()
+                );
+            }
+            std::panic::resume_unwind(cause);
         }
         self.components[ev.target.index()] = Some(component);
         true
@@ -252,6 +264,28 @@ mod tests {
         sim.set_event_limit(1000);
         let id = sim.add(Livelock);
         sim.schedule_at(SimTime::ZERO, id, ());
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "scenario assertion failed")]
+    fn component_panic_dumps_trace_tail_and_propagates() {
+        struct Asserter;
+        impl Component for Asserter {
+            fn handle(&mut self, _ev: Box<dyn Any>, ctx: &mut Ctx) {
+                ctx.trace("last protocol exchange before the failure");
+                panic!("scenario assertion failed");
+            }
+            fn name(&self) -> &str {
+                "asserter"
+            }
+        }
+        let mut sim = Simulation::new(0);
+        sim.enable_trace(16);
+        let id = sim.add(Asserter);
+        sim.schedule_at(SimTime::ZERO, id, ());
+        // The trace tail goes to stderr on the way out; the panic still
+        // reaches the caller unchanged.
         sim.run();
     }
 

@@ -35,15 +35,17 @@ impl Counter {
 #[derive(Default, Debug, Clone)]
 pub struct Gauge {
     value: f64,
-    max_seen: f64,
+    /// `None` until the first `set` — a zero default would misreport
+    /// the maximum of a gauge that only ever held negative values.
+    max_seen: Option<f64>,
 }
 
 impl Gauge {
     /// Set the current value, tracking the maximum ever seen.
     pub fn set(&mut self, v: f64) {
         self.value = v;
-        if v > self.max_seen {
-            self.max_seen = v;
+        if self.max_seen.is_none_or(|m| v > m) {
+            self.max_seen = Some(v);
         }
     }
 
@@ -52,9 +54,9 @@ impl Gauge {
         self.value
     }
 
-    /// Maximum value ever set.
+    /// Maximum value ever set (0.0 if never set, matching `get`).
     pub fn max(&self) -> f64 {
-        self.max_seen
+        self.max_seen.unwrap_or(0.0)
     }
 }
 
@@ -95,10 +97,7 @@ impl Series {
 
     /// Maximum sample value (0.0 for an empty series).
     pub fn max(&self) -> f64 {
-        self.points
-            .iter()
-            .map(|&(_, v)| v)
-            .fold(0.0_f64, f64::max)
+        self.points.iter().map(|&(_, v)| v).fold(0.0_f64, f64::max)
     }
 }
 
@@ -273,6 +272,19 @@ mod tests {
         g.set(2.0);
         assert_eq!(g.get(), 2.0);
         assert_eq!(g.max(), 10.0);
+    }
+
+    #[test]
+    fn gauge_max_of_negative_values_is_negative() {
+        // Regression: `max_seen` used to default to 0.0, so a gauge
+        // that only ever held negative values reported max 0.0.
+        let mut reg = StatsRegistry::new();
+        let g = reg.gauge("host", "clock_skew");
+        g.set(-5.0);
+        g.set(-2.0);
+        g.set(-9.0);
+        assert_eq!(g.get(), -9.0);
+        assert_eq!(g.max(), -2.0);
     }
 
     #[test]

@@ -476,10 +476,7 @@ mod tests {
     fn from_secs_f64_clamps_pathological_inputs() {
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(
-            SimDuration::from_secs_f64(f64::INFINITY),
-            SimDuration::ZERO
-        );
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::ZERO);
     }
 
     #[test]

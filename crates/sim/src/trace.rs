@@ -78,8 +78,10 @@ impl TraceBuffer {
         self.dropped
     }
 
-    /// Render retained entries as text.
-    pub fn dump(&self) -> String {
+    /// Render retained entries as text, oldest first, prefixed with an
+    /// eviction note when the ring has wrapped. This is what the engine
+    /// prints when a scenario assertion fails mid-run.
+    pub fn dump_to_string(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         if self.dropped > 0 {
@@ -89,6 +91,11 @@ impl TraceBuffer {
             let _ = writeln!(out, "[{}] {:?} {}", e.time, e.component, e.message);
         }
         out
+    }
+
+    /// Alias for [`TraceBuffer::dump_to_string`].
+    pub fn dump(&self) -> String {
+        self.dump_to_string()
     }
 }
 
@@ -131,5 +138,6 @@ mod tests {
         let d = t.dump();
         assert!(d.contains("#3"));
         assert!(d.contains("hello"));
+        assert_eq!(d, t.dump_to_string());
     }
 }

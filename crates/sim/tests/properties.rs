@@ -1,96 +1,119 @@
-//! Property tests over the simulation kernel's arithmetic foundations.
-
-use proptest::prelude::*;
+//! Randomized invariant tests over the simulation kernel's arithmetic
+//! foundations, driven by the kernel's own seeded RNG so every failure
+//! reproduces from the fixed seeds.
 
 use acc_sim::{Bandwidth, DataSize, SimDuration, SimRng, SimTime};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn time_add_then_since_roundtrips(base in 0u64..1 << 50, delta in 0u64..1 << 50) {
+#[test]
+fn time_add_then_since_roundtrips() {
+    let mut g = SimRng::seed_from(0xB1);
+    for _ in 0..256 {
+        let base = g.gen_range(1 << 50);
+        let delta = g.gen_range(1 << 50);
         let t0 = SimTime::from_ps(base);
         let d = SimDuration::from_ps(delta);
-        prop_assert_eq!((t0 + d).since(t0), d);
-        prop_assert!((t0 + d) >= t0);
+        assert_eq!((t0 + d).since(t0), d);
+        assert!((t0 + d) >= t0);
     }
+}
 
-    #[test]
-    fn transfer_time_is_monotone_in_size(
-        a in 0u64..1 << 32,
-        b in 0u64..1 << 32,
-        mib in 1u64..100_000,
-    ) {
+#[test]
+fn transfer_time_is_monotone_in_size() {
+    let mut g = SimRng::seed_from(0xB2);
+    for _ in 0..256 {
+        let a = g.gen_range(1 << 32);
+        let b = g.gen_range(1 << 32);
+        let mib = 1 + g.gen_range(99_999);
         let bw = Bandwidth::from_mib_per_sec(mib);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(
+        assert!(
             bw.transfer_time(DataSize::from_bytes(lo))
                 <= bw.transfer_time(DataSize::from_bytes(hi))
         );
     }
+}
 
-    #[test]
-    fn transfer_time_is_antitone_in_rate(
-        bytes in 1u64..1 << 32,
-        r1 in 1u64..100_000,
-        r2 in 1u64..100_000,
-    ) {
+#[test]
+fn transfer_time_is_antitone_in_rate() {
+    let mut g = SimRng::seed_from(0xB3);
+    for _ in 0..256 {
+        let bytes = 1 + g.gen_range((1 << 32) - 1);
+        let r1 = 1 + g.gen_range(99_999);
+        let r2 = 1 + g.gen_range(99_999);
         let (slow, fast) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
         let size = DataSize::from_bytes(bytes);
-        prop_assert!(
+        assert!(
             Bandwidth::from_mib_per_sec(fast).transfer_time(size)
                 <= Bandwidth::from_mib_per_sec(slow).transfer_time(size)
         );
     }
+}
 
-    #[test]
-    fn transfer_time_never_undershoots_exact_value(
-        bytes in 1u64..1 << 30,
-        rate in 1u64..1 << 32,
-    ) {
+#[test]
+fn transfer_time_never_undershoots_exact_value() {
+    let mut g = SimRng::seed_from(0xB4);
+    for _ in 0..256 {
+        let bytes = 1 + g.gen_range((1 << 30) - 1);
+        let rate = 1 + g.gen_range((1u64 << 32) - 1);
         // Rounded-up integer picoseconds must cover the exact quotient.
         let bw = Bandwidth::from_bytes_per_sec(rate);
         let t = bw.transfer_time(DataSize::from_bytes(bytes));
         let exact = bytes as f64 / rate as f64;
-        prop_assert!(t.as_secs_f64() >= exact - 1e-12);
+        assert!(t.as_secs_f64() >= exact - 1e-12);
         // And never overshoot by more than one picosecond.
-        prop_assert!(t.as_secs_f64() <= exact + 2e-12);
+        assert!(t.as_secs_f64() <= exact + 2e-12);
     }
+}
 
-    #[test]
-    fn rng_range_bounds_hold(seed in any::<u64>(), n in 1u64..=1 << 48) {
+#[test]
+fn rng_range_bounds_hold() {
+    let mut g = SimRng::seed_from(0xB5);
+    for _ in 0..256 {
+        let seed = g.next_u64();
+        let n = 1 + g.gen_range(1 << 48);
         let mut rng = SimRng::seed_from(seed);
         for _ in 0..32 {
-            prop_assert!(rng.gen_range(n) < n);
+            assert!(rng.gen_range(n) < n);
         }
     }
+}
 
-    #[test]
-    fn rng_streams_reproducible(seed in any::<u64>()) {
+#[test]
+fn rng_streams_reproducible() {
+    let mut g = SimRng::seed_from(0xB6);
+    for _ in 0..256 {
+        let seed = g.next_u64();
         let mut a = SimRng::seed_from(seed);
         let mut b = SimRng::seed_from(seed);
         for _ in 0..16 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
     }
+}
 
-    #[test]
-    fn duration_scaling_distributes(d in 0u64..1 << 40, k in 0u64..1 << 10) {
+#[test]
+fn duration_scaling_distributes() {
+    let mut g = SimRng::seed_from(0xB7);
+    for _ in 0..256 {
+        let d = g.gen_range(1 << 40);
+        let k = g.gen_range(1 << 10).min(100);
         let dur = SimDuration::from_ps(d);
         let mut sum = SimDuration::ZERO;
-        for _ in 0..k.min(100) {
+        for _ in 0..k {
             sum += dur;
         }
-        prop_assert_eq!(sum, dur * k.min(100));
+        assert_eq!(sum, dur * k);
     }
+}
 
-    #[test]
-    fn datasize_division_equals_transfer_time(
-        bytes in 0u64..1 << 40,
-        mib in 1u64..10_000,
-    ) {
+#[test]
+fn datasize_division_equals_transfer_time() {
+    let mut g = SimRng::seed_from(0xB8);
+    for _ in 0..256 {
+        let bytes = g.gen_range(1 << 40);
+        let mib = 1 + g.gen_range(9_999);
         let bw = Bandwidth::from_mib_per_sec(mib);
         let size = DataSize::from_bytes(bytes);
-        prop_assert_eq!(size / bw, bw.transfer_time(size));
+        assert_eq!(size / bw, bw.transfer_time(size));
     }
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Tier-1 gate: everything CI runs, runnable locally in one shot.
+# Fails fast on the first broken step.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy -q --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test"
+cargo test -q
+
+echo "All tier-1 checks passed."

@@ -4,8 +4,7 @@
 //! asserted.
 
 use acc::core::cluster::{
-    run_fft, run_sort, run_sort_custom, ClusterSpec, KeyDistribution, PartitionStrategy,
-    Technology,
+    run_fft, run_sort, run_sort_custom, ClusterSpec, KeyDistribution, PartitionStrategy, Technology,
 };
 
 #[test]
@@ -64,7 +63,11 @@ fn sort_verifies_on_every_technology() {
 #[test]
 fn sort_verifies_across_processor_counts() {
     for p in [1usize, 2, 4, 8] {
-        for tech in [Technology::GigabitTcp, Technology::InicIdeal, Technology::InicPrototype] {
+        for tech in [
+            Technology::GigabitTcp,
+            Technology::InicIdeal,
+            Technology::InicPrototype,
+        ] {
             let r = run_sort(ClusterSpec::new(p, tech), 1 << 16);
             assert!(r.verified, "p={p} {}", tech.label());
         }
@@ -161,7 +164,11 @@ fn inic_eliminates_protocol_cpu_and_almost_all_interrupts() {
     let gige = run_fft(ClusterSpec::new(p, Technology::GigabitTcp), 256);
     let inic = run_fft(ClusterSpec::new(p, Technology::InicIdeal), 256);
     assert!(!gige.protocol_cpu.is_zero());
-    assert!(gige.interrupts > 100, "gige took {} interrupts", gige.interrupts);
+    assert!(
+        gige.interrupts > 100,
+        "gige took {} interrupts",
+        gige.interrupts
+    );
     assert!(inic.protocol_cpu.is_zero());
     // Two transposes × P nodes × one completion interrupt.
     assert_eq!(inic.interrupts, 2 * p as u64);
@@ -207,7 +214,10 @@ fn skewed_keys_stay_correct_and_splitters_restore_balance() {
     let uniform_top = run_sort(ClusterSpec::new(p, Technology::InicIdeal), total);
     assert!(uniform_split.verified);
     let ratio = uniform_split.total.as_secs_f64() / uniform_top.total.as_secs_f64();
-    assert!(ratio < 1.25, "splitter overhead on uniform keys: {ratio:.2}x");
+    assert!(
+        ratio < 1.25,
+        "splitter overhead on uniform keys: {ratio:.2}x"
+    );
 }
 
 #[test]
@@ -224,11 +234,11 @@ fn skewed_keys_work_over_tcp_too() {
 #[test]
 fn runs_are_reproducible() {
     let spec = ClusterSpec::new(4, Technology::GigabitTcp);
-    let a = run_fft(spec, 64);
-    let b = run_fft(spec, 64);
+    let a = run_fft(spec.clone(), 64);
+    let b = run_fft(spec.clone(), 64);
     assert_eq!(a.total, b.total);
     assert_eq!(a.transpose, b.transpose);
-    let c = run_sort(spec, 1 << 16);
+    let c = run_sort(spec.clone(), 1 << 16);
     let d = run_sort(spec, 1 << 16);
     assert_eq!(c.total, d.total);
 }
@@ -238,7 +248,7 @@ fn seed_changes_workload_but_not_correctness() {
     for seed in [1u64, 99, 0xDEAD] {
         let mut spec = ClusterSpec::new(4, Technology::InicIdeal);
         spec.seed = seed;
-        assert!(run_sort(spec, 1 << 16).verified);
+        assert!(run_sort(spec.clone(), 1 << 16).verified);
         assert!(run_fft(spec, 64).verified);
     }
 }

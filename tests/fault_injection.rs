@@ -1,0 +1,126 @@
+//! Resilience integration tests: the applications must produce exactly
+//! the fault-free answer when the network loses frames, and must
+//! complete over the commodity fallback path when an INIC card dies
+//! mid-run. Result verification stays ON in every run — each scenario's
+//! output is checked against the serial oracle, i.e. the fault-free
+//! result.
+
+use acc_chaos::{FaultEvent, FaultPlan, LinkId};
+use acc_core::cluster::{run_fft, run_sort, ClusterSpec, Technology};
+use acc_sim::{SimDuration, SimTime};
+
+/// A plan losing `pct`% of frames independently on every link.
+fn lossy_plan(seed: u64, pct: f64) -> FaultPlan {
+    FaultPlan::new(seed).with(FaultEvent::FrameLoss {
+        link: LinkId::All,
+        prob: pct / 100.0,
+    })
+}
+
+fn spec_with_loss(technology: Technology, pct: f64) -> ClusterSpec {
+    ClusterSpec::new(4, technology).with_fault_plan(lossy_plan(0xBAD, pct))
+}
+
+#[test]
+fn sort_correct_under_loss_gigabit() {
+    let r = run_sort(spec_with_loss(Technology::GigabitTcp, 2.0), 1 << 16);
+    assert!(r.verified, "sorted output must equal the fault-free result");
+    assert!(r.retransmits > 0, "2% loss must force TCP retransmissions");
+    assert_eq!(r.degraded_nodes, 0);
+}
+
+#[test]
+fn sort_correct_under_loss_inic() {
+    let r = run_sort(spec_with_loss(Technology::InicIdeal, 2.0), 1 << 16);
+    assert!(r.verified, "sorted output must equal the fault-free result");
+    assert!(
+        r.retransmits > 0,
+        "2% loss must force INIC recovery resends"
+    );
+    assert_eq!(r.degraded_nodes, 0);
+}
+
+#[test]
+fn fft_correct_under_loss_gigabit() {
+    let r = run_fft(spec_with_loss(Technology::GigabitTcp, 1.0), 64);
+    assert!(r.verified, "FFT output must equal the fault-free result");
+    assert!(r.retransmits > 0, "1% loss must force TCP retransmissions");
+    assert_eq!(r.degraded_nodes, 0);
+}
+
+#[test]
+fn fft_correct_under_loss_inic() {
+    let r = run_fft(spec_with_loss(Technology::InicIdeal, 1.0), 64);
+    assert!(r.verified, "FFT output must equal the fault-free result");
+    assert!(
+        r.retransmits > 0,
+        "1% loss must force INIC recovery resends"
+    );
+    assert_eq!(r.degraded_nodes, 0);
+}
+
+#[test]
+fn corruption_and_reorder_do_not_corrupt_results() {
+    let plan = FaultPlan::new(7)
+        .with(FaultEvent::FrameCorruption {
+            link: LinkId::All,
+            prob: 0.01,
+        })
+        .with(FaultEvent::FrameReorder {
+            link: LinkId::All,
+            prob: 0.02,
+            delay: SimDuration::from_micros(200),
+        });
+    for technology in [Technology::GigabitTcp, Technology::InicIdeal] {
+        let spec = ClusterSpec::new(4, technology).with_fault_plan(plan.clone());
+        let r = run_sort(spec, 1 << 16);
+        assert!(r.verified, "{technology:?} result diverged");
+    }
+}
+
+/// A mid-run permanent card death: all ranks must abandon their cards,
+/// restart over the commodity fallback NICs, and still produce the
+/// fault-free answer; the run report records the degradation.
+#[test]
+fn sort_survives_mid_run_card_failure() {
+    let plan = FaultPlan::new(0xDEAD).with(FaultEvent::CardFailure {
+        node: 1,
+        at: SimTime::ZERO + SimDuration::from_millis(1),
+    });
+    let spec = ClusterSpec::new(4, Technology::InicIdeal).with_fault_plan(plan);
+    let r = run_sort(spec, 1 << 16);
+    assert!(r.verified, "degraded run must still sort correctly");
+    assert_eq!(
+        r.degraded_nodes, 4,
+        "every rank restarts over the fallback path"
+    );
+}
+
+#[test]
+fn fft_survives_mid_run_card_failure() {
+    let plan = FaultPlan::new(0xF0F0).with(FaultEvent::CardFailure {
+        node: 2,
+        at: SimTime::ZERO + SimDuration::from_millis(1),
+    });
+    let spec = ClusterSpec::new(4, Technology::InicIdeal).with_fault_plan(plan);
+    let r = run_fft(spec, 64);
+    assert!(r.verified, "degraded run must still compute the right FFT");
+    assert_eq!(
+        r.degraded_nodes, 4,
+        "every rank restarts over the fallback path"
+    );
+}
+
+/// The zero-probability plan exercises the armed recovery protocol on
+/// clean links: checksums and sequence tracking run, but nothing is
+/// lost, so nothing is retransmitted.
+#[test]
+fn armed_protocol_on_clean_links_is_quiet() {
+    for technology in [Technology::GigabitTcp, Technology::InicIdeal] {
+        let spec = ClusterSpec::new(4, technology).with_fault_plan(FaultPlan::new(5));
+        let r = run_sort(spec, 1 << 16);
+        assert!(r.verified);
+        assert_eq!(r.retransmits, 0);
+        assert_eq!(r.switch_drops, 0);
+    }
+}

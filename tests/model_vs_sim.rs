@@ -38,7 +38,10 @@ fn fft_model_and_sim_agree_on_scaling_direction() {
             .as_secs_f64();
         let analytic = model.t_trans(p).as_secs_f64();
         assert!(sim < prev_sim, "simulated transpose must shrink with P");
-        assert!(analytic < prev_model, "modelled transpose must shrink with P");
+        assert!(
+            analytic < prev_model,
+            "modelled transpose must shrink with P"
+        );
         prev_sim = sim;
         prev_model = analytic;
     }
