@@ -1,0 +1,203 @@
+//! Chaos soak: seeded rounds of randomized mixed fault plans against
+//! both evaluation workloads on every technology, with result
+//! verification **and** the online invariant Auditor on. Each round
+//! draws a fresh plan — background frame loss, jitter, corruption and
+//! reordering on every link, plus coin-flipped link outages, buffer
+//! squeezes, node stalls, card reconfiguration windows and (one round
+//! in four) a permanent card failure — validates it against the cluster
+//! size, then runs the FFT and the integer sort across all four
+//! technologies under it.
+//!
+//! Everything is deterministic: round `i` of seed `s` always builds the
+//! same plan, so every run (and therefore every output line) is
+//! byte-for-byte reproducible. A panic — wrong answer, Auditor
+//! violation, wedged protocol — is the failure mode; clean output means
+//! the cluster survived every round.
+//!
+//! ```text
+//! cargo run --release -p acc-bench --bin soak -- --rounds 32 --seed 0xACC
+//! ```
+
+use acc_chaos::{FaultEvent, FaultPlan, LinkId};
+use acc_core::cluster::{run_fft, run_sort, ClusterSpec, Technology};
+use acc_core::FaultDiagnostics;
+use acc_sim::{DataSize, SimDuration, SimRng, SimTime};
+
+/// Cluster size every round runs on.
+const P: usize = 4;
+/// Keys sorted per round.
+const SORT_KEYS: u64 = 1 << 14;
+/// FFT matrix rows per round.
+const FFT_ROWS: usize = 32;
+
+const TECHNOLOGIES: [Technology; 4] = [
+    Technology::GigabitTcp,
+    Technology::InicIdeal,
+    Technology::InicPrototype,
+    Technology::InicProtocol,
+];
+
+fn ms(n: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(n)
+}
+
+/// Build round `round`'s randomized plan. All randomness comes from the
+/// (seed, round) pair; the returned plan validates against [`P`].
+///
+/// The transient windows are sized to stay inside the protocol's
+/// retransmit-abandon horizon, so every fault here is *survivable* by
+/// design — a run that fails anyway found a real bug.
+fn round_plan(seed: u64, round: u64) -> FaultPlan {
+    let mut rng = SimRng::seed_from(seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut plan = FaultPlan::new(rng.next_u64());
+    // Always-on background noise on every link.
+    plan.push(FaultEvent::FrameLoss {
+        link: LinkId::All,
+        prob: rng.gen_range(1500) as f64 / 100_000.0, // <= 1.5%
+    });
+    plan.push(FaultEvent::LinkJitter {
+        link: LinkId::All,
+        max: SimDuration::from_micros(1 + rng.gen_range(50)),
+    });
+    plan.push(FaultEvent::FrameCorruption {
+        link: LinkId::All,
+        prob: rng.gen_range(500) as f64 / 100_000.0, // <= 0.5%
+    });
+    plan.push(FaultEvent::FrameReorder {
+        link: LinkId::All,
+        prob: rng.gen_range(2000) as f64 / 100_000.0, // <= 2%
+        delay: SimDuration::from_micros(50 + rng.gen_range(150)),
+    });
+    // Coin-flipped structured faults.
+    if rng.gen_bool(0.5) {
+        let node = rng.gen_range(P as u64) as u32;
+        let from = ms(1 + rng.gen_range(60));
+        plan.push(FaultEvent::LinkOutage {
+            link: LinkId::NodeUplink(node),
+            from,
+            until: from + SimDuration::from_micros(200 + rng.gen_range(1300)),
+        });
+    }
+    if rng.gen_bool(0.5) {
+        let node = rng.gen_range(P as u64) as u32;
+        let from = ms(1 + rng.gen_range(60));
+        plan.push(FaultEvent::BufferSqueeze {
+            link: LinkId::SwitchDownlink(node),
+            from,
+            until: from + SimDuration::from_millis(1 + rng.gen_range(2)),
+            capacity: DataSize::from_kib(16 + rng.gen_range(16)),
+        });
+    }
+    if rng.gen_bool(0.5) {
+        let node = rng.gen_range(P as u64) as u32;
+        let from = ms(1 + rng.gen_range(62));
+        plan.push(FaultEvent::NodeStall {
+            node,
+            from,
+            until: from + SimDuration::from_millis(1 + rng.gen_range(2)),
+        });
+    }
+    if rng.gen_bool(0.5) {
+        plan.push(FaultEvent::CardReconfigure {
+            node: rng.gen_range(P as u64) as u32,
+            at: ms(1 + rng.gen_range(62)),
+            hold: SimDuration::from_millis(1 + rng.gen_range(4)),
+        });
+    }
+    if rng.gen_bool(0.25) {
+        plan.push(FaultEvent::CardFailure {
+            node: rng.gen_range(P as u64) as u32,
+            at: ms(1 + rng.gen_range(65)),
+        });
+    }
+    plan
+}
+
+fn tech_label(t: Technology) -> &'static str {
+    match t {
+        Technology::FastEthernet => "fast",
+        Technology::GigabitTcp => "gigabit",
+        Technology::InicIdeal => "inic-ideal",
+        Technology::InicPrototype => "inic-proto",
+        Technology::InicProtocol => "inic-pp",
+    }
+}
+
+fn fault_line(f: &FaultDiagnostics) -> String {
+    format!(
+        "retrans={} degraded={} stalled={} reconf_ok={} resumed={}",
+        f.retransmits,
+        f.degraded_nodes,
+        f.stalled_nodes,
+        f.reconfig_windows_survived,
+        f.resumed_from_phase
+            .map_or_else(|| "-".to_owned(), |p| p.to_string()),
+    )
+}
+
+fn main() {
+    let mut rounds: u64 = 32;
+    let mut seed: u64 = 0xACC_50AC;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let parse = |v: Option<String>, what: &str| -> u64 {
+            let v = v.unwrap_or_else(|| panic!("missing value for {what}"));
+            let v = v.trim();
+            if let Some(hex) = v.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16).unwrap_or_else(|e| panic!("bad {what}: {e}"))
+            } else {
+                v.parse().unwrap_or_else(|e| panic!("bad {what}: {e}"))
+            }
+        };
+        match a.as_str() {
+            "--rounds" => rounds = parse(args.next(), "--rounds"),
+            "--seed" => seed = parse(args.next(), "--seed"),
+            other => panic!("unknown argument {other} (expected --rounds/--seed)"),
+        }
+    }
+    println!("chaos soak: {rounds} rounds, seed {seed:#x}, P={P}, verification + auditor ON");
+    let mut runs = 0u64;
+    for round in 0..rounds {
+        let plan = round_plan(seed, round);
+        plan.validate(P as u32)
+            .unwrap_or_else(|e| panic!("round {round} built an invalid plan: {e}"));
+        let kinds: Vec<&str> = plan
+            .events()
+            .iter()
+            .map(|ev| match ev {
+                FaultEvent::FrameLoss { .. } => "loss",
+                FaultEvent::FrameCorruption { .. } => "corrupt",
+                FaultEvent::FrameReorder { .. } => "reorder",
+                FaultEvent::LinkJitter { .. } => "jitter",
+                FaultEvent::LinkOutage { .. } => "outage",
+                FaultEvent::BufferSqueeze { .. } => "squeeze",
+                FaultEvent::NodeStall { .. } => "stall",
+                FaultEvent::CardFailure { .. } => "card-kill",
+                FaultEvent::CardReconfigure { .. } => "reconfig",
+            })
+            .collect();
+        println!("round {round:03}: plan [{}]", kinds.join(" "));
+        for tech in TECHNOLOGIES {
+            let spec = ClusterSpec::new(P, tech).with_fault_plan(plan.clone());
+            let r = run_sort(spec, SORT_KEYS);
+            assert!(r.verified, "round {round} {tech:?} sort diverged");
+            println!(
+                "round {round:03} sort {:<10} total={:>10.3}ms {}",
+                tech_label(tech),
+                r.total.as_millis_f64(),
+                fault_line(&r.faults),
+            );
+            let spec = ClusterSpec::new(P, tech).with_fault_plan(plan.clone());
+            let r = run_fft(spec, FFT_ROWS);
+            assert!(r.verified, "round {round} {tech:?} FFT diverged");
+            println!(
+                "round {round:03} fft  {:<10} total={:>10.3}ms {}",
+                tech_label(tech),
+                r.total.as_millis_f64(),
+                fault_line(&r.faults),
+            );
+            runs += 2;
+        }
+    }
+    println!("soak complete: {runs} runs, 0 verification failures, 0 audit violations");
+}

@@ -94,7 +94,7 @@ pub fn fault_campaign(cfg: &CampaignConfig) -> FigureReport {
             let secs = r.total.as_secs_f64();
             time_ms.push(pct, secs * 1e3);
             goodput.push(pct, app_mib / secs);
-            retrans.push(pct, r.retransmits as f64);
+            retrans.push(pct, r.faults.retransmits as f64);
         }
         report.add(time_ms);
         report.add(goodput);

@@ -87,8 +87,10 @@ pub enum FaultEvent {
     /// fall back to its commodity path.
     CardFailure { node: u32, at: SimTime },
     /// Node `node`'s card goes dark for a reconfiguration window of
-    /// `hold` starting at `at` (modelled as an outage on both link
-    /// directions — the card itself survives).
+    /// `hold` starting at `at`. The card itself survives: it buffers or
+    /// NACK-defers traffic during the window and resumes without data
+    /// loss, so this compiles to a card-level event (see
+    /// [`FaultPlan::card_reconfigures`]), not a link impairment.
     CardReconfigure {
         node: u32,
         at: SimTime,
@@ -191,11 +193,6 @@ impl FaultPlan {
                 {
                     imp = imp.with_outage(from, until);
                 }
-                FaultEvent::CardReconfigure { node, at, hold }
-                    if LinkId::NodeUplink(node) == link || LinkId::SwitchDownlink(node) == link =>
-                {
-                    imp = imp.with_outage(at, at + hold);
-                }
                 _ => {}
             }
         }
@@ -222,6 +219,107 @@ impl FaultPlan {
         self.events
             .iter()
             .any(|ev| matches!(ev, FaultEvent::CardFailure { .. }))
+    }
+
+    /// Stall windows for `node`, as `(from, until)` pairs in event order.
+    pub fn stall_windows(&self, node: u32) -> Vec<(SimTime, SimTime)> {
+        self.events
+            .iter()
+            .filter_map(|ev| match *ev {
+                FaultEvent::NodeStall {
+                    node: n,
+                    from,
+                    until,
+                } if n == node => Some((from, until)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Card reconfiguration windows, as `(node, at, hold)` triples in
+    /// event order.
+    pub fn card_reconfigures(&self) -> Vec<(u32, SimTime, SimDuration)> {
+        self.events
+            .iter()
+            .filter_map(|ev| match *ev {
+                FaultEvent::CardReconfigure { node, at, hold } => Some((node, at, hold)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Check the plan against a cluster of `p` nodes: every node
+    /// reference must be `< p`, every window must have positive
+    /// duration, and two outages may not overlap on the same link
+    /// (their union is ambiguous for the per-link RNG replay).
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self, p: u32) -> Result<(), String> {
+        let check_node = |what: &str, node: u32| {
+            if node >= p {
+                Err(format!("{what} references node {node}, but P = {p}"))
+            } else {
+                Ok(())
+            }
+        };
+        let check_link = |what: &str, link: LinkId| match link {
+            LinkId::NodeUplink(n) | LinkId::SwitchDownlink(n) => check_node(what, n),
+            LinkId::All => Ok(()),
+        };
+        let mut outages: Vec<(LinkId, SimTime, SimTime)> = Vec::new();
+        for ev in &self.events {
+            match *ev {
+                FaultEvent::FrameLoss { link, .. } => check_link("FrameLoss", link)?,
+                FaultEvent::FrameCorruption { link, .. } => check_link("FrameCorruption", link)?,
+                FaultEvent::FrameReorder { link, .. } => check_link("FrameReorder", link)?,
+                FaultEvent::LinkJitter { link, .. } => check_link("LinkJitter", link)?,
+                FaultEvent::LinkOutage { link, from, until } => {
+                    check_link("LinkOutage", link)?;
+                    if until <= from {
+                        return Err(format!(
+                            "LinkOutage on {link:?} has zero duration ({from} .. {until})"
+                        ));
+                    }
+                    for &(other, f, u) in &outages {
+                        let same = link.covers(other) || other.covers(link);
+                        if same && from < u && f < until {
+                            return Err(format!(
+                                "overlapping outages on {link:?}: [{f} .. {u}) and \
+                                 [{from} .. {until})"
+                            ));
+                        }
+                    }
+                    outages.push((link, from, until));
+                }
+                FaultEvent::BufferSqueeze {
+                    link, from, until, ..
+                } => {
+                    check_link("BufferSqueeze", link)?;
+                    if until <= from {
+                        return Err(format!(
+                            "BufferSqueeze on {link:?} has zero duration ({from} .. {until})"
+                        ));
+                    }
+                }
+                FaultEvent::NodeStall { node, from, until } => {
+                    check_node("NodeStall", node)?;
+                    if until <= from {
+                        return Err(format!(
+                            "NodeStall on node {node} has zero duration ({from} .. {until})"
+                        ));
+                    }
+                }
+                FaultEvent::CardFailure { node, .. } => check_node("CardFailure", node)?,
+                FaultEvent::CardReconfigure { node, hold, .. } => {
+                    check_node("CardReconfigure", node)?;
+                    if hold == SimDuration::ZERO {
+                        return Err(format!("CardReconfigure on node {node} has zero hold"));
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -305,15 +403,125 @@ mod tests {
     }
 
     #[test]
-    fn reconfigure_is_a_temporary_outage_not_a_failure() {
+    fn reconfigure_is_a_card_event_not_a_link_impairment() {
+        // The card buffers/NACK-defers during the hold and loses no
+        // data, so a reconfigure must NOT compile to a wire outage —
+        // it is delivered to the card itself via the accessor.
         let plan = FaultPlan::new(4).with(FaultEvent::CardReconfigure {
             node: 0,
             at: ms(1),
             hold: SimDuration::from_millis(2),
         });
         assert!(!plan.has_card_failures());
-        let mut imp = plan.impairment_for(LinkId::NodeUplink(0)).unwrap();
-        assert!(matches!(imp.judge(ms(2)), Verdict::Drop));
-        assert!(matches!(imp.judge(ms(4)), Verdict::Deliver));
+        assert!(plan.impairment_for(LinkId::NodeUplink(0)).is_none());
+        assert!(plan.impairment_for(LinkId::SwitchDownlink(0)).is_none());
+        assert_eq!(
+            plan.card_reconfigures(),
+            vec![(0, ms(1), SimDuration::from_millis(2))]
+        );
+    }
+
+    #[test]
+    fn stall_windows_extracted_per_node() {
+        let plan = FaultPlan::new(6)
+            .with(FaultEvent::NodeStall {
+                node: 1,
+                from: ms(2),
+                until: ms(3),
+            })
+            .with(FaultEvent::NodeStall {
+                node: 3,
+                from: ms(5),
+                until: ms(6),
+            });
+        assert_eq!(plan.stall_windows(1), vec![(ms(2), ms(3))]);
+        assert_eq!(plan.stall_windows(3), vec![(ms(5), ms(6))]);
+        assert!(plan.stall_windows(0).is_empty());
+    }
+
+    #[test]
+    fn validate_accepts_a_well_formed_plan() {
+        let plan = FaultPlan::new(8)
+            .with(FaultEvent::FrameLoss {
+                link: LinkId::All,
+                prob: 0.01,
+            })
+            .with(FaultEvent::LinkOutage {
+                link: LinkId::NodeUplink(1),
+                from: ms(1),
+                until: ms(2),
+            })
+            .with(FaultEvent::LinkOutage {
+                link: LinkId::NodeUplink(1),
+                from: ms(3),
+                until: ms(4),
+            })
+            .with(FaultEvent::NodeStall {
+                node: 3,
+                from: ms(1),
+                until: ms(2),
+            })
+            .with(FaultEvent::CardReconfigure {
+                node: 0,
+                at: ms(1),
+                hold: SimDuration::from_millis(1),
+            });
+        assert_eq!(plan.validate(4), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_nodes() {
+        let plan = FaultPlan::new(8).with(FaultEvent::CardFailure { node: 4, at: ms(1) });
+        assert!(plan.validate(4).unwrap_err().contains("node 4"));
+        let plan = FaultPlan::new(8).with(FaultEvent::FrameLoss {
+            link: LinkId::SwitchDownlink(9),
+            prob: 0.5,
+        });
+        assert!(plan.validate(4).unwrap_err().contains("node 9"));
+    }
+
+    #[test]
+    fn validate_rejects_zero_duration_windows() {
+        let plan = FaultPlan::new(8).with(FaultEvent::NodeStall {
+            node: 0,
+            from: ms(2),
+            until: ms(2),
+        });
+        assert!(plan.validate(4).unwrap_err().contains("zero duration"));
+        let plan = FaultPlan::new(8).with(FaultEvent::CardReconfigure {
+            node: 0,
+            at: ms(1),
+            hold: SimDuration::ZERO,
+        });
+        assert!(plan.validate(4).unwrap_err().contains("zero hold"));
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_outages_on_one_link() {
+        let plan = FaultPlan::new(8)
+            .with(FaultEvent::LinkOutage {
+                link: LinkId::NodeUplink(1),
+                from: ms(1),
+                until: ms(3),
+            })
+            .with(FaultEvent::LinkOutage {
+                link: LinkId::All,
+                from: ms(2),
+                until: ms(4),
+            });
+        assert!(plan.validate(4).unwrap_err().contains("overlapping"));
+        // Disjoint windows on the same link stay legal.
+        let plan = FaultPlan::new(8)
+            .with(FaultEvent::LinkOutage {
+                link: LinkId::NodeUplink(1),
+                from: ms(1),
+                until: ms(3),
+            })
+            .with(FaultEvent::LinkOutage {
+                link: LinkId::NodeUplink(1),
+                from: ms(3),
+                until: ms(4),
+            });
+        assert_eq!(plan.validate(4), Ok(()));
     }
 }

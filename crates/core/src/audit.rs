@@ -1,0 +1,239 @@
+//! The online invariant Auditor.
+//!
+//! A cluster-attached observer wired only into faulted runs (a fault
+//! plan is present on the [`ClusterSpec`](crate::ClusterSpec)): on a
+//! periodic tick it reads the conservation counters the ports and cards
+//! publish and panics at the first violation, so the engine's
+//! panic-handler dumps the trace tail around the offending events. A
+//! final, stricter pass ([`final_check`]) runs after the simulation
+//! quiesces.
+//!
+//! The invariants:
+//!
+//! * **frame conservation**, per instrumented port: `frames_offered ≥
+//!   frames_delivered + queue_drops + impair_drops` while running (the
+//!   remainder is queued), with equality at quiescence unless a killed
+//!   card legitimately strands its queue;
+//! * **credit conservation**, cluster-wide: credits a card grants are
+//!   an upper bound on the bytes senders charge against them
+//!   (`credit_bytes_consumed ≤ credit_bytes_granted`), and no sender's
+//!   outstanding window ever exceeds the credit window;
+//! * **datapath conservation**, per card: bytes leaving the gather
+//!   datapath toward the host never exceed the bytes that entered it
+//!   plus any zero-fill the card itself generated (`gather_bytes_out ≤
+//!   gather_bytes_in + gather_bytes_padded`; padding covers the holes
+//!   dead peers leave in a fixed-size interleave assembly, and
+//!   retransmitted duplicates count on the way in, so equality is not
+//!   required).
+
+use std::any::Any;
+
+use acc_sim::{Component, Ctx, SimDuration, StatsRegistry};
+
+/// What the Auditor watches. Built by the cluster wiring, which knows
+/// every instrumented stats scope.
+#[derive(Clone, Debug)]
+pub struct AuditConfig {
+    /// Stats labels of every instrumented [`EgressPort`](acc_net::port::EgressPort).
+    pub ports: Vec<String>,
+    /// Stats labels of every INIC card (empty on commodity runs).
+    pub cards: Vec<String>,
+    /// The cards' credit window in bytes (outstanding-bytes bound).
+    pub credit_window: u64,
+    /// Whether every instrumented port must have fully drained at the
+    /// end of the run. False when the plan kills cards: a dead card
+    /// legitimately strands whatever its uplink still queued.
+    pub expect_quiescent_ports: bool,
+    /// Cluster size — the Auditor stops ticking once `drivers_done`
+    /// reaches it.
+    pub p: u64,
+}
+
+/// Self event driving the periodic audit.
+struct AuditTick;
+
+/// The online auditor component. Checks run every [`Auditor::PERIOD`]
+/// until every driver has reported done (or the tick cap is reached, a
+/// backstop so a wedged run cannot tick forever).
+pub struct Auditor {
+    label: String,
+    cfg: AuditConfig,
+    ticks: u64,
+}
+
+impl Auditor {
+    /// Audit cadence. A prime micro-count, so ticks drift across the
+    /// protocol's natural periods instead of beating against them.
+    pub const PERIOD: SimDuration = SimDuration::from_micros(613);
+
+    /// Tick backstop: even if drivers never finish, the auditor goes
+    /// quiet after this many ticks so the simulation can drain.
+    const MAX_TICKS: u64 = 2_000_000;
+
+    /// Build an auditor for one wired cluster.
+    pub fn new(cfg: AuditConfig) -> Auditor {
+        Auditor {
+            label: "auditor".to_owned(),
+            cfg,
+            ticks: 0,
+        }
+    }
+}
+
+impl Component for Auditor {
+    fn handle(&mut self, ev: Box<dyn Any>, ctx: &mut Ctx) {
+        assert!(ev.downcast_ref::<AuditTick>().is_some() || ev.downcast_ref::<()>().is_some());
+        self.ticks += 1;
+        let done = ctx
+            .stats()
+            .counter_value("cluster", "drivers_done")
+            .unwrap_or(0);
+        if done >= self.cfg.p || self.ticks > Auditor::MAX_TICKS {
+            return; // stop rescheduling; the final check takes over
+        }
+        check_running(ctx.stats(), &self.cfg);
+        ctx.stats().counter(&self.label, "audit_ticks").inc();
+        ctx.self_in(Auditor::PERIOD, AuditTick);
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+fn counter(stats: &StatsRegistry, scope: &str, name: &str) -> u64 {
+    stats.counter_value(scope, name).unwrap_or(0)
+}
+
+/// The invariants that must hold at every instant of the run. Panics
+/// with the offending counters on violation.
+pub fn check_running(stats: &StatsRegistry, cfg: &AuditConfig) {
+    for port in &cfg.ports {
+        let offered = counter(stats, port, "frames_offered");
+        let delivered = counter(stats, port, "frames_delivered");
+        let queue_drops = counter(stats, port, "queue_drops");
+        let impair_drops = counter(stats, port, "impair_drops");
+        assert!(
+            delivered + queue_drops + impair_drops <= offered,
+            "AUDIT VIOLATION: port {port} accounts for more frames than were \
+             offered: offered={offered} delivered={delivered} \
+             queue_drops={queue_drops} impair_drops={impair_drops}"
+        );
+    }
+    let mut granted_total = 0u64;
+    let mut consumed_total = 0u64;
+    for card in &cfg.cards {
+        let bytes_in = counter(stats, card, "gather_bytes_in");
+        let bytes_out = counter(stats, card, "gather_bytes_out");
+        let bytes_padded = counter(stats, card, "gather_bytes_padded");
+        assert!(
+            bytes_out <= bytes_in + bytes_padded,
+            "AUDIT VIOLATION: card {card} datapath emitted more bytes than \
+             entered it: in={bytes_in} padded={bytes_padded} out={bytes_out}"
+        );
+        let outstanding_max = stats.gauge_max(card, "outstanding_bytes").unwrap_or(0.0);
+        assert!(
+            outstanding_max <= cfg.credit_window as f64,
+            "AUDIT VIOLATION: card {card} exceeded its credit window: \
+             outstanding max={outstanding_max} window={}",
+            cfg.credit_window
+        );
+        granted_total += counter(stats, card, "credit_bytes_granted");
+        consumed_total += counter(stats, card, "credit_bytes_consumed");
+    }
+    assert!(
+        consumed_total <= granted_total,
+        "AUDIT VIOLATION: cluster consumed more credit than was granted: \
+         granted={granted_total} consumed={consumed_total}"
+    );
+}
+
+/// The end-of-run pass: everything [`check_running`] checks, plus frame
+/// conservation as an equality on quiescent ports — once the event
+/// queue drained, every offered frame must be accounted for as
+/// delivered or dropped.
+pub fn final_check(stats: &StatsRegistry, cfg: &AuditConfig) {
+    check_running(stats, cfg);
+    if !cfg.expect_quiescent_ports {
+        return;
+    }
+    for port in &cfg.ports {
+        let offered = counter(stats, port, "frames_offered");
+        let delivered = counter(stats, port, "frames_delivered");
+        let queue_drops = counter(stats, port, "queue_drops");
+        let impair_drops = counter(stats, port, "impair_drops");
+        assert_eq!(
+            offered,
+            delivered + queue_drops + impair_drops,
+            "AUDIT VIOLATION: port {port} did not drain: offered={offered} \
+             delivered={delivered} queue_drops={queue_drops} \
+             impair_drops={impair_drops}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AuditConfig {
+        AuditConfig {
+            ports: vec!["up0".into()],
+            cards: vec!["inic0".into()],
+            credit_window: 1000,
+            expect_quiescent_ports: true,
+            p: 1,
+        }
+    }
+
+    #[test]
+    fn clean_counters_pass_both_checks() {
+        let mut stats = StatsRegistry::new();
+        stats.counter("up0", "frames_offered").add(10);
+        stats.counter("up0", "frames_delivered").add(8);
+        stats.counter("up0", "queue_drops").add(1);
+        stats.counter("up0", "impair_drops").add(1);
+        stats.counter("inic0", "gather_bytes_in").add(4096);
+        stats.counter("inic0", "gather_bytes_out").add(4096);
+        stats.counter("inic0", "credit_bytes_granted").add(2048);
+        stats.counter("inic0", "credit_bytes_consumed").add(2048);
+        stats.gauge("inic0", "outstanding_bytes").set(900.0);
+        check_running(&stats, &cfg());
+        final_check(&stats, &cfg());
+    }
+
+    #[test]
+    #[should_panic(expected = "more frames than were offered")]
+    fn over_delivery_is_a_violation() {
+        let mut stats = StatsRegistry::new();
+        stats.counter("up0", "frames_offered").add(5);
+        stats.counter("up0", "frames_delivered").add(6);
+        check_running(&stats, &cfg());
+    }
+
+    #[test]
+    #[should_panic(expected = "did not drain")]
+    fn stranded_frames_fail_the_final_equality() {
+        let mut stats = StatsRegistry::new();
+        stats.counter("up0", "frames_offered").add(5);
+        stats.counter("up0", "frames_delivered").add(4);
+        final_check(&stats, &cfg());
+    }
+
+    #[test]
+    #[should_panic(expected = "more credit than was granted")]
+    fn credit_overdraw_is_a_violation() {
+        let mut stats = StatsRegistry::new();
+        stats.counter("inic0", "credit_bytes_granted").add(100);
+        stats.counter("inic0", "credit_bytes_consumed").add(101);
+        check_running(&stats, &cfg());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded its credit window")]
+    fn window_overrun_is_a_violation() {
+        let mut stats = StatsRegistry::new();
+        stats.gauge("inic0", "outstanding_bytes").set(1001.0);
+        check_running(&stats, &cfg());
+    }
+}

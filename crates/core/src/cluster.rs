@@ -12,17 +12,21 @@ use acc_algos::sort::splitters_from_sample;
 use acc_algos::transpose::{join_row_blocks, split_row_blocks};
 use acc_algos::workload::{distributed_uniform_keys, gaussian_keys, random_matrix};
 use acc_chaos::{FaultPlan, LinkId};
-use acc_fpga::{CardPorts, FpgaDevice, InicCard, InicKill, InicMode};
-use acc_host::{HostKernels, InterruptCosts, ModerationPolicy};
+use acc_fpga::{
+    CardPorts, FpgaDevice, InicCard, InicKill, InicMode, InicReconfigure, CREDIT_WINDOW,
+};
+use acc_host::{HostKernels, InterruptCosts, ModerationPolicy, StallSchedule};
 use acc_net::port::EgressPort;
 use acc_net::{EthernetKind, LinkParams, MacAddr, Switch, SwitchParams};
 use acc_proto::{HostPathCosts, TcpHostNic, TcpParams};
 use acc_sim::{ComponentId, SimDuration, SimTime, Simulation};
 
+use crate::audit::{self, AuditConfig, Auditor};
 use crate::drivers::fft::FftDriver;
 use crate::drivers::reduce::ReduceDriver;
 use crate::drivers::sort::{SortDriver, SortVariant};
-use crate::drivers::{Attachment, CardFailed};
+use crate::drivers::{Attachment, CardFailed, FaultCtl, RecoveryCoordinator, RecoveryPolicy};
+use crate::report::FaultDiagnostics;
 
 /// The four network technologies the paper evaluates.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -102,6 +106,11 @@ pub struct ClusterSpec {
     /// (if the plan kills cards) wires a commodity fallback NIC per
     /// node and schedules the failures.
     pub fault_plan: Option<FaultPlan>,
+    /// How the cluster recovers from permanent card failures. Ignored
+    /// on fault-free runs and for [`Technology::InicProtocol`] (a pure
+    /// protocol processor has no card datapath worth keeping, so it
+    /// always falls back to a full restart).
+    pub recovery: RecoveryPolicy,
 }
 
 impl ClusterSpec {
@@ -113,13 +122,29 @@ impl ClusterSpec {
             seed: 0xACC,
             verify: true,
             fault_plan: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 
     /// Attach a fault plan (builder style).
+    ///
+    /// # Panics
+    /// Panics if the plan is inconsistent with this cluster — a fault
+    /// references a node ≥ P, a window has zero duration, or two
+    /// outages on the same link overlap.
     #[must_use]
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> ClusterSpec {
+        if let Err(e) = plan.validate(self.p as u32) {
+            panic!("invalid fault plan: {e}");
+        }
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Choose the card-failure recovery policy (builder style).
+    #[must_use]
+    pub fn with_recovery_policy(mut self, policy: RecoveryPolicy) -> ClusterSpec {
+        self.recovery = policy;
         self
     }
 }
@@ -152,13 +177,8 @@ pub struct FftRunResult {
     pub protocol_cpu: SimDuration,
     /// Total interrupts taken across the cluster on the network path.
     pub interrupts: u64,
-    /// Total retransmitted segments/packets across the cluster (TCP
-    /// RTO + fast retransmits, or INIC recovery resends). Zero on a
-    /// fault-free run.
-    pub retransmits: u64,
-    /// Nodes that finished over the degraded commodity fallback path
-    /// after a card failure.
-    pub degraded_nodes: u64,
+    /// Fault-handling telemetry (all zero/`None` on a fault-free run).
+    pub faults: FaultDiagnostics,
 }
 
 /// Result of one sort run.
@@ -182,13 +202,8 @@ pub struct SortRunResult {
     pub protocol_cpu: SimDuration,
     /// Total interrupts taken across the cluster on the network path.
     pub interrupts: u64,
-    /// Total retransmitted segments/packets across the cluster (TCP
-    /// RTO + fast retransmits, or INIC recovery resends). Zero on a
-    /// fault-free run.
-    pub retransmits: u64,
-    /// Nodes that finished over the degraded commodity fallback path
-    /// after a card failure.
-    pub degraded_nodes: u64,
+    /// Fault-handling telemetry (all zero/`None` on a fault-free run).
+    pub faults: FaultDiagnostics,
 }
 
 /// Everything wired up for one run.
@@ -198,11 +213,18 @@ struct Wiring {
     nics: Vec<ComponentId>,
     switch: ComponentId,
     technology: Technology,
+    /// What the Auditor watches; present only on faulted runs. The
+    /// end-of-run [`audit::final_check`] reads it after `sim.run()`.
+    audit: Option<AuditConfig>,
 }
 
 /// Build the sim, switch, and per-node network attachment for `spec`;
-/// `make_driver` turns each rank's attachment into its driver.
-fn wire(spec: &ClusterSpec, make_driver: impl Fn(usize, Attachment) -> DriverBox) -> Wiring {
+/// `make_driver` turns each rank's attachment (plus its fault-handling
+/// configuration) into its driver.
+fn wire(
+    spec: &ClusterSpec,
+    make_driver: impl Fn(usize, Attachment, FaultCtl) -> DriverBox,
+) -> Wiring {
     let mut sim = Simulation::new(spec.seed);
     let link = LinkParams::for_kind(spec.technology.link_kind());
     let plan = spec.fault_plan.as_ref();
@@ -212,10 +234,12 @@ fn wire(spec: &ClusterSpec, make_driver: impl Fn(usize, Attachment) -> DriverBox
     let switch_id = sim.reserve_id();
     let mut switch = Switch::new("switch", SwitchParams::default());
     // When the plan can kill a card, every node gets a commodity
-    // fallback NIC on a second switch port: after a failure the whole
-    // collective restarts over TCP, so every rank needs the path, not
-    // just the failing one. The fallback links carry no impairments —
-    // the scenario under test is the card failure itself.
+    // fallback NIC on a second switch port: whichever recovery policy
+    // applies, every rank needs the path — under full restart the whole
+    // collective degrades, under rank-local recovery healthy ranks use
+    // it for the mixed-technology side streams. The fallback links
+    // carry no impairments — the scenario under test is the card
+    // failure itself.
     let with_fallback = spec.technology.is_inic() && plan.is_some_and(FaultPlan::has_card_failures);
     let fallback_macs: Vec<MacAddr> = (0..spec.p).map(|i| MacAddr::for_node(i, 1)).collect();
     let fallback_ids: Vec<ComponentId> = if with_fallback {
@@ -223,6 +247,21 @@ fn wire(spec: &ClusterSpec, make_driver: impl Fn(usize, Attachment) -> DriverBox
     } else {
         Vec::new()
     };
+    // A pure protocol processor has no card datapath worth keeping, so
+    // its only recovery is the full restart.
+    let policy = if spec.technology == Technology::InicProtocol {
+        RecoveryPolicy::FullRestart
+    } else {
+        spec.recovery
+    };
+    // Rank-local recovery needs the coordinator that agrees on the
+    // cluster-wide resume phase.
+    let coordinator = if with_fallback && policy != RecoveryPolicy::FullRestart {
+        Some(sim.reserve_id())
+    } else {
+        None
+    };
+    let mut port_labels: Vec<String> = Vec::new();
     for rank in 0..spec.p {
         let sw_port = switch.attach(macs[rank], nic_ids[rank], 0, link);
         let mut uplink = EgressPort::new(
@@ -240,10 +279,17 @@ fn wire(spec: &ClusterSpec, make_driver: impl Fn(usize, Attachment) -> DriverBox
             if let Some(imp) = pl.impairment_for(LinkId::SwitchDownlink(rank as u32)) {
                 switch.set_port_impairment(sw_port, imp);
             }
+            // Conservation counters for the Auditor, faulted runs only
+            // (unlabelled ports publish nothing — the pristine wiring
+            // stays byte-identical).
+            uplink.set_stats_label(format!("up{rank}"));
+            switch.set_port_stats_label(sw_port, format!("swdown{rank}"));
+            port_labels.push(format!("up{rank}"));
+            port_labels.push(format!("swdown{rank}"));
         }
         let fallback = if with_fallback {
             let fb_port = switch.attach(fallback_macs[rank], fallback_ids[rank], 0, link);
-            let fb_uplink = EgressPort::new(
+            let mut fb_uplink = EgressPort::new(
                 link.rate,
                 link.prop_delay,
                 acc_net::presets::NIC_BUFFER,
@@ -251,6 +297,10 @@ fn wire(spec: &ClusterSpec, make_driver: impl Fn(usize, Attachment) -> DriverBox
                 fb_port,
                 0,
             );
+            fb_uplink.set_stats_label(format!("fb{rank}"));
+            switch.set_port_stats_label(fb_port, format!("swfb{rank}"));
+            port_labels.push(format!("fb{rank}"));
+            port_labels.push(format!("swfb{rank}"));
             sim.register(
                 fallback_ids[rank],
                 TcpHostNic::new(
@@ -300,7 +350,8 @@ fn wire(spec: &ClusterSpec, make_driver: impl Fn(usize, Attachment) -> DriverBox
                         FpgaDevice::virtex_next_gen(),
                         CardPorts::ideal(),
                     )
-                    .with_reliability(plan.is_some()),
+                    .with_reliability(plan.is_some())
+                    .with_peers(macs.clone()),
                 );
                 Attachment::Inic {
                     card: nic_ids[rank],
@@ -325,7 +376,8 @@ fn wire(spec: &ClusterSpec, make_driver: impl Fn(usize, Attachment) -> DriverBox
                         FpgaDevice::xc4085xla(),
                         CardPorts::aceii(),
                     )
-                    .with_reliability(plan.is_some()),
+                    .with_reliability(plan.is_some())
+                    .with_peers(macs.clone()),
                 );
                 Attachment::Inic {
                     card: nic_ids[rank],
@@ -335,20 +387,54 @@ fn wire(spec: &ClusterSpec, make_driver: impl Fn(usize, Attachment) -> DriverBox
                 }
             }
         };
-        match make_driver(rank, attachment) {
+        let fault_ctl = FaultCtl {
+            stalls: plan
+                .map(|pl| StallSchedule::new(pl.stall_windows(rank as u32)))
+                .unwrap_or_default(),
+            policy,
+            coordinator,
+        };
+        match make_driver(rank, attachment, fault_ctl) {
             DriverBox::Fft(d) => sim.register(driver_ids[rank], *d),
             DriverBox::Sort(d) => sim.register(driver_ids[rank], *d),
             DriverBox::Reduce(d) => sim.register(driver_ids[rank], *d),
         }
     }
     sim.register(switch_id, switch);
+    if let Some(coord) = coordinator {
+        sim.register(coord, RecoveryCoordinator::new(driver_ids.clone()));
+    }
     for &d in &driver_ids {
         sim.schedule_at(SimTime::ZERO, d, ());
     }
-    // Schedule the card deaths: the card itself goes dark, and every
-    // driver is told so the collective can fail over together.
+    let mut audit_cfg = None;
+    if let Some(pl) = plan {
+        // Faulted runs keep a trace tail so an Auditor violation dumps
+        // the events around the offence, and run under its watch.
+        sim.enable_trace(256);
+        let cfg = AuditConfig {
+            ports: port_labels,
+            cards: if spec.technology.is_inic() {
+                (0..spec.p).map(|i| format!("inic{i}")).collect()
+            } else {
+                Vec::new()
+            },
+            credit_window: CREDIT_WINDOW,
+            // A killed card legitimately strands whatever its uplink and
+            // switch port still queued.
+            expect_quiescent_ports: !pl.has_card_failures(),
+            p: spec.p as u64,
+        };
+        let auditor_id = sim.reserve_id();
+        sim.register(auditor_id, Auditor::new(cfg.clone()));
+        sim.schedule_at(SimTime::ZERO, auditor_id, ());
+        audit_cfg = Some(cfg);
+    }
     if spec.technology.is_inic() {
         if let Some(pl) = plan {
+            // Schedule the card deaths: the card itself goes dark, and
+            // every driver is told so the cluster can recover under the
+            // active policy.
             for (node, at) in pl.card_failures() {
                 let node_idx = node as usize;
                 assert!(node_idx < spec.p, "fault plan kills a card beyond P");
@@ -356,6 +442,15 @@ fn wire(spec: &ClusterSpec, make_driver: impl Fn(usize, Attachment) -> DriverBox
                 for &d in &driver_ids {
                     sim.schedule_at(at, d, CardFailed { node });
                 }
+            }
+            // Schedule the transient reconfiguration windows: the card
+            // buffers and recovers on its own, so only the card hears
+            // about them. (On commodity technologies there is no card —
+            // the window is a no-op by construction.)
+            for (node, at, hold) in pl.card_reconfigures() {
+                let node_idx = node as usize;
+                assert!(node_idx < spec.p, "fault plan reconfigures a card beyond P");
+                sim.schedule_at(at, nic_ids[node_idx], InicReconfigure { hold });
             }
         }
     }
@@ -365,6 +460,7 @@ fn wire(spec: &ClusterSpec, make_driver: impl Fn(usize, Attachment) -> DriverBox
         nics: nic_ids,
         switch: switch_id,
         technology: spec.technology,
+        audit: audit_cfg,
     }
 }
 
@@ -388,6 +484,40 @@ impl Wiring {
             })
             .map(|(_, v)| v)
             .sum()
+    }
+
+    /// Assemble the fault telemetry after a run: retransmits from
+    /// whichever stack did them, stall/reconfigure counters from the
+    /// drivers and cards, degradation and resume data from the callers.
+    fn fault_diagnostics(
+        &self,
+        degraded_nodes: u64,
+        resumed_from_phase: Option<u32>,
+    ) -> FaultDiagnostics {
+        let stats = self.sim.stats();
+        let stalled_nodes = stats
+            .counters()
+            .filter(|((_, name), v)| name == "stall_deferrals" && *v > 0)
+            .count() as u64;
+        let reconfig_windows_survived = stats
+            .counters()
+            .filter(|((_, name), _)| name == "reconfig_windows_survived")
+            .map(|(_, v)| v)
+            .sum();
+        FaultDiagnostics {
+            retransmits: self.total_retransmits(),
+            degraded_nodes,
+            stalled_nodes,
+            reconfig_windows_survived,
+            resumed_from_phase,
+        }
+    }
+
+    /// Run the end-of-run audit pass (faulted runs only).
+    fn final_audit(&self) {
+        if let Some(cfg) = &self.audit {
+            audit::final_check(self.sim.stats(), cfg);
+        }
     }
 
     /// Maximum per-node protocol CPU time and total interrupts taken on
@@ -438,15 +568,18 @@ pub fn run_fft(spec: ClusterSpec, rows: usize) -> FftRunResult {
     let matrix = random_matrix(rows, spec.seed);
     let slabs = split_row_blocks(&matrix, spec.p);
     let kernels = HostKernels::athlon_1ghz();
-    let mut w = wire(&spec, |rank, attachment| {
-        DriverBox::Fft(Box::new(FftDriver::new(
-            rank,
-            spec.p,
-            rows,
-            slabs[rank].clone(),
-            attachment,
-            kernels.clone(),
-        )))
+    let mut w = wire(&spec, |rank, attachment, fault_ctl| {
+        DriverBox::Fft(Box::new(
+            FftDriver::new(
+                rank,
+                spec.p,
+                rows,
+                slabs[rank].clone(),
+                attachment,
+                kernels.clone(),
+            )
+            .with_fault_ctl(fault_ctl),
+        ))
     });
     w.sim.run();
     let mut total_end = SimTime::ZERO;
@@ -456,6 +589,7 @@ pub fn run_fft(spec: ClusterSpec, rows: usize) -> FftRunResult {
     let mut transpose_compute = SimDuration::ZERO;
     let mut transpose_comm = SimDuration::ZERO;
     let mut degraded_nodes = 0u64;
+    let mut resumed_from: Option<u32> = None;
     let mut out_slabs: Vec<Matrix> = Vec::new();
     for &d in &w.drivers {
         let drv = w.sim.component::<FftDriver>(d);
@@ -463,6 +597,7 @@ pub fn run_fft(spec: ClusterSpec, rows: usize) -> FftRunResult {
         if drv.degraded() {
             degraded_nodes += 1;
         }
+        resumed_from = resumed_from.max(drv.resumed_from());
         let t = &drv.timings;
         let done = t.done_at.expect("done");
         let began = t.started_at.expect("started");
@@ -502,6 +637,7 @@ pub fn run_fft(spec: ClusterSpec, rows: usize) -> FftRunResult {
         );
     }
     let (protocol_cpu, interrupts) = w.protocol_costs();
+    w.final_audit();
     FftRunResult {
         total: total_end.since(start),
         compute,
@@ -512,8 +648,7 @@ pub fn run_fft(spec: ClusterSpec, rows: usize) -> FftRunResult {
         switch_drops,
         protocol_cpu,
         interrupts,
-        retransmits: w.total_retransmits(),
-        degraded_nodes,
+        faults: w.fault_diagnostics(degraded_nodes, resumed_from),
     }
 }
 
@@ -589,7 +724,7 @@ pub fn run_sort_custom(
         Technology::InicProtocol => SortVariant::ProtocolOnly,
     };
     let kernels = HostKernels::athlon_1ghz();
-    let mut w = wire(&spec, |rank, attachment| {
+    let mut w = wire(&spec, |rank, attachment, fault_ctl| {
         let mut driver = SortDriver::new(
             rank,
             spec.p,
@@ -597,7 +732,8 @@ pub fn run_sort_custom(
             variant,
             attachment,
             kernels.clone(),
-        );
+        )
+        .with_fault_ctl(fault_ctl);
         if let Some(sp) = &splitters {
             driver = driver.with_splitters(sp.clone());
         }
@@ -613,6 +749,7 @@ pub fn run_sort_custom(
         SimDuration::ZERO,
     );
     let mut degraded_nodes = 0u64;
+    let mut resumed_from: Option<u32> = None;
     let mut outputs: Vec<Vec<u32>> = Vec::new();
     for &d in &w.drivers {
         let drv = w.sim.component::<SortDriver>(d);
@@ -620,6 +757,7 @@ pub fn run_sort_custom(
         if drv.degraded() {
             degraded_nodes += 1;
         }
+        resumed_from = resumed_from.max(drv.resumed_from());
         let t = &drv.timings;
         let done = t.done_at.expect("done");
         let began = t.started_at.expect("started");
@@ -656,6 +794,7 @@ pub fn run_sort_custom(
         );
     }
     let (protocol_cpu, interrupts) = w.protocol_costs();
+    w.final_audit();
     SortRunResult {
         total: total_end.since(start),
         bucket1,
@@ -666,8 +805,7 @@ pub fn run_sort_custom(
         switch_drops,
         protocol_cpu,
         interrupts,
-        retransmits: w.total_retransmits(),
-        degraded_nodes,
+        faults: w.fault_diagnostics(degraded_nodes, resumed_from),
     }
 }
 
@@ -697,7 +835,7 @@ pub fn run_allreduce(spec: ClusterSpec, elems: usize) -> ReduceRunResult {
             .collect()
     };
     let kernels = HostKernels::athlon_1ghz();
-    let mut w = wire(&spec, |rank, attachment| {
+    let mut w = wire(&spec, |rank, attachment, _fault_ctl| {
         DriverBox::Reduce(Box::new(ReduceDriver::new(
             rank,
             spec.p,
@@ -740,6 +878,7 @@ pub fn run_allreduce(spec: ClusterSpec, elems: usize) -> ReduceRunResult {
     if spec.technology.is_inic() && spec.fault_plan.is_none() {
         assert_eq!(w.switch_drops(), 0, "INIC collective must not drop");
     }
+    w.final_audit();
     ReduceRunResult {
         total: total_end.since(start),
         comm,

@@ -14,9 +14,22 @@
 //!   packetize, de-packetize, interleave — runs on the card; the host
 //!   hands the slab to [`InicScatter`] and receives the assembled result
 //!   with [`InicGatherComplete`], paying no memory passes at all.
+//!
+//! # Fault handling
+//!
+//! With a [`FaultCtl`] wired, the driver also models a host that can
+//! stall (every event is deferred to the end of the stall window) and a
+//! collective that survives card deaths rank-locally: the dead rank
+//! degrades to its fallback `TcpHostNic` while healthy ranks keep the
+//! card datapath, running a **mixed-technology transpose** — the card
+//! exchanges blocks among healthy ranks, the host carries the dead
+//! ranks' blocks over TCP and interleaves them into the card's slab.
+//! Each completed phase can checkpoint the slab so a failover resumes
+//! from the last phase every rank completed, negotiated through the
+//! [`RecoveryCoordinator`](super::RecoveryCoordinator).
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use acc_algos::fft::{fft_in_place, Direction, Matrix};
 use acc_algos::transpose::{
@@ -24,13 +37,16 @@ use acc_algos::transpose::{
 };
 use acc_fpga::{
     Bitstream, GatherKind, InicConfigure, InicConfigured, InicExpect, InicGatherComplete, InicMode,
-    InicScatter, InicScatterDone, ScatterKind,
+    InicRecover, InicScatter, InicScatterDone, ScatterKind,
 };
 use acc_host::HostKernels;
 use acc_proto::{TcpDelivered, TcpSend};
 use acc_sim::{Component, Ctx, DataSize, SimDuration, SimTime};
 
-use super::Attachment;
+use super::{
+    Attachment, CardFailed, Deferred, FaultCtl, RecoveryPolicy, RecoveryReport, ResumeAt,
+    RECOVERY_LATENCY,
+};
 
 /// Where the state machine is.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -90,15 +106,18 @@ pub struct FftDriver {
     /// Start of the current transpose sub-phase (local transpose or
     /// final permutation) for the compute/comm decomposition.
     subphase_entered: SimTime,
-    /// Inbound block bytes per (src_rank, transpose#) — commodity path.
-    rx: HashMap<(usize, u8), Vec<u8>>,
+    /// Inbound block bytes per (src_rank, channel) — TCP legs. The
+    /// channel namespaces the transpose number by epoch, so bytes from
+    /// an aborted attempt never leak into the restarted one.
+    rx: HashMap<(usize, u16), Vec<u8>>,
     /// Current pairwise exchange step (1-based) — commodity path. The
     /// transpose is "a serialized communications step" (Section 3.1.2):
     /// step `s` sends to `(rank+s) mod P` and waits for the block from
     /// `(rank−s) mod P` before proceeding, as FFTW's pairwise exchange
     /// does.
     exchange_step: usize,
-    /// Assembled results delivered early by the card, keyed by stream.
+    /// Assembled results delivered by the card, keyed by stream, held
+    /// until the TCP legs of a mixed exchange also complete.
     early_gathers: HashMap<u32, Vec<u8>>,
     /// Raw gather held while the final-permutation charge runs
     /// (protocol-processor mode): per-source concatenated blocks plus
@@ -109,9 +128,30 @@ pub struct FftDriver {
     pristine: Matrix,
     /// Restart epoch; bumped on card failover so stale self events die.
     epoch: u64,
-    /// Whether this driver abandoned its INIC card and restarted over
-    /// the commodity fallback path.
+    /// Whether this driver abandoned its INIC card and degraded to the
+    /// commodity fallback path.
     failed_over: bool,
+    /// Fault-handling configuration (default when no plan is wired).
+    fault_ctl: FaultCtl,
+    /// Ranks whose cards died (rank-local recovery only).
+    dead: BTreeSet<usize>,
+    /// Phase checkpoints: slab snapshots keyed by completed phase
+    /// (1 = row FFTs #1, 2 = transpose #1, 3 = row FFTs #2). Captured
+    /// only under [`RecoveryPolicy::Checkpointed`] with a coordinator.
+    ckpts: HashMap<u32, Matrix>,
+    /// Parked between reporting a failure and the coordinator's resume.
+    paused: bool,
+    /// Whether the card finished loading its bitstream. A failover that
+    /// lands inside the configuration window must defer its resume
+    /// until the card is usable.
+    configured: bool,
+    /// A [`ResumeAt`] verdict received before `configured`; replayed
+    /// when the bitstream lands.
+    pending_resume: Option<ResumeAt>,
+    /// The checkpoint phase the last resume restarted from.
+    resumed_from: Option<u32>,
+    /// Whether this driver already counted itself in `drivers_done`.
+    reported_done: bool,
     /// Timings, filled as the run progresses.
     pub timings: FftTimings,
 }
@@ -148,8 +188,23 @@ impl FftDriver {
             raw_gather: None,
             epoch: 0,
             failed_over: false,
+            fault_ctl: FaultCtl::default(),
+            dead: BTreeSet::new(),
+            ckpts: HashMap::new(),
+            paused: false,
+            configured: false,
+            pending_resume: None,
+            resumed_from: None,
+            reported_done: false,
             timings: FftTimings::default(),
         }
+    }
+
+    /// Attach fault-handling configuration (builder style).
+    #[must_use]
+    pub fn with_fault_ctl(mut self, ctl: FaultCtl) -> FftDriver {
+        self.fault_ctl = ctl;
+        self
     }
 
     /// The node's final slab (the 2D FFT's row block) once done.
@@ -168,8 +223,42 @@ impl FftDriver {
         self.failed_over
     }
 
+    /// The checkpoint phase the last failover resumed from, if any.
+    pub fn resumed_from(&self) -> Option<u32> {
+        self.resumed_from
+    }
+
     fn partition_bytes(&self) -> DataSize {
         DataSize::from_bytes((self.m * self.rows * 16) as u64)
+    }
+
+    /// INIC stream id for transpose `which`, namespaced by epoch so a
+    /// restarted exchange never collides with the aborted one's demux
+    /// state (epoch 0 keeps the historical ids 1 and 2).
+    fn stream(&self, which: u8) -> u32 {
+        (self.epoch as u32) * 8 + u32::from(which)
+    }
+
+    /// TCP channel for transpose `which`, namespaced like [`stream`].
+    fn chan(&self, which: u8) -> u16 {
+        (self.epoch as u16) * 4 + u16::from(which)
+    }
+
+    /// Whether phase checkpoints are being captured.
+    fn ckpt_armed(&self) -> bool {
+        self.fault_ctl.coordinator.is_some()
+            && self.fault_ctl.policy == RecoveryPolicy::Checkpointed
+    }
+
+    /// Highest phase this rank could resume from (4 = finished).
+    fn completed_phase(&self) -> u32 {
+        if self.phase == Phase::Done {
+            return 4;
+        }
+        (1..=3u32)
+            .rev()
+            .find(|k| self.ckpts.contains_key(k))
+            .unwrap_or(0)
     }
 
     // ---- phase transitions ----
@@ -196,6 +285,10 @@ impl FftDriver {
             panic!("{}: FftComputeDone outside Fft phase", self.label);
         };
         self.timings.compute += ctx.now().since(self.phase_entered);
+        if self.ckpt_armed() {
+            let k = if which == 1 { 1 } else { 3 };
+            self.ckpts.insert(k, self.slab.clone());
+        }
         self.begin_transpose(which, ctx);
     }
 
@@ -214,12 +307,18 @@ impl FftDriver {
             return;
         }
         match &self.attachment {
-            Attachment::Inic { card, macs, .. } => {
+            Attachment::Inic {
+                card,
+                macs,
+                fallback,
+                ..
+            } => {
                 let card = *card;
-                let stream = u32::from(which);
-                // The card might already hold the full gather (tiny P,
-                // fast peers): consume it immediately if so.
+                let macs = macs.clone();
+                let fallback = fallback.clone();
+                let stream = self.stream(which);
                 self.phase = Phase::Exchange(which);
+                let dead = self.dead.clone();
                 ctx.send_now(
                     card,
                     InicExpect {
@@ -229,6 +328,7 @@ impl FftDriver {
                             rows: self.rows,
                         },
                         sources: (0..self.p as u32)
+                            .filter(|s| !dead.contains(&(*s as usize)))
                             .map(|s| (s, Some(self.m * self.m * 16)))
                             .collect(),
                     },
@@ -239,12 +339,31 @@ impl FftDriver {
                         stream,
                         kind: ScatterKind::TransposeBlocks { m: self.m },
                         data: slab_to_bytes(&self.slab),
-                        dests: macs.clone(),
+                        dests: macs,
                     },
                 );
-                if let Some(bytes) = self.early_gathers.remove(&stream) {
-                    self.finish_inic_transpose(which, bytes, ctx);
+                // Mixed-technology legs: the dead ranks' blocks cannot
+                // ride the card (their cards are gone), so the host
+                // extracts and ships them over the fallback TCP path.
+                if !dead.is_empty() {
+                    let (fb_nic, fb_macs) =
+                        fallback.expect("rank-local degradation needs a fallback path");
+                    let chan = self.chan(which);
+                    for &d in &dead {
+                        let block = extract_transposed_block(&self.slab, d);
+                        ctx.send_now(
+                            fb_nic,
+                            TcpSend {
+                                peer: fb_macs[d],
+                                chan,
+                                data: slab_to_bytes(&block),
+                            },
+                        );
+                    }
                 }
+                // The card (or a TCP leg) might already have everything
+                // (tiny P, fast peers, resume races): finish if so.
+                self.try_finish_inic_exchange(which, ctx);
             }
             Attachment::Tcp { .. } => unreachable!("handled above"),
         }
@@ -266,7 +385,7 @@ impl FftDriver {
             debug_assert_eq!(*mode, InicMode::ProtocolProcessor);
             let card = *card;
             let macs = macs.clone();
-            let stream = u32::from(which);
+            let stream = self.stream(which);
             let block_bytes = self.m * self.m * 16;
             // Blocks in ring order (own rank first), transposed on the
             // host — the card only packetizes.
@@ -317,7 +436,7 @@ impl FftDriver {
             nic,
             TcpSend {
                 peer,
-                chan: u16::from(which),
+                chan: self.chan(which),
                 data: slab_to_bytes(&block),
             },
         );
@@ -326,14 +445,21 @@ impl FftDriver {
     fn on_tcp_delivered(&mut self, d: TcpDelivered, ctx: &mut Ctx) {
         let src = self
             .attachment
-            .macs()
-            .iter()
-            .position(|&m| m == d.peer)
+            .resolve_src(d.peer)
             .expect("delivery from unknown MAC");
         self.rx
-            .entry((src, d.chan as u8))
+            .entry((src, d.chan))
             .or_default()
             .extend_from_slice(&d.data);
+        if self.paused {
+            return; // buffered; consumed after the coordinator resumes us
+        }
+        if matches!(self.attachment, Attachment::Inic { .. }) {
+            if let Phase::Exchange(which) = self.phase {
+                self.try_finish_inic_exchange(which, ctx);
+            }
+            return;
+        }
         self.check_exchange_complete(ctx);
     }
 
@@ -348,11 +474,12 @@ impl FftDriver {
             return; // completion is signalled by the card
         }
         let block_bytes = self.m * self.m * 16;
+        let chan = self.chan(which);
         while self.exchange_step < self.p {
             let from = (self.rank + self.p - self.exchange_step) % self.p;
             let have = self
                 .rx
-                .get(&(from, which))
+                .get(&(from, chan))
                 .is_some_and(|b| b.len() >= block_bytes);
             if !have {
                 return;
@@ -374,6 +501,7 @@ impl FftDriver {
         };
         self.timings.transpose_compute += ctx.now().since(self.subphase_entered);
         let block_bytes = self.m * self.m * 16;
+        let chan = self.chan(which);
         let mut out = Matrix::zeros(self.m, self.rows);
         if let Some((data, bounds)) = self.raw_gather.take() {
             // Protocol-processor path: per-source blocks arrived via the
@@ -389,7 +517,7 @@ impl FftDriver {
                 let block = if s == self.rank {
                     extract_transposed_block(&self.slab, self.rank)
                 } else {
-                    let buf = self.rx.get_mut(&(s, which)).expect("checked complete");
+                    let buf = self.rx.get_mut(&(s, chan)).expect("checked complete");
                     let bytes: Vec<u8> = buf.drain(..block_bytes).collect();
                     bytes_to_slab(&bytes, self.m, self.m)
                 };
@@ -400,29 +528,79 @@ impl FftDriver {
         self.finish_transpose(which, ctx);
     }
 
-    /// INIC path: the card delivered the assembled slab.
-    fn finish_inic_transpose(&mut self, which: u8, bytes: Vec<u8>, ctx: &mut Ctx) {
-        self.slab = bytes_to_slab(&bytes, self.m, self.rows);
+    /// INIC path: finish transpose `which` once the card's gather *and*
+    /// every mixed-technology TCP leg have arrived. The card interleaves
+    /// the healthy ranks' blocks; the host interleaves the dead ranks'
+    /// blocks into the same slab (they arrive over TCP, pre-transposed
+    /// by the degraded sender's host).
+    fn try_finish_inic_exchange(&mut self, which: u8, ctx: &mut Ctx) {
+        if self.paused {
+            return;
+        }
+        let stream = self.stream(which);
+        if !self.early_gathers.contains_key(&stream) {
+            return;
+        }
+        let block_bytes = self.m * self.m * 16;
+        let chan = self.chan(which);
+        let ready = self.dead.iter().all(|&d| {
+            self.rx
+                .get(&(d, chan))
+                .is_some_and(|b| b.len() >= block_bytes)
+        });
+        if !ready {
+            return;
+        }
+        let bytes = self.early_gathers.remove(&stream).expect("checked present");
+        let mut out = bytes_to_slab(&bytes, self.m, self.rows);
+        let dead = self.dead.clone();
+        for &d in &dead {
+            let buf = self.rx.get_mut(&(d, chan)).expect("checked ready");
+            let block_bytes_vec: Vec<u8> = buf.drain(..block_bytes).collect();
+            let block = bytes_to_slab(&block_bytes_vec, self.m, self.m);
+            interleave_block(&mut out, d, &block);
+        }
+        self.slab = out;
         self.finish_transpose(which, ctx);
     }
 
     fn finish_transpose(&mut self, which: u8, ctx: &mut Ctx) {
         self.timings.transpose += ctx.now().since(self.phase_entered);
         match which {
-            1 => self.begin_fft(2, ctx),
+            1 => {
+                if self.ckpt_armed() {
+                    self.ckpts.insert(2, self.slab.clone());
+                }
+                self.begin_fft(2, ctx);
+            }
             2 => {
                 self.phase = Phase::Done;
                 self.timings.done_at = Some(ctx.now());
+                if !self.reported_done {
+                    self.reported_done = true;
+                    ctx.stats().counter("cluster", "drivers_done").inc();
+                }
             }
             _ => unreachable!(),
         }
     }
 
-    /// The whole cluster degrades together: drop the dead card (even a
-    /// healthy one — peers can no longer reach every rank through the
-    /// INIC path) and restart from the pristine slab copy over the
-    /// commodity fallback NIC.
-    fn on_card_failed(&mut self, ctx: &mut Ctx) {
+    // ---- failure handling ----
+
+    fn on_card_failed(&mut self, node: u32, ctx: &mut Ctx) {
+        match self.fault_ctl.coordinator {
+            None => self.full_restart_failover(ctx),
+            Some(coord) => self.rank_local_failover(node, coord, ctx),
+        }
+    }
+
+    /// The whole cluster degrades together (PR 1 behaviour, still used
+    /// under [`RecoveryPolicy::FullRestart`] and for the
+    /// protocol-processor mode, which has no card datapath worth
+    /// keeping): drop the dead card — even a healthy one, peers can no
+    /// longer reach every rank through the INIC path — and restart from
+    /// the pristine slab copy over the commodity fallback NIC.
+    fn full_restart_failover(&mut self, ctx: &mut Ctx) {
         if self.failed_over {
             return; // a second card death changes nothing
         }
@@ -451,10 +629,123 @@ impl FftDriver {
         self.phase = Phase::Init;
         self.begin_fft(1, ctx);
     }
+
+    /// Rank-local degradation: only the dead rank abandons its card.
+    /// Every rank pauses, tells its card to forget the dead peer (and
+    /// abort the in-flight exchange stream, if any), and reports its
+    /// highest completed checkpoint to the coordinator, which answers
+    /// with the cluster-wide resume phase.
+    fn rank_local_failover(&mut self, node: u32, coord: acc_sim::ComponentId, ctx: &mut Ctx) {
+        let node_idx = node as usize;
+        if !self.dead.insert(node_idx) {
+            return; // duplicate death notice
+        }
+        // The stream to abort is the pre-bump one: that is what the
+        // card's demux and retransmit state still reference.
+        let abort_stream = match self.phase {
+            Phase::Exchange(which) => Some(self.stream(which)),
+            _ => None,
+        };
+        self.epoch += 1;
+        self.paused = true;
+        if self.rank == node_idx {
+            let (nic, macs) = match &self.attachment {
+                Attachment::Inic {
+                    fallback: Some((nic, macs)),
+                    ..
+                } => (*nic, macs.clone()),
+                _ => panic!("{}: card failure without a wired fallback path", self.label),
+            };
+            ctx.stats().counter(&self.label, "card_failovers").inc();
+            self.failed_over = true;
+            self.attachment = Attachment::Tcp { nic, macs };
+        } else if let Attachment::Inic { card, macs, .. } = &self.attachment {
+            // Healthy rank: keep the card, purge the dead peer from its
+            // retransmit machinery and abort the stranded stream.
+            let dead_mac = macs[node_idx];
+            ctx.send_now(
+                *card,
+                InicRecover {
+                    dead: dead_mac,
+                    abort_stream,
+                },
+            );
+        }
+        ctx.send_in(
+            RECOVERY_LATENCY,
+            coord,
+            RecoveryReport {
+                rank: self.rank as u32,
+                round: self.epoch,
+                phase: self.completed_phase(),
+            },
+        );
+    }
+
+    /// Coordinator verdict: restore the agreed checkpoint and resume.
+    fn on_resume_at(&mut self, r: ResumeAt, ctx: &mut Ctx) {
+        if r.round != self.epoch {
+            return; // a newer failure superseded this round
+        }
+        if !self.configured && matches!(self.attachment, Attachment::Inic { .. }) {
+            // The failure landed inside the card's configuration
+            // window. Every INIC phase needs a usable card, so the
+            // rank stays paused (buffering whatever arrives) until the
+            // bitstream lands, then replays this verdict.
+            self.pending_resume = Some(r);
+            return;
+        }
+        self.paused = false;
+        self.resumed_from = Some(r.phase);
+        ctx.stats().counter(&self.label, "phase_resumes").inc();
+        if r.phase >= 4 {
+            return; // every rank had already finished
+        }
+        self.early_gathers.clear();
+        self.raw_gather = None;
+        self.exchange_step = 0;
+        let restore = |ckpts: &HashMap<u32, Matrix>, k: u32| {
+            ckpts
+                .get(&k)
+                .cloned()
+                .unwrap_or_else(|| panic!("resume phase {k} without its checkpoint"))
+        };
+        match r.phase {
+            0 => {
+                self.slab = self.pristine.clone();
+                self.begin_fft(1, ctx);
+            }
+            1 => {
+                self.slab = restore(&self.ckpts, 1);
+                self.begin_transpose(1, ctx);
+            }
+            2 => {
+                self.slab = restore(&self.ckpts, 2);
+                self.begin_fft(2, ctx);
+            }
+            3 => {
+                self.slab = restore(&self.ckpts, 3);
+                self.begin_transpose(2, ctx);
+            }
+            _ => unreachable!(),
+        }
+    }
 }
 
 impl Component for FftDriver {
     fn handle(&mut self, ev: Box<dyn Any>, ctx: &mut Ctx) {
+        // Unwrap an event this host already deferred once.
+        let ev = match ev.downcast::<Deferred>() {
+            Ok(d) => d.0,
+            Err(ev) => ev,
+        };
+        // A stalled host services nothing: kernel completions, NIC
+        // interrupts and failure notices all wait for the window's end.
+        if let Some(release) = self.fault_ctl.stalls.deferral(ctx.now()) {
+            ctx.stats().counter(&self.label, "stall_deferrals").inc();
+            ctx.self_in(release.since(ctx.now()), Deferred(ev));
+            return;
+        }
         if ev.downcast_ref::<()>().is_some() {
             match &self.attachment {
                 Attachment::Inic { card, mode, .. } => {
@@ -469,8 +760,11 @@ impl Component for FftDriver {
             }
             return;
         }
-        if ev.downcast_ref::<super::CardFailed>().is_some() {
-            return self.on_card_failed(ctx);
+        if let Some(cf) = ev.downcast_ref::<CardFailed>() {
+            return self.on_card_failed(cf.node, ctx);
+        }
+        if let Some(r) = ev.downcast_ref::<ResumeAt>() {
+            return self.on_resume_at(*r, ctx);
         }
         let ev = match ev.downcast::<InicConfigured>() {
             Ok(cfg) => {
@@ -479,6 +773,13 @@ impl Component for FftDriver {
                 }
                 cfg.result
                     .unwrap_or_else(|e| panic!("{}: FFT bitstream rejected: {e}", self.label));
+                self.configured = true;
+                if let Some(r) = self.pending_resume.take() {
+                    // A failover interrupted the configuration; run
+                    // the deferred resume instead of a fresh start.
+                    self.on_resume_at(r, ctx);
+                    return;
+                }
                 self.begin_fft(1, ctx);
                 return;
             }
@@ -511,9 +812,9 @@ impl Component for FftDriver {
                 if self.failed_over {
                     return; // stale card traffic from before the failure
                 }
-                match self.phase {
-                    Phase::Exchange(which) if u32::from(which) == g.stream => {
-                        if self.attachment.inic_mode() == Some(InicMode::ProtocolProcessor) {
+                if self.attachment.inic_mode() == Some(InicMode::ProtocolProcessor) {
+                    match self.phase {
+                        Phase::Exchange(which) if self.stream(which) == g.stream => {
                             // Host still owes the final permutation.
                             self.raw_gather =
                                 Some((g.data, g.bucket_bounds.expect("raw gather carries bounds")));
@@ -522,15 +823,18 @@ impl Component for FftDriver {
                             let charge =
                                 self.kernels.final_permutation_time(self.partition_bytes());
                             ctx.self_in(charge, PermuteDone(self.epoch));
-                        } else {
-                            self.finish_inic_transpose(which, g.data, ctx);
+                        }
+                        _ => {
+                            // Stale or early; hold it (a stale stream id
+                            // can never match a future one).
+                            self.early_gathers.insert(g.stream, g.data);
                         }
                     }
-                    _ => {
-                        // Completed before we (re-)entered the phase —
-                        // possible only with extreme skew; hold it.
-                        self.early_gathers.insert(g.stream, g.data);
-                    }
+                    return;
+                }
+                self.early_gathers.insert(g.stream, g.data);
+                if let Phase::Exchange(which) = self.phase {
+                    self.try_finish_inic_exchange(which, ctx);
                 }
                 return;
             }

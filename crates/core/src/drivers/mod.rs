@@ -12,9 +12,13 @@ pub mod fft;
 pub mod reduce;
 pub mod sort;
 
+use std::any::Any;
+use std::collections::HashMap;
+
 use acc_fpga::InicMode;
+use acc_host::StallSchedule;
 use acc_net::MacAddr;
-use acc_sim::ComponentId;
+use acc_sim::{Component, ComponentId, Ctx, SimDuration};
 
 /// How a node reaches the network.
 #[derive(Clone, Debug)]
@@ -47,13 +51,128 @@ pub enum Attachment {
 }
 
 /// Cluster → every driver: node `node`'s INIC card died permanently.
-/// All ranks fail over together (a collective needs every peer on the
-/// same path) and restart the computation from their retained inputs
-/// over the commodity fallback NICs.
+/// What happens next depends on the [`RecoveryPolicy`]: under
+/// [`RecoveryPolicy::FullRestart`] all ranks fail over together and
+/// restart from their retained inputs over the commodity fallback NICs;
+/// under the rank-local policies only the dead rank degrades to its
+/// fallback `TcpHostNic`, healthy ranks keep their INIC datapath, and
+/// the collective resumes (from the last checkpointed phase when
+/// checkpointing is on) as a mixed-technology exchange.
 #[derive(Clone, Copy, Debug)]
 pub struct CardFailed {
     /// Rank whose card died.
     pub node: u32,
+}
+
+/// How the cluster recovers from a permanent card failure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RecoveryPolicy {
+    /// Every rank abandons its card and restarts the whole collective
+    /// from input bytes over the fallback NICs (PR 1 behaviour).
+    FullRestart,
+    /// Only the dead rank falls back to TCP; healthy ranks keep their
+    /// INICs and the collective restarts from scratch as a
+    /// mixed-technology exchange.
+    RankLocal,
+    /// Rank-local degradation plus phase-level checkpoints: the
+    /// collective resumes from the earliest phase any rank had not yet
+    /// completed, instead of from scratch.
+    #[default]
+    Checkpointed,
+}
+
+/// Host-side latency of one failure-coordination message (detection,
+/// kernel path, daemon wakeup). Charged on each report and each resume
+/// broadcast.
+pub const RECOVERY_LATENCY: SimDuration = SimDuration::from_micros(200);
+
+/// Wrapper for an event a stalled host could not service: the driver
+/// re-enqueues the original event for the end of the stall window.
+/// (A plain re-send would double-box the `Box<dyn Any>`.)
+pub struct Deferred(pub Box<dyn Any>);
+
+/// Per-driver fault-handling configuration, wired by the cluster
+/// builder only when a fault plan is attached.
+#[derive(Default)]
+pub struct FaultCtl {
+    /// This node's stall windows from the plan (empty = never stalls).
+    pub stalls: StallSchedule,
+    /// Card-failure recovery policy.
+    pub policy: RecoveryPolicy,
+    /// The [`RecoveryCoordinator`], present only when the plan can kill
+    /// cards and the policy is rank-local. Its presence also arms
+    /// checkpoint capture under [`RecoveryPolicy::Checkpointed`].
+    pub coordinator: Option<ComponentId>,
+}
+
+/// Driver → coordinator: this rank processed a [`CardFailed`] and can
+/// resume from checkpoint `phase` (0 = from scratch).
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryReport {
+    /// Reporting rank.
+    pub rank: u32,
+    /// Failover round (the driver's post-bump epoch) the report belongs
+    /// to; reports from different rounds are never mixed.
+    pub round: u64,
+    /// Highest phase checkpoint this rank holds (its phase counter).
+    pub phase: u32,
+}
+
+/// Coordinator → every driver: all ranks reported for `round`; resume
+/// the collective from checkpoint `phase` (the minimum over ranks — a
+/// collective phase needs every peer's participation).
+#[derive(Clone, Copy, Debug)]
+pub struct ResumeAt {
+    /// Failover round this decision belongs to.
+    pub round: u64,
+    /// Phase to restore and resume from.
+    pub phase: u32,
+}
+
+/// Cluster-attached failover coordinator: gathers one
+/// [`RecoveryReport`] per rank per round and broadcasts the minimum
+/// completed phase as the cluster-wide resume point. Models the small
+/// host-level consensus a real cluster would run over its management
+/// network; each hop is charged [`RECOVERY_LATENCY`].
+pub struct RecoveryCoordinator {
+    label: String,
+    drivers: Vec<ComponentId>,
+    /// Collected phases per round.
+    rounds: HashMap<u64, Vec<u32>>,
+}
+
+impl RecoveryCoordinator {
+    /// Build a coordinator over the given driver components.
+    pub fn new(drivers: Vec<ComponentId>) -> RecoveryCoordinator {
+        RecoveryCoordinator {
+            label: "recovery-coordinator".to_owned(),
+            drivers,
+            rounds: HashMap::new(),
+        }
+    }
+}
+
+impl Component for RecoveryCoordinator {
+    fn handle(&mut self, ev: Box<dyn Any>, ctx: &mut Ctx) {
+        let report = ev
+            .downcast::<RecoveryReport>()
+            .unwrap_or_else(|_| panic!("{}: unknown event", self.label));
+        let round = report.round;
+        let phases = self.rounds.entry(round).or_default();
+        phases.push(report.phase);
+        if phases.len() < self.drivers.len() {
+            return;
+        }
+        let phase = *phases.iter().min().expect("at least one report");
+        ctx.stats().counter(&self.label, "recovery_rounds").inc();
+        for &d in &self.drivers {
+            ctx.send_in(RECOVERY_LATENCY, d, ResumeAt { round, phase });
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
 }
 
 impl Attachment {
@@ -70,6 +189,23 @@ impl Attachment {
             Attachment::Inic { mode, .. } => Some(*mode),
             Attachment::Tcp { .. } => None,
         }
+    }
+
+    /// Resolve a delivery's source MAC to a rank, accepting both the
+    /// primary table and (on an INIC attachment with a wired fallback)
+    /// the fallback table — a degraded peer sends from its fallback NIC.
+    pub fn resolve_src(&self, mac: MacAddr) -> Option<usize> {
+        if let Some(rank) = self.macs().iter().position(|&m| m == mac) {
+            return Some(rank);
+        }
+        if let Attachment::Inic {
+            fallback: Some((_, fb_macs)),
+            ..
+        } = self
+        {
+            return fb_macs.iter().position(|&m| m == mac);
+        }
+        None
     }
 }
 

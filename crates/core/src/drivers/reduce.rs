@@ -203,6 +203,7 @@ impl ReduceDriver {
     fn finish(&mut self, ctx: &mut Ctx) {
         self.timings.done_at = Some(ctx.now());
         self.phase = Phase::Done;
+        ctx.stats().counter("cluster", "drivers_done").inc();
     }
 }
 

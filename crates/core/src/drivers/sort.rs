@@ -15,9 +15,17 @@
 //!   second bucket pass before count-sorting — "surprisingly, this can
 //!   provide higher performance than having the host sort directly into
 //!   16 × N buckets".
+//!
+//! Fault handling mirrors [`FftDriver`](super::fft::FftDriver): stalled
+//! hosts defer every event, and under rank-local recovery a dead rank
+//! degrades to [`SortVariant::HostOnly`] over its fallback NIC while
+//! healthy ranks keep the card, carrying the dead ranks' buckets as
+//! length-prefixed TCP side streams next to the card exchange. The
+//! post-exchange state can be checkpointed so a later failure resumes
+//! from the exchange instead of re-running it.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use acc_algos::sort::{
     bucket_index, bucket_sort, bytes_to_keys, count_sort, destination_by_splitters,
@@ -25,13 +33,16 @@ use acc_algos::sort::{
 };
 use acc_fpga::{
     Bitstream, GatherKind, InicConfigure, InicConfigured, InicExpect, InicGatherComplete, InicMode,
-    InicScatter, InicScatterDone, ScatterKind,
+    InicRecover, InicScatter, InicScatterDone, ScatterKind,
 };
 use acc_host::HostKernels;
 use acc_proto::{TcpDelivered, TcpSend};
 use acc_sim::{Component, Ctx, DataSize, SimDuration, SimTime};
 
-use super::{recv_buckets_for, Attachment};
+use super::{
+    recv_buckets_for, Attachment, CardFailed, Deferred, FaultCtl, RecoveryPolicy, RecoveryReport,
+    ResumeAt, RECOVERY_LATENCY,
+};
 
 /// How the receive-side bucketing is split between card and host.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -69,6 +80,23 @@ struct Bucket1Done(u64);
 struct Bucket2Done(u64);
 struct CountDone(u64);
 
+/// Snapshot of the post-exchange state, captured under
+/// [`RecoveryPolicy::Checkpointed`] so a later card failure resumes
+/// from the exchange instead of re-running it.
+#[derive(Clone)]
+struct ExchangeCkpt {
+    /// Card gather result (INIC variants).
+    card: Option<(Vec<u8>, Vec<usize>)>,
+    /// Keys received over TCP (commodity path).
+    received: Vec<Vec<u32>>,
+    /// Keys received over the mixed-technology TCP side streams.
+    tcp: Vec<Vec<u32>>,
+    /// The variant the exchange ran under — the data layout to resume
+    /// with, even if this rank degraded afterwards (the remaining
+    /// phases are pure host compute).
+    variant: SortVariant,
+}
+
 /// Timing decomposition of one node's run.
 #[derive(Clone, Debug, Default)]
 pub struct SortTimings {
@@ -103,12 +131,19 @@ pub struct SortDriver {
     recv_buckets: usize,
     phase: Phase,
     phase_entered: SimTime,
-    /// Commodity receive reassembly: raw bytes per src rank.
-    rx: HashMap<usize, Vec<u8>>,
+    /// TCP receive reassembly: raw bytes per (src rank, channel). The
+    /// channel namespaces the exchange by epoch, so bytes from an
+    /// aborted attempt never leak into the restarted one.
+    rx: HashMap<(usize, u16), Vec<u8>>,
     /// Commodity: keys received (parsed once each stream's length-prefix
     /// is satisfied).
     received_keys: Vec<Vec<u32>>,
     streams_pending: usize,
+    /// Mixed-technology exchange: keys from degraded peers, carried over
+    /// TCP next to the card exchange.
+    mixed_tcp_keys: Vec<Vec<u32>>,
+    /// Mixed-technology exchange: TCP side streams still outstanding.
+    tcp_pending: usize,
     /// INIC gather result (16 or N card buckets, concatenated).
     card_bucket_data: Option<(Vec<u8>, Vec<usize>)>,
     sorted: Vec<u32>,
@@ -117,6 +152,25 @@ pub struct SortDriver {
     /// Whether this driver abandoned its INIC card and restarted over
     /// the commodity fallback path.
     failed_over: bool,
+    /// Fault-handling configuration (default when no plan is wired).
+    fault_ctl: FaultCtl,
+    /// Ranks whose cards died (rank-local recovery only).
+    dead: BTreeSet<usize>,
+    /// Post-exchange checkpoint, when armed and captured.
+    ckpt1: Option<ExchangeCkpt>,
+    /// Parked between reporting a failure and the coordinator's resume.
+    paused: bool,
+    /// Whether the card finished loading its bitstream. A failover that
+    /// lands inside the configuration window must defer its resume
+    /// until the card is usable.
+    configured: bool,
+    /// A [`ResumeAt`] verdict received before `configured`; replayed
+    /// when the bitstream lands.
+    pending_resume: Option<ResumeAt>,
+    /// The checkpoint phase the last resume restarted from.
+    resumed_from: Option<u32>,
+    /// Whether this driver already counted itself in `drivers_done`.
+    reported_done: bool,
     /// Timing decomposition.
     pub timings: SortTimings,
 }
@@ -147,10 +201,20 @@ impl SortDriver {
             rx: HashMap::new(),
             received_keys: Vec::new(),
             streams_pending: 0,
+            mixed_tcp_keys: Vec::new(),
+            tcp_pending: 0,
             card_bucket_data: None,
             sorted: Vec::new(),
             epoch: 0,
             failed_over: false,
+            fault_ctl: FaultCtl::default(),
+            dead: BTreeSet::new(),
+            ckpt1: None,
+            paused: false,
+            configured: false,
+            pending_resume: None,
+            resumed_from: None,
+            reported_done: false,
             timings: SortTimings::default(),
         }
     }
@@ -161,6 +225,13 @@ impl SortDriver {
     pub fn with_splitters(mut self, splitters: Vec<u32>) -> SortDriver {
         assert_eq!(splitters.len() + 1, self.p, "need P-1 splitters");
         self.splitters = Some(splitters);
+        self
+    }
+
+    /// Attach fault-handling configuration (builder style).
+    #[must_use]
+    pub fn with_fault_ctl(mut self, ctl: FaultCtl) -> SortDriver {
+        self.fault_ctl = ctl;
         self
     }
 
@@ -196,8 +267,57 @@ impl SortDriver {
         self.failed_over
     }
 
+    /// The checkpoint phase the last failover resumed from, if any.
+    pub fn resumed_from(&self) -> Option<u32> {
+        self.resumed_from
+    }
+
     fn local_bytes(&self) -> DataSize {
         DataSize::from_bytes(self.keys.len() as u64 * 4)
+    }
+
+    /// INIC stream id for the exchange, namespaced by epoch so a
+    /// restarted exchange never collides with the aborted one's demux
+    /// state (epoch 0 keeps the historical id 1).
+    fn stream(&self) -> u32 {
+        (self.epoch as u32) * 8 + 1
+    }
+
+    /// TCP channel for the exchange, namespaced like [`stream`].
+    fn chan(&self) -> u16 {
+        (self.epoch as u16) * 4 + 1
+    }
+
+    /// Whether phase checkpoints are being captured.
+    fn ckpt_armed(&self) -> bool {
+        self.fault_ctl.coordinator.is_some()
+            && self.fault_ctl.policy == RecoveryPolicy::Checkpointed
+    }
+
+    /// Highest phase this rank could resume from (0 = start, 1 = after
+    /// the exchange, 2 = finished).
+    fn completed_phase(&self) -> u32 {
+        if self.phase == Phase::Done {
+            return 2;
+        }
+        if self.ckpt1.is_some() {
+            return 1;
+        }
+        0
+    }
+
+    /// Capture the post-exchange checkpoint (called at exchange
+    /// completion, before any phase consumes the buffers).
+    fn capture_ckpt(&mut self) {
+        if !self.ckpt_armed() {
+            return;
+        }
+        self.ckpt1 = Some(ExchangeCkpt {
+            card: self.card_bucket_data.clone(),
+            received: self.received_keys.clone(),
+            tcp: self.mixed_tcp_keys.clone(),
+            variant: self.variant,
+        });
     }
 
     // ---- start ----
@@ -222,24 +342,36 @@ impl SortDriver {
                 // Card does phase 1; hand the raw keys straight over.
                 self.phase = Phase::Exchange;
                 self.phase_entered = ctx.now();
-                let Attachment::Inic { card, macs, .. } = &self.attachment else {
+                let Attachment::Inic {
+                    card,
+                    macs,
+                    fallback,
+                    ..
+                } = &self.attachment
+                else {
                     panic!("INIC variant without INIC attachment");
                 };
                 let card = *card;
                 let macs = macs.clone();
+                let fallback = fallback.clone();
                 let k = self.card_recv_buckets();
+                let dead = self.dead.clone();
+                let stream = self.stream();
                 ctx.send_now(
                     card,
                     InicExpect {
-                        stream: 1,
+                        stream,
                         kind: GatherKind::BucketKeys { k },
-                        sources: (0..self.p as u32).map(|s| (s, None)).collect(),
+                        sources: (0..self.p as u32)
+                            .filter(|s| !dead.contains(&(*s as usize)))
+                            .map(|s| (s, None))
+                            .collect(),
                     },
                 );
                 ctx.send_now(
                     card,
                     InicScatter {
-                        stream: 1,
+                        stream,
                         kind: ScatterKind::BucketKeys {
                             p: self.p,
                             splitters: self.splitters.clone(),
@@ -248,6 +380,39 @@ impl SortDriver {
                         dests: macs,
                     },
                 );
+                // Mixed-technology side streams: the card drops chunks
+                // destined to dead peers, so the host carries those
+                // buckets over the fallback TCP path instead.
+                self.tcp_pending = dead.len();
+                if !dead.is_empty() {
+                    let (fb_nic, fb_macs) =
+                        fallback.expect("rank-local degradation needs a fallback path");
+                    let chan = self.chan();
+                    let buckets = self.partition_keys();
+                    for &d in &dead {
+                        let body = keys_to_bytes(&buckets[d]);
+                        let mut data = (body.len() as u64).to_le_bytes().to_vec();
+                        data.extend_from_slice(&body);
+                        ctx.send_now(
+                            fb_nic,
+                            TcpSend {
+                                peer: fb_macs[d],
+                                chan,
+                                data,
+                            },
+                        );
+                    }
+                    // Streams the degraded peers sent while this rank
+                    // was still paused are already buffered; consume
+                    // them now — no further delivery will re-trigger
+                    // the parse.
+                    for &d in &dead {
+                        if let Some(keys) = self.take_complete_stream(d, chan) {
+                            self.mixed_tcp_keys.push(keys);
+                            self.tcp_pending -= 1;
+                        }
+                    }
+                }
             }
         }
     }
@@ -277,6 +442,7 @@ impl SortDriver {
         };
         let nic = *nic;
         let macs = macs.clone();
+        let chan = self.chan();
         let buckets = self.partition_keys();
         for step in 1..self.p {
             let q = (self.rank + step) % self.p;
@@ -289,7 +455,7 @@ impl SortDriver {
                 nic,
                 TcpSend {
                     peer: macs[q],
-                    chan: 1,
+                    chan,
                     data,
                 },
             );
@@ -311,6 +477,7 @@ impl SortDriver {
         debug_assert_eq!(*mode, InicMode::ProtocolProcessor);
         let card = *card;
         let macs = macs.clone();
+        let stream = self.stream();
         let buckets = self.partition_keys();
         let mut parts = vec![0usize; self.p];
         let mut data = Vec::with_capacity(self.keys.len() * 4);
@@ -322,7 +489,7 @@ impl SortDriver {
         ctx.send_now(
             card,
             InicExpect {
-                stream: 1,
+                stream,
                 kind: GatherKind::Raw,
                 sources: (0..self.p as u32).map(|s| (s, None)).collect(),
             },
@@ -330,7 +497,7 @@ impl SortDriver {
         ctx.send_now(
             card,
             InicScatter {
-                stream: 1,
+                stream,
                 kind: ScatterKind::Raw { parts },
                 data,
                 dests: macs,
@@ -338,39 +505,63 @@ impl SortDriver {
         );
     }
 
+    /// Pop the buffered stream from `(src, chan)` if it is complete
+    /// (8-byte length prefix + body), decoded to keys.
+    fn take_complete_stream(&mut self, src: usize, chan: u16) -> Option<Vec<u32>> {
+        let buf = self.rx.get(&(src, chan))?;
+        if buf.len() < 8 {
+            return None;
+        }
+        let want = u64::from_le_bytes(buf[..8].try_into().unwrap()) as usize;
+        if buf.len() < 8 + want {
+            return None;
+        }
+        assert_eq!(
+            buf.len(),
+            8 + want,
+            "sender sent more than one stream on this channel"
+        );
+        let keys = bytes_to_keys(&buf[8..]);
+        self.rx.remove(&(src, chan));
+        Some(keys)
+    }
+
     fn on_tcp_delivered(&mut self, d: TcpDelivered, ctx: &mut Ctx) {
         let src = self
             .attachment
-            .macs()
-            .iter()
-            .position(|&m| m == d.peer)
+            .resolve_src(d.peer)
             .expect("delivery from unknown MAC");
-        let buf = self.rx.entry(src).or_default();
+        let chan_now = self.chan();
+        let buf = self.rx.entry((src, d.chan)).or_default();
         buf.extend_from_slice(&d.data);
-        // Completed stream? 8-byte length prefix + body.
-        if buf.len() >= 8 {
-            let want = u64::from_le_bytes(buf[..8].try_into().unwrap()) as usize;
-            if buf.len() >= 8 + want {
-                let body: Vec<u8> = buf[8..8 + want].to_vec();
-                assert_eq!(
-                    buf.len(),
-                    8 + want,
-                    "sender sent more than one stream on this channel"
-                );
-                self.rx.remove(&src);
-                self.received_keys.push(bytes_to_keys(&body));
-                self.streams_pending -= 1;
-            }
+        if self.paused || d.chan != chan_now {
+            // Stale epoch (the exchange it belonged to was abandoned) or
+            // a paused host: leave it buffered, it is never consumed.
+            return;
         }
-        self.check_exchange_complete(ctx);
+        let Some(keys) = self.take_complete_stream(src, d.chan) else {
+            return; // stream still in flight
+        };
+        if matches!(self.attachment, Attachment::Inic { .. }) {
+            // Mixed-technology side stream from a degraded peer.
+            assert!(self.tcp_pending > 0, "unexpected TCP stream on INIC rank");
+            self.mixed_tcp_keys.push(keys);
+            self.tcp_pending -= 1;
+            self.try_finish_inic_exchange(ctx);
+        } else {
+            self.received_keys.push(keys);
+            self.streams_pending -= 1;
+            self.check_exchange_complete(ctx);
+        }
     }
 
     fn check_exchange_complete(&mut self, ctx: &mut Ctx) {
-        if self.phase != Phase::Exchange || self.streams_pending > 0 {
+        if self.paused || self.phase != Phase::Exchange || self.streams_pending > 0 {
             return;
         }
         if matches!(self.variant, SortVariant::HostOnly) {
             self.timings.comm += ctx.now().since(self.phase_entered);
+            self.capture_ckpt();
             self.begin_bucket2(ctx);
         }
     }
@@ -385,6 +576,11 @@ impl SortDriver {
             SortVariant::InicTwoPhase | SortVariant::ProtocolOnly => {
                 let (data, _) = self.card_bucket_data.as_ref().expect("gather data");
                 (data.len() / 4) as u64
+                    + self
+                        .mixed_tcp_keys
+                        .iter()
+                        .map(|v| v.len() as u64)
+                        .sum::<u64>()
             }
             SortVariant::InicFull => unreachable!("ideal INIC skips phase 2"),
         };
@@ -412,7 +608,10 @@ impl SortDriver {
             }
             SortVariant::InicTwoPhase | SortVariant::ProtocolOnly => {
                 let (data, _bounds) = self.card_bucket_data.take().expect("gather data");
-                let all = bytes_to_keys(&data);
+                let mut all = bytes_to_keys(&data);
+                for keys in &self.mixed_tcp_keys {
+                    all.extend_from_slice(keys);
+                }
                 bucket_sort_into_n(&all, self.recv_buckets)
             }
             SortVariant::InicFull => {
@@ -423,6 +622,14 @@ impl SortDriver {
                 for &end in &bounds {
                     out.push(keys[start / 4..end / 4].to_vec());
                     start = end;
+                }
+                // Mixed-technology keys arrive unbucketed; sprinkle them
+                // into the card's buckets (order within a bucket is
+                // irrelevant — count-sort sorts each fully).
+                for keys in &self.mixed_tcp_keys {
+                    for &k in keys {
+                        out[bucket_index(k, self.recv_buckets)].push(k);
+                    }
                 }
                 out
             }
@@ -445,6 +652,10 @@ impl SortDriver {
         self.timings.count += ctx.now().since(self.phase_entered);
         self.phase = Phase::Done;
         self.timings.done_at = Some(ctx.now());
+        if !self.reported_done {
+            self.reported_done = true;
+            ctx.stats().counter("cluster", "drivers_done").inc();
+        }
         // Every key we hold belongs to this rank.
         debug_assert!(match &self.splitters {
             Some(sp) => self
@@ -462,11 +673,20 @@ impl SortDriver {
 
     // ---- INIC path ----
 
-    /// The whole cluster degrades together: drop the dead card (even a
-    /// healthy one — peers can no longer reach every rank through the
-    /// INIC path) and restart from the retained input keys over the
-    /// commodity fallback NIC.
-    fn on_card_failed(&mut self, ctx: &mut Ctx) {
+    fn on_card_failed(&mut self, node: u32, ctx: &mut Ctx) {
+        match self.fault_ctl.coordinator {
+            None => self.full_restart_failover(ctx),
+            Some(coord) => self.rank_local_failover(node, coord, ctx),
+        }
+    }
+
+    /// The whole cluster degrades together (PR 1 behaviour, still used
+    /// under [`RecoveryPolicy::FullRestart`] and for the
+    /// protocol-processor mode): drop the dead card — even a healthy
+    /// one, peers can no longer reach every rank through the INIC path —
+    /// and restart from the retained input keys over the commodity
+    /// fallback NIC.
+    fn full_restart_failover(&mut self, ctx: &mut Ctx) {
         if self.failed_over {
             return; // a second card death changes nothing
         }
@@ -495,21 +715,136 @@ impl SortDriver {
         self.begin(ctx);
     }
 
-    fn on_gather(&mut self, g: InicGatherComplete, ctx: &mut Ctx) {
-        assert_eq!(
-            self.phase,
-            Phase::Exchange,
-            "{}: gather out of phase",
-            self.label
+    /// Rank-local degradation: only the dead rank abandons its card
+    /// (degrading to [`SortVariant::HostOnly`]); every rank pauses,
+    /// healthy ranks purge the dead peer from their cards, and all
+    /// report their highest completed checkpoint to the coordinator.
+    fn rank_local_failover(&mut self, node: u32, coord: acc_sim::ComponentId, ctx: &mut Ctx) {
+        let node_idx = node as usize;
+        if !self.dead.insert(node_idx) {
+            return; // duplicate death notice
+        }
+        // The stream to abort is the pre-bump one: that is what the
+        // card's demux and retransmit state still reference.
+        let abort_stream = if matches!(self.attachment, Attachment::Inic { .. })
+            && self.phase == Phase::Exchange
+        {
+            Some(self.stream())
+        } else {
+            None
+        };
+        self.epoch += 1;
+        self.paused = true;
+        if self.rank == node_idx {
+            let (nic, macs) = match &self.attachment {
+                Attachment::Inic {
+                    fallback: Some((nic, macs)),
+                    ..
+                } => (*nic, macs.clone()),
+                _ => panic!("{}: card failure without a wired fallback path", self.label),
+            };
+            ctx.stats().counter(&self.label, "card_failovers").inc();
+            self.failed_over = true;
+            self.attachment = Attachment::Tcp { nic, macs };
+            self.variant = SortVariant::HostOnly;
+        } else if let Attachment::Inic { card, macs, .. } = &self.attachment {
+            let dead_mac = macs[node_idx];
+            ctx.send_now(
+                *card,
+                InicRecover {
+                    dead: dead_mac,
+                    abort_stream,
+                },
+            );
+        }
+        ctx.send_in(
+            RECOVERY_LATENCY,
+            coord,
+            RecoveryReport {
+                rank: self.rank as u32,
+                round: self.epoch,
+                phase: self.completed_phase(),
+            },
         );
+    }
+
+    /// Coordinator verdict: restore the agreed checkpoint and resume.
+    fn on_resume_at(&mut self, r: ResumeAt, ctx: &mut Ctx) {
+        if r.round != self.epoch {
+            return; // a newer failure superseded this round
+        }
+        if !self.configured && matches!(self.attachment, Attachment::Inic { .. }) {
+            // The failure landed inside the card's configuration
+            // window. The exchange needs a usable card, so the rank
+            // stays paused (buffering whatever arrives) until the
+            // bitstream lands, then replays this verdict.
+            self.pending_resume = Some(r);
+            return;
+        }
+        self.paused = false;
+        self.resumed_from = Some(r.phase);
+        ctx.stats().counter(&self.label, "phase_resumes").inc();
+        if r.phase >= 2 {
+            return; // every rank had already finished
+        }
+        self.card_bucket_data = None;
+        self.sorted.clear();
+        match r.phase {
+            0 => {
+                self.received_keys.clear();
+                self.mixed_tcp_keys.clear();
+                self.tcp_pending = 0;
+                if self.failed_over {
+                    self.variant = SortVariant::HostOnly;
+                }
+                self.begin(ctx);
+            }
+            1 => {
+                let ck = self
+                    .ckpt1
+                    .clone()
+                    .expect("resume phase 1 without its checkpoint");
+                self.card_bucket_data = ck.card;
+                self.received_keys = ck.received;
+                self.mixed_tcp_keys = ck.tcp;
+                // Resume under the snapshot's variant: it names the data
+                // layout, and the remaining phases are pure host compute
+                // even if this rank has since lost its card.
+                self.variant = ck.variant;
+                match self.variant {
+                    SortVariant::InicFull => self.begin_count(ctx),
+                    _ => self.begin_bucket2(ctx),
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Card gather stored; finish the exchange once the mixed-technology
+    /// TCP side streams (if any) are also in.
+    fn try_finish_inic_exchange(&mut self, ctx: &mut Ctx) {
+        if self.paused || self.phase != Phase::Exchange {
+            return;
+        }
+        if self.card_bucket_data.is_none() || self.tcp_pending > 0 {
+            return;
+        }
         self.timings.comm += ctx.now().since(self.phase_entered);
-        let bounds = g.bucket_bounds.expect("bucket/raw gather carries bounds");
-        self.card_bucket_data = Some((g.data, bounds));
+        self.capture_ckpt();
         match self.variant {
             SortVariant::InicFull => self.begin_count(ctx),
             SortVariant::InicTwoPhase | SortVariant::ProtocolOnly => self.begin_bucket2(ctx),
             SortVariant::HostOnly => unreachable!(),
         }
+    }
+
+    fn on_gather(&mut self, g: InicGatherComplete, ctx: &mut Ctx) {
+        if self.paused || self.phase != Phase::Exchange || g.stream != self.stream() {
+            return; // gather of an abandoned exchange
+        }
+        let bounds = g.bucket_bounds.expect("bucket/raw gather carries bounds");
+        self.card_bucket_data = Some((g.data, bounds));
+        self.try_finish_inic_exchange(ctx);
     }
 }
 
@@ -525,6 +860,17 @@ fn bucket_sort_into_n(keys: &[u32], n: usize) -> Vec<Vec<u32>> {
 
 impl Component for SortDriver {
     fn handle(&mut self, ev: Box<dyn Any>, ctx: &mut Ctx) {
+        // Unwrap an event this host already deferred once.
+        let ev = match ev.downcast::<Deferred>() {
+            Ok(d) => d.0,
+            Err(ev) => ev,
+        };
+        // A stalled host services nothing until the window ends.
+        if let Some(release) = self.fault_ctl.stalls.deferral(ctx.now()) {
+            ctx.stats().counter(&self.label, "stall_deferrals").inc();
+            ctx.self_in(release.since(ctx.now()), Deferred(ev));
+            return;
+        }
         if ev.downcast_ref::<()>().is_some() {
             match (&self.attachment, self.variant) {
                 (Attachment::Inic { card, .. }, SortVariant::ProtocolOnly) => {
@@ -553,8 +899,11 @@ impl Component for SortDriver {
             }
             return;
         }
-        if ev.downcast_ref::<super::CardFailed>().is_some() {
-            return self.on_card_failed(ctx);
+        if let Some(cf) = ev.downcast_ref::<CardFailed>() {
+            return self.on_card_failed(cf.node, ctx);
+        }
+        if let Some(r) = ev.downcast_ref::<ResumeAt>() {
+            return self.on_resume_at(*r, ctx);
         }
         let ev = match ev.downcast::<InicConfigured>() {
             Ok(cfg) => {
@@ -563,6 +912,13 @@ impl Component for SortDriver {
                 }
                 cfg.result
                     .unwrap_or_else(|e| panic!("{}: sort bitstream rejected: {e}", self.label));
+                self.configured = true;
+                if let Some(r) = self.pending_resume.take() {
+                    // A failover interrupted the configuration; run
+                    // the deferred resume instead of a fresh start.
+                    self.on_resume_at(r, ctx);
+                    return;
+                }
                 self.begin(ctx);
                 return;
             }

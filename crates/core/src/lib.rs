@@ -18,10 +18,17 @@
 //!   cross-checked against the simulator in tests.
 //! * [`report`] — speedup tables and gnuplot-style series shared by the
 //!   figure regenerators in `acc-bench`.
+//! * [`audit`] — the online invariant Auditor attached to faulted runs:
+//!   conservation checks over the ports' and cards' counters, failing
+//!   at the first violation with a trace-tail dump.
 
+pub mod audit;
 pub mod cluster;
 pub mod drivers;
 pub mod model;
 pub mod report;
 
+pub use audit::{AuditConfig, Auditor};
 pub use cluster::{ClusterSpec, FftRunResult, SortRunResult, Technology};
+pub use drivers::RecoveryPolicy;
+pub use report::FaultDiagnostics;

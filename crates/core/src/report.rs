@@ -156,6 +156,29 @@ impl FigureReport {
 /// The processor counts the paper's figures sweep.
 pub const PAPER_PROC_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
 
+/// Fault-handling telemetry shared by every run-result struct. All
+/// fields are zero/`None` on a fault-free run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultDiagnostics {
+    /// Total retransmitted segments/packets across the cluster (TCP
+    /// RTO + fast retransmits, or INIC recovery resends).
+    pub retransmits: u64,
+    /// Nodes that finished over the degraded commodity fallback path
+    /// after a card failure. Under rank-local recovery this is exactly
+    /// the number of distinct dead cards; under full-restart it is P.
+    pub degraded_nodes: u64,
+    /// Nodes whose host CPU deferred at least one event inside a
+    /// [`NodeStall`](acc_chaos::FaultEvent::NodeStall) window.
+    pub stalled_nodes: u64,
+    /// Card reconfiguration windows that completed and resumed the
+    /// datapath without data loss (summed across all cards).
+    pub reconfig_windows_survived: u64,
+    /// The checkpoint phase the collective resumed from after the last
+    /// card failure (`None` when no failover happened; `Some(0)` means
+    /// a from-scratch restart).
+    pub resumed_from_phase: Option<u32>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -27,7 +27,7 @@
 //! the host are checked against host-side oracles in tests.
 
 use std::any::Any;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use acc_algos::sort::{bucket_index, bytes_to_keys, keys_to_bytes};
 use acc_algos::transpose::{
@@ -272,12 +272,43 @@ pub struct InicGatherComplete {
 #[derive(Debug)]
 pub struct InicKill;
 
+/// Fault injection → card: the card goes dark for a reconfiguration
+/// window of `hold`. It first broadcasts a BUSY notice so peers park
+/// their retransmission timers, then defers every datapath event until
+/// the window closes — in-flight streams are buffered, not lost. The
+/// MAC keeps draining frames already handed to it.
+#[derive(Debug)]
+pub struct InicReconfigure {
+    /// How long the datapath is unavailable.
+    pub hold: SimDuration,
+}
+
+/// Driver → card: a peer's card died permanently (rank-local
+/// degradation). Purge all sender/receiver state toward that peer so
+/// nothing waits on it, and optionally abort one stream id — the
+/// collective being restarted under a new epoch — across *all* peers.
+#[derive(Debug)]
+pub struct InicRecover {
+    /// MAC of the dead peer.
+    pub dead: MacAddr,
+    /// Stream id of the aborted collective, if one was in flight.
+    pub abort_stream: Option<u32>,
+}
+
 // --- internal events ---
 
 /// Configuration delay elapsed.
 struct ConfigDone {
     result: Result<(), ConfigError>,
 }
+
+/// A reconfiguration hold elapsed; the datapath lights back up.
+struct ReconfigDone;
+
+/// An event that arrived while the card was dark, re-posted to the end
+/// of the hold window (double-boxed so the original payload survives
+/// the re-queue intact).
+struct DarkDeferred(Box<dyn Any>);
 
 /// Retransmission timer for one `(destination, stream)` send window.
 /// Stale generations (the window was re-armed or ACKed since) are
@@ -398,6 +429,22 @@ pub struct InicCard {
     reliability: bool,
     /// Hardware death switch — see [`InicKill`].
     dead: bool,
+    /// End of the current reconfiguration hold, if the datapath is
+    /// dark — see [`InicReconfigure`].
+    dark_until: Option<SimTime>,
+    /// Every node's primary MAC (ours included); the reconfigure BUSY
+    /// notice broadcasts to all of them but ours.
+    peers: Vec<MacAddr>,
+    /// Peers known to be reconfiguring, and until when: their
+    /// retransmission timers wait instead of counting retries.
+    busy_until: HashMap<MacAddr, SimTime>,
+    /// Peers whose cards died permanently; chunks destined to them are
+    /// dropped at admission instead of filling a window forever.
+    dead_peers: HashSet<MacAddr>,
+    /// Aborted collective stream ids (rank-local recovery restarted
+    /// them under a new epoch); late packets are dropped, late gather
+    /// completions swallowed.
+    canceled: HashSet<u32>,
     /// Sender-side recovery windows.
     tx_window: HashMap<(MacAddr, u32), TxStream>,
     /// Credit packets ever received per peer (stall detection).
@@ -454,6 +501,11 @@ impl InicCard {
             early_pkts: HashMap::new(),
             reliability: false,
             dead: false,
+            dark_until: None,
+            peers: Vec::new(),
+            busy_until: HashMap::new(),
+            dead_peers: HashSet::new(),
+            canceled: HashSet::new(),
             tx_window: HashMap::new(),
             credits_from: HashMap::new(),
             last_nacked: HashMap::new(),
@@ -484,6 +536,15 @@ impl InicCard {
     #[must_use]
     pub fn with_reliability(mut self, on: bool) -> InicCard {
         self.reliability = on;
+        self
+    }
+
+    /// Give the card the cluster's primary MAC table (builder style) so
+    /// a reconfigure can notify every peer. Own MAC included; the
+    /// broadcast skips it.
+    #[must_use]
+    pub fn with_peers(mut self, peers: Vec<MacAddr>) -> InicCard {
+        self.peers = peers;
         self
     }
 
@@ -657,6 +718,7 @@ impl InicCard {
                 credit: false,
                 nack: false,
                 ack: false,
+                busy: false,
                 data: bytes,
             };
             offsets[q] += pkt.data.len() as u32;
@@ -750,8 +812,28 @@ impl InicCard {
         // fine — receivers reassemble by offset). Local chunks bypass
         // flow control.
         let mut scanned = 0usize;
-        let total = self.send_queue.len();
+        let mut total = self.send_queue.len();
         while scanned < total {
+            // Chunks aimed at a dead peer or belonging to an aborted
+            // collective are dropped here instead of holding a window
+            // that can never reopen.
+            let doomed = {
+                let chunk = self.send_queue.front().expect("scanned < len");
+                self.canceled.contains(&chunk.pkt.stream)
+                    || chunk.dest.is_some_and(|mac| self.dead_peers.contains(&mac))
+            };
+            if doomed {
+                let chunk = self.send_queue.pop_front().expect("checked");
+                ctx.stats()
+                    .counter(&self.label, "chunks_dropped_dead")
+                    .inc();
+                if chunk.ends_scatter {
+                    let stream = chunk.pkt.stream;
+                    ctx.send_now(self.app, InicScatterDone { stream });
+                }
+                total -= 1;
+                continue;
+            }
             let admissible = {
                 let chunk = self.send_queue.front().expect("scanned < len");
                 match chunk.dest {
@@ -765,7 +847,12 @@ impl InicCard {
             if admissible {
                 let chunk = self.send_queue.front().expect("checked");
                 if let Some(mac) = chunk.dest {
-                    *self.outstanding.entry(mac).or_insert(0) += chunk.pkt.data.len() as u64;
+                    let inflight = self.outstanding.entry(mac).or_insert(0);
+                    *inflight += chunk.pkt.data.len() as u64;
+                    if self.reliability {
+                        let v = *inflight as f64;
+                        ctx.stats().gauge(&self.label, "outstanding_bytes").set(v);
+                    }
                 }
                 let bytes = DataSize::from_bytes((chunk.pkt.data.len() + INIC_HEADER) as u64);
                 self.host_in_busy = true;
@@ -793,6 +880,26 @@ impl InicCard {
             .send_queue
             .pop_front()
             .expect("ChunkStaged with empty queue");
+        // The destination died (or the collective was aborted) while
+        // this chunk crossed host→card DMA: return its window charge
+        // and drop it on the floor.
+        if self.canceled.contains(&chunk.pkt.stream)
+            || chunk.dest.is_some_and(|mac| self.dead_peers.contains(&mac))
+        {
+            if let Some(mac) = chunk.dest {
+                let entry = self.outstanding.entry(mac).or_insert(0);
+                *entry = entry.saturating_sub(chunk.pkt.data.len() as u64);
+            }
+            ctx.stats()
+                .counter(&self.label, "chunks_dropped_dead")
+                .inc();
+            if chunk.ends_scatter {
+                let stream = chunk.pkt.stream;
+                ctx.send_now(self.app, InicScatterDone { stream });
+            }
+            self.admit_next_chunk(ctx);
+            return;
+        }
         // Start the next chunk's DMA immediately (pipelining).
         self.admit_next_chunk(ctx);
         let bytes = DataSize::from_bytes((chunk.pkt.data.len() + INIC_HEADER) as u64);
@@ -917,6 +1024,14 @@ impl InicCard {
     }
 
     fn on_recv_processed(&mut self, pkt: InicPacket, src_mac: Option<MacAddr>, ctx: &mut Ctx) {
+        // Reconfiguration notice: the peer is alive but dark for
+        // `offset` microseconds; park its retransmission clocks.
+        if pkt.busy {
+            let mac = src_mac.expect("busy notices only arrive off the wire");
+            let until = ctx.now() + SimDuration::from_micros(u64::from(pkt.offset));
+            self.busy_until.insert(mac, until);
+            return;
+        }
         // Flow-control credit: the peer consumed `offset` bytes of our
         // in-flight data; reopen its window and retry admission.
         if pkt.credit {
@@ -924,6 +1039,11 @@ impl InicCard {
             *self.credits_from.entry(mac).or_insert(0) += 1;
             let entry = self.outstanding.entry(mac).or_insert(0);
             *entry = entry.saturating_sub(u64::from(pkt.offset));
+            if self.reliability {
+                ctx.stats()
+                    .counter(&self.label, "credit_bytes_consumed")
+                    .add(u64::from(pkt.offset));
+            }
             self.admit_next_chunk(ctx);
             return;
         }
@@ -938,6 +1058,18 @@ impl InicCard {
         if pkt.nack {
             let mac = src_mac.expect("nacks only arrive off the wire");
             self.resend_one(mac, pkt.stream, pkt.offset, ctx);
+            return;
+        }
+        // A straggler from an aborted collective (rank-local recovery
+        // restarted it under a new stream id): drop it without granting
+        // credit, ACKing so any old-epoch sender still holding a window
+        // goes quiet.
+        if self.canceled.contains(&pkt.stream) {
+            if self.reliability {
+                if let Some(mac) = src_mac {
+                    self.send_ack(mac, pkt.stream, ctx);
+                }
+            }
             return;
         }
         // Grant credit back to remote senders as their data is consumed.
@@ -974,6 +1106,11 @@ impl InicCard {
     /// and completion.
     fn accept_into_gather(&mut self, pkt: InicPacket, src_mac: Option<MacAddr>, ctx: &mut Ctx) {
         let stream = pkt.stream;
+        if self.reliability {
+            ctx.stats()
+                .counter(&self.label, "gather_bytes_in")
+                .add(pkt.data.len() as u64);
+        }
         let gather = self.gathers.get_mut(&stream).expect("gather announced");
         // Bucket gathers trickle data to the host in DMA_THRESHOLD
         // pieces as it accumulates (Eq. 15); interleave gathers hold
@@ -1059,13 +1196,18 @@ impl InicCard {
     }
 
     fn on_gather_dma_done(&mut self, stream: u32, ctx: &mut Ctx) {
-        let mut gather = self.gathers.remove(&stream).expect("gather state");
+        // The gather may have been canceled (aborted collective) while
+        // the final DMA was in flight; nothing left to deliver.
+        let Some(mut gather) = self.gathers.remove(&stream) else {
+            return;
+        };
         self.interrupts_raised += 1;
         ctx.stats()
             .counter(&self.label, "completion_interrupts")
             .inc();
         // Deterministic assembly order: by source rank.
         gather.done.sort_by_key(|&(src, _)| src);
+        let mut padded_bytes = 0u64;
         let (data, bucket_bounds) = match gather.kind {
             GatherKind::InterleaveBlocks { m, rows } => {
                 let mut out = acc_algos::fft::Matrix::zeros(m, rows);
@@ -1074,6 +1216,14 @@ impl InicCard {
                     interleave_block(&mut out, *src as usize, &block);
                 }
                 self.release_memory((m * rows * 16) as u64);
+                // The assembly is fixed-size: regions of sources that
+                // never arrived (dead peers whose blocks travel the
+                // mixed-technology TCP path instead, for the host to
+                // patch) leave zero-filled holes the datapath emits
+                // without having received — account for them so the
+                // conservation audit stays exact.
+                let received: usize = gather.done.iter().map(|(_, b)| b.len()).sum();
+                padded_bytes = (m * rows * 16).saturating_sub(received) as u64;
                 (slab_to_bytes(&out), None)
             }
             GatherKind::BucketKeys { k } => {
@@ -1124,6 +1274,16 @@ impl InicCard {
                 (out, None)
             }
         };
+        if self.reliability {
+            ctx.stats()
+                .counter(&self.label, "gather_bytes_out")
+                .add(data.len() as u64);
+            if padded_bytes > 0 {
+                ctx.stats()
+                    .counter(&self.label, "gather_bytes_padded")
+                    .add(padded_bytes);
+            }
+        }
         ctx.send_now(
             self.app,
             InicGatherComplete {
@@ -1138,6 +1298,11 @@ impl InicCard {
     /// consumed bytes. Credits ride the normal net-out path (they cost
     /// a minimum-size frame of wire time).
     fn send_credit(&mut self, mac: MacAddr, stream: u32, amount: u64, ctx: &mut Ctx) {
+        if self.reliability {
+            ctx.stats()
+                .counter(&self.label, "credit_bytes_granted")
+                .add(amount);
+        }
         let pkt = InicPacket::credit_grant(self.my_rank, stream, amount as u32);
         self.send_control(mac, pkt, ctx);
     }
@@ -1217,6 +1382,24 @@ impl InicCard {
             ctx.self_in(timeout, timer);
             return;
         }
+        // The peer announced a reconfiguration hold covering this
+        // instant: it is alive but dark, so its silence is not evidence
+        // of death. Wait out the window without burning a retry or
+        // blasting packets it would only buffer.
+        if let Some(&busy) = self.busy_until.get(&dest) {
+            if ctx.now() < busy {
+                entry.gen += 1;
+                let timer = RetransTimer {
+                    dest,
+                    stream,
+                    gen: entry.gen,
+                };
+                let wait = busy.since(ctx.now()) + entry.timeout;
+                ctx.self_in(wait, timer);
+                ctx.stats().counter(&label, "reconfig_waits").inc();
+                return;
+            }
+        }
         entry.retries += 1;
         if entry.retries > MAX_RETRIES {
             self.tx_window.remove(&(dest, stream));
@@ -1246,6 +1429,105 @@ impl InicCard {
             let t = self.ports.net_out(ctx.now(), bytes);
             let frame = Frame::new(self.mac, dest, EtherType::Inic, pkt.encode());
             ctx.self_in(t.since(ctx.now()), EmitFrame { frame });
+        }
+    }
+
+    // ---- transient-fault handling ----
+
+    /// Whether the datapath is inside a reconfiguration hold.
+    fn is_dark(&self, now: SimTime) -> bool {
+        self.dark_until.is_some_and(|t| now < t)
+    }
+
+    /// Go dark for `hold`: tell every peer (so their retransmission
+    /// machinery waits instead of abandoning us), then defer all
+    /// datapath events until the window closes.
+    fn on_reconfigure(&mut self, hold: SimDuration, ctx: &mut Ctx) {
+        let until = ctx.now() + hold;
+        if self.dark_until.is_none_or(|t| until > t) {
+            self.dark_until = Some(until);
+        }
+        ctx.self_in(hold, ReconfigDone);
+        ctx.stats().counter(&self.label, "reconfigures").inc();
+        let hold_micros = (hold.as_nanos() / 1_000) as u32;
+        let notice: Vec<MacAddr> = self
+            .peers
+            .iter()
+            .copied()
+            .filter(|&m| m != self.mac)
+            .collect();
+        for mac in notice {
+            let pkt = InicPacket::reconfig_busy(self.my_rank, hold_micros);
+            self.send_control(mac, pkt, ctx);
+        }
+    }
+
+    /// A hold elapsed. A later (overlapping) reconfigure may have
+    /// pushed `dark_until` out; only the final wake-up counts.
+    fn on_reconfig_done(&mut self, ctx: &mut Ctx) {
+        if self.dark_until.is_some_and(|t| ctx.now() >= t) {
+            self.dark_until = None;
+            ctx.stats()
+                .counter(&self.label, "reconfig_windows_survived")
+                .inc();
+        }
+    }
+
+    /// A peer's card died permanently; rank-local recovery restarts the
+    /// in-flight collective under a new epoch. Purge everything aimed
+    /// at the dead peer and abort the old stream everywhere, so no
+    /// window, timer or gather waits on state that can never complete.
+    ///
+    /// Clearing `outstanding` wholesale is sound because the drivers
+    /// run one collective at a time: at recovery, every in-flight byte
+    /// belongs to the aborted stream.
+    fn on_recover(&mut self, dead: MacAddr, abort_stream: Option<u32>, ctx: &mut Ctx) {
+        self.dead_peers.insert(dead);
+        self.busy_until.remove(&dead);
+        self.tx_window
+            .retain(|&(mac, stream), _| mac != dead && abort_stream != Some(stream));
+        if let Some(stream) = abort_stream {
+            self.canceled.insert(stream);
+            self.outstanding.clear();
+            self.pending_credit.clear();
+            self.early_pkts.remove(&stream);
+            self.last_nacked.retain(|&(_, s), _| s != stream);
+            if let Some(g) = self.gathers.remove(&stream) {
+                match g.kind {
+                    GatherKind::InterleaveBlocks { m, rows } => {
+                        self.release_memory((m * rows * 16) as u64);
+                    }
+                    GatherKind::ReduceF64 { elems } => {
+                        self.release_memory(elems as u64 * 8);
+                    }
+                    GatherKind::BucketKeys { .. } | GatherKind::Raw => {}
+                }
+            }
+        } else {
+            self.outstanding.remove(&dead);
+            self.pending_credit.remove(&dead);
+        }
+        ctx.stats().counter(&self.label, "peer_recoveries").inc();
+        self.admit_next_chunk(ctx);
+    }
+
+    /// Put an already-staged frame on the wire (allowed even while
+    /// dark: the MAC drains what the datapath handed it before the
+    /// reconfigure hit).
+    fn on_emit_frame(&mut self, frame: Frame, ctx: &mut Ctx) {
+        let ok = self.uplink.enqueue(frame, ctx);
+        if !ok && self.reliability {
+            // Retransmission bursts can exceed the NIC buffer;
+            // the drop is itself recovered by the protocol.
+            ctx.stats()
+                .counter(&self.label, "uplink_overflow_drops")
+                .inc();
+        } else {
+            assert!(
+                ok,
+                "{}: INIC uplink overflow — schedule oversubscribed the NIC buffer",
+                self.label
+            );
         }
     }
 
@@ -1293,6 +1575,41 @@ impl Component for InicCard {
         if self.dead {
             return;
         }
+        // Unwrap events that were parked during a reconfiguration hold
+        // (they re-enter the full dispatch below — and are re-parked if
+        // a second overlapping hold extended the window).
+        let ev = match ev.downcast::<DarkDeferred>() {
+            Ok(deferred) => deferred.0,
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<ReconfigDone>() {
+            Ok(_) => return self.on_reconfig_done(ctx),
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<InicReconfigure>() {
+            Ok(r) => return self.on_reconfigure(r.hold, ctx),
+            Err(ev) => ev,
+        };
+        if self.is_dark(ctx.now()) {
+            // The MAC keeps draining frames the datapath staged before
+            // the hold began; everything else waits for the light.
+            let ev = match ev.downcast::<EmitFrame>() {
+                Ok(emit) => return self.on_emit_frame(emit.frame, ctx),
+                Err(ev) => ev,
+            };
+            let ev = match ev.downcast::<PortTxDone>() {
+                Ok(_) => return self.uplink.tx_done(ctx),
+                Err(ev) => ev,
+            };
+            let wake = self.dark_until.expect("dark").saturating_since(ctx.now());
+            ctx.stats().counter(&self.label, "dark_deferrals").inc();
+            ctx.self_in(wake, DarkDeferred(ev));
+            return;
+        }
+        let ev = match ev.downcast::<InicRecover>() {
+            Ok(r) => return self.on_recover(r.dead, r.abort_stream, ctx),
+            Err(ev) => ev,
+        };
         let ev = match ev.downcast::<InicConfigure>() {
             Ok(cfg) => return self.on_configure(cfg.bitstream, ctx),
             Err(ev) => ev,
@@ -1323,23 +1640,7 @@ impl Component for InicCard {
             Err(ev) => ev,
         };
         let ev = match ev.downcast::<EmitFrame>() {
-            Ok(emit) => {
-                let ok = self.uplink.enqueue(emit.frame, ctx);
-                if !ok && self.reliability {
-                    // Retransmission bursts can exceed the NIC buffer;
-                    // the drop is itself recovered by the protocol.
-                    ctx.stats()
-                        .counter(&self.label, "uplink_overflow_drops")
-                        .inc();
-                } else {
-                    assert!(
-                        ok,
-                        "{}: INIC uplink overflow — schedule oversubscribed the NIC buffer",
-                        self.label
-                    );
-                }
-                return;
-            }
+            Ok(emit) => return self.on_emit_frame(emit.frame, ctx),
             Err(ev) => ev,
         };
         let ev = match ev.downcast::<FrameArrival>() {

@@ -28,7 +28,8 @@ pub mod timeline;
 
 pub use card::{
     CardPorts, GatherKind, InicCard, InicConfigure, InicConfigured, InicExpect, InicGatherComplete,
-    InicKill, InicScatter, InicScatterDone, ScatterKind,
+    InicKill, InicReconfigure, InicRecover, InicScatter, InicScatterDone, ScatterKind,
+    CREDIT_WINDOW,
 };
 pub use device::{Bitstream, ConfigError, FpgaDevice};
 pub use ops::{OperatorKind, OperatorSpec};

@@ -19,13 +19,17 @@
 //! * [`interrupts`] — per-interrupt CPU costs and the interrupt
 //!   moderation (coalescing) state machine whose interaction with TCP
 //!   slow start degrades short transfers (Section 4.1).
+//! * [`stall`] — node stall windows during which the CPU defers all
+//!   event servicing (the host half of `NodeStall` fault injection).
 
 pub mod bus;
 pub mod interrupts;
 pub mod kernels;
 pub mod memory;
+pub mod stall;
 
 pub use bus::{BusDone, BusParams, BusRequest, SharedBus};
 pub use interrupts::{InterruptCosts, InterruptModerator, ModerationPolicy};
 pub use kernels::HostKernels;
 pub use memory::{MemoryHierarchy, MemoryLevel};
+pub use stall::StallSchedule;

@@ -1,0 +1,76 @@
+//! Node stall windows: the CPU-side half of `FaultEvent::NodeStall`.
+//!
+//! A stalled node's processor services nothing — kernel completions,
+//! interrupt handlers and driver state machines all freeze until the
+//! window closes. The wire half (both link directions blacked out) is
+//! compiled by `acc-chaos` into port impairments; this type lets a
+//! driver defer its own event handling for the same windows, so the
+//! host-side work resumes exactly at `until` instead of being silently
+//! processed mid-stall.
+
+use acc_sim::SimTime;
+
+/// A sorted set of half-open `[from, until)` windows during which a
+/// node's CPU is frozen.
+#[derive(Debug, Clone, Default)]
+pub struct StallSchedule {
+    windows: Vec<(SimTime, SimTime)>,
+}
+
+impl StallSchedule {
+    /// Build from `(from, until)` pairs in any order.
+    pub fn new(mut windows: Vec<(SimTime, SimTime)>) -> StallSchedule {
+        windows.sort();
+        StallSchedule { windows }
+    }
+
+    /// Whether the schedule has no windows (the happy-path case: one
+    /// `Vec::is_empty` check per event, nothing else).
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// If `now` falls inside a stall window, the instant the CPU wakes
+    /// up; `None` when the node is running. Windows are half-open, so
+    /// an event deferred to `until` is then serviced normally.
+    pub fn deferral(&self, now: SimTime) -> Option<SimTime> {
+        self.windows
+            .iter()
+            .find(|&&(from, until)| now >= from && now < until)
+            .map(|&(_, until)| until)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_sim::SimDuration;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn empty_schedule_never_defers() {
+        let s = StallSchedule::default();
+        assert!(s.is_empty());
+        assert_eq!(s.deferral(ms(5)), None);
+    }
+
+    #[test]
+    fn windows_are_half_open() {
+        let s = StallSchedule::new(vec![(ms(10), ms(20))]);
+        assert_eq!(s.deferral(ms(9)), None);
+        assert_eq!(s.deferral(ms(10)), Some(ms(20)));
+        assert_eq!(s.deferral(ms(19)), Some(ms(20)));
+        assert_eq!(s.deferral(ms(20)), None);
+    }
+
+    #[test]
+    fn unordered_windows_are_sorted() {
+        let s = StallSchedule::new(vec![(ms(30), ms(40)), (ms(10), ms(20))]);
+        assert_eq!(s.deferral(ms(15)), Some(ms(20)));
+        assert_eq!(s.deferral(ms(35)), Some(ms(40)));
+        assert_eq!(s.deferral(ms(25)), None);
+    }
+}

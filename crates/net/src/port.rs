@@ -57,6 +57,11 @@ pub struct EgressPort {
     sent: u64,
     /// Optional fault model consulted per frame (None = pristine link).
     impair: Option<Impairment>,
+    /// Optional stats scope: when set, the port publishes conservation
+    /// counters (`frames_offered` = `frames_delivered` + `queue_drops` +
+    /// `impair_drops`) into the registry so an external auditor can
+    /// check them. `None` on the happy path — no per-frame stats cost.
+    stats_label: Option<String>,
 }
 
 impl EgressPort {
@@ -83,7 +88,13 @@ impl EgressPort {
             drops: 0,
             sent: 0,
             impair: None,
+            stats_label: None,
         }
+    }
+
+    /// Publish conservation counters for this port under `label`.
+    pub fn set_stats_label(&mut self, label: impl Into<String>) {
+        self.stats_label = Some(label.into());
     }
 
     /// Attach a fault model; every subsequent frame is judged by it.
@@ -100,6 +111,9 @@ impl EgressPort {
     /// drop) if the buffer cannot hold it.
     pub fn enqueue(&mut self, frame: Frame, ctx: &mut Ctx) -> bool {
         let size = frame.buffer_size();
+        if let Some(label) = &self.stats_label {
+            ctx.stats().counter(label, "frames_offered").inc();
+        }
         let capacity = self
             .impair
             .as_ref()
@@ -107,6 +121,9 @@ impl EgressPort {
             .map_or(self.capacity, |cap| cap.min(self.capacity));
         if self.buffered + size > capacity {
             self.drops += 1;
+            if let Some(label) = &self.stats_label {
+                ctx.stats().counter(label, "queue_drops").inc();
+            }
             return false;
         }
         self.buffered += size;
@@ -143,13 +160,21 @@ impl EgressPort {
         let mut extra = SimDuration::ZERO;
         if let Some(imp) = self.impair.as_mut() {
             match imp.judge(ctx.now()) {
-                Verdict::Drop => return,
+                Verdict::Drop => {
+                    if let Some(label) = &self.stats_label {
+                        ctx.stats().counter(label, "impair_drops").inc();
+                    }
+                    return;
+                }
                 Verdict::Corrupt => imp.corrupt_payload(&mut frame.payload),
                 Verdict::Delay(d) => extra = d,
                 Verdict::Deliver => {}
             }
         }
         self.sent += 1;
+        if let Some(label) = &self.stats_label {
+            ctx.stats().counter(label, "frames_delivered").inc();
+        }
         ctx.send_in(
             ser + self.prop_delay + extra,
             self.peer,

@@ -74,6 +74,12 @@ impl Switch {
         self.ports[port].set_impairment(imp);
     }
 
+    /// Publish conservation counters for one output port under `label`
+    /// (see [`EgressPort::set_stats_label`]).
+    pub fn set_port_stats_label(&mut self, port: usize, label: impl Into<String>) {
+        self.ports[port].set_stats_label(label);
+    }
+
     /// Read access to one output port (counters, impairment state).
     pub fn port(&self, idx: usize) -> &EgressPort {
         &self.ports[idx]

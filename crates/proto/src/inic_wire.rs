@@ -13,7 +13,7 @@
 //! [2..4)   stream     u16 LE — application stream id
 //! [4..8)   offset     u32 LE — byte offset of this payload in the stream
 //! [8..10)  len        u16 LE — payload length
-//! [10..12) flags      u16 LE — FIN | CREDIT | NACK | ACK
+//! [10..12) flags      u16 LE — FIN | CREDIT | NACK | ACK | BUSY
 //! [12..16) checksum   u32 LE — FNV-1a over header bytes [0..12) + data
 //! ```
 //!
@@ -37,6 +37,7 @@ const FLAG_FIN: u16 = 1 << 0;
 const FLAG_CREDIT: u16 = 1 << 1;
 const FLAG_NACK: u16 = 1 << 2;
 const FLAG_ACK: u16 = 1 << 3;
+const FLAG_BUSY: u16 = 1 << 4;
 
 /// Why a received packet failed to decode.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -80,6 +81,10 @@ pub struct InicPacket {
     pub nack: bool,
     /// Stream fully received (no data); the sender may drop its window.
     pub ack: bool,
+    /// Sender's card is reconfiguring: "alive but dark, hold your
+    /// retransmissions" — `offset` carries the hold in microseconds
+    /// (no data).
+    pub busy: bool,
     /// Payload bytes.
     pub data: Vec<u8>,
 }
@@ -95,6 +100,7 @@ impl InicPacket {
             credit: true,
             nack: false,
             ack: false,
+            busy: false,
             data: Vec::new(),
         }
     }
@@ -109,6 +115,7 @@ impl InicPacket {
             credit: false,
             nack: false,
             ack: true,
+            busy: false,
             data: Vec::new(),
         }
     }
@@ -123,6 +130,24 @@ impl InicPacket {
             credit: false,
             nack: true,
             ack: false,
+            busy: false,
+            data: Vec::new(),
+        }
+    }
+
+    /// A "card reconfiguring" notice: the sender is alive but dark for
+    /// `hold_micros` microseconds; peers should park retransmissions
+    /// instead of counting them toward abandonment.
+    pub fn reconfig_busy(src_rank: u32, hold_micros: u32) -> InicPacket {
+        InicPacket {
+            src_rank,
+            stream: 0,
+            offset: hold_micros,
+            fin: false,
+            credit: false,
+            nack: false,
+            ack: false,
+            busy: true,
             data: Vec::new(),
         }
     }
@@ -130,7 +155,7 @@ impl InicPacket {
     /// Whether this is a control packet that must never enter stream
     /// reassembly.
     pub fn is_control(&self) -> bool {
-        self.credit || self.nack || self.ack
+        self.credit || self.nack || self.ack || self.busy
     }
 
     /// Serialize to wire bytes.
@@ -164,6 +189,9 @@ impl InicPacket {
         if self.ack {
             flags |= FLAG_ACK;
         }
+        if self.busy {
+            flags |= FLAG_BUSY;
+        }
         out[10..12].copy_from_slice(&flags.to_le_bytes());
         let sum = fnv1a(&[&out[0..12], &self.data]);
         out[12..16].copy_from_slice(&sum.to_le_bytes());
@@ -193,6 +221,7 @@ impl InicPacket {
             credit: flags & FLAG_CREDIT != 0,
             nack: flags & FLAG_NACK != 0,
             ack: flags & FLAG_ACK != 0,
+            busy: flags & FLAG_BUSY != 0,
             data: bytes[INIC_HEADER..].to_vec(),
         })
     }
@@ -210,6 +239,7 @@ pub fn packetize(src_rank: u32, stream: u32, data: &[u8]) -> Vec<InicPacket> {
             credit: false,
             nack: false,
             ack: false,
+            busy: false,
             data: Vec::new(),
         }];
     }
@@ -225,6 +255,7 @@ pub fn packetize(src_rank: u32, stream: u32, data: &[u8]) -> Vec<InicPacket> {
             credit: false,
             nack: false,
             ack: false,
+            busy: false,
             data: data[offset..end].to_vec(),
         });
         offset = end;
@@ -436,6 +467,7 @@ mod tests {
             credit: false,
             nack: false,
             ack: false,
+            busy: false,
             data,
         }
     }
@@ -453,6 +485,7 @@ mod tests {
             InicPacket::credit_grant(1, 2, 6144),
             InicPacket::stream_ack(4, 9),
             InicPacket::repair_nack(5, 1, 3072),
+            InicPacket::reconfig_busy(3, 2000),
         ] {
             assert!(pkt.is_control());
             assert_eq!(InicPacket::decode(&pkt.encode()).unwrap(), pkt);

@@ -47,6 +47,7 @@ fn header_roundtrip() {
             credit: false,
             nack: false,
             ack: false,
+            busy: g.below(2) == 1,
             data: g.bytes(INIC_PAYLOAD as u64 + 1),
         };
         assert_eq!(InicPacket::decode(&p.encode()).unwrap(), p);
@@ -65,6 +66,7 @@ fn corruption_never_decodes() {
             credit: false,
             nack: false,
             ack: false,
+            busy: false,
             data: g.bytes(INIC_PAYLOAD as u64 + 1),
         };
         let mut bytes = p.encode();

@@ -212,6 +212,13 @@ impl StatsRegistry {
             .map(Gauge::get)
     }
 
+    /// Read a gauge's maximum-ever value if it exists.
+    pub fn gauge_max(&self, scope: &str, name: &str) -> Option<f64> {
+        self.gauges
+            .get(&(scope.to_owned(), name.to_owned()))
+            .map(Gauge::max)
+    }
+
     /// Read a series if it exists.
     pub fn series_ref(&self, scope: &str, name: &str) -> Option<&Series> {
         self.series.get(&(scope.to_owned(), name.to_owned()))

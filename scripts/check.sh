@@ -17,4 +17,7 @@ cargo build --release
 echo "== cargo test"
 cargo test -q
 
+echo "== cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps
+
 echo "All tier-1 checks passed."
