@@ -7,7 +7,7 @@ use std::any::Any;
 
 use acc_bench::harness::bench;
 use acc_core::cluster::{run_fft, run_sort, ClusterSpec, Technology};
-use acc_sim::{Component, Ctx, SimDuration, SimTime, Simulation};
+use acc_sim::{Component, Ctx, SimDuration, SimTime, Simulation, StatsRegistry};
 
 /// A component that bounces an event to itself `n` times.
 struct Bouncer {
@@ -41,6 +41,28 @@ fn main() {
             sim.events_processed()
         },
     );
+
+    // The per-frame stats path: a switch bumps 2-3 counters per frame,
+    // so counter lookup cost is pure simulation overhead. Hits an
+    // existing counter the way components do — by &str pair.
+    let hits = 1_000_000u64;
+    bench("des_kernel", "counter_hit_1m", 20, Some(hits), || {
+        let mut stats = StatsRegistry::new();
+        for scope in ["switch", "nic0", "nic1", "nic2"] {
+            stats.counter(scope, "frames_in");
+            stats.counter(scope, "frames_fwd");
+        }
+        for i in 0..hits {
+            let scope = match i & 3 {
+                0 => "switch",
+                1 => "nic0",
+                2 => "nic1",
+                _ => "nic2",
+            };
+            stats.counter(scope, "frames_in").inc();
+        }
+        stats.counter_value("switch", "frames_in").unwrap_or(0)
+    });
 
     let spec = |tech| {
         let mut s = ClusterSpec::new(4, tech);

@@ -4,10 +4,30 @@
 //! switch, same FPGA operators — only the card's internal datapath
 //! changes.
 
-use acc_bench::{figure_spec, SIM_PROCS};
-use acc_core::cluster::{run_fft, run_sort, Technology};
+use acc_bench::{figure_spec, Executor, SIM_PROCS};
+use acc_core::cluster::Technology;
+use acc_core::RunRequest;
+
+const CARDS: [Technology; 2] = [Technology::InicIdeal, Technology::InicPrototype];
 
 fn main() {
+    let ex = Executor::from_cli();
+    let procs: Vec<usize> = SIM_PROCS.iter().copied().filter(|&p| p > 1).collect();
+    let requests: Vec<RunRequest> = procs
+        .iter()
+        .flat_map(|&p| {
+            CARDS
+                .iter()
+                .map(move |&t| RunRequest::fft(figure_spec(p, t), 512))
+        })
+        .chain(procs.iter().flat_map(|&p| {
+            CARDS
+                .iter()
+                .map(move |&t| RunRequest::sort(figure_spec(p, t), 1 << 22))
+        }))
+        .collect();
+    let mut outcomes = ex.run_all(requests).into_iter();
+
     println!("# Card-bus ablation: shared 132 MB/s bus (ACEII) vs dual-ported card");
     println!();
     println!("## 2D FFT 512x512 — transpose time (ms)");
@@ -15,12 +35,17 @@ fn main() {
         "{:>3} {:>12} {:>12} {:>8}",
         "P", "ideal", "prototype", "penalty"
     );
-    for &p in &SIM_PROCS {
-        if p == 1 {
-            continue;
-        }
-        let ideal = run_fft(figure_spec(p, Technology::InicIdeal), 512).transpose;
-        let proto = run_fft(figure_spec(p, Technology::InicPrototype), 512).transpose;
+    for &p in &procs {
+        let ideal = outcomes
+            .next()
+            .expect("ideal fft cell")
+            .into_fft()
+            .transpose;
+        let proto = outcomes
+            .next()
+            .expect("prototype fft cell")
+            .into_fft()
+            .transpose;
         println!(
             "{:>3} {:>9.2} ms {:>9.2} ms {:>7.2}x",
             p,
@@ -35,12 +60,13 @@ fn main() {
         "{:>3} {:>12} {:>12} {:>8}",
         "P", "ideal", "prototype", "penalty"
     );
-    for &p in &SIM_PROCS {
-        if p == 1 {
-            continue;
-        }
-        let ideal = run_sort(figure_spec(p, Technology::InicIdeal), 1 << 22).comm;
-        let proto = run_sort(figure_spec(p, Technology::InicPrototype), 1 << 22).comm;
+    for &p in &procs {
+        let ideal = outcomes.next().expect("ideal sort cell").into_sort().comm;
+        let proto = outcomes
+            .next()
+            .expect("prototype sort cell")
+            .into_sort()
+            .comm;
         println!(
             "{:>3} {:>9.2} ms {:>9.2} ms {:>7.2}x",
             p,

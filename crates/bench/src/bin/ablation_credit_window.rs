@@ -150,14 +150,16 @@ fn run_incast(window: u64) -> (Option<f64>, u64) {
 }
 
 fn main() {
+    let ex = acc_bench::Executor::from_cli();
+    let windows = [4u64, 8, 16, 24, 32, 48, 64, 128].map(|k| k * 1024);
+    let results = ex.map(windows.iter().map(|&w| move || run_incast(w)).collect());
     println!("# Credit-window ablation: 8 senders x 256 KiB into one receiver");
     println!("# switch output buffer = 512 KiB; safe bound: 8 x W <= 512 KiB");
     println!(
         "{:>10} {:>14} {:>10} {:>10}",
         "window", "completion", "drops", ""
     );
-    for window in [4u64, 8, 16, 24, 32, 48, 64, 128].map(|k| k * 1024) {
-        let (done, drops) = run_incast(window);
+    for (window, (done, drops)) in windows.into_iter().zip(results) {
         let outcome = match done {
             Some(ms) => format!("{ms:>11.2} ms"),
             None => format!("{:>14}", "DEADLOCK"),

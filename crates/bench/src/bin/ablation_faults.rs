@@ -12,8 +12,9 @@
 //! byte-for-byte.
 
 use acc_bench::campaign::{fault_campaign, CampaignConfig};
+use acc_bench::Executor;
 
 fn main() {
-    let report = fault_campaign(&CampaignConfig::default());
+    let report = fault_campaign(&Executor::from_cli(), &CampaignConfig::default());
     report.print();
 }

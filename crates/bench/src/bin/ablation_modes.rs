@@ -14,10 +14,37 @@
 //! If the claim holds, protocol offload alone recovers only part of the
 //! gap; the combined mode is required for the full win.
 
-use acc_bench::{figure_spec, SIM_PROCS};
-use acc_core::cluster::{run_fft, run_sort, Technology};
+use acc_bench::{figure_spec, Executor, SIM_PROCS};
+use acc_core::cluster::Technology;
+use acc_core::RunRequest;
+
+/// The three modes, in column order.
+const MODES: [Technology; 3] = [
+    Technology::GigabitTcp,
+    Technology::InicProtocol,
+    Technology::InicIdeal,
+];
 
 fn main() {
+    let ex = Executor::from_cli();
+    let procs: Vec<usize> = SIM_PROCS.iter().copied().filter(|&p| p > 1).collect();
+    // One request per (workload, P, mode) cell; the executor fans the
+    // whole matrix out, the rows print from results in submission order.
+    let requests: Vec<RunRequest> = procs
+        .iter()
+        .flat_map(|&p| {
+            MODES
+                .iter()
+                .map(move |&t| RunRequest::fft(figure_spec(p, t), 512))
+        })
+        .chain(procs.iter().flat_map(|&p| {
+            MODES
+                .iter()
+                .map(move |&t| RunRequest::sort(figure_spec(p, t), 1 << 22))
+        }))
+        .collect();
+    let mut outcomes = ex.run_all(requests).into_iter();
+
     println!("# INIC mode ablation: protocol offload alone vs combined datapath");
     println!();
     println!("## 2D FFT 512x512 — total time (ms)");
@@ -25,13 +52,10 @@ fn main() {
         "{:>3} {:>12} {:>14} {:>12}",
         "P", "gigabit-tcp", "protocol-only", "combined"
     );
-    for &p in &SIM_PROCS {
-        if p == 1 {
-            continue;
-        }
-        let tcp = run_fft(figure_spec(p, Technology::GigabitTcp), 512).total;
-        let proto = run_fft(figure_spec(p, Technology::InicProtocol), 512).total;
-        let comb = run_fft(figure_spec(p, Technology::InicIdeal), 512).total;
+    for &p in &procs {
+        let tcp = outcomes.next().expect("fft tcp cell").total();
+        let proto = outcomes.next().expect("fft protocol cell").total();
+        let comb = outcomes.next().expect("fft combined cell").total();
         println!(
             "{:>3} {:>9.2} ms {:>11.2} ms {:>9.2} ms",
             p,
@@ -46,13 +70,10 @@ fn main() {
         "{:>3} {:>12} {:>14} {:>12}",
         "P", "gigabit-tcp", "protocol-only", "combined"
     );
-    for &p in &SIM_PROCS {
-        if p == 1 {
-            continue;
-        }
-        let tcp = run_sort(figure_spec(p, Technology::GigabitTcp), 1 << 22).total;
-        let proto = run_sort(figure_spec(p, Technology::InicProtocol), 1 << 22).total;
-        let comb = run_sort(figure_spec(p, Technology::InicIdeal), 1 << 22).total;
+    for &p in &procs {
+        let tcp = outcomes.next().expect("sort tcp cell").total();
+        let proto = outcomes.next().expect("sort protocol cell").total();
+        let comb = outcomes.next().expect("sort combined cell").total();
         println!(
             "{:>3} {:>9.2} ms {:>11.2} ms {:>9.2} ms",
             p,

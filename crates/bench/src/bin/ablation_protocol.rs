@@ -118,15 +118,32 @@ fn inic_transfer_time(bytes: usize) -> f64 {
 }
 
 fn main() {
+    let ex = acc_bench::Executor::from_cli();
+    let sizes: Vec<usize> = [9usize, 11, 13, 15, 17, 19, 21, 23]
+        .into_iter()
+        .map(|shift| 1usize << shift)
+        .collect();
+    // Every (size, policy) transfer is its own simulation — fan the
+    // sweep out, then print rows from the results in submission order.
+    let tasks: Vec<_> = sizes
+        .iter()
+        .flat_map(|&bytes| {
+            [
+                ModerationPolicy::PerFrame,
+                ModerationPolicy::syskonnect_default(),
+            ]
+            .map(move |policy| move || tcp_transfer_time(bytes, policy))
+        })
+        .collect();
+    let mut times = ex.map(tasks).into_iter();
     println!("# Protocol ablation: one-way transfer time (ms) by message size");
     println!(
         "{:>10} {:>16} {:>16} {:>16} {:>10}",
         "bytes", "tcp per-frame", "tcp coalesced", "inic protocol", "tcp/inic"
     );
-    for shift in [9usize, 11, 13, 15, 17, 19, 21, 23] {
-        let bytes = 1usize << shift;
-        let per_frame = tcp_transfer_time(bytes, ModerationPolicy::PerFrame);
-        let coalesced = tcp_transfer_time(bytes, ModerationPolicy::syskonnect_default());
+    for &bytes in &sizes {
+        let per_frame = times.next().expect("per-frame point");
+        let coalesced = times.next().expect("coalesced point");
         let inic = inic_transfer_time(bytes);
         println!(
             "{:>10} {:>13.3} ms {:>13.3} ms {:>13.3} ms {:>9.1}x",

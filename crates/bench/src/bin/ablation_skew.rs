@@ -10,39 +10,43 @@
 //! * the same keys under sampled range splitters restore near-uniform
 //!   balance and the uniform-key speedups.
 
-use acc_bench::figure_spec;
-use acc_core::cluster::{run_sort_custom, KeyDistribution, PartitionStrategy, Technology};
+use acc_bench::{figure_spec, Executor};
+use acc_core::cluster::{KeyDistribution, PartitionStrategy, Technology};
+use acc_core::RunRequest;
+
+/// The three columns: (distribution, partitioning).
+const CONFIGS: [(KeyDistribution, PartitionStrategy); 3] = [
+    (KeyDistribution::Uniform, PartitionStrategy::TopBits),
+    (KeyDistribution::Gaussian, PartitionStrategy::TopBits),
+    (
+        KeyDistribution::Gaussian,
+        PartitionStrategy::SampledSplitters,
+    ),
+];
 
 fn main() {
+    let ex = Executor::from_cli();
     let total_keys: u64 = 1 << 22;
     let tech = Technology::InicIdeal;
+    let procs = [2usize, 4, 8, 16];
+    let requests: Vec<RunRequest> = procs
+        .iter()
+        .flat_map(|&p| {
+            CONFIGS.iter().map(move |&(dist, strat)| {
+                RunRequest::sort_custom(figure_spec(p, tech), total_keys, dist, strat)
+            })
+        })
+        .collect();
+    let mut outcomes = ex.run_all(requests).into_iter();
     println!("# Skew ablation: integer sort, 2^22 keys, ideal INIC");
     println!(
         "{:>3} {:>16} {:>18} {:>20}",
         "P", "uniform/topbits", "gaussian/topbits", "gaussian/splitters"
     );
-    for p in [2usize, 4, 8, 16] {
-        let uniform = run_sort_custom(
-            figure_spec(p, tech),
-            total_keys,
-            KeyDistribution::Uniform,
-            PartitionStrategy::TopBits,
-        )
-        .total;
-        let skewed = run_sort_custom(
-            figure_spec(p, tech),
-            total_keys,
-            KeyDistribution::Gaussian,
-            PartitionStrategy::TopBits,
-        )
-        .total;
-        let balanced = run_sort_custom(
-            figure_spec(p, tech),
-            total_keys,
-            KeyDistribution::Gaussian,
-            PartitionStrategy::SampledSplitters,
-        )
-        .total;
+    for p in procs {
+        let uniform = outcomes.next().expect("uniform cell").total();
+        let skewed = outcomes.next().expect("skewed cell").total();
+        let balanced = outcomes.next().expect("balanced cell").total();
         println!(
             "{:>3} {:>13.2} ms {:>15.2} ms {:>17.2} ms",
             p,

@@ -15,10 +15,11 @@
 //! cargo run --release -p acc-bench --bin ablation_transient
 //! ```
 
+use acc_bench::Executor;
 use acc_chaos::{FaultEvent, FaultPlan};
 use acc_core::cluster::{run_sort, ClusterSpec, Technology};
 use acc_core::report::{FigureReport, Series};
-use acc_core::RecoveryPolicy;
+use acc_core::{RecoveryPolicy, RunRequest};
 use acc_sim::{SimDuration, SimTime};
 
 const P: usize = 4;
@@ -38,6 +39,7 @@ const POLICIES: [(RecoveryPolicy, &str); 3] = [
 ];
 
 fn main() {
+    let ex = Executor::from_cli();
     let mut fig = FigureReport::new(
         "Ablation T",
         format!("Card-failure recovery cost vs fault time (sort, {KEYS} keys, P={P}, ideal INIC)"),
@@ -60,18 +62,30 @@ fn main() {
     }
     fig.add(base);
 
+    // The policy × fault-time matrix fans out across the executor; the
+    // series and diagnostics are rebuilt from results in submission
+    // order, so the report is identical at any worker count.
+    let requests: Vec<RunRequest> = POLICIES
+        .iter()
+        .flat_map(|&(policy, _)| {
+            FAULT_MS.iter().map(move |&at_ms| {
+                let plan = FaultPlan::new(0x7E57).with(FaultEvent::CardFailure {
+                    node: VICTIM,
+                    at: SimTime::ZERO + SimDuration::from_millis(at_ms),
+                });
+                let spec = ClusterSpec::new(P, Technology::InicIdeal)
+                    .with_fault_plan(plan)
+                    .with_recovery_policy(policy);
+                RunRequest::sort(spec, KEYS)
+            })
+        })
+        .collect();
+    let mut outcomes = ex.run_all(requests).into_iter();
     let mut notes = Vec::new();
-    for (policy, name) in POLICIES {
+    for (_, name) in POLICIES {
         let mut s = Series::new(name);
         for &at_ms in &FAULT_MS {
-            let plan = FaultPlan::new(0x7E57).with(FaultEvent::CardFailure {
-                node: VICTIM,
-                at: SimTime::ZERO + SimDuration::from_millis(at_ms),
-            });
-            let spec = ClusterSpec::new(P, Technology::InicIdeal)
-                .with_fault_plan(plan)
-                .with_recovery_policy(policy);
-            let r = run_sort(spec, KEYS);
+            let r = outcomes.next().expect("one outcome per point").into_sort();
             assert!(r.verified, "{name} @ {at_ms}ms diverged from the oracle");
             s.push(at_ms as f64, r.total.as_millis_f64());
             notes.push(format!(

@@ -1,0 +1,166 @@
+//! Wall-clock baseline for the campaign executor: how long the
+//! representative campaign points take serially vs fanned across the
+//! machine, written as `BENCH_campaign.json` at the repository root.
+//!
+//! Two passes over the same run matrix (sort + FFT on each of the four
+//! technologies):
+//!
+//! 1. **serial** — `Executor::new(1)`, with each point timed
+//!    individually (the per-point table in the JSON);
+//! 2. **parallel** — the auto worker count (or `--jobs`/`ACC_JOBS`),
+//!    wall-timed as one batch.
+//!
+//! The simulated results of both passes are asserted identical — the
+//! executor's determinism contract, checked on every invocation — and
+//! the JSON records both wall times plus the measured speedup. On a
+//! single-core host (`host_parallelism: 1`) the parallel pass degrades
+//! to the serial loop and the speedup hovers around 1.
+//!
+//! ```text
+//! cargo run --release -p acc-bench --bin bench_wallclock            # full
+//! cargo run --release -p acc-bench --bin bench_wallclock -- --smoke # CI
+//! ```
+//!
+//! `--smoke` shrinks every point (seconds, not minutes), writes
+//! `BENCH_campaign.smoke.json` instead, and is wired into
+//! `scripts/check.sh` so the executor's two code paths are exercised on
+//! every push; the timings are recorded, never gated on.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use acc_bench::{executor, figure_spec, Executor};
+use acc_core::cluster::Technology;
+use acc_core::{RunOutcome, RunRequest};
+
+const TECHNOLOGIES: [Technology; 4] = [
+    Technology::GigabitTcp,
+    Technology::InicIdeal,
+    Technology::InicPrototype,
+    Technology::InicProtocol,
+];
+
+fn tech_label(t: Technology) -> &'static str {
+    match t {
+        Technology::FastEthernet => "fast",
+        Technology::GigabitTcp => "gigabit",
+        Technology::InicIdeal => "inic-ideal",
+        Technology::InicPrototype => "inic-proto",
+        Technology::InicProtocol => "inic-pp",
+    }
+}
+
+/// The run matrix: one sort and one FFT point per technology.
+fn points(smoke: bool) -> Vec<(String, RunRequest)> {
+    // Smoke sizes finish in seconds on one core; full sizes are the
+    // campaign scale the figures actually run at.
+    let (p, keys, rows) = if smoke {
+        (4usize, 1u64 << 14, 32usize)
+    } else {
+        (8, 1 << 24, 512)
+    };
+    let mut out = Vec::new();
+    for tech in TECHNOLOGIES {
+        out.push((
+            format!("sort_2e{}_{}_p{p}", keys.ilog2(), tech_label(tech)),
+            RunRequest::sort(figure_spec(p, tech), keys),
+        ));
+        out.push((
+            format!("fft_{rows}_{}_p{p}", tech_label(tech)),
+            RunRequest::fft(figure_spec(p, tech), rows),
+        ));
+    }
+    out
+}
+
+/// Simulated-result fingerprint for the determinism cross-check.
+fn fingerprint(outcomes: &[RunOutcome]) -> Vec<u64> {
+    outcomes.iter().map(|o| o.total().as_ps()).collect()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let ex = Executor::from_cli();
+    let matrix = points(smoke);
+    let labels: Vec<&str> = matrix.iter().map(|(l, _)| l.as_str()).collect();
+
+    // Pass 1: serial, each point timed on its own.
+    let serial_ex = Executor::serial();
+    let mut per_point = Vec::new();
+    let mut serial_outcomes = Vec::new();
+    let serial_started = Instant::now();
+    for (label, request) in &matrix {
+        let started = Instant::now();
+        let mut outcome = serial_ex.run_all(vec![request.clone()]);
+        per_point.push((label.as_str(), started.elapsed().as_secs_f64()));
+        serial_outcomes.append(&mut outcome);
+    }
+    let serial_secs = serial_started.elapsed().as_secs_f64();
+
+    // Pass 2: the same matrix as one parallel batch.
+    let parallel_started = Instant::now();
+    let parallel_outcomes = ex.run_all(matrix.iter().map(|(_, r)| r.clone()).collect());
+    let parallel_secs = parallel_started.elapsed().as_secs_f64();
+
+    assert_eq!(
+        fingerprint(&serial_outcomes),
+        fingerprint(&parallel_outcomes),
+        "parallel outcomes diverged from serial — determinism contract broken"
+    );
+
+    let speedup = serial_secs / parallel_secs;
+    let mode = if smoke { "smoke" } else { "full" };
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"generated_by\": \"cargo run --release -p acc-bench --bin bench_wallclock{}\",",
+        if smoke { " -- --smoke" } else { "" }
+    );
+    let _ = writeln!(json, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(
+        json,
+        "  \"host_parallelism\": {},",
+        executor::default_parallelism()
+    );
+    let _ = writeln!(json, "  \"jobs\": {},", ex.jobs());
+    let _ = writeln!(json, "  \"points\": [");
+    for (i, (label, secs)) in per_point.iter().enumerate() {
+        let comma = if i + 1 < per_point.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"label\": \"{}\", \"serial_secs\": {secs:.3}}}{comma}",
+            json_escape(label)
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"serial_secs\": {serial_secs:.3},");
+    let _ = writeln!(json, "  \"parallel_secs\": {parallel_secs:.3},");
+    let _ = writeln!(json, "  \"speedup\": {speedup:.3}");
+    let _ = writeln!(json, "}}");
+
+    let file = if smoke {
+        "BENCH_campaign.smoke.json"
+    } else {
+        "BENCH_campaign.json"
+    };
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(file);
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    let path = path.canonicalize().unwrap_or(path);
+
+    println!("# campaign wall-clock ({mode}): {} points", labels.len());
+    for (label, secs) in &per_point {
+        println!("{label:<28} {:>8.3} s", secs);
+    }
+    println!(
+        "serial {serial_secs:.3} s | parallel {parallel_secs:.3} s (jobs={}) | speedup {speedup:.2}x",
+        ex.jobs()
+    );
+    println!("wrote {}", path.display());
+}

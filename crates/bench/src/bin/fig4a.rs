@@ -6,12 +6,13 @@
 //! measurement — here, the discrete-event simulation of the TCP
 //! cluster at power-of-two P.
 
-use acc_bench::{fft_serial_time, fft_speedup_series};
+use acc_bench::{fft_serial_time, fft_speedup_series, Executor};
 use acc_core::cluster::Technology;
 use acc_core::model::FftModel;
 use acc_core::report::{FigureReport, Series};
 
 fn main() {
+    let ex = Executor::from_cli();
     let mut fig = FigureReport::new(
         "Figure 4(a)",
         "FFTW speedups for an Intelligent NIC and a cluster based on Gigabit Ethernet",
@@ -27,6 +28,7 @@ fn main() {
         fig.add(inic);
         let serial = fft_serial_time(rows);
         fig.add(fft_speedup_series(
+            &ex,
             &format!("Gigabit Ethernet Speedup {rows}x{rows}"),
             Technology::GigabitTcp,
             rows,

@@ -3,12 +3,14 @@
 //! final permutation on the host), modelled INIC transpose time, and
 //! partition size, vs the number of processors.
 
-use acc_bench::{figure_spec, partition_series, SIM_PROCS};
-use acc_core::cluster::{run_fft, Technology};
+use acc_bench::{figure_spec, partition_series, Executor, SIM_PROCS};
+use acc_core::cluster::Technology;
 use acc_core::model::FftModel;
 use acc_core::report::{FigureReport, Series};
+use acc_core::RunRequest;
 
 fn main() {
+    let ex = Executor::from_cli();
     let rows = 512usize;
     let mut fig = FigureReport::new(
         "Figure 4(b)",
@@ -18,11 +20,14 @@ fn main() {
     );
     let mut comm = Series::new("NIC Transpose Comm. Time (ms)");
     let mut compute = Series::new("NIC Transpose Compute Time (ms)");
-    for &p in &SIM_PROCS {
-        if p == 1 {
-            continue; // no transpose communication on one node
-        }
-        let r = run_fft(figure_spec(p, Technology::GigabitTcp), rows);
+    // No transpose communication on one node, so the sweep starts at P=2.
+    let procs: Vec<usize> = SIM_PROCS.iter().copied().filter(|&p| p > 1).collect();
+    let requests = procs
+        .iter()
+        .map(|&p| RunRequest::fft(figure_spec(p, Technology::GigabitTcp), rows))
+        .collect();
+    for (&p, outcome) in procs.iter().zip(ex.run_all(requests)) {
+        let r = outcome.into_fft();
         comm.push(p as f64, r.transpose_comm.as_millis_f64());
         compute.push(p as f64, r.transpose_compute.as_millis_f64());
     }

@@ -3,11 +3,13 @@
 //! bucket-sort times, communication time, and partition size, vs the
 //! number of processors, for 2²⁵ uniform keys.
 
-use acc_bench::{figure_spec, partition_series, SIM_PROCS};
-use acc_core::cluster::{run_sort, Technology};
+use acc_bench::{figure_spec, partition_series, Executor, SIM_PROCS};
+use acc_core::cluster::Technology;
 use acc_core::report::{FigureReport, Series};
+use acc_core::RunRequest;
 
 fn main() {
+    let ex = Executor::from_cli();
     let total_keys: u64 = 1 << 25;
     let mut fig = FigureReport::new(
         "Figure 5(a)",
@@ -19,8 +21,12 @@ fn main() {
     let mut b1 = Series::new("Phase 1 Bucket Sort Time (ms)");
     let mut b2 = Series::new("Phase 2 Bucket Sort Time (ms)");
     let mut comm = Series::new("Communication Time (ms)");
-    for &p in &SIM_PROCS {
-        let r = run_sort(figure_spec(p, Technology::GigabitTcp), total_keys);
+    let requests = SIM_PROCS
+        .iter()
+        .map(|&p| RunRequest::sort(figure_spec(p, Technology::GigabitTcp), total_keys))
+        .collect();
+    for (&p, outcome) in SIM_PROCS.iter().zip(ex.run_all(requests)) {
+        let r = outcome.into_sort();
         count.push(p as f64, r.count.as_millis_f64());
         b1.push(p as f64, r.bucket1.as_millis_f64());
         b2.push(p as f64, r.bucket2.as_millis_f64());

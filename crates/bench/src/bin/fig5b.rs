@@ -2,12 +2,13 @@
 //! (Eqs. 11–17) vs the simulated Gigabit Ethernet implementation, for
 //! 2²⁵ uniform keys.
 
-use acc_bench::{sort_serial_time, sort_speedup_series};
+use acc_bench::{sort_serial_time, sort_speedup_series, Executor};
 use acc_core::cluster::Technology;
 use acc_core::model::SortModel;
 use acc_core::report::{FigureReport, Series};
 
 fn main() {
+    let ex = Executor::from_cli();
     let total_keys: u64 = 1 << 25;
     let mut fig = FigureReport::new(
         "Figure 5(b)",
@@ -17,6 +18,7 @@ fn main() {
     );
     let serial = sort_serial_time(total_keys);
     fig.add(sort_speedup_series(
+        &ex,
         "Gigabit Ethernet Speedup",
         Technology::GigabitTcp,
         total_keys,

@@ -3,11 +3,12 @@
 //! shared 132 MB/s bus) — for 256×256 and 512×512 matrices, all from
 //! the discrete-event simulation.
 
-use acc_bench::{fft_serial_time, fft_speedup_series};
+use acc_bench::{fft_serial_time, fft_speedup_series, Executor};
 use acc_core::cluster::Technology;
 use acc_core::report::FigureReport;
 
 fn main() {
+    let ex = Executor::from_cli();
     let mut fig = FigureReport::new(
         "Figure 8(a)",
         "2D-FFT parallel speedup: Fast Ethernet, Gigabit Ethernet, prototype INIC",
@@ -17,18 +18,21 @@ fn main() {
     for rows in [256usize, 512] {
         let serial = fft_serial_time(rows);
         fig.add(fft_speedup_series(
+            &ex,
             &format!("Prototype INIC Speedup {rows}x{rows}"),
             Technology::InicPrototype,
             rows,
             serial,
         ));
         fig.add(fft_speedup_series(
+            &ex,
             &format!("Gigabit Ethernet Speedup {rows}x{rows}"),
             Technology::GigabitTcp,
             rows,
             serial,
         ));
         fig.add(fft_speedup_series(
+            &ex,
             &format!("Fast Ethernet Speedup {rows}x{rows}"),
             Technology::FastEthernet,
             rows,

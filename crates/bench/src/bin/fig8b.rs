@@ -3,11 +3,12 @@
 //! simulation. The prototype pays the shared-card-bus penalty and the
 //! host-side phase-2 bucket sort, yet still beats the commodity NIC.
 
-use acc_bench::{sort_serial_time, sort_speedup_series};
+use acc_bench::{sort_serial_time, sort_speedup_series, Executor};
 use acc_core::cluster::Technology;
 use acc_core::report::FigureReport;
 
 fn main() {
+    let ex = Executor::from_cli();
     let total_keys: u64 = 1 << 25;
     let mut fig = FigureReport::new(
         "Figure 8(b)",
@@ -17,12 +18,14 @@ fn main() {
     );
     let serial = sort_serial_time(total_keys);
     fig.add(sort_speedup_series(
+        &ex,
         "Gigabit Ethernet Speedup",
         Technology::GigabitTcp,
         total_keys,
         serial,
     ));
     fig.add(sort_speedup_series(
+        &ex,
         "Prototype INIC Speedup",
         Technology::InicPrototype,
         total_keys,

@@ -18,6 +18,7 @@
 //! cargo run --release -p acc-bench --bin soak -- --rounds 32 --seed 0xACC
 //! ```
 
+use acc_bench::Executor;
 use acc_chaos::{FaultEvent, FaultPlan, LinkId};
 use acc_core::cluster::{run_fft, run_sort, ClusterSpec, Technology};
 use acc_core::FaultDiagnostics;
@@ -135,7 +136,34 @@ fn fault_line(f: &FaultDiagnostics) -> String {
     )
 }
 
+/// The two formatted report lines for one `(round, technology)` cell:
+/// sort then FFT, both verified. Runs in a worker thread; only the
+/// serial print loop below touches stdout, so line order never depends
+/// on scheduling.
+fn run_cell(round: u64, tech: Technology, plan: &FaultPlan) -> [String; 2] {
+    let spec = ClusterSpec::new(P, tech).with_fault_plan(plan.clone());
+    let r = run_sort(spec, SORT_KEYS);
+    assert!(r.verified, "round {round} {tech:?} sort diverged");
+    let sort_line = format!(
+        "round {round:03} sort {:<10} total={:>10.3}ms {}",
+        tech_label(tech),
+        r.total.as_millis_f64(),
+        fault_line(&r.faults),
+    );
+    let spec = ClusterSpec::new(P, tech).with_fault_plan(plan.clone());
+    let r = run_fft(spec, FFT_ROWS);
+    assert!(r.verified, "round {round} {tech:?} FFT diverged");
+    let fft_line = format!(
+        "round {round:03} fft  {:<10} total={:>10.3}ms {}",
+        tech_label(tech),
+        r.total.as_millis_f64(),
+        fault_line(&r.faults),
+    );
+    [sort_line, fft_line]
+}
+
 fn main() {
+    let ex = Executor::from_cli();
     let mut rounds: u64 = 32;
     let mut seed: u64 = 0xACC_50AC;
     let mut args = std::env::args().skip(1);
@@ -152,11 +180,20 @@ fn main() {
         match a.as_str() {
             "--rounds" => rounds = parse(args.next(), "--rounds"),
             "--seed" => seed = parse(args.next(), "--seed"),
-            other => panic!("unknown argument {other} (expected --rounds/--seed)"),
+            // Already consumed by Executor::from_cli; skip the value.
+            "--jobs" => drop(args.next()),
+            jobs_eq if jobs_eq.starts_with("--jobs=") => {}
+            other => panic!("unknown argument {other} (expected --rounds/--seed/--jobs)"),
         }
     }
     println!("chaos soak: {rounds} rounds, seed {seed:#x}, P={P}, verification + auditor ON");
-    let mut runs = 0u64;
+    // Describe the whole campaign first: per round a plan line, per
+    // (round, technology) one work-queue task computing its two report
+    // lines. The executor returns results in submission order, so the
+    // output below is byte-identical to the old serial loop at any
+    // worker count.
+    let mut plan_lines = Vec::new();
+    let mut tasks: Vec<Box<dyn FnOnce() -> [String; 2] + Send>> = Vec::new();
     for round in 0..rounds {
         let plan = round_plan(seed, round);
         plan.validate(P as u32)
@@ -176,27 +213,20 @@ fn main() {
                 FaultEvent::CardReconfigure { .. } => "reconfig",
             })
             .collect();
-        println!("round {round:03}: plan [{}]", kinds.join(" "));
+        plan_lines.push(format!("round {round:03}: plan [{}]", kinds.join(" ")));
         for tech in TECHNOLOGIES {
-            let spec = ClusterSpec::new(P, tech).with_fault_plan(plan.clone());
-            let r = run_sort(spec, SORT_KEYS);
-            assert!(r.verified, "round {round} {tech:?} sort diverged");
-            println!(
-                "round {round:03} sort {:<10} total={:>10.3}ms {}",
-                tech_label(tech),
-                r.total.as_millis_f64(),
-                fault_line(&r.faults),
-            );
-            let spec = ClusterSpec::new(P, tech).with_fault_plan(plan.clone());
-            let r = run_fft(spec, FFT_ROWS);
-            assert!(r.verified, "round {round} {tech:?} FFT diverged");
-            println!(
-                "round {round:03} fft  {:<10} total={:>10.3}ms {}",
-                tech_label(tech),
-                r.total.as_millis_f64(),
-                fault_line(&r.faults),
-            );
-            runs += 2;
+            let plan = plan.clone();
+            tasks.push(Box::new(move || run_cell(round, tech, &plan)));
+        }
+    }
+    let runs = 2 * tasks.len() as u64;
+    let mut cells = ex.map(tasks).into_iter();
+    for plan_line in plan_lines {
+        println!("{plan_line}");
+        for _ in TECHNOLOGIES {
+            let [sort_line, fft_line] = cells.next().expect("one cell per (round, tech)");
+            println!("{sort_line}");
+            println!("{fft_line}");
         }
     }
     println!("soak complete: {runs} runs, 0 verification failures, 0 audit violations");

@@ -9,8 +9,11 @@
 //! produce byte-identical reports.
 
 use acc_chaos::{FaultEvent, FaultPlan, LinkId};
-use acc_core::cluster::{run_sort, ClusterSpec, SortRunResult, Technology};
+use acc_core::cluster::{ClusterSpec, Technology};
 use acc_core::report::{FigureReport, Series};
+use acc_core::RunRequest;
+
+use crate::Executor;
 
 /// One campaign configuration.
 #[derive(Clone, Debug)]
@@ -50,8 +53,8 @@ fn tech_label(t: Technology) -> &'static str {
     }
 }
 
-/// Run one campaign point.
-fn run_point(cfg: &CampaignConfig, technology: Technology, loss_pct: f64) -> SortRunResult {
+/// Describe one campaign point as an executable request.
+fn point_request(cfg: &CampaignConfig, technology: Technology, loss_pct: f64) -> RunRequest {
     let mut spec = ClusterSpec::new(cfg.p, technology);
     // A plan is always attached — at 0% loss it costs nothing on the
     // links but keeps the recovery protocol armed, so the 0% column
@@ -64,14 +67,18 @@ fn run_point(cfg: &CampaignConfig, technology: Technology, loss_pct: f64) -> Sor
         });
     }
     spec = spec.with_fault_plan(plan);
-    run_sort(spec, cfg.total_keys)
+    RunRequest::sort(spec, cfg.total_keys)
 }
 
 /// Run the full sweep and collect it into one report: per technology, a
 /// completion-time series (ms), a goodput series (application MiB
 /// sorted per second of wall time), and a retransmission-count series,
 /// over the loss-percentage axis.
-pub fn fault_campaign(cfg: &CampaignConfig) -> FigureReport {
+///
+/// Every `(technology, loss)` point is independent, so the whole matrix
+/// fans out across `ex`; the report is assembled from results in
+/// submission order and is byte-identical at any worker count.
+pub fn fault_campaign(ex: &Executor, cfg: &CampaignConfig) -> FigureReport {
     let mut report = FigureReport::new(
         "Fault campaign",
         format!(
@@ -84,12 +91,22 @@ pub fn fault_campaign(cfg: &CampaignConfig) -> FigureReport {
         "per-series units: ms | MiB/s | count",
     );
     let app_mib = cfg.total_keys as f64 * 4.0 / (1024.0 * 1024.0);
+    let requests: Vec<RunRequest> = cfg
+        .technologies
+        .iter()
+        .flat_map(|&tech| cfg.loss_pcts.iter().map(move |&pct| (tech, pct)))
+        .map(|(tech, pct)| point_request(cfg, tech, pct))
+        .collect();
+    let mut outcomes = ex.run_all(requests).into_iter();
     for &tech in &cfg.technologies {
         let mut time_ms = Series::new(format!("{} time (ms)", tech_label(tech)));
         let mut goodput = Series::new(format!("{} goodput (MiB/s)", tech_label(tech)));
         let mut retrans = Series::new(format!("{} retransmits", tech_label(tech)));
         for &pct in &cfg.loss_pcts {
-            let r = run_point(cfg, tech, pct);
+            let r = outcomes
+                .next()
+                .expect("one outcome per submitted point")
+                .into_sort();
             assert!(r.verified, "campaign point must still sort correctly");
             let secs = r.total.as_secs_f64();
             time_ms.push(pct, secs * 1e3);
@@ -114,7 +131,7 @@ mod tests {
             technologies: vec![Technology::GigabitTcp, Technology::InicIdeal],
             ..CampaignConfig::default()
         };
-        let report = fault_campaign(&cfg);
+        let report = fault_campaign(&Executor::serial(), &cfg);
         for s in report.series.iter().filter(|s| s.name.contains("retrans")) {
             assert_eq!(s.at(0.0), Some(0.0), "{}", s.name);
         }

@@ -23,9 +23,13 @@
 
 use acc_core::cluster::{run_fft, run_sort, ClusterSpec, Technology};
 use acc_core::report::Series;
+use acc_core::RunRequest;
 
 pub mod campaign;
+pub mod executor;
 pub mod harness;
+
+pub use executor::Executor;
 
 /// The simulated processor sweep.
 pub const SIM_PROCS: [usize; 5] = [1, 2, 4, 8, 16];
@@ -37,22 +41,30 @@ pub fn figure_spec(p: usize, technology: Technology) -> ClusterSpec {
     spec
 }
 
-/// Simulated FFT total times over the sweep.
-pub fn fft_totals(technology: Technology, rows: usize) -> Vec<(usize, f64)> {
+/// Simulated FFT total times over the sweep, fanned across `ex`.
+pub fn fft_totals(ex: &Executor, technology: Technology, rows: usize) -> Vec<(usize, f64)> {
+    let requests = SIM_PROCS
+        .iter()
+        .map(|&p| RunRequest::fft(figure_spec(p, technology), rows))
+        .collect();
     SIM_PROCS
         .iter()
-        .map(|&p| {
-            let r = run_fft(figure_spec(p, technology), rows);
-            (p, r.total.as_secs_f64())
-        })
+        .zip(ex.run_all(requests))
+        .map(|(&p, outcome)| (p, outcome.total().as_secs_f64()))
         .collect()
 }
 
 /// Simulated FFT speedup series for one technology, normalised to the
 /// serial (Gigabit P=1) time.
-pub fn fft_speedup_series(name: &str, technology: Technology, rows: usize, serial: f64) -> Series {
+pub fn fft_speedup_series(
+    ex: &Executor,
+    name: &str,
+    technology: Technology,
+    rows: usize,
+    serial: f64,
+) -> Series {
     let mut s = Series::new(name);
-    for (p, t) in fft_totals(technology, rows) {
+    for (p, t) in fft_totals(ex, technology, rows) {
         s.push(p as f64, serial / t);
     }
     s
@@ -66,14 +78,16 @@ pub fn fft_serial_time(rows: usize) -> f64 {
         .as_secs_f64()
 }
 
-/// Simulated sort total times over the sweep.
-pub fn sort_totals(technology: Technology, total_keys: u64) -> Vec<(usize, f64)> {
+/// Simulated sort total times over the sweep, fanned across `ex`.
+pub fn sort_totals(ex: &Executor, technology: Technology, total_keys: u64) -> Vec<(usize, f64)> {
+    let requests = SIM_PROCS
+        .iter()
+        .map(|&p| RunRequest::sort(figure_spec(p, technology), total_keys))
+        .collect();
     SIM_PROCS
         .iter()
-        .map(|&p| {
-            let r = run_sort(figure_spec(p, technology), total_keys);
-            (p, r.total.as_secs_f64())
-        })
+        .zip(ex.run_all(requests))
+        .map(|(&p, outcome)| (p, outcome.total().as_secs_f64()))
         .collect()
 }
 
@@ -86,13 +100,14 @@ pub fn sort_serial_time(total_keys: u64) -> f64 {
 
 /// Simulated sort speedup series for one technology.
 pub fn sort_speedup_series(
+    ex: &Executor,
     name: &str,
     technology: Technology,
     total_keys: u64,
     serial: f64,
 ) -> Series {
     let mut s = Series::new(name);
-    for (p, t) in sort_totals(technology, total_keys) {
+    for (p, t) in sort_totals(ex, technology, total_keys) {
         s.push(p as f64, serial / t);
     }
     s
@@ -130,12 +145,22 @@ mod tests {
 
     #[test]
     fn speedup_series_has_all_sweep_points() {
+        let ex = Executor::serial();
         let serial = fft_serial_time(64);
-        let s = fft_speedup_series("x", Technology::InicIdeal, 64, serial);
+        let s = fft_speedup_series(&ex, "x", Technology::InicIdeal, 64, serial);
         assert_eq!(s.points.len(), SIM_PROCS.len());
         // P=1 speedup close to 1 for the technology whose baseline this is.
-        let own = fft_speedup_series("g", Technology::GigabitTcp, 64, serial);
+        let own = fft_speedup_series(&ex, "g", Technology::GigabitTcp, 64, serial);
         let s1 = own.at(1.0).unwrap();
         assert!((s1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_is_identical_serial_and_parallel() {
+        // The executor determinism contract on a real workload: the
+        // whole sweep, serial vs 4 workers, to the last bit.
+        let serial = sort_totals(&Executor::serial(), Technology::InicIdeal, 1 << 12);
+        let parallel = sort_totals(&Executor::new(4), Technology::InicIdeal, 1 << 12);
+        assert_eq!(serial, parallel);
     }
 }

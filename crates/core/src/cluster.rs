@@ -478,7 +478,7 @@ impl Wiring {
             .counters()
             .filter(|((_, name), _)| {
                 matches!(
-                    name.as_str(),
+                    *name,
                     "retransmits" | "rto_retransmits" | "fast_retransmits"
                 )
             })
@@ -497,11 +497,11 @@ impl Wiring {
         let stats = self.sim.stats();
         let stalled_nodes = stats
             .counters()
-            .filter(|((_, name), v)| name == "stall_deferrals" && *v > 0)
+            .filter(|((_, name), v)| *name == "stall_deferrals" && *v > 0)
             .count() as u64;
         let reconfig_windows_survived = stats
             .counters()
-            .filter(|((_, name), _)| name == "reconfig_windows_survived")
+            .filter(|((_, name), _)| *name == "reconfig_windows_survived")
             .map(|(_, v)| v)
             .sum();
         FaultDiagnostics {

@@ -27,8 +27,10 @@ pub mod cluster;
 pub mod drivers;
 pub mod model;
 pub mod report;
+pub mod runner;
 
 pub use audit::{AuditConfig, Auditor};
 pub use cluster::{ClusterSpec, FftRunResult, SortRunResult, Technology};
 pub use drivers::RecoveryPolicy;
 pub use report::FaultDiagnostics;
+pub use runner::{RunOutcome, RunRequest, Workload};

@@ -1,0 +1,226 @@
+//! A uniform "one run" description shared by every campaign driver.
+//!
+//! The figure regenerators, ablations, soak and fault campaigns in
+//! `acc-bench` all reduce to the same shape: build a [`ClusterSpec`],
+//! pick a workload, execute, read the result. [`RunRequest`] captures
+//! that shape as a value, so a campaign can *describe* its whole run
+//! matrix up front and hand the list to an executor — serial or
+//! parallel — instead of interleaving description and execution.
+//!
+//! Each request is self-contained and owns its spec, so executing it
+//! needs no shared state: the foundation of the deterministic parallel
+//! executor (`acc-bench`'s `Executor`), which may run requests on any
+//! worker thread in any order and still produce results indistinguishable
+//! from a serial loop.
+
+use crate::cluster::{
+    self, ClusterSpec, FftRunResult, KeyDistribution, PartitionStrategy, ReduceRunResult,
+    SortRunResult,
+};
+
+/// Which application a run executes, with its size parameters.
+#[derive(Clone, Debug)]
+pub enum Workload {
+    /// The 2D FFT of Section 3.1 on an `rows × rows` matrix.
+    Fft {
+        /// Matrix dimension (rows == columns).
+        rows: usize,
+    },
+    /// The integer sort of Section 3.2 (uniform keys, top-bits
+    /// partitioning — the paper's configuration).
+    Sort {
+        /// Total keys across the cluster.
+        total_keys: u64,
+    },
+    /// The integer sort with explicit distribution and partitioning
+    /// (the skew ablation).
+    SortCustom {
+        /// Total keys across the cluster.
+        total_keys: u64,
+        /// Key distribution.
+        distribution: KeyDistribution,
+        /// Destination-rank assignment strategy.
+        strategy: PartitionStrategy,
+    },
+    /// A flat AllReduce (sum) of one `elems`-element vector per node.
+    AllReduce {
+        /// Elements per node vector.
+        elems: usize,
+    },
+}
+
+/// One fully-described simulation run: spec + workload.
+#[derive(Clone, Debug)]
+pub struct RunRequest {
+    /// The cluster to build.
+    pub spec: ClusterSpec,
+    /// The application to run on it.
+    pub workload: Workload,
+}
+
+impl RunRequest {
+    /// An FFT run.
+    pub fn fft(spec: ClusterSpec, rows: usize) -> RunRequest {
+        RunRequest {
+            spec,
+            workload: Workload::Fft { rows },
+        }
+    }
+
+    /// A sort run with the paper's default key configuration.
+    pub fn sort(spec: ClusterSpec, total_keys: u64) -> RunRequest {
+        RunRequest {
+            spec,
+            workload: Workload::Sort { total_keys },
+        }
+    }
+
+    /// A sort run with explicit distribution and partitioning.
+    pub fn sort_custom(
+        spec: ClusterSpec,
+        total_keys: u64,
+        distribution: KeyDistribution,
+        strategy: PartitionStrategy,
+    ) -> RunRequest {
+        RunRequest {
+            spec,
+            workload: Workload::SortCustom {
+                total_keys,
+                distribution,
+                strategy,
+            },
+        }
+    }
+
+    /// An AllReduce run.
+    pub fn allreduce(spec: ClusterSpec, elems: usize) -> RunRequest {
+        RunRequest {
+            spec,
+            workload: Workload::AllReduce { elems },
+        }
+    }
+
+    /// Execute the run to completion and return its outcome.
+    pub fn execute(self) -> RunOutcome {
+        match self.workload {
+            Workload::Fft { rows } => RunOutcome::Fft(cluster::run_fft(self.spec, rows)),
+            Workload::Sort { total_keys } => {
+                RunOutcome::Sort(cluster::run_sort(self.spec, total_keys))
+            }
+            Workload::SortCustom {
+                total_keys,
+                distribution,
+                strategy,
+            } => RunOutcome::Sort(cluster::run_sort_custom(
+                self.spec,
+                total_keys,
+                distribution,
+                strategy,
+            )),
+            Workload::AllReduce { elems } => {
+                RunOutcome::Reduce(cluster::run_allreduce(self.spec, elems))
+            }
+        }
+    }
+}
+
+/// The result of an executed [`RunRequest`], one variant per workload
+/// family.
+#[derive(Clone, Debug)]
+pub enum RunOutcome {
+    /// Result of an FFT run.
+    Fft(FftRunResult),
+    /// Result of a sort run (default or custom).
+    Sort(SortRunResult),
+    /// Result of an AllReduce run.
+    Reduce(ReduceRunResult),
+}
+
+impl RunOutcome {
+    /// Wall time of the run, whatever its workload.
+    pub fn total(&self) -> acc_sim::SimDuration {
+        match self {
+            RunOutcome::Fft(r) => r.total,
+            RunOutcome::Sort(r) => r.total,
+            RunOutcome::Reduce(r) => r.total,
+        }
+    }
+
+    /// Whether the run's output verified against its serial oracle.
+    pub fn verified(&self) -> bool {
+        match self {
+            RunOutcome::Fft(r) => r.verified,
+            RunOutcome::Sort(r) => r.verified,
+            RunOutcome::Reduce(r) => r.verified,
+        }
+    }
+
+    /// The FFT result.
+    ///
+    /// # Panics
+    /// Panics if the outcome is not from an FFT run.
+    pub fn into_fft(self) -> FftRunResult {
+        match self {
+            RunOutcome::Fft(r) => r,
+            other => panic!("expected an FFT outcome, got {other:?}"),
+        }
+    }
+
+    /// The sort result.
+    ///
+    /// # Panics
+    /// Panics if the outcome is not from a sort run.
+    pub fn into_sort(self) -> SortRunResult {
+        match self {
+            RunOutcome::Sort(r) => r,
+            other => panic!("expected a sort outcome, got {other:?}"),
+        }
+    }
+
+    /// The AllReduce result.
+    ///
+    /// # Panics
+    /// Panics if the outcome is not from an AllReduce run.
+    pub fn into_reduce(self) -> ReduceRunResult {
+        match self {
+            RunOutcome::Reduce(r) => r,
+            other => panic!("expected an AllReduce outcome, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Technology;
+
+    #[test]
+    fn request_execute_matches_direct_call() {
+        let spec = ClusterSpec::new(2, Technology::InicIdeal);
+        let direct = cluster::run_sort(spec.clone(), 1 << 10);
+        let via_request = RunRequest::sort(spec, 1 << 10).execute().into_sort();
+        assert_eq!(direct.total, via_request.total);
+        assert_eq!(direct.interrupts, via_request.interrupts);
+        assert!(via_request.verified);
+    }
+
+    #[test]
+    fn outcome_accessors_route_by_workload() {
+        let fft = RunRequest::fft(ClusterSpec::new(2, Technology::InicIdeal), 16).execute();
+        assert!(matches!(fft, RunOutcome::Fft(_)));
+        assert!(fft.verified());
+        assert!(fft.total() > acc_sim::SimDuration::ZERO);
+        let reduce =
+            RunRequest::allreduce(ClusterSpec::new(2, Technology::GigabitTcp), 64).execute();
+        assert!(reduce.verified());
+        reduce.into_reduce();
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a sort outcome")]
+    fn wrong_accessor_panics() {
+        RunRequest::fft(ClusterSpec::new(2, Technology::InicIdeal), 16)
+            .execute()
+            .into_sort();
+    }
+}

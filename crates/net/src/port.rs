@@ -226,7 +226,10 @@ mod tests {
 
     impl Component for Sender {
         fn handle(&mut self, ev: Box<dyn Any>, ctx: &mut Ctx) {
-            let port = self.port.as_mut().unwrap();
+            let port = self
+                .port
+                .as_mut()
+                .expect("sender: egress port never installed before first event");
             if ev.downcast_ref::<PortTxDone>().is_some() {
                 port.tx_done(ctx);
             } else if ev.downcast_ref::<()>().is_some() {

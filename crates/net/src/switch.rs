@@ -200,10 +200,16 @@ mod tests {
         fn handle(&mut self, ev: Box<dyn Any>, ctx: &mut Ctx) {
             if ev.downcast_ref::<()>().is_some() {
                 for f in self.outbox.drain(..) {
-                    self.uplink.as_mut().unwrap().enqueue(f, ctx);
+                    self.uplink
+                        .as_mut()
+                        .expect("host: uplink never wired to its switch port")
+                        .enqueue(f, ctx);
                 }
             } else if ev.downcast_ref::<PortTxDone>().is_some() {
-                self.uplink.as_mut().unwrap().tx_done(ctx);
+                self.uplink
+                    .as_mut()
+                    .expect("host: tx-done for an uplink that was never wired")
+                    .tx_done(ctx);
             } else if let Ok(arr) = ev.downcast::<FrameArrival>() {
                 self.inbox.push((ctx.now(), arr.frame));
             } else {

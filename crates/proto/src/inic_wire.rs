@@ -39,7 +39,7 @@ const FLAG_NACK: u16 = 1 << 2;
 const FLAG_ACK: u16 = 1 << 3;
 const FLAG_BUSY: u16 = 1 << 4;
 
-/// Why a received packet failed to decode.
+/// Why a packet failed to encode or decode.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum WireError {
     /// Fewer bytes than one header.
@@ -48,6 +48,11 @@ pub enum WireError {
     LengthMismatch,
     /// The checksum does not cover the bytes received — corruption.
     Checksum,
+    /// An id field (`src_rank` or `stream`) exceeds its 16-bit wire
+    /// width — encoding would wrap it and deliver to the wrong peer.
+    IdOverflow,
+    /// The payload exceeds [`INIC_PAYLOAD`].
+    Oversize,
 }
 
 /// FNV-1a over a couple of byte slices — cheap, deterministic, and
@@ -162,15 +167,35 @@ impl InicPacket {
     ///
     /// # Panics
     /// Panics if the payload exceeds [`INIC_PAYLOAD`] or an id field
-    /// overflows its wire width — protocol bugs, not runtime conditions.
+    /// overflows its wire width — protocol bugs, not runtime
+    /// conditions. Callers that would rather surface the error than
+    /// unwind use [`try_encode`](Self::try_encode).
     pub fn encode(&self) -> Vec<u8> {
-        assert!(
-            self.data.len() <= INIC_PAYLOAD,
-            "INIC payload {} exceeds {INIC_PAYLOAD}",
-            self.data.len()
-        );
-        assert!(self.src_rank <= u32::from(u16::MAX), "rank overflows u16");
-        assert!(self.stream <= u32::from(u16::MAX), "stream overflows u16");
+        self.try_encode().unwrap_or_else(|e| {
+            panic!(
+                "unencodable INIC packet (src_rank {}, stream {}, {} data bytes): {e:?}",
+                self.src_rank,
+                self.stream,
+                self.data.len()
+            )
+        })
+    }
+
+    /// Serialize to wire bytes, rejecting packets the 16-byte header
+    /// cannot faithfully represent.
+    ///
+    /// Regression guard: the wire format carries `src_rank` and
+    /// `stream` as u16, and encode used to truncate the u32 fields with
+    /// a bare `as u16` — a rank or stream id ≥ 65536 wrapped on the
+    /// wire and decoded as the *wrong peer*. Out-of-range ids now fail
+    /// with [`WireError::IdOverflow`] instead of wrapping.
+    pub fn try_encode(&self) -> Result<Vec<u8>, WireError> {
+        if self.data.len() > INIC_PAYLOAD {
+            return Err(WireError::Oversize);
+        }
+        if self.src_rank > u32::from(u16::MAX) || self.stream > u32::from(u16::MAX) {
+            return Err(WireError::IdOverflow);
+        }
         let mut out = vec![0u8; INIC_HEADER + self.data.len()];
         out[0..2].copy_from_slice(&(self.src_rank as u16).to_le_bytes());
         out[2..4].copy_from_slice(&(self.stream as u16).to_le_bytes());
@@ -196,7 +221,7 @@ impl InicPacket {
         let sum = fnv1a(&[&out[0..12], &self.data]);
         out[12..16].copy_from_slice(&sum.to_le_bytes());
         out[INIC_HEADER..].copy_from_slice(&self.data);
-        out
+        Ok(out)
     }
 
     /// Parse wire bytes, verifying structure and checksum.
@@ -490,6 +515,37 @@ mod tests {
             assert!(pkt.is_control());
             assert_eq!(InicPacket::decode(&pkt.encode()).unwrap(), pkt);
         }
+    }
+
+    #[test]
+    fn try_encode_rejects_id_overflow_instead_of_truncating() {
+        // Regression: encode used to cast src_rank/stream to u16 with a
+        // bare `as`, so rank 65536 went out on the wire as rank 0 and
+        // the receiver attributed the stream to the wrong peer.
+        let bad_rank = data_pkt(1 << 16, 0, 0, true, vec![1, 2, 3]);
+        assert_eq!(bad_rank.try_encode(), Err(WireError::IdOverflow));
+        let bad_stream = data_pkt(0, u32::from(u16::MAX) + 1, 0, true, Vec::new());
+        assert_eq!(bad_stream.try_encode(), Err(WireError::IdOverflow));
+    }
+
+    #[test]
+    fn try_encode_accepts_maximum_representable_ids() {
+        let max = u32::from(u16::MAX);
+        let pkt = data_pkt(max, max, 0, true, vec![0xEE; 8]);
+        let bytes = pkt.try_encode().expect("65535 fits the u16 wire field");
+        assert_eq!(InicPacket::decode(&bytes).unwrap(), pkt);
+    }
+
+    #[test]
+    fn try_encode_rejects_oversize_payload() {
+        let pkt = data_pkt(0, 0, 0, true, vec![0; INIC_PAYLOAD + 1]);
+        assert_eq!(pkt.try_encode(), Err(WireError::Oversize));
+    }
+
+    #[test]
+    #[should_panic(expected = "unencodable INIC packet")]
+    fn encode_panics_on_id_overflow() {
+        data_pkt(1 << 16, 0, 0, true, Vec::new()).encode();
     }
 
     #[test]

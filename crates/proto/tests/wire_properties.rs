@@ -81,6 +81,41 @@ fn corruption_never_decodes() {
 }
 
 #[test]
+fn decode_never_panics_on_arbitrary_inputs() {
+    // Property: `InicPacket::decode` is total — any byte string either
+    // decodes or returns a `WireError`; no input may panic or read out
+    // of bounds. Three adversarial shapes: pure noise, truncations of a
+    // valid encode, and bit-flipped mutations of a valid encode.
+    let mut g = Gen(0xD7);
+    for _ in 0..256 {
+        let noise = g.bytes(2200);
+        let _ = InicPacket::decode(&noise);
+    }
+    for _ in 0..64 {
+        let p = InicPacket {
+            src_rank: g.below(1 << 16) as u32,
+            stream: g.below(1 << 16) as u32,
+            offset: g.next_u64() as u32,
+            fin: g.below(2) == 1,
+            credit: false,
+            nack: false,
+            ack: false,
+            busy: false,
+            data: g.bytes(INIC_PAYLOAD as u64 + 1),
+        };
+        let bytes = p.encode();
+        let cut = g.below(bytes.len() as u64 + 1) as usize;
+        let _ = InicPacket::decode(&bytes[..cut]);
+        let mut bent = bytes.clone();
+        for _ in 0..1 + g.below(4) {
+            let i = g.below(bent.len() as u64) as usize;
+            bent[i] ^= 1u8 << g.below(8);
+        }
+        let _ = InicPacket::decode(&bent);
+    }
+}
+
+#[test]
 fn packetize_reassembles_in_any_order_with_duplicates() {
     let mut g = Gen(0xD3);
     for _ in 0..96 {

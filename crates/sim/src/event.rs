@@ -62,6 +62,22 @@ impl EventQueue {
         Self::default()
     }
 
+    /// Create an empty queue with room for `capacity` pending events
+    /// before the heap reallocates. Scenario engines pre-size with this
+    /// so the first burst of scheduling does not pay repeated
+    /// grow-and-copy cycles on the heap's backing array.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// Current heap capacity (diagnostics and pre-sizing tests).
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Schedule `payload` for `target` at absolute instant `time`.
     pub fn push(&mut self, time: SimTime, target: ComponentId, payload: Box<dyn Any>) {
         let seq = self.next_seq;

@@ -9,6 +9,11 @@ use std::collections::BTreeMap;
 use crate::time::SimTime;
 
 /// A monotonically increasing event counter.
+///
+/// Arithmetic saturates at `u64::MAX`: a counter that a very long soak
+/// drives past 2⁶⁴ pegs at the ceiling instead of panicking in debug
+/// builds (or silently wrapping in release, which would corrupt the
+/// conservation checks built on these values).
 #[derive(Default, Debug, Clone)]
 pub struct Counter {
     value: u64,
@@ -17,12 +22,12 @@ pub struct Counter {
 impl Counter {
     /// Increment by one.
     pub fn inc(&mut self) {
-        self.value += 1;
+        self.value = self.value.saturating_add(1);
     }
 
     /// Increment by `n`.
     pub fn add(&mut self, n: u64) {
-        self.value += n;
+        self.value = self.value.saturating_add(n);
     }
 
     /// Current value.
@@ -164,9 +169,16 @@ impl Histogram {
 }
 
 /// Registry of all metrics, keyed by `(scope, name)`.
+///
+/// Counters live in a two-level map (`scope → name → Counter`) so the
+/// per-event hot path — components bump counters on every frame — is a
+/// pair of `&str` lookups with **zero allocations** once the counter
+/// exists. The flat `(String, String)` key the registry used before
+/// cost two `String` allocations per increment just to form the lookup
+/// key.
 #[derive(Default)]
 pub struct StatsRegistry {
-    counters: BTreeMap<(String, String), Counter>,
+    counters: BTreeMap<String, BTreeMap<String, Counter>>,
     gauges: BTreeMap<(String, String), Gauge>,
     series: BTreeMap<(String, String), Series>,
 }
@@ -177,11 +189,17 @@ impl StatsRegistry {
         Self::default()
     }
 
-    /// Fetch or create a counter.
+    /// Fetch or create a counter. Allocation-free after the counter's
+    /// first use.
     pub fn counter(&mut self, scope: &str, name: &str) -> &mut Counter {
-        self.counters
-            .entry((scope.to_owned(), name.to_owned()))
-            .or_default()
+        if !self.counters.contains_key(scope) {
+            self.counters.insert(scope.to_owned(), BTreeMap::new());
+        }
+        let scoped = self.counters.get_mut(scope).expect("scope just ensured");
+        if !scoped.contains_key(name) {
+            scoped.insert(name.to_owned(), Counter::default());
+        }
+        scoped.get_mut(name).expect("counter just ensured")
     }
 
     /// Fetch or create a gauge.
@@ -201,7 +219,8 @@ impl StatsRegistry {
     /// Read a counter value if it exists.
     pub fn counter_value(&self, scope: &str, name: &str) -> Option<u64> {
         self.counters
-            .get(&(scope.to_owned(), name.to_owned()))
+            .get(scope)
+            .and_then(|scoped| scoped.get(name))
             .map(Counter::get)
     }
 
@@ -225,16 +244,20 @@ impl StatsRegistry {
     }
 
     /// Iterate all counters in deterministic (sorted key) order.
-    pub fn counters(&self) -> impl Iterator<Item = (&(String, String), u64)> {
-        self.counters.iter().map(|(k, v)| (k, v.get()))
+    pub fn counters(&self) -> impl Iterator<Item = ((&str, &str), u64)> {
+        self.counters.iter().flat_map(|(scope, scoped)| {
+            scoped
+                .iter()
+                .map(move |(name, c)| ((scope.as_str(), name.as_str()), c.get()))
+        })
     }
 
     /// Render every metric as a sorted text block (debugging, goldens).
     pub fn dump(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        for ((scope, name), c) in &self.counters {
-            let _ = writeln!(out, "counter {scope}.{name} = {}", c.get());
+        for ((scope, name), v) in self.counters() {
+            let _ = writeln!(out, "counter {scope}.{name} = {v}");
         }
         for ((scope, name), g) in &self.gauges {
             let _ = writeln!(
@@ -268,6 +291,30 @@ mod tests {
         reg.counter("nic0", "frames_tx").add(4);
         assert_eq!(reg.counter_value("nic0", "frames_tx"), Some(5));
         assert_eq!(reg.counter_value("nic0", "missing"), None);
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_overflowing() {
+        // Regression: `inc`/`add` used unchecked `+=`, so a long soak
+        // that pushed a counter past u64::MAX panicked in debug builds.
+        let mut c = Counter::default();
+        c.add(u64::MAX - 1);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX, "inc saturates at the ceiling");
+        c.add(1 << 40);
+        assert_eq!(c.get(), u64::MAX, "add saturates at the ceiling");
+    }
+
+    #[test]
+    fn counters_iterate_sorted_by_scope_then_name() {
+        let mut reg = StatsRegistry::new();
+        reg.counter("b", "y").inc();
+        reg.counter("a", "z").inc();
+        reg.counter("a", "x").add(2);
+        let keys: Vec<(&str, &str)> = reg.counters().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![("a", "x"), ("a", "z"), ("b", "y")]);
     }
 
     #[test]

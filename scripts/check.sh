@@ -20,4 +20,10 @@ cargo test -q
 echo "== cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps
 
+echo "== bench_wallclock --smoke (timings recorded, not gated)"
+# ACC_JOBS=2 forces the threaded work-queue path even on one core, so
+# the serial-vs-parallel determinism assert inside the binary always
+# compares both executor code paths.
+ACC_JOBS=2 ./target/release/bench_wallclock --smoke
+
 echo "All tier-1 checks passed."
