@@ -77,8 +77,8 @@ impl Complex64 {
     /// Inverse of [`to_le_bytes`](Self::to_le_bytes).
     pub fn from_le_bytes(b: [u8; 16]) -> Self {
         Complex64 {
-            re: f64::from_le_bytes(b[..8].try_into().unwrap()),
-            im: f64::from_le_bytes(b[8..].try_into().unwrap()),
+            re: f64::from_le_bytes(b[..8].try_into().expect("complex re slice is 8 bytes")),
+            im: f64::from_le_bytes(b[8..].try_into().expect("complex im slice is 8 bytes")),
         }
     }
 }

@@ -23,6 +23,8 @@
 //!   prototype's two-phase bucket sort, and quicksort/std baselines.
 //! * [`workload`] — seeded workload generators (uniform keys, matrices).
 
+#![forbid(unsafe_code)]
+
 pub mod complex;
 pub mod fft;
 pub mod sort;

@@ -271,7 +271,7 @@ pub fn bytes_to_keys(bytes: &[u8]) -> Vec<u32> {
     );
     bytes
         .chunks_exact(4)
-        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .map(|c| u32::from_le_bytes(c.try_into().expect("sort key chunk is 4 bytes")))
         .collect()
 }
 

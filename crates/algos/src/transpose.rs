@@ -206,7 +206,7 @@ pub fn bytes_to_slab(bytes: &[u8], rows: usize, cols: usize) -> Matrix {
     assert_eq!(bytes.len(), rows * cols * 16, "byte length mismatch");
     let data: Vec<Complex64> = bytes
         .chunks_exact(16)
-        .map(|c| Complex64::from_le_bytes(c.try_into().unwrap()))
+        .map(|c| Complex64::from_le_bytes(c.try_into().expect("slab element chunk is 16 bytes")))
         .collect();
     Matrix::from_data(rows, cols, data)
 }

@@ -13,7 +13,7 @@
 //! port, 16-byte headers per 1024-byte packet).
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use acc_host::{InterruptCosts, ModerationPolicy};
 use acc_net::port::EgressPort;
@@ -100,7 +100,7 @@ fn tcp_transfer_time(bytes: usize, policy: ModerationPolicy) -> f64 {
     }
     sim.register(switch_id, switch);
     sim.run();
-    let mut done: HashMap<usize, SimTime> = HashMap::new();
+    let mut done: BTreeMap<usize, SimTime> = BTreeMap::new();
     if let Some(t) = sim.component::<App>(apps[1]).done_at {
         done.insert(1, t);
     }

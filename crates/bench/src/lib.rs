@@ -21,6 +21,8 @@
 //!   oracle at 2²⁵ keys costs more than the experiment); correctness at
 //!   these scales is covered by the integration test suite.
 
+#![forbid(unsafe_code)]
+
 use acc_core::cluster::{run_fft, run_sort, ClusterSpec, Technology};
 use acc_core::report::Series;
 use acc_core::RunRequest;

@@ -3,6 +3,7 @@
 //! for reproducible resilience experiments.
 
 use acc_bench::campaign::{fault_campaign, CampaignConfig};
+use acc_bench::executor::Executor;
 use acc_chaos::{FaultEvent, FaultPlan};
 use acc_core::cluster::{run_sort, ClusterSpec, Technology};
 use acc_sim::{SimDuration, SimTime};
@@ -19,16 +20,18 @@ fn small_config(seed: u64) -> CampaignConfig {
 
 #[test]
 fn same_seed_produces_byte_identical_reports() {
-    let a = fault_campaign(&small_config(0xFA17));
-    let b = fault_campaign(&small_config(0xFA17));
+    // Serial vs. pooled: the executor must not leak into the bytes.
+    let a = fault_campaign(&Executor::serial(), &small_config(0xFA17));
+    let b = fault_campaign(&Executor::new(4), &small_config(0xFA17));
     assert_eq!(a.to_table(), b.to_table());
     assert_eq!(a.to_csv(), b.to_csv());
 }
 
 #[test]
 fn different_seed_changes_the_fault_sequence() {
-    let a = fault_campaign(&small_config(1));
-    let b = fault_campaign(&small_config(2));
+    let ex = Executor::serial();
+    let a = fault_campaign(&ex, &small_config(1));
+    let b = fault_campaign(&ex, &small_config(2));
     // The pristine 0% column matches; the lossy columns should not all
     // be identical (different seeds lose different frames).
     assert_ne!(a.to_csv(), b.to_csv());

@@ -12,6 +12,8 @@
 //! produces bit-identical fault sequences regardless of how many links
 //! exist, the order they are wired, or what traffic the others carry.
 
+#![forbid(unsafe_code)]
+
 use acc_net::Impairment;
 use acc_sim::{DataSize, SimDuration, SimRng, SimTime};
 

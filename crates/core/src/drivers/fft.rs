@@ -29,7 +29,7 @@
 //! [`RecoveryCoordinator`](super::RecoveryCoordinator).
 
 use std::any::Any;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use acc_algos::fft::{fft_in_place, Direction, Matrix};
 use acc_algos::transpose::{
@@ -109,7 +109,7 @@ pub struct FftDriver {
     /// Inbound block bytes per (src_rank, channel) — TCP legs. The
     /// channel namespaces the transpose number by epoch, so bytes from
     /// an aborted attempt never leak into the restarted one.
-    rx: HashMap<(usize, u16), Vec<u8>>,
+    rx: BTreeMap<(usize, u16), Vec<u8>>,
     /// Current pairwise exchange step (1-based) — commodity path. The
     /// transpose is "a serialized communications step" (Section 3.1.2):
     /// step `s` sends to `(rank+s) mod P` and waits for the block from
@@ -118,7 +118,7 @@ pub struct FftDriver {
     exchange_step: usize,
     /// Assembled results delivered by the card, keyed by stream, held
     /// until the TCP legs of a mixed exchange also complete.
-    early_gathers: HashMap<u32, Vec<u8>>,
+    early_gathers: BTreeMap<u32, Vec<u8>>,
     /// Raw gather held while the final-permutation charge runs
     /// (protocol-processor mode): per-source concatenated blocks plus
     /// per-source end offsets.
@@ -138,7 +138,7 @@ pub struct FftDriver {
     /// Phase checkpoints: slab snapshots keyed by completed phase
     /// (1 = row FFTs #1, 2 = transpose #1, 3 = row FFTs #2). Captured
     /// only under [`RecoveryPolicy::Checkpointed`] with a coordinator.
-    ckpts: HashMap<u32, Matrix>,
+    ckpts: BTreeMap<u32, Matrix>,
     /// Parked between reporting a failure and the coordinator's resume.
     paused: bool,
     /// Whether the card finished loading its bitstream. A failover that
@@ -182,15 +182,15 @@ impl FftDriver {
             phase: Phase::Init,
             phase_entered: SimTime::ZERO,
             subphase_entered: SimTime::ZERO,
-            rx: HashMap::new(),
+            rx: BTreeMap::new(),
             exchange_step: 0,
-            early_gathers: HashMap::new(),
+            early_gathers: BTreeMap::new(),
             raw_gather: None,
             epoch: 0,
             failed_over: false,
             fault_ctl: FaultCtl::default(),
             dead: BTreeSet::new(),
-            ckpts: HashMap::new(),
+            ckpts: BTreeMap::new(),
             paused: false,
             configured: false,
             pending_resume: None,
@@ -704,7 +704,7 @@ impl FftDriver {
         self.early_gathers.clear();
         self.raw_gather = None;
         self.exchange_step = 0;
-        let restore = |ckpts: &HashMap<u32, Matrix>, k: u32| {
+        let restore = |ckpts: &BTreeMap<u32, Matrix>, k: u32| {
             ckpts
                 .get(&k)
                 .cloned()

@@ -13,7 +13,7 @@ pub mod reduce;
 pub mod sort;
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use acc_fpga::InicMode;
 use acc_host::StallSchedule;
@@ -138,7 +138,7 @@ pub struct RecoveryCoordinator {
     label: String,
     drivers: Vec<ComponentId>,
     /// Collected phases per round.
-    rounds: HashMap<u64, Vec<u32>>,
+    rounds: BTreeMap<u64, Vec<u32>>,
 }
 
 impl RecoveryCoordinator {
@@ -147,7 +147,7 @@ impl RecoveryCoordinator {
         RecoveryCoordinator {
             label: "recovery-coordinator".to_owned(),
             drivers,
-            rounds: HashMap::new(),
+            rounds: BTreeMap::new(),
         }
     }
 }

@@ -15,7 +15,7 @@
 //!   arithmetic.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use acc_fpga::{
     Bitstream, GatherKind, InicConfigure, InicConfigured, InicExpect, InicGatherComplete,
@@ -76,7 +76,7 @@ pub struct ReduceDriver {
     attachment: Attachment,
     kernels: HostKernels,
     vector: Vec<f64>,
-    rx: HashMap<usize, Vec<u8>>,
+    rx: BTreeMap<usize, Vec<u8>>,
     pending: usize,
     result: Vec<f64>,
     phase: Phase,
@@ -101,7 +101,7 @@ impl ReduceDriver {
             attachment,
             kernels,
             vector,
-            rx: HashMap::new(),
+            rx: BTreeMap::new(),
             pending: 0,
             result: Vec::new(),
             phase: Phase::Init,

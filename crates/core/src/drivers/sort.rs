@@ -25,7 +25,7 @@
 //! from the exchange instead of re-running it.
 
 use std::any::Any;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use acc_algos::sort::{
     bucket_index, bucket_sort, bytes_to_keys, count_sort, destination_by_splitters,
@@ -134,7 +134,7 @@ pub struct SortDriver {
     /// TCP receive reassembly: raw bytes per (src rank, channel). The
     /// channel namespaces the exchange by epoch, so bytes from an
     /// aborted attempt never leak into the restarted one.
-    rx: HashMap<(usize, u16), Vec<u8>>,
+    rx: BTreeMap<(usize, u16), Vec<u8>>,
     /// Commodity: keys received (parsed once each stream's length-prefix
     /// is satisfied).
     received_keys: Vec<Vec<u32>>,
@@ -198,7 +198,7 @@ impl SortDriver {
             recv_buckets,
             phase: Phase::Init,
             phase_entered: SimTime::ZERO,
-            rx: HashMap::new(),
+            rx: BTreeMap::new(),
             received_keys: Vec::new(),
             streams_pending: 0,
             mixed_tcp_keys: Vec::new(),
@@ -512,7 +512,12 @@ impl SortDriver {
         if buf.len() < 8 {
             return None;
         }
-        let want = u64::from_le_bytes(buf[..8].try_into().unwrap()) as usize;
+        let want = usize::try_from(u64::from_le_bytes(
+            buf[..8]
+                .try_into()
+                .expect("sort stream length prefix is 8 bytes"),
+        ))
+        .expect("sort stream length fits usize");
         if buf.len() < 8 + want {
             return None;
         }

@@ -22,6 +22,8 @@
 //!   conservation checks over the ports' and cards' counters, failing
 //!   at the first violation with a trace-tail dump.
 
+#![forbid(unsafe_code)]
+
 pub mod audit;
 pub mod cluster;
 pub mod drivers;

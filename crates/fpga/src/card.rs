@@ -27,7 +27,7 @@
 //! the host are checked against host-side oracles in tests.
 
 use std::any::Any;
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use acc_algos::sort::{bucket_index, bytes_to_keys, keys_to_bytes};
 use acc_algos::transpose::{
@@ -418,11 +418,11 @@ pub struct InicCard {
     /// Whether a host-in admission is outstanding.
     host_in_busy: bool,
     demux: StreamDemux,
-    gathers: HashMap<u32, Gather>,
+    gathers: BTreeMap<u32, Gather>,
     /// Packets that arrived before their gather was announced (a fast
     /// peer can be one phase ahead), with the sender MAC for recovery
     /// control traffic; replayed on [`InicExpect`].
-    early_pkts: HashMap<u32, Vec<(InicPacket, Option<MacAddr>)>>,
+    early_pkts: BTreeMap<u32, Vec<(InicPacket, Option<MacAddr>)>>,
     /// Whether the loss-recovery protocol (checksums already always on:
     /// ACK/NACK/timeout-retransmit) is enabled. Off on the fault-free
     /// path so the golden figures carry zero recovery overhead.
@@ -437,30 +437,30 @@ pub struct InicCard {
     peers: Vec<MacAddr>,
     /// Peers known to be reconfiguring, and until when: their
     /// retransmission timers wait instead of counting retries.
-    busy_until: HashMap<MacAddr, SimTime>,
+    busy_until: BTreeMap<MacAddr, SimTime>,
     /// Peers whose cards died permanently; chunks destined to them are
     /// dropped at admission instead of filling a window forever.
-    dead_peers: HashSet<MacAddr>,
+    dead_peers: BTreeSet<MacAddr>,
     /// Aborted collective stream ids (rank-local recovery restarted
     /// them under a new epoch); late packets are dropped, late gather
     /// completions swallowed.
-    canceled: HashSet<u32>,
+    canceled: BTreeSet<u32>,
     /// Sender-side recovery windows.
-    tx_window: HashMap<(MacAddr, u32), TxStream>,
+    tx_window: BTreeMap<(MacAddr, u32), TxStream>,
     /// Credit packets ever received per peer (stall detection).
-    credits_from: HashMap<MacAddr, u64>,
+    credits_from: BTreeMap<MacAddr, u64>,
     /// Last gap offset NACKed per `(src_rank, stream)`, to avoid
     /// NACK storms while the repair is in flight.
-    last_nacked: HashMap<(u32, u32), u32>,
+    last_nacked: BTreeMap<(u32, u32), u32>,
     /// Data packets retransmitted (timeout blasts + NACK repairs).
     retransmits: u64,
     /// Per-destination flow-control window (defaults to
     /// [`CREDIT_WINDOW`]; the credit-window ablation sweeps it).
     credit_window: u64,
     /// Un-credited payload bytes in flight per destination MAC.
-    outstanding: HashMap<MacAddr, u64>,
+    outstanding: BTreeMap<MacAddr, u64>,
     /// Bytes consumed from each source MAC not yet returned as credit.
-    pending_credit: HashMap<MacAddr, u64>,
+    pending_credit: BTreeMap<MacAddr, u64>,
     /// Cost of the single completion interrupt per gather.
     completion_interrupt: SimDuration,
     /// Bytes of card memory currently committed (scatter staging +
@@ -497,22 +497,22 @@ impl InicCard {
             send_queue: VecDeque::new(),
             host_in_busy: false,
             demux: StreamDemux::new(),
-            gathers: HashMap::new(),
-            early_pkts: HashMap::new(),
+            gathers: BTreeMap::new(),
+            early_pkts: BTreeMap::new(),
             reliability: false,
             dead: false,
             dark_until: None,
             peers: Vec::new(),
-            busy_until: HashMap::new(),
-            dead_peers: HashSet::new(),
-            canceled: HashSet::new(),
-            tx_window: HashMap::new(),
-            credits_from: HashMap::new(),
-            last_nacked: HashMap::new(),
+            busy_until: BTreeMap::new(),
+            dead_peers: BTreeSet::new(),
+            canceled: BTreeSet::new(),
+            tx_window: BTreeMap::new(),
+            credits_from: BTreeMap::new(),
+            last_nacked: BTreeMap::new(),
             retransmits: 0,
             credit_window: CREDIT_WINDOW,
-            outstanding: HashMap::new(),
-            pending_credit: HashMap::new(),
+            outstanding: BTreeMap::new(),
+            pending_credit: BTreeMap::new(),
             completion_interrupt: SimDuration::from_micros(12),
             mem_in_use: 0,
             interrupts_raised: 0,
@@ -643,7 +643,7 @@ impl InicCard {
         };
         let broadcast = matches!(scatter.kind, ScatterKind::Broadcast);
         let n = chunks.len();
-        let mut seen_offsets: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let mut seen_offsets: BTreeSet<u32> = BTreeSet::new();
         for (i, (dest, pkt)) in chunks.into_iter().enumerate() {
             // Broadcast replicas of an already-fetched packet stay in
             // card memory; every other scatter pays host DMA per chunk.

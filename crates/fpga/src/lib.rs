@@ -21,6 +21,8 @@
 //! the real bytes (via the `acc-algos` kernels) so end-to-end results are
 //! checked against host-side oracles in the integration tests.
 
+#![forbid(unsafe_code)]
+
 pub mod card;
 pub mod device;
 pub mod ops;

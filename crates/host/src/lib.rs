@@ -22,6 +22,8 @@
 //! * [`stall`] — node stall windows during which the CPU defers all
 //!   event servicing (the host half of `NodeStall` fault injection).
 
+#![forbid(unsafe_code)]
+
 pub mod bus;
 pub mod interrupts;
 pub mod kernels;

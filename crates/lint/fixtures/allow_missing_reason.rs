@@ -1,0 +1,9 @@
+//! Allowlist fixture: an annotation without a reason is itself a
+//! diagnostic (A0) and suppresses nothing.
+// acc-lint: allow(R1)
+use std::collections::HashSet;
+
+pub fn distinct(xs: &[u64]) -> usize {
+    let seen: HashSet<u64> = xs.iter().copied().collect();
+    seen.len()
+}

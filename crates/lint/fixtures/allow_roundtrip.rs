@@ -1,0 +1,10 @@
+//! Allowlist fixture: a justified violation is suppressed and its
+//! reason collected.
+// acc-lint: allow(R1, reason = "drop-order scratch set; never iterated")
+use std::collections::HashSet;
+
+pub fn distinct(xs: &[u64]) -> usize {
+    // acc-lint: allow(R1, reason = "len() only; iteration order never observed")
+    let seen: HashSet<u64> = xs.iter().copied().collect();
+    seen.len()
+}

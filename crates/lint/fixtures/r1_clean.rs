@@ -1,0 +1,14 @@
+//! R1 fixture (clean): ordered collections only.
+use std::collections::BTreeMap;
+
+pub struct MacTable {
+    table: BTreeMap<u64, usize>,
+}
+
+impl MacTable {
+    pub fn new() -> MacTable {
+        MacTable {
+            table: BTreeMap::new(),
+        }
+    }
+}

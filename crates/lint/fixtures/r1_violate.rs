@@ -1,0 +1,14 @@
+//! R1 fixture: unordered collections in a deterministic crate.
+use std::collections::HashMap;
+
+pub struct MacTable {
+    table: HashMap<u64, usize>,
+}
+
+impl MacTable {
+    pub fn new() -> MacTable {
+        MacTable {
+            table: HashMap::new(),
+        }
+    }
+}

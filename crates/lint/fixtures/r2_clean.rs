@@ -1,0 +1,4 @@
+//! R2 fixture (clean): simulated time only.
+pub fn stamp(now_ps: u64, step_ps: u64) -> u64 {
+    now_ps + step_ps
+}

@@ -1,0 +1,6 @@
+//! R2 fixture: wall-clock time outside the bench crate.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,4 @@
+//! R3 fixture (clean): checked conversion in a wire codec.
+pub fn encode_rank(rank: u32) -> Option<[u8; 2]> {
+    u16::try_from(rank).ok().map(u16::to_le_bytes)
+}

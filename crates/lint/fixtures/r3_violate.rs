@@ -1,0 +1,4 @@
+//! R3 fixture: silent narrowing cast in a wire codec.
+pub fn encode_rank(rank: u32) -> [u8; 2] {
+    (rank as u16).to_le_bytes()
+}

@@ -1,0 +1,6 @@
+//! R4 fixture (clean): expect with a component-identifying message.
+pub fn head(bytes: &[u8]) -> [u8; 4] {
+    bytes[0..4]
+        .try_into()
+        .expect("codec header slice is 4 bytes")
+}

@@ -1,0 +1,4 @@
+//! R4 fixture: bare unwrap in library code.
+pub fn head(bytes: &[u8]) -> [u8; 4] {
+    bytes[0..4].try_into().unwrap()
+}

@@ -1,0 +1,5 @@
+//! R5 fixture (clean): the hot path surfaces errors instead of
+//! panicking directly.
+pub fn dispatch(slot: Option<u32>) -> Result<u32, &'static str> {
+    slot.ok_or("unregistered component")
+}

@@ -1,0 +1,7 @@
+//! R5 fixture: direct panic in the sim hot path.
+pub fn dispatch(slot: Option<u32>) -> u32 {
+    match slot {
+        Some(id) => id,
+        None => panic!("unregistered component"),
+    }
+}

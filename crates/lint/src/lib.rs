@@ -1,0 +1,820 @@
+//! # acc-lint — static determinism and wire-safety invariants
+//!
+//! The repo's core promise — byte-identical campaign reports at any
+//! `--jobs` count and per-seed reproducible soak runs — rests on a small
+//! set of source-level invariants. The runtime Auditor (acc-core) checks
+//! the dynamic half; this crate checks the static half at review time,
+//! dependency-free and token-level, so it runs everywhere CI does.
+//!
+//! ## Rules
+//!
+//! * **R1** — no `HashMap`/`HashSet` in deterministic crates (`sim`,
+//!   `core`, `net`, `proto`, `fpga`, `host`, `algos` and the umbrella
+//!   crate). `RandomState` seeds hash iteration order per-process, so a
+//!   single map iteration feeding an event schedule or a report silently
+//!   breaks reproducibility. Use `BTreeMap`/`BTreeSet`, or annotate with
+//!   a justification (see below) when iteration provably never feeds
+//!   output ordering.
+//! * **R2** — no `std::time::Instant`/`SystemTime`, `RandomState` or
+//!   thread-identity values outside `crates/bench` (wall-clock timing is
+//!   the bench harness's job; everything else runs on [`SimTime`]).
+//! * **R3** — no `as` narrowing casts in the wire-codec crate
+//!   (`proto`): `try_from`/`From`/checked conversions only. PR 3's
+//!   `InicPacket::encode` truncation bug is exactly the class this rule
+//!   kills.
+//! * **R4** — no bare `unwrap()` in non-test library code: `expect` with
+//!   a component-identifying message (the PR 3 convention), so a panic
+//!   names its component in the trace dump.
+//! * **R5** — no direct `panic!`/`todo!`/`unimplemented!` in the sim
+//!   hot path (`crates/sim`), and no `todo!`/`unimplemented!` anywhere
+//!   in deterministic crates. Deliberate fail-loud invariant breaches
+//!   must carry an allowlist justification.
+//!
+//! ## Allowlist
+//!
+//! A violation is suppressed — and its justification collected into the
+//! report — by an annotation on the same line or on its own comment line
+//! directly above (attribute lines in between are skipped):
+//!
+//! ```text
+//! // acc-lint: allow(R1, reason = "drop-order scratch set; never iterated")
+//! ```
+//!
+//! The `reason` is mandatory: an allow without one is itself a
+//! diagnostic (`A0`).
+//!
+//! [`SimTime`]: https://docs.rs/acc-sim
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose event schedules and outputs must be bit-reproducible.
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "sim", "core", "net", "proto", "fpga", "host", "algos", "acc",
+];
+
+/// Integer target types an `as` cast may narrow into (R3). Casts to
+/// `u64`/`i64`/`u128`/floats widen from every type the codecs use and
+/// are left to clippy's precision lints.
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
+
+/// One enforced rule. `A0` is the meta-rule for malformed allowlist
+/// annotations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    A0,
+}
+
+impl Rule {
+    /// Stable short code used in diagnostics and annotations.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::R1 => "R1",
+            Rule::R2 => "R2",
+            Rule::R3 => "R3",
+            Rule::R4 => "R4",
+            Rule::R5 => "R5",
+            Rule::A0 => "A0",
+        }
+    }
+
+    /// Parse an annotation's rule code.
+    pub fn from_code(code: &str) -> Option<Rule> {
+        match code {
+            "R1" => Some(Rule::R1),
+            "R2" => Some(Rule::R2),
+            "R3" => Some(Rule::R3),
+            "R4" => Some(Rule::R4),
+            "R5" => Some(Rule::R5),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// A rule violation at a specific source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub path: String,
+    pub line: usize,
+    pub rule: Rule,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "error[{}]: {}\n  --> {}:{}",
+            self.rule, self.message, self.path, self.line
+        )
+    }
+}
+
+/// A suppressed violation and the justification its annotation carried.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allowance {
+    pub path: String,
+    pub line: usize,
+    pub rule: Rule,
+    pub reason: String,
+}
+
+/// Result of analyzing one file.
+#[derive(Debug, Default, Clone)]
+pub struct FileReport {
+    pub violations: Vec<Diagnostic>,
+    pub allows: Vec<Allowance>,
+}
+
+/// Result of analyzing a whole workspace.
+#[derive(Debug, Default, Clone)]
+pub struct Report {
+    pub violations: Vec<Diagnostic>,
+    pub allows: Vec<Allowance>,
+    pub files_scanned: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Lexing: split source into per-line code and comment channels
+// ---------------------------------------------------------------------------
+
+/// One physical source line after lexing: `code` has string/char literal
+/// contents blanked (delimiters kept) and comments removed; `comment`
+/// holds the comment text, where allowlist annotations live.
+#[derive(Debug, Default, Clone)]
+struct ScanLine {
+    code: String,
+    comment: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lex {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u8),
+    Char,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into per-line code/comment channels. Handles nested block
+/// comments, (byte/raw) string literals spanning lines, char literals
+/// and lifetimes.
+fn scan_lines(src: &str) -> Vec<ScanLine> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out: Vec<ScanLine> = Vec::new();
+    let mut cur = ScanLine::default();
+    let mut st = Lex::Code;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            out.push(std::mem::take(&mut cur));
+            if st == Lex::LineComment {
+                st = Lex::Code;
+            }
+            i += 1;
+            continue;
+        }
+        let next = chars.get(i + 1).copied().unwrap_or('\0');
+        match st {
+            Lex::Code => {
+                let prev_ident = cur.code.chars().next_back().is_some_and(is_ident);
+                if c == '/' && next == '/' {
+                    st = Lex::LineComment;
+                    i += 2;
+                } else if c == '/' && next == '*' {
+                    st = Lex::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    st = Lex::Str;
+                    i += 1;
+                } else if !prev_ident && c == 'b' && next == '"' {
+                    cur.code.push_str("b\"");
+                    st = Lex::Str;
+                    i += 2;
+                } else if !prev_ident && c == 'b' && next == '\'' {
+                    cur.code.push_str("b'");
+                    st = Lex::Char;
+                    i += 2;
+                } else if !prev_ident
+                    && ((c == 'r' && (next == '"' || next == '#')) || (c == 'b' && next == 'r'))
+                {
+                    // Raw (byte) string: r"..", r#".."#, br#".."#, ...
+                    let mut j = i + if c == 'b' { 2 } else { 1 };
+                    let mut hashes = 0u8;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        cur.code.push_str("r\"");
+                        st = Lex::RawStr(hashes);
+                        i = j + 1;
+                    } else {
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Lifetime ('a) vs char literal ('a', '\n').
+                    let after = chars.get(i + 2).copied().unwrap_or('\0');
+                    if next == '\\' || (after == '\'' && next != '\'') {
+                        cur.code.push('\'');
+                        st = Lex::Char;
+                        i += 1;
+                    } else {
+                        cur.code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            Lex::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            Lex::BlockComment(depth) => {
+                if c == '/' && next == '*' {
+                    st = Lex::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == '/' {
+                    st = if depth == 1 {
+                        Lex::Code
+                    } else {
+                        Lex::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            Lex::Str => {
+                if c == '\\' {
+                    cur.code.push(' ');
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    st = Lex::Code;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            Lex::RawStr(hashes) => {
+                if c == '"'
+                    && chars[i + 1..]
+                        .iter()
+                        .take(hashes as usize)
+                        .all(|&h| h == '#')
+                {
+                    cur.code.push('"');
+                    st = Lex::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            Lex::Char => {
+                if c == '\\' {
+                    cur.code.push(' ');
+                    i += 2;
+                } else if c == '\'' {
+                    cur.code.push('\'');
+                    st = Lex::Code;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------------
+
+/// Byte offsets of every whole-word occurrence of `word` in `code`.
+fn word_occurrences(code: &str, word: &str) -> Vec<usize> {
+    let mut found = Vec::new();
+    let bytes = code.as_bytes();
+    let mut start = 0usize;
+    while let Some(pos) = code[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident(bytes[at - 1] as char);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !is_ident(bytes[end] as char);
+        if before_ok && after_ok {
+            found.push(at);
+        }
+        start = at + word.len().max(1);
+    }
+    found
+}
+
+fn has_word(code: &str, word: &str) -> bool {
+    !word_occurrences(code, word).is_empty()
+}
+
+/// `true` if `code` invokes the macro `name!` (whole-word match on the
+/// name followed by `!`).
+fn has_macro(code: &str, name: &str) -> bool {
+    word_occurrences(code, name)
+        .iter()
+        .any(|&at| code[at + name.len()..].starts_with('!'))
+}
+
+/// `true` if `code` contains a bare `.unwrap()` call (as opposed to
+/// `unwrap_or`/`unwrap_or_else`/`unwrap_or_default`).
+fn has_bare_unwrap(code: &str) -> bool {
+    word_occurrences(code, "unwrap").iter().any(|&at| {
+        let preceded = code[..at].trim_end().ends_with('.');
+        let rest = code[at + "unwrap".len()..].trim_start();
+        preceded && rest.starts_with('(') && rest[1..].trim_start().starts_with(')')
+    })
+}
+
+/// The target-type identifier of the first narrowing `as` cast on the
+/// line, if any.
+fn narrowing_cast_target(code: &str) -> Option<&'static str> {
+    for at in word_occurrences(code, "as") {
+        let rest = code[at + 2..].trim_start();
+        let target: String = rest.chars().take_while(|&c| is_ident(c)).collect();
+        if let Some(t) = NARROW_TARGETS.iter().find(|&&t| t == target) {
+            return Some(t);
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Test-code masking
+// ---------------------------------------------------------------------------
+
+/// Mark every line that belongs to a `#[cfg(test)]` item (module, fn or
+/// impl): rules do not apply to test code. The mask covers the attribute
+/// line through the close of the item's brace block.
+fn test_mask(lines: &[ScanLine]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0usize;
+    while i < lines.len() {
+        if !lines[i].code.contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        // Brace-count from the first `{` at or after the attribute.
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        let mut k = i;
+        while k < lines.len() {
+            for c in lines[k].code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            mask[k] = true;
+            if opened && depth <= 0 {
+                break;
+            }
+            k += 1;
+        }
+        i = k + 1;
+    }
+    mask
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist annotations
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct RawAllow {
+    /// 0-based line index of the annotation itself.
+    at: usize,
+    rule: Option<Rule>,
+    reason: Option<String>,
+    /// Malformation, if any (unknown rule code, missing reason, ...).
+    problem: Option<String>,
+}
+
+/// Parse an allowlist annotation out of a comment channel.
+fn parse_allow(comment: &str, at: usize) -> Option<RawAllow> {
+    let marker = comment.find("acc-lint:")?;
+    let rest = comment[marker + "acc-lint:".len()..].trim_start();
+    let Some(body) = rest.strip_prefix("allow(") else {
+        return Some(RawAllow {
+            at,
+            rule: None,
+            reason: None,
+            problem: Some("expected `allow(<rule>, reason = \"...\")`".to_string()),
+        });
+    };
+    let code: String = body.chars().take_while(|&c| is_ident(c)).collect();
+    let rule = Rule::from_code(&code);
+    if rule.is_none() {
+        return Some(RawAllow {
+            at,
+            rule: None,
+            reason: None,
+            problem: Some(format!("unknown rule `{code}` in allow annotation")),
+        });
+    }
+    let reason = body.find("reason").and_then(|r| {
+        let after = body[r + "reason".len()..].trim_start();
+        let after = after.strip_prefix('=')?.trim_start();
+        let after = after.strip_prefix('"')?;
+        let end = after.find('"')?;
+        Some(after[..end].to_string())
+    });
+    if reason.as_deref().is_none_or(str::is_empty) {
+        return Some(RawAllow {
+            at,
+            rule,
+            reason: None,
+            problem: Some(format!(
+                "allow({code}) annotation is missing a `reason = \"...\"` justification"
+            )),
+        });
+    }
+    Some(RawAllow {
+        at,
+        rule,
+        reason,
+        problem: None,
+    })
+}
+
+/// Resolve each well-formed annotation to the line it governs: its own
+/// line if that line has code, otherwise the next line that has code and
+/// is not purely an attribute.
+fn bind_allows(lines: &[ScanLine], raw: &[RawAllow]) -> Vec<(usize, Rule, String)> {
+    let mut bound = Vec::new();
+    for a in raw {
+        let (Some(rule), Some(reason), None) = (a.rule, a.reason.clone(), a.problem.as_ref())
+        else {
+            continue;
+        };
+        let own_code = lines[a.at].code.trim();
+        let target = if !own_code.is_empty() {
+            Some(a.at)
+        } else {
+            lines
+                .iter()
+                .enumerate()
+                .skip(a.at + 1)
+                .find(|(_, l)| {
+                    let t = l.code.trim();
+                    !t.is_empty() && !t.starts_with("#[") && !t.starts_with("#![")
+                })
+                .map(|(idx, _)| idx)
+        };
+        if let Some(t) = target {
+            bound.push((t, rule, reason));
+        }
+    }
+    bound
+}
+
+// ---------------------------------------------------------------------------
+// Per-file analysis
+// ---------------------------------------------------------------------------
+
+/// The crate a workspace-relative path belongs to (`crates/net/...` →
+/// `net`; the root `src/` is the umbrella crate `acc`).
+pub fn crate_of(path: &str) -> Option<&str> {
+    let norm = path.strip_prefix("./").unwrap_or(path);
+    if let Some(rest) = norm.strip_prefix("crates/") {
+        return rest.split('/').next();
+    }
+    if norm.starts_with("src/") {
+        return Some("acc");
+    }
+    None
+}
+
+fn is_deterministic(krate: &str) -> bool {
+    DETERMINISTIC_CRATES.contains(&krate)
+}
+
+/// `true` for paths whose code the rules skip entirely: integration
+/// tests, benches, examples and the lint fixtures themselves.
+fn is_test_path(path: &str) -> bool {
+    path.split('/').any(|part| {
+        part == "tests" || part == "benches" || part == "examples" || part == "fixtures"
+    })
+}
+
+/// Analyze one file's source. `logical_path` is workspace-relative and
+/// determines rule scoping (which crate, test or not).
+pub fn analyze_source(logical_path: &str, source: &str) -> FileReport {
+    let mut report = FileReport::default();
+    if is_test_path(logical_path) {
+        return report;
+    }
+    let Some(krate) = crate_of(logical_path).map(str::to_string) else {
+        return report;
+    };
+    let lines = scan_lines(source);
+    let mask = test_mask(&lines);
+
+    let raw_allows: Vec<RawAllow> = lines
+        .iter()
+        .enumerate()
+        .filter_map(|(idx, l)| parse_allow(&l.comment, idx))
+        .collect();
+    for a in &raw_allows {
+        if let Some(problem) = &a.problem {
+            report.violations.push(Diagnostic {
+                path: logical_path.to_string(),
+                line: a.at + 1,
+                rule: Rule::A0,
+                message: problem.clone(),
+            });
+        }
+    }
+    let bound = bind_allows(&lines, &raw_allows);
+
+    let push = |report: &mut FileReport, idx: usize, rule: Rule, message: String| {
+        if let Some((_, _, reason)) = bound.iter().find(|(at, r, _)| *at == idx && *r == rule) {
+            report.allows.push(Allowance {
+                path: logical_path.to_string(),
+                line: idx + 1,
+                rule,
+                reason: reason.clone(),
+            });
+        } else {
+            report.violations.push(Diagnostic {
+                path: logical_path.to_string(),
+                line: idx + 1,
+                rule,
+                message,
+            });
+        }
+    };
+
+    let det = is_deterministic(&krate);
+    for (idx, line) in lines.iter().enumerate() {
+        if mask[idx] {
+            continue;
+        }
+        let code = &line.code;
+
+        if det {
+            for ty in ["HashMap", "HashSet"] {
+                if has_word(code, ty) {
+                    push(
+                        &mut report,
+                        idx,
+                        Rule::R1,
+                        format!(
+                            "`{ty}` in deterministic crate `{krate}`: iteration order is \
+                             seeded per-process; use BTree{}, or annotate why ordering \
+                             never feeds output",
+                            &ty[4..]
+                        ),
+                    );
+                }
+            }
+        }
+
+        if krate != "bench" {
+            for ty in ["Instant", "SystemTime", "RandomState", "ThreadId"] {
+                if has_word(code, ty) {
+                    push(
+                        &mut report,
+                        idx,
+                        Rule::R2,
+                        format!(
+                            "`{ty}` outside `crates/bench`: wall-clock and hash-seed \
+                             values are nondeterministic; simulated code runs on SimTime"
+                        ),
+                    );
+                }
+            }
+            if code.contains("thread::current") {
+                push(
+                    &mut report,
+                    idx,
+                    Rule::R2,
+                    "`thread::current` outside `crates/bench`: thread identity varies \
+                     across runs and job counts"
+                        .to_string(),
+                );
+            }
+        }
+
+        if krate == "proto" {
+            if let Some(target) = narrowing_cast_target(code) {
+                push(
+                    &mut report,
+                    idx,
+                    Rule::R3,
+                    format!(
+                        "`as {target}` narrowing cast in wire codec: silent truncation \
+                         corrupts the wire (PR 3 encode bug); use `try_from`/`From`"
+                    ),
+                );
+            }
+        }
+
+        if has_bare_unwrap(code) {
+            push(
+                &mut report,
+                idx,
+                Rule::R4,
+                "bare `unwrap()` in library code: use `expect` with a \
+                 component-identifying message"
+                    .to_string(),
+            );
+        }
+
+        let sim_hot_path = krate == "sim";
+        for mac in ["panic", "todo", "unimplemented"] {
+            if has_macro(code, mac) {
+                let applies = if mac == "panic" {
+                    sim_hot_path
+                } else {
+                    det || sim_hot_path
+                };
+                if applies {
+                    push(
+                        &mut report,
+                        idx,
+                        Rule::R5,
+                        format!(
+                            "`{mac}!` reachable from the sim hot path: deliberate \
+                             fail-loud invariants need an allow annotation with a reason"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walk
+// ---------------------------------------------------------------------------
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name == "fixtures" || name == "target" {
+                continue;
+            }
+            walk_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Every workspace `.rs` file the rules govern: `crates/*/src/**` plus
+/// the umbrella crate's `src/**`, in sorted order. Integration tests,
+/// benches, examples and fixtures are excluded (see [`analyze_source`]).
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        members.sort();
+        for member in members {
+            walk_rs(&member.join("src"), &mut files)?;
+        }
+    }
+    walk_rs(&root.join("src"), &mut files)?;
+    Ok(files)
+}
+
+/// Analyze the whole workspace rooted at `root`.
+pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    for path in workspace_files(root)? {
+        let source = fs::read_to_string(&path)?;
+        let logical = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let file = analyze_source(&logical, &source);
+        report.violations.extend(file.violations);
+        report.allows.extend(file.allows);
+        report.files_scanned += 1;
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    report
+        .allows
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexer_blanks_strings_and_comments() {
+        let src = "let x = \"HashMap inside a string\"; // HashMap in comment\n";
+        let lines = scan_lines(src);
+        assert_eq!(lines.len(), 1);
+        assert!(!has_word(&lines[0].code, "HashMap"));
+        assert!(lines[0].comment.contains("HashMap"));
+    }
+
+    #[test]
+    fn lexer_handles_lifetimes_and_chars() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }\n";
+        let lines = scan_lines(src);
+        assert!(lines[0].code.contains("fn f<'a>"));
+        assert!(!lines[0].code.contains('x') || lines[0].code.contains("x:"));
+    }
+
+    #[test]
+    fn raw_strings_do_not_leak_tokens() {
+        let src = "let s = r#\"panic! unwrap() HashMap\"#;\n";
+        let lines = scan_lines(src);
+        assert!(!has_macro(&lines[0].code, "panic"));
+        assert!(!has_bare_unwrap(&lines[0].code));
+        assert!(!has_word(&lines[0].code, "HashMap"));
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_bare() {
+        assert!(has_bare_unwrap("x.unwrap();"));
+        assert!(has_bare_unwrap("x.unwrap ( ) ;"));
+        assert!(!has_bare_unwrap("x.unwrap_or(3);"));
+        assert!(!has_bare_unwrap("x.unwrap_or_else(|| 3);"));
+        assert!(!has_bare_unwrap("x.unwrap_or_default();"));
+    }
+
+    #[test]
+    fn narrowing_detection() {
+        assert_eq!(narrowing_cast_target("let x = y as u16;"), Some("u16"));
+        assert_eq!(narrowing_cast_target("let x = y as u64;"), None);
+        assert_eq!(narrowing_cast_target("let x = y as f64;"), None);
+        assert_eq!(narrowing_cast_target("use a::b as c;"), None);
+    }
+
+    #[test]
+    fn crate_scoping() {
+        assert_eq!(crate_of("crates/net/src/switch.rs"), Some("net"));
+        assert_eq!(crate_of("src/lib.rs"), Some("acc"));
+        assert_eq!(crate_of("README.md"), None);
+    }
+}

@@ -1,0 +1,119 @@
+//! `acc-lint` — run the workspace static-analysis pass.
+//!
+//! ```text
+//! acc-lint [--root <dir>] [--quiet]
+//! acc-lint --check-file <logical-path> <file>
+//! ```
+//!
+//! Walks every workspace `.rs` file under `<dir>` (default: the current
+//! directory, falling back to the workspace that built this binary),
+//! prints rustc-style diagnostics for each violation of rules R1–R5,
+//! lists the collected allowlist justifications, and exits nonzero if
+//! any violation remains.
+//!
+//! `--check-file` analyzes a single file as if it lived at
+//! `<logical-path>` inside the workspace (rule scoping is path-based) —
+//! used by the fixture tests and handy for pre-commit hooks.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root(cli_root: Option<PathBuf>) -> PathBuf {
+    if let Some(root) = cli_root {
+        return root;
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    if cwd.join("crates").is_dir() {
+        return cwd;
+    }
+    // Fall back to the workspace this binary was built from, so
+    // `cargo run -p acc-lint` works from any subdirectory.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or(cwd)
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check-file" => {
+                let (Some(logical), Some(file)) = (args.next(), args.next()) else {
+                    eprintln!("acc-lint: --check-file requires <logical-path> <file>");
+                    return ExitCode::from(2);
+                };
+                let source = match std::fs::read_to_string(&file) {
+                    Ok(s) => s,
+                    Err(err) => {
+                        eprintln!("acc-lint: failed to read {file}: {err}");
+                        return ExitCode::from(2);
+                    }
+                };
+                let report = acc_lint::analyze_source(&logical, &source);
+                for v in &report.violations {
+                    eprintln!("{v}");
+                }
+                println!(
+                    "acc-lint: 1 file scanned as {logical}, {} violation(s), {} allow(s)",
+                    report.violations.len(),
+                    report.allows.len()
+                );
+                return if report.violations.is_empty() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                };
+            }
+            "--root" => {
+                root = args.next().map(PathBuf::from);
+                if root.is_none() {
+                    eprintln!("acc-lint: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            }
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: acc-lint [--root <dir>] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("acc-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = workspace_root(root);
+    let report = match acc_lint::analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(err) => {
+            eprintln!("acc-lint: failed to scan {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for v in &report.violations {
+        eprintln!("{v}");
+    }
+    if !quiet && !report.allows.is_empty() {
+        println!("allowlist ({} annotation(s)):", report.allows.len());
+        for a in &report.allows {
+            println!("  {}:{} [{}] — {}", a.path, a.line, a.rule, a.reason);
+        }
+    }
+    println!(
+        "acc-lint: {} file(s) scanned, {} violation(s), {} allow(s)",
+        report.files_scanned,
+        report.violations.len(),
+        report.allows.len()
+    );
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,204 @@
+//! Fixture tests for the `acc-lint` rules: each rule has one violating
+//! and one clean fixture, the allowlist round-trips its reasons, and the
+//! workspace itself must pass with zero violations (self-check).
+
+use std::path::{Path, PathBuf};
+
+use acc_lint::{analyze_source, analyze_workspace, FileReport, Rule};
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+/// Analyze a fixture as if it lived at `logical` inside the workspace.
+fn check(name: &str, logical: &str) -> FileReport {
+    analyze_source(logical, &fixture(name))
+}
+
+fn rules_of(report: &FileReport) -> Vec<Rule> {
+    report.violations.iter().map(|v| v.rule).collect()
+}
+
+#[test]
+fn r1_violating_fixture_is_flagged_with_line() {
+    let report = check("r1_violate.rs", "crates/net/src/table.rs");
+    let rules = rules_of(&report);
+    assert!(
+        rules.iter().all(|&r| r == Rule::R1),
+        "only R1 expected, got {rules:?}"
+    );
+    assert_eq!(rules.len(), 3, "use, field and constructor: {report:?}");
+    assert_eq!(report.violations[0].line, 2, "the `use` line");
+    assert_eq!(report.violations[0].path, "crates/net/src/table.rs");
+}
+
+#[test]
+fn r1_clean_fixture_passes() {
+    let report = check("r1_clean.rs", "crates/net/src/table.rs");
+    assert!(report.violations.is_empty(), "{report:?}");
+}
+
+#[test]
+fn r1_does_not_apply_outside_deterministic_crates() {
+    let report = check("r1_violate.rs", "crates/bench/src/table.rs");
+    assert!(
+        report.violations.is_empty(),
+        "bench is exempt from R1: {report:?}"
+    );
+}
+
+#[test]
+fn r2_violating_fixture_is_flagged_with_line() {
+    let report = check("r2_violate.rs", "crates/core/src/clock.rs");
+    let rules = rules_of(&report);
+    assert!(
+        !rules.is_empty() && rules.iter().all(|&r| r == Rule::R2),
+        "{report:?}"
+    );
+    assert_eq!(report.violations[0].line, 2, "the `use std::time` line");
+}
+
+#[test]
+fn r2_clean_fixture_passes_and_bench_is_exempt() {
+    let clean = check("r2_clean.rs", "crates/core/src/clock.rs");
+    assert!(clean.violations.is_empty(), "{clean:?}");
+    let bench = check("r2_violate.rs", "crates/bench/src/harness.rs");
+    assert!(
+        bench.violations.is_empty(),
+        "bench wall-clock code is exempt from R2: {bench:?}"
+    );
+}
+
+#[test]
+fn r3_violating_fixture_is_flagged_with_line() {
+    let report = check("r3_violate.rs", "crates/proto/src/codec.rs");
+    let rules = rules_of(&report);
+    assert_eq!(rules, vec![Rule::R3], "{report:?}");
+    assert_eq!(report.violations[0].line, 3, "the `as u16` line");
+}
+
+#[test]
+fn r3_clean_fixture_passes_and_rule_is_proto_scoped() {
+    let clean = check("r3_clean.rs", "crates/proto/src/codec.rs");
+    assert!(clean.violations.is_empty(), "{clean:?}");
+    // The identical narrowing cast outside the wire-codec crate is not
+    // an R3 matter (clippy's crate-level lints cover it there).
+    let elsewhere = check("r3_violate.rs", "crates/host/src/codec.rs");
+    assert!(elsewhere.violations.is_empty(), "{elsewhere:?}");
+}
+
+#[test]
+fn r4_violating_fixture_is_flagged_with_line() {
+    let report = check("r4_violate.rs", "crates/fpga/src/slice.rs");
+    let rules = rules_of(&report);
+    assert_eq!(rules, vec![Rule::R4], "{report:?}");
+    assert_eq!(report.violations[0].line, 3, "the `.unwrap()` line");
+}
+
+#[test]
+fn r4_clean_fixture_passes() {
+    let report = check("r4_clean.rs", "crates/fpga/src/slice.rs");
+    assert!(report.violations.is_empty(), "{report:?}");
+}
+
+#[test]
+fn r5_violating_fixture_is_flagged_with_line() {
+    let report = check("r5_violate.rs", "crates/sim/src/dispatch.rs");
+    let rules = rules_of(&report);
+    assert_eq!(rules, vec![Rule::R5], "{report:?}");
+    assert_eq!(report.violations[0].line, 5, "the `panic!` line");
+}
+
+#[test]
+fn r5_clean_fixture_passes_and_panic_is_sim_scoped() {
+    let clean = check("r5_clean.rs", "crates/sim/src/dispatch.rs");
+    assert!(clean.violations.is_empty(), "{clean:?}");
+    // Component crates may panic (fail-loud event handlers, the PR 1
+    // trace-dump convention); only the sim hot path is restricted.
+    let component = check("r5_violate.rs", "crates/net/src/dispatch.rs");
+    assert!(component.violations.is_empty(), "{component:?}");
+}
+
+#[test]
+fn allowlist_round_trip_suppresses_and_collects_reasons() {
+    let report = check("allow_roundtrip.rs", "crates/net/src/scratch.rs");
+    assert!(
+        report.violations.is_empty(),
+        "annotated violations must be suppressed: {report:?}"
+    );
+    assert_eq!(report.allows.len(), 2, "{report:?}");
+    assert_eq!(
+        report.allows[0].reason,
+        "drop-order scratch set; never iterated"
+    );
+    assert_eq!(report.allows[0].rule, Rule::R1);
+    assert_eq!(
+        report.allows[1].reason,
+        "len() only; iteration order never observed"
+    );
+}
+
+#[test]
+fn allow_without_reason_is_a_diagnostic_and_suppresses_nothing() {
+    let report = check("allow_missing_reason.rs", "crates/net/src/scratch.rs");
+    let rules = rules_of(&report);
+    assert!(
+        rules.contains(&Rule::A0),
+        "missing reason must be flagged: {report:?}"
+    );
+    assert!(
+        rules.contains(&Rule::R1),
+        "a reasonless allow must not suppress: {report:?}"
+    );
+    assert!(report.allows.is_empty(), "{report:?}");
+}
+
+#[test]
+fn cfg_test_modules_are_exempt() {
+    let report = check("test_mod_exempt.rs", "crates/net/src/double.rs");
+    assert!(
+        report.violations.is_empty(),
+        "test modules are exempt from every rule: {report:?}"
+    );
+}
+
+#[test]
+fn integration_test_paths_are_exempt() {
+    let report = check("r4_violate.rs", "crates/fpga/tests/behaviour.rs");
+    assert!(report.violations.is_empty(), "{report:?}");
+}
+
+/// The workspace itself must be clean: zero violations, and every
+/// surviving allow annotation carries its justification.
+#[test]
+fn workspace_self_check_passes() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate lives at <root>/crates/lint")
+        .to_path_buf();
+    let report = analyze_workspace(&root).expect("workspace scan failed");
+    assert!(
+        report.files_scanned > 50,
+        "expected to scan the whole workspace, saw {} files",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.violations.iter().map(ToString::to_string).collect();
+    assert!(
+        report.violations.is_empty(),
+        "workspace must be acc-lint clean:\n{}",
+        rendered.join("\n")
+    );
+    for allow in &report.allows {
+        assert!(
+            !allow.reason.is_empty(),
+            "allow at {}:{} lost its reason",
+            allow.path,
+            allow.line
+        );
+    }
+}

@@ -16,6 +16,8 @@
 //! * [`presets`] — Fast Ethernet, Gigabit Ethernet and switch parameters
 //!   matching the prototype cluster (Section 5).
 
+#![forbid(unsafe_code)]
+
 pub mod frame;
 pub mod impair;
 pub mod port;

@@ -1,7 +1,7 @@
 //! A store-and-forward output-queued Ethernet switch.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use acc_sim::{Component, ComponentId, Ctx};
 
@@ -24,7 +24,7 @@ pub struct Switch {
     label: String,
     params: SwitchParams,
     ports: Vec<EgressPort>,
-    mac_table: HashMap<MacAddr, usize>,
+    mac_table: BTreeMap<MacAddr, usize>,
 }
 
 impl Switch {
@@ -34,7 +34,7 @@ impl Switch {
             label: label.into(),
             params,
             ports: Vec::new(),
-            mac_table: HashMap::new(),
+            mac_table: BTreeMap::new(),
         }
     }
 

@@ -24,7 +24,7 @@
 //! fabric none of the recovery machinery runs — the header is the same
 //! 16 bytes the paper's protocol pays either way.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Maximum data bytes per INIC packet. The paper's prototype uses
 /// 1024-byte packets ("packets with 1 KB of data each").
@@ -193,14 +193,15 @@ impl InicPacket {
         if self.data.len() > INIC_PAYLOAD {
             return Err(WireError::Oversize);
         }
-        if self.src_rank > u32::from(u16::MAX) || self.stream > u32::from(u16::MAX) {
-            return Err(WireError::IdOverflow);
-        }
+        let src_rank = u16::try_from(self.src_rank).map_err(|_| WireError::IdOverflow)?;
+        let stream = u16::try_from(self.stream).map_err(|_| WireError::IdOverflow)?;
+        let len = u16::try_from(self.data.len())
+            .expect("inic payload length bounded by INIC_PAYLOAD (1024)");
         let mut out = vec![0u8; INIC_HEADER + self.data.len()];
-        out[0..2].copy_from_slice(&(self.src_rank as u16).to_le_bytes());
-        out[2..4].copy_from_slice(&(self.stream as u16).to_le_bytes());
+        out[0..2].copy_from_slice(&src_rank.to_le_bytes());
+        out[2..4].copy_from_slice(&stream.to_le_bytes());
         out[4..8].copy_from_slice(&self.offset.to_le_bytes());
-        out[8..10].copy_from_slice(&(self.data.len() as u16).to_le_bytes());
+        out[8..10].copy_from_slice(&len.to_le_bytes());
         let mut flags = 0u16;
         if self.fin {
             flags |= FLAG_FIN;
@@ -229,19 +230,41 @@ impl InicPacket {
         if bytes.len() < INIC_HEADER {
             return Err(WireError::Short);
         }
-        let len = u16::from_le_bytes(bytes[8..10].try_into().unwrap()) as usize;
+        let len = usize::from(u16::from_le_bytes(
+            bytes[8..10].try_into().expect("inic len slice is 2 bytes"),
+        ));
         if bytes.len() != INIC_HEADER + len {
             return Err(WireError::LengthMismatch);
         }
-        let want = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+        let want = u32::from_le_bytes(
+            bytes[12..16]
+                .try_into()
+                .expect("inic checksum slice is 4 bytes"),
+        );
         if fnv1a(&[&bytes[0..12], &bytes[INIC_HEADER..]]) != want {
             return Err(WireError::Checksum);
         }
-        let flags = u16::from_le_bytes(bytes[10..12].try_into().unwrap());
+        let flags = u16::from_le_bytes(
+            bytes[10..12]
+                .try_into()
+                .expect("inic flags slice is 2 bytes"),
+        );
         Ok(InicPacket {
-            src_rank: u32::from(u16::from_le_bytes(bytes[0..2].try_into().unwrap())),
-            stream: u32::from(u16::from_le_bytes(bytes[2..4].try_into().unwrap())),
-            offset: u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+            src_rank: u32::from(u16::from_le_bytes(
+                bytes[0..2]
+                    .try_into()
+                    .expect("inic src_rank slice is 2 bytes"),
+            )),
+            stream: u32::from(u16::from_le_bytes(
+                bytes[2..4]
+                    .try_into()
+                    .expect("inic stream slice is 2 bytes"),
+            )),
+            offset: u32::from_le_bytes(
+                bytes[4..8]
+                    .try_into()
+                    .expect("inic offset slice is 4 bytes"),
+            ),
             fin: flags & FLAG_FIN != 0,
             credit: flags & FLAG_CREDIT != 0,
             nack: flags & FLAG_NACK != 0,
@@ -275,7 +298,7 @@ pub fn packetize(src_rank: u32, stream: u32, data: &[u8]) -> Vec<InicPacket> {
         out.push(InicPacket {
             src_rank,
             stream,
-            offset: offset as u32,
+            offset: u32::try_from(offset).expect("inic stream offset fits the 32-bit wire field"),
             fin: end == data.len(),
             credit: false,
             nack: false,
@@ -346,7 +369,8 @@ impl StreamRx {
             return false;
         }
         if pkt.fin {
-            let announced = pkt.offset as usize + pkt.data.len();
+            let announced =
+                usize::try_from(pkt.offset).expect("inic offset fits usize") + pkt.data.len();
             match self.total {
                 Some(t) => assert_eq!(t, announced, "fin total disagrees with announced total"),
                 None => self.total = Some(announced),
@@ -378,10 +402,13 @@ impl StreamRx {
             if off > expected {
                 return Some(expected);
             }
-            expected = off + seg.len() as u32;
+            expected =
+                off + u32::try_from(seg.len()).expect("inic segment length fits the 32-bit offset");
         }
         match self.total {
-            Some(t) if (expected as usize) < t => Some(expected),
+            Some(t) if usize::try_from(expected).expect("inic offset fits usize") < t => {
+                Some(expected)
+            }
             _ => None,
         }
     }
@@ -405,8 +432,8 @@ impl StreamRx {
 /// retransmissions are absorbed instead of resurrecting them.
 #[derive(Default)]
 pub struct StreamDemux {
-    streams: HashMap<(u32, u32), StreamRx>,
-    completed: HashSet<(u32, u32)>,
+    streams: BTreeMap<(u32, u32), StreamRx>,
+    completed: BTreeSet<(u32, u32)>,
 }
 
 impl StreamDemux {
@@ -454,7 +481,10 @@ impl StreamDemux {
             .unwrap_or_else(|| panic!("packet for unannounced stream {key:?}"));
         rx.accept(pkt);
         if rx.complete() {
-            let rx = self.streams.remove(&key).unwrap();
+            let rx = self
+                .streams
+                .remove(&key)
+                .expect("demux: completed stream present in table");
             self.completed.insert(key);
             return Some((key.0, key.1, rx.into_bytes()));
         }
@@ -632,7 +662,10 @@ mod tests {
         rx.accept(&pkts[2]);
         assert_eq!(rx.missing(), Some(0));
         rx.accept(&pkts[0]);
-        assert_eq!(rx.missing(), Some(INIC_PAYLOAD as u32));
+        assert_eq!(
+            rx.missing(),
+            Some(u32::try_from(INIC_PAYLOAD).expect("INIC_PAYLOAD fits u32"))
+        );
         rx.accept(&pkts[1]);
         assert_eq!(rx.missing(), None);
     }
@@ -644,7 +677,10 @@ mod tests {
         let mut rx = StreamRx::new(data.len());
         rx.accept(&pkts[0]);
         rx.accept(&pkts[1]);
-        assert_eq!(rx.missing(), Some(2 * INIC_PAYLOAD as u32));
+        assert_eq!(
+            rx.missing(),
+            Some(2 * u32::try_from(INIC_PAYLOAD).expect("INIC_PAYLOAD fits u32"))
+        );
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   stream reassembly, and ACK/NACK control packets for loss recovery
 //!   under fault injection.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::cast_possible_truncation)]
+
 pub mod inic_wire;
 pub mod tcp;
 

@@ -25,7 +25,7 @@
 //! tests verify under loss and reordering.
 
 use std::any::Any;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use acc_net::port::EgressPort;
 use acc_net::{EtherType, Frame, FrameArrival, MacAddr, PortTxDone};
@@ -174,26 +174,49 @@ impl SegHeader {
         if payload.len() < IP_TCP_HEADER {
             return None;
         }
-        let want = u32::from_le_bytes(payload[23..27].try_into().unwrap());
+        let want = u32::from_le_bytes(
+            payload[23..27]
+                .try_into()
+                .expect("tcp header checksum slice is 4 bytes"),
+        );
         if SegHeader::checksum(payload, &payload[IP_TCP_HEADER..]) != want {
             return None;
         }
         let h = SegHeader {
-            chan: u16::from_le_bytes(payload[0..2].try_into().unwrap()),
-            seq: u64::from_le_bytes(payload[2..10].try_into().unwrap()),
-            ack: u64::from_le_bytes(payload[10..18].try_into().unwrap()),
+            chan: u16::from_le_bytes(payload[0..2].try_into().expect("tcp chan slice is 2 bytes")),
+            seq: u64::from_le_bytes(payload[2..10].try_into().expect("tcp seq slice is 8 bytes")),
+            ack: u64::from_le_bytes(
+                payload[10..18]
+                    .try_into()
+                    .expect("tcp ack slice is 8 bytes"),
+            ),
             has_data: payload[18] != 0,
-            window: u32::from_le_bytes(payload[19..23].try_into().unwrap()),
+            window: u32::from_le_bytes(
+                payload[19..23]
+                    .try_into()
+                    .expect("tcp window slice is 4 bytes"),
+            ),
         };
         Some((h, &payload[IP_TCP_HEADER..]))
     }
 }
 
-/// Flow identity: (peer node, channel).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+/// Flow identity: (peer node, channel). `Ord` because flows are keyed
+/// in ordered maps: iteration must be deterministic (lint rule R1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 struct FlowKey {
     peer: MacAddr,
     chan: u16,
+}
+
+/// Effective send window in whole bytes: cwnd (which grows fractionally
+/// during congestion avoidance) capped by the peer's advertised window.
+fn effective_window(cwnd: f64, peer_window: u32) -> usize {
+    let w = cwnd.min(f64::from(peer_window)).max(0.0);
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    // acc-lint: allow(R3, reason = "congestion-window floor: intentional f64 -> bytes truncation, non-negative and bounded by the 64 KiB advertised window")
+    let bytes = w as usize;
+    bytes
 }
 
 /// A segment in flight.
@@ -295,9 +318,9 @@ pub struct TcpHostNic {
     path: HostPathCosts,
     costs: InterruptCosts,
     moderator: InterruptModerator,
-    conns: HashMap<FlowKey, TcpConn>,
+    conns: BTreeMap<FlowKey, TcpConn>,
     /// Bytes of every in-flight segment, for retransmission.
-    retx_store: HashMap<(FlowKey, u64), Vec<u8>>,
+    retx_store: BTreeMap<(FlowKey, u64), Vec<u8>>,
     /// Frames received but not yet serviced by an interrupt.
     rx_ring: Vec<Frame>,
     /// Whether an interrupt is currently being serviced (batch queued).
@@ -331,8 +354,8 @@ impl TcpHostNic {
             path,
             costs,
             moderator: InterruptModerator::new(policy),
-            conns: HashMap::new(),
-            retx_store: HashMap::new(),
+            conns: BTreeMap::new(),
+            retx_store: BTreeMap::new(),
             rx_ring: Vec::new(),
             servicing: false,
             tx_free_at: SimTime::ZERO,
@@ -414,7 +437,7 @@ impl TcpHostNic {
                 }
                 // Effective window; never below one MSS so a tiny cwnd
                 // cannot deadlock the flow.
-                let window = (conn.cwnd.min(f64::from(conn.peer_window)) as usize).max(MSS);
+                let window = effective_window(conn.cwnd, conn.peer_window).max(MSS);
                 let flight = conn.flight_size();
                 if flight > 0 && flight + take > window {
                     break;
@@ -554,7 +577,10 @@ impl TcpHostNic {
             return;
         }
         let n = self.moderator.service();
-        debug_assert_eq!(n as usize, self.rx_ring.len());
+        debug_assert_eq!(
+            usize::try_from(n).expect("tcp rx batch count fits usize"),
+            self.rx_ring.len()
+        );
         let frames = std::mem::take(&mut self.rx_ring);
         let bytes: u64 = frames.iter().map(|f| f.payload.len() as u64).sum();
         let service = self.costs.service_time(n)
@@ -567,8 +593,22 @@ impl TcpHostNic {
         ctx.self_in(service, ServiceBatch { frames });
     }
 
+    /// Debug-build guard for lint rule R1: the flow table must iterate
+    /// in sorted key order. Trivially true for `BTreeMap`; fails loudly
+    /// in tests if the connection table ever regresses to an unordered
+    /// map, instead of silently reordering frames between runs.
+    fn debug_assert_flow_order(&self) {
+        debug_assert!(
+            self.conns.keys().is_sorted(),
+            "{}: TCP flow-table iteration is not in sorted key order — \
+             campaign replay would reorder frames nondeterministically",
+            self.label
+        );
+    }
+
     fn on_service_batch(&mut self, frames: Vec<Frame>, ctx: &mut Ctx) {
         self.servicing = false;
+        self.debug_assert_flow_order();
         // Per-flow in-order data accumulated over the batch.
         let mut delivered: Vec<(FlowKey, Vec<u8>)> = Vec::new();
         let mut acks_to_send: Vec<FlowKey> = Vec::new();
@@ -597,7 +637,8 @@ impl TcpHostNic {
                     }
                 } else if seq <= conn.rcv_nxt {
                     // In-order (possibly partly duplicate).
-                    let skip = (conn.rcv_nxt - seq) as usize;
+                    let skip = usize::try_from(conn.rcv_nxt - seq)
+                        .expect("tcp in-order overlap fits usize");
                     let mut avail = data[skip..].to_vec();
                     conn.rcv_nxt = end;
                     // Drain contiguous out-of-order queue.
@@ -608,7 +649,8 @@ impl TcpHostNic {
                         let (s, seg) = conn.ooo.pop_first().expect("peeked");
                         let seg_end = s + seg.len() as u64;
                         if seg_end > conn.rcv_nxt {
-                            let skip = (conn.rcv_nxt - s) as usize;
+                            let skip = usize::try_from(conn.rcv_nxt - s)
+                                .expect("tcp out-of-order overlap fits usize");
                             avail.extend_from_slice(&seg[skip..]);
                             conn.rcv_nxt = seg_end;
                         }
@@ -856,7 +898,7 @@ mod tests {
         }
 
         fn bytes(&mut self, n: usize) -> Vec<u8> {
-            (0..n).map(|_| self.next_u64() as u8).collect()
+            (0..n).map(|_| self.next_u64().to_le_bytes()[0]).collect()
         }
     }
 

@@ -160,6 +160,7 @@ impl Simulation {
         self.now = ev.time;
         self.events_processed += 1;
         if self.events_processed > self.event_limit {
+            // acc-lint: allow(R5, reason = "livelock breaker: exceeding the event limit means the scenario will never converge; fail loudly with the trace dump rather than spin forever")
             panic!(
                 "event limit exceeded ({} events) — likely livelock.\n{}",
                 self.event_limit,
@@ -168,6 +169,7 @@ impl Simulation {
         }
         let slot = self.components[ev.target.index()]
             .take()
+            // acc-lint: allow(R5, reason = "wiring invariant: an event addressed to an unregistered component is a scenario construction bug; no recovery is possible mid-run")
             .unwrap_or_else(|| panic!("event for unregistered component {:?}", ev.target));
         let mut component = slot;
         let outcome = {

@@ -48,6 +48,8 @@
 //! assert_eq!(sim.now().as_nanos(), 3000);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod component;
 pub mod engine;
 pub mod event;

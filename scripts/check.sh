@@ -14,6 +14,9 @@ cargo clippy -q --all-targets -- -D warnings
 echo "== cargo build --release"
 cargo build --release
 
+echo "== acc-lint (static determinism/wire-safety invariants)"
+./target/release/acc-lint
+
 echo "== cargo test"
 cargo test -q
 
