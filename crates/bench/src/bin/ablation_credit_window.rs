@@ -140,6 +140,7 @@ fn run_incast(window: u64) -> (Option<f64>, u64) {
         sim.schedule_at(SimTime::ZERO, drivers[i], ());
     }
     sim.register(switch_id, switch);
+    // acc-lint: allow(R6, reason = "bounded incast micro-sim: fixed payload, no retransmit loop can outlive the drained queue")
     sim.run();
     let done = sim
         .component::<Incast>(drivers[0])

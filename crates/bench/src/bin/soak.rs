@@ -10,18 +10,27 @@
 //!
 //! Everything is deterministic: round `i` of seed `s` always builds the
 //! same plan, so every run (and therefore every output line) is
-//! byte-for-byte reproducible. A panic — wrong answer, Auditor
-//! violation, wedged protocol — is the failure mode; clean output means
-//! the cluster survived every round.
+//! byte-for-byte reproducible. A failing cell — wrong answer, Auditor
+//! violation, wedged protocol, liveness-watchdog hang — no longer
+//! aborts the campaign: the cell is reported, its fault plan is
+//! automatically **minimized** (delta debugging over the deterministic
+//! simulator, candidates fanned across the same `--jobs` workers), and
+//! a self-contained repro artifact is written to `soak-repro.txt`
+//! before the process exits nonzero. Clean output and exit 0 mean the
+//! cluster survived every round.
 //!
 //! ```text
 //! cargo run --release -p acc-bench --bin soak -- --rounds 32 --seed 0xACC
+//! cargo run --release -p acc-bench --bin soak -- --repro soak-repro.txt
 //! ```
 
+use acc_bench::repro::{
+    self, execute_caught, failure_of, ReproArtifact, ReproWorkload, EXPECTED_CLEAN,
+};
 use acc_bench::Executor;
 use acc_chaos::{FaultEvent, FaultPlan, LinkId};
-use acc_core::cluster::{run_fft, run_sort, ClusterSpec, Technology};
-use acc_core::FaultDiagnostics;
+use acc_core::cluster::{ClusterSpec, Technology};
+use acc_core::{FaultDiagnostics, RunRequest};
 use acc_sim::{DataSize, SimDuration, SimRng, SimTime};
 
 /// Cluster size every round runs on.
@@ -136,30 +145,122 @@ fn fault_line(f: &FaultDiagnostics) -> String {
     )
 }
 
+/// One failing `(round, technology, workload)` cell: everything needed
+/// to report it deterministically and to rebuild its plan for
+/// minimization.
+struct CellFailure {
+    round: u64,
+    tech: Technology,
+    workload: ReproWorkload,
+    observed: String,
+}
+
 /// The two formatted report lines for one `(round, technology)` cell:
 /// sort then FFT, both verified. Runs in a worker thread; only the
 /// serial print loop below touches stdout, so line order never depends
-/// on scheduling.
-fn run_cell(round: u64, tech: Technology, plan: &FaultPlan) -> [String; 2] {
+/// on scheduling. A failure (hang, divergence, panic) comes back as a
+/// [`CellFailure`] instead of killing the campaign.
+fn run_cell(round: u64, tech: Technology, plan: &FaultPlan) -> Result<[String; 2], CellFailure> {
+    let line = |kind: &str, total: SimDuration, faults: &FaultDiagnostics| {
+        format!(
+            "round {round:03} {kind} {:<10} total={:>10.3}ms {}",
+            tech_label(tech),
+            total.as_millis_f64(),
+            fault_line(faults),
+        )
+    };
     let spec = ClusterSpec::new(P, tech).with_fault_plan(plan.clone());
-    let r = run_sort(spec, SORT_KEYS);
-    assert!(r.verified, "round {round} {tech:?} sort diverged");
-    let sort_line = format!(
-        "round {round:03} sort {:<10} total={:>10.3}ms {}",
-        tech_label(tech),
-        r.total.as_millis_f64(),
-        fault_line(&r.faults),
-    );
+    let outcome = execute_caught(RunRequest::sort(spec, SORT_KEYS));
+    let sort_line = match failure_of(&outcome) {
+        Some(observed) => {
+            return Err(CellFailure {
+                round,
+                tech,
+                workload: ReproWorkload::Sort { keys: SORT_KEYS },
+                observed,
+            });
+        }
+        None => {
+            let r = outcome.expect("no failure implies an outcome").into_sort();
+            line("sort", r.total, &r.faults)
+        }
+    };
     let spec = ClusterSpec::new(P, tech).with_fault_plan(plan.clone());
-    let r = run_fft(spec, FFT_ROWS);
-    assert!(r.verified, "round {round} {tech:?} FFT diverged");
-    let fft_line = format!(
-        "round {round:03} fft  {:<10} total={:>10.3}ms {}",
-        tech_label(tech),
-        r.total.as_millis_f64(),
-        fault_line(&r.faults),
+    let outcome = execute_caught(RunRequest::fft(spec, FFT_ROWS));
+    let fft_line = match failure_of(&outcome) {
+        Some(observed) => {
+            return Err(CellFailure {
+                round,
+                tech,
+                workload: ReproWorkload::Fft { rows: FFT_ROWS },
+                observed,
+            });
+        }
+        None => {
+            let r = outcome.expect("no failure implies an outcome").into_fft();
+            line("fft ", r.total, &r.faults)
+        }
+    };
+    Ok([sort_line, fft_line])
+}
+
+/// Replay a repro artifact (`--repro <file>`): exit 0 iff the recorded
+/// failure reproduces exactly.
+fn replay(path: &str) -> ! {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read repro artifact {path}: {e}"));
+    let artifact = ReproArtifact::from_text(&text)
+        .unwrap_or_else(|e| panic!("malformed repro artifact {path}: {e}"));
+    println!(
+        "replaying {path}: round {} {} {} under a {}-event plan",
+        artifact.round,
+        artifact.workload.label(),
+        artifact.technology.label(),
+        artifact.plan.events().len(),
     );
-    [sort_line, fft_line]
+    match repro::with_silent_panics(|| artifact.replay()) {
+        Ok(observed) => {
+            println!("reproduced: {observed}");
+            std::process::exit(0);
+        }
+        Err(diagnosis) => {
+            println!("NOT reproduced: {diagnosis}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Minimize the first failing cell's plan, write the repro artifact,
+/// and report — the deterministic failure epilogue of a soak run.
+fn emit_repro(ex: &Executor, seed: u64, failure: &CellFailure) {
+    let plan = round_plan(seed, failure.round);
+    println!(
+        "minimizing round {:03} {} {} plan ({} events) ...",
+        failure.round,
+        failure.workload.label(),
+        tech_label(failure.tech),
+        plan.events().len(),
+    );
+    let minimized = repro::with_silent_panics(|| {
+        repro::minimize_failure(ex, P, failure.tech, failure.workload, &plan)
+    });
+    let artifact = ReproArtifact {
+        campaign_seed: seed,
+        round: failure.round,
+        p: P,
+        technology: failure.tech,
+        workload: failure.workload,
+        expected: EXPECTED_CLEAN.to_owned(),
+        observed: failure.observed.clone(),
+        plan: minimized,
+    };
+    let path = "soak-repro.txt";
+    std::fs::write(path, artifact.to_text())
+        .unwrap_or_else(|e| panic!("cannot write repro artifact {path}: {e}"));
+    println!(
+        "minimized to {} event(s); repro artifact: {path} (replay with --repro {path})",
+        artifact.plan.events().len(),
+    );
 }
 
 fn main() {
@@ -180,10 +281,16 @@ fn main() {
         match a.as_str() {
             "--rounds" => rounds = parse(args.next(), "--rounds"),
             "--seed" => seed = parse(args.next(), "--seed"),
+            "--repro" => {
+                let path = args
+                    .next()
+                    .unwrap_or_else(|| panic!("missing value for --repro"));
+                replay(&path);
+            }
             // Already consumed by Executor::from_cli; skip the value.
             "--jobs" => drop(args.next()),
             jobs_eq if jobs_eq.starts_with("--jobs=") => {}
-            other => panic!("unknown argument {other} (expected --rounds/--seed/--jobs)"),
+            other => panic!("unknown argument {other} (expected --rounds/--seed/--jobs/--repro)"),
         }
     }
     println!("chaos soak: {rounds} rounds, seed {seed:#x}, P={P}, verification + auditor ON");
@@ -193,7 +300,7 @@ fn main() {
     // output below is byte-identical to the old serial loop at any
     // worker count.
     let mut plan_lines = Vec::new();
-    let mut tasks: Vec<Box<dyn FnOnce() -> [String; 2] + Send>> = Vec::new();
+    let mut tasks: Vec<Box<dyn FnOnce() -> Result<[String; 2], CellFailure> + Send>> = Vec::new();
     for round in 0..rounds {
         let plan = round_plan(seed, round);
         plan.validate(P as u32)
@@ -221,13 +328,38 @@ fn main() {
     }
     let runs = 2 * tasks.len() as u64;
     let mut cells = ex.map(tasks).into_iter();
+    let mut failures: Vec<CellFailure> = Vec::new();
     for plan_line in plan_lines {
         println!("{plan_line}");
         for _ in TECHNOLOGIES {
-            let [sort_line, fft_line] = cells.next().expect("one cell per (round, tech)");
-            println!("{sort_line}");
-            println!("{fft_line}");
+            match cells.next().expect("one cell per (round, tech)") {
+                Ok([sort_line, fft_line]) => {
+                    println!("{sort_line}");
+                    println!("{fft_line}");
+                }
+                Err(failure) => {
+                    println!(
+                        "round {:03} {} {:<10} FAILED: {}",
+                        failure.round,
+                        failure.workload.label(),
+                        tech_label(failure.tech),
+                        failure.observed,
+                    );
+                    failures.push(failure);
+                }
+            }
         }
+    }
+    if let Some(first) = failures.first() {
+        println!(
+            "soak FAILED: {} failing cell(s); first: round {:03} {} {}",
+            failures.len(),
+            first.round,
+            first.workload.label(),
+            tech_label(first.tech),
+        );
+        emit_repro(&ex, seed, first);
+        std::process::exit(1);
     }
     println!("soak complete: {runs} runs, 0 verification failures, 0 audit violations");
 }

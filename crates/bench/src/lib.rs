@@ -30,6 +30,7 @@ use acc_core::RunRequest;
 pub mod campaign;
 pub mod executor;
 pub mod harness;
+pub mod repro;
 
 pub use executor::Executor;
 

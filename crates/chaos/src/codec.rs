@@ -1,0 +1,404 @@
+//! Text codec for [`FaultPlan`] — the repro-artifact format.
+//!
+//! A minimized fault plan must survive a trip through a file: the soak
+//! campaign writes the plan into a repro artifact, and `--repro`
+//! replays it in a fresh process. The format is line-oriented plain
+//! text so a human can read the artifact and trim it by hand:
+//!
+//! ```text
+//! # acc fault plan v1
+//! seed 0xdead
+//! link-outage link=up:1 from=1000000 until=30000000000000
+//! card-failure node=2 at=5000000
+//! ```
+//!
+//! Times are picosecond integers (the simulator's native unit, so the
+//! roundtrip is exact); probabilities print with `{:?}`, Rust's
+//! shortest-roundtrip float notation, so `from_text(to_text(p)) == p`
+//! for every plan. Blank lines and `#` comments are ignored; unknown
+//! `key=value` fields are ignored for forward compatibility; unknown
+//! directives are an error (a typo must not silently weaken a plan).
+
+use acc_sim::{DataSize, SimDuration, SimTime};
+
+use crate::{FaultEvent, FaultPlan, LinkId};
+
+fn link_str(link: LinkId) -> String {
+    match link {
+        LinkId::All => "all".to_owned(),
+        LinkId::NodeUplink(i) => format!("up:{i}"),
+        LinkId::SwitchDownlink(i) => format!("down:{i}"),
+    }
+}
+
+fn time_ps(t: SimTime) -> u64 {
+    t.since(SimTime::ZERO).as_ps()
+}
+
+impl FaultPlan {
+    /// Serialize the plan to the `# acc fault plan v1` text format.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("# acc fault plan v1\n");
+        writeln!(out, "seed {:#x}", self.seed).expect("write to String");
+        for ev in &self.events {
+            match *ev {
+                FaultEvent::FrameLoss { link, prob } => {
+                    writeln!(out, "frame-loss link={} prob={prob:?}", link_str(link))
+                }
+                FaultEvent::FrameCorruption { link, prob } => {
+                    writeln!(
+                        out,
+                        "frame-corruption link={} prob={prob:?}",
+                        link_str(link)
+                    )
+                }
+                FaultEvent::FrameReorder { link, prob, delay } => writeln!(
+                    out,
+                    "frame-reorder link={} prob={prob:?} delay={}",
+                    link_str(link),
+                    delay.as_ps()
+                ),
+                FaultEvent::LinkJitter { link, max } => writeln!(
+                    out,
+                    "link-jitter link={} max={}",
+                    link_str(link),
+                    max.as_ps()
+                ),
+                FaultEvent::LinkOutage { link, from, until } => writeln!(
+                    out,
+                    "link-outage link={} from={} until={}",
+                    link_str(link),
+                    time_ps(from),
+                    time_ps(until)
+                ),
+                FaultEvent::BufferSqueeze {
+                    link,
+                    from,
+                    until,
+                    capacity,
+                } => writeln!(
+                    out,
+                    "buffer-squeeze link={} from={} until={} capacity={}",
+                    link_str(link),
+                    time_ps(from),
+                    time_ps(until),
+                    capacity.bytes()
+                ),
+                FaultEvent::NodeStall { node, from, until } => writeln!(
+                    out,
+                    "node-stall node={node} from={} until={}",
+                    time_ps(from),
+                    time_ps(until)
+                ),
+                FaultEvent::CardFailure { node, at } => {
+                    writeln!(out, "card-failure node={node} at={}", time_ps(at))
+                }
+                FaultEvent::CardReconfigure { node, at, hold } => writeln!(
+                    out,
+                    "card-reconfigure node={node} at={} hold={}",
+                    time_ps(at),
+                    hold.as_ps()
+                ),
+            }
+            .expect("write to String");
+        }
+        out
+    }
+
+    /// Parse a plan from the text format [`FaultPlan::to_text`] emits.
+    ///
+    /// # Errors
+    /// Returns a message naming the offending line and what was wrong
+    /// with it.
+    pub fn from_text(text: &str) -> Result<FaultPlan, String> {
+        let mut seed: Option<u64> = None;
+        let mut events = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let ln = idx + 1;
+            let mut toks = line.split_whitespace();
+            let directive = toks.next().expect("non-empty line has a first token");
+            let rest: Vec<&str> = toks.collect();
+            match directive {
+                "seed" => {
+                    if seed.is_some() {
+                        return Err(format!("line {ln}: duplicate seed"));
+                    }
+                    let v = rest
+                        .first()
+                        .ok_or_else(|| format!("line {ln}: seed needs a value"))?;
+                    seed = Some(parse_u64(v, ln)?);
+                }
+                "frame-loss" => events.push(FaultEvent::FrameLoss {
+                    link: link_field(&rest, ln)?,
+                    prob: f64_field(&rest, "prob", ln)?,
+                }),
+                "frame-corruption" => events.push(FaultEvent::FrameCorruption {
+                    link: link_field(&rest, ln)?,
+                    prob: f64_field(&rest, "prob", ln)?,
+                }),
+                "frame-reorder" => events.push(FaultEvent::FrameReorder {
+                    link: link_field(&rest, ln)?,
+                    prob: f64_field(&rest, "prob", ln)?,
+                    delay: SimDuration::from_ps(u64_field(&rest, "delay", ln)?),
+                }),
+                "link-jitter" => events.push(FaultEvent::LinkJitter {
+                    link: link_field(&rest, ln)?,
+                    max: SimDuration::from_ps(u64_field(&rest, "max", ln)?),
+                }),
+                "link-outage" => events.push(FaultEvent::LinkOutage {
+                    link: link_field(&rest, ln)?,
+                    from: time_field(&rest, "from", ln)?,
+                    until: time_field(&rest, "until", ln)?,
+                }),
+                "buffer-squeeze" => events.push(FaultEvent::BufferSqueeze {
+                    link: link_field(&rest, ln)?,
+                    from: time_field(&rest, "from", ln)?,
+                    until: time_field(&rest, "until", ln)?,
+                    capacity: DataSize::from_bytes(u64_field(&rest, "capacity", ln)?),
+                }),
+                "node-stall" => events.push(FaultEvent::NodeStall {
+                    node: node_field(&rest, ln)?,
+                    from: time_field(&rest, "from", ln)?,
+                    until: time_field(&rest, "until", ln)?,
+                }),
+                "card-failure" => events.push(FaultEvent::CardFailure {
+                    node: node_field(&rest, ln)?,
+                    at: time_field(&rest, "at", ln)?,
+                }),
+                "card-reconfigure" => events.push(FaultEvent::CardReconfigure {
+                    node: node_field(&rest, ln)?,
+                    at: time_field(&rest, "at", ln)?,
+                    hold: SimDuration::from_ps(u64_field(&rest, "hold", ln)?),
+                }),
+                other => {
+                    return Err(format!("line {ln}: unknown directive '{other}'"));
+                }
+            }
+        }
+        let seed = seed.ok_or_else(|| "missing 'seed' line".to_owned())?;
+        Ok(FaultPlan { seed, events })
+    }
+}
+
+fn field<'a>(rest: &[&'a str], key: &str, ln: usize) -> Result<&'a str, String> {
+    for tok in rest {
+        if let Some(after) = tok.strip_prefix(key) {
+            if let Some(value) = after.strip_prefix('=') {
+                return Ok(value);
+            }
+        }
+    }
+    Err(format!("line {ln}: missing field '{key}='"))
+}
+
+fn parse_u64(v: &str, ln: usize) -> Result<u64, String> {
+    let parsed = match v.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    parsed.map_err(|_| format!("line {ln}: '{v}' is not an unsigned integer"))
+}
+
+fn u64_field(rest: &[&str], key: &str, ln: usize) -> Result<u64, String> {
+    parse_u64(field(rest, key, ln)?, ln)
+}
+
+fn f64_field(rest: &[&str], key: &str, ln: usize) -> Result<f64, String> {
+    let v = field(rest, key, ln)?;
+    v.parse()
+        .map_err(|_| format!("line {ln}: '{v}' is not a number"))
+}
+
+fn node_field(rest: &[&str], ln: usize) -> Result<u32, String> {
+    let v = field(rest, "node", ln)?;
+    v.parse()
+        .map_err(|_| format!("line {ln}: '{v}' is not a node index"))
+}
+
+fn time_field(rest: &[&str], key: &str, ln: usize) -> Result<SimTime, String> {
+    Ok(SimTime::ZERO + SimDuration::from_ps(u64_field(rest, key, ln)?))
+}
+
+fn link_field(rest: &[&str], ln: usize) -> Result<LinkId, String> {
+    let v = field(rest, "link", ln)?;
+    if v == "all" {
+        return Ok(LinkId::All);
+    }
+    if let Some(i) = v.strip_prefix("up:") {
+        return i
+            .parse()
+            .map(LinkId::NodeUplink)
+            .map_err(|_| format!("line {ln}: bad uplink index '{i}'"));
+    }
+    if let Some(i) = v.strip_prefix("down:") {
+        return i
+            .parse()
+            .map(LinkId::SwitchDownlink)
+            .map_err(|_| format!("line {ln}: bad downlink index '{i}'"));
+    }
+    Err(format!(
+        "line {ln}: bad link '{v}' (expected all, up:<n>, or down:<n>)"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_sim::SimRng;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(v)
+    }
+
+    fn one_of_each() -> FaultPlan {
+        FaultPlan::new(0xDEAD_BEEF)
+            .with(FaultEvent::FrameLoss {
+                link: LinkId::All,
+                prob: 0.017,
+            })
+            .with(FaultEvent::FrameCorruption {
+                link: LinkId::NodeUplink(2),
+                prob: 1e-3,
+            })
+            .with(FaultEvent::FrameReorder {
+                link: LinkId::SwitchDownlink(1),
+                prob: 0.25,
+                delay: SimDuration::from_micros(40),
+            })
+            .with(FaultEvent::LinkJitter {
+                link: LinkId::All,
+                max: SimDuration::from_nanos(1300),
+            })
+            .with(FaultEvent::LinkOutage {
+                link: LinkId::NodeUplink(1),
+                from: ms(1),
+                until: ms(30_000),
+            })
+            .with(FaultEvent::BufferSqueeze {
+                link: LinkId::SwitchDownlink(0),
+                from: ms(5),
+                until: ms(6),
+                capacity: DataSize::from_bytes(4096),
+            })
+            .with(FaultEvent::NodeStall {
+                node: 3,
+                from: ms(7),
+                until: ms(8),
+            })
+            .with(FaultEvent::CardFailure { node: 2, at: ms(9) })
+            .with(FaultEvent::CardReconfigure {
+                node: 0,
+                at: ms(10),
+                hold: SimDuration::from_millis(2),
+            })
+    }
+
+    #[test]
+    fn every_event_kind_roundtrips() {
+        let plan = one_of_each();
+        let text = plan.to_text();
+        assert_eq!(FaultPlan::from_text(&text), Ok(plan));
+    }
+
+    #[test]
+    fn random_plans_roundtrip() {
+        let mut rng = SimRng::seed_from(0xC0DEC);
+        for _ in 0..200 {
+            let mut plan = FaultPlan::new(rng.next_u64());
+            let n = rng.gen_range(6) as usize;
+            for _ in 0..n {
+                let link = match rng.gen_range(3) {
+                    0 => LinkId::All,
+                    1 => LinkId::NodeUplink(rng.gen_range(8) as u32),
+                    _ => LinkId::SwitchDownlink(rng.gen_range(8) as u32),
+                };
+                let t =
+                    |rng: &mut SimRng| SimTime::ZERO + SimDuration::from_ps(rng.next_u64() >> 20);
+                let ev = match rng.gen_range(9) {
+                    0 => FaultEvent::FrameLoss {
+                        link,
+                        prob: rng.gen_f64(),
+                    },
+                    1 => FaultEvent::FrameCorruption {
+                        link,
+                        prob: rng.gen_f64(),
+                    },
+                    2 => FaultEvent::FrameReorder {
+                        link,
+                        prob: rng.gen_f64(),
+                        delay: SimDuration::from_ps(rng.gen_range(1 << 40)),
+                    },
+                    3 => FaultEvent::LinkJitter {
+                        link,
+                        max: SimDuration::from_ps(rng.gen_range(1 << 40)),
+                    },
+                    4 => FaultEvent::LinkOutage {
+                        link,
+                        from: t(&mut rng),
+                        until: t(&mut rng),
+                    },
+                    5 => FaultEvent::BufferSqueeze {
+                        link,
+                        from: t(&mut rng),
+                        until: t(&mut rng),
+                        capacity: DataSize::from_bytes(rng.gen_range(1 << 20)),
+                    },
+                    6 => FaultEvent::NodeStall {
+                        node: rng.gen_range(8) as u32,
+                        from: t(&mut rng),
+                        until: t(&mut rng),
+                    },
+                    7 => FaultEvent::CardFailure {
+                        node: rng.gen_range(8) as u32,
+                        at: t(&mut rng),
+                    },
+                    _ => FaultEvent::CardReconfigure {
+                        node: rng.gen_range(8) as u32,
+                        at: t(&mut rng),
+                        hold: SimDuration::from_ps(rng.gen_range(1 << 40)),
+                    },
+                };
+                plan.push(ev);
+            }
+            let text = plan.to_text();
+            assert_eq!(FaultPlan::from_text(&text), Ok(plan), "text was:\n{text}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# header\n\nseed 7\n# mid comment\n  \ncard-failure node=1 at=5\n";
+        let plan = FaultPlan::from_text(text).expect("parses");
+        assert_eq!(plan.seed(), 7);
+        assert_eq!(plan.events().len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_name_the_line_and_problem() {
+        let missing_seed = FaultPlan::from_text("card-failure node=1 at=5\n");
+        assert!(missing_seed.unwrap_err().contains("missing 'seed'"));
+        let bad = FaultPlan::from_text("seed 1\nfrobnicate node=1\n").unwrap_err();
+        assert!(
+            bad.contains("line 2") && bad.contains("frobnicate"),
+            "{bad}"
+        );
+        let bad = FaultPlan::from_text("seed 1\ncard-failure node=1\n").unwrap_err();
+        assert!(bad.contains("line 2") && bad.contains("'at='"), "{bad}");
+        let bad =
+            FaultPlan::from_text("seed 1\nframe-loss link=sideways:3 prob=0.5\n").unwrap_err();
+        assert!(bad.contains("bad link"), "{bad}");
+        let bad = FaultPlan::from_text("seed 1\nseed 2\n").unwrap_err();
+        assert!(bad.contains("duplicate seed"), "{bad}");
+    }
+
+    #[test]
+    fn hex_and_decimal_seeds_both_parse() {
+        assert_eq!(FaultPlan::from_text("seed 0xff\n").unwrap().seed(), 255);
+        assert_eq!(FaultPlan::from_text("seed 255\n").unwrap().seed(), 255);
+    }
+}

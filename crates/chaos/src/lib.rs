@@ -11,8 +11,16 @@
 //! from the plan seed and the link's identity alone, so the same plan
 //! produces bit-identical fault sequences regardless of how many links
 //! exist, the order they are wired, or what traffic the others carry.
+//! That independence is also what lets the [`minimize`](FaultPlan::minimize)
+//! delta-debugger drop events from a plan without perturbing how the
+//! survivors replay, and the [`to_text`](FaultPlan::to_text) /
+//! [`from_text`](FaultPlan::from_text) codec carry a minimized plan
+//! into a repro artifact and back without loss.
 
 #![forbid(unsafe_code)]
+
+mod codec;
+mod minimize;
 
 use acc_net::Impairment;
 use acc_sim::{DataSize, SimDuration, SimRng, SimTime};
@@ -250,14 +258,57 @@ impl FaultPlan {
             .collect()
     }
 
+    /// The last instant at which the plan's *stateful* events can
+    /// still be perturbing a run: the maximum end of any window, card
+    /// death, or reconfigure hold. `None` for plans of purely
+    /// stateless impairments (loss, corruption, reorder, jitter —
+    /// always active, adding delay proportional to traffic, not a
+    /// horizon). Deadline derivation extends a run's liveness bound by
+    /// this much: nothing can be expected to finish before the last
+    /// window lifts.
+    pub fn horizon(&self) -> Option<SimTime> {
+        self.events
+            .iter()
+            .filter_map(|ev| match *ev {
+                FaultEvent::LinkOutage { until, .. }
+                | FaultEvent::BufferSqueeze { until, .. }
+                | FaultEvent::NodeStall { until, .. } => Some(until),
+                FaultEvent::CardFailure { at, .. } => Some(at),
+                FaultEvent::CardReconfigure { at, hold, .. } => Some(at + hold),
+                FaultEvent::FrameLoss { .. }
+                | FaultEvent::FrameCorruption { .. }
+                | FaultEvent::FrameReorder { .. }
+                | FaultEvent::LinkJitter { .. } => None,
+            })
+            .max()
+    }
+
     /// Check the plan against a cluster of `p` nodes: every node
     /// reference must be `< p`, every window must have positive
-    /// duration, and two outages may not overlap on the same link
-    /// (their union is ambiguous for the per-link RNG replay).
+    /// duration, two outages may not overlap on the same link (their
+    /// union is ambiguous for the per-link RNG replay), and no node's
+    /// card may die twice (the second death has no card left to kill,
+    /// so it is always a scenario bug).
     ///
     /// # Errors
     /// Returns a human-readable description of the first problem found.
     pub fn validate(&self, p: u32) -> Result<(), String> {
+        self.validate_impl(p, None)
+    }
+
+    /// [`validate`](FaultPlan::validate), plus: every event must begin
+    /// before `run_horizon` (the scenario's whole-run deadline). An
+    /// event that starts at or after the horizon can never fire — the
+    /// plan silently tests less than it claims to, which is always a
+    /// scenario bug.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate_for(&self, p: u32, run_horizon: SimTime) -> Result<(), String> {
+        self.validate_impl(p, Some(run_horizon))
+    }
+
+    fn validate_impl(&self, p: u32, run_horizon: Option<SimTime>) -> Result<(), String> {
         let check_node = |what: &str, node: u32| {
             if node >= p {
                 Err(format!("{what} references node {node}, but P = {p}"))
@@ -269,7 +320,14 @@ impl FaultPlan {
             LinkId::NodeUplink(n) | LinkId::SwitchDownlink(n) => check_node(what, n),
             LinkId::All => Ok(()),
         };
+        let check_start = |what: String, start: SimTime| match run_horizon {
+            Some(h) if start >= h => Err(format!(
+                "{what} starts at {start}, at or beyond the run horizon {h} — it can never fire"
+            )),
+            _ => Ok(()),
+        };
         let mut outages: Vec<(LinkId, SimTime, SimTime)> = Vec::new();
+        let mut dead_cards: Vec<u32> = Vec::new();
         for ev in &self.events {
             match *ev {
                 FaultEvent::FrameLoss { link, .. } => check_link("FrameLoss", link)?,
@@ -293,6 +351,7 @@ impl FaultPlan {
                         }
                     }
                     outages.push((link, from, until));
+                    check_start(format!("LinkOutage on {link:?}"), from)?;
                 }
                 FaultEvent::BufferSqueeze {
                     link, from, until, ..
@@ -303,6 +362,7 @@ impl FaultPlan {
                             "BufferSqueeze on {link:?} has zero duration ({from} .. {until})"
                         ));
                     }
+                    check_start(format!("BufferSqueeze on {link:?}"), from)?;
                 }
                 FaultEvent::NodeStall { node, from, until } => {
                     check_node("NodeStall", node)?;
@@ -311,13 +371,25 @@ impl FaultPlan {
                             "NodeStall on node {node} has zero duration ({from} .. {until})"
                         ));
                     }
+                    check_start(format!("NodeStall on node {node}"), from)?;
                 }
-                FaultEvent::CardFailure { node, .. } => check_node("CardFailure", node)?,
-                FaultEvent::CardReconfigure { node, hold, .. } => {
+                FaultEvent::CardFailure { node, at } => {
+                    check_node("CardFailure", node)?;
+                    if dead_cards.contains(&node) {
+                        return Err(format!(
+                            "node {node} has more than one CardFailure: a card dies \
+                             permanently, so the second failure has nothing left to kill"
+                        ));
+                    }
+                    dead_cards.push(node);
+                    check_start(format!("CardFailure on node {node}"), at)?;
+                }
+                FaultEvent::CardReconfigure { node, at, hold } => {
                     check_node("CardReconfigure", node)?;
                     if hold == SimDuration::ZERO {
                         return Err(format!("CardReconfigure on node {node} has zero hold"));
                     }
+                    check_start(format!("CardReconfigure on node {node}"), at)?;
                 }
             }
         }
@@ -525,5 +597,178 @@ mod tests {
                 until: ms(4),
             });
         assert_eq!(plan.validate(4), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_card_failures_per_node() {
+        let plan = FaultPlan::new(8)
+            .with(FaultEvent::CardFailure { node: 1, at: ms(2) })
+            .with(FaultEvent::CardFailure { node: 1, at: ms(9) });
+        let err = plan.validate(4).unwrap_err();
+        assert!(
+            err.contains("node 1") && err.contains("more than one CardFailure"),
+            "{err}"
+        );
+        // Different nodes may each lose their card once.
+        let plan = FaultPlan::new(8)
+            .with(FaultEvent::CardFailure { node: 1, at: ms(2) })
+            .with(FaultEvent::CardFailure { node: 2, at: ms(9) });
+        assert_eq!(plan.validate(4), Ok(()));
+    }
+
+    #[test]
+    fn validate_for_rejects_events_that_can_never_fire() {
+        let horizon = ms(100);
+        let late = |ev: FaultEvent| {
+            let err = FaultPlan::new(1)
+                .with(ev)
+                .validate_for(4, horizon)
+                .unwrap_err();
+            assert!(err.contains("can never fire"), "{err}");
+            assert!(err.contains("run horizon"), "{err}");
+        };
+        late(FaultEvent::LinkOutage {
+            link: LinkId::NodeUplink(0),
+            from: ms(100),
+            until: ms(200),
+        });
+        late(FaultEvent::BufferSqueeze {
+            link: LinkId::SwitchDownlink(1),
+            from: ms(150),
+            until: ms(200),
+            capacity: DataSize::from_bytes(512),
+        });
+        late(FaultEvent::NodeStall {
+            node: 2,
+            from: ms(101),
+            until: ms(102),
+        });
+        late(FaultEvent::CardFailure {
+            node: 3,
+            at: ms(400),
+        });
+        late(FaultEvent::CardReconfigure {
+            node: 0,
+            at: ms(100),
+            hold: SimDuration::from_millis(1),
+        });
+        // Starting before the horizon is enough, even if the window
+        // runs past it — the event does fire.
+        let plan = FaultPlan::new(1).with(FaultEvent::LinkOutage {
+            link: LinkId::NodeUplink(0),
+            from: ms(99),
+            until: ms(500),
+        });
+        assert_eq!(plan.validate_for(4, horizon), Ok(()));
+        // Stateless impairments have no start instant to be late.
+        let plan = FaultPlan::new(1).with(FaultEvent::FrameLoss {
+            link: LinkId::All,
+            prob: 0.5,
+        });
+        assert_eq!(plan.validate_for(4, horizon), Ok(()));
+    }
+
+    #[test]
+    fn horizon_is_the_latest_stateful_instant() {
+        assert_eq!(FaultPlan::new(1).horizon(), None);
+        // Stateless impairments contribute no horizon.
+        let plan = FaultPlan::new(1).with(FaultEvent::LinkJitter {
+            link: LinkId::All,
+            max: SimDuration::from_millis(1),
+        });
+        assert_eq!(plan.horizon(), None);
+        let plan = FaultPlan::new(1)
+            .with(FaultEvent::LinkOutage {
+                link: LinkId::NodeUplink(0),
+                from: ms(1),
+                until: ms(40),
+            })
+            .with(FaultEvent::CardReconfigure {
+                node: 1,
+                at: ms(50),
+                hold: SimDuration::from_millis(25),
+            })
+            .with(FaultEvent::CardFailure {
+                node: 2,
+                at: ms(60),
+            });
+        assert_eq!(plan.horizon(), Some(ms(75)));
+    }
+
+    #[test]
+    fn random_well_formed_plans_validate_and_random_violations_do_not() {
+        let p = 8u32;
+        let horizon = ms(1_000);
+        let mut rng = SimRng::seed_from(0x7E57);
+        for _ in 0..100 {
+            // Well-formed by construction: windows strictly inside the
+            // horizon, per-link outages on distinct links, one card
+            // failure per node.
+            let mut plan = FaultPlan::new(rng.next_u64());
+            for node in 0..p {
+                if rng.gen_bool(0.3) {
+                    let from = ms(1 + rng.gen_range(400));
+                    plan.push(FaultEvent::LinkOutage {
+                        link: LinkId::NodeUplink(node),
+                        from,
+                        until: from + SimDuration::from_millis(1 + rng.gen_range(100)),
+                    });
+                }
+                if rng.gen_bool(0.3) {
+                    plan.push(FaultEvent::CardFailure {
+                        node,
+                        at: ms(rng.gen_range(999)),
+                    });
+                }
+                if rng.gen_bool(0.3) {
+                    plan.push(FaultEvent::FrameLoss {
+                        link: LinkId::SwitchDownlink(node),
+                        prob: rng.gen_f64(),
+                    });
+                }
+            }
+            assert_eq!(plan.validate(p), Ok(()));
+            assert_eq!(plan.validate_for(p, horizon), Ok(()));
+
+            // One random violation must flip the verdict, with a
+            // message that names the problem.
+            let mut bad = plan.clone();
+            let expect = match rng.gen_range(3) {
+                0 => {
+                    bad.push(FaultEvent::CardFailure {
+                        node: 0,
+                        at: ms(500),
+                    });
+                    bad.push(FaultEvent::CardFailure {
+                        node: 0,
+                        at: ms(600),
+                    });
+                    "more than one CardFailure"
+                }
+                1 => {
+                    bad.push(FaultEvent::NodeStall {
+                        node: 1,
+                        from: horizon + SimDuration::from_millis(rng.gen_range(50)),
+                        until: horizon + SimDuration::from_millis(100),
+                    });
+                    "can never fire"
+                }
+                _ => {
+                    bad.push(FaultEvent::LinkOutage {
+                        link: LinkId::All,
+                        from: ms(1),
+                        until: ms(999),
+                    });
+                    bad.push(FaultEvent::LinkOutage {
+                        link: LinkId::All,
+                        from: ms(2),
+                        until: ms(998),
+                    });
+                    "overlapping"
+                }
+            };
+            let err = bad.validate_for(p, horizon).unwrap_err();
+            assert!(err.contains(expect), "expected '{expect}' in: {err}");
+        }
     }
 }

@@ -1,0 +1,380 @@
+//! Automatic fault-plan minimization — delta debugging for chaos.
+//!
+//! A soak campaign that trips over a hang hands back the fault plan
+//! that caused it, but that plan is a haystack: dozens of events, most
+//! of them irrelevant. [`FaultPlan::minimize`] shrinks it to a locally
+//! minimal plan that *still* fails, in two stages:
+//!
+//! 1. **Event-set ddmin** (Zeller's delta debugging): repeatedly try
+//!    subsets and complements of the event list at increasing
+//!    granularity, keeping any candidate that still fails, until no
+//!    single chunk can be removed. The result is 1-minimal: removing
+//!    any one surviving event makes the failure disappear.
+//! 2. **Parameter shrinking**: bounded rounds of halving every
+//!    magnitude a surviving event carries (probabilities, jitter and
+//!    reorder delays, outage/stall/squeeze window lengths, reconfigure
+//!    holds), keeping a halving only if the plan still fails. An
+//!    outage that must outlast the card's retransmit-abandonment
+//!    horizon, say, shrinks down to the smallest window that still
+//!    kills the run — which is itself diagnostic.
+//!
+//! # Determinism
+//!
+//! The minimizer is batch-oriented: each round builds the full,
+//! deterministically ordered candidate list and hands it to the oracle
+//! *as a slice*, and the oracle returns one verdict per candidate. The
+//! minimizer always takes the **first** failing candidate in list
+//! order — so the reduction path depends only on the verdicts, never on
+//! the order (or parallelism) in which the oracle chose to evaluate
+//! the candidates. An oracle backed by a deterministic simulator
+//! therefore yields byte-identical minimal plans at any `--jobs` count.
+//!
+//! Dropping events never perturbs the survivors: each link's RNG
+//! stream is derived from the plan seed and the link identity alone
+//! (see the crate docs), so a candidate's remaining faults replay
+//! exactly as they did in the full plan.
+
+use crate::{FaultEvent, FaultPlan};
+
+/// Upper bound on parameter-shrinking rounds (one accepted halving per
+/// round). 32 rounds can halve a picosecond-resolution window from
+/// years down to nothing, so the bound never truncates a real
+/// reduction; it only guarantees termination against a pathological
+/// oracle.
+const MAX_SHRINK_ROUNDS: usize = 32;
+
+impl FaultPlan {
+    /// Shrink this plan to a locally minimal one that still fails,
+    /// according to `still_fails`.
+    ///
+    /// The oracle receives a batch of candidate plans and must return
+    /// `true` at index `i` iff candidate `i` still reproduces the
+    /// failure. Batches are independent: candidates within one batch
+    /// may be evaluated in any order or in parallel. The caller is
+    /// expected to have established that `self` itself fails; a plan
+    /// that never failed minimizes to something arbitrary (typically
+    /// itself).
+    ///
+    /// # Panics
+    /// Panics if the oracle returns a verdict vector of the wrong
+    /// length.
+    pub fn minimize<F>(&self, mut still_fails: F) -> FaultPlan
+    where
+        F: FnMut(&[FaultPlan]) -> Vec<bool>,
+    {
+        let mut events = self.events.clone();
+
+        // Stage 1: ddmin over the event set.
+        let mut n = 2usize;
+        while events.len() >= 2 && n <= events.len() {
+            let chunks = partition(events.len(), n);
+            let mut candidates: Vec<Vec<FaultEvent>> = Vec::new();
+            for r in &chunks {
+                candidates.push(events[r.clone()].to_vec());
+            }
+            // At n == 2 every complement equals the other subset, so
+            // testing them would double the batch for nothing.
+            if n > 2 {
+                for r in &chunks {
+                    let mut c = Vec::with_capacity(events.len() - (r.end - r.start));
+                    c.extend_from_slice(&events[..r.start]);
+                    c.extend_from_slice(&events[r.end..]);
+                    candidates.push(c);
+                }
+            }
+            let verdicts = self.judge(&candidates, &mut still_fails);
+            match verdicts.iter().position(|&f| f) {
+                Some(i) => {
+                    events = candidates.swap_remove(i);
+                    // Reduced to a subset: restart at coarsest
+                    // granularity. Reduced to a complement: one chunk
+                    // is gone, so the granularity shrinks with it.
+                    n = if i < chunks.len() { 2 } else { (n - 1).max(2) };
+                }
+                None if n < events.len() => n = (2 * n).min(events.len()),
+                None => break,
+            }
+        }
+
+        // Stage 2: shrink the magnitudes the survivors carry.
+        for _ in 0..MAX_SHRINK_ROUNDS {
+            let mut shrunk: Vec<(usize, FaultEvent)> = Vec::new();
+            for (i, ev) in events.iter().enumerate() {
+                for candidate in halvings(ev) {
+                    shrunk.push((i, candidate));
+                }
+            }
+            if shrunk.is_empty() {
+                break;
+            }
+            let candidates: Vec<Vec<FaultEvent>> = shrunk
+                .iter()
+                .map(|(i, replacement)| {
+                    let mut evs = events.clone();
+                    evs[*i] = replacement.clone();
+                    evs
+                })
+                .collect();
+            let verdicts = self.judge(&candidates, &mut still_fails);
+            match verdicts.iter().position(|&f| f) {
+                Some(k) => {
+                    let (i, replacement) = shrunk.swap_remove(k);
+                    events[i] = replacement;
+                }
+                None => break,
+            }
+        }
+
+        FaultPlan {
+            seed: self.seed,
+            events,
+        }
+    }
+
+    /// Wrap candidate event lists into plans (same seed — the link RNG
+    /// streams must replay identically) and consult the oracle.
+    fn judge<F>(&self, candidates: &[Vec<FaultEvent>], still_fails: &mut F) -> Vec<bool>
+    where
+        F: FnMut(&[FaultPlan]) -> Vec<bool>,
+    {
+        let plans: Vec<FaultPlan> = candidates
+            .iter()
+            .map(|evs| FaultPlan {
+                seed: self.seed,
+                events: evs.clone(),
+            })
+            .collect();
+        let verdicts = still_fails(&plans);
+        assert_eq!(
+            verdicts.len(),
+            plans.len(),
+            "minimization oracle must return one verdict per candidate"
+        );
+        verdicts
+    }
+}
+
+/// Split `0..len` into `n` contiguous, near-equal, non-empty ranges.
+fn partition(len: usize, n: usize) -> Vec<std::ops::Range<usize>> {
+    let n = n.min(len);
+    let mut ranges = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        // Distribute the remainder over the leading chunks.
+        let size = len / n + usize::from(i < len % n);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// The halved variants of one event — each candidate halves exactly one
+/// magnitude, and degenerate halvings (zero windows, vanishing
+/// probabilities) are not proposed at all.
+fn halvings(ev: &FaultEvent) -> Vec<FaultEvent> {
+    use acc_sim::{SimDuration, SimTime};
+    let half_prob = |p: f64| if p > 1e-9 { Some(p / 2.0) } else { None };
+    let half_dur = |d: SimDuration| {
+        if d.as_ps() >= 2 {
+            Some(SimDuration::from_ps(d.as_ps() / 2))
+        } else {
+            None
+        }
+    };
+    let half_window =
+        |from: SimTime, until: SimTime| half_dur(until.since(from)).map(|d| (from, from + d));
+    match *ev {
+        FaultEvent::FrameLoss { link, prob } => half_prob(prob)
+            .map(|prob| FaultEvent::FrameLoss { link, prob })
+            .into_iter()
+            .collect(),
+        FaultEvent::FrameCorruption { link, prob } => half_prob(prob)
+            .map(|prob| FaultEvent::FrameCorruption { link, prob })
+            .into_iter()
+            .collect(),
+        FaultEvent::FrameReorder { link, prob, delay } => half_prob(prob)
+            .map(|prob| FaultEvent::FrameReorder { link, prob, delay })
+            .into_iter()
+            .chain(half_dur(delay).map(|delay| FaultEvent::FrameReorder { link, prob, delay }))
+            .collect(),
+        FaultEvent::LinkJitter { link, max } => half_dur(max)
+            .map(|max| FaultEvent::LinkJitter { link, max })
+            .into_iter()
+            .collect(),
+        FaultEvent::LinkOutage { link, from, until } => half_window(from, until)
+            .map(|(from, until)| FaultEvent::LinkOutage { link, from, until })
+            .into_iter()
+            .collect(),
+        FaultEvent::BufferSqueeze {
+            link,
+            from,
+            until,
+            capacity,
+        } => half_window(from, until)
+            .map(|(from, until)| FaultEvent::BufferSqueeze {
+                link,
+                from,
+                until,
+                capacity,
+            })
+            .into_iter()
+            .collect(),
+        FaultEvent::NodeStall { node, from, until } => half_window(from, until)
+            .map(|(from, until)| FaultEvent::NodeStall { node, from, until })
+            .into_iter()
+            .collect(),
+        // An instantaneous, magnitude-free event: nothing to shrink.
+        FaultEvent::CardFailure { .. } => Vec::new(),
+        FaultEvent::CardReconfigure { node, at, hold } => half_dur(hold)
+            .map(|hold| FaultEvent::CardReconfigure { node, at, hold })
+            .into_iter()
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinkId;
+    use acc_sim::{SimDuration, SimTime};
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(v)
+    }
+
+    fn noise(i: u32) -> FaultEvent {
+        FaultEvent::FrameLoss {
+            link: LinkId::NodeUplink(i),
+            prob: 0.01,
+        }
+    }
+
+    fn culprit_a() -> FaultEvent {
+        FaultEvent::CardFailure { node: 1, at: ms(5) }
+    }
+
+    fn culprit_b() -> FaultEvent {
+        FaultEvent::NodeStall {
+            node: 2,
+            from: ms(1),
+            until: ms(2),
+        }
+    }
+
+    /// Oracle: fails iff the plan still contains every event in `need`.
+    fn needs_all(need: Vec<FaultEvent>) -> impl FnMut(&[FaultPlan]) -> Vec<bool> {
+        move |batch: &[FaultPlan]| {
+            batch
+                .iter()
+                .map(|p| need.iter().all(|ev| p.events().contains(ev)))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn ddmin_isolates_a_two_event_culprit_from_noise() {
+        let mut plan = FaultPlan::new(42).with(culprit_a());
+        for i in 0..5 {
+            plan.push(noise(i));
+        }
+        plan.push(culprit_b());
+        for i in 5..9 {
+            plan.push(noise(i));
+        }
+        let minimal = plan.minimize(needs_all(vec![culprit_a(), culprit_b()]));
+        assert_eq!(minimal.events(), &[culprit_a(), culprit_b()]);
+        assert_eq!(minimal.seed(), 42, "seed survives minimization");
+    }
+
+    #[test]
+    fn ties_resolve_to_the_first_failing_candidate() {
+        // Either culprit alone reproduces; the minimizer must pick the
+        // earlier one in candidate order, deterministically.
+        let plan = FaultPlan::new(7).with(culprit_a()).with(culprit_b());
+        let oracle = |batch: &[FaultPlan]| {
+            batch
+                .iter()
+                .map(|p| p.events().contains(&culprit_a()) || p.events().contains(&culprit_b()))
+                .collect()
+        };
+        let minimal = plan.minimize(oracle);
+        assert_eq!(minimal.events(), &[culprit_a()]);
+    }
+
+    #[test]
+    fn minimization_is_reproducible() {
+        let mut plan = FaultPlan::new(9);
+        for i in 0..12 {
+            plan.push(noise(i));
+        }
+        plan.push(culprit_a());
+        let a = plan.minimize(needs_all(vec![culprit_a()]));
+        let b = plan.minimize(needs_all(vec![culprit_a()]));
+        assert_eq!(a, b);
+        assert_eq!(a.events(), &[culprit_a()]);
+    }
+
+    #[test]
+    fn parameter_shrinking_finds_the_smallest_failing_window() {
+        // Fails while the outage lasts at least 10 ms: 80 → 40 → 20 →
+        // 10 all fail, 5 succeeds, so 10 ms is the fixpoint.
+        let threshold = SimDuration::from_millis(10);
+        let plan = FaultPlan::new(3).with(FaultEvent::LinkOutage {
+            link: LinkId::NodeUplink(0),
+            from: ms(2),
+            until: ms(82),
+        });
+        let oracle = |batch: &[FaultPlan]| {
+            batch
+                .iter()
+                .map(|p| {
+                    p.events().iter().any(|ev| match *ev {
+                        FaultEvent::LinkOutage { from, until, .. } => {
+                            until.since(from) >= threshold
+                        }
+                        _ => false,
+                    })
+                })
+                .collect()
+        };
+        let minimal = plan.minimize(oracle);
+        match minimal.events() {
+            [FaultEvent::LinkOutage { from, until, .. }] => {
+                assert_eq!(until.since(*from), threshold);
+                assert_eq!(*from, ms(2), "window start is preserved");
+            }
+            other => panic!("unexpected minimal events: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn magnitude_free_plans_have_nothing_to_shrink() {
+        // A lone CardFailure: ddmin cannot drop it and no halvings
+        // exist, so exactly zero shrink batches reach the oracle after
+        // the (skipped) ddmin stage.
+        let plan = FaultPlan::new(5).with(culprit_a());
+        let mut batches = 0;
+        let minimal = plan.minimize(|batch: &[FaultPlan]| {
+            batches += 1;
+            vec![true; batch.len()]
+        });
+        assert_eq!(minimal.events(), &[culprit_a()]);
+        assert_eq!(batches, 0, "no candidates were ever generated");
+    }
+
+    #[test]
+    fn partition_covers_the_range_with_nonempty_chunks() {
+        for len in 1..20usize {
+            for n in 1..=len {
+                let ranges = partition(len, n);
+                assert_eq!(ranges.len(), n);
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges[ranges.len() - 1].end, len);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+                assert!(ranges.iter().all(|r| !r.is_empty()));
+            }
+        }
+    }
+}

@@ -22,11 +22,16 @@ use acc_proto::{HostPathCosts, TcpHostNic, TcpParams};
 use acc_sim::{ComponentId, SimDuration, SimTime, Simulation};
 
 use crate::audit::{self, AuditConfig, Auditor};
+use crate::deadline::DeadlineHierarchy;
 use crate::drivers::fft::FftDriver;
 use crate::drivers::reduce::ReduceDriver;
 use crate::drivers::sort::{SortDriver, SortVariant};
-use crate::drivers::{Attachment, CardFailed, FaultCtl, RecoveryCoordinator, RecoveryPolicy};
+use crate::drivers::{
+    Attachment, CardFailed, DriverProgress, FaultCtl, RecoveryCoordinator, RecoveryPolicy,
+};
+use crate::liveness::{HangCause, HangReport};
 use crate::report::FaultDiagnostics;
+use crate::runner::Workload;
 
 /// The four network technologies the paper evaluates.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -111,6 +116,11 @@ pub struct ClusterSpec {
     /// protocol processor has no card datapath worth keeping, so it
     /// always falls back to a full restart).
     pub recovery: RecoveryPolicy,
+    /// Suppress the engine's stderr diagnostics (trace-tail dumps on
+    /// panics and watchdog aborts). Set by harnesses that run many
+    /// *expected* failures — the fault-plan minimizer probes dozens of
+    /// candidate plans, most of which hang or fail on purpose.
+    pub quiet: bool,
 }
 
 impl ClusterSpec {
@@ -123,6 +133,7 @@ impl ClusterSpec {
             verify: true,
             fault_plan: None,
             recovery: RecoveryPolicy::default(),
+            quiet: false,
         }
     }
 
@@ -145,6 +156,14 @@ impl ClusterSpec {
     #[must_use]
     pub fn with_recovery_policy(mut self, policy: RecoveryPolicy) -> ClusterSpec {
         self.recovery = policy;
+        self
+    }
+
+    /// Suppress stderr diagnostics for expected-failure harnesses
+    /// (builder style).
+    #[must_use]
+    pub fn with_quiet(mut self, quiet: bool) -> ClusterSpec {
+        self.quiet = quiet;
         self
     }
 }
@@ -226,6 +245,9 @@ fn wire(
     make_driver: impl Fn(usize, Attachment, FaultCtl) -> DriverBox,
 ) -> Wiring {
     let mut sim = Simulation::new(spec.seed);
+    if spec.quiet {
+        sim.set_quiet(true);
+    }
     let link = LinkParams::for_kind(spec.technology.link_kind());
     let plan = spec.fault_plan.as_ref();
     let macs: Vec<MacAddr> = (0..spec.p).map(|i| MacAddr::for_node(i, 0)).collect();
@@ -465,6 +487,49 @@ fn wire(
 }
 
 impl Wiring {
+    /// Run the simulation to completion under the deadline hierarchy's
+    /// watchdog — **the** deadline-aware wrapper every production run
+    /// goes through (acc-lint R6 bans raw `run()` elsewhere).
+    ///
+    /// Three hang shapes all land here as a structured [`HangReport`]:
+    /// a watchdog abort (event budget, livelock, run deadline), and the
+    /// quieter *deadlock* — the event queue drains while drivers still
+    /// wait on peers that will never send. `progress` reads one
+    /// driver's phase snapshot (the driver type is workload-specific).
+    fn run_to_completion(
+        &mut self,
+        hierarchy: &DeadlineHierarchy,
+        progress: impl Fn(&Simulation, ComponentId) -> DriverProgress,
+    ) -> Result<(), Box<HangReport>> {
+        let wd = hierarchy.watchdog();
+        // acc-lint: allow(R6, reason = "this is the deadline-aware wrapper itself: the watchdog built two lines up bounds the run")
+        let outcome = self.sim.run_guarded(&wd);
+        let ranks: Vec<DriverProgress> = self
+            .drivers
+            .iter()
+            .map(|&d| progress(&self.sim, d))
+            .collect();
+        match outcome {
+            Ok(_) if ranks.iter().all(|r| r.done) => Ok(()),
+            Ok(_) => Err(Box::new(HangReport::diagnose(
+                HangCause::Deadlock,
+                self.technology,
+                self.sim.now(),
+                ranks,
+                hierarchy,
+                None,
+            ))),
+            Err(sim_report) => Err(Box::new(HangReport::diagnose(
+                HangCause::Watchdog(sim_report.kind),
+                self.technology,
+                self.sim.now(),
+                ranks,
+                hierarchy,
+                Some(*sim_report),
+            ))),
+        }
+    }
+
     /// Frames dropped at switch output queues during the run.
     fn switch_drops(&self) -> u64 {
         self.sim.component::<Switch>(self.switch).total_drops()
@@ -558,8 +623,19 @@ enum DriverBox {
 /// Run the 2D-FFT application on a `rows × rows` matrix.
 ///
 /// # Panics
-/// Panics if `rows` is not a power of two or `spec.p` does not divide it.
+/// Panics if `rows` is not a power of two or `spec.p` does not divide
+/// it, or if the run hangs (see [`try_run_fft`] for the non-panicking
+/// variant).
 pub fn run_fft(spec: ClusterSpec, rows: usize) -> FftRunResult {
+    try_run_fft(spec, rows).unwrap_or_else(|report| panic!("FFT run hung\n{report}"))
+}
+
+/// Run the 2D-FFT application, returning a structured [`HangReport`]
+/// instead of panicking when the run fails to terminate.
+///
+/// # Panics
+/// Panics if `rows` is not a power of two or `spec.p` does not divide it.
+pub fn try_run_fft(spec: ClusterSpec, rows: usize) -> Result<FftRunResult, Box<HangReport>> {
     assert!(rows.is_power_of_two(), "matrix edge must be a power of two");
     assert!(
         spec.p >= 1 && rows.is_multiple_of(spec.p),
@@ -581,7 +657,10 @@ pub fn run_fft(spec: ClusterSpec, rows: usize) -> FftRunResult {
             .with_fault_ctl(fault_ctl),
         ))
     });
-    w.sim.run();
+    let hierarchy = DeadlineHierarchy::for_run(&spec, &Workload::Fft { rows });
+    w.run_to_completion(&hierarchy, |sim, d| {
+        sim.component::<FftDriver>(d).progress()
+    })?;
     let mut total_end = SimTime::ZERO;
     let mut start = SimTime::MAX;
     let mut compute = SimDuration::ZERO;
@@ -593,7 +672,6 @@ pub fn run_fft(spec: ClusterSpec, rows: usize) -> FftRunResult {
     let mut out_slabs: Vec<Matrix> = Vec::new();
     for &d in &w.drivers {
         let drv = w.sim.component::<FftDriver>(d);
-        assert!(drv.is_done(), "node did not finish");
         if drv.degraded() {
             degraded_nodes += 1;
         }
@@ -638,7 +716,7 @@ pub fn run_fft(spec: ClusterSpec, rows: usize) -> FftRunResult {
     }
     let (protocol_cpu, interrupts) = w.protocol_costs();
     w.final_audit();
-    FftRunResult {
+    Ok(FftRunResult {
         total: total_end.since(start),
         compute,
         transpose,
@@ -649,7 +727,7 @@ pub fn run_fft(spec: ClusterSpec, rows: usize) -> FftRunResult {
         protocol_cpu,
         interrupts,
         faults: w.fault_diagnostics(degraded_nodes, resumed_from),
-    }
+    })
 }
 
 /// The key distribution of a sort workload.
@@ -677,8 +755,16 @@ pub enum PartitionStrategy {
 
 /// Run the integer-sort application on `total_keys` uniform keys spread
 /// evenly over the nodes (the paper's configuration).
+///
+/// # Panics
+/// Panics if the run hangs (see [`try_run_sort`]).
 pub fn run_sort(spec: ClusterSpec, total_keys: u64) -> SortRunResult {
-    run_sort_custom(
+    try_run_sort(spec, total_keys).unwrap_or_else(|report| panic!("sort run hung\n{report}"))
+}
+
+/// Non-panicking variant of [`run_sort`].
+pub fn try_run_sort(spec: ClusterSpec, total_keys: u64) -> Result<SortRunResult, Box<HangReport>> {
+    try_run_sort_custom(
         spec,
         total_keys,
         KeyDistribution::Uniform,
@@ -688,12 +774,27 @@ pub fn run_sort(spec: ClusterSpec, total_keys: u64) -> SortRunResult {
 
 /// Run the integer sort with an explicit key distribution and
 /// partitioning strategy (the skew ablation).
+///
+/// # Panics
+/// Panics if the run hangs (see [`try_run_sort_custom`]).
 pub fn run_sort_custom(
     spec: ClusterSpec,
     total_keys: u64,
     distribution: KeyDistribution,
     strategy: PartitionStrategy,
 ) -> SortRunResult {
+    try_run_sort_custom(spec, total_keys, distribution, strategy)
+        .unwrap_or_else(|report| panic!("sort run hung\n{report}"))
+}
+
+/// Non-panicking variant of [`run_sort_custom`]: a hung run returns a
+/// structured [`HangReport`] naming the stuck phase and rank.
+pub fn try_run_sort_custom(
+    spec: ClusterSpec,
+    total_keys: u64,
+    distribution: KeyDistribution,
+    strategy: PartitionStrategy,
+) -> Result<SortRunResult, Box<HangReport>> {
     assert!(spec.p >= 1);
     let per_node = (total_keys / spec.p as u64) as usize;
     let inputs: Vec<Vec<u32>> = match distribution {
@@ -739,7 +840,10 @@ pub fn run_sort_custom(
         }
         DriverBox::Sort(Box::new(driver))
     });
-    w.sim.run();
+    let hierarchy = DeadlineHierarchy::for_run(&spec, &Workload::Sort { total_keys });
+    w.run_to_completion(&hierarchy, |sim, d| {
+        sim.component::<SortDriver>(d).progress()
+    })?;
     let mut total_end = SimTime::ZERO;
     let mut start = SimTime::MAX;
     let (mut bucket1, mut comm, mut bucket2, mut count) = (
@@ -753,7 +857,6 @@ pub fn run_sort_custom(
     let mut outputs: Vec<Vec<u32>> = Vec::new();
     for &d in &w.drivers {
         let drv = w.sim.component::<SortDriver>(d);
-        assert!(drv.is_done(), "node did not finish");
         if drv.degraded() {
             degraded_nodes += 1;
         }
@@ -795,7 +898,7 @@ pub fn run_sort_custom(
     }
     let (protocol_cpu, interrupts) = w.protocol_costs();
     w.final_audit();
-    SortRunResult {
+    Ok(SortRunResult {
         total: total_end.since(start),
         bucket1,
         comm,
@@ -806,7 +909,7 @@ pub fn run_sort_custom(
         protocol_cpu,
         interrupts,
         faults: w.fault_diagnostics(degraded_nodes, resumed_from),
-    }
+    })
 }
 
 /// Result of one AllReduce run (collective-operations extension).
@@ -824,7 +927,18 @@ pub struct ReduceRunResult {
 
 /// Run a flat AllReduce (sum) of one `elems`-element f64 vector per
 /// node on the chosen technology.
+///
+/// # Panics
+/// Panics if the run hangs (see [`try_run_allreduce`]).
 pub fn run_allreduce(spec: ClusterSpec, elems: usize) -> ReduceRunResult {
+    try_run_allreduce(spec, elems).unwrap_or_else(|report| panic!("AllReduce run hung\n{report}"))
+}
+
+/// Non-panicking variant of [`run_allreduce`].
+pub fn try_run_allreduce(
+    spec: ClusterSpec,
+    elems: usize,
+) -> Result<ReduceRunResult, Box<HangReport>> {
     assert!(spec.p >= 1);
     // Deterministic per-rank contributions with an exactly computable
     // sum (integers below 2^52 stay exact in f64 regardless of the
@@ -844,7 +958,10 @@ pub fn run_allreduce(spec: ClusterSpec, elems: usize) -> ReduceRunResult {
             kernels.clone(),
         )))
     });
-    w.sim.run();
+    let hierarchy = DeadlineHierarchy::for_run(&spec, &Workload::AllReduce { elems });
+    w.run_to_completion(&hierarchy, |sim, d| {
+        sim.component::<ReduceDriver>(d).progress()
+    })?;
     let mut total_end = SimTime::ZERO;
     let mut start = SimTime::MAX;
     let mut comm = SimDuration::ZERO;
@@ -852,7 +969,6 @@ pub fn run_allreduce(spec: ClusterSpec, elems: usize) -> ReduceRunResult {
     let mut results: Vec<Vec<f64>> = Vec::new();
     for &d in &w.drivers {
         let drv = w.sim.component::<ReduceDriver>(d);
-        assert!(drv.is_done(), "node did not finish");
         let t = &drv.timings;
         total_end = total_end.max(t.done_at.expect("done"));
         start = start.min(t.started_at.expect("started"));
@@ -879,10 +995,10 @@ pub fn run_allreduce(spec: ClusterSpec, elems: usize) -> ReduceRunResult {
         assert_eq!(w.switch_drops(), 0, "INIC collective must not drop");
     }
     w.final_audit();
-    ReduceRunResult {
+    Ok(ReduceRunResult {
         total: total_end.since(start),
         comm,
         reduce,
         verified,
-    }
+    })
 }

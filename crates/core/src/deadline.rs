@@ -1,0 +1,300 @@
+//! Per-phase deadline hierarchy derived from the Section-4 models.
+//!
+//! A guarded cluster run does not use one arbitrary global timeout: each
+//! application phase gets a budget derived from the model's predicted
+//! phase time times a generous slack factor, and the whole-run deadline
+//! is the sum of the phase budgets plus whatever the fault plan can
+//! legitimately add (outage windows, retransmission and abandonment
+//! horizons, recovery rounds). When a run exceeds its deadline the hang
+//! is then attributed to the *phase* a rank has been sitting in longest
+//! relative to that phase's budget — "rank 2 stuck in exchange1" — not
+//! just "the run took too long".
+//!
+//! The slack factor is deliberately generous, and it depends on the
+//! technology: the models predict the *next-generation INIC*, so a run
+//! on the ideal card needs little headroom, while the commodity
+//! technologies the figures compare against are up to two orders of
+//! magnitude slower and Fast Ethernet adds another factor of ten. A
+//! deadline is a liveness bound, not a performance assertion: it must
+//! never fire on a slow-but-live configuration, only on a wedged one —
+//! but the tighter INIC bound is what makes hang *detection* cheap
+//! enough for the fault-plan minimizer to run dozens of candidate runs.
+
+use acc_sim::{SimDuration, SimTime, Watchdog};
+
+use crate::cluster::{ClusterSpec, Technology};
+use crate::model::{FftModel, SortModel};
+use crate::runner::Workload;
+
+/// Multiplier between a model-predicted phase time and that phase's
+/// liveness budget, per technology. The ratios between a technology's
+/// observed times and the INIC-model prediction are at worst ~10x for
+/// the prototype card, ~50x for Gigabit TCP, and ~1000x for Fast
+/// Ethernet at the small problem sizes the tests use; each bound keeps
+/// more than an order of magnitude of margin on top.
+fn slack(technology: Technology) -> u64 {
+    match technology {
+        Technology::FastEthernet => 4096,
+        Technology::GigabitTcp => 1024,
+        Technology::InicProtocol => 512,
+        Technology::InicPrototype => 256,
+        Technology::InicIdeal => 64,
+    }
+}
+
+/// No phase budget is ever smaller than this, however fast the model
+/// says the phase should be: small-problem runs are dominated by fixed
+/// costs (configuration, interrupts, recovery rounds) the per-byte
+/// models do not see.
+const PHASE_FLOOR: SimDuration = SimDuration::from_millis(500);
+
+/// Extra whole-run allowance when a fault plan is attached: retransmit
+/// timers, abandonment of a dead peer (MAX_RETRIES expiries with
+/// backoff), recovery coordination rounds and a restarted attempt.
+const FAULT_GRACE: SimDuration = SimDuration::from_secs(2);
+
+/// Baseline event budget for any run (configuration, recovery chatter,
+/// auditor ticks).
+const BASE_EVENTS: u64 = 5_000_000;
+
+/// Events allowed per KiB of application payload crossing the network.
+/// Real traffic costs a handful of events per frame; hundreds per KiB
+/// only happen when a retransmit/credit loop stops making progress.
+const EVENTS_PER_KIB: u64 = 2_000;
+
+/// Consecutive same-timestamp events tolerated before the run is
+/// declared livelocked. Legitimate bursts (a switch fanning a broadcast
+/// out to every port at one instant) are thousands of events; a million
+/// without the clock moving is a cycle.
+const STALL_EVENTS: u64 = 1_000_000;
+
+/// One named phase budget.
+#[derive(Clone, Debug)]
+pub struct PhaseBudget {
+    /// Phase name as the drivers report it (`fft1`, `exchange`, ...).
+    pub name: &'static str,
+    /// Liveness budget for the phase (slack already applied).
+    pub budget: SimDuration,
+}
+
+/// The full deadline hierarchy for one run: per-phase budgets nested
+/// under a whole-run deadline, plus the event-count bounds handed to
+/// the simulation [`Watchdog`].
+#[derive(Clone, Debug)]
+pub struct DeadlineHierarchy {
+    /// Per-phase budgets, in application order.
+    pub phases: Vec<PhaseBudget>,
+    /// Absolute whole-run deadline.
+    pub run_deadline: SimTime,
+    /// Event budget for the run.
+    pub event_budget: u64,
+    /// Same-timestamp livelock threshold.
+    pub stall_events: u64,
+}
+
+impl DeadlineHierarchy {
+    /// Derive the hierarchy for `workload` on the cluster `spec`
+    /// describes.
+    pub fn for_run(spec: &ClusterSpec, workload: &Workload) -> DeadlineHierarchy {
+        let p = spec.p;
+        let slack = slack(spec.technology);
+        let scaled = |predicted| scale(predicted, slack);
+        let (phases, payload_kib) = match *workload {
+            Workload::Fft { rows } => {
+                let model = FftModel::new(rows);
+                let fft = scaled(model.t_compute(p) / 2);
+                let trans = scaled(model.t_trans(p));
+                let phases = vec![
+                    PhaseBudget {
+                        name: "fft1",
+                        budget: fft,
+                    },
+                    PhaseBudget {
+                        name: "transpose1",
+                        budget: trans,
+                    },
+                    PhaseBudget {
+                        name: "fft2",
+                        budget: fft,
+                    },
+                    PhaseBudget {
+                        name: "transpose2",
+                        budget: trans,
+                    },
+                ];
+                // Each transpose moves the whole matrix (16 B/element).
+                let kib = (rows as u64 * rows as u64 * 16 * 2) / 1024;
+                (phases, kib)
+            }
+            Workload::Sort { total_keys } | Workload::SortCustom { total_keys, .. } => {
+                let model = SortModel::new(total_keys);
+                let host = scaled(model.t_countsort(p));
+                let exchange = scaled(model.t_inic(p));
+                let phases = vec![
+                    PhaseBudget {
+                        name: "bucket1",
+                        budget: host,
+                    },
+                    PhaseBudget {
+                        name: "exchange",
+                        budget: exchange,
+                    },
+                    PhaseBudget {
+                        name: "bucket2",
+                        budget: host,
+                    },
+                    PhaseBudget {
+                        name: "count",
+                        budget: scaled(model.t_countsort(p)),
+                    },
+                ];
+                (phases, (total_keys * 4) / 1024)
+            }
+            Workload::AllReduce { elems } => {
+                // No Section-4 model covers the collective; budget it
+                // from volume at the slowest link the cluster wires
+                // (Fast Ethernet, 100 Mb/s ≈ 12.5 MiB/s).
+                let bytes = elems as u64 * 8 * p as u64;
+                let wire = SimDuration::from_secs_f64(bytes as f64 / 12.5e6);
+                let phases = vec![
+                    PhaseBudget {
+                        name: "exchange",
+                        budget: scaled(wire),
+                    },
+                    PhaseBudget {
+                        name: "reduce",
+                        budget: scaled(wire / 4),
+                    },
+                ];
+                (phases, bytes / 1024)
+            }
+        };
+        let mut run_budget = SimDuration::from_secs(1); // configuration etc.
+        for ph in &phases {
+            run_budget = run_budget.saturating_add(ph.budget);
+        }
+        if let Some(plan) = &spec.fault_plan {
+            run_budget = run_budget.saturating_add(FAULT_GRACE);
+            if let Some(h) = plan.horizon() {
+                // The plan may hold links dark until `h`; nothing can
+                // be expected to finish before the last window lifts.
+                run_budget = run_budget.saturating_add(h.since(SimTime::ZERO));
+            }
+        }
+        let event_budget = BASE_EVENTS.saturating_add(
+            payload_kib
+                .saturating_mul(EVENTS_PER_KIB)
+                .saturating_mul(p as u64),
+        );
+        DeadlineHierarchy {
+            phases,
+            run_deadline: SimTime::ZERO + run_budget,
+            event_budget,
+            stall_events: STALL_EVENTS,
+        }
+    }
+
+    /// The budget for a named phase, or the floor for phases the model
+    /// does not predict (`init` and any future ones).
+    pub fn phase_budget(&self, name: &str) -> SimDuration {
+        self.phases
+            .iter()
+            .find(|ph| ph.name == name)
+            .map(|ph| ph.budget)
+            .unwrap_or(PHASE_FLOOR)
+    }
+
+    /// The simulation watchdog enforcing this hierarchy's outer bounds.
+    pub fn watchdog(&self) -> Watchdog {
+        Watchdog::unlimited()
+            .with_event_budget(self.event_budget)
+            .with_stall_events(self.stall_events)
+            .with_deadline(self.run_deadline)
+    }
+}
+
+/// Slack-multiplied, floored phase budget.
+fn scale(predicted: SimDuration, slack: u64) -> SimDuration {
+    let scaled = predicted
+        .checked_mul(slack)
+        .unwrap_or(SimDuration::from_ps(u64::MAX));
+    if scaled < PHASE_FLOOR {
+        PHASE_FLOOR
+    } else {
+        scaled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Technology;
+    use acc_chaos::{FaultEvent, LinkId};
+
+    #[test]
+    fn phase_budgets_scale_with_problem_size() {
+        let spec = ClusterSpec::new(4, Technology::GigabitTcp);
+        let small = DeadlineHierarchy::for_run(&spec, &Workload::Fft { rows: 64 });
+        let large = DeadlineHierarchy::for_run(&spec, &Workload::Fft { rows: 1024 });
+        assert!(large.phase_budget("transpose1") > small.phase_budget("transpose1"));
+        assert!(large.run_deadline > small.run_deadline);
+        assert!(large.event_budget > small.event_budget);
+    }
+
+    #[test]
+    fn slower_technologies_get_wider_budgets() {
+        // Same workload, same model prediction — the slower wire gets
+        // the larger slack, so its liveness bound still cannot fire on
+        // a slow-but-live run. Sizes large enough to clear the floor.
+        let wl = Workload::Fft { rows: 2048 };
+        let inic = DeadlineHierarchy::for_run(&ClusterSpec::new(4, Technology::InicIdeal), &wl);
+        let fe = DeadlineHierarchy::for_run(&ClusterSpec::new(4, Technology::FastEthernet), &wl);
+        assert!(fe.phase_budget("transpose1") > inic.phase_budget("transpose1"));
+        assert!(fe.run_deadline > inic.run_deadline);
+    }
+
+    #[test]
+    fn budgets_never_fall_below_the_floor() {
+        let spec = ClusterSpec::new(2, Technology::InicIdeal);
+        let h = DeadlineHierarchy::for_run(&spec, &Workload::Sort { total_keys: 1 << 8 });
+        for ph in &h.phases {
+            assert!(ph.budget >= PHASE_FLOOR, "{} below floor", ph.name);
+        }
+        // Unknown phases get the floor, not zero.
+        assert_eq!(h.phase_budget("init"), PHASE_FLOOR);
+    }
+
+    #[test]
+    fn fault_plan_extends_the_run_deadline() {
+        let clean = ClusterSpec::new(4, Technology::InicIdeal);
+        let base = DeadlineHierarchy::for_run(
+            &clean,
+            &Workload::Sort {
+                total_keys: 1 << 12,
+            },
+        );
+        let plan = acc_chaos::FaultPlan::new(1).with(FaultEvent::LinkOutage {
+            link: LinkId::NodeUplink(1),
+            from: SimTime::ZERO + SimDuration::from_millis(1),
+            until: SimTime::ZERO + SimDuration::from_millis(900),
+        });
+        let faulted = clean.with_fault_plan(plan);
+        let fh = DeadlineHierarchy::for_run(
+            &faulted,
+            &Workload::Sort {
+                total_keys: 1 << 12,
+            },
+        );
+        assert!(fh.run_deadline > base.run_deadline);
+    }
+
+    #[test]
+    fn watchdog_mirrors_the_hierarchy() {
+        let spec = ClusterSpec::new(2, Technology::GigabitTcp);
+        let h = DeadlineHierarchy::for_run(&spec, &Workload::AllReduce { elems: 1 << 10 });
+        let wd = h.watchdog();
+        assert_eq!(wd.event_budget, h.event_budget);
+        assert_eq!(wd.stall_events, h.stall_events);
+        assert_eq!(wd.deadline, Some(h.run_deadline));
+    }
+}

@@ -228,6 +228,30 @@ impl FftDriver {
         self.resumed_from
     }
 
+    /// Phase name for liveness attribution; the two transposes report
+    /// as one phase each (their sub-phases share one model budget).
+    fn phase_name(&self) -> &'static str {
+        match self.phase {
+            Phase::Init => "init",
+            Phase::Fft(1) => "fft1",
+            Phase::Fft(_) => "fft2",
+            Phase::LocalTranspose(1) | Phase::Exchange(1) | Phase::Permute(1) => "transpose1",
+            Phase::LocalTranspose(_) | Phase::Exchange(_) | Phase::Permute(_) => "transpose2",
+            Phase::Done => "done",
+        }
+    }
+
+    /// Phase snapshot for the liveness layer.
+    pub fn progress(&self) -> super::DriverProgress {
+        super::DriverProgress {
+            rank: self.rank,
+            phase: self.phase_name(),
+            entered: self.phase_entered,
+            paused: self.paused,
+            done: self.is_done(),
+        }
+    }
+
     fn partition_bytes(&self) -> DataSize {
         DataSize::from_bytes((self.m * self.rows * 16) as u64)
     }
@@ -848,5 +872,24 @@ impl Component for FftDriver {
 
     fn name(&self) -> &str {
         &self.label
+    }
+
+    fn wait_state(&self) -> Option<String> {
+        if self.is_done() {
+            return None;
+        }
+        Some(format!(
+            "rank {} in {} since {} (epoch {}, exchange step {}{})",
+            self.rank,
+            self.phase_name(),
+            self.phase_entered,
+            self.epoch,
+            self.exchange_step,
+            if self.paused {
+                ", parked for recovery resume"
+            } else {
+                ""
+            }
+        ))
     }
 }

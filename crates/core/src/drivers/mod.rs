@@ -18,7 +18,7 @@ use std::collections::BTreeMap;
 use acc_fpga::InicMode;
 use acc_host::StallSchedule;
 use acc_net::MacAddr;
-use acc_sim::{Component, ComponentId, Ctx, SimDuration};
+use acc_sim::{Component, ComponentId, Ctx, SimDuration, SimTime};
 
 /// How a node reaches the network.
 #[derive(Clone, Debug)]
@@ -79,6 +79,24 @@ pub enum RecoveryPolicy {
     /// completed, instead of from scratch.
     #[default]
     Checkpointed,
+}
+
+/// One rank's phase snapshot, read by the liveness layer to attribute a
+/// hang to a named phase and rank. Every driver exposes it via a
+/// `progress()` accessor; the phase names match the
+/// [`DeadlineHierarchy`](crate::deadline::DeadlineHierarchy) budgets.
+#[derive(Clone, Debug)]
+pub struct DriverProgress {
+    /// The rank.
+    pub rank: usize,
+    /// Current phase name (`init`, `fft1`, `exchange`, ..., `done`).
+    pub phase: &'static str,
+    /// When the driver entered that phase.
+    pub entered: SimTime,
+    /// Whether the driver is parked awaiting a recovery resume.
+    pub paused: bool,
+    /// Whether the driver finished.
+    pub done: bool,
 }
 
 /// Host-side latency of one failure-coordination message (detection,

@@ -121,6 +121,28 @@ impl ReduceDriver {
         self.phase == Phase::Done
     }
 
+    /// Phase name for liveness attribution.
+    fn phase_name(&self) -> &'static str {
+        match self.phase {
+            Phase::Init => "init",
+            Phase::Exchange => "exchange",
+            Phase::Reduce => "reduce",
+            Phase::Done => "done",
+        }
+    }
+
+    /// Phase snapshot for the liveness layer (the AllReduce driver has
+    /// no recovery machinery, so it is never parked).
+    pub fn progress(&self) -> super::DriverProgress {
+        super::DriverProgress {
+            rank: self.rank,
+            phase: self.phase_name(),
+            entered: self.phase_entered,
+            paused: false,
+            done: self.is_done(),
+        }
+    }
+
     fn begin(&mut self, ctx: &mut Ctx) {
         self.timings.started_at = Some(ctx.now());
         self.phase = Phase::Exchange;
@@ -277,6 +299,19 @@ impl Component for ReduceDriver {
 
     fn name(&self) -> &str {
         &self.label
+    }
+
+    fn wait_state(&self) -> Option<String> {
+        if self.is_done() {
+            return None;
+        }
+        Some(format!(
+            "rank {} in {} since {} ({} peer contributions pending)",
+            self.rank,
+            self.phase_name(),
+            self.phase_entered,
+            self.pending
+        ))
     }
 }
 

@@ -272,6 +272,29 @@ impl SortDriver {
         self.resumed_from
     }
 
+    /// Phase name for liveness attribution.
+    fn phase_name(&self) -> &'static str {
+        match self.phase {
+            Phase::Init => "init",
+            Phase::Bucket1 => "bucket1",
+            Phase::Exchange => "exchange",
+            Phase::Bucket2 => "bucket2",
+            Phase::Count => "count",
+            Phase::Done => "done",
+        }
+    }
+
+    /// Phase snapshot for the liveness layer.
+    pub fn progress(&self) -> super::DriverProgress {
+        super::DriverProgress {
+            rank: self.rank,
+            phase: self.phase_name(),
+            entered: self.phase_entered,
+            paused: self.paused,
+            done: self.is_done(),
+        }
+    }
+
     fn local_bytes(&self) -> DataSize {
         DataSize::from_bytes(self.keys.len() as u64 * 4)
     }
@@ -968,5 +991,25 @@ impl Component for SortDriver {
 
     fn name(&self) -> &str {
         &self.label
+    }
+
+    fn wait_state(&self) -> Option<String> {
+        if self.is_done() {
+            return None;
+        }
+        Some(format!(
+            "rank {} in {} since {} (epoch {}, {} card streams + {} tcp streams pending{})",
+            self.rank,
+            self.phase_name(),
+            self.phase_entered,
+            self.epoch,
+            self.streams_pending,
+            self.tcp_pending,
+            if self.paused {
+                ", parked for recovery resume"
+            } else {
+                ""
+            }
+        ))
     }
 }

@@ -26,13 +26,17 @@
 
 pub mod audit;
 pub mod cluster;
+pub mod deadline;
 pub mod drivers;
+pub mod liveness;
 pub mod model;
 pub mod report;
 pub mod runner;
 
 pub use audit::{AuditConfig, Auditor};
 pub use cluster::{ClusterSpec, FftRunResult, SortRunResult, Technology};
-pub use drivers::RecoveryPolicy;
+pub use deadline::{DeadlineHierarchy, PhaseBudget};
+pub use drivers::{DriverProgress, RecoveryPolicy};
+pub use liveness::{HangCause, HangReport};
 pub use report::FaultDiagnostics;
 pub use runner::{RunOutcome, RunRequest, Workload};

@@ -17,6 +17,7 @@ use crate::cluster::{
     self, ClusterSpec, FftRunResult, KeyDistribution, PartitionStrategy, ReduceRunResult,
     SortRunResult,
 };
+use crate::liveness::HangReport;
 
 /// Which application a run executes, with its size parameters.
 #[derive(Clone, Debug)]
@@ -100,27 +101,27 @@ impl RunRequest {
         }
     }
 
-    /// Execute the run to completion and return its outcome.
+    /// Execute the run to completion and return its outcome. A run
+    /// that fails to terminate comes back as [`RunOutcome::Hung`] with
+    /// the structured hang diagnosis — not a panic and not an infinite
+    /// loop.
     pub fn execute(self) -> RunOutcome {
-        match self.workload {
-            Workload::Fft { rows } => RunOutcome::Fft(cluster::run_fft(self.spec, rows)),
+        let result = match self.workload {
+            Workload::Fft { rows } => cluster::try_run_fft(self.spec, rows).map(RunOutcome::Fft),
             Workload::Sort { total_keys } => {
-                RunOutcome::Sort(cluster::run_sort(self.spec, total_keys))
+                cluster::try_run_sort(self.spec, total_keys).map(RunOutcome::Sort)
             }
             Workload::SortCustom {
                 total_keys,
                 distribution,
                 strategy,
-            } => RunOutcome::Sort(cluster::run_sort_custom(
-                self.spec,
-                total_keys,
-                distribution,
-                strategy,
-            )),
+            } => cluster::try_run_sort_custom(self.spec, total_keys, distribution, strategy)
+                .map(RunOutcome::Sort),
             Workload::AllReduce { elems } => {
-                RunOutcome::Reduce(cluster::run_allreduce(self.spec, elems))
+                cluster::try_run_allreduce(self.spec, elems).map(RunOutcome::Reduce)
             }
-        }
+        };
+        result.unwrap_or_else(RunOutcome::Hung)
     }
 }
 
@@ -134,24 +135,47 @@ pub enum RunOutcome {
     Sort(SortRunResult),
     /// Result of an AllReduce run.
     Reduce(ReduceRunResult),
+    /// The run failed to terminate; the report names the stuck phase
+    /// and rank.
+    Hung(Box<HangReport>),
 }
 
 impl RunOutcome {
     /// Wall time of the run, whatever its workload.
+    ///
+    /// # Panics
+    /// Panics on a hung run — a hang has no wall time, and silently
+    /// returning one would corrupt whatever figure asked.
     pub fn total(&self) -> acc_sim::SimDuration {
         match self {
             RunOutcome::Fft(r) => r.total,
             RunOutcome::Sort(r) => r.total,
             RunOutcome::Reduce(r) => r.total,
+            RunOutcome::Hung(report) => panic!("run hung, no wall time\n{report}"),
         }
     }
 
     /// Whether the run's output verified against its serial oracle.
+    /// A hung run verified nothing.
     pub fn verified(&self) -> bool {
         match self {
             RunOutcome::Fft(r) => r.verified,
             RunOutcome::Sort(r) => r.verified,
             RunOutcome::Reduce(r) => r.verified,
+            RunOutcome::Hung(_) => false,
+        }
+    }
+
+    /// Whether the run hung.
+    pub fn is_hung(&self) -> bool {
+        matches!(self, RunOutcome::Hung(_))
+    }
+
+    /// The hang report, if the run hung.
+    pub fn hang(&self) -> Option<&HangReport> {
+        match self {
+            RunOutcome::Hung(report) => Some(report),
+            _ => None,
         }
     }
 

@@ -1668,4 +1668,37 @@ impl Component for InicCard {
     fn name(&self) -> &str {
         &self.label
     }
+
+    fn wait_state(&self) -> Option<String> {
+        if self.dead {
+            // A dead card waits on nothing, but in a hang report it is
+            // usually the answer: every peer stream into it is doomed.
+            return Some("card dead — peers retrying into the void".to_string());
+        }
+        let unacked: usize = self.tx_window.values().map(|s| s.pending.len()).sum();
+        let worst_retries = self
+            .tx_window
+            .values()
+            .map(|s| s.retries)
+            .max()
+            .unwrap_or(0);
+        let outstanding: u64 = self.outstanding.values().sum();
+        let open_gathers = self.gathers.values().filter(|g| g.remaining > 0).count();
+        if unacked == 0 && outstanding == 0 && open_gathers == 0 && self.send_queue.is_empty() {
+            return None;
+        }
+        let mut parts = vec![format!(
+            "{} tx stream(s) with {unacked} un-ACKed pkt(s), {outstanding} B un-credited, \
+             {open_gathers} gather(s) open, {} chunk(s) queued",
+            self.tx_window.len(),
+            self.send_queue.len(),
+        )];
+        if worst_retries > 0 {
+            parts.push(format!("worst stream at retry {worst_retries}"));
+        }
+        if let Some(until) = self.dark_until {
+            parts.push(format!("datapath dark until {until}"));
+        }
+        Some(parts.join("; "))
+    }
 }

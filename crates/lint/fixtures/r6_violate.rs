@@ -1,0 +1,14 @@
+//! R6 fixture: raw engine run-family calls outside the deadline-aware
+//! wrapper. Checked as if at `crates/core/src/probe.rs`.
+
+pub fn drive(sim: &mut Simulation) {
+    sim.run();
+}
+
+pub fn drive_until(sim: &mut Simulation, deadline: SimTime) {
+    sim.run_until(deadline);
+}
+
+pub fn drive_guarded(sim: &mut Simulation, wd: &Watchdog) {
+    let _ = sim.run_guarded(wd);
+}

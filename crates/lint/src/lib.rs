@@ -29,6 +29,14 @@
 //!   hot path (`crates/sim`), and no `todo!`/`unimplemented!` anywhere
 //!   in deterministic crates. Deliberate fail-loud invariant breaches
 //!   must carry an allowlist justification.
+//! * **R6** — no raw engine run-family calls (`.run()`, `.run_until()`,
+//!   `.run_guarded()`) outside `crates/sim` itself and test code. Every
+//!   production run must go through the deadline-aware wrapper
+//!   (`Wiring::run_to_completion` in acc-core), which arms the
+//!   watchdog derived from the [`DeadlineHierarchy`] so a wedged run
+//!   aborts with a structured hang report instead of spinning forever.
+//!   The wrapper itself, and micro-simulations that provably terminate
+//!   (bounded ablation probes), carry allow annotations.
 //!
 //! ## Allowlist
 //!
@@ -71,6 +79,7 @@ pub enum Rule {
     R3,
     R4,
     R5,
+    R6,
     A0,
 }
 
@@ -83,6 +92,7 @@ impl Rule {
             Rule::R3 => "R3",
             Rule::R4 => "R4",
             Rule::R5 => "R5",
+            Rule::R6 => "R6",
             Rule::A0 => "A0",
         }
     }
@@ -95,6 +105,7 @@ impl Rule {
             "R3" => Some(Rule::R3),
             "R4" => Some(Rule::R4),
             "R5" => Some(Rule::R5),
+            "R6" => Some(Rule::R6),
             _ => None,
         }
     }
@@ -362,6 +373,30 @@ fn has_bare_unwrap(code: &str) -> bool {
         let rest = code[at + "unwrap".len()..].trim_start();
         preceded && rest.starts_with('(') && rest[1..].trim_start().starts_with(')')
     })
+}
+
+/// Engine run-family methods a caller may not invoke raw (R6): the
+/// unguarded entries and the guarded one, because even `run_guarded`
+/// is only as good as the watchdog handed to it — the deadline-aware
+/// wrapper is the single place that derives the right one.
+const RUN_FAMILY: &[&str] = &["run", "run_until", "run_guarded"];
+
+/// The run-family method name `code` invokes (`.run(`, `.run_until(`,
+/// `.run_guarded(` — whole-word, dot-preceded, call-parenthesised), if
+/// any. `ex.run_all(...)` and free functions like `run_sort(...)` do
+/// not match.
+fn run_family_call(code: &str) -> Option<&'static str> {
+    for &name in RUN_FAMILY {
+        let hit = word_occurrences(code, name).iter().any(|&at| {
+            let preceded = code[..at].trim_end().ends_with('.');
+            let rest = code[at + name.len()..].trim_start();
+            preceded && rest.starts_with('(')
+        });
+        if hit {
+            return Some(name);
+        }
+    }
+    None
 }
 
 /// The target-type identifier of the first narrowing `as` cast on the
@@ -663,6 +698,21 @@ pub fn analyze_source(logical_path: &str, source: &str) -> FileReport {
             );
         }
 
+        if krate != "sim" {
+            if let Some(name) = run_family_call(code) {
+                push(
+                    &mut report,
+                    idx,
+                    Rule::R6,
+                    format!(
+                        "raw `.{name}()` outside the deadline-aware wrapper: a wedged \
+                         run would spin forever; go through run_to_completion (or \
+                         justify why this simulation provably terminates)"
+                    ),
+                );
+            }
+        }
+
         let sim_hot_path = krate == "sim";
         for mac in ["panic", "todo", "unimplemented"] {
             if has_macro(code, mac) {
@@ -809,6 +859,34 @@ mod tests {
         assert_eq!(narrowing_cast_target("let x = y as u64;"), None);
         assert_eq!(narrowing_cast_target("let x = y as f64;"), None);
         assert_eq!(narrowing_cast_target("use a::b as c;"), None);
+    }
+
+    #[test]
+    fn run_family_detection() {
+        assert_eq!(run_family_call("sim.run();"), Some("run"));
+        assert_eq!(
+            run_family_call("self.sim.run_until(deadline);"),
+            Some("run_until")
+        );
+        assert_eq!(
+            run_family_call("let r = sim.run_guarded(&wd);"),
+            Some("run_guarded")
+        );
+        assert_eq!(
+            run_family_call("ex.run_all(requests)"),
+            None,
+            "not engine family"
+        );
+        assert_eq!(
+            run_family_call("run_sort(spec, keys)"),
+            None,
+            "free function"
+        );
+        assert_eq!(
+            run_family_call("let run = 3; run(x)"),
+            None,
+            "not a method call"
+        );
     }
 
     #[test]

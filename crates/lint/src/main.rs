@@ -7,7 +7,7 @@
 //!
 //! Walks every workspace `.rs` file under `<dir>` (default: the current
 //! directory, falling back to the workspace that built this binary),
-//! prints rustc-style diagnostics for each violation of rules R1–R5,
+//! prints rustc-style diagnostics for each violation of rules R1–R6,
 //! lists the collected allowlist justifications, and exits nonzero if
 //! any violation remains.
 //!

@@ -124,6 +124,34 @@ fn r5_clean_fixture_passes_and_panic_is_sim_scoped() {
 }
 
 #[test]
+fn r6_violating_fixture_is_flagged_with_line() {
+    let report = check("r6_violate.rs", "crates/core/src/probe.rs");
+    let rules = rules_of(&report);
+    assert!(
+        !rules.is_empty() && rules.iter().all(|&r| r == Rule::R6),
+        "{report:?}"
+    );
+    assert_eq!(rules.len(), 3, "run, run_until and run_guarded: {report:?}");
+    assert_eq!(report.violations[0].line, 5, "the `sim.run()` line");
+}
+
+#[test]
+fn r6_clean_fixture_passes_with_one_justified_allow() {
+    let report = check("r6_clean.rs", "crates/core/src/probe.rs");
+    assert!(report.violations.is_empty(), "{report:?}");
+    assert_eq!(report.allows.len(), 1, "{report:?}");
+    assert_eq!(report.allows[0].rule, Rule::R6);
+}
+
+#[test]
+fn r6_does_not_apply_inside_the_engine_crate() {
+    // The engine implements the run family; its own internals (and the
+    // guarded entry calling the plain one) are not raw callers.
+    let report = check("r6_violate.rs", "crates/sim/src/engine_probe.rs");
+    assert!(report.violations.is_empty(), "{report:?}");
+}
+
+#[test]
 fn allowlist_round_trip_suppresses_and_collects_reasons() {
     let report = check("allow_roundtrip.rs", "crates/net/src/scratch.rs");
     assert!(

@@ -51,6 +51,15 @@ pub trait Component: Any {
 
     /// Human-readable name used in traces and stats keys.
     fn name(&self) -> &str;
+
+    /// One-line description of what this component is currently waiting
+    /// for (credits held, parked resume, frames in flight), or `None`
+    /// when it has nothing to report. Collected into the
+    /// [`crate::liveness::LivenessReport`] when a guarded run trips its
+    /// watchdog; idle or stateless components keep the default.
+    fn wait_state(&self) -> Option<String> {
+        None
+    }
 }
 
 /// Mutable simulation services available to a component while it handles an

@@ -4,6 +4,7 @@ use std::any::Any;
 
 use crate::component::{Component, ComponentId, Ctx};
 use crate::event::EventQueue;
+use crate::liveness::{ComponentWait, HangKind, LivenessReport, Watchdog};
 use crate::rng::SimRng;
 use crate::stats::StatsRegistry;
 use crate::time::SimTime;
@@ -27,6 +28,10 @@ pub struct Simulation {
     /// (default: effectively unlimited). Helps catch livelock bugs such as
     /// two protocol stacks ACKing each other forever.
     event_limit: u64,
+    /// Suppress stderr diagnostics (trace-tail dumps on panics and
+    /// watchdog aborts). Set by harnesses that run many *expected*
+    /// failures, e.g. the fault-plan minimizer testing candidate plans.
+    quiet: bool,
 }
 
 /// Pending-event headroom every engine starts with. Cluster scenarios
@@ -52,6 +57,7 @@ impl Simulation {
             trace: TraceBuffer::disabled(),
             events_processed: 0,
             event_limit: u64::MAX,
+            quiet: false,
         }
     }
 
@@ -65,6 +71,13 @@ impl Simulation {
     /// trace dump. Useful in tests to catch event livelock.
     pub fn set_event_limit(&mut self, limit: u64) {
         self.event_limit = limit;
+    }
+
+    /// Suppress stderr diagnostics (trace-tail dumps on component panics
+    /// and watchdog aborts). The structured [`LivenessReport`] still
+    /// carries the trace tail; only the eager printing is silenced.
+    pub fn set_quiet(&mut self, quiet: bool) {
+        self.quiet = quiet;
     }
 
     /// Reserve a fresh [`ComponentId`]. The slot must be filled with
@@ -189,7 +202,7 @@ impl Simulation {
             }))
         };
         if let Err(cause) = outcome {
-            if self.trace.enabled() {
+            if self.trace.enabled() && !self.quiet {
                 eprintln!(
                     "--- trace tail at failure (t={}, component {:?}) ---\n{}",
                     self.now,
@@ -207,6 +220,79 @@ impl Simulation {
     pub fn run(&mut self) -> SimTime {
         while self.step() {}
         self.now
+    }
+
+    /// Run until the queue is exhausted or a [`Watchdog`] bound trips,
+    /// whichever is first.
+    ///
+    /// On a tripped bound this returns a structured [`LivenessReport`]
+    /// instead of panicking or looping forever: per-component wait
+    /// states, the queue head, and the trace tail (also dumped to stderr
+    /// unless [`set_quiet`](Self::set_quiet) was called — the same
+    /// post-mortem surface a component panic produces). The clock is
+    /// never advanced past the last committed event, and the guarded
+    /// loop itself schedules **no events**, so a run that completes
+    /// under `run_guarded` is bit-identical to the same run under
+    /// [`run`](Self::run).
+    pub fn run_guarded(&mut self, wd: &Watchdog) -> Result<SimTime, Box<LivenessReport>> {
+        let start_events = self.events_processed;
+        let mut last_now = self.now;
+        let mut last_advance_events = self.events_processed;
+        loop {
+            let Some(head) = self.queue.next_time() else {
+                return Ok(self.now);
+            };
+            if let Some(deadline) = wd.deadline {
+                if head > deadline {
+                    return Err(self.liveness_report(HangKind::DeadlineExceeded));
+                }
+            }
+            if self.events_processed - start_events >= wd.event_budget {
+                return Err(self.liveness_report(HangKind::EventBudgetExhausted));
+            }
+            self.step();
+            if self.now > last_now {
+                last_now = self.now;
+                last_advance_events = self.events_processed;
+            } else if self.events_processed - last_advance_events >= wd.stall_events {
+                return Err(self.liveness_report(HangKind::NoCommitAdvance));
+            }
+        }
+    }
+
+    /// Snapshot the engine's liveness state into a report (and dump the
+    /// trace tail to stderr unless quiet, mirroring the panic path).
+    fn liveness_report(&self, kind: HangKind) -> Box<LivenessReport> {
+        let components = self
+            .components
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, slot)| {
+                let c = slot.as_deref()?;
+                let wait = c.wait_state()?;
+                Some(ComponentWait {
+                    id: ComponentId::from_raw(idx),
+                    name: c.name().to_string(),
+                    wait,
+                })
+            })
+            .collect();
+        let report = Box::new(LivenessReport {
+            kind,
+            now: self.now,
+            events_processed: self.events_processed,
+            events_pending: self.queue.len(),
+            queue_head: self.queue.peek_head(),
+            components,
+            trace_tail: self.trace.dump_to_string(),
+        });
+        if self.trace.enabled() && !self.quiet {
+            eprintln!(
+                "--- trace tail at liveness failure ({kind}, t={}) ---\n{}",
+                self.now, report.trace_tail
+            );
+        }
+        report
     }
 
     /// Run until the queue empties or `deadline` is reached, whichever is
@@ -318,6 +404,126 @@ mod tests {
         assert_eq!(sim.component::<Counter>(id).count, 7);
         sim.component_mut::<Counter>(id).count = 9;
         assert_eq!(sim.component::<Counter>(id).count, 9);
+    }
+
+    #[test]
+    fn guarded_clean_run_matches_unguarded() {
+        fn build() -> (Simulation, ComponentId) {
+            let mut sim = Simulation::new(7);
+            let id = sim.add(Counter { count: 0 });
+            for ms in [1u64, 2, 3] {
+                sim.schedule_at(SimTime::ZERO + SimDuration::from_millis(ms), id, ());
+            }
+            (sim, id)
+        }
+        let (mut plain, pid) = build();
+        let end_plain = plain.run();
+        let (mut guarded, gid) = build();
+        let wd = Watchdog::unlimited()
+            .with_event_budget(1_000)
+            .with_stall_events(100)
+            .with_deadline(SimTime::ZERO + SimDuration::from_millis(10));
+        let end_guarded = guarded.run_guarded(&wd).expect("clean run must not trip");
+        assert_eq!(end_plain, end_guarded);
+        assert_eq!(plain.events_processed(), guarded.events_processed());
+        assert_eq!(
+            plain.component::<Counter>(pid).count,
+            guarded.component::<Counter>(gid).count
+        );
+    }
+
+    #[test]
+    fn guarded_run_catches_same_timestamp_livelock() {
+        struct Livelock;
+        impl Component for Livelock {
+            fn handle(&mut self, _ev: Box<dyn Any>, ctx: &mut Ctx) {
+                ctx.send_now(ctx.self_id(), ());
+            }
+            fn name(&self) -> &str {
+                "livelock"
+            }
+            fn wait_state(&self) -> Option<String> {
+                Some("spinning at a single timestamp".into())
+            }
+        }
+        let mut sim = Simulation::new(0);
+        let id = sim.add(Livelock);
+        sim.schedule_at(SimTime::ZERO, id, ());
+        let wd = Watchdog::unlimited().with_stall_events(64);
+        let report = sim
+            .run_guarded(&wd)
+            .expect_err("livelock must trip the watchdog");
+        assert_eq!(report.kind, crate::liveness::HangKind::NoCommitAdvance);
+        assert_eq!(report.now, SimTime::ZERO);
+        assert_eq!(report.components.len(), 1);
+        assert_eq!(report.components[0].name, "livelock");
+        assert!(report.components[0].wait.contains("spinning"));
+        assert!(report.queue_head.is_some());
+    }
+
+    #[test]
+    fn guarded_run_enforces_event_budget() {
+        struct Spinner;
+        impl Component for Spinner {
+            fn handle(&mut self, _ev: Box<dyn Any>, ctx: &mut Ctx) {
+                ctx.self_in(SimDuration::from_nanos(1), ());
+            }
+            fn name(&self) -> &str {
+                "spinner"
+            }
+        }
+        let mut sim = Simulation::new(0);
+        let id = sim.add(Spinner);
+        sim.schedule_at(SimTime::ZERO, id, ());
+        let wd = Watchdog::unlimited().with_event_budget(100);
+        let report = sim
+            .run_guarded(&wd)
+            .expect_err("event spin must exhaust the budget");
+        assert_eq!(report.kind, crate::liveness::HangKind::EventBudgetExhausted);
+        // Budget is enforced exactly: no more than 100 events processed.
+        assert_eq!(sim.events_processed(), 100);
+    }
+
+    #[test]
+    fn guarded_run_stops_at_sim_time_deadline_without_advancing() {
+        let mut sim = Simulation::new(0);
+        let id = sim.add(Counter { count: 0 });
+        for ms in [1u64, 2, 50] {
+            sim.schedule_at(SimTime::ZERO + SimDuration::from_millis(ms), id, ());
+        }
+        let deadline = SimTime::ZERO + SimDuration::from_millis(10);
+        let wd = Watchdog::unlimited().with_deadline(deadline);
+        let report = sim
+            .run_guarded(&wd)
+            .expect_err("pending event beyond deadline must trip");
+        assert_eq!(report.kind, crate::liveness::HangKind::DeadlineExceeded);
+        // The two in-deadline events ran; the clock stays at the last
+        // committed event rather than jumping to the deadline.
+        assert_eq!(sim.component::<Counter>(id).count, 2);
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_millis(2));
+        assert_eq!(report.events_pending, 1);
+    }
+
+    #[test]
+    fn guarded_report_carries_trace_tail() {
+        struct Tracer;
+        impl Component for Tracer {
+            fn handle(&mut self, _ev: Box<dyn Any>, ctx: &mut Ctx) {
+                ctx.trace("credit probe retry");
+                ctx.send_now(ctx.self_id(), ());
+            }
+            fn name(&self) -> &str {
+                "tracer"
+            }
+        }
+        let mut sim = Simulation::new(0);
+        sim.enable_trace(8);
+        sim.set_quiet(true);
+        let id = sim.add(Tracer);
+        sim.schedule_at(SimTime::ZERO, id, ());
+        let wd = Watchdog::unlimited().with_stall_events(16);
+        let report = sim.run_guarded(&wd).expect_err("must trip");
+        assert!(report.trace_tail.contains("credit probe retry"));
     }
 
     #[test]

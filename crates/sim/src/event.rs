@@ -100,6 +100,12 @@ impl EventQueue {
         self.heap.peek().map(|e| e.time)
     }
 
+    /// Peek at the delivery time and target of the earliest event
+    /// (liveness diagnostics: "who was the queue head waiting on").
+    pub fn peek_head(&self) -> Option<(SimTime, ComponentId)> {
+        self.heap.peek().map(|e| (e.time, e.target))
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()

@@ -53,6 +53,7 @@
 pub mod component;
 pub mod engine;
 pub mod event;
+pub mod liveness;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -61,6 +62,7 @@ pub mod trace;
 pub use component::{Component, ComponentId, Ctx};
 pub use engine::Simulation;
 pub use event::EventQueue;
+pub use liveness::{ComponentWait, HangKind, LivenessReport, Watchdog};
 pub use rng::SimRng;
 pub use stats::StatsRegistry;
 pub use time::{Bandwidth, DataSize, SimDuration, SimTime};

@@ -12,7 +12,10 @@ echo "== cargo clippy (deny warnings)"
 cargo clippy -q --all-targets -- -D warnings
 
 echo "== cargo build --release"
-cargo build --release
+# --workspace: the root manifest is also the umbrella package, and a
+# bare `cargo build` would build only it — leaving the acc-lint and
+# bench_wallclock binaries the later steps execute stale.
+cargo build --release --workspace
 
 echo "== acc-lint (static determinism/wire-safety invariants)"
 ./target/release/acc-lint
