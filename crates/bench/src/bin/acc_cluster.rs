@@ -72,10 +72,6 @@ fn main() {
             );
         }
         "allreduce" => {
-            if tech == Technology::InicProtocol {
-                eprintln!("allreduce has no protocol-only variant");
-                usage();
-            }
             let r = run_allreduce(spec, size as usize);
             println!(
                 "allreduce {} f64 on {} x{}: total {:.3} ms (comm {:.3}, host reduce {:.3}), \

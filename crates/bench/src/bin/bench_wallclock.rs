@@ -3,7 +3,7 @@
 //! machine, written as `BENCH_campaign.json` at the repository root.
 //!
 //! Two passes over the same run matrix (sort + FFT on each of the four
-//! technologies):
+//! technologies, plus the allreduce algorithm-pair microbenches):
 //!
 //! 1. **serial** — `Executor::new(1)`, with each point timed
 //!    individually (the per-point table in the JSON);
@@ -30,6 +30,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use acc_bench::{executor, figure_spec, Executor};
+use acc_coll::{Algorithm, CollectiveOp};
 use acc_core::cluster::Technology;
 use acc_core::{RunOutcome, RunRequest};
 
@@ -50,7 +51,9 @@ fn tech_label(t: Technology) -> &'static str {
     }
 }
 
-/// The run matrix: one sort and one FFT point per technology.
+/// The run matrix: one sort and one FFT point per technology, plus the
+/// collective microbench points (ring vs recursive-doubling allreduce,
+/// small vs large vectors, host-TCP vs combined INIC).
 fn points(smoke: bool) -> Vec<(String, RunRequest)> {
     // Smoke sizes finish in seconds on one core; full sizes are the
     // campaign scale the figures actually run at.
@@ -69,6 +72,34 @@ fn points(smoke: bool) -> Vec<(String, RunRequest)> {
             format!("fft_{rows}_{}_p{p}", tech_label(tech)),
             RunRequest::fft(figure_spec(p, tech), rows),
         ));
+    }
+    // Allreduce algorithm pair: the latency-bound size where recursive
+    // doubling should win, and the bandwidth-bound size where the ring
+    // should win, on both a host path and the combined INIC.
+    let coll_cells: &[(usize, usize)] = if smoke {
+        &[(4, 1 << 10), (4, 1 << 14)]
+    } else {
+        &[(8, 1 << 10), (8, 1 << 17), (16, 1 << 17)]
+    };
+    for &(p, elems) in coll_cells {
+        for algo in [Algorithm::Ring, Algorithm::RecursiveDoubling] {
+            for tech in [Technology::GigabitTcp, Technology::InicIdeal] {
+                out.push((
+                    format!(
+                        "allreduce_{}_2e{}_{}_p{p}",
+                        algo.label(),
+                        elems.ilog2(),
+                        tech_label(tech)
+                    ),
+                    RunRequest::collective(
+                        figure_spec(p, tech),
+                        CollectiveOp::AllReduce,
+                        algo,
+                        elems,
+                    ),
+                ));
+            }
+        }
     }
     out
 }

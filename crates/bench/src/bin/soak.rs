@@ -19,8 +19,16 @@
 //! before the process exits nonzero. Clean output and exit 0 mean the
 //! cluster survived every round.
 //!
+//! `--coll` adds one engine collective per `(round, technology)` cell,
+//! rotating through all six operations (see `COLL_ROTATION`); the
+//! collective cell runs the round's plan minus permanent card deaths,
+//! which a lockstep schedule cannot survive by design. The flag is
+//! purely additive: without it the campaign and its output are
+//! byte-for-byte unchanged.
+//!
 //! ```text
 //! cargo run --release -p acc-bench --bin soak -- --rounds 32 --seed 0xACC
+//! cargo run --release -p acc-bench --bin soak -- --rounds 12 --coll
 //! cargo run --release -p acc-bench --bin soak -- --repro soak-repro.txt
 //! ```
 
@@ -29,6 +37,7 @@ use acc_bench::repro::{
 };
 use acc_bench::Executor;
 use acc_chaos::{FaultEvent, FaultPlan, LinkId};
+use acc_coll::{Algorithm, CollectiveOp};
 use acc_core::cluster::{ClusterSpec, Technology};
 use acc_core::{FaultDiagnostics, RunRequest};
 use acc_sim::{DataSize, SimDuration, SimRng, SimTime};
@@ -45,6 +54,23 @@ const TECHNOLOGIES: [Technology; 4] = [
     Technology::InicIdeal,
     Technology::InicPrototype,
     Technology::InicProtocol,
+];
+
+/// The `--coll` rotation: round `r` additionally soaks cell
+/// `COLL_ROTATION[r % 6]`, so 6 rounds cover every collective with a
+/// mix of both algorithm families. Sizes keep each cell in sort/FFT
+/// territory (a few ms of simulated time under faults).
+const COLL_ROTATION: [(CollectiveOp, Algorithm, usize); 6] = [
+    (CollectiveOp::AllReduce, Algorithm::Ring, 4096),
+    (
+        CollectiveOp::ReduceScatter,
+        Algorithm::RecursiveHalving,
+        4096,
+    ),
+    (CollectiveOp::AllGather, Algorithm::RecursiveDoubling, 1024),
+    (CollectiveOp::Broadcast, Algorithm::BinomialTree, 4096),
+    (CollectiveOp::AllToAll, Algorithm::Bruck, 1024),
+    (CollectiveOp::Barrier, Algorithm::Dissemination, 16),
 ];
 
 fn ms(n: u64) -> SimTime {
@@ -123,6 +149,23 @@ fn round_plan(seed: u64, round: u64) -> FaultPlan {
     plan
 }
 
+/// The round's plan for the `--coll` cell: identical except that
+/// permanent card deaths are dropped. A lockstep collective schedule
+/// has no degraded-mode resume (the FFT/sort drivers' host-fallback
+/// path has no analogue — a dead card wedges the whole ring by
+/// design, which the hang tests cover directly), so the soak keeps
+/// every *survivable* fault and skips the one that is not.
+fn coll_plan(seed: u64, round: u64) -> FaultPlan {
+    let full = round_plan(seed, round);
+    let mut plan = FaultPlan::new(full.seed());
+    for ev in full.events() {
+        if !matches!(ev, FaultEvent::CardFailure { .. }) {
+            plan.push(ev.clone());
+        }
+    }
+    plan
+}
+
 fn tech_label(t: Technology) -> &'static str {
     match t {
         Technology::FastEthernet => "fast",
@@ -155,12 +198,18 @@ struct CellFailure {
     observed: String,
 }
 
-/// The two formatted report lines for one `(round, technology)` cell:
-/// sort then FFT, both verified. Runs in a worker thread; only the
-/// serial print loop below touches stdout, so line order never depends
-/// on scheduling. A failure (hang, divergence, panic) comes back as a
-/// [`CellFailure`] instead of killing the campaign.
-fn run_cell(round: u64, tech: Technology, plan: &FaultPlan) -> Result<[String; 2], CellFailure> {
+/// The formatted report lines for one `(round, technology)` cell: sort
+/// then FFT (then, under `--coll`, the round's rotation collective),
+/// all verified. Runs in a worker thread; only the serial print loop
+/// below touches stdout, so line order never depends on scheduling. A
+/// failure (hang, divergence, panic) comes back as a [`CellFailure`]
+/// instead of killing the campaign.
+fn run_cell(
+    round: u64,
+    tech: Technology,
+    plan: &FaultPlan,
+    coll: Option<(&FaultPlan, (CollectiveOp, Algorithm, usize))>,
+) -> Result<Vec<String>, CellFailure> {
     let line = |kind: &str, total: SimDuration, faults: &FaultDiagnostics| {
         format!(
             "round {round:03} {kind} {:<10} total={:>10.3}ms {}",
@@ -201,7 +250,26 @@ fn run_cell(round: u64, tech: Technology, plan: &FaultPlan) -> Result<[String; 2
             line("fft ", r.total, &r.faults)
         }
     };
-    Ok([sort_line, fft_line])
+    let mut lines = vec![sort_line, fft_line];
+    if let Some((coll_plan, (op, algo, elems))) = coll {
+        let spec = ClusterSpec::new(P, tech).with_fault_plan(coll_plan.clone());
+        let outcome = execute_caught(RunRequest::collective(spec, op, algo, elems));
+        match failure_of(&outcome) {
+            Some(observed) => {
+                return Err(CellFailure {
+                    round,
+                    tech,
+                    workload: ReproWorkload::Coll { op, algo, elems },
+                    observed,
+                });
+            }
+            None => {
+                let r = outcome.expect("no failure implies an outcome").into_coll();
+                lines.push(line("coll", r.total, &r.faults));
+            }
+        }
+    }
+    Ok(lines)
 }
 
 /// Replay a repro artifact (`--repro <file>`): exit 0 iff the recorded
@@ -233,7 +301,13 @@ fn replay(path: &str) -> ! {
 /// Minimize the first failing cell's plan, write the repro artifact,
 /// and report — the deterministic failure epilogue of a soak run.
 fn emit_repro(ex: &Executor, seed: u64, failure: &CellFailure) {
-    let plan = round_plan(seed, failure.round);
+    // A collective cell ran the card-death-free variant of the round's
+    // plan; minimize the plan the cell actually saw.
+    let plan = if matches!(failure.workload, ReproWorkload::Coll { .. }) {
+        coll_plan(seed, failure.round)
+    } else {
+        round_plan(seed, failure.round)
+    };
     println!(
         "minimizing round {:03} {} {} plan ({} events) ...",
         failure.round,
@@ -267,6 +341,7 @@ fn main() {
     let ex = Executor::from_cli();
     let mut rounds: u64 = 32;
     let mut seed: u64 = 0xACC_50AC;
+    let mut coll = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let parse = |v: Option<String>, what: &str| -> u64 {
@@ -281,6 +356,7 @@ fn main() {
         match a.as_str() {
             "--rounds" => rounds = parse(args.next(), "--rounds"),
             "--seed" => seed = parse(args.next(), "--seed"),
+            "--coll" => coll = true,
             "--repro" => {
                 let path = args
                     .next()
@@ -290,21 +366,33 @@ fn main() {
             // Already consumed by Executor::from_cli; skip the value.
             "--jobs" => drop(args.next()),
             jobs_eq if jobs_eq.starts_with("--jobs=") => {}
-            other => panic!("unknown argument {other} (expected --rounds/--seed/--jobs/--repro)"),
+            other => {
+                panic!("unknown argument {other} (expected --rounds/--seed/--jobs/--coll/--repro)")
+            }
         }
     }
-    println!("chaos soak: {rounds} rounds, seed {seed:#x}, P={P}, verification + auditor ON");
+    println!(
+        "chaos soak: {rounds} rounds, seed {seed:#x}, P={P}, verification + auditor ON{}",
+        if coll { ", collectives ON" } else { "" }
+    );
     // Describe the whole campaign first: per round a plan line, per
     // (round, technology) one work-queue task computing its two report
     // lines. The executor returns results in submission order, so the
     // output below is byte-identical to the old serial loop at any
     // worker count.
     let mut plan_lines = Vec::new();
-    let mut tasks: Vec<Box<dyn FnOnce() -> Result<[String; 2], CellFailure> + Send>> = Vec::new();
+    type CellTask = Box<dyn FnOnce() -> Result<Vec<String>, CellFailure> + Send>;
+    let mut tasks: Vec<CellTask> = Vec::new();
     for round in 0..rounds {
         let plan = round_plan(seed, round);
         plan.validate(P as u32)
             .unwrap_or_else(|e| panic!("round {round} built an invalid plan: {e}"));
+        let coll_cell = coll.then(|| {
+            (
+                coll_plan(seed, round),
+                COLL_ROTATION[(round % COLL_ROTATION.len() as u64) as usize],
+            )
+        });
         let kinds: Vec<&str> = plan
             .events()
             .iter()
@@ -323,19 +411,28 @@ fn main() {
         plan_lines.push(format!("round {round:03}: plan [{}]", kinds.join(" ")));
         for tech in TECHNOLOGIES {
             let plan = plan.clone();
-            tasks.push(Box::new(move || run_cell(round, tech, &plan)));
+            let coll_cell = coll_cell.clone();
+            tasks.push(Box::new(move || {
+                run_cell(
+                    round,
+                    tech,
+                    &plan,
+                    coll_cell.as_ref().map(|(p, cell)| (p, *cell)),
+                )
+            }));
         }
     }
-    let runs = 2 * tasks.len() as u64;
+    let runs = (if coll { 3 } else { 2 }) * tasks.len() as u64;
     let mut cells = ex.map(tasks).into_iter();
     let mut failures: Vec<CellFailure> = Vec::new();
     for plan_line in plan_lines {
         println!("{plan_line}");
         for _ in TECHNOLOGIES {
             match cells.next().expect("one cell per (round, tech)") {
-                Ok([sort_line, fft_line]) => {
-                    println!("{sort_line}");
-                    println!("{fft_line}");
+                Ok(lines) => {
+                    for l in lines {
+                        println!("{l}");
+                    }
                 }
                 Err(failure) => {
                     println!(

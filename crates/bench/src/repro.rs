@@ -31,6 +31,7 @@
 //! byte-identical artifacts.
 
 use acc_chaos::FaultPlan;
+use acc_coll::{Algorithm, CollectiveOp};
 use acc_core::{ClusterSpec, RunOutcome, RunRequest, Technology, Workload};
 
 use crate::executor::Executor;
@@ -52,30 +53,61 @@ pub enum ReproWorkload {
         /// Matrix dimension.
         rows: usize,
     },
+    /// One engine collective over an `elems`-element f64 vector.
+    Coll {
+        /// The collective operation.
+        op: CollectiveOp,
+        /// The schedule algorithm.
+        algo: Algorithm,
+        /// Vector elements per rank.
+        elems: usize,
+    },
 }
 
 impl ReproWorkload {
-    /// The artifact line fragment: `sort 16384` / `fft 32`.
+    /// The artifact line fragment: `sort 16384` / `fft 32` /
+    /// `coll allreduce ring 4096`.
     pub fn label(self) -> String {
         match self {
             ReproWorkload::Sort { keys } => format!("sort {keys}"),
             ReproWorkload::Fft { rows } => format!("fft {rows}"),
+            ReproWorkload::Coll { op, algo, elems } => {
+                format!("coll {} {} {elems}", op.label(), algo.label())
+            }
         }
     }
 
     fn parse(v: &str, ln: usize) -> Result<ReproWorkload, String> {
-        let (kind, size) = v
+        let (kind, rest) = v
             .split_once(' ')
             .ok_or_else(|| format!("line {ln}: workload needs '<kind> <size>', got '{v}'"))?;
         match kind {
-            "sort" => size
+            "sort" => rest
                 .parse()
                 .map(|keys| ReproWorkload::Sort { keys })
-                .map_err(|_| format!("line {ln}: bad sort key count '{size}'")),
-            "fft" => size
+                .map_err(|_| format!("line {ln}: bad sort key count '{rest}'")),
+            "fft" => rest
                 .parse()
                 .map(|rows| ReproWorkload::Fft { rows })
-                .map_err(|_| format!("line {ln}: bad fft rows '{size}'")),
+                .map_err(|_| format!("line {ln}: bad fft rows '{rest}'")),
+            "coll" => {
+                let mut parts = rest.split(' ');
+                let (Some(op), Some(algo), Some(elems), None) =
+                    (parts.next(), parts.next(), parts.next(), parts.next())
+                else {
+                    return Err(format!(
+                        "line {ln}: coll workload needs '<op> <algo> <elems>', got '{rest}'"
+                    ));
+                };
+                let op = CollectiveOp::parse(op)
+                    .ok_or_else(|| format!("line {ln}: unknown collective '{op}'"))?;
+                let algo = Algorithm::parse(algo)
+                    .ok_or_else(|| format!("line {ln}: unknown algorithm '{algo}'"))?;
+                let elems = elems
+                    .parse()
+                    .map_err(|_| format!("line {ln}: bad element count '{elems}'"))?;
+                Ok(ReproWorkload::Coll { op, algo, elems })
+            }
             other => Err(format!("line {ln}: unknown workload kind '{other}'")),
         }
     }
@@ -86,6 +118,7 @@ impl From<ReproWorkload> for Workload {
         match w {
             ReproWorkload::Sort { keys } => Workload::Sort { total_keys: keys },
             ReproWorkload::Fft { rows } => Workload::Fft { rows },
+            ReproWorkload::Coll { op, algo, elems } => Workload::Collective { op, algo, elems },
         }
     }
 }
@@ -365,6 +398,31 @@ mod tests {
         let mut a = artifact();
         a.workload = ReproWorkload::Fft { rows: 32 };
         assert_eq!(ReproArtifact::from_text(&a.to_text()), Ok(a));
+    }
+
+    #[test]
+    fn collective_workloads_roundtrip_too() {
+        let mut a = artifact();
+        for op in CollectiveOp::ALL {
+            for algo in op.algorithms() {
+                a.workload = ReproWorkload::Coll {
+                    op,
+                    algo,
+                    elems: 4096,
+                };
+                assert_eq!(
+                    ReproArtifact::from_text(&a.to_text()),
+                    Ok(a.clone()),
+                    "{op}/{algo}"
+                );
+            }
+        }
+        let garbled = artifact().to_text().replace(
+            "workload sort 16384",
+            "workload coll allreduce warp-speed 4096",
+        );
+        let err = ReproArtifact::from_text(&garbled).unwrap_err();
+        assert!(err.contains("warp-speed"), "{err}");
     }
 
     #[test]

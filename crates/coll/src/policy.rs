@@ -1,0 +1,204 @@
+//! The explicit algorithm-selection policy.
+//!
+//! MPI implementations bury algorithm switch-over points in config
+//! tables; here the policy is a pure, documented function over the
+//! three axes the tentpole names — message size, processor count and
+//! execution path (which is what `Technology` reduces to once the
+//! driver has chosen host-TCP, protocol-only INIC or combined INIC).
+//! Every choice it returns is [`crate::plan::supports`]-valid, so the
+//! builders never refuse a policy pick.
+
+use crate::{plan, Algorithm, CollectiveOp};
+
+/// How a collective will actually execute — the `Technology`-derived
+/// axis of the policy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PathClass {
+    /// Host sockets: kernel TCP, interrupt-driven, host arithmetic.
+    HostTcp,
+    /// INIC with the combined bitstream: the card runs the protocol
+    /// and folds `Sum` rounds in its datapath.
+    InicCombined,
+    /// INIC as a pure protocol processor: wire offload, host
+    /// arithmetic.
+    InicProtocol,
+}
+
+impl PathClass {
+    /// The latency/bandwidth switch-over in message bytes. The INIC
+    /// paths switch earlier: their per-round setup cost is small, so
+    /// bandwidth-optimal segmented schedules pay off sooner.
+    pub fn small_cutoff(self) -> u64 {
+        match self {
+            PathClass::HostTcp => 8 * 1024,
+            PathClass::InicCombined | PathClass::InicProtocol => 2 * 1024,
+        }
+    }
+}
+
+/// Pick the algorithm for one collective invocation.
+///
+/// The shape of every rule is the classic latency-vs-bandwidth trade:
+/// log-round algorithms win while per-round latency dominates (small
+/// vectors), segmented ring/pairwise schedules win once wire bytes
+/// dominate (their per-round messages are 1/p-sized and pipeline
+/// through the transport's credit window). Power-of-two and
+/// divisibility restrictions fall back to the unrestricted algorithm.
+pub fn select(op: CollectiveOp, p: usize, elems: usize, path: PathClass) -> Algorithm {
+    let small = (elems as u64) * 8 <= path.small_cutoff();
+    let pow2 = p.is_power_of_two();
+    let algo = match op {
+        CollectiveOp::AllReduce => {
+            if pow2 && small {
+                Algorithm::RecursiveDoubling
+            } else {
+                Algorithm::Ring
+            }
+        }
+        CollectiveOp::ReduceScatter => {
+            if pow2 && elems.is_multiple_of(p) && small {
+                Algorithm::RecursiveHalving
+            } else {
+                Algorithm::Ring
+            }
+        }
+        CollectiveOp::AllGather => {
+            if pow2 && small {
+                Algorithm::RecursiveDoubling
+            } else {
+                Algorithm::Ring
+            }
+        }
+        // A two-node "tree" is just the direct send; the chain only
+        // breaks even there, so the tree takes everything past p = 2.
+        CollectiveOp::Broadcast => {
+            if p <= 2 {
+                Algorithm::Ring
+            } else {
+                Algorithm::BinomialTree
+            }
+        }
+        // Small power-of-two clusters use the paired exchange (one
+        // gather per round on the card); dissemination covers any p
+        // and staggers its one-directional tokens across the switch.
+        CollectiveOp::Barrier => {
+            if pow2 && p <= 8 {
+                Algorithm::RecursiveDoubling
+            } else {
+                Algorithm::Dissemination
+            }
+        }
+        CollectiveOp::AllToAll => {
+            if pow2 && elems.is_multiple_of(p) && small {
+                Algorithm::Bruck
+            } else {
+                Algorithm::Pairwise
+            }
+        }
+    };
+    debug_assert!(
+        plan::supports(op, algo, p, elems),
+        "policy picked an unsupported cell: {op}/{algo} p={p} elems={elems}"
+    );
+    algo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PATHS: [PathClass; 3] = [
+        PathClass::HostTcp,
+        PathClass::InicCombined,
+        PathClass::InicProtocol,
+    ];
+
+    #[test]
+    fn policy_only_picks_supported_cells() {
+        for op in CollectiveOp::ALL {
+            for p in [1usize, 2, 3, 4, 5, 6, 7, 8, 12, 16] {
+                for elems in [p, 64, 100, 4096, 1 << 17] {
+                    for path in PATHS {
+                        let algo = select(op, p, elems, path);
+                        assert!(
+                            plan::supports(op, algo, p, elems),
+                            "{op}/{algo} p={p} elems={elems} {path:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_op_sees_both_algorithms_selected_somewhere() {
+        for op in CollectiveOp::ALL {
+            let mut picked = Vec::new();
+            for p in [2usize, 3, 4, 8, 16] {
+                for elems in [16usize, 1 << 16] {
+                    let elems = elems - elems % p; // keep divisible cells reachable
+                    if elems == 0 {
+                        continue;
+                    }
+                    for path in PATHS {
+                        let a = select(op, p, elems, path);
+                        if !picked.contains(&a) {
+                            picked.push(a);
+                        }
+                    }
+                }
+            }
+            assert!(
+                picked.len() >= 2,
+                "{op}: policy must be able to reach ≥2 algorithms, got {picked:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn size_flips_the_bandwidth_algorithms() {
+        // Small vectors take the log-round algorithm, large ones the
+        // segmented ring — on every path, with path-specific cutoffs.
+        for path in PATHS {
+            let small = select(CollectiveOp::AllReduce, 8, 16, path);
+            let large = select(CollectiveOp::AllReduce, 8, 1 << 20, path);
+            assert_eq!(small, Algorithm::RecursiveDoubling, "{path:?}");
+            assert_eq!(large, Algorithm::Ring, "{path:?}");
+        }
+        // 4 KiB sits between the cutoffs: small for TCP, large for INIC.
+        let elems = 512; // 4 KiB
+        assert_eq!(
+            select(CollectiveOp::AllReduce, 8, elems, PathClass::HostTcp),
+            Algorithm::RecursiveDoubling
+        );
+        assert_eq!(
+            select(CollectiveOp::AllReduce, 8, elems, PathClass::InicCombined),
+            Algorithm::Ring
+        );
+    }
+
+    #[test]
+    fn processor_count_flips_broadcast_and_barrier() {
+        assert_eq!(
+            select(CollectiveOp::Broadcast, 2, 64, PathClass::HostTcp),
+            Algorithm::Ring
+        );
+        assert_eq!(
+            select(CollectiveOp::Broadcast, 8, 64, PathClass::HostTcp),
+            Algorithm::BinomialTree
+        );
+        assert_eq!(
+            select(CollectiveOp::Barrier, 4, 1, PathClass::HostTcp),
+            Algorithm::RecursiveDoubling
+        );
+        assert_eq!(
+            select(CollectiveOp::Barrier, 16, 1, PathClass::HostTcp),
+            Algorithm::Dissemination
+        );
+        assert_eq!(
+            select(CollectiveOp::Barrier, 6, 1, PathClass::HostTcp),
+            Algorithm::Dissemination,
+            "non-power-of-two must fall back"
+        );
+    }
+}

@@ -12,6 +12,7 @@ use acc_algos::sort::splitters_from_sample;
 use acc_algos::transpose::{join_row_blocks, split_row_blocks};
 use acc_algos::workload::{distributed_uniform_keys, gaussian_keys, random_matrix};
 use acc_chaos::{FaultPlan, LinkId};
+use acc_coll::{Algorithm, CollectiveOp, OffloadError, OffloadPlan, PathClass, Schedule};
 use acc_fpga::{
     CardPorts, FpgaDevice, InicCard, InicKill, InicMode, InicReconfigure, CREDIT_WINDOW,
 };
@@ -23,8 +24,8 @@ use acc_sim::{ComponentId, SimDuration, SimTime, Simulation};
 
 use crate::audit::{self, AuditConfig, Auditor};
 use crate::deadline::DeadlineHierarchy;
+use crate::drivers::coll::CollDriver;
 use crate::drivers::fft::FftDriver;
-use crate::drivers::reduce::ReduceDriver;
 use crate::drivers::sort::{SortDriver, SortVariant};
 use crate::drivers::{
     Attachment, CardFailed, DriverProgress, FaultCtl, RecoveryCoordinator, RecoveryPolicy,
@@ -419,7 +420,7 @@ fn wire(
         match make_driver(rank, attachment, fault_ctl) {
             DriverBox::Fft(d) => sim.register(driver_ids[rank], *d),
             DriverBox::Sort(d) => sim.register(driver_ids[rank], *d),
-            DriverBox::Reduce(d) => sim.register(driver_ids[rank], *d),
+            DriverBox::Coll(d) => sim.register(driver_ids[rank], *d),
         }
     }
     sim.register(switch_id, switch);
@@ -617,7 +618,7 @@ impl Wiring {
 enum DriverBox {
     Fft(Box<FftDriver>),
     Sort(Box<SortDriver>),
-    Reduce(Box<ReduceDriver>),
+    Coll(Box<CollDriver>),
 }
 
 /// Run the 2D-FFT application on a `rows × rows` matrix.
@@ -925,8 +926,235 @@ pub struct ReduceRunResult {
     pub verified: bool,
 }
 
+/// Result of one collective-engine run.
+#[derive(Clone, Debug)]
+pub struct CollRunResult {
+    /// Wall time from start (post-configuration) to the last node done.
+    pub total: SimDuration,
+    /// Max per-node wall time spent waiting on round transfers.
+    pub comm: SimDuration,
+    /// Max per-node host compute (folds on the host paths, modelled
+    /// local sweeps). Zero for pure collectives on the combined INIC.
+    pub compute: SimDuration,
+    /// Whether every node's output matched the first-principles oracle.
+    pub verified: bool,
+    /// What the fault plan did to the run (all zeros on a clean run).
+    pub faults: FaultDiagnostics,
+}
+
+/// The acc-coll execution-path class a technology reduces to.
+pub fn path_class(technology: Technology) -> PathClass {
+    match technology {
+        Technology::FastEthernet | Technology::GigabitTcp => PathClass::HostTcp,
+        Technology::InicIdeal | Technology::InicPrototype => PathClass::InicCombined,
+        Technology::InicProtocol => PathClass::InicProtocol,
+    }
+}
+
+/// Policy-select the algorithm for one collective cell on a
+/// technology (message size × processor count × execution path).
+pub fn select_algorithm(
+    technology: Technology,
+    op: CollectiveOp,
+    p: usize,
+    elems: usize,
+) -> Algorithm {
+    acc_coll::select(op, p, elems, path_class(technology))
+}
+
+/// Pre-validate the offloaded datapath of every rank against the
+/// technology's device, *before* any cluster is wired.
+///
+/// Returns `Ok(None)` for the host-TCP technologies (nothing to
+/// offload) and one CLB-checked [`OffloadPlan`] per rank for the INIC
+/// technologies.
+///
+/// # Errors
+/// [`OffloadError::InsufficientLogic`] when a rank's operator pipeline
+/// exceeds the device's CLB pool — the structured over-capacity
+/// rejection (a 128-way collective on the prototype card, say).
+pub fn plan_collective_offload(
+    technology: Technology,
+    schedules: &[Schedule],
+) -> Result<Option<Vec<OffloadPlan>>, OffloadError> {
+    let (device, mode) = match technology {
+        Technology::FastEthernet | Technology::GigabitTcp => return Ok(None),
+        Technology::InicIdeal => (FpgaDevice::virtex_next_gen(), InicMode::Combined),
+        Technology::InicPrototype => (FpgaDevice::xc4085xla(), InicMode::Combined),
+        Technology::InicProtocol => (FpgaDevice::virtex_next_gen(), InicMode::ProtocolProcessor),
+    };
+    let p = schedules.len();
+    schedules
+        .iter()
+        .map(|s| acc_coll::offload::plan(s, p, mode, &device))
+        .collect::<Result<Vec<OffloadPlan>, OffloadError>>()
+        .map(Some)
+}
+
+/// Deterministic per-rank contributions with an exactly computable
+/// sum (integers below 2^52 stay exact in f64 regardless of the
+/// reduction order).
+fn collective_input(rank: usize, elems: usize) -> Vec<f64> {
+    (0..elems)
+        .map(|i| ((rank + 1) * (i % 1000 + 1)) as f64)
+        .collect()
+}
+
+/// Run one collective through the engine with an explicit algorithm.
+///
+/// # Panics
+/// Panics if the (op, algorithm, p, elems) cell is unsupported, if the
+/// offload plan exceeds the device's CLB budget (pre-check with
+/// [`plan_collective_offload`] to get the structured error instead), or
+/// if the run hangs (see [`try_run_collective`]).
+pub fn run_collective(
+    spec: ClusterSpec,
+    op: CollectiveOp,
+    algo: Algorithm,
+    elems: usize,
+) -> CollRunResult {
+    try_run_collective(spec, op, algo, elems)
+        .unwrap_or_else(|report| panic!("{op}/{algo} run hung\n{report}"))
+}
+
+/// Non-panicking variant of [`run_collective`].
+pub fn try_run_collective(
+    spec: ClusterSpec,
+    op: CollectiveOp,
+    algo: Algorithm,
+    elems: usize,
+) -> Result<CollRunResult, Box<HangReport>> {
+    assert!(
+        acc_coll::supports(op, algo, spec.p, elems),
+        "unsupported collective cell: {op} via {algo} at p={}, elems={elems}",
+        spec.p
+    );
+    let schedules = acc_coll::plan::build_all(op, algo, spec.p, elems);
+    let inputs: Vec<Vec<f64>> = (0..spec.p)
+        .map(|rank| collective_input(rank, elems))
+        .collect();
+    run_schedules(
+        &spec,
+        &schedules,
+        &inputs,
+        &Workload::Collective { op, algo, elems },
+        |results| {
+            let expect = acc_coll::oracle(op, spec.p, &inputs);
+            for (rank, r) in results.iter().enumerate() {
+                assert_eq!(r, &expect[rank], "rank {rank} {op}/{algo} output mismatch");
+            }
+        },
+    )
+}
+
+/// Run the halo-exchange workload: `iters` stencil sweeps over a
+/// 1-D strip decomposition, each sweep a neighbour halo exchange plus a
+/// local update, closed by a residual allreduce (allreduce-heavy by
+/// construction).
+///
+/// # Panics
+/// Panics if `spec.p` is not a power of two or `elems < 2`, or if the
+/// run hangs (see [`try_run_halo`]).
+pub fn run_halo(spec: ClusterSpec, elems: usize, iters: usize) -> CollRunResult {
+    try_run_halo(spec, elems, iters).unwrap_or_else(|report| panic!("halo run hung\n{report}"))
+}
+
+/// Non-panicking variant of [`run_halo`].
+pub fn try_run_halo(
+    spec: ClusterSpec,
+    elems: usize,
+    iters: usize,
+) -> Result<CollRunResult, Box<HangReport>> {
+    let schedules: Vec<Schedule> = (0..spec.p)
+        .map(|rank| acc_coll::plan::halo(rank, spec.p, elems, iters))
+        .collect();
+    let inputs: Vec<Vec<f64>> = (0..spec.p)
+        .map(|rank| collective_input(rank, elems))
+        .collect();
+    run_schedules(
+        &spec,
+        &schedules,
+        &inputs,
+        &Workload::Halo { elems, iters },
+        |results| {
+            let expect = acc_coll::plan::run_lockstep(&schedules, &inputs);
+            for (rank, r) in results.iter().enumerate() {
+                assert_eq!(r, &expect[rank], "rank {rank} halo output mismatch");
+            }
+        },
+    )
+}
+
+/// Shared engine runner: wire one [`CollDriver`] per rank over the
+/// given schedules, run under the deadline hierarchy, aggregate
+/// timings, and verify through `check` (which asserts on mismatch).
+fn run_schedules(
+    spec: &ClusterSpec,
+    schedules: &[Schedule],
+    inputs: &[Vec<f64>],
+    workload: &Workload,
+    check: impl FnOnce(&[Vec<f64>]),
+) -> Result<CollRunResult, Box<HangReport>> {
+    assert!(spec.p >= 1);
+    let offload = plan_collective_offload(spec.technology, schedules)
+        .unwrap_or_else(|e| panic!("collective offload rejected: {e}"));
+    let kernels = HostKernels::athlon_1ghz();
+    let mut w = wire(spec, |rank, attachment, _fault_ctl| {
+        DriverBox::Coll(Box::new(CollDriver::new(
+            rank,
+            spec.p,
+            schedules[rank].clone(),
+            inputs[rank].clone(),
+            attachment,
+            kernels.clone(),
+            offload.as_ref().map(|plans| plans[rank].clone()),
+        )))
+    });
+    let hierarchy = DeadlineHierarchy::for_run(spec, workload);
+    w.run_to_completion(&hierarchy, |sim, d| {
+        sim.component::<CollDriver>(d).progress()
+    })?;
+    let mut total_end = SimTime::ZERO;
+    let mut start = SimTime::MAX;
+    let mut comm = SimDuration::ZERO;
+    let mut compute = SimDuration::ZERO;
+    let mut results: Vec<Vec<f64>> = Vec::new();
+    for &d in &w.drivers {
+        let drv = w.sim.component::<CollDriver>(d);
+        let t = &drv.timings;
+        total_end = total_end.max(t.done_at.expect("done"));
+        start = start.min(t.started_at.expect("started"));
+        comm = comm.max(t.comm);
+        compute = compute.max(t.compute);
+        results.push(drv.result());
+    }
+    let verified = if spec.verify {
+        check(&results);
+        true
+    } else {
+        false
+    };
+    if spec.technology.is_inic() && spec.fault_plan.is_none() {
+        assert_eq!(w.switch_drops(), 0, "INIC collective must not drop");
+    }
+    w.final_audit();
+    // The engine has no per-rank degraded mode or phase-resume (a rank
+    // that cannot progress surfaces as a hang, never a silent skip), so
+    // those two diagnostics are structurally zero here.
+    let faults = w.fault_diagnostics(0, None);
+    Ok(CollRunResult {
+        total: total_end.since(start),
+        comm,
+        compute,
+        verified,
+        faults,
+    })
+}
+
 /// Run a flat AllReduce (sum) of one `elems`-element f64 vector per
-/// node on the chosen technology.
+/// node on the chosen technology — now a thin veneer over the
+/// collective engine, with the algorithm policy-selected for the
+/// technology's execution path.
 ///
 /// # Panics
 /// Panics if the run hangs (see [`try_run_allreduce`]).
@@ -939,66 +1167,12 @@ pub fn try_run_allreduce(
     spec: ClusterSpec,
     elems: usize,
 ) -> Result<ReduceRunResult, Box<HangReport>> {
-    assert!(spec.p >= 1);
-    // Deterministic per-rank contributions with an exactly computable
-    // sum (integers below 2^52 stay exact in f64 regardless of the
-    // reduction order).
-    let vector_for = |rank: usize| -> Vec<f64> {
-        (0..elems)
-            .map(|i| ((rank + 1) * (i % 1000 + 1)) as f64)
-            .collect()
-    };
-    let kernels = HostKernels::athlon_1ghz();
-    let mut w = wire(&spec, |rank, attachment, _fault_ctl| {
-        DriverBox::Reduce(Box::new(ReduceDriver::new(
-            rank,
-            spec.p,
-            vector_for(rank),
-            attachment,
-            kernels.clone(),
-        )))
-    });
-    let hierarchy = DeadlineHierarchy::for_run(&spec, &Workload::AllReduce { elems });
-    w.run_to_completion(&hierarchy, |sim, d| {
-        sim.component::<ReduceDriver>(d).progress()
-    })?;
-    let mut total_end = SimTime::ZERO;
-    let mut start = SimTime::MAX;
-    let mut comm = SimDuration::ZERO;
-    let mut reduce = SimDuration::ZERO;
-    let mut results: Vec<Vec<f64>> = Vec::new();
-    for &d in &w.drivers {
-        let drv = w.sim.component::<ReduceDriver>(d);
-        let t = &drv.timings;
-        total_end = total_end.max(t.done_at.expect("done"));
-        start = start.min(t.started_at.expect("started"));
-        comm = comm.max(t.comm);
-        reduce = reduce.max(t.reduce);
-        results.push(drv.result().to_vec());
-    }
-    let verified = if spec.verify {
-        let expect: Vec<f64> = (0..elems)
-            .map(|i| {
-                (0..spec.p)
-                    .map(|rank| ((rank + 1) * (i % 1000 + 1)) as f64)
-                    .sum()
-            })
-            .collect();
-        for (rank, r) in results.iter().enumerate() {
-            assert_eq!(r, &expect, "rank {rank} reduction mismatch");
-        }
-        true
-    } else {
-        false
-    };
-    if spec.technology.is_inic() && spec.fault_plan.is_none() {
-        assert_eq!(w.switch_drops(), 0, "INIC collective must not drop");
-    }
-    w.final_audit();
+    let algo = select_algorithm(spec.technology, CollectiveOp::AllReduce, spec.p, elems);
+    let r = try_run_collective(spec, CollectiveOp::AllReduce, algo, elems)?;
     Ok(ReduceRunResult {
-        total: total_end.since(start),
-        comm,
-        reduce,
-        verified,
+        total: r.total,
+        comm: r.comm,
+        reduce: r.compute,
+        verified: r.verified,
     })
 }

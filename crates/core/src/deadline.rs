@@ -22,8 +22,10 @@
 
 use acc_sim::{SimDuration, SimTime, Watchdog};
 
-use crate::cluster::{ClusterSpec, Technology};
-use crate::model::{FftModel, SortModel};
+use acc_coll::CollectiveOp;
+
+use crate::cluster::{select_algorithm, ClusterSpec, Technology};
+use crate::model::{CollModel, FftModel, SortModel};
 use crate::runner::Workload;
 
 /// Multiplier between a model-predicted phase time and that phase's
@@ -151,22 +153,20 @@ impl DeadlineHierarchy {
                 (phases, (total_keys * 4) / 1024)
             }
             Workload::AllReduce { elems } => {
-                // No Section-4 model covers the collective; budget it
-                // from volume at the slowest link the cluster wires
-                // (Fast Ethernet, 100 Mb/s ≈ 12.5 MiB/s).
-                let bytes = elems as u64 * 8 * p as u64;
-                let wire = SimDuration::from_secs_f64(bytes as f64 / 12.5e6);
-                let phases = vec![
-                    PhaseBudget {
-                        name: "exchange",
-                        budget: scaled(wire),
-                    },
-                    PhaseBudget {
-                        name: "reduce",
-                        budget: scaled(wire / 4),
-                    },
-                ];
-                (phases, bytes / 1024)
+                // The flat AllReduce rides the engine with its
+                // policy-selected algorithm; budget the phases that
+                // algorithm actually has.
+                let algo = select_algorithm(spec.technology, CollectiveOp::AllReduce, p, elems);
+                let model = CollModel::collective(CollectiveOp::AllReduce, algo, p, elems);
+                collective_budgets(&model, spec.technology, p, &scaled)
+            }
+            Workload::Collective { op, algo, elems } => {
+                let model = CollModel::collective(op, algo, p, elems);
+                collective_budgets(&model, spec.technology, p, &scaled)
+            }
+            Workload::Halo { elems, iters } => {
+                let model = CollModel::halo(p, elems, iters);
+                collective_budgets(&model, spec.technology, p, &scaled)
             }
         };
         let mut run_budget = SimDuration::from_secs(1); // configuration etc.
@@ -211,6 +211,26 @@ impl DeadlineHierarchy {
             .with_stall_events(self.stall_events)
             .with_deadline(self.run_deadline)
     }
+}
+
+/// Per-phase budgets for an engine schedule: the collective model's
+/// per-phase predictions for this technology, slack-scaled, plus the
+/// watchdog payload term from the schedule's critical-path wire volume.
+fn collective_budgets(
+    model: &CollModel,
+    technology: Technology,
+    p: usize,
+    scaled: &impl Fn(SimDuration) -> SimDuration,
+) -> (Vec<PhaseBudget>, u64) {
+    let phases = model
+        .phase_predictions(technology)
+        .into_iter()
+        .map(|(name, predicted)| PhaseBudget {
+            name,
+            budget: scaled(predicted),
+        })
+        .collect();
+    (phases, model.wire_bytes() * p as u64 / 1024)
 }
 
 /// Slack-multiplied, floored phase budget.

@@ -1,0 +1,573 @@
+//! The collective-engine driver — one rank of any `acc-coll` schedule.
+//!
+//! Where the FFT and sort drivers hard-code their application's
+//! exchange pattern, this driver *interprets* a per-rank
+//! [`Schedule`](acc_coll::Schedule) compiled by `acc-coll`'s builders:
+//! the same rounds drive all three execution paths, so adding an
+//! algorithm to the engine needs no driver changes at all.
+//!
+//! * **Host-TCP path** (commodity technologies): each round's sends go
+//!   out as one TCP message per peer on a per-round channel; `Sum`
+//!   receives fold on the host at the calibrated streaming-reduction
+//!   rate.
+//! * **Combined INIC path**: the card is configured with the
+//!   [`Bitstream::collective`] datapath (stream router sized to the
+//!   fan-out, `ReduceSum` only when the schedule folds data). A `Sum`
+//!   round becomes a `ReduceF64` gather — the card accumulates the
+//!   peer's stream against this rank's looped-back contribution and
+//!   only the folded result crosses to the host, so the host does
+//!   **zero arithmetic**. Copy/Discard rounds are raw gathers; sends
+//!   ride a [`ScatterKind::Unicast`] per-destination scatter.
+//! * **Protocol-only INIC path**: raw gathers and unicast scatters —
+//!   the wire protocol is offloaded, the arithmetic stays on the host.
+//!
+//! Rounds are strictly ordered on each rank: the driver never issues
+//! round `t + 1` card requests before round `t`'s gather and scatter
+//! both completed, so per-round streams (`round + 1`) are announced
+//! exactly once and stale completions cannot exist. Ranks still slide
+//! against each other — the cards buffer early packets until the local
+//! rank announces the stream.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use acc_coll::plan::{ranges_elems, RecvSpec, Round};
+use acc_coll::{bytes_to_f64s, f64s_to_bytes, OffloadPlan, RecvOp, Schedule};
+use acc_fpga::{
+    GatherKind, InicConfigure, InicConfigured, InicExpect, InicGatherComplete, InicScatter,
+    InicScatterDone, ScatterKind,
+};
+use acc_host::HostKernels;
+use acc_proto::{TcpDelivered, TcpSend};
+use acc_sim::{Component, Ctx, SimDuration, SimTime};
+
+use super::Attachment;
+
+/// Self event closing a round's host-compute charge window.
+struct RoundChargeDone;
+
+/// Timing record of one collective run.
+#[derive(Clone, Debug, Default)]
+pub struct CollTimings {
+    /// Wall time spent waiting on round transfers (wire + card).
+    pub comm: SimDuration,
+    /// Host compute time (`Sum` folds on the host paths, modelled local
+    /// sweeps of composed workloads). Zero for pure collectives on the
+    /// combined INIC path.
+    pub compute: SimDuration,
+    /// Completion instant.
+    pub done_at: Option<SimTime>,
+    /// Start instant (post-configuration).
+    pub started_at: Option<SimTime>,
+}
+
+/// Per-node schedule interpreter.
+pub struct CollDriver {
+    label: String,
+    rank: usize,
+    attachment: Attachment,
+    kernels: HostKernels,
+    schedule: Schedule,
+    /// The pre-validated card datapath (INIC attachments only).
+    offload: Option<OffloadPlan>,
+    state: Vec<f64>,
+    input: Vec<f64>,
+    round: usize,
+    /// Inbound TCP bytes keyed by `(src rank, round channel)` — peers
+    /// may run ahead, so future rounds accumulate here until we arrive.
+    rx: BTreeMap<(usize, u16), Vec<u8>>,
+    await_gather: bool,
+    await_scatter: bool,
+    in_charge: bool,
+    /// Host-fold element count parked across the gather/scatter
+    /// completion race of one INIC round.
+    pending_sum_elems: u64,
+    round_started: SimTime,
+    charge_started: SimTime,
+    phase_entered: SimTime,
+    current_phase: &'static str,
+    started: bool,
+    done: bool,
+    /// Timing decomposition.
+    pub timings: CollTimings,
+}
+
+impl CollDriver {
+    /// Build a driver for one rank of a compiled schedule. `offload`
+    /// must be `Some` exactly when the attachment is an INIC — the
+    /// caller validates the CLB budget *before* wiring the cluster, so
+    /// an over-capacity schedule is a structured error, not a sim-time
+    /// panic.
+    pub fn new(
+        rank: usize,
+        p: usize,
+        schedule: Schedule,
+        input: Vec<f64>,
+        attachment: Attachment,
+        kernels: HostKernels,
+        offload: Option<OffloadPlan>,
+    ) -> CollDriver {
+        assert!(rank < p, "rank {rank} out of range for p={p}");
+        assert!(
+            schedule
+                .rounds
+                .iter()
+                .all(|r| r.sends.iter().all(|s| s.to < p) && r.recvs.iter().all(|r| r.from < p)),
+            "schedule references a rank beyond p={p}"
+        );
+        assert_eq!(
+            matches!(attachment, Attachment::Inic { .. }),
+            offload.is_some(),
+            "offload plan must accompany exactly the INIC attachments"
+        );
+        assert!(
+            schedule.rounds.len() < u16::MAX as usize,
+            "round index must fit the TCP channel id"
+        );
+        CollDriver {
+            label: format!("coll-driver{rank}"),
+            rank,
+            attachment,
+            kernels,
+            schedule,
+            offload,
+            state: Vec::new(),
+            input,
+            round: 0,
+            rx: BTreeMap::new(),
+            await_gather: false,
+            await_scatter: false,
+            in_charge: false,
+            pending_sum_elems: 0,
+            round_started: SimTime::ZERO,
+            charge_started: SimTime::ZERO,
+            phase_entered: SimTime::ZERO,
+            current_phase: "init",
+            started: false,
+            done: false,
+            timings: CollTimings::default(),
+        }
+    }
+
+    /// The rank's output slice of the final state, once done.
+    pub fn result(&self) -> Vec<f64> {
+        assert!(self.done, "driver not finished");
+        self.state[self.schedule.output.clone()].to_vec()
+    }
+
+    /// Whether the run completed.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn phase_name(&self) -> &'static str {
+        self.current_phase
+    }
+
+    /// Phase snapshot for the liveness layer.
+    pub fn progress(&self) -> super::DriverProgress {
+        super::DriverProgress {
+            rank: self.rank,
+            phase: self.phase_name(),
+            entered: self.phase_entered,
+            paused: false,
+            done: self.done,
+        }
+    }
+
+    fn current_round(&self) -> &Round {
+        &self.schedule.rounds[self.round]
+    }
+
+    fn stream(&self) -> u32 {
+        self.round as u32 + 1
+    }
+
+    fn begin(&mut self, ctx: &mut Ctx) {
+        self.timings.started_at = Some(ctx.now());
+        self.started = true;
+        self.state = self.schedule.init_state(&self.input);
+        self.phase_entered = ctx.now();
+        self.start_round(ctx);
+    }
+
+    /// Enter rounds from `self.round` until one blocks on the network
+    /// or a charge window, or the schedule ends.
+    fn start_round(&mut self, ctx: &mut Ctx) {
+        loop {
+            if self.round == self.schedule.rounds.len() {
+                self.finish(ctx);
+                return;
+            }
+            let phase = self.current_round().phase;
+            if phase != self.current_phase {
+                self.current_phase = phase;
+                self.phase_entered = ctx.now();
+            }
+            let round = self.current_round().clone();
+            Schedule::apply_copies(&round, &mut self.state);
+            if round.sends.is_empty() && round.recvs.is_empty() {
+                // Pure local round: charge any modelled compute and move
+                // on; an entirely empty round falls straight through.
+                if round.compute_elems > 0 {
+                    self.charge(ctx, self.sweep_time(round.compute_elems));
+                    return;
+                }
+                self.round += 1;
+                continue;
+            }
+            self.round_started = ctx.now();
+            match &self.attachment {
+                Attachment::Tcp { .. } => self.issue_tcp_round(&round, ctx),
+                Attachment::Inic { .. } => self.issue_inic_round(&round, ctx),
+            }
+            return;
+        }
+    }
+
+    /// Modelled local-sweep charge (memory-bound streaming over the
+    /// round's `compute_elems` doubles).
+    fn sweep_time(&self, elems: usize) -> SimDuration {
+        self.kernels.reduce_time(elems as u64, 1)
+    }
+
+    fn charge(&mut self, ctx: &mut Ctx, t: SimDuration) {
+        self.in_charge = true;
+        self.charge_started = ctx.now();
+        ctx.self_in(t, RoundChargeDone);
+    }
+
+    // ---- host-TCP path -------------------------------------------------
+
+    fn issue_tcp_round(&mut self, round: &Round, ctx: &mut Ctx) {
+        let (nic, macs) = match &self.attachment {
+            Attachment::Tcp { nic, macs } => (*nic, macs.clone()),
+            Attachment::Inic { .. } => unreachable!("TCP round on an INIC attachment"),
+        };
+        let chan = self.round as u16;
+        for send in &round.sends {
+            ctx.send_now(
+                nic,
+                TcpSend {
+                    peer: macs[send.to],
+                    chan,
+                    data: f64s_to_bytes(&Schedule::gather(&send.ranges, &self.state)),
+                },
+            );
+        }
+        // Peers running ahead may already have delivered everything.
+        self.try_complete_tcp_round(ctx);
+    }
+
+    fn try_complete_tcp_round(&mut self, ctx: &mut Ctx) {
+        if self.done || !self.started || self.in_charge || !self.is_tcp() {
+            return;
+        }
+        if self.round == self.schedule.rounds.len() {
+            return;
+        }
+        let chan = self.round as u16;
+        let round = self.current_round().clone();
+        let complete = round.recvs.iter().all(|r| {
+            let want = ranges_elems(&r.ranges) * 8;
+            self.rx
+                .get(&(r.from, chan))
+                .is_some_and(|b| b.len() >= want)
+        });
+        if !complete {
+            return;
+        }
+        let mut sum_elems = 0u64;
+        for recv in &round.recvs {
+            let bytes = self
+                .rx
+                .remove(&(recv.from, chan))
+                .expect("completeness checked");
+            assert_eq!(
+                bytes.len(),
+                ranges_elems(&recv.ranges) * 8,
+                "{}: round {} message from rank {} over-delivered",
+                self.label,
+                self.round,
+                recv.from
+            );
+            if recv.op == RecvOp::Sum {
+                sum_elems += ranges_elems(&recv.ranges) as u64;
+            }
+            Schedule::apply_recv(recv, &bytes_to_f64s(&bytes), &mut self.state);
+        }
+        self.close_round(ctx, &round, sum_elems);
+    }
+
+    fn is_tcp(&self) -> bool {
+        matches!(self.attachment, Attachment::Tcp { .. })
+    }
+
+    // ---- INIC paths ----------------------------------------------------
+
+    /// Whether this round's `Sum` fold runs in the card datapath.
+    fn card_folds(&self) -> bool {
+        self.offload.as_ref().is_some_and(|plan| plan.needs_reduce)
+    }
+
+    fn issue_inic_round(&mut self, round: &Round, ctx: &mut Ctx) {
+        let (card, macs) = match &self.attachment {
+            Attachment::Inic { card, macs, .. } => (*card, macs.clone()),
+            Attachment::Tcp { .. } => unreachable!("INIC round on a TCP attachment"),
+        };
+        let stream = self.stream();
+        let sum_round = round.recvs.iter().any(|r| r.op == RecvOp::Sum);
+        let mut data = Vec::new();
+        let mut parts: Vec<(u32, usize)> = Vec::new();
+        for send in &round.sends {
+            let bytes = f64s_to_bytes(&Schedule::gather(&send.ranges, &self.state));
+            parts.push((send.to as u32, bytes.len()));
+            data.extend_from_slice(&bytes);
+        }
+        if sum_round && self.card_folds() {
+            // One fused gather: the card folds the peer stream against
+            // this rank's looped-back contribution, element-wise.
+            assert_eq!(
+                round.recvs.len(),
+                1,
+                "a card-folded round carries exactly one Sum receive"
+            );
+            let recv = &round.recvs[0];
+            let elems = ranges_elems(&recv.ranges);
+            let own = f64s_to_bytes(&Schedule::gather(&recv.ranges, &self.state));
+            parts.push((self.rank as u32, own.len()));
+            data.extend_from_slice(&own);
+            ctx.send_now(
+                card,
+                InicExpect {
+                    stream,
+                    kind: GatherKind::ReduceF64 { elems },
+                    sources: vec![
+                        (recv.from as u32, Some(elems * 8)),
+                        (self.rank as u32, Some(elems * 8)),
+                    ],
+                },
+            );
+            self.await_gather = true;
+        } else if !round.recvs.is_empty() {
+            // Raw gather, one inbound stream per source; the card hands
+            // back the concatenation sorted by source rank.
+            let mut froms: Vec<u32> = round.recvs.iter().map(|r| r.from as u32).collect();
+            froms.sort_unstable();
+            froms.dedup();
+            assert_eq!(
+                froms.len(),
+                round.recvs.len(),
+                "raw-gather rounds receive at most one message per source"
+            );
+            ctx.send_now(
+                card,
+                InicExpect {
+                    stream,
+                    kind: GatherKind::Raw,
+                    sources: round
+                        .recvs
+                        .iter()
+                        .map(|r| (r.from as u32, Some(ranges_elems(&r.ranges) * 8)))
+                        .collect(),
+                },
+            );
+            self.await_gather = true;
+        }
+        if !parts.is_empty() {
+            ctx.send_now(
+                card,
+                InicScatter {
+                    stream,
+                    kind: ScatterKind::Unicast { parts },
+                    data,
+                    dests: macs,
+                },
+            );
+            self.await_scatter = true;
+        }
+        debug_assert!(
+            self.await_gather || self.await_scatter,
+            "a non-local round must touch the card"
+        );
+    }
+
+    fn on_gather_complete(&mut self, g: InicGatherComplete, ctx: &mut Ctx) {
+        assert_eq!(g.stream, self.stream(), "{}: stale gather", self.label);
+        assert!(self.await_gather, "{}: unexpected gather", self.label);
+        self.await_gather = false;
+        let round = self.current_round().clone();
+        let sum_round = round.recvs.iter().any(|r| r.op == RecvOp::Sum);
+        let mut host_sum_elems = 0u64;
+        if sum_round && self.card_folds() {
+            // The card already folded own + peer; overwrite in place.
+            let recv = &round.recvs[0];
+            let folded = RecvSpec {
+                from: recv.from,
+                ranges: recv.ranges.clone(),
+                op: RecvOp::Copy,
+            };
+            Schedule::apply_recv(&folded, &bytes_to_f64s(&g.data), &mut self.state);
+        } else {
+            // Raw concatenation sorted by source rank; slice it back to
+            // the schedule's receives and fold on the host.
+            let mut order: Vec<usize> = (0..round.recvs.len()).collect();
+            order.sort_by_key(|&i| round.recvs[i].from);
+            let bounds = g.bucket_bounds.unwrap_or_else(|| vec![g.data.len()]);
+            assert_eq!(bounds.len(), round.recvs.len(), "one bucket per source");
+            let mut at = 0usize;
+            for (slot, &i) in order.iter().enumerate() {
+                let recv = &round.recvs[i];
+                let bytes = &g.data[at..bounds[slot]];
+                at = bounds[slot];
+                if recv.op == RecvOp::Sum {
+                    host_sum_elems += ranges_elems(&recv.ranges) as u64;
+                }
+                Schedule::apply_recv(recv, &bytes_to_f64s(bytes), &mut self.state);
+            }
+        }
+        self.maybe_close_inic_round(ctx, host_sum_elems);
+    }
+
+    fn maybe_close_inic_round(&mut self, ctx: &mut Ctx, host_sum_elems: u64) {
+        self.pending_sum_elems += host_sum_elems;
+        if self.await_gather || self.await_scatter {
+            return;
+        }
+        let round = self.current_round().clone();
+        let sum_elems = std::mem::take(&mut self.pending_sum_elems);
+        self.close_round(ctx, &round, sum_elems);
+    }
+
+    // ---- shared round epilogue ----------------------------------------
+
+    /// Transfers done: account comm, charge host compute (folds + the
+    /// modelled sweep), then advance.
+    fn close_round(&mut self, ctx: &mut Ctx, round: &Round, host_sum_elems: u64) {
+        self.timings.comm += ctx.now().since(self.round_started);
+        let mut t = SimDuration::ZERO;
+        if host_sum_elems > 0 {
+            t += self.kernels.reduce_time(host_sum_elems, 2);
+        }
+        if round.compute_elems > 0 {
+            t += self.sweep_time(round.compute_elems);
+        }
+        if t > SimDuration::ZERO {
+            self.charge(ctx, t);
+        } else {
+            self.round += 1;
+            self.start_round(ctx);
+        }
+    }
+
+    fn finish(&mut self, ctx: &mut Ctx) {
+        self.timings.done_at = Some(ctx.now());
+        self.done = true;
+        self.current_phase = "done";
+        self.phase_entered = ctx.now();
+        assert!(
+            self.rx.is_empty(),
+            "{}: leftover peer bytes at completion",
+            self.label
+        );
+        ctx.stats().counter("cluster", "drivers_done").inc();
+    }
+}
+
+impl Component for CollDriver {
+    fn handle(&mut self, ev: Box<dyn Any>, ctx: &mut Ctx) {
+        if ev.downcast_ref::<()>().is_some() {
+            match (&self.attachment, &self.offload) {
+                (Attachment::Inic { card, .. }, Some(plan)) => {
+                    let card = *card;
+                    ctx.send_now(
+                        card,
+                        InicConfigure {
+                            bitstream: plan.bitstream.clone(),
+                        },
+                    );
+                }
+                _ => self.begin(ctx),
+            }
+            return;
+        }
+        let ev = match ev.downcast::<InicConfigured>() {
+            Ok(cfg) => {
+                cfg.result.unwrap_or_else(|e| {
+                    panic!("{}: collective bitstream rejected: {e}", self.label)
+                });
+                self.begin(ctx);
+                return;
+            }
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<TcpDelivered>() {
+            Ok(d) => {
+                let src = self
+                    .attachment
+                    .resolve_src(d.peer)
+                    .expect("delivery from an unknown peer");
+                self.rx
+                    .entry((src, d.chan))
+                    .or_default()
+                    .extend_from_slice(&d.data);
+                self.try_complete_tcp_round(ctx);
+                return;
+            }
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<InicGatherComplete>() {
+            Ok(g) => {
+                self.on_gather_complete(*g, ctx);
+                return;
+            }
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<InicScatterDone>() {
+            Ok(s) => {
+                assert_eq!(s.stream, self.stream(), "{}: stale scatter", self.label);
+                assert!(self.await_scatter, "{}: unexpected scatter", self.label);
+                self.await_scatter = false;
+                self.maybe_close_inic_round(ctx, 0);
+                return;
+            }
+            Err(ev) => ev,
+        };
+        if ev.downcast_ref::<RoundChargeDone>().is_some() {
+            assert!(self.in_charge, "{}: stray charge completion", self.label);
+            self.in_charge = false;
+            self.timings.compute += ctx.now().since(self.charge_started);
+            self.round += 1;
+            self.start_round(ctx);
+            // A TCP peer may have pre-delivered the next round.
+            self.try_complete_tcp_round(ctx);
+            return;
+        }
+        if ev.downcast_ref::<super::CardFailed>().is_some() {
+            // The collective engine has no degradation path (yet): the
+            // run fails to quiesce and the liveness layer attributes it.
+            return;
+        }
+        panic!("{}: unknown event", self.label);
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn wait_state(&self) -> Option<String> {
+        if self.done {
+            return None;
+        }
+        Some(format!(
+            "rank {} in {} (round {}/{}, gather={}, scatter={}, charge={})",
+            self.rank,
+            self.phase_name(),
+            self.round,
+            self.schedule.rounds.len(),
+            self.await_gather,
+            self.await_scatter,
+            self.in_charge,
+        ))
+    }
+}

@@ -8,8 +8,8 @@
 //! commodity technologies or an [`InicCard`](acc_fpga::InicCard) for
 //! the INIC technologies.
 
+pub mod coll;
 pub mod fft;
-pub mod reduce;
 pub mod sort;
 
 use std::any::Any;

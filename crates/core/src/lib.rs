@@ -34,7 +34,7 @@ pub mod report;
 pub mod runner;
 
 pub use audit::{AuditConfig, Auditor};
-pub use cluster::{ClusterSpec, FftRunResult, SortRunResult, Technology};
+pub use cluster::{ClusterSpec, CollRunResult, FftRunResult, SortRunResult, Technology};
 pub use deadline::{DeadlineHierarchy, PhaseBudget};
 pub use drivers::{DriverProgress, RecoveryPolicy};
 pub use liveness::{HangCause, HangReport};

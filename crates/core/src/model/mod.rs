@@ -6,8 +6,10 @@
 //! reader can diff them against the paper; the simulator cross-checks
 //! them in `tests/model_vs_sim.rs`.
 
+pub mod coll;
 pub mod fft;
 pub mod sort;
 
+pub use coll::CollModel;
 pub use fft::FftModel;
 pub use sort::SortModel;

@@ -13,9 +13,11 @@
 //! worker thread in any order and still produce results indistinguishable
 //! from a serial loop.
 
+use acc_coll::{Algorithm, CollectiveOp};
+
 use crate::cluster::{
-    self, ClusterSpec, FftRunResult, KeyDistribution, PartitionStrategy, ReduceRunResult,
-    SortRunResult,
+    self, ClusterSpec, CollRunResult, FftRunResult, KeyDistribution, PartitionStrategy,
+    ReduceRunResult, SortRunResult,
 };
 use crate::liveness::HangReport;
 
@@ -47,6 +49,23 @@ pub enum Workload {
     AllReduce {
         /// Elements per node vector.
         elems: usize,
+    },
+    /// One collective through the engine with an explicit algorithm
+    /// (the ablation axes: collective × algorithm × technology × p).
+    Collective {
+        /// Which collective.
+        op: CollectiveOp,
+        /// Which of its algorithms.
+        algo: Algorithm,
+        /// Elements per node vector.
+        elems: usize,
+    },
+    /// The halo-exchange stencil workload (allreduce-heavy).
+    Halo {
+        /// Strip width per node, in elements.
+        elems: usize,
+        /// Stencil sweeps.
+        iters: usize,
     },
 }
 
@@ -101,6 +120,27 @@ impl RunRequest {
         }
     }
 
+    /// A collective-engine run with an explicit algorithm.
+    pub fn collective(
+        spec: ClusterSpec,
+        op: CollectiveOp,
+        algo: Algorithm,
+        elems: usize,
+    ) -> RunRequest {
+        RunRequest {
+            spec,
+            workload: Workload::Collective { op, algo, elems },
+        }
+    }
+
+    /// A halo-exchange run.
+    pub fn halo(spec: ClusterSpec, elems: usize, iters: usize) -> RunRequest {
+        RunRequest {
+            spec,
+            workload: Workload::Halo { elems, iters },
+        }
+    }
+
     /// Execute the run to completion and return its outcome. A run
     /// that fails to terminate comes back as [`RunOutcome::Hung`] with
     /// the structured hang diagnosis — not a panic and not an infinite
@@ -120,6 +160,12 @@ impl RunRequest {
             Workload::AllReduce { elems } => {
                 cluster::try_run_allreduce(self.spec, elems).map(RunOutcome::Reduce)
             }
+            Workload::Collective { op, algo, elems } => {
+                cluster::try_run_collective(self.spec, op, algo, elems).map(RunOutcome::Coll)
+            }
+            Workload::Halo { elems, iters } => {
+                cluster::try_run_halo(self.spec, elems, iters).map(RunOutcome::Coll)
+            }
         };
         result.unwrap_or_else(RunOutcome::Hung)
     }
@@ -135,6 +181,8 @@ pub enum RunOutcome {
     Sort(SortRunResult),
     /// Result of an AllReduce run.
     Reduce(ReduceRunResult),
+    /// Result of a collective-engine or halo run.
+    Coll(CollRunResult),
     /// The run failed to terminate; the report names the stuck phase
     /// and rank.
     Hung(Box<HangReport>),
@@ -151,6 +199,7 @@ impl RunOutcome {
             RunOutcome::Fft(r) => r.total,
             RunOutcome::Sort(r) => r.total,
             RunOutcome::Reduce(r) => r.total,
+            RunOutcome::Coll(r) => r.total,
             RunOutcome::Hung(report) => panic!("run hung, no wall time\n{report}"),
         }
     }
@@ -162,6 +211,7 @@ impl RunOutcome {
             RunOutcome::Fft(r) => r.verified,
             RunOutcome::Sort(r) => r.verified,
             RunOutcome::Reduce(r) => r.verified,
+            RunOutcome::Coll(r) => r.verified,
             RunOutcome::Hung(_) => false,
         }
     }
@@ -209,6 +259,17 @@ impl RunOutcome {
         match self {
             RunOutcome::Reduce(r) => r,
             other => panic!("expected an AllReduce outcome, got {other:?}"),
+        }
+    }
+
+    /// The collective-engine result.
+    ///
+    /// # Panics
+    /// Panics if the outcome is not from a collective or halo run.
+    pub fn into_coll(self) -> CollRunResult {
+        match self {
+            RunOutcome::Coll(r) => r,
+            other => panic!("expected a collective outcome, got {other:?}"),
         }
     }
 }

@@ -169,6 +169,22 @@ pub enum ScatterKind {
     /// Collective extension: replicate the whole buffer to every
     /// destination (the send half of the naive AllReduce).
     Broadcast,
+    /// Collective engine rounds: a sparse per-destination send list.
+    /// `parts` names `(rank, byte length)` pairs — only the peers this
+    /// schedule round actually talks to — and `data` is the
+    /// concatenation of the parts in listed order. Unlike [`Raw`],
+    /// silent peers get no fin packet: the engine's schedules omit
+    /// zero-length transfers symmetrically on both sides, so a fin to a
+    /// peer that expects nothing would poison its stream demux. A part
+    /// addressed to our own rank loops back through card memory (the
+    /// reduce accumulator's own contribution).
+    ///
+    /// [`Raw`]: ScatterKind::Raw
+    Unicast {
+        /// `(destination rank, byte length)`, each length > 0, ranks
+        /// distinct; `data` is the parts' concatenation in this order.
+        parts: Vec<(u32, usize)>,
+    },
 }
 
 /// The receive-side transform and DMA policy of a gather.
@@ -622,6 +638,28 @@ impl InicCard {
                     );
                 }
                 ScatterKind::Broadcast => {}
+                ScatterKind::Unicast { parts } => {
+                    assert!(!parts.is_empty(), "unicast scatter with no parts");
+                    assert!(
+                        parts
+                            .iter()
+                            .all(|&(q, len)| (q as usize) < scatter.dests.len() && len > 0),
+                        "unicast parts must name in-range ranks with non-empty payloads"
+                    );
+                    let mut ranks: Vec<u32> = parts.iter().map(|&(q, _)| q).collect();
+                    ranks.sort_unstable();
+                    ranks.dedup();
+                    assert_eq!(
+                        ranks.len(),
+                        parts.len(),
+                        "unicast parts must name distinct ranks"
+                    );
+                    assert_eq!(
+                        parts.iter().map(|&(_, len)| len).sum::<usize>(),
+                        scatter.data.len(),
+                        "unicast parts must cover the data exactly"
+                    );
+                }
             }
         }
         // Scatter data is streamed, never resident: only a FIFO's worth
@@ -640,6 +678,10 @@ impl InicCard {
                 self.plan_raw_scatter(&scatter, &parts, p)
             }
             ScatterKind::Broadcast => self.plan_broadcast_scatter(&scatter, p),
+            ScatterKind::Unicast { parts } => {
+                let parts = parts.clone();
+                self.plan_unicast_scatter(&scatter, &parts)
+            }
         };
         let broadcast = matches!(scatter.kind, ScatterKind::Broadcast);
         let n = chunks.len();
@@ -776,6 +818,37 @@ impl InicCard {
             }
         }
         assert_eq!(offset, scatter.data.len(), "raw parts did not consume data");
+        out
+    }
+
+    /// Cut a sparse per-destination part list into packets in listed
+    /// order (the collective engine's schedule rounds). Every part is
+    /// non-empty (asserted in `on_scatter`), so the final chunk — and
+    /// with it the `InicScatterDone` — always exists.
+    fn plan_unicast_scatter(
+        &self,
+        scatter: &InicScatter,
+        parts: &[(u32, usize)],
+    ) -> Vec<(Option<MacAddr>, InicPacket)> {
+        let mut out = Vec::new();
+        let mut offset = 0usize;
+        for &(q, len) in parts {
+            let segment = &scatter.data[offset..offset + len];
+            offset += len;
+            let dest = if q == self.my_rank {
+                None
+            } else {
+                Some(scatter.dests[q as usize])
+            };
+            for pkt in packetize(self.my_rank, scatter.stream, segment) {
+                out.push((dest, pkt));
+            }
+        }
+        assert_eq!(
+            offset,
+            scatter.data.len(),
+            "unicast parts did not consume data"
+        );
         out
     }
 

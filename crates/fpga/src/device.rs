@@ -163,6 +163,27 @@ impl Bitstream {
             .with(OperatorKind::Fifo)
     }
 
+    /// The general collective datapath (acc-coll): protocol blocks, a
+    /// `p`-way stream router to steer per-destination schedule rounds,
+    /// and — only when the schedule folds data on arrival — the
+    /// `ReduceSum` accumulator. Sized per invocation so wide fan-outs
+    /// and reduction logic are charged against the CLB pool honestly.
+    pub fn collective(p_ways: usize, with_reduce: bool) -> Bitstream {
+        let bs = Bitstream::new()
+            .with(OperatorKind::Fifo)
+            .with(OperatorKind::Packetize)
+            .with(OperatorKind::StreamRouter {
+                ways: p_ways.max(1),
+            })
+            .with(OperatorKind::Depacketize);
+        let bs = if with_reduce {
+            bs.with(OperatorKind::ReduceSum)
+        } else {
+            bs
+        };
+        bs.with(OperatorKind::Fifo)
+    }
+
     /// The protocol-processor-only datapath.
     pub fn protocol_only() -> Bitstream {
         Bitstream::new()
@@ -215,6 +236,24 @@ mod tests {
         assert!(Bitstream::allreduce()
             .check(&FpgaDevice::virtex_next_gen())
             .is_ok());
+    }
+
+    #[test]
+    fn collective_datapath_fits_the_sweep_but_not_wide_fanouts() {
+        let proto = FpgaDevice::xc4085xla();
+        for p in [1usize, 2, 4, 8, 16] {
+            assert!(
+                Bitstream::collective(p, true).check(&proto).is_ok(),
+                "p={p} must fit the prototype"
+            );
+        }
+        assert!(Bitstream::collective(128, false).check(&proto).is_err());
+        assert!(Bitstream::collective(128, true)
+            .check(&FpgaDevice::virtex_next_gen())
+            .is_ok());
+        // The reduce stage is only synthesized when asked for.
+        assert!(Bitstream::collective(4, true).has(OperatorKind::ReduceSum));
+        assert!(!Bitstream::collective(4, false).has(OperatorKind::ReduceSum));
     }
 
     #[test]

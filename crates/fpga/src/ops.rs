@@ -41,6 +41,15 @@ pub enum OperatorKind {
     /// summary points at ("the potential to accelerate functions
     /// ranging from collective operations to MPI derived data types").
     ReduceSum,
+    /// Steer the per-destination wire streams of a collective schedule:
+    /// a `ways`-entry destination table, per-way stream state and the
+    /// header mux that interleaves outgoing unicast segments. `ways`
+    /// drives the CLB cost, so wide fan-outs are charged against the
+    /// device like wide bucket sorters are.
+    StreamRouter {
+        /// Peer fan-out the router is synthesized for.
+        ways: usize,
+    },
     /// Identity (protocol-processor mode).
     Passthrough,
 }
@@ -79,6 +88,12 @@ impl OperatorKind {
             // A double-precision accumulator pipeline: wide adder plus
             // accumulator addressing.
             OperatorKind::ReduceSum => (420, 250),
+            // Destination table + per-way stream registers + header mux:
+            // linear in the fan-out, like the bucket sorter's builders.
+            OperatorKind::StreamRouter { ways } => {
+                assert!(ways >= 1, "stream router needs at least one way");
+                (100 + 28 * ways as u32, 400)
+            }
             OperatorKind::Passthrough => (10, 1000),
         };
         OperatorSpec {
@@ -113,6 +128,17 @@ mod tests {
     }
 
     #[test]
+    fn stream_router_cost_scales_with_fanout() {
+        let p16 = OperatorKind::StreamRouter { ways: 16 }.spec().clbs;
+        let p128 = OperatorKind::StreamRouter { ways: 128 }.spec().clbs;
+        assert!(p16 < p128);
+        // A cluster-sized router leaves room for the protocol blocks on
+        // the prototype part; a 128-way fan-out alone exceeds it.
+        assert!(p16 < 1000);
+        assert!(p128 > 3136);
+    }
+
+    #[test]
     fn rates_exceed_the_card_buses() {
         // Operators must not be the bottleneck on either card generation
         // (the paper's bottlenecks are the buses, not the logic).
@@ -123,6 +149,7 @@ mod tests {
             OperatorKind::LocalTranspose { m: 64 },
             OperatorKind::InterleaveBlocks { m: 64 },
             OperatorKind::BucketSort { k: 16 },
+            OperatorKind::StreamRouter { ways: 16 },
         ] {
             let rate = kind.spec().rate;
             assert!(

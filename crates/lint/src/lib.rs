@@ -62,7 +62,7 @@ use std::path::{Path, PathBuf};
 
 /// Crates whose event schedules and outputs must be bit-reproducible.
 pub const DETERMINISTIC_CRATES: &[&str] = &[
-    "sim", "core", "net", "proto", "fpga", "host", "algos", "acc",
+    "sim", "core", "net", "proto", "fpga", "host", "algos", "coll", "acc",
 ];
 
 /// Integer target types an `as` cast may narrow into (R3). Casts to

@@ -43,6 +43,18 @@ fn r1_clean_fixture_passes() {
 }
 
 #[test]
+fn r1_covers_the_collective_engine_crate() {
+    // acc-coll compiles schedules whose round order *is* the wire
+    // protocol — an unordered map there reorders sends between runs.
+    let report = check("r1_violate.rs", "crates/coll/src/engine.rs");
+    let rules = rules_of(&report);
+    assert!(
+        !rules.is_empty() && rules.iter().all(|&r| r == Rule::R1),
+        "coll is deterministic, HashMap must flag: {report:?}"
+    );
+}
+
+#[test]
 fn r1_does_not_apply_outside_deterministic_crates() {
     let report = check("r1_violate.rs", "crates/bench/src/table.rs");
     assert!(

@@ -2,11 +2,13 @@
 //!
 //! The paper's summary claims the architecture can "accelerate
 //! functions ranging from collective operations to MPI derived data
-//! types". This example runs a flat AllReduce (sum of one f64 vector
-//! per node) on TCP and on the two INIC generations: the card's
-//! `ReduceSum` operator folds every arriving stream into an accumulator
-//! at wire speed, so only the reduced vector ever crosses the PCI bus
-//! and the host does zero arithmetic.
+//! types". This example runs an AllReduce (sum of one f64 vector per
+//! node) on TCP and on the two INIC generations through the `acc-coll`
+//! engine: the policy picks the schedule (the segmented ring at this
+//! size), and on the combined INIC every `Sum` round folds in the
+//! card's `ReduceSum` operator at datapath speed — the host does zero
+//! arithmetic (the `host reduce` column), where the TCP path pays tens
+//! of milliseconds of Athlon memory passes on top of its slower wire.
 //!
 //! Run with:
 //! ```sh

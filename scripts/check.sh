@@ -32,4 +32,9 @@ echo "== bench_wallclock --smoke (timings recorded, not gated)"
 # compares both executor code paths.
 ACC_JOBS=2 ./target/release/bench_wallclock --smoke
 
+echo "== ablation_collectives --smoke (executor-fanned collective matrix)"
+# Smoke sweep of the collective engine's full operation x algorithm x
+# mode matrix; ACC_JOBS=2 for the same two-code-path reason as above.
+ACC_JOBS=2 ./target/release/ablation_collectives --smoke > /dev/null
+
 echo "All tier-1 checks passed."

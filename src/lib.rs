@@ -11,6 +11,8 @@
 //! * [`fpga`] — FPGA devices, bitstreams, dataflow operators, INIC
 //!   cards,
 //! * [`algos`] — FFT / transpose / sorting kernels and workloads,
+//! * [`coll`] — the collective engine: pluggable algorithms, per-rank
+//!   schedules, selection policy, CLB-budgeted offload plans,
 //! * [`core`] — the Adaptable Computing Cluster: scenario runners,
 //!   application drivers, Section-4 analytic models, reports.
 //!
@@ -28,6 +30,7 @@
 //! ```
 
 pub use acc_algos as algos;
+pub use acc_coll as coll;
 pub use acc_core as core;
 pub use acc_fpga as fpga;
 pub use acc_host as host;

@@ -6,7 +6,8 @@
 //! any of these numbers, the change is real and EXPERIMENTS.md must be
 //! re-generated; this test makes that visible instead of silent.
 
-use acc::core::cluster::{run_fft, run_sort, ClusterSpec, Technology};
+use acc::coll::{Algorithm, CollectiveOp};
+use acc::core::cluster::{run_collective, run_fft, run_sort, ClusterSpec, Technology};
 use acc::core::model::{FftModel, SortModel};
 
 #[test]
@@ -43,6 +44,45 @@ fn simulated_scenarios_are_pinned() {
     // Sanity envelope: totals are in the right decade (ms scale), so a
     // units regression (ns↔ps) cannot pass silently.
     for (name, ps) in golden {
+        let ms = ps as f64 / 1e9;
+        assert!(
+            (0.05..100.0).contains(&ms),
+            "{name}: {ms} ms out of envelope"
+        );
+    }
+}
+
+#[test]
+fn simulated_collectives_are_pinned() {
+    // One bandwidth-bound and one latency-bound engine cell, on a host
+    // path and the combined INIC. Same contract as the scenarios above:
+    // if a number moves, a schedule or protocol change is real.
+    let ring_inic = run_collective(
+        ClusterSpec::new(4, Technology::InicIdeal),
+        CollectiveOp::AllReduce,
+        Algorithm::Ring,
+        8192,
+    );
+    let rd_gige = run_collective(
+        ClusterSpec::new(4, Technology::GigabitTcp),
+        CollectiveOp::AllReduce,
+        Algorithm::RecursiveDoubling,
+        256,
+    );
+    assert!(ring_inic.verified && rd_gige.verified);
+    // Determinism: repeating the run reproduces the total exactly.
+    let ring_inic2 = run_collective(
+        ClusterSpec::new(4, Technology::InicIdeal),
+        CollectiveOp::AllReduce,
+        Algorithm::Ring,
+        8192,
+    );
+    assert_eq!(ring_inic.total.as_ps(), ring_inic2.total.as_ps());
+    // Sanity envelope (ms scale) so a units regression cannot hide.
+    for (name, ps) in [
+        ("allreduce ring inic-ideal p4 8192", ring_inic.total.as_ps()),
+        ("allreduce rd gigabit p4 256", rd_gige.total.as_ps()),
+    ] {
         let ms = ps as f64 / 1e9;
         assert!(
             (0.05..100.0).contains(&ms),

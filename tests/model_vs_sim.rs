@@ -87,3 +87,72 @@ fn count_sort_model_matches_simulated_count_phase() {
         );
     }
 }
+
+/// Every collective × algorithm × technology cell: the round-profile
+/// model must predict the simulated total within 2× either way. The
+/// calibrated constants currently hold every cell inside [0.70, 1.37];
+/// the band leaves headroom for schedule tweaks without masking a
+/// mis-modelled path (a wrong fold-site or round count shows up as >3×).
+#[test]
+fn collective_model_bounds_every_cell_within_2x() {
+    use acc::coll::CollectiveOp;
+    use acc::core::cluster::run_collective;
+    use acc::core::model::CollModel;
+    let p = 4;
+    let elems = 1 << 13;
+    for op in CollectiveOp::ALL {
+        for algo in op.algorithms() {
+            if !acc::coll::supports(op, algo, p, elems) {
+                continue;
+            }
+            let model = CollModel::collective(op, algo, p, elems);
+            for tech in Technology::ALL {
+                let sim = run_collective(ClusterSpec::new(p, tech), op, algo, elems)
+                    .total
+                    .as_secs_f64();
+                let analytic = model.total(tech).as_secs_f64();
+                let ratio = sim / analytic;
+                assert!(
+                    (0.5..2.0).contains(&ratio),
+                    "{op}/{algo} on {}: sim {sim:.6}s vs model {analytic:.6}s (ratio {ratio:.2})",
+                    tech.label()
+                );
+            }
+        }
+    }
+}
+
+/// The model must extrapolate across processor count, not just hold at
+/// the calibration point: the same band at p = 8 on the paths whose
+/// round structure changes most with p.
+#[test]
+fn collective_model_extrapolates_to_more_ranks() {
+    use acc::coll::{Algorithm, CollectiveOp};
+    use acc::core::cluster::run_collective;
+    use acc::core::model::CollModel;
+    let p = 8;
+    let elems = 1 << 13;
+    for (op, algo) in [
+        (CollectiveOp::AllReduce, Algorithm::Ring),
+        (CollectiveOp::AllGather, Algorithm::RecursiveDoubling),
+        (CollectiveOp::AllToAll, Algorithm::Bruck),
+    ] {
+        let model = CollModel::collective(op, algo, p, elems);
+        for tech in [
+            Technology::GigabitTcp,
+            Technology::InicIdeal,
+            Technology::InicProtocol,
+        ] {
+            let sim = run_collective(ClusterSpec::new(p, tech), op, algo, elems)
+                .total
+                .as_secs_f64();
+            let analytic = model.total(tech).as_secs_f64();
+            let ratio = sim / analytic;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "{op}/{algo} p=8 on {}: sim {sim:.6}s vs model {analytic:.6}s (ratio {ratio:.2})",
+                tech.label()
+            );
+        }
+    }
+}
