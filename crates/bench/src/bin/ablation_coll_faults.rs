@@ -1,0 +1,139 @@
+//! Fault-recovery ablation for the collective engine: every operation
+//! and both of its algorithms under a single mid-schedule card kill,
+//! across the three recovery policies and a grid of kill times.
+//!
+//! The question is the recovery-cost crossover: **when does a full
+//! restart beat a round-level resume?** `FullRestart` abandons every
+//! card and re-runs the whole schedule on the commodity fallback NICs;
+//! `Checkpointed` re-plans only the remaining rounds over the mixed
+//! TCP/INIC cluster, resuming from the coordinator-agreed checkpoint;
+//! `RankLocal` runs the same protocol without cross-rank checkpoint
+//! agreement. Later kills leave round-resume less work to redo, so its
+//! advantage should *grow* with the kill time — the table prices that.
+//!
+//! All cells fan out through the deterministic work-queue executor and
+//! print in submission order, so the output is byte-identical at any
+//! `--jobs` count. `--smoke` shrinks the sweep for CI.
+//!
+//! ```text
+//! cargo run --release -p acc-bench --bin ablation_coll_faults
+//! cargo run --release -p acc-bench --bin ablation_coll_faults -- --smoke
+//! ```
+
+use acc_bench::Executor;
+use acc_chaos::{FaultEvent, FaultPlan};
+use acc_coll::{supports, CollectiveOp};
+use acc_core::cluster::{ClusterSpec, Technology};
+use acc_core::{RecoveryPolicy, RunOutcome, RunRequest};
+use acc_sim::{SimDuration, SimTime};
+
+const P: usize = 4;
+
+/// Column order of the policy sweep.
+const POLICIES: [RecoveryPolicy; 3] = [
+    RecoveryPolicy::FullRestart,
+    RecoveryPolicy::RankLocal,
+    RecoveryPolicy::Checkpointed,
+];
+
+/// One policy cell: clean total, or the faulted total plus the round
+/// the coordinator resumed from (`-` for full restarts, which always
+/// start over).
+fn cell(outcome: RunOutcome) -> String {
+    if outcome.is_hung() {
+        let report = outcome.hang().expect("hung outcome carries its report");
+        return format!("HUNG({})", report.attribution());
+    }
+    let r = outcome.into_coll();
+    assert!(r.verified, "faulted collective produced wrong data");
+    match r.faults.resumed_from_phase {
+        Some(round) => format!("{:.3} (r{round})", r.total.as_millis_f64()),
+        None => format!("{:.3}", r.total.as_millis_f64()),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let ex = Executor::from_cli();
+    // The bitstream load gates every INIC schedule behind a 60 ms
+    // configuration window, so the kill grid starts just past it and
+    // walks through the schedule; the last point lands after most
+    // schedules finish (recovery still runs, with nothing to redo).
+    let (elems, kills_ms): (usize, &[u64]) = if smoke {
+        (1 << 10, &[61])
+    } else {
+        (6144, &[61, 62, 63, 80])
+    };
+    let techs: &[Technology] = if smoke {
+        &[Technology::InicIdeal]
+    } else {
+        &[Technology::InicIdeal, Technology::InicProtocol]
+    };
+
+    // Cell list first (skipping unsupported cells up front so requests
+    // and results stay in lock step), then one deterministic fan-out.
+    // Per (tech, op, algo) group: one clean run, then kills x policies.
+    let mut groups = Vec::new();
+    let mut requests = Vec::new();
+    for &tech in techs {
+        for op in CollectiveOp::ALL {
+            for algo in op.algorithms() {
+                if !supports(op, algo, P, elems) {
+                    continue;
+                }
+                groups.push((tech, op, algo));
+                requests.push(RunRequest::collective(
+                    ClusterSpec::new(P, tech),
+                    op,
+                    algo,
+                    elems,
+                ));
+                for &kill in kills_ms {
+                    for policy in POLICIES {
+                        let plan = FaultPlan::new(0xAB1A).with(FaultEvent::CardFailure {
+                            node: 1,
+                            at: SimTime::ZERO + SimDuration::from_millis(kill),
+                        });
+                        let spec = ClusterSpec::new(P, tech)
+                            .with_fault_plan(plan)
+                            .with_recovery_policy(policy);
+                        requests.push(RunRequest::collective(spec, op, algo, elems));
+                    }
+                }
+            }
+        }
+    }
+    let mut outcomes = ex.run_all(requests).into_iter();
+
+    println!(
+        "# collective fault-recovery ablation: policy x kill time, {} f64 per rank, P={}{}",
+        elems,
+        P,
+        if smoke { " (smoke)" } else { "" }
+    );
+    println!("# card on node 1 dies at t=kill; totals in ms; (rN) = resumed from round N");
+    for (tech, op, algo) in groups {
+        println!();
+        println!("## {op} / {algo} — {}", tech.label());
+        let clean = outcomes.next().expect("clean cell");
+        println!(
+            "{:>8} {:>16} {:>16} {:>16}   clean={}",
+            "kill(ms)",
+            "full-restart",
+            "rank-local",
+            "checkpointed",
+            cell(clean)
+        );
+        for &kill in kills_ms {
+            let full = cell(outcomes.next().expect("full-restart cell"));
+            let local = cell(outcomes.next().expect("rank-local cell"));
+            let ckpt = cell(outcomes.next().expect("checkpointed cell"));
+            println!("{kill:>8} {full:>16} {local:>16} {ckpt:>16}");
+        }
+    }
+    println!();
+    println!("# Read down: round-resume redoes only the rounds past the last");
+    println!("# checkpoint, so its cost falls as the kill moves later, while a");
+    println!("# full restart re-runs the whole schedule on the fallback NICs");
+    println!("# regardless of when the card died.");
+}

@@ -20,10 +20,12 @@
 //! cluster survived every round.
 //!
 //! `--coll` adds one engine collective per `(round, technology)` cell,
-//! rotating through all six operations (see `COLL_ROTATION`); the
-//! collective cell runs the round's plan minus permanent card deaths,
-//! which a lockstep schedule cannot survive by design. The flag is
-//! purely additive: without it the campaign and its output are
+//! rotating through all six operations (see `COLL_ROTATION`). The
+//! collective cell runs the round's full plan — permanent card deaths
+//! included: the engine's round-level checkpoints and mixed-technology
+//! re-planning recover the schedule, and the cell line records the
+//! `degraded=`/`resumed=` diagnostics like any other workload. The
+//! flag is purely additive: without it the campaign and its output are
 //! byte-for-byte unchanged.
 //!
 //! ```text
@@ -149,23 +151,6 @@ fn round_plan(seed: u64, round: u64) -> FaultPlan {
     plan
 }
 
-/// The round's plan for the `--coll` cell: identical except that
-/// permanent card deaths are dropped. A lockstep collective schedule
-/// has no degraded-mode resume (the FFT/sort drivers' host-fallback
-/// path has no analogue — a dead card wedges the whole ring by
-/// design, which the hang tests cover directly), so the soak keeps
-/// every *survivable* fault and skips the one that is not.
-fn coll_plan(seed: u64, round: u64) -> FaultPlan {
-    let full = round_plan(seed, round);
-    let mut plan = FaultPlan::new(full.seed());
-    for ev in full.events() {
-        if !matches!(ev, FaultEvent::CardFailure { .. }) {
-            plan.push(ev.clone());
-        }
-    }
-    plan
-}
-
 fn tech_label(t: Technology) -> &'static str {
     match t {
         Technology::FastEthernet => "fast",
@@ -208,7 +193,7 @@ fn run_cell(
     round: u64,
     tech: Technology,
     plan: &FaultPlan,
-    coll: Option<(&FaultPlan, (CollectiveOp, Algorithm, usize))>,
+    coll: Option<(CollectiveOp, Algorithm, usize)>,
 ) -> Result<Vec<String>, CellFailure> {
     let line = |kind: &str, total: SimDuration, faults: &FaultDiagnostics| {
         format!(
@@ -251,8 +236,8 @@ fn run_cell(
         }
     };
     let mut lines = vec![sort_line, fft_line];
-    if let Some((coll_plan, (op, algo, elems))) = coll {
-        let spec = ClusterSpec::new(P, tech).with_fault_plan(coll_plan.clone());
+    if let Some((op, algo, elems)) = coll {
+        let spec = ClusterSpec::new(P, tech).with_fault_plan(plan.clone());
         let outcome = execute_caught(RunRequest::collective(spec, op, algo, elems));
         match failure_of(&outcome) {
             Some(observed) => {
@@ -301,13 +286,8 @@ fn replay(path: &str) -> ! {
 /// Minimize the first failing cell's plan, write the repro artifact,
 /// and report — the deterministic failure epilogue of a soak run.
 fn emit_repro(ex: &Executor, seed: u64, failure: &CellFailure) {
-    // A collective cell ran the card-death-free variant of the round's
-    // plan; minimize the plan the cell actually saw.
-    let plan = if matches!(failure.workload, ReproWorkload::Coll { .. }) {
-        coll_plan(seed, failure.round)
-    } else {
-        round_plan(seed, failure.round)
-    };
+    // Every cell — collectives included — ran the round's full plan.
+    let plan = round_plan(seed, failure.round);
     println!(
         "minimizing round {:03} {} {} plan ({} events) ...",
         failure.round,
@@ -387,12 +367,7 @@ fn main() {
         let plan = round_plan(seed, round);
         plan.validate(P as u32)
             .unwrap_or_else(|e| panic!("round {round} built an invalid plan: {e}"));
-        let coll_cell = coll.then(|| {
-            (
-                coll_plan(seed, round),
-                COLL_ROTATION[(round % COLL_ROTATION.len() as u64) as usize],
-            )
-        });
+        let coll_cell = coll.then(|| COLL_ROTATION[(round % COLL_ROTATION.len() as u64) as usize]);
         let kinds: Vec<&str> = plan
             .events()
             .iter()
@@ -411,15 +386,7 @@ fn main() {
         plan_lines.push(format!("round {round:03}: plan [{}]", kinds.join(" ")));
         for tech in TECHNOLOGIES {
             let plan = plan.clone();
-            let coll_cell = coll_cell.clone();
-            tasks.push(Box::new(move || {
-                run_cell(
-                    round,
-                    tech,
-                    &plan,
-                    coll_cell.as_ref().map(|(p, cell)| (p, *cell)),
-                )
-            }));
+            tasks.push(Box::new(move || run_cell(round, tech, &plan, coll_cell)));
         }
     }
     let runs = (if coll { 3 } else { 2 }) * tasks.len() as u64;

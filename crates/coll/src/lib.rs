@@ -18,7 +18,12 @@
 //!   size, processor count and execution path;
 //! * [`offload`] — the CLB-budget plan for running a schedule on the
 //!   card, where over-capacity schedules are rejected with a structured
-//!   error instead of silently assuming free logic.
+//!   error instead of silently assuming free logic;
+//! * [`recovery`] — the mixed-technology re-planning a degraded
+//!   cluster uses: each remaining round split into card legs (healthy
+//!   peers) and fallback-TCP legs (dead peers), with the combined-mode
+//!   fold falling back to host arithmetic and the shrunken offload
+//!   re-validated against the CLB budget.
 //!
 //! `crates/core` consumes these schedules in its `CollDriver` and the
 //! §4 analytic models consume [`plan::profile`] for per-round cost
@@ -30,10 +35,12 @@
 pub mod offload;
 pub mod plan;
 pub mod policy;
+pub mod recovery;
 
 pub use offload::{OffloadError, OffloadPlan};
 pub use plan::{build, oracle, simulate, supports, RecvOp, Round, RoundCost, Schedule};
 pub use policy::{select, PathClass};
+pub use recovery::{degraded_offload, replan, split_round, RoundLegs};
 
 /// The six collective operations the engine exposes.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]

@@ -20,7 +20,7 @@ use acc_host::{HostKernels, InterruptCosts, ModerationPolicy, StallSchedule};
 use acc_net::port::EgressPort;
 use acc_net::{EthernetKind, LinkParams, MacAddr, Switch, SwitchParams};
 use acc_proto::{HostPathCosts, TcpHostNic, TcpParams};
-use acc_sim::{ComponentId, SimDuration, SimTime, Simulation};
+use acc_sim::{ComponentId, HangKind, SimDuration, SimTime, Simulation};
 
 use crate::audit::{self, AuditConfig, Auditor};
 use crate::deadline::DeadlineHierarchy;
@@ -520,6 +520,20 @@ impl Wiring {
                 hierarchy,
                 None,
             ))),
+            // A deadline that fires after every rank is done is not a
+            // hang: the application completed inside its budget and the
+            // only events left are protocol tail chatter — typically a
+            // far-future RTO retransmit timer for a final segment whose
+            // ACK a lossy plan ate. The chatter is self-limiting (capped
+            // backoff, bounded retries), so cut it off. Event-budget and
+            // livelock aborts stay fatal even with done drivers: those
+            // mean the protocol layer itself stopped converging.
+            Err(sim_report)
+                if sim_report.kind == HangKind::DeadlineExceeded
+                    && ranks.iter().all(|r| r.done) =>
+            {
+                Ok(())
+            }
             Err(sim_report) => Err(Box::new(HangReport::diagnose(
                 HangCause::Watchdog(sim_report.kind),
                 self.technology,
@@ -977,11 +991,8 @@ pub fn plan_collective_offload(
     technology: Technology,
     schedules: &[Schedule],
 ) -> Result<Option<Vec<OffloadPlan>>, OffloadError> {
-    let (device, mode) = match technology {
-        Technology::FastEthernet | Technology::GigabitTcp => return Ok(None),
-        Technology::InicIdeal => (FpgaDevice::virtex_next_gen(), InicMode::Combined),
-        Technology::InicPrototype => (FpgaDevice::xc4085xla(), InicMode::Combined),
-        Technology::InicProtocol => (FpgaDevice::virtex_next_gen(), InicMode::ProtocolProcessor),
+    let Some((device, mode)) = inic_device_mode(technology) else {
+        return Ok(None);
     };
     let p = schedules.len();
     schedules
@@ -989,6 +1000,19 @@ pub fn plan_collective_offload(
         .map(|s| acc_coll::offload::plan(s, p, mode, &device))
         .collect::<Result<Vec<OffloadPlan>, OffloadError>>()
         .map(Some)
+}
+
+/// The device/mode pair each INIC technology configures, or `None` for
+/// the host-TCP technologies.
+fn inic_device_mode(technology: Technology) -> Option<(FpgaDevice, InicMode)> {
+    match technology {
+        Technology::FastEthernet | Technology::GigabitTcp => None,
+        Technology::InicIdeal => Some((FpgaDevice::virtex_next_gen(), InicMode::Combined)),
+        Technology::InicPrototype => Some((FpgaDevice::xc4085xla(), InicMode::Combined)),
+        Technology::InicProtocol => {
+            Some((FpgaDevice::virtex_next_gen(), InicMode::ProtocolProcessor))
+        }
+    }
 }
 
 /// Deterministic per-rank contributions with an exactly computable
@@ -1098,17 +1122,46 @@ fn run_schedules(
     assert!(spec.p >= 1);
     let offload = plan_collective_offload(spec.technology, schedules)
         .unwrap_or_else(|e| panic!("collective offload rejected: {e}"));
+    // When the plan can kill a card under a rank-local policy, the
+    // survivors keep their datapaths while rerouting the dead rank's
+    // legs over TCP: re-validate each healthy rank's shrunken offload
+    // against the CLB budget before wiring anything, so an over-budget
+    // degraded bitstream is a structured pre-flight failure, not a
+    // sim-time surprise.
+    if let Some((device, mode)) = inic_device_mode(spec.technology) {
+        if let Some(plan) = &spec.fault_plan {
+            let dead: std::collections::BTreeSet<usize> = plan
+                .card_failures()
+                .iter()
+                .map(|&(node, _)| node as usize)
+                .collect();
+            if !dead.is_empty() {
+                for (rank, s) in schedules.iter().enumerate() {
+                    if dead.contains(&rank) {
+                        continue;
+                    }
+                    acc_coll::recovery::degraded_offload(s, spec.p, &dead, 0, mode, &device)
+                        .unwrap_or_else(|e| {
+                            panic!("degraded collective offload rejected for rank {rank}: {e}")
+                        });
+                }
+            }
+        }
+    }
     let kernels = HostKernels::athlon_1ghz();
-    let mut w = wire(spec, |rank, attachment, _fault_ctl| {
-        DriverBox::Coll(Box::new(CollDriver::new(
-            rank,
-            spec.p,
-            schedules[rank].clone(),
-            inputs[rank].clone(),
-            attachment,
-            kernels.clone(),
-            offload.as_ref().map(|plans| plans[rank].clone()),
-        )))
+    let mut w = wire(spec, |rank, attachment, fault_ctl| {
+        DriverBox::Coll(Box::new(
+            CollDriver::new(
+                rank,
+                spec.p,
+                schedules[rank].clone(),
+                inputs[rank].clone(),
+                attachment,
+                kernels.clone(),
+                offload.as_ref().map(|plans| plans[rank].clone()),
+            )
+            .with_fault_ctl(fault_ctl),
+        ))
     });
     let hierarchy = DeadlineHierarchy::for_run(spec, workload);
     w.run_to_completion(&hierarchy, |sim, d| {
@@ -1119,6 +1172,8 @@ fn run_schedules(
     let mut comm = SimDuration::ZERO;
     let mut compute = SimDuration::ZERO;
     let mut results: Vec<Vec<f64>> = Vec::new();
+    let mut degraded_nodes = 0u64;
+    let mut resumed_from: Option<u32> = None;
     for &d in &w.drivers {
         let drv = w.sim.component::<CollDriver>(d);
         let t = &drv.timings;
@@ -1126,6 +1181,10 @@ fn run_schedules(
         start = start.min(t.started_at.expect("started"));
         comm = comm.max(t.comm);
         compute = compute.max(t.compute);
+        if drv.degraded() {
+            degraded_nodes += 1;
+        }
+        resumed_from = resumed_from.max(drv.resumed_from());
         results.push(drv.result());
     }
     let verified = if spec.verify {
@@ -1138,10 +1197,7 @@ fn run_schedules(
         assert_eq!(w.switch_drops(), 0, "INIC collective must not drop");
     }
     w.final_audit();
-    // The engine has no per-rank degraded mode or phase-resume (a rank
-    // that cannot progress surfaces as a hang, never a silent skip), so
-    // those two diagnostics are structurally zero here.
-    let faults = w.fault_diagnostics(0, None);
+    let faults = w.fault_diagnostics(degraded_nodes, resumed_from);
     Ok(CollRunResult {
         total: total_end.since(start),
         comm,

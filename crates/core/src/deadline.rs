@@ -101,6 +101,15 @@ impl DeadlineHierarchy {
         let p = spec.p;
         let slack = slack(spec.technology);
         let scaled = |predicted| scale(predicted, slack);
+        // Collective phases are lockstep: every rank's round waits on
+        // the slowest participating rank. A fault plan that can kill a
+        // card degrades that rank to the commodity fallback NIC, so the
+        // budgets must price the *degraded* technology — otherwise a
+        // legitimately slower mixed TCP/INIC collective trips a false
+        // deadline.
+        let coll_tech = budget_technology(spec);
+        let coll_slack = self::slack(coll_tech);
+        let coll_scaled = |predicted| scale(predicted, coll_slack);
         let (phases, payload_kib) = match *workload {
             Workload::Fft { rows } => {
                 let model = FftModel::new(rows);
@@ -158,15 +167,15 @@ impl DeadlineHierarchy {
                 // algorithm actually has.
                 let algo = select_algorithm(spec.technology, CollectiveOp::AllReduce, p, elems);
                 let model = CollModel::collective(CollectiveOp::AllReduce, algo, p, elems);
-                collective_budgets(&model, spec.technology, p, &scaled)
+                collective_budgets(&model, coll_tech, p, &coll_scaled)
             }
             Workload::Collective { op, algo, elems } => {
                 let model = CollModel::collective(op, algo, p, elems);
-                collective_budgets(&model, spec.technology, p, &scaled)
+                collective_budgets(&model, coll_tech, p, &coll_scaled)
             }
             Workload::Halo { elems, iters } => {
                 let model = CollModel::halo(p, elems, iters);
-                collective_budgets(&model, spec.technology, p, &scaled)
+                collective_budgets(&model, coll_tech, p, &coll_scaled)
             }
         };
         let mut run_budget = SimDuration::from_secs(1); // configuration etc.
@@ -210,6 +219,24 @@ impl DeadlineHierarchy {
             .with_event_budget(self.event_budget)
             .with_stall_events(self.stall_events)
             .with_deadline(self.run_deadline)
+    }
+}
+
+/// The technology whose model prices a lockstep collective's phase
+/// budgets: the slowest technology any participating rank can end up
+/// on. Clean runs (and plans without card kills) use the spec's
+/// technology; a plan that can kill a card on an INIC run leaves the
+/// dead rank on the commodity Gigabit fallback NIC, and every lockstep
+/// round then waits on that rank.
+fn budget_technology(spec: &ClusterSpec) -> Technology {
+    let card_kill = spec
+        .fault_plan
+        .as_ref()
+        .is_some_and(acc_chaos::FaultPlan::has_card_failures);
+    if spec.technology.is_inic() && card_kill {
+        Technology::GigabitTcp
+    } else {
+        spec.technology
     }
 }
 
@@ -306,6 +333,54 @@ mod tests {
             },
         );
         assert!(fh.run_deadline > base.run_deadline);
+    }
+
+    #[test]
+    fn degraded_collectives_are_priced_at_the_slowest_rank() {
+        // A card-kill plan leaves the dead rank on the Gigabit fallback
+        // NIC, and lockstep rounds wait on the slowest rank: the phase
+        // budgets must match the GigabitTcp-priced hierarchy, not the
+        // INIC one, or a legitimately degraded run trips a false
+        // deadline. Sizes large enough to clear the phase floor.
+        let wl = Workload::Collective {
+            op: acc_coll::CollectiveOp::AllReduce,
+            algo: acc_coll::Algorithm::Ring,
+            elems: 1 << 20,
+        };
+        let clean = ClusterSpec::new(4, Technology::InicIdeal);
+        let kill = acc_chaos::FaultPlan::new(7).with(FaultEvent::CardFailure {
+            node: 1,
+            at: SimTime::ZERO + SimDuration::from_millis(61),
+        });
+        let degraded = clean.clone().with_fault_plan(kill);
+        let ch = DeadlineHierarchy::for_run(&clean, &wl);
+        let dh = DeadlineHierarchy::for_run(&degraded, &wl);
+        let gb = DeadlineHierarchy::for_run(&ClusterSpec::new(4, Technology::GigabitTcp), &wl);
+        for ph in &dh.phases {
+            assert!(
+                ph.budget > ch.phase_budget(ph.name),
+                "{}: degraded budget must widen past the clean INIC bound",
+                ph.name
+            );
+            assert_eq!(
+                ph.budget,
+                gb.phase_budget(ph.name),
+                "{}: degraded budget prices the commodity fallback",
+                ph.name
+            );
+        }
+        // A plan without card kills changes nothing: stalls and link
+        // impairments never change any rank's technology.
+        let stall = acc_chaos::FaultPlan::new(8).with(FaultEvent::LinkOutage {
+            link: LinkId::NodeUplink(1),
+            from: SimTime::ZERO + SimDuration::from_millis(1),
+            until: SimTime::ZERO + SimDuration::from_millis(9),
+        });
+        let jittered = clean.with_fault_plan(stall);
+        let jh = DeadlineHierarchy::for_run(&jittered, &wl);
+        for ph in &jh.phases {
+            assert_eq!(ph.budget, ch.phase_budget(ph.name));
+        }
     }
 
     #[test]

@@ -11,40 +11,68 @@
 //!   receives fold on the host at the calibrated streaming-reduction
 //!   rate.
 //! * **Combined INIC path**: the card is configured with the
-//!   [`Bitstream::collective`] datapath (stream router sized to the
-//!   fan-out, `ReduceSum` only when the schedule folds data). A `Sum`
-//!   round becomes a `ReduceF64` gather — the card accumulates the
-//!   peer's stream against this rank's looped-back contribution and
-//!   only the folded result crosses to the host, so the host does
-//!   **zero arithmetic**. Copy/Discard rounds are raw gathers; sends
-//!   ride a [`ScatterKind::Unicast`] per-destination scatter.
+//!   [`Bitstream::collective`](acc_fpga::Bitstream::collective)
+//!   datapath (stream router sized to the fan-out, `ReduceSum` only
+//!   when the schedule folds data). A `Sum` round becomes a `ReduceF64`
+//!   gather — the card accumulates the peer's stream against this
+//!   rank's looped-back contribution and only the folded result crosses
+//!   to the host, so the host does **zero arithmetic**. Copy/Discard
+//!   rounds are raw gathers; sends ride a [`ScatterKind::Unicast`]
+//!   per-destination scatter.
 //! * **Protocol-only INIC path**: raw gathers and unicast scatters —
 //!   the wire protocol is offloaded, the arithmetic stays on the host.
 //!
 //! Rounds are strictly ordered on each rank: the driver never issues
 //! round `t + 1` card requests before round `t`'s gather and scatter
-//! both completed, so per-round streams (`round + 1`) are announced
-//! exactly once and stale completions cannot exist. Ranks still slide
+//! both completed, so per-round streams are announced exactly once and
+//! stale completions cannot exist within an epoch. Ranks still slide
 //! against each other — the cards buffer early packets until the local
 //! rank announces the stream.
+//!
+//! # Fault recovery
+//!
+//! The driver survives mid-schedule card deaths under every
+//! [`RecoveryPolicy`], mirroring the FFT/sort drivers' protocol:
+//!
+//! * **Round checkpoints** — under [`RecoveryPolicy::Checkpointed`]
+//!   every completed round snapshots the working state, so a resume
+//!   re-enters at the cluster-wide minimum completed round instead of
+//!   from scratch.
+//! * **Failover epochs** — every `CardFailed` bumps an epoch counter
+//!   on *every* rank (the broadcast is cluster-wide), and streams,
+//!   TCP channels and self-timers are epoch-namespaced, so pre-failure
+//!   traffic can never complete a post-failure round.
+//! * **Mixed-technology rounds** — after a rank-local failover the
+//!   healthy ranks keep their cards and split each remaining round via
+//!   [`acc_coll::recovery::split_round`]: legs touching the dead rank
+//!   ride the fallback `TcpHostNic`, and a combined-mode fold whose
+//!   source died falls back to host arithmetic.
+//! * **Config-window parking** — a failure landing inside the 60 ms
+//!   bitstream load parks the resume until `InicConfigured` arrives,
+//!   exactly like the FFT driver.
 
 use std::any::Any;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use acc_coll::plan::{ranges_elems, RecvSpec, Round};
+use acc_coll::recovery::{split_round, RoundLegs};
 use acc_coll::{bytes_to_f64s, f64s_to_bytes, OffloadPlan, RecvOp, Schedule};
 use acc_fpga::{
-    GatherKind, InicConfigure, InicConfigured, InicExpect, InicGatherComplete, InicScatter,
-    InicScatterDone, ScatterKind,
+    GatherKind, InicConfigure, InicConfigured, InicExpect, InicGatherComplete, InicRecover,
+    InicScatter, InicScatterDone, ScatterKind,
 };
 use acc_host::HostKernels;
 use acc_proto::{TcpDelivered, TcpSend};
-use acc_sim::{Component, Ctx, SimDuration, SimTime};
+use acc_sim::{Component, ComponentId, Ctx, SimDuration, SimTime};
 
-use super::Attachment;
+use super::{
+    Attachment, CardFailed, Deferred, FaultCtl, RecoveryPolicy, RecoveryReport, ResumeAt,
+    RECOVERY_LATENCY,
+};
 
-/// Self event closing a round's host-compute charge window.
-struct RoundChargeDone;
+/// Self event closing a round's host-compute charge window, tagged
+/// with the failover epoch that armed it (stale epochs are dropped).
+struct RoundChargeDone(u64);
 
 /// Timing record of one collective run.
 #[derive(Clone, Debug, Default)]
@@ -78,8 +106,11 @@ pub struct CollDriver {
     rx: BTreeMap<(usize, u16), Vec<u8>>,
     await_gather: bool,
     await_scatter: bool,
+    /// Whether the current INIC round still waits on fallback-TCP legs
+    /// (receives rerouted around a dead peer).
+    await_tcp: bool,
     in_charge: bool,
-    /// Host-fold element count parked across the gather/scatter
+    /// Host-fold element count parked across the gather/scatter/TCP
     /// completion race of one INIC round.
     pending_sum_elems: u64,
     round_started: SimTime,
@@ -88,6 +119,30 @@ pub struct CollDriver {
     current_phase: &'static str,
     started: bool,
     done: bool,
+    /// Fault-handling configuration (stall windows, recovery policy,
+    /// coordinator). Default on clean runs.
+    fault_ctl: FaultCtl,
+    /// Failover epoch: bumped once per processed `CardFailed`, on every
+    /// rank, so streams/channels/timers from before a failure can never
+    /// satisfy a round issued after it.
+    epoch: u64,
+    /// Whether *this* rank abandoned its card for the fallback NIC.
+    failed_over: bool,
+    /// Ranks whose cards died (rank-local recovery only).
+    dead: BTreeSet<usize>,
+    /// Round-level checkpoints: completed-round count → state snapshot.
+    /// Armed only under the checkpointed policy with a coordinator.
+    ckpts: BTreeMap<u32, Vec<f64>>,
+    /// Parked awaiting the coordinator's `ResumeAt`.
+    paused: bool,
+    /// Whether the card finished loading its bitstream (a resume that
+    /// beats `InicConfigured` parks in `pending_resume`).
+    configured: bool,
+    pending_resume: Option<ResumeAt>,
+    /// The round the last coordinated resume re-entered at.
+    resumed_from: Option<u32>,
+    /// Guards the cluster-wide `drivers_done` counter across restarts.
+    reported_done: bool,
     /// Timing decomposition.
     pub timings: CollTimings,
 }
@@ -137,6 +192,7 @@ impl CollDriver {
             rx: BTreeMap::new(),
             await_gather: false,
             await_scatter: false,
+            await_tcp: false,
             in_charge: false,
             pending_sum_elems: 0,
             round_started: SimTime::ZERO,
@@ -145,8 +201,25 @@ impl CollDriver {
             current_phase: "init",
             started: false,
             done: false,
+            fault_ctl: FaultCtl::default(),
+            epoch: 0,
+            failed_over: false,
+            dead: BTreeSet::new(),
+            ckpts: BTreeMap::new(),
+            paused: false,
+            configured: false,
+            pending_resume: None,
+            resumed_from: None,
+            reported_done: false,
             timings: CollTimings::default(),
         }
+    }
+
+    /// Attach the fault-handling configuration (builder style).
+    #[must_use]
+    pub fn with_fault_ctl(mut self, ctl: FaultCtl) -> CollDriver {
+        self.fault_ctl = ctl;
+        self
     }
 
     /// The rank's output slice of the final state, once done.
@@ -160,6 +233,16 @@ impl CollDriver {
         self.done
     }
 
+    /// Whether this rank abandoned its card for the commodity fallback.
+    pub fn degraded(&self) -> bool {
+        self.failed_over
+    }
+
+    /// The round the last coordinated resume re-entered at, if any.
+    pub fn resumed_from(&self) -> Option<u32> {
+        self.resumed_from
+    }
+
     fn phase_name(&self) -> &'static str {
         self.current_phase
     }
@@ -170,7 +253,7 @@ impl CollDriver {
             rank: self.rank,
             phase: self.phase_name(),
             entered: self.phase_entered,
-            paused: false,
+            paused: self.paused,
             done: self.done,
         }
     }
@@ -179,8 +262,52 @@ impl CollDriver {
         &self.schedule.rounds[self.round]
     }
 
+    /// Epoch-namespaced round tag: the clean run (epoch 0) reduces to
+    /// the bare round index, so its wire traffic is byte-identical to
+    /// the pre-recovery engine.
+    fn round_tag(&self) -> u64 {
+        let tag = self.epoch * (self.schedule.rounds.len() as u64 + 1) + self.round as u64;
+        assert!(
+            tag < u16::MAX as u64,
+            "{}: epoch {} round {} overflows the channel id",
+            self.label,
+            self.epoch,
+            self.round
+        );
+        tag
+    }
+
     fn stream(&self) -> u32 {
-        self.round as u32 + 1
+        self.round_tag() as u32 + 1
+    }
+
+    fn chan(&self) -> u16 {
+        self.round_tag() as u16
+    }
+
+    /// Whether round checkpoints are being captured.
+    fn ckpt_armed(&self) -> bool {
+        self.fault_ctl.coordinator.is_some()
+            && self.fault_ctl.policy == RecoveryPolicy::Checkpointed
+    }
+
+    /// Rounds this rank can prove complete: the resume point it reports
+    /// to the coordinator. Without checkpoints (rank-local policy) the
+    /// honest answer is 0 — a from-scratch restart.
+    fn completed_round(&self) -> u32 {
+        if self.done {
+            return self.schedule.rounds.len() as u32;
+        }
+        self.ckpts.keys().next_back().copied().unwrap_or(0)
+    }
+
+    /// Advance past a completed round, snapshotting the state when
+    /// checkpoints are armed.
+    fn advance_round(&mut self) {
+        self.round += 1;
+        if self.ckpt_armed() {
+            self.ckpts.insert(self.round as u32, self.state.clone());
+        }
     }
 
     fn begin(&mut self, ctx: &mut Ctx) {
@@ -213,7 +340,7 @@ impl CollDriver {
                     self.charge(ctx, self.sweep_time(round.compute_elems));
                     return;
                 }
-                self.round += 1;
+                self.advance_round();
                 continue;
             }
             self.round_started = ctx.now();
@@ -234,7 +361,7 @@ impl CollDriver {
     fn charge(&mut self, ctx: &mut Ctx, t: SimDuration) {
         self.in_charge = true;
         self.charge_started = ctx.now();
-        ctx.self_in(t, RoundChargeDone);
+        ctx.self_in(t, RoundChargeDone(self.epoch));
     }
 
     // ---- host-TCP path -------------------------------------------------
@@ -244,7 +371,7 @@ impl CollDriver {
             Attachment::Tcp { nic, macs } => (*nic, macs.clone()),
             Attachment::Inic { .. } => unreachable!("TCP round on an INIC attachment"),
         };
-        let chan = self.round as u16;
+        let chan = self.chan();
         for send in &round.sends {
             ctx.send_now(
                 nic,
@@ -260,13 +387,13 @@ impl CollDriver {
     }
 
     fn try_complete_tcp_round(&mut self, ctx: &mut Ctx) {
-        if self.done || !self.started || self.in_charge || !self.is_tcp() {
+        if self.done || !self.started || self.paused || self.in_charge || !self.is_tcp() {
             return;
         }
         if self.round == self.schedule.rounds.len() {
             return;
         }
-        let chan = self.round as u16;
+        let chan = self.chan();
         let round = self.current_round().clone();
         let complete = round.recvs.iter().all(|r| {
             let want = ranges_elems(&r.ranges) * 8;
@@ -305,9 +432,15 @@ impl CollDriver {
 
     // ---- INIC paths ----------------------------------------------------
 
-    /// Whether this round's `Sum` fold runs in the card datapath.
+    /// Whether the configured bitstream carries a `ReduceSum` stage.
     fn card_folds(&self) -> bool {
         self.offload.as_ref().is_some_and(|plan| plan.needs_reduce)
+    }
+
+    /// The current round's transport partition. With no dead peers this
+    /// reproduces the round exactly (everything on the card).
+    fn current_legs(&self) -> RoundLegs {
+        split_round(self.current_round(), &self.dead, self.card_folds())
     }
 
     fn issue_inic_round(&mut self, round: &Round, ctx: &mut Ctx) {
@@ -315,24 +448,19 @@ impl CollDriver {
             Attachment::Inic { card, macs, .. } => (*card, macs.clone()),
             Attachment::Tcp { .. } => unreachable!("INIC round on a TCP attachment"),
         };
+        let legs = split_round(round, &self.dead, self.card_folds());
         let stream = self.stream();
-        let sum_round = round.recvs.iter().any(|r| r.op == RecvOp::Sum);
         let mut data = Vec::new();
         let mut parts: Vec<(u32, usize)> = Vec::new();
-        for send in &round.sends {
+        for send in &legs.card_sends {
             let bytes = f64s_to_bytes(&Schedule::gather(&send.ranges, &self.state));
             parts.push((send.to as u32, bytes.len()));
             data.extend_from_slice(&bytes);
         }
-        if sum_round && self.card_folds() {
+        if legs.card_fold {
             // One fused gather: the card folds the peer stream against
             // this rank's looped-back contribution, element-wise.
-            assert_eq!(
-                round.recvs.len(),
-                1,
-                "a card-folded round carries exactly one Sum receive"
-            );
-            let recv = &round.recvs[0];
+            let recv = &legs.card_recvs[0];
             let elems = ranges_elems(&recv.ranges);
             let own = f64s_to_bytes(&Schedule::gather(&recv.ranges, &self.state));
             parts.push((self.rank as u32, own.len()));
@@ -349,15 +477,15 @@ impl CollDriver {
                 },
             );
             self.await_gather = true;
-        } else if !round.recvs.is_empty() {
+        } else if !legs.card_recvs.is_empty() {
             // Raw gather, one inbound stream per source; the card hands
             // back the concatenation sorted by source rank.
-            let mut froms: Vec<u32> = round.recvs.iter().map(|r| r.from as u32).collect();
+            let mut froms: Vec<u32> = legs.card_recvs.iter().map(|r| r.from as u32).collect();
             froms.sort_unstable();
             froms.dedup();
             assert_eq!(
                 froms.len(),
-                round.recvs.len(),
+                legs.card_recvs.len(),
                 "raw-gather rounds receive at most one message per source"
             );
             ctx.send_now(
@@ -365,8 +493,8 @@ impl CollDriver {
                 InicExpect {
                     stream,
                     kind: GatherKind::Raw,
-                    sources: round
-                        .recvs
+                    sources: legs
+                        .card_recvs
                         .iter()
                         .map(|r| (r.from as u32, Some(ranges_elems(&r.ranges) * 8)))
                         .collect(),
@@ -386,22 +514,101 @@ impl CollDriver {
             );
             self.await_scatter = true;
         }
-        debug_assert!(
-            self.await_gather || self.await_scatter,
-            "a non-local round must touch the card"
-        );
+        // Legs around dead peers ride the commodity fallback NIC.
+        if legs.uses_tcp() {
+            let (fb_nic, fb_macs) = match &self.attachment {
+                Attachment::Inic {
+                    fallback: Some(fb), ..
+                } => fb.clone(),
+                _ => panic!(
+                    "{}: degraded round without a wired fallback path",
+                    self.label
+                ),
+            };
+            let chan = self.chan();
+            for send in &legs.tcp_sends {
+                ctx.send_now(
+                    fb_nic,
+                    TcpSend {
+                        peer: fb_macs[send.to],
+                        chan,
+                        data: f64s_to_bytes(&Schedule::gather(&send.ranges, &self.state)),
+                    },
+                );
+            }
+            self.await_tcp = !legs.tcp_recvs.is_empty();
+        }
+        if self.epoch == 0 {
+            debug_assert!(
+                self.await_gather || self.await_scatter,
+                "a non-local round must touch the card"
+            );
+        }
+        if !(self.await_gather || self.await_scatter || self.await_tcp) {
+            // Every counterparty is dead and nothing is expected back:
+            // the round closes on the spot.
+            let round = self.current_round().clone();
+            let sum = std::mem::take(&mut self.pending_sum_elems);
+            self.close_round(ctx, &round, sum);
+            return;
+        }
+        // A degraded peer running ahead may have pre-delivered its legs.
+        self.try_complete_inic_tcp_legs(ctx);
+    }
+
+    /// Complete the fallback-TCP legs of the current INIC round, if all
+    /// their bytes have arrived.
+    fn try_complete_inic_tcp_legs(&mut self, ctx: &mut Ctx) {
+        if !self.await_tcp || self.done || self.paused || self.in_charge {
+            return;
+        }
+        let chan = self.chan();
+        let legs = self.current_legs();
+        let complete = legs.tcp_recvs.iter().all(|r| {
+            let want = ranges_elems(&r.ranges) * 8;
+            self.rx
+                .get(&(r.from, chan))
+                .is_some_and(|b| b.len() >= want)
+        });
+        if !complete {
+            return;
+        }
+        let mut host_sum_elems = 0u64;
+        for recv in &legs.tcp_recvs {
+            let bytes = self
+                .rx
+                .remove(&(recv.from, chan))
+                .expect("completeness checked");
+            assert_eq!(
+                bytes.len(),
+                ranges_elems(&recv.ranges) * 8,
+                "{}: round {} fallback leg from rank {} over-delivered",
+                self.label,
+                self.round,
+                recv.from
+            );
+            if recv.op == RecvOp::Sum {
+                host_sum_elems += ranges_elems(&recv.ranges) as u64;
+            }
+            Schedule::apply_recv(recv, &bytes_to_f64s(&bytes), &mut self.state);
+        }
+        self.await_tcp = false;
+        self.maybe_close_inic_round(ctx, host_sum_elems);
     }
 
     fn on_gather_complete(&mut self, g: InicGatherComplete, ctx: &mut Ctx) {
+        if self.epoch > 0 && (self.done || g.stream != self.stream() || !self.await_gather) {
+            // A pre-failover stream completing against a dead epoch.
+            return;
+        }
         assert_eq!(g.stream, self.stream(), "{}: stale gather", self.label);
         assert!(self.await_gather, "{}: unexpected gather", self.label);
         self.await_gather = false;
-        let round = self.current_round().clone();
-        let sum_round = round.recvs.iter().any(|r| r.op == RecvOp::Sum);
+        let legs = self.current_legs();
         let mut host_sum_elems = 0u64;
-        if sum_round && self.card_folds() {
+        if legs.card_fold {
             // The card already folded own + peer; overwrite in place.
-            let recv = &round.recvs[0];
+            let recv = &legs.card_recvs[0];
             let folded = RecvSpec {
                 from: recv.from,
                 ranges: recv.ranges.clone(),
@@ -411,13 +618,13 @@ impl CollDriver {
         } else {
             // Raw concatenation sorted by source rank; slice it back to
             // the schedule's receives and fold on the host.
-            let mut order: Vec<usize> = (0..round.recvs.len()).collect();
-            order.sort_by_key(|&i| round.recvs[i].from);
+            let mut order: Vec<usize> = (0..legs.card_recvs.len()).collect();
+            order.sort_by_key(|&i| legs.card_recvs[i].from);
             let bounds = g.bucket_bounds.unwrap_or_else(|| vec![g.data.len()]);
-            assert_eq!(bounds.len(), round.recvs.len(), "one bucket per source");
+            assert_eq!(bounds.len(), legs.card_recvs.len(), "one bucket per source");
             let mut at = 0usize;
             for (slot, &i) in order.iter().enumerate() {
-                let recv = &round.recvs[i];
+                let recv = &legs.card_recvs[i];
                 let bytes = &g.data[at..bounds[slot]];
                 at = bounds[slot];
                 if recv.op == RecvOp::Sum {
@@ -431,7 +638,7 @@ impl CollDriver {
 
     fn maybe_close_inic_round(&mut self, ctx: &mut Ctx, host_sum_elems: u64) {
         self.pending_sum_elems += host_sum_elems;
-        if self.await_gather || self.await_scatter {
+        if self.await_gather || self.await_scatter || self.await_tcp {
             return;
         }
         let round = self.current_round().clone();
@@ -455,7 +662,7 @@ impl CollDriver {
         if t > SimDuration::ZERO {
             self.charge(ctx, t);
         } else {
-            self.round += 1;
+            self.advance_round();
             self.start_round(ctx);
         }
     }
@@ -465,17 +672,202 @@ impl CollDriver {
         self.done = true;
         self.current_phase = "done";
         self.phase_entered = ctx.now();
-        assert!(
-            self.rx.is_empty(),
-            "{}: leftover peer bytes at completion",
-            self.label
+        if self.epoch == 0 {
+            // Post-failover, bytes parked on dead-epoch channels are
+            // expected leftovers; on a clean run they are a protocol bug.
+            assert!(
+                self.rx.is_empty(),
+                "{}: leftover peer bytes at completion",
+                self.label
+            );
+        }
+        if !self.reported_done {
+            self.reported_done = true;
+            ctx.stats().counter("cluster", "drivers_done").inc();
+        }
+    }
+
+    // ---- card-failure recovery ----------------------------------------
+
+    fn on_card_failed(&mut self, node: u32, ctx: &mut Ctx) {
+        match self.fault_ctl.coordinator {
+            None => self.full_restart_failover(node, ctx),
+            Some(coord) => self.rank_local_failover(node, coord, ctx),
+        }
+    }
+
+    /// Abandon the card and restart the whole schedule over the
+    /// fallback NIC (every rank does this, healthy cards included).
+    fn full_restart_failover(&mut self, node: u32, ctx: &mut Ctx) {
+        if self.failed_over {
+            return;
+        }
+        let (nic, macs) = match &self.attachment {
+            Attachment::Inic {
+                fallback: Some((nic, macs)),
+                ..
+            } => (*nic, macs.clone()),
+            Attachment::Inic { .. } => {
+                panic!("{}: card failure without a wired fallback path", self.label)
+            }
+            // Already on the commodity path: a card death elsewhere in
+            // the plan cannot degrade this rank further.
+            Attachment::Tcp { .. } => return,
+        };
+        // Before abandoning a still-healthy card, tell it the peer is
+        // dead and cancel the in-flight stream: otherwise its
+        // retransmit backoff into the void outlives the run deadline.
+        if let Attachment::Inic {
+            card, macs: own, ..
+        } = &self.attachment
+        {
+            if self.rank != node as usize {
+                let abort_stream = (self.await_gather || self.await_scatter).then(|| self.stream());
+                ctx.send_now(
+                    *card,
+                    InicRecover {
+                        dead: own[node as usize],
+                        abort_stream,
+                    },
+                );
+            }
+        }
+        ctx.stats().counter(&self.label, "card_failovers").inc();
+        self.failed_over = true;
+        self.epoch += 1;
+        self.attachment = Attachment::Tcp { nic, macs };
+        self.rx.clear();
+        self.await_gather = false;
+        self.await_scatter = false;
+        self.await_tcp = false;
+        self.in_charge = false;
+        self.pending_sum_elems = 0;
+        self.ckpts.clear();
+        self.done = false;
+        let started = self.timings.started_at;
+        self.timings = CollTimings::default();
+        self.timings.started_at = started.or(Some(ctx.now()));
+        self.round = 0;
+        self.state = self.schedule.init_state(&self.input);
+        self.current_phase = "init";
+        self.phase_entered = ctx.now();
+        self.started = true;
+        self.start_round(ctx);
+    }
+
+    /// Rank-local failover: only the dead rank degrades; healthy ranks
+    /// purge the casualty from their cards, and everyone reports its
+    /// resumable round to the coordinator.
+    fn rank_local_failover(&mut self, node: u32, coord: ComponentId, ctx: &mut Ctx) {
+        let node_idx = node as usize;
+        if !self.dead.insert(node_idx) {
+            return;
+        }
+        // Streams announced before the bump can never complete once the
+        // peer set changed; tell the card which one to abort.
+        let abort_stream = (self.await_gather || self.await_scatter).then(|| self.stream());
+        self.epoch += 1;
+        self.paused = true;
+        self.await_gather = false;
+        self.await_scatter = false;
+        self.await_tcp = false;
+        self.in_charge = false;
+        self.pending_sum_elems = 0;
+        if self.rank == node_idx {
+            let (nic, macs) = match &self.attachment {
+                Attachment::Inic {
+                    fallback: Some(fb), ..
+                } => fb.clone(),
+                Attachment::Inic { .. } => {
+                    panic!("{}: card failure without a wired fallback path", self.label)
+                }
+                Attachment::Tcp { .. } => unreachable!("a TCP rank's card cannot die twice"),
+            };
+            ctx.stats().counter(&self.label, "card_failovers").inc();
+            self.failed_over = true;
+            self.attachment = Attachment::Tcp { nic, macs };
+        } else if let Attachment::Inic { card, macs, .. } = &self.attachment {
+            ctx.send_now(
+                *card,
+                InicRecover {
+                    dead: macs[node_idx],
+                    abort_stream,
+                },
+            );
+        }
+        ctx.send_in(
+            RECOVERY_LATENCY,
+            coord,
+            RecoveryReport {
+                rank: self.rank as u32,
+                round: self.epoch,
+                phase: self.completed_round(),
+            },
         );
-        ctx.stats().counter("cluster", "drivers_done").inc();
+    }
+
+    /// Coordinator verdict: every rank resumes from the cluster-wide
+    /// minimum completed round. Ranks that already finished rejoin —
+    /// peers re-executing earlier rounds need their messages, and the
+    /// lockstep determinism makes the re-execution bit-identical.
+    fn on_resume_at(&mut self, r: ResumeAt, ctx: &mut Ctx) {
+        if r.round != self.epoch {
+            return;
+        }
+        if !self.configured && matches!(self.attachment, Attachment::Inic { .. }) {
+            // The failure landed inside the configuration window: park
+            // the resume until the bitstream load completes.
+            self.pending_resume = Some(r);
+            return;
+        }
+        self.paused = false;
+        self.resumed_from = Some(r.phase);
+        ctx.stats().counter(&self.label, "phase_resumes").inc();
+        if r.phase as usize >= self.schedule.rounds.len() {
+            // Every rank had already completed the schedule; nothing to
+            // re-run.
+            return;
+        }
+        self.done = false;
+        self.round = r.phase as usize;
+        self.state = if r.phase == 0 {
+            self.schedule.init_state(&self.input)
+        } else {
+            self.ckpts
+                .get(&r.phase)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "{}: resume round {} without its checkpoint",
+                        self.label, r.phase
+                    )
+                })
+                .clone()
+        };
+        self.started = true;
+        if self.timings.started_at.is_none() {
+            self.timings.started_at = Some(ctx.now());
+        }
+        self.phase_entered = ctx.now();
+        self.start_round(ctx);
+        // Degraded peers running ahead may have pre-delivered their
+        // legs for the resumed round.
+        self.try_complete_tcp_round(ctx);
+        self.try_complete_inic_tcp_legs(ctx);
     }
 }
 
 impl Component for CollDriver {
     fn handle(&mut self, ev: Box<dyn Any>, ctx: &mut Ctx) {
+        // A stalled host defers everything it would have serviced.
+        let ev = match ev.downcast::<Deferred>() {
+            Ok(d) => d.0,
+            Err(ev) => ev,
+        };
+        if let Some(release) = self.fault_ctl.stalls.deferral(ctx.now()) {
+            ctx.stats().counter(&self.label, "stall_deferrals").inc();
+            ctx.self_in(release.since(ctx.now()), Deferred(ev));
+            return;
+        }
         if ev.downcast_ref::<()>().is_some() {
             match (&self.attachment, &self.offload) {
                 (Attachment::Inic { card, .. }, Some(plan)) => {
@@ -491,12 +883,36 @@ impl Component for CollDriver {
             }
             return;
         }
+        let ev = match ev.downcast::<CardFailed>() {
+            Ok(f) => {
+                self.on_card_failed(f.node, ctx);
+                return;
+            }
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<ResumeAt>() {
+            Ok(r) => {
+                self.on_resume_at(*r, ctx);
+                return;
+            }
+            Err(ev) => ev,
+        };
         let ev = match ev.downcast::<InicConfigured>() {
             Ok(cfg) => {
+                if self.failed_over {
+                    // The configuration completed after this rank had
+                    // already abandoned its card.
+                    return;
+                }
                 cfg.result.unwrap_or_else(|e| {
                     panic!("{}: collective bitstream rejected: {e}", self.label)
                 });
-                self.begin(ctx);
+                self.configured = true;
+                if let Some(r) = self.pending_resume.take() {
+                    self.on_resume_at(r, ctx);
+                } else if !self.paused {
+                    self.begin(ctx);
+                }
                 return;
             }
             Err(ev) => ev,
@@ -512,6 +928,7 @@ impl Component for CollDriver {
                     .or_default()
                     .extend_from_slice(&d.data);
                 self.try_complete_tcp_round(ctx);
+                self.try_complete_inic_tcp_legs(ctx);
                 return;
             }
             Err(ev) => ev,
@@ -525,6 +942,12 @@ impl Component for CollDriver {
         };
         let ev = match ev.downcast::<InicScatterDone>() {
             Ok(s) => {
+                if self.epoch > 0 && (self.done || s.stream != self.stream() || !self.await_scatter)
+                {
+                    // A pre-failover scatter completing against a dead
+                    // epoch.
+                    return;
+                }
                 assert_eq!(s.stream, self.stream(), "{}: stale scatter", self.label);
                 assert!(self.await_scatter, "{}: unexpected scatter", self.label);
                 self.await_scatter = false;
@@ -533,19 +956,19 @@ impl Component for CollDriver {
             }
             Err(ev) => ev,
         };
-        if ev.downcast_ref::<RoundChargeDone>().is_some() {
+        if let Some(done) = ev.downcast_ref::<RoundChargeDone>() {
+            if done.0 != self.epoch {
+                // A charge window armed before a failover.
+                return;
+            }
             assert!(self.in_charge, "{}: stray charge completion", self.label);
             self.in_charge = false;
             self.timings.compute += ctx.now().since(self.charge_started);
-            self.round += 1;
+            self.advance_round();
             self.start_round(ctx);
-            // A TCP peer may have pre-delivered the next round.
+            // A peer may have pre-delivered the next round.
             self.try_complete_tcp_round(ctx);
-            return;
-        }
-        if ev.downcast_ref::<super::CardFailed>().is_some() {
-            // The collective engine has no degradation path (yet): the
-            // run fails to quiesce and the liveness layer attributes it.
+            self.try_complete_inic_tcp_legs(ctx);
             return;
         }
         panic!("{}: unknown event", self.label);
@@ -560,14 +983,21 @@ impl Component for CollDriver {
             return None;
         }
         Some(format!(
-            "rank {} in {} (round {}/{}, gather={}, scatter={}, charge={})",
+            "rank {} in {} (round {}/{}, epoch {}, gather={}, scatter={}, tcp={}, charge={}{})",
             self.rank,
             self.phase_name(),
             self.round,
             self.schedule.rounds.len(),
+            self.epoch,
             self.await_gather,
             self.await_scatter,
+            self.await_tcp,
             self.in_charge,
+            if self.paused {
+                ", parked for recovery resume"
+            } else {
+                ""
+            },
         ))
     }
 }

@@ -133,6 +133,9 @@ pub struct RecoveryReport {
     /// to; reports from different rounds are never mixed.
     pub round: u64,
     /// Highest phase checkpoint this rank holds (its phase counter).
+    /// The collective engine reports *completed rounds* here — the
+    /// coordinator's minimum is then the last round whose checkpoint
+    /// every survivor can restore.
     pub phase: u32,
 }
 

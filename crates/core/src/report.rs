@@ -173,9 +173,11 @@ pub struct FaultDiagnostics {
     /// Card reconfiguration windows that completed and resumed the
     /// datapath without data loss (summed across all cards).
     pub reconfig_windows_survived: u64,
-    /// The checkpoint phase the collective resumed from after the last
-    /// card failure (`None` when no failover happened; `Some(0)` means
-    /// a from-scratch restart).
+    /// The coordinator-agreed checkpoint phase (completed round, for
+    /// collectives) the run resumed from after the last card failure.
+    /// `None` when no coordinated resume happened — a clean run, or a
+    /// full restart, which starts over without any coordinator;
+    /// `Some(0)` means the coordinator agreed on a from-scratch redo.
     pub resumed_from_phase: Option<u32>,
 }
 

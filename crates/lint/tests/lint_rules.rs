@@ -55,6 +55,19 @@ fn r1_covers_the_collective_engine_crate() {
 }
 
 #[test]
+fn r1_covers_the_collective_recovery_module() {
+    // The recovery re-planner partitions round legs by dead-set
+    // membership; an unordered set there would reorder the rerouted
+    // TCP side streams between runs and break byte-identical resumes.
+    let report = check("r1_violate.rs", "crates/coll/src/recovery.rs");
+    let rules = rules_of(&report);
+    assert!(
+        !rules.is_empty() && rules.iter().all(|&r| r == Rule::R1),
+        "recovery is deterministic, HashMap must flag: {report:?}"
+    );
+}
+
+#[test]
 fn r1_does_not_apply_outside_deterministic_crates() {
     let report = check("r1_violate.rs", "crates/bench/src/table.rs");
     assert!(

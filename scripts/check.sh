@@ -37,4 +37,9 @@ echo "== ablation_collectives --smoke (executor-fanned collective matrix)"
 # mode matrix; ACC_JOBS=2 for the same two-code-path reason as above.
 ACC_JOBS=2 ./target/release/ablation_collectives --smoke > /dev/null
 
+echo "== ablation_coll_faults --smoke (collective recovery-policy grid)"
+# Smoke sweep of the fault-recovery grid: every collective survives a
+# mid-schedule card kill under all three recovery policies.
+ACC_JOBS=2 ./target/release/ablation_coll_faults --smoke > /dev/null
+
 echo "All tier-1 checks passed."
