@@ -7,7 +7,12 @@ use std::any::Any;
 
 use acc_bench::harness::bench;
 use acc_core::cluster::{run_fft, run_sort, ClusterSpec, Technology};
-use acc_sim::{Component, Ctx, SimDuration, SimTime, Simulation, StatsRegistry};
+use acc_net::{
+    EtherType, EthernetKind, Frame, FrameArrival, LinkParams, MacAddr, Switch, SwitchParams,
+};
+use acc_sim::{
+    Component, ComponentId, Ctx, EventQueue, SimDuration, SimTime, Simulation, StatsRegistry,
+};
 
 /// A component that bounces an event to itself `n` times.
 struct Bouncer {
@@ -26,6 +31,17 @@ impl Component for Bouncer {
     }
 }
 
+/// Absorbs frame arrivals; the far end of every switch port in the
+/// broadcast-fanout bench.
+struct Sink;
+
+impl Component for Sink {
+    fn handle(&mut self, _ev: Box<dyn Any>, _ctx: &mut Ctx) {}
+    fn name(&self) -> &str {
+        "sink"
+    }
+}
+
 fn main() {
     let events = 100_000u64;
     bench(
@@ -37,6 +53,71 @@ fn main() {
             let mut sim = Simulation::new(0);
             let id = sim.add(Bouncer { remaining: events });
             sim.schedule_at(SimTime::ZERO, id, ());
+            sim.run();
+            sim.events_processed()
+        },
+    );
+
+    // The scheduler under a deep pending set — the shape of sort_2e24
+    // at p=1024, where the heap paid O(log n) per operation. Steady
+    // state: 10k live events, every pop schedules a replacement far in
+    // the future so events migrate down the wheel hierarchy.
+    let churn_pops = 200_000u64;
+    bench(
+        "des_kernel",
+        "queue_churn_depth_10k",
+        20,
+        Some(churn_pops),
+        || {
+            let mut q = EventQueue::new();
+            let id = ComponentId::from_raw(0);
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_ps(i * 37_321), id, Box::new(()));
+            }
+            let mut last = 0u64;
+            for _ in 0..churn_pops {
+                let ev = q.pop().expect("queue stays at depth 10k");
+                last = ev.time.as_ps();
+                q.push(SimTime::from_ps(last + 373_210_000), id, Box::new(()));
+            }
+            last
+        },
+    );
+
+    // Broadcast fan-out through the store-and-forward switch: every
+    // broadcast replicates to 31 egress ports, which before the shared
+    // PayloadView deep-copied ~1 KiB per replica.
+    let storms = 500u64;
+    let fan_ports = 32usize;
+    bench(
+        "net_fabric",
+        "broadcast_fanout_p32_500",
+        10,
+        Some(storms * (fan_ports as u64 - 1)),
+        || {
+            let mut sim = Simulation::new(7);
+            let link = LinkParams::for_kind(EthernetKind::Gigabit);
+            let sink_ids: Vec<_> = (0..fan_ports).map(|_| sim.reserve_id()).collect();
+            let switch_id = sim.reserve_id();
+            let mut switch = Switch::new("sw", SwitchParams::default());
+            for (i, &sid) in sink_ids.iter().enumerate() {
+                switch.attach(MacAddr::for_node(i, 0), sid, 0, link);
+                sim.register(sid, Sink);
+            }
+            sim.register(switch_id, switch);
+            for k in 0..storms {
+                let frame = Frame::new(
+                    MacAddr::for_node(0, 0),
+                    MacAddr::BROADCAST,
+                    EtherType::Other(0),
+                    vec![k as u8; 1024],
+                );
+                sim.schedule_at(
+                    SimTime::ZERO + SimDuration::from_micros(10 * k),
+                    switch_id,
+                    FrameArrival { port: 0, frame },
+                );
+            }
             sim.run();
             sim.events_processed()
         },

@@ -25,9 +25,18 @@
 //! `BENCH_campaign.smoke.json` instead, and is wired into
 //! `scripts/check.sh` so the executor's two code paths are exercised on
 //! every push; the timings are recorded, never gated on.
+//!
+//! Every invocation also appends one line to the append-only
+//! `BENCH_history.jsonl` at the repository root (per-point serial
+//! microseconds, keyed by mode), and `--check` compares the current run
+//! against the last recorded entry of the same mode: a >25% median
+//! slowdown across points prints a loud warning. The warning never
+//! fails the build — on shared CI runners wall time is too noisy to
+//! gate on — but it makes creeping regressions visible in the log
+//! instead of silently accumulating.
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Instant, SystemTime};
 
 use acc_bench::{executor, figure_spec, Executor};
 use acc_coll::{Algorithm, CollectiveOp};
@@ -113,8 +122,102 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// One line of `BENCH_history.jsonl`: flat, greppable, append-only.
+fn history_line(mode: &str, jobs: usize, per_point: &[(&str, f64)], parallel_secs: f64) -> String {
+    let unix_secs = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{{\"unix_secs\": {unix_secs}, \"mode\": \"{mode}\", \"jobs\": {jobs}, \"serial_us\": {{"
+    );
+    for (i, (label, secs)) in per_point.iter().enumerate() {
+        let comma = if i + 1 < per_point.len() { ", " } else { "" };
+        let _ = write!(
+            line,
+            "\"{}\": {}{comma}",
+            json_escape(label),
+            (secs * 1e6).round() as u64
+        );
+    }
+    let _ = write!(
+        line,
+        "}}, \"parallel_us\": {}}}",
+        (parallel_secs * 1e6).round() as u64
+    );
+    line
+}
+
+/// Parse the `"serial_us": {"label": us, ...}` map out of one history
+/// line. Hand-rolled for the fixed shape `history_line` writes — not a
+/// general JSON parser.
+fn parse_history_points(line: &str) -> Vec<(String, u64)> {
+    let Some(start) = line.find("\"serial_us\": {") else {
+        return Vec::new();
+    };
+    let body = &line[start + "\"serial_us\": {".len()..];
+    let Some(end) = body.find('}') else {
+        return Vec::new();
+    };
+    body[..end]
+        .split(", ")
+        .filter_map(|pair| {
+            let (label, us) = pair.split_once("\": ")?;
+            Some((label.trim_start_matches('"').to_string(), us.parse().ok()?))
+        })
+        .collect()
+}
+
+/// Compare this run's per-point serial times against the last history
+/// entry of the same mode; print a non-gating warning if the median
+/// slowdown exceeds 25%.
+fn check_against_history(history: &str, mode: &str, per_point: &[(&str, f64)]) {
+    let Some(prev) = history
+        .lines()
+        .rev()
+        .find(|l| l.contains(&format!("\"mode\": \"{mode}\"")))
+    else {
+        println!("bench --check: no prior {mode} entry in BENCH_history.jsonl; nothing to compare");
+        return;
+    };
+    let prev_points = parse_history_points(prev);
+    let mut ratios: Vec<f64> = per_point
+        .iter()
+        .filter_map(|(label, secs)| {
+            let (_, prev_us) = prev_points.iter().find(|(l, _)| l == label)?;
+            if *prev_us == 0 {
+                return None;
+            }
+            Some(secs * 1e6 / *prev_us as f64)
+        })
+        .collect();
+    if ratios.is_empty() {
+        println!("bench --check: no overlapping points with the last {mode} entry");
+        return;
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let median = ratios[ratios.len() / 2];
+    if median > 1.25 {
+        println!(
+            "WARNING: bench --check: median serial time is {:.0}% slower than the last \
+             recorded {mode} run ({} of {} points compared). Not gating — wall time is \
+             noisy — but worth a look before merging.",
+            (median - 1.0) * 100.0,
+            ratios.len(),
+            per_point.len()
+        );
+    } else {
+        println!(
+            "bench --check: median ratio {median:.2}x vs last {mode} entry ({} points) — ok",
+            ratios.len()
+        );
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let check = std::env::args().any(|a| a == "--check");
     let ex = Executor::from_cli();
     let matrix = points(smoke);
     let labels: Vec<&str> = matrix.iter().map(|(l, _)| l.as_str()).collect();
@@ -162,10 +265,14 @@ fn main() {
     let _ = writeln!(json, "  \"points\": [");
     for (i, (label, secs)) in per_point.iter().enumerate() {
         let comma = if i + 1 < per_point.len() { "," } else { "" };
+        // `serial_secs` is kept for readers of the old shape; `serial_us`
+        // is the authoritative value — smoke points finish in hundreds of
+        // microseconds and used to flatten to "0.000".
         let _ = writeln!(
             json,
-            "    {{\"label\": \"{}\", \"serial_secs\": {secs:.3}}}{comma}",
-            json_escape(label)
+            "    {{\"label\": \"{}\", \"serial_secs\": {secs:.3}, \"serial_us\": {}}}{comma}",
+            json_escape(label),
+            (secs * 1e6).round() as u64
         );
     }
     let _ = writeln!(json, "  ],");
@@ -184,6 +291,22 @@ fn main() {
         .join(file);
     std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
     let path = path.canonicalize().unwrap_or(path);
+
+    // History: compare first (against the previous entry), then append
+    // this run, so `--check` never compares a run against itself.
+    let history_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_history.jsonl");
+    let history = std::fs::read_to_string(&history_path).unwrap_or_default();
+    if check {
+        check_against_history(&history, mode, &per_point);
+    }
+    let entry = history_line(mode, ex.jobs(), &per_point, parallel_secs);
+    let mut appended = history;
+    appended.push_str(&entry);
+    appended.push('\n');
+    std::fs::write(&history_path, appended)
+        .unwrap_or_else(|e| panic!("appending {}: {e}", history_path.display()));
 
     println!("# campaign wall-clock ({mode}): {} points", labels.len());
     for (label, secs) in &per_point {

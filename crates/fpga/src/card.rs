@@ -979,7 +979,8 @@ impl InicCard {
         match chunk.dest {
             Some(mac) => {
                 let t3 = self.ports.net_out(ctx.now(), bytes);
-                let frame = Frame::new(self.mac, mac, EtherType::Inic, chunk.pkt.encode());
+                let frame = Frame::try_new(self.mac, mac, EtherType::Inic, chunk.pkt.encode())
+                    .unwrap_or_else(|e| panic!("{}: tx packet exceeds MTU ({e})", self.label));
                 ctx.self_in(t3.since(ctx.now()), EmitFrame { frame });
                 if self.reliability {
                     // Keep a copy until the receiver ACKs the stream,
@@ -1399,7 +1400,8 @@ impl InicCard {
     fn send_control(&mut self, mac: MacAddr, pkt: InicPacket, ctx: &mut Ctx) {
         let bytes = DataSize::from_bytes(INIC_HEADER as u64);
         let t = self.ports.net_out(ctx.now(), bytes);
-        let frame = Frame::new(self.mac, mac, EtherType::Inic, pkt.encode());
+        let frame = Frame::try_new(self.mac, mac, EtherType::Inic, pkt.encode())
+            .unwrap_or_else(|e| panic!("{}: control packet exceeds MTU ({e})", self.label));
         ctx.self_in(t.since(ctx.now()), EmitFrame { frame });
     }
 
@@ -1422,7 +1424,8 @@ impl InicCard {
         ctx.stats().counter(&self.label, "retransmits").inc();
         let bytes = DataSize::from_bytes((pkt.data.len() + INIC_HEADER) as u64);
         let t = self.ports.net_out(ctx.now(), bytes);
-        let frame = Frame::new(self.mac, mac, EtherType::Inic, pkt.encode());
+        let frame = Frame::try_new(self.mac, mac, EtherType::Inic, pkt.encode())
+            .unwrap_or_else(|e| panic!("{}: resend packet exceeds MTU ({e})", self.label));
         ctx.self_in(t.since(ctx.now()), EmitFrame { frame });
     }
 
@@ -1500,7 +1503,8 @@ impl InicCard {
             ctx.stats().counter(&label, "retransmits").inc();
             let bytes = DataSize::from_bytes((pkt.data.len() + INIC_HEADER) as u64);
             let t = self.ports.net_out(ctx.now(), bytes);
-            let frame = Frame::new(self.mac, dest, EtherType::Inic, pkt.encode());
+            let frame = Frame::try_new(self.mac, dest, EtherType::Inic, pkt.encode())
+                .unwrap_or_else(|e| panic!("{label}: retransmit exceeds MTU ({e})"));
             ctx.self_in(t.since(ctx.now()), EmitFrame { frame });
         }
     }

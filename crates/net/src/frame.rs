@@ -1,4 +1,8 @@
-//! Ethernet frames and addresses.
+//! Ethernet frames, addresses, and shared payload views.
+
+use std::fmt;
+use std::ops::Deref;
+use std::rc::Rc;
 
 use acc_sim::DataSize;
 
@@ -44,10 +48,185 @@ pub enum EtherType {
     Other(u16),
 }
 
+/// Why a frame could not be constructed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FrameError {
+    /// Payload exceeds [`MAX_PAYLOAD`]; segmentation is the sender's job
+    /// and oversize frames indicate a protocol bug.
+    Oversize {
+        /// The offending payload length in bytes.
+        len: u64,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Oversize { len } => {
+                write!(f, "payload {len} exceeds Ethernet MTU {MAX_PAYLOAD}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A cheaply clonable view into immutable shared payload bytes.
+///
+/// Switch fan-out, retransmit buffers, and trace captures all hold the
+/// *same* backing allocation behind an `Rc`; cloning a view (and thus a
+/// [`Frame`]) bumps a refcount instead of deep-copying up to 1500 bytes.
+/// The only mutation path is [`make_mut`](PayloadView::make_mut), which
+/// is copy-on-write: a shared view materializes a private copy of just
+/// its visible range, so impairment corruption on one replicated frame
+/// never leaks into the other copies.
+#[derive(Clone)]
+pub struct PayloadView {
+    bytes: Rc<Vec<u8>>,
+    off: u32,
+    len: u32,
+}
+
+impl PayloadView {
+    /// An empty view.
+    pub fn empty() -> PayloadView {
+        PayloadView {
+            bytes: Rc::new(Vec::new()),
+            off: 0,
+            len: 0,
+        }
+    }
+
+    /// Wrap an owned buffer (no copy).
+    pub fn new(bytes: Vec<u8>) -> PayloadView {
+        let len = u32::try_from(bytes.len()).expect("payload buffer exceeds u32 range");
+        PayloadView {
+            bytes: Rc::new(bytes),
+            off: 0,
+            len,
+        }
+    }
+
+    /// Bytes visible through this view.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The viewed bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes[self.off as usize..(self.off + self.len) as usize]
+    }
+
+    /// A sub-view of `self` sharing the same backing allocation
+    /// (`start..end` are offsets within this view, like slice indexing).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds — callers slice at most
+    /// `self.len()`, so an overrun is a segmentation bug worth failing
+    /// loudly on.
+    pub fn subview(&self, start: usize, end: usize) -> PayloadView {
+        assert!(
+            start <= end && end <= self.len(),
+            "subview {start}..{end} out of bounds for payload of {} bytes",
+            self.len()
+        );
+        PayloadView {
+            bytes: Rc::clone(&self.bytes),
+            off: self.off + start as u32,
+            len: (end - start) as u32,
+        }
+    }
+
+    /// Copy the viewed bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Mutable access to the viewed bytes, copy-on-write.
+    ///
+    /// If the backing allocation is shared (other frames hold clones of
+    /// this view) or the view covers a sub-range, the visible bytes are
+    /// first materialized into a private full-range buffer; mutations
+    /// then affect only this view.
+    pub fn make_mut(&mut self) -> &mut [u8] {
+        let whole = self.off == 0 && self.len as usize == self.bytes.len();
+        if !whole || Rc::strong_count(&self.bytes) != 1 {
+            *self = PayloadView::new(self.to_vec());
+        }
+        Rc::get_mut(&mut self.bytes).expect("payload COW buffer uniquely owned")
+    }
+
+    /// How many views (frames) currently share the backing allocation.
+    pub fn ref_count(&self) -> usize {
+        Rc::strong_count(&self.bytes)
+    }
+}
+
+impl Deref for PayloadView {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for PayloadView {
+    fn from(bytes: Vec<u8>) -> PayloadView {
+        PayloadView::new(bytes)
+    }
+}
+
+impl From<&[u8]> for PayloadView {
+    fn from(bytes: &[u8]) -> PayloadView {
+        PayloadView::new(bytes.to_vec())
+    }
+}
+
+impl PartialEq for PayloadView {
+    fn eq(&self, other: &PayloadView) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for PayloadView {}
+
+impl PartialEq<Vec<u8>> for PayloadView {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<PayloadView> for Vec<u8> {
+    fn eq(&self, other: &PayloadView) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[u8]> for PayloadView {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl fmt::Debug for PayloadView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PayloadView")
+            .field("len", &self.len)
+            .field("off", &self.off)
+            .field("shared", &(Rc::strong_count(&self.bytes) > 1))
+            .finish()
+    }
+}
+
 /// A simulated Ethernet frame.
 ///
 /// The payload carries *real bytes* — the data that applications sort and
 /// transform — so end-to-end correctness is checked, not just timing.
+/// Cloning a frame shares the payload allocation (see [`PayloadView`]).
 #[derive(Clone, Debug)]
 pub struct Frame {
     /// Source address.
@@ -56,29 +235,46 @@ pub struct Frame {
     pub dst: MacAddr,
     /// Carried protocol.
     pub ethertype: EtherType,
-    /// Payload bytes.
-    pub payload: Vec<u8>,
+    /// Payload bytes (shared, copy-on-write).
+    pub payload: PayloadView,
 }
 
 impl Frame {
-    /// Build a frame.
-    ///
-    /// # Panics
-    /// Panics if the payload exceeds [`MAX_PAYLOAD`]; segmentation is the
-    /// sender's job and oversize frames indicate a protocol bug.
-    pub fn new(src: MacAddr, dst: MacAddr, ethertype: EtherType, payload: Vec<u8>) -> Frame {
-        assert!(
-            payload.len() as u64 <= MAX_PAYLOAD,
-            "payload {} exceeds Ethernet MTU {}",
-            payload.len(),
-            MAX_PAYLOAD
-        );
-        Frame {
+    /// Build a frame, rejecting oversize payloads.
+    pub fn try_new(
+        src: MacAddr,
+        dst: MacAddr,
+        ethertype: EtherType,
+        payload: impl Into<PayloadView>,
+    ) -> Result<Frame, FrameError> {
+        let payload = payload.into();
+        if payload.len() as u64 > MAX_PAYLOAD {
+            return Err(FrameError::Oversize {
+                len: payload.len() as u64,
+            });
+        }
+        Ok(Frame {
             src,
             dst,
             ethertype,
             payload,
-        }
+        })
+    }
+
+    /// Build a frame.
+    ///
+    /// # Panics
+    /// Panics if the payload exceeds [`MAX_PAYLOAD`]; segmentation is the
+    /// sender's job and oversize frames indicate a protocol bug. Callers
+    /// that would rather surface the error use [`try_new`](Self::try_new).
+    pub fn new(
+        src: MacAddr,
+        dst: MacAddr,
+        ethertype: EtherType,
+        payload: impl Into<PayloadView>,
+    ) -> Frame {
+        Frame::try_new(src, dst, ethertype, payload)
+            .unwrap_or_else(|e| panic!("frame {src:?} -> {dst:?}: {e}"))
     }
 
     /// Bytes this frame occupies on the wire, including overhead, padding
@@ -134,6 +330,19 @@ mod tests {
     }
 
     #[test]
+    fn try_new_reports_oversize_without_panicking() {
+        let err = Frame::try_new(
+            MacAddr::for_node(0, 0),
+            MacAddr::for_node(1, 0),
+            EtherType::Other(0),
+            vec![0u8; 1501],
+        )
+        .unwrap_err();
+        assert_eq!(err, FrameError::Oversize { len: 1501 });
+        assert!(err.to_string().contains("exceeds Ethernet MTU"));
+    }
+
+    #[test]
     fn macs_are_unique_per_node_and_nic() {
         let mut seen = std::collections::HashSet::new();
         for node in 0..16 {
@@ -148,5 +357,60 @@ mod tests {
         let f = frame(1024);
         assert!(f.buffer_size().bytes() < f.wire_size().bytes());
         assert_eq!(f.buffer_size().bytes(), 1042);
+    }
+
+    #[test]
+    fn cloned_frames_share_payload_allocation() {
+        let f = frame(1000);
+        let g = f.clone();
+        let h = f.clone();
+        assert_eq!(f.payload.ref_count(), 3);
+        assert_eq!(g.payload, h.payload);
+    }
+
+    #[test]
+    fn make_mut_on_shared_view_copies_on_write() {
+        let mut f = frame(100);
+        let g = f.clone();
+        f.payload.make_mut()[0] ^= 0xFF;
+        assert_ne!(f.payload[0], g.payload[0], "corruption leaked into clone");
+        assert_eq!(g.payload, vec![0u8; 100], "shared copy must stay pristine");
+        assert_eq!(g.payload.ref_count(), 1, "COW detached the mutated view");
+    }
+
+    #[test]
+    fn make_mut_on_unique_view_mutates_in_place() {
+        let mut v = PayloadView::new(vec![1, 2, 3]);
+        let before = v.ref_count();
+        v.make_mut()[1] = 9;
+        assert_eq!(before, 1);
+        assert_eq!(v, vec![1u8, 9, 3]);
+    }
+
+    #[test]
+    fn subview_shares_backing_and_bounds_check() {
+        let v = PayloadView::new((0u8..100).collect());
+        let mid = v.subview(10, 20);
+        assert_eq!(mid.len(), 10);
+        assert_eq!(&mid[..], &(10u8..20).collect::<Vec<_>>()[..]);
+        assert_eq!(v.ref_count(), 2, "subview shares the allocation");
+        let nested = mid.subview(5, 10);
+        assert_eq!(&nested[..], &(15u8..20).collect::<Vec<_>>()[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn subview_past_end_rejected() {
+        PayloadView::new(vec![0; 10]).subview(5, 11);
+    }
+
+    #[test]
+    fn make_mut_on_subview_materializes_only_visible_range() {
+        let v = PayloadView::new((0u8..100).collect());
+        let mut mid = v.subview(10, 20);
+        mid.make_mut()[0] = 0xAA;
+        assert_eq!(mid.len(), 10);
+        assert_eq!(mid[0], 0xAA);
+        assert_eq!(v[10], 10, "parent view untouched by COW");
     }
 }

@@ -24,7 +24,7 @@ pub mod port;
 pub mod presets;
 pub mod switch;
 
-pub use frame::{EtherType, Frame, MacAddr};
+pub use frame::{EtherType, Frame, FrameError, MacAddr, PayloadView};
 pub use impair::{ImpairCounters, Impairment, Verdict};
 pub use port::{EgressPort, FrameArrival, PortTxDone};
 pub use presets::{EthernetKind, LinkParams, SwitchParams};

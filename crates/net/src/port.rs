@@ -166,7 +166,10 @@ impl EgressPort {
                     }
                     return;
                 }
-                Verdict::Corrupt => imp.corrupt_payload(&mut frame.payload),
+                // COW: a frame replicated by switch fan-out detaches its
+                // private payload copy here, so corruption on this link
+                // never leaks into the other replicas.
+                Verdict::Corrupt => imp.corrupt_payload(frame.payload.make_mut()),
                 Verdict::Delay(d) => extra = d,
                 Verdict::Deliver => {}
             }

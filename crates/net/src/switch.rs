@@ -111,17 +111,7 @@ impl Switch {
     fn forward(&mut self, ingress: usize, frame: Frame, ctx: &mut Ctx) {
         let latency = self.params.forwarding_latency;
         if frame.dst == MacAddr::BROADCAST {
-            for out in 0..self.ports.len() {
-                if out != ingress {
-                    ctx.self_in(
-                        latency,
-                        Forward {
-                            out,
-                            frame: frame.clone(),
-                        },
-                    );
-                }
-            }
+            self.flood(ingress, frame, ctx);
             return;
         }
         match self.mac_table.get(&frame.dst) {
@@ -132,19 +122,33 @@ impl Switch {
             None => {
                 // Unknown unicast: flood, as a learning switch would before
                 // the table is warm.
-                for out in 0..self.ports.len() {
-                    if out != ingress {
-                        ctx.self_in(
-                            latency,
-                            Forward {
-                                out,
-                                frame: frame.clone(),
-                            },
-                        );
-                    }
-                }
+                self.flood(ingress, frame, ctx);
             }
         }
+    }
+
+    /// Replicate `frame` to every port except `ingress`. Each replica
+    /// shares the same payload allocation (the `Frame` clone bumps a
+    /// refcount — see [`crate::frame::PayloadView`]); the highest egress
+    /// port takes the original by move, so an N-port flood performs zero
+    /// payload copies.
+    fn flood(&mut self, ingress: usize, frame: Frame, ctx: &mut Ctx) {
+        let latency = self.params.forwarding_latency;
+        let Some(last) = (0..self.ports.len()).rev().find(|&out| out != ingress) else {
+            return;
+        };
+        for out in 0..last {
+            if out != ingress {
+                ctx.self_in(
+                    latency,
+                    Forward {
+                        out,
+                        frame: frame.clone(),
+                    },
+                );
+            }
+        }
+        ctx.self_in(latency, Forward { out: last, frame });
     }
 }
 

@@ -490,7 +490,8 @@ impl TcpHostNic {
         };
         conn.segs_since_ack = 0;
         let payload = header.encode(data);
-        let frame = Frame::new(self.mac, key.peer, EtherType::Ipv4, payload);
+        let frame = Frame::try_new(self.mac, key.peer, EtherType::Ipv4, payload)
+            .unwrap_or_else(|e| panic!("{}: segment exceeds MTU ({e})", self.label));
         // Pace by the host TX path: fixed per-segment cost plus PCI
         // streaming time, serialized through one DMA engine.
         let dma = self.path.per_segment_tx

@@ -165,27 +165,34 @@ impl Simulation {
     }
 
     /// Process a single event. Returns `false` when the queue is empty.
+    #[inline]
     pub fn step(&mut self) -> bool {
         let Some(ev) = self.queue.pop() else {
             return false;
         };
+        self.dispatch(ev);
+        true
+    }
+
+    /// Deliver one popped event to its component. The failure paths
+    /// (limit breach, unregistered target, traced panics) are outlined
+    /// so this body inlines into the run loops.
+    #[inline]
+    fn dispatch(&mut self, ev: crate::event::ScheduledEvent) {
         debug_assert!(ev.time >= self.now, "event queue produced stale event");
         self.now = ev.time;
         self.events_processed += 1;
         if self.events_processed > self.event_limit {
-            // acc-lint: allow(R5, reason = "livelock breaker: exceeding the event limit means the scenario will never converge; fail loudly with the trace dump rather than spin forever")
-            panic!(
-                "event limit exceeded ({} events) — likely livelock.\n{}",
-                self.event_limit,
-                self.trace.dump()
-            );
+            self.event_limit_breached();
         }
-        let slot = self.components[ev.target.index()]
-            .take()
-            // acc-lint: allow(R5, reason = "wiring invariant: an event addressed to an unregistered component is a scenario construction bug; no recovery is possible mid-run")
-            .unwrap_or_else(|| panic!("event for unregistered component {:?}", ev.target));
-        let mut component = slot;
-        let outcome = {
+        let Some(component) = self.components[ev.target.index()].as_deref_mut() else {
+            unregistered_target(ev.target);
+        };
+        if !self.trace.enabled() {
+            // Hot path: the component is borrowed in place (disjoint from
+            // the queue/rng/stats fields Ctx borrows), and a panic simply
+            // unwinds — with no trace buffer there is nothing to dump, so
+            // the catch_unwind landing pad would be pure overhead.
             let mut ctx = Ctx {
                 now: self.now,
                 self_id: ev.target,
@@ -194,31 +201,56 @@ impl Simulation {
                 stats: &mut self.stats,
                 trace: &mut self.trace,
             };
-            // Catch component panics so a failing scenario assertion
-            // can be annotated with the trace tail before unwinding —
-            // the post-mortem path the trace buffer exists for.
+            component.handle(ev.payload, &mut ctx);
+            return;
+        }
+        // Traced path: catch component panics so a failing scenario
+        // assertion can be annotated with the trace tail before
+        // unwinding — the post-mortem surface the trace buffer exists
+        // for.
+        let target = ev.target;
+        let outcome = {
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: target,
+                queue: &mut self.queue,
+                rng: &mut self.rng,
+                stats: &mut self.stats,
+                trace: &mut self.trace,
+            };
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 component.handle(ev.payload, &mut ctx);
             }))
         };
         if let Err(cause) = outcome {
-            if self.trace.enabled() && !self.quiet {
+            if !self.quiet {
                 eprintln!(
                     "--- trace tail at failure (t={}, component {:?}) ---\n{}",
                     self.now,
-                    ev.target,
+                    target,
                     self.trace.dump_to_string()
                 );
             }
             std::panic::resume_unwind(cause);
         }
-        self.components[ev.target.index()] = Some(component);
-        true
+    }
+
+    /// Livelock breaker, outlined from the dispatch hot path.
+    #[cold]
+    fn event_limit_breached(&self) -> ! {
+        // acc-lint: allow(R5, reason = "livelock breaker: exceeding the event limit means the scenario will never converge; fail loudly with the trace dump rather than spin forever")
+        panic!(
+            "event limit exceeded ({} events) — likely livelock.\n{}",
+            self.event_limit,
+            self.trace.dump()
+        );
     }
 
     /// Run until the event queue is exhausted. Returns the final time.
     pub fn run(&mut self) -> SimTime {
-        while self.step() {}
+        while let Some(ev) = self.queue.pop() {
+            self.dispatch(ev);
+        }
         self.now
     }
 
@@ -312,6 +344,13 @@ impl Simulation {
         }
         self.now
     }
+}
+
+/// Wiring-invariant failure, outlined from the dispatch hot path.
+#[cold]
+fn unregistered_target(target: ComponentId) -> ! {
+    // acc-lint: allow(R5, reason = "wiring invariant: an event addressed to an unregistered component is a scenario construction bug; no recovery is possible mid-run")
+    panic!("event for unregistered component {target:?}");
 }
 
 #[cfg(test)]

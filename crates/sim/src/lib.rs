@@ -61,7 +61,7 @@ pub mod trace;
 
 pub use component::{Component, ComponentId, Ctx};
 pub use engine::Simulation;
-pub use event::EventQueue;
+pub use event::{EventQueue, HeapQueue, TimingWheel};
 pub use liveness::{ComponentWait, HangKind, LivenessReport, Watchdog};
 pub use rng::SimRng;
 pub use stats::StatsRegistry;

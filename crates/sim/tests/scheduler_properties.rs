@@ -1,0 +1,214 @@
+//! Randomized equivalence tests between the timing-wheel scheduler and
+//! the reference `BinaryHeap` queue it replaced.
+//!
+//! The engine's determinism contract hangs on one property: the wheel
+//! pops events in exactly the `(time, seq)` total order the heap would
+//! have produced, for *any* interleaving of pushes and pops. These tests
+//! drive identical randomized sequences through both implementations and
+//! assert identical `(time, seq, target)` pop order — including the
+//! adversarial shapes: same-timestamp bursts (tie-break), deltas spread
+//! across every wheel level, far-future events that land in the overflow
+//! bucket, and drain-to-empty rebasing. All randomness flows through the
+//! kernel's own seeded RNG, so any failure reproduces from the fixed
+//! seeds.
+
+use acc_sim::event::ScheduledEvent;
+use acc_sim::{ComponentId, EventQueue, HeapQueue, SimRng, SimTime, TimingWheel};
+
+/// Pop one event from each queue and assert full agreement, including
+/// the payload (guards against the wheel's slab pool handing back a
+/// recycled slot with the wrong event's payload).
+fn assert_next_identical(wheel: &mut TimingWheel, heap: &mut HeapQueue) -> Option<SimTime> {
+    let w = wheel.pop();
+    let h = heap.pop();
+    match (w, h) {
+        (None, None) => None,
+        (Some(w), Some(h)) => {
+            assert_eq!(
+                (w.time, w.seq, w.target),
+                (h.time, h.seq, h.target),
+                "wheel and heap disagree on pop order"
+            );
+            let wp = w.payload.downcast::<u64>().expect("u64 payload");
+            let hp = h.payload.downcast::<u64>().expect("u64 payload");
+            assert_eq!(wp, hp, "payloads diverged for the same (time, seq)");
+            Some(w.time)
+        }
+        (w, h) => panic!(
+            "queue lengths diverged: wheel yielded {:?}, heap yielded {:?}",
+            w.map(|e| (e.time, e.seq)),
+            h.map(|e| (e.time, e.seq))
+        ),
+    }
+}
+
+/// A time delta whose magnitude exercises a random wheel level: from
+/// sub-slot (same 8.192 ns bucket) through every hierarchy level up to
+/// the 2^61 ps horizon and beyond (overflow bucket).
+fn random_delta(g: &mut SimRng) -> u64 {
+    let shift = g.gen_range(64);
+    g.gen_range(1 << shift)
+}
+
+#[test]
+fn random_push_pop_sequences_pop_identically() {
+    let mut g = SimRng::seed_from(0xB_EE1);
+    for _round in 0..20 {
+        let mut wheel = TimingWheel::new();
+        let mut heap = HeapQueue::new();
+        let mut now = 0u64;
+        let mut live = 0usize;
+        for _ in 0..400 {
+            if live == 0 || g.gen_bool(0.6) {
+                // Push a burst: times anchored at `now`, like a
+                // component scheduling from the current event.
+                let burst = 1 + g.gen_range(8) as usize;
+                for _ in 0..burst {
+                    let t = SimTime::from_ps(now.saturating_add(random_delta(&mut g)));
+                    let target = ComponentId::from_raw(g.gen_range(64) as usize);
+                    let tag = g.next_u64();
+                    wheel.push(t, target, Box::new(tag));
+                    heap.push(t, target, Box::new(tag));
+                    live += 1;
+                }
+            } else {
+                let t = assert_next_identical(&mut wheel, &mut heap).expect("live > 0");
+                now = t.as_ps();
+                live -= 1;
+            }
+            assert_eq!(wheel.len(), heap.len());
+        }
+        // Drain: the full residual set must agree too.
+        while assert_next_identical(&mut wheel, &mut heap).is_some() {}
+    }
+}
+
+#[test]
+fn same_timestamp_bursts_break_ties_by_insertion_order() {
+    let mut g = SimRng::seed_from(0x71E5);
+    let mut wheel = TimingWheel::new();
+    let mut heap = HeapQueue::new();
+    let mut now = 0u64;
+    for _ in 0..200 {
+        // A burst of events at one instant, from interleaved "senders".
+        now += 1 + random_delta(&mut g);
+        let t = SimTime::from_ps(now);
+        for _ in 0..(2 + g.gen_range(30)) {
+            let target = ComponentId::from_raw(g.gen_range(8) as usize);
+            let tag = g.next_u64();
+            wheel.push(t, target, Box::new(tag));
+            heap.push(t, target, Box::new(tag));
+        }
+        // Partially drain so some ties cross a settle() boundary.
+        for _ in 0..g.gen_range(20) {
+            if assert_next_identical(&mut wheel, &mut heap).is_none() {
+                break;
+            }
+        }
+    }
+    while assert_next_identical(&mut wheel, &mut heap).is_some() {}
+}
+
+#[test]
+fn far_future_events_route_through_overflow_identically() {
+    let mut g = SimRng::seed_from(0x0F10);
+    let mut wheel = TimingWheel::new();
+    let mut heap = HeapQueue::new();
+    // Mix near events with times beyond the 2^61 ps wheel horizon; every
+    // pop of a near event shrinks the horizon gap until the overflow
+    // bucket drains back into the wheel levels.
+    let far_times = [
+        u64::MAX,
+        u64::MAX - 1,
+        1 << 62,
+        (1 << 62) + 1,
+        (1 << 61) + (1 << 40),
+        3 << 61,
+    ];
+    for (i, &t) in far_times.iter().enumerate() {
+        let target = ComponentId::from_raw(i);
+        let tag = g.next_u64();
+        wheel.push(SimTime::from_ps(t), target, Box::new(tag));
+        heap.push(SimTime::from_ps(t), target, Box::new(tag));
+    }
+    let mut now = 0u64;
+    for _ in 0..300 {
+        if g.gen_bool(0.5) {
+            let t = SimTime::from_ps(now.saturating_add(random_delta(&mut g)));
+            let target = ComponentId::from_raw(g.gen_range(64) as usize);
+            let tag = g.next_u64();
+            wheel.push(t, target, Box::new(tag));
+            heap.push(t, target, Box::new(tag));
+        } else if let Some(t) = assert_next_identical(&mut wheel, &mut heap) {
+            now = t.as_ps();
+        }
+    }
+    while assert_next_identical(&mut wheel, &mut heap).is_some() {}
+}
+
+#[test]
+fn drain_to_empty_and_rebase_preserves_order() {
+    // Repeatedly empty the wheel completely, then push at a distant
+    // time: the wheel rebases its cursor each time, the heap does not —
+    // orders must still match.
+    let mut g = SimRng::seed_from(0xEBA5E);
+    let mut wheel = TimingWheel::new();
+    let mut heap = HeapQueue::new();
+    let mut now = 0u64;
+    for _ in 0..50 {
+        now = now.saturating_add(random_delta(&mut g));
+        let n = 1 + g.gen_range(12);
+        for _ in 0..n {
+            let t = SimTime::from_ps(now.saturating_add(random_delta(&mut g)));
+            let target = ComponentId::from_raw(g.gen_range(16) as usize);
+            let tag = g.next_u64();
+            wheel.push(t, target, Box::new(tag));
+            heap.push(t, target, Box::new(tag));
+        }
+        while let Some(t) = assert_next_identical(&mut wheel, &mut heap) {
+            now = t.as_ps();
+        }
+        assert_eq!(wheel.next_time(), None);
+    }
+}
+
+#[test]
+fn facade_with_oracle_armed_survives_random_load() {
+    // The production facade cross-checks every push/pop against its
+    // embedded heap when the oracle is armed; this drives the pair with
+    // the same randomized shapes as above so the internal assertions
+    // run, and independently re-checks the emitted order out here.
+    let mut g = SimRng::seed_from(0xFACADE);
+    let mut q = EventQueue::new();
+    q.set_oracle(true);
+    assert!(q.oracle_enabled());
+    let mut now = 0u64;
+    let mut last: Option<(SimTime, u64)> = None;
+    let mut check = |ev: ScheduledEvent| {
+        if let Some((t, s)) = last {
+            assert!(
+                (ev.time, ev.seq) > (t, s),
+                "facade emitted {:?} after {:?}",
+                (ev.time, ev.seq),
+                (t, s)
+            );
+        }
+        last = Some((ev.time, ev.seq));
+        ev.time.as_ps()
+    };
+    for _ in 0..600 {
+        if q.is_empty() || g.gen_bool(0.55) {
+            let t = SimTime::from_ps(now.saturating_add(random_delta(&mut g)));
+            q.push(
+                t,
+                ComponentId::from_raw(g.gen_range(32) as usize),
+                Box::new(()),
+            );
+        } else {
+            now = check(q.pop().expect("non-empty"));
+        }
+    }
+    while let Some(ev) = q.pop() {
+        check(ev);
+    }
+}

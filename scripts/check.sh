@@ -26,11 +26,13 @@ cargo test -q
 echo "== cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps
 
-echo "== bench_wallclock --smoke (timings recorded, not gated)"
+echo "== bench_wallclock --smoke --check (timings recorded, not gated)"
 # ACC_JOBS=2 forces the threaded work-queue path even on one core, so
 # the serial-vs-parallel determinism assert inside the binary always
-# compares both executor code paths.
-ACC_JOBS=2 ./target/release/bench_wallclock --smoke
+# compares both executor code paths. --check diffs this run against the
+# last BENCH_history.jsonl entry and warns (never fails) on a >25%
+# median slowdown.
+ACC_JOBS=2 ./target/release/bench_wallclock --smoke --check
 
 echo "== ablation_collectives --smoke (executor-fanned collective matrix)"
 # Smoke sweep of the collective engine's full operation x algorithm x
