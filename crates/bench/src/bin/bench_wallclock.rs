@@ -24,16 +24,18 @@
 //! `--smoke` shrinks every point (seconds, not minutes), writes
 //! `BENCH_campaign.smoke.json` instead, and is wired into
 //! `scripts/check.sh` so the executor's two code paths are exercised on
-//! every push; the timings are recorded, never gated on.
+//! every push.
 //!
 //! Every invocation also appends one line to the append-only
 //! `BENCH_history.jsonl` at the repository root (per-point serial
-//! microseconds, keyed by mode), and `--check` compares the current run
-//! against the last recorded entry of the same mode: a >25% median
-//! slowdown across points prints a loud warning. The warning never
-//! fails the build — on shared CI runners wall time is too noisy to
-//! gate on — but it makes creeping regressions visible in the log
-//! instead of silently accumulating.
+//! microseconds, keyed by mode). `--check` gates: each point is
+//! compared against the **median of the last five same-mode entries**,
+//! and any point more than `ACC_BENCH_TOLERANCE_PCT` (default 25%)
+//! slower fails the run with exit 1. The median baseline absorbs one
+//! noisy historical run; the escape hatch `ACC_BENCH_GATE=off` reports
+//! without gating for hosts whose wall clock is known-noisy. The run
+//! is appended to the history before the gate fires, so a re-run after
+//! a fix compares against honest data.
 
 use std::fmt::Write as _;
 use std::time::{Instant, SystemTime};
@@ -169,50 +171,73 @@ fn parse_history_points(line: &str) -> Vec<(String, u64)> {
         .collect()
 }
 
-/// Compare this run's per-point serial times against the last history
-/// entry of the same mode; print a non-gating warning if the median
-/// slowdown exceeds 25%.
-fn check_against_history(history: &str, mode: &str, per_point: &[(&str, f64)]) {
-    let Some(prev) = history
+/// Compare this run's per-point serial times against the median of the
+/// last (up to) five same-mode history entries. Gating: returns `false`
+/// when any point regresses beyond the noise bound
+/// (`ACC_BENCH_TOLERANCE_PCT`, default 25%). The median baseline makes
+/// the gate robust to one noisy historical run; the per-point bound
+/// catches a single benchmark regressing while the rest hide it.
+fn check_against_history(history: &str, mode: &str, per_point: &[(&str, f64)]) -> bool {
+    let tolerance_pct: f64 = std::env::var("ACC_BENCH_TOLERANCE_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25.0);
+    let prev_runs: Vec<Vec<(String, u64)>> = history
         .lines()
         .rev()
-        .find(|l| l.contains(&format!("\"mode\": \"{mode}\"")))
-    else {
-        println!("bench --check: no prior {mode} entry in BENCH_history.jsonl; nothing to compare");
-        return;
-    };
-    let prev_points = parse_history_points(prev);
-    let mut ratios: Vec<f64> = per_point
-        .iter()
-        .filter_map(|(label, secs)| {
-            let (_, prev_us) = prev_points.iter().find(|(l, _)| l == label)?;
-            if *prev_us == 0 {
-                return None;
-            }
-            Some(secs * 1e6 / *prev_us as f64)
-        })
+        .filter(|l| l.contains(&format!("\"mode\": \"{mode}\"")))
+        .take(5)
+        .map(parse_history_points)
         .collect();
-    if ratios.is_empty() {
-        println!("bench --check: no overlapping points with the last {mode} entry");
-        return;
+    if prev_runs.is_empty() {
+        println!("bench --check: no prior {mode} entry in BENCH_history.jsonl; nothing to compare");
+        return true;
     }
-    ratios.sort_by(|a, b| a.total_cmp(b));
-    let median = ratios[ratios.len() / 2];
-    if median > 1.25 {
-        println!(
-            "WARNING: bench --check: median serial time is {:.0}% slower than the last \
-             recorded {mode} run ({} of {} points compared). Not gating — wall time is \
-             noisy — but worth a look before merging.",
-            (median - 1.0) * 100.0,
-            ratios.len(),
-            per_point.len()
-        );
-    } else {
-        println!(
-            "bench --check: median ratio {median:.2}x vs last {mode} entry ({} points) — ok",
-            ratios.len()
-        );
+    let mut compared = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    for (label, secs) in per_point {
+        let mut baseline: Vec<u64> = prev_runs
+            .iter()
+            .filter_map(|run| run.iter().find(|(l, _)| l == label).map(|&(_, us)| us))
+            .filter(|&us| us > 0)
+            .collect();
+        if baseline.is_empty() {
+            continue;
+        }
+        baseline.sort_unstable();
+        let median_us = baseline[baseline.len() / 2] as f64;
+        let ratio = secs * 1e6 / median_us;
+        compared += 1;
+        if ratio > 1.0 + tolerance_pct / 100.0 {
+            failures.push(format!(
+                "  {label}: {:.0}% slower than the median of the last {} {mode} run(s) \
+                 ({:.0} us vs {median_us:.0} us)",
+                (ratio - 1.0) * 100.0,
+                baseline.len(),
+                secs * 1e6
+            ));
+        }
     }
+    if compared == 0 {
+        println!("bench --check: no overlapping points with recent {mode} entries");
+        return true;
+    }
+    if failures.is_empty() {
+        println!(
+            "bench --check: {compared} point(s) within {tolerance_pct:.0}% of their \
+             {mode} history medians — ok"
+        );
+        return true;
+    }
+    println!(
+        "bench --check: {} of {compared} point(s) regressed past the {tolerance_pct:.0}% \
+         noise bound vs BENCH_history.jsonl:",
+        failures.len()
+    );
+    for f in &failures {
+        println!("{f}");
+    }
+    false
 }
 
 fn main() {
@@ -298,16 +323,17 @@ fn main() {
         .join("../..")
         .join("BENCH_history.jsonl");
     let history = std::fs::read_to_string(&history_path).unwrap_or_default();
-    if check {
-        check_against_history(&history, mode, &per_point);
-    }
+    let check_ok = if check {
+        check_against_history(&history, mode, &per_point)
+    } else {
+        true
+    };
     let entry = history_line(mode, ex.jobs(), &per_point, parallel_secs);
     let mut appended = history;
     appended.push_str(&entry);
     appended.push('\n');
     std::fs::write(&history_path, appended)
         .unwrap_or_else(|e| panic!("appending {}: {e}", history_path.display()));
-
     println!("# campaign wall-clock ({mode}): {} points", labels.len());
     for (label, secs) in &per_point {
         println!("{label:<28} {:>8.3} s", secs);
@@ -317,4 +343,18 @@ fn main() {
         ex.jobs()
     );
     println!("wrote {}", path.display());
+    if !check_ok {
+        // The regression is already appended to the history, so a
+        // re-run after a fix compares against honest data.
+        if std::env::var("ACC_BENCH_GATE").as_deref() == Ok("off") {
+            println!("bench --check: ACC_BENCH_GATE=off — regression reported, not gated");
+        } else {
+            eprintln!(
+                "bench --check: FAILED — wall-time regression past the noise bound \
+                 (set ACC_BENCH_GATE=off to report without gating, or \
+                 ACC_BENCH_TOLERANCE_PCT to widen the bound)"
+            );
+            std::process::exit(1);
+        }
+    }
 }

@@ -1,0 +1,233 @@
+//! `acc-verify` — static collective-schedule verifier CLI.
+//!
+//! Proves deadlock-freedom, reduce conservation, failover tag headroom
+//! and CLB admissibility for every algorithm × op × p cell in the
+//! sweep, without running the simulation engine. See
+//! `acc_coll::verify` for the proof obligations.
+//!
+//! ```text
+//! acc-verify --schedules [--max-p N] [--smoke] [--json] [--quiet]
+//! ```
+//!
+//! * `--schedules`  verify the schedule grid (the only mode today)
+//! * `--max-p N`    largest cluster size to prove (default 1024)
+//! * `--smoke`      small-p sweep only (p <= 64): the tier-1/CI gate
+//! * `--json`       machine-readable report on stdout
+//! * `--quiet`      suppress per-cell progress lines
+//!
+//! Diagnostics go to stderr in acc-lint's rustc style
+//! (`error[Vn]: ...` / `  --> cell`); the report goes to stdout. Exit
+//! status is `0` when every cell proves clean, `1` on violations, `2`
+//! on usage errors.
+
+use std::process::ExitCode;
+
+use acc_coll::verify::{self, CellProof, Depth, Violation};
+
+// acc-lint: allow(R2, reason = "acc-verify is a host-side prover: it times its own wall clock for the report and never touches simulated state")
+mod wallclock {
+    //! The one sanctioned wall-clock in this crate: the verifier
+    //! reports how long *it* took, which is host time by definition.
+    pub struct Stopwatch(std::time::Instant);
+
+    impl Stopwatch {
+        pub fn start() -> Stopwatch {
+            Stopwatch(std::time::Instant::now())
+        }
+
+        pub fn ms(&self) -> f64 {
+            self.0.elapsed().as_secs_f64() * 1e3
+        }
+    }
+}
+
+struct CellOutcome {
+    proof: Option<CellProof>,
+    violations: Vec<Violation>,
+    label: String,
+    ms: f64,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_json(outcomes: &[CellOutcome], max_p: usize, smoke: bool, total_ms: f64) -> String {
+    let mut out = String::from("{\n  \"tool\": \"acc-verify\",\n");
+    out.push_str(&format!("  \"max_p\": {max_p},\n  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"elapsed_ms\": {total_ms:.1},\n"));
+    out.push_str("  \"cells\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        let sep = if i + 1 == outcomes.len() { "" } else { "," };
+        match &o.proof {
+            Some(p) => {
+                let offload: Vec<String> = p
+                    .offload
+                    .iter()
+                    .map(|c| {
+                        format!(
+                            "{{\"device\": \"{}\", \"mode\": \"{}\", \"needs_reduce\": {}, \
+                             \"admissible\": {}, \"required_clbs\": {}, \"available_clbs\": {}}}",
+                            c.device, c.mode, c.needs_reduce, c.admissible, c.required, c.available
+                        )
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "    {{\"op\": \"{}\", \"algo\": \"{}\", \"p\": {}, \"elems\": {}, \
+                     \"rounds\": {}, \"total_legs\": {}, \"depth\": \"{}\", \
+                     \"conservation_checked\": {}, \"max_failover_epochs\": {}, \
+                     \"elapsed_ms\": {:.1}, \"status\": \"ok\", \"offload\": [{}]}}{sep}\n",
+                    p.op,
+                    p.algo,
+                    p.p,
+                    p.elems,
+                    p.rounds,
+                    p.total_legs,
+                    p.depth.label(),
+                    p.conservation_checked,
+                    p.max_failover_epochs,
+                    o.ms,
+                    offload.join(", ")
+                ));
+            }
+            None => out.push_str(&format!(
+                "    {{\"cell\": \"{}\", \"elapsed_ms\": {:.1}, \"status\": \"violations\"}}{sep}\n",
+                json_escape(&o.label),
+                o.ms
+            )),
+        }
+    }
+    out.push_str("  ],\n  \"violations\": [\n");
+    let all: Vec<&Violation> = outcomes.iter().flat_map(|o| &o.violations).collect();
+    for (i, v) in all.iter().enumerate() {
+        let sep = if i + 1 == all.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"code\": \"{}\", \"at\": \"{}\", \"message\": \"{}\"}}{sep}\n",
+            v.code,
+            json_escape(&v.at),
+            json_escape(&v.message)
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: acc-verify --schedules [--max-p N] [--smoke] [--json] [--quiet]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut schedules = false;
+    let mut max_p = 1024usize;
+    let mut smoke = false;
+    let mut json = false;
+    let mut quiet = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--schedules" => schedules = true,
+            "--smoke" => smoke = true,
+            "--json" => json = true,
+            "--quiet" => quiet = true,
+            "--max-p" => {
+                let Some(v) = argv.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("error: --max-p needs a positive integer");
+                    return usage();
+                };
+                if v < 2 {
+                    eprintln!("error: --max-p must be at least 2");
+                    return usage();
+                }
+                max_p = v;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    if !schedules {
+        return usage();
+    }
+
+    let budget = verify::mem_budget();
+    let cells = verify::grid_cells(max_p, smoke);
+    let total = wallclock::Stopwatch::start();
+    let mut outcomes: Vec<CellOutcome> = Vec::with_capacity(cells.len());
+    let mut n_violations = 0usize;
+    for (op, algo, p, elems) in cells {
+        let label = format!("{op}/{algo} p={p} elems={elems}");
+        let clock = wallclock::Stopwatch::start();
+        let (proof, violations) = match verify::verify_cell(op, algo, p, elems, budget) {
+            Ok(proof) => (Some(proof), Vec::new()),
+            Err(vs) => (None, vs),
+        };
+        let ms = clock.ms();
+        n_violations += violations.len();
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        if !quiet {
+            match &proof {
+                Some(pr) => eprintln!(
+                    "ok   {label}: rounds={} legs={} depth={} epochs={} ({ms:.1} ms)",
+                    pr.rounds,
+                    pr.total_legs,
+                    pr.depth.label(),
+                    pr.max_failover_epochs
+                ),
+                None => eprintln!("FAIL {label} ({ms:.1} ms)"),
+            }
+            if proof
+                .as_ref()
+                .is_some_and(|pr| pr.depth == Depth::Structural)
+            {
+                eprintln!(
+                    "note: {label} exceeded the memory budget; conservation skipped \
+                     (structural depth) — raise ACC_VERIFY_MEM_MB to force full depth"
+                );
+            }
+        }
+        outcomes.push(CellOutcome {
+            proof,
+            violations,
+            label,
+            ms,
+        });
+    }
+    let total_ms = total.ms();
+
+    if json {
+        print!("{}", render_json(&outcomes, max_p, smoke, total_ms));
+    } else {
+        let full = outcomes
+            .iter()
+            .filter(|o| o.proof.as_ref().is_some_and(|p| p.depth == Depth::Full))
+            .count();
+        println!(
+            "acc-verify: {} cell(s) proven ({} full-depth, {} structural), \
+             {} violation(s), max_p={max_p}, {:.2} s",
+            outcomes.len(),
+            full,
+            outcomes.len() - full,
+            n_violations,
+            total_ms / 1e3
+        );
+    }
+    if n_violations == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -36,11 +36,13 @@ pub mod offload;
 pub mod plan;
 pub mod policy;
 pub mod recovery;
+pub mod verify;
 
 pub use offload::{OffloadError, OffloadPlan};
 pub use plan::{build, oracle, simulate, supports, RecvOp, Round, RoundCost, Schedule};
 pub use policy::{select, PathClass};
 pub use recovery::{degraded_offload, replan, split_round, RoundLegs};
+pub use verify::{verify_cell, verify_conservation, verify_schedules, CellProof, Violation};
 
 /// The six collective operations the engine exposes.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]

@@ -1148,6 +1148,34 @@ fn run_schedules(
             }
         }
     }
+    // Debug builds statically prove the schedule set before wiring the
+    // engine: leg pairing / deadlock-freedom always, and reduce
+    // conservation for collective workloads (halo stencils have no
+    // single-collective oracle). Release builds skip the pass — the
+    // same proofs run offline via `acc-verify --schedules`.
+    #[cfg(debug_assertions)]
+    {
+        if let Err(vs) = acc_coll::verify::verify_schedules(schedules) {
+            for v in &vs {
+                eprintln!("{v}");
+            }
+            panic!(
+                "static schedule verification failed: {} violation(s)",
+                vs.len()
+            );
+        }
+        if let &Workload::Collective { op, elems, .. } = workload {
+            if let Err(vs) = acc_coll::verify::verify_conservation(op, elems, schedules) {
+                for v in &vs {
+                    eprintln!("{v}");
+                }
+                panic!(
+                    "static conservation verification failed: {} violation(s)",
+                    vs.len()
+                );
+            }
+        }
+    }
     let kernels = HostKernels::athlon_1ghz();
     let mut w = wire(spec, |rank, attachment, fault_ctl| {
         DriverBox::Coll(Box::new(

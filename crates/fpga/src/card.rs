@@ -430,6 +430,7 @@ pub struct InicCard {
     /// Receive-side transform pipeline.
     xform_recv: EngineTimeline,
     /// Chunks awaiting host→card admission.
+    // acc-lint: allow(R9, reason = "holds one scatter plan at a time: the driver submits the next scatter only after InicScatterDone for the previous, so length is bounded by the largest per-round chunk fan-out (<= p)")
     send_queue: VecDeque<SendChunk>,
     /// Whether a host-in admission is outstanding.
     host_in_busy: bool,

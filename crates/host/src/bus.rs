@@ -104,6 +104,7 @@ pub struct SharedBus {
     label: String,
     params: BusParams,
     /// Per-requester FIFO lanes, visited round-robin.
+    // acc-lint: allow(R9, reason = "lane table, not a queue: the outer Vec gains one entry per distinct requester (the component set is fixed at build), and each per-lane FIFO carries that engine's in-flight transfers drained round-robin")
     lanes: Vec<(ComponentId, VecDeque<Transfer>)>,
     rr_next: usize,
     busy: bool,

@@ -1,0 +1,15 @@
+//! Module-scope allow fixture: one annotation above `mod cache {`
+//! covers every violation inside the block; the stray use outside the
+//! module still flags.
+// acc-lint: allow(R1, reason = "scratch cache module; iteration order never observed")
+mod cache {
+    use std::collections::HashMap;
+
+    pub fn build() -> HashMap<u64, u64> {
+        HashMap::new()
+    }
+}
+
+pub fn stray() -> usize {
+    std::collections::HashSet::<u64>::new().len()
+}

@@ -1,0 +1,11 @@
+//! R7 fixture: a justified materialization point.
+pub struct Slot {
+    payload: Vec<u8>,
+}
+
+impl Slot {
+    pub fn export(&self) -> Vec<u8> {
+        // acc-lint: allow(R7, reason = "diagnostic copy-out; never called per frame")
+        self.payload.clone()
+    }
+}

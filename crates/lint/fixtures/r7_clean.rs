@@ -1,0 +1,11 @@
+//! R7 fixture: zero-copy forwarding (clean). Cloning a `PayloadView`
+//! is a refcount bump, not a byte copy, so it does not flag.
+pub struct Slot {
+    payload: PayloadView,
+}
+
+impl Slot {
+    pub fn forward(&self) -> PayloadView {
+        self.payload.clone()
+    }
+}

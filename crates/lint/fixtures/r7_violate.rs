@@ -1,0 +1,18 @@
+//! R7 fixture: deep payload copies on the zero-copy hot path.
+pub struct Slot {
+    payload: Vec<u8>,
+}
+
+impl Slot {
+    pub fn forward(&self) -> Vec<u8> {
+        self.payload.clone()
+    }
+
+    pub fn snapshot(bytes: &[u8]) -> Vec<u8> {
+        bytes.to_vec()
+    }
+
+    pub fn copy_in(bytes: &[u8]) -> Vec<u8> {
+        Vec::from(bytes)
+    }
+}

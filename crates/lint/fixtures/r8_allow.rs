@@ -1,0 +1,22 @@
+//! R8 fixture: a reserved-padding probe justified with an allow — the
+//! decoder reads byte 2 only to reject nonzero padding; the encoder
+//! zero-fills it implicitly via a fresh buffer.
+pub struct Hdr {
+    pub chan: u16,
+}
+
+impl Hdr {
+    pub fn try_encode(&self, out: &mut [u8]) -> bool {
+        out[0..2].copy_from_slice(&self.chan.to_le_bytes());
+        true
+    }
+
+    pub fn decode(payload: &[u8]) -> Option<Hdr> {
+        let chan = u16::from_le_bytes(payload[0..2].try_into().ok()?);
+        // acc-lint: allow(R8, reason = "reserved padding probe; the encoder zero-fills the fresh buffer")
+        if payload[2] != 0 {
+            return None;
+        }
+        Some(Hdr { chan })
+    }
+}

@@ -1,0 +1,20 @@
+//! R8 fixture: symmetric wire codec — every byte written by
+//! `try_encode` is read back by `decode` at the same offsets.
+pub struct Hdr {
+    pub chan: u16,
+    pub seq: u32,
+}
+
+impl Hdr {
+    pub fn try_encode(&self, out: &mut [u8]) -> bool {
+        out[0..2].copy_from_slice(&self.chan.to_le_bytes());
+        out[2..6].copy_from_slice(&self.seq.to_le_bytes());
+        true
+    }
+
+    pub fn decode(payload: &[u8]) -> Option<Hdr> {
+        let chan = u16::from_le_bytes(payload[0..2].try_into().ok()?);
+        let seq = u32::from_le_bytes(payload[2..6].try_into().ok()?);
+        Some(Hdr { chan, seq })
+    }
+}

@@ -1,0 +1,24 @@
+//! R8 fixture: asymmetric wire codec. `try_encode` writes `seq` into
+//! bytes 2..6 that `decode` never reads, and `decode` probes byte 6
+//! that `try_encode` never writes.
+pub struct Hdr {
+    pub chan: u16,
+    pub seq: u32,
+}
+
+impl Hdr {
+    pub fn try_encode(&self, out: &mut [u8]) -> bool {
+        out[0..2].copy_from_slice(&self.chan.to_le_bytes());
+        out[2..6].copy_from_slice(&self.seq.to_le_bytes());
+        true
+    }
+
+    pub fn decode(payload: &[u8]) -> Option<Hdr> {
+        let chan = u16::from_le_bytes(payload[0..2].try_into().ok()?);
+        let flags = payload[6];
+        if flags != 0 {
+            return None;
+        }
+        Some(Hdr { chan, seq: 0 })
+    }
+}

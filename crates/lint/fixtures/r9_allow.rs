@@ -1,0 +1,14 @@
+//! R9 fixture: an unbounded-looking queue whose bounding invariant
+//! lives elsewhere, justified with an allow on the field.
+use std::collections::VecDeque;
+
+pub struct Relay {
+    // acc-lint: allow(R9, reason = "drained every round by the scheduler; occupancy bounded by fan-in")
+    inbox: VecDeque<u64>,
+}
+
+impl Relay {
+    pub fn push(&mut self, x: u64) {
+        self.inbox.push_back(x);
+    }
+}

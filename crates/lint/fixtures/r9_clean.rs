@@ -1,0 +1,18 @@
+//! R9 fixture: the queue is bounded — pushes beyond capacity are
+//! rejected, and the `len()`-vs-capacity comparison is the evidence.
+use std::collections::VecDeque;
+
+pub struct Relay {
+    inbox: VecDeque<u64>,
+    cap: usize,
+}
+
+impl Relay {
+    pub fn push(&mut self, x: u64) -> bool {
+        if self.inbox.len() == self.cap {
+            return false;
+        }
+        self.inbox.push_back(x);
+        true
+    }
+}

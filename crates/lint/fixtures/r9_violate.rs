@@ -1,0 +1,12 @@
+//! R9 fixture: a growable component queue with no enforced bound.
+use std::collections::VecDeque;
+
+pub struct Relay {
+    inbox: VecDeque<u64>,
+}
+
+impl Relay {
+    pub fn push(&mut self, x: u64) {
+        self.inbox.push_back(x);
+    }
+}

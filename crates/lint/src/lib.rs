@@ -37,6 +37,29 @@
 //!   aborts with a structured hang report instead of spinning forever.
 //!   The wrapper itself, and micro-simulations that provably terminate
 //!   (bounded ablation probes), carry allow annotations.
+//! * **R7** — no deep payload copies (`.to_vec()`, `Vec::from`,
+//!   `.clone()` on a `Vec<u8>`-typed buffer) inside the acc-net/acc-sim
+//!   hot-path modules. PR 8's zero-copy forwarding holds because a
+//!   frame's payload is a refcounted `PayloadView`; cloning the *view*
+//!   is a refcount bump and stays legal, materializing the bytes is the
+//!   regression this rule kills. The view's own explicit copy API
+//!   carries justified allows.
+//! * **R8** — wire-codec encode/decode field symmetry in acc-proto:
+//!   every header byte an encode-family fn (`encode`/`try_encode`)
+//!   writes must be read back by the paired `decode` in the same
+//!   `impl`, and vice versa, with numeric (or named-const) offsets
+//!   cross-checked byte-for-byte; a `self.field` written by encode must
+//!   be mentioned by decode. Asymmetric padding contracts carry
+//!   justified allows.
+//! * **R9** — every growable queue in the simulated component crates
+//!   (a `VecDeque` field, or a `Vec` field named like a queue) must
+//!   show an enforced bound in its file (a `len()` comparison or
+//!   `truncate` on the field) or carry a justified allow naming the
+//!   invariant that bounds it.
+//!
+//! R7–R9 ride on the item/symbol pass (see [`symbols`]): module, impl
+//! and fn spans, struct fields with textual types, and integer consts,
+//! aggregated into per-crate symbol tables by the workspace walk.
 //!
 //! ## Allowlist
 //!
@@ -49,16 +72,25 @@
 //! ```
 //!
 //! The `reason` is mandatory: an allow without one is itself a
-//! diagnostic (`A0`).
+//! diagnostic (`A0`). An annotation binds to the next code line; two
+//! wider scopes exist: above a `mod name {` item it governs the whole
+//! module body, and above an inner attribute (`#![...]`, i.e. at file
+//! top) it governs the whole file. Both scopes apply identically in
+//! workspace mode and `--check-file` mode.
 //!
 //! [`SimTime`]: https://docs.rs/acc-sim
 
 #![forbid(unsafe_code)]
 
+mod symbols;
+
+use std::collections::BTreeSet;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+use symbols::FileSymbols;
 
 /// Crates whose event schedules and outputs must be bit-reproducible.
 pub const DETERMINISTIC_CRATES: &[&str] = &[
@@ -80,6 +112,9 @@ pub enum Rule {
     R4,
     R5,
     R6,
+    R7,
+    R8,
+    R9,
     A0,
 }
 
@@ -93,6 +128,9 @@ impl Rule {
             Rule::R4 => "R4",
             Rule::R5 => "R5",
             Rule::R6 => "R6",
+            Rule::R7 => "R7",
+            Rule::R8 => "R8",
+            Rule::R9 => "R9",
             Rule::A0 => "A0",
         }
     }
@@ -106,6 +144,9 @@ impl Rule {
             "R4" => Some(Rule::R4),
             "R5" => Some(Rule::R5),
             "R6" => Some(Rule::R6),
+            "R7" => Some(Rule::R7),
+            "R8" => Some(Rule::R8),
+            "R9" => Some(Rule::R9),
             _ => None,
         }
     }
@@ -168,9 +209,9 @@ pub struct Report {
 /// contents blanked (delimiters kept) and comments removed; `comment`
 /// holds the comment text, where allowlist annotations live.
 #[derive(Debug, Default, Clone)]
-struct ScanLine {
-    code: String,
-    comment: String,
+pub(crate) struct ScanLine {
+    pub(crate) code: String,
+    pub(crate) comment: String,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -190,7 +231,7 @@ fn is_ident(c: char) -> bool {
 /// Lex `src` into per-line code/comment channels. Handles nested block
 /// comments, (byte/raw) string literals spanning lines, char literals
 /// and lifetimes.
-fn scan_lines(src: &str) -> Vec<ScanLine> {
+pub(crate) fn scan_lines(src: &str) -> Vec<ScanLine> {
     let chars: Vec<char> = src.chars().collect();
     let mut out: Vec<ScanLine> = Vec::new();
     let mut cur = ScanLine::default();
@@ -336,7 +377,7 @@ fn scan_lines(src: &str) -> Vec<ScanLine> {
 // ---------------------------------------------------------------------------
 
 /// Byte offsets of every whole-word occurrence of `word` in `code`.
-fn word_occurrences(code: &str, word: &str) -> Vec<usize> {
+pub(crate) fn word_occurrences(code: &str, word: &str) -> Vec<usize> {
     let mut found = Vec::new();
     let bytes = code.as_bytes();
     let mut start = 0usize;
@@ -514,10 +555,41 @@ fn parse_allow(comment: &str, at: usize) -> Option<RawAllow> {
     })
 }
 
-/// Resolve each well-formed annotation to the line it governs: its own
-/// line if that line has code, otherwise the next line that has code and
-/// is not purely an attribute.
-fn bind_allows(lines: &[ScanLine], raw: &[RawAllow]) -> Vec<(usize, Rule, String)> {
+/// One bound allow annotation: it suppresses `rule` violations on every
+/// line in `start..=end` (0-based).
+#[derive(Debug, Clone)]
+struct BoundAllow {
+    start: usize,
+    end: usize,
+    rule: Rule,
+    reason: String,
+}
+
+/// Is this the header line of a `mod name { ... }` item (optionally
+/// `pub`-prefixed)?
+fn is_mod_header(code: &str) -> bool {
+    let t = code.trim();
+    let mut tokens = t.split_whitespace();
+    let first = match tokens.next() {
+        Some(tok) => tok,
+        None => return false,
+    };
+    let item = if first == "pub" || first.starts_with("pub(") {
+        tokens.next().unwrap_or("")
+    } else {
+        first
+    };
+    item == "mod" && t.contains('{')
+}
+
+/// Resolve each well-formed annotation to the line span it governs.
+///
+/// The annotation's own line if it has code, otherwise the next code
+/// line (outer-attribute lines skipped). Two widening cases: a target
+/// line that opens a `mod` block covers the whole module body, and a
+/// target that is an inner attribute (`#![...]` — the annotation sits
+/// at file top) covers the whole file.
+fn bind_allows(lines: &[ScanLine], raw: &[RawAllow]) -> Vec<BoundAllow> {
     let mut bound = Vec::new();
     for a in raw {
         let (Some(rule), Some(reason), None) = (a.rule, a.reason.clone(), a.problem.as_ref())
@@ -534,13 +606,26 @@ fn bind_allows(lines: &[ScanLine], raw: &[RawAllow]) -> Vec<(usize, Rule, String
                 .skip(a.at + 1)
                 .find(|(_, l)| {
                     let t = l.code.trim();
-                    !t.is_empty() && !t.starts_with("#[") && !t.starts_with("#![")
+                    !t.is_empty() && !t.starts_with("#[")
                 })
                 .map(|(idx, _)| idx)
         };
-        if let Some(t) = target {
-            bound.push((t, rule, reason));
-        }
+        let Some(t) = target else { continue };
+        let (start, end) = if lines[t].code.trim().starts_with("#![") {
+            // File-scope: the annotation governs everything below it.
+            (a.at, lines.len().saturating_sub(1))
+        } else if is_mod_header(&lines[t].code) {
+            let end = symbols::block_end(lines, t).unwrap_or(t);
+            (t, end)
+        } else {
+            (t, t)
+        };
+        bound.push(BoundAllow {
+            start,
+            end,
+            rule,
+            reason,
+        });
     }
     bound
 }
@@ -574,9 +659,57 @@ fn is_test_path(path: &str) -> bool {
     })
 }
 
-/// Analyze one file's source. `logical_path` is workspace-relative and
-/// determines rule scoping (which crate, test or not).
+/// Per-crate symbol table the workspace walk aggregates for the
+/// symbol-aware rules. In single-file mode ([`analyze_source`]) it is
+/// built from that file alone.
+#[derive(Debug, Default, Clone)]
+pub struct CrateSymbols {
+    /// Struct-field names typed `Vec<u8>` anywhere in the crate — the
+    /// payload buffers R7 refuses to see `.clone()`d in hot modules.
+    payload_fields: BTreeSet<String>,
+}
+
+impl CrateSymbols {
+    fn absorb(&mut self, syms: &FileSymbols) {
+        for f in &syms.fields {
+            if f.ty == "Vec<u8>" {
+                self.payload_fields.insert(f.name.clone());
+            }
+        }
+    }
+}
+
+/// The hot-path modules R7 governs: the zero-copy forwarding plane
+/// (PR 8). `frame.rs` is included deliberately — the `PayloadView`
+/// definition itself must justify each of its materializing escape
+/// hatches with an allow.
+const R7_HOT_MODULES: &[&str] = &[
+    "crates/net/src/switch.rs",
+    "crates/net/src/port.rs",
+    "crates/net/src/frame.rs",
+    "crates/net/src/impair.rs",
+    "crates/sim/src/engine.rs",
+    "crates/sim/src/event.rs",
+];
+
+/// Crates whose structs model simulated components with queues (R9).
+const R9_COMPONENT_CRATES: &[&str] = &["sim", "net", "proto", "fpga", "host"];
+
+/// Analyze one file's source using only that file's own symbols.
+/// `logical_path` is workspace-relative and determines rule scoping
+/// (which crate, test or not). The workspace walk uses
+/// [`analyze_source_with`] so R7 sees crate-wide payload fields.
 pub fn analyze_source(logical_path: &str, source: &str) -> FileReport {
+    analyze_source_with(logical_path, source, None)
+}
+
+/// [`analyze_source`] with an externally aggregated per-crate symbol
+/// table (pass `None` to derive one from this file alone).
+pub fn analyze_source_with(
+    logical_path: &str,
+    source: &str,
+    crate_syms: Option<&CrateSymbols>,
+) -> FileReport {
     let mut report = FileReport::default();
     if is_test_path(logical_path) {
         return report;
@@ -586,6 +719,17 @@ pub fn analyze_source(logical_path: &str, source: &str) -> FileReport {
     };
     let lines = scan_lines(source);
     let mask = test_mask(&lines);
+    let syms = symbols::collect(&lines);
+    let local_table = crate_syms.is_none().then(|| {
+        let mut t = CrateSymbols::default();
+        t.absorb(&syms);
+        t
+    });
+    let payload = crate_syms.unwrap_or_else(|| {
+        local_table
+            .as_ref()
+            .expect("local symbol table built when no crate table given")
+    });
 
     let raw_allows: Vec<RawAllow> = lines
         .iter()
@@ -605,12 +749,15 @@ pub fn analyze_source(logical_path: &str, source: &str) -> FileReport {
     let bound = bind_allows(&lines, &raw_allows);
 
     let push = |report: &mut FileReport, idx: usize, rule: Rule, message: String| {
-        if let Some((_, _, reason)) = bound.iter().find(|(at, r, _)| *at == idx && *r == rule) {
+        if let Some(b) = bound
+            .iter()
+            .find(|b| b.rule == rule && b.start <= idx && idx <= b.end)
+        {
             report.allows.push(Allowance {
                 path: logical_path.to_string(),
                 line: idx + 1,
                 rule,
-                reason: reason.clone(),
+                reason: b.reason.clone(),
             });
         } else {
             report.violations.push(Diagnostic {
@@ -623,6 +770,7 @@ pub fn analyze_source(logical_path: &str, source: &str) -> FileReport {
     };
 
     let det = is_deterministic(&krate);
+    let hot_module = R7_HOT_MODULES.contains(&logical_path);
     for (idx, line) in lines.iter().enumerate() {
         if mask[idx] {
             continue;
@@ -734,8 +882,403 @@ pub fn analyze_source(logical_path: &str, source: &str) -> FileReport {
                 }
             }
         }
+
+        if hot_module {
+            if let Some(msg) = r7_deep_copy(code, payload) {
+                push(&mut report, idx, Rule::R7, msg);
+            }
+        }
+    }
+
+    if krate == "proto" {
+        for (idx, msg) in r8_codec_symmetry(&lines, &syms, &mask) {
+            push(&mut report, idx, Rule::R8, msg);
+        }
+    }
+    if R9_COMPONENT_CRATES.contains(&krate.as_str()) {
+        for (idx, msg) in r9_unbounded_queues(&lines, &syms, &mask) {
+            push(&mut report, idx, Rule::R9, msg);
+        }
     }
     report
+}
+
+// ---------------------------------------------------------------------------
+// R7 — deep payload copies in hot-path modules
+// ---------------------------------------------------------------------------
+
+/// The deep-copy pattern `code` contains, if any: `.to_vec()`,
+/// `Vec::from(...)`, or `.clone()` whose receiver's trailing identifier
+/// is a crate-known `Vec<u8>` payload field.
+fn r7_deep_copy(code: &str, payload: &CrateSymbols) -> Option<String> {
+    for at in word_occurrences(code, "to_vec") {
+        let preceded = code[..at].trim_end().ends_with('.');
+        let rest = code[at + "to_vec".len()..].trim_start();
+        if preceded && rest.starts_with('(') {
+            return Some(
+                "`.to_vec()` materializes a payload copy on the zero-copy hot path; \
+                 forward the PayloadView (refcount bump) instead"
+                    .to_string(),
+            );
+        }
+    }
+    for at in word_occurrences(code, "Vec") {
+        if code[at + "Vec".len()..].starts_with("::from(") {
+            return Some(
+                "`Vec::from` deep-copies payload bytes on the zero-copy hot path; \
+                 forward the PayloadView (refcount bump) instead"
+                    .to_string(),
+            );
+        }
+    }
+    for at in word_occurrences(code, "clone") {
+        let before = code[..at].trim_end();
+        if !before.ends_with('.') {
+            continue;
+        }
+        let rest = code[at + "clone".len()..].trim_start();
+        if !rest.starts_with('(') || !rest[1..].trim_start().starts_with(')') {
+            continue;
+        }
+        let recv = before[..before.len() - 1].trim_end();
+        let tail: String = recv
+            .chars()
+            .rev()
+            .take_while(|&c| is_ident(c))
+            .collect::<String>()
+            .chars()
+            .rev()
+            .collect();
+        if !tail.is_empty() && payload.payload_fields.contains(&tail) {
+            return Some(format!(
+                "`.clone()` on payload buffer `{tail}` (a `Vec<u8>` field) deep-copies \
+                 bytes on the zero-copy hot path; only PayloadView refcount bumps are free"
+            ));
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// R8 — wire-codec encode/decode field symmetry
+// ---------------------------------------------------------------------------
+
+/// One resolved indexed access `base[lo..hi]` (or `base[i]`, as
+/// `i..i+1`) on a line.
+struct IndexedAccess {
+    base: String,
+    lo: u64,
+    hi: u64,
+    /// Followed by `.copy_from_slice(` or a plain `=` assignment.
+    is_write: bool,
+    /// `self.field` named on the same line, if any.
+    field: Option<String>,
+}
+
+/// Resolve an offset expression: an integer literal or a named const.
+fn resolve_offset(expr: &str, syms: &FileSymbols) -> Option<u64> {
+    let t = expr.trim();
+    if t.is_empty() {
+        return None;
+    }
+    if t.chars().all(|c| c.is_ascii_digit() || c == '_') {
+        return t.replace('_', "").parse().ok();
+    }
+    if t.chars().all(is_ident) {
+        return syms.const_value(t);
+    }
+    None
+}
+
+/// All numerically resolvable indexed accesses on one code line.
+fn indexed_accesses(code: &str, syms: &FileSymbols) -> Vec<IndexedAccess> {
+    let bytes = code.as_bytes();
+    let field = code.find("self.").and_then(|at| {
+        let name: String = code[at + "self.".len()..]
+            .chars()
+            .take_while(|&c| is_ident(c))
+            .collect();
+        (!name.is_empty()).then_some(name)
+    });
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'[' {
+            i += 1;
+            continue;
+        }
+        // The base identifier must end immediately before the bracket,
+        // and must not be a macro (`vec![`) or attribute (`#[`).
+        let base_end = i;
+        let base_start = code[..base_end]
+            .char_indices()
+            .rev()
+            .take_while(|&(_, c)| is_ident(c))
+            .last()
+            .map(|(p, _)| p);
+        let Some(bs) = base_start else {
+            i += 1;
+            continue;
+        };
+        if code[..bs].ends_with('!') || code[..bs].ends_with('#') {
+            i += 1;
+            continue;
+        }
+        // Find the matching close bracket.
+        let mut depth = 0usize;
+        let mut close = None;
+        for (j, &b) in bytes.iter().enumerate().skip(i) {
+            match b {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(cl) = close else { break };
+        let inner = &code[i + 1..cl];
+        let resolved = if let Some((lo_s, hi_s)) = inner.split_once("..") {
+            match (resolve_offset(lo_s, syms), resolve_offset(hi_s, syms)) {
+                (Some(lo), Some(hi)) if lo < hi => Some((lo, hi)),
+                _ => None, // open-ended or symbolic: the data region
+            }
+        } else {
+            resolve_offset(inner, syms).map(|at| (at, at + 1))
+        };
+        if let Some((lo, hi)) = resolved {
+            let after = code[cl + 1..].trim_start();
+            let is_write = after.starts_with(".copy_from_slice(")
+                || (after.starts_with('=') && !after.starts_with("=="));
+            out.push(IndexedAccess {
+                base: code[bs..base_end].to_string(),
+                lo,
+                hi,
+                is_write,
+                field: field.clone(),
+            });
+        }
+        i = cl + 1;
+    }
+    out
+}
+
+/// The first identifier inside the fn header's parameter list (the
+/// buffer name `decode` reads from).
+fn first_param_name(header: &str) -> Option<String> {
+    let open = header.find('(')?;
+    let rest = header[open + 1..].trim_start();
+    let rest = rest.strip_prefix("&self").unwrap_or(rest).trim_start();
+    let rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest.chars().take_while(|&c| is_ident(c)).collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// Check encode/decode header-byte symmetry for every impl block (and
+/// the file's free functions) that defines both sides. Returns
+/// `(line_idx, message)` findings.
+fn r8_codec_symmetry(
+    lines: &[ScanLine],
+    syms: &FileSymbols,
+    mask: &[bool],
+) -> Vec<(usize, String)> {
+    let mut findings = Vec::new();
+    // Group fn spans by enclosing impl; fns outside any impl form one
+    // file-level group.
+    let group_of = |start: usize| -> usize {
+        syms.impls
+            .iter()
+            .position(|im| im.start <= start && start <= im.end)
+            .map_or(usize::MAX, |i| i)
+    };
+    let mut group_keys: Vec<usize> = syms.fns.iter().map(|f| group_of(f.start)).collect();
+    group_keys.sort_unstable();
+    group_keys.dedup();
+    for key in group_keys {
+        let members: Vec<&symbols::ItemSpan> = syms
+            .fns
+            .iter()
+            .filter(|f| group_of(f.start) == key)
+            .collect();
+        let encoders: Vec<&&symbols::ItemSpan> = members
+            .iter()
+            .filter(|f| f.name == "encode" || f.name == "try_encode")
+            .collect();
+        let decoder = members.iter().find(|f| f.name == "decode");
+        let Some(decoder) = decoder else { continue };
+        if encoders.is_empty() {
+            continue;
+        }
+        let decode_param = first_param_name(&lines[decoder.start].code);
+
+        // Writes across the encode-family bodies.
+        let mut write_line_of: Vec<(u64, usize)> = Vec::new(); // (byte, line)
+        let mut write_cover: BTreeSet<u64> = BTreeSet::new();
+        let mut named_writes: Vec<(String, usize)> = Vec::new();
+        for enc in &encoders {
+            for idx in enc.start..=enc.end.min(lines.len() - 1) {
+                if mask[idx] {
+                    continue;
+                }
+                for acc in indexed_accesses(&lines[idx].code, syms) {
+                    if !acc.is_write {
+                        continue;
+                    }
+                    for b in acc.lo..acc.hi {
+                        if write_cover.insert(b) {
+                            write_line_of.push((b, idx));
+                        }
+                    }
+                    if let Some(f) = acc.field {
+                        named_writes.push((f, idx));
+                    }
+                }
+            }
+        }
+        // Reads across the decode body, restricted to the input buffer.
+        let mut read_line_of: Vec<(u64, usize)> = Vec::new();
+        let mut read_cover: BTreeSet<u64> = BTreeSet::new();
+        for idx in decoder.start..=decoder.end.min(lines.len() - 1) {
+            if mask[idx] {
+                continue;
+            }
+            for acc in indexed_accesses(&lines[idx].code, syms) {
+                if acc.is_write {
+                    continue;
+                }
+                if decode_param.as_deref().is_some_and(|p| p != acc.base) {
+                    continue;
+                }
+                for b in acc.lo..acc.hi {
+                    if read_cover.insert(b) {
+                        read_line_of.push((b, idx));
+                    }
+                }
+            }
+        }
+        if write_cover.is_empty() || read_cover.is_empty() {
+            continue; // not an offset-addressed codec pair
+        }
+
+        // Report each maximal run of asymmetric bytes once, anchored at
+        // the line that touched the run's first byte.
+        let runs = |covered: &BTreeSet<u64>, other: &BTreeSet<u64>| -> Vec<(u64, u64)> {
+            let mut out: Vec<(u64, u64)> = Vec::new();
+            for &b in covered.difference(other) {
+                match out.last_mut() {
+                    Some((_, hi)) if *hi == b => *hi = b + 1,
+                    _ => out.push((b, b + 1)),
+                }
+            }
+            out
+        };
+        for (lo, hi) in runs(&write_cover, &read_cover) {
+            let line = write_line_of
+                .iter()
+                .find(|(b, _)| *b == lo)
+                .map_or(encoders[0].start, |(_, l)| *l);
+            findings.push((
+                line,
+                format!(
+                    "encode writes header bytes {lo}..{hi} that decode never reads \
+                     (codec field symmetry)"
+                ),
+            ));
+        }
+        for (lo, hi) in runs(&read_cover, &write_cover) {
+            let line = read_line_of
+                .iter()
+                .find(|(b, _)| *b == lo)
+                .map_or(decoder.start, |(_, l)| *l);
+            findings.push((
+                line,
+                format!(
+                    "decode reads header bytes {lo}..{hi} that encode never writes \
+                     (codec field symmetry)"
+                ),
+            ));
+        }
+        // Every `self.field` the encoder serializes must be mentioned
+        // by the decoder.
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        for (f, idx) in named_writes {
+            if !seen.insert(f.clone()) {
+                continue;
+            }
+            let mentioned = (decoder.start..=decoder.end.min(lines.len() - 1))
+                .any(|d| has_word(&lines[d].code, &f));
+            if !mentioned {
+                findings.push((
+                    idx,
+                    format!(
+                        "field `{f}` is serialized by encode but never referenced by \
+                         decode (codec field symmetry)"
+                    ),
+                ));
+            }
+        }
+    }
+    findings.sort_by_key(|(idx, _)| *idx);
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// R9 — growable queues must be bounded
+// ---------------------------------------------------------------------------
+
+/// Queue-shaped fields with no bound evidence in their file. Returns
+/// `(line_idx, message)` findings anchored at the field declaration.
+fn r9_unbounded_queues(
+    lines: &[ScanLine],
+    syms: &FileSymbols,
+    mask: &[bool],
+) -> Vec<(usize, String)> {
+    let mut findings = Vec::new();
+    for f in &syms.fields {
+        if mask[f.line] {
+            continue;
+        }
+        let is_queue = f.ty.contains("VecDeque<")
+            || (f.ty.starts_with("Vec<") && (f.name == "queue" || f.name.ends_with("_queue")));
+        if !is_queue {
+            continue;
+        }
+        let len_probe = format!("{}.len()", f.name);
+        let truncate_probe = format!("{}.truncate(", f.name);
+        let bounded = lines.iter().enumerate().any(|(idx, l)| {
+            if mask[idx] {
+                return false;
+            }
+            let code = &l.code;
+            if let Some(at) = code.find(&len_probe) {
+                let boundary = at == 0 || !is_ident(code.as_bytes()[at - 1] as char);
+                let rest = &code[at + len_probe.len()..];
+                let compared = ["<", ">", "=="].iter().any(|op| rest.contains(op))
+                    || ["<", ">", "=="].iter().any(|op| code[..at].contains(op));
+                if boundary && compared {
+                    return true;
+                }
+            }
+            code.contains(&truncate_probe)
+        });
+        if !bounded {
+            findings.push((
+                f.line,
+                format!(
+                    "growable queue `{}.{}` ({}) has no enforced bound in this file: \
+                     compare `{}` against a capacity (or `truncate`) where it grows, or \
+                     justify the bounding invariant with an allow",
+                    f.owner, f.name, f.ty, len_probe
+                ),
+            ));
+        }
+    }
+    findings
 }
 
 // ---------------------------------------------------------------------------
@@ -791,8 +1334,11 @@ pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
 }
 
 /// Analyze the whole workspace rooted at `root`.
+///
+/// Two passes: the first aggregates each crate's symbol table (R7's
+/// payload-field inventory spans files), the second runs the rules.
 pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
-    let mut report = Report::default();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for path in workspace_files(root)? {
         let source = fs::read_to_string(&path)?;
         let logical = path
@@ -800,7 +1346,26 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        let file = analyze_source(&logical, &source);
+        sources.push((logical, source));
+    }
+
+    let mut tables: std::collections::BTreeMap<String, CrateSymbols> =
+        std::collections::BTreeMap::new();
+    for (logical, source) in &sources {
+        if is_test_path(logical) {
+            continue;
+        }
+        let Some(krate) = crate_of(logical) else {
+            continue;
+        };
+        let syms = symbols::collect(&scan_lines(source));
+        tables.entry(krate.to_string()).or_default().absorb(&syms);
+    }
+
+    let mut report = Report::default();
+    for (logical, source) in &sources {
+        let table = crate_of(logical).and_then(|k| tables.get(k));
+        let file = analyze_source_with(logical, source, table);
         report.violations.extend(file.violations);
         report.allows.extend(file.allows);
         report.files_scanned += 1;
@@ -812,6 +1377,77 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
         .allows
         .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// JSON rendering (dependency-free, for CI artifacts and annotations)
+// ---------------------------------------------------------------------------
+
+/// Escape a string for embedding in a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an analysis result as a stable JSON document (the CI
+/// artifact format shared by `acc-lint --json` and `acc-verify
+/// --json`'s lint section).
+pub fn render_json(
+    files_scanned: usize,
+    violations: &[Diagnostic],
+    allows: &[Allowance],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"tool\": \"acc-lint\",\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str("  \"violations\": [");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&v.path),
+            v.line,
+            v.rule,
+            json_escape(&v.message)
+        ));
+    }
+    out.push_str(if violations.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    out.push_str("  \"allows\": [");
+    for (i, a) in allows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"reason\": \"{}\"}}",
+            json_escape(&a.path),
+            a.line,
+            a.rule,
+            json_escape(&a.reason)
+        ));
+    }
+    out.push_str(if allows.is_empty() {
+        "]\n}\n"
+    } else {
+        "\n  ]\n}\n"
+    });
+    out
 }
 
 #[cfg(test)]

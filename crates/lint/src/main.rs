@@ -1,8 +1,8 @@
 //! `acc-lint` — run the workspace static-analysis pass.
 //!
 //! ```text
-//! acc-lint [--root <dir>] [--quiet]
-//! acc-lint --check-file <logical-path> <file>
+//! acc-lint [--root <dir>] [--quiet] [--json]
+//! acc-lint [--json] --check-file <logical-path> <file>
 //! ```
 //!
 //! Walks every workspace `.rs` file under `<dir>` (default: the current
@@ -13,7 +13,13 @@
 //!
 //! `--check-file` analyzes a single file as if it lived at
 //! `<logical-path>` inside the workspace (rule scoping is path-based) —
-//! used by the fixture tests and handy for pre-commit hooks.
+//! used by the fixture tests and handy for pre-commit hooks. Module-
+//! and file-scope allow annotations suppress in this mode exactly as in
+//! workspace mode.
+//!
+//! `--json` writes the machine-readable report to stdout (diagnostics
+//! stay on stderr in the rustc-style two-line format CI's problem
+//! matcher annotates from).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -38,6 +44,8 @@ fn workspace_root(cli_root: Option<PathBuf>) -> PathBuf {
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut quiet = false;
+    let mut json = false;
+    let mut check_file: Option<(String, String)> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -46,27 +54,7 @@ fn main() -> ExitCode {
                     eprintln!("acc-lint: --check-file requires <logical-path> <file>");
                     return ExitCode::from(2);
                 };
-                let source = match std::fs::read_to_string(&file) {
-                    Ok(s) => s,
-                    Err(err) => {
-                        eprintln!("acc-lint: failed to read {file}: {err}");
-                        return ExitCode::from(2);
-                    }
-                };
-                let report = acc_lint::analyze_source(&logical, &source);
-                for v in &report.violations {
-                    eprintln!("{v}");
-                }
-                println!(
-                    "acc-lint: 1 file scanned as {logical}, {} violation(s), {} allow(s)",
-                    report.violations.len(),
-                    report.allows.len()
-                );
-                return if report.violations.is_empty() {
-                    ExitCode::SUCCESS
-                } else {
-                    ExitCode::FAILURE
-                };
+                check_file = Some((logical, file));
             }
             "--root" => {
                 root = args.next().map(PathBuf::from);
@@ -76,8 +64,12 @@ fn main() -> ExitCode {
                 }
             }
             "--quiet" | "-q" => quiet = true,
+            "--json" => json = true,
             "--help" | "-h" => {
-                println!("usage: acc-lint [--root <dir>] [--quiet]");
+                println!(
+                    "usage: acc-lint [--root <dir>] [--quiet] [--json]\n       \
+                     acc-lint [--json] --check-file <logical-path> <file>"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -85,6 +77,37 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+    }
+
+    if let Some((logical, file)) = check_file {
+        let source = match std::fs::read_to_string(&file) {
+            Ok(s) => s,
+            Err(err) => {
+                eprintln!("acc-lint: failed to read {file}: {err}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = acc_lint::analyze_source(&logical, &source);
+        for v in &report.violations {
+            eprintln!("{v}");
+        }
+        if json {
+            print!(
+                "{}",
+                acc_lint::render_json(1, &report.violations, &report.allows)
+            );
+        } else {
+            println!(
+                "acc-lint: 1 file scanned as {logical}, {} violation(s), {} allow(s)",
+                report.violations.len(),
+                report.allows.len()
+            );
+        }
+        return if report.violations.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
 
     let root = workspace_root(root);
@@ -99,18 +122,25 @@ fn main() -> ExitCode {
     for v in &report.violations {
         eprintln!("{v}");
     }
-    if !quiet && !report.allows.is_empty() {
-        println!("allowlist ({} annotation(s)):", report.allows.len());
-        for a in &report.allows {
-            println!("  {}:{} [{}] — {}", a.path, a.line, a.rule, a.reason);
+    if json {
+        print!(
+            "{}",
+            acc_lint::render_json(report.files_scanned, &report.violations, &report.allows)
+        );
+    } else {
+        if !quiet && !report.allows.is_empty() {
+            println!("allowlist ({} annotation(s)):", report.allows.len());
+            for a in &report.allows {
+                println!("  {}:{} [{}] — {}", a.path, a.line, a.rule, a.reason);
+            }
         }
+        println!(
+            "acc-lint: {} file(s) scanned, {} violation(s), {} allow(s)",
+            report.files_scanned,
+            report.violations.len(),
+            report.allows.len()
+        );
     }
-    println!(
-        "acc-lint: {} file(s) scanned, {} violation(s), {} allow(s)",
-        report.files_scanned,
-        report.violations.len(),
-        report.allows.len()
-    );
     if report.violations.is_empty() {
         ExitCode::SUCCESS
     } else {

@@ -225,6 +225,151 @@ fn integration_test_paths_are_exempt() {
     assert!(report.violations.is_empty(), "{report:?}");
 }
 
+#[test]
+fn r7_deep_copies_flag_in_hot_modules_only() {
+    let report = check("r7_violate.rs", "crates/net/src/switch.rs");
+    let rules = rules_of(&report);
+    assert!(
+        rules.iter().all(|&r| r == Rule::R7),
+        "only R7 expected: {report:?}"
+    );
+    assert_eq!(rules.len(), 3, "clone, to_vec and Vec::from: {report:?}");
+    // The identical code outside the zero-copy forwarding plane is not
+    // an R7 matter.
+    let cold = check("r7_violate.rs", "crates/net/src/table.rs");
+    assert!(cold.violations.is_empty(), "{cold:?}");
+}
+
+#[test]
+fn r7_payload_view_clone_is_clean() {
+    let report = check("r7_clean.rs", "crates/net/src/switch.rs");
+    assert!(
+        report.violations.is_empty(),
+        "PayloadView clone is a refcount bump: {report:?}"
+    );
+}
+
+#[test]
+fn r7_justified_materialization_is_suppressed() {
+    let report = check("r7_allow.rs", "crates/net/src/switch.rs");
+    assert!(report.violations.is_empty(), "{report:?}");
+    assert_eq!(report.allows.len(), 1, "{report:?}");
+    assert_eq!(report.allows[0].rule, Rule::R7);
+}
+
+#[test]
+fn r8_asymmetric_codec_flags_both_directions() {
+    let report = check("r8_violate.rs", "crates/proto/src/codec.rs");
+    let rules = rules_of(&report);
+    assert!(
+        rules.iter().all(|&r| r == Rule::R8),
+        "only R8 expected: {report:?}"
+    );
+    assert_eq!(
+        rules.len(),
+        2,
+        "unread encode bytes and unwritten decode bytes: {report:?}"
+    );
+}
+
+#[test]
+fn r8_symmetric_codec_passes_and_rule_is_proto_scoped() {
+    let clean = check("r8_clean.rs", "crates/proto/src/codec.rs");
+    assert!(clean.violations.is_empty(), "{clean:?}");
+    let elsewhere = check("r8_violate.rs", "crates/host/src/codec.rs");
+    assert!(
+        elsewhere.violations.is_empty(),
+        "R8 is proto-only: {elsewhere:?}"
+    );
+}
+
+#[test]
+fn r8_padding_probe_with_allow_is_suppressed() {
+    let report = check("r8_allow.rs", "crates/proto/src/codec.rs");
+    assert!(report.violations.is_empty(), "{report:?}");
+    assert_eq!(report.allows.len(), 1, "{report:?}");
+    assert_eq!(report.allows[0].rule, Rule::R8);
+}
+
+#[test]
+fn r9_unbounded_queue_flags_at_the_field_decl() {
+    let report = check("r9_violate.rs", "crates/net/src/relay.rs");
+    let rules = rules_of(&report);
+    assert_eq!(rules, vec![Rule::R9], "{report:?}");
+    assert_eq!(report.violations[0].line, 5, "the `inbox` field line");
+    // Non-component crates are exempt: their collections are plans and
+    // tables, not simulated component state.
+    let elsewhere = check("r9_violate.rs", "crates/coll/src/relay.rs");
+    assert!(elsewhere.violations.is_empty(), "{elsewhere:?}");
+}
+
+#[test]
+fn r9_bounded_queue_is_clean() {
+    let report = check("r9_clean.rs", "crates/net/src/relay.rs");
+    assert!(
+        report.violations.is_empty(),
+        "the len()-vs-cap comparison is the bound evidence: {report:?}"
+    );
+}
+
+#[test]
+fn r9_justified_queue_is_suppressed() {
+    let report = check("r9_allow.rs", "crates/net/src/relay.rs");
+    assert!(report.violations.is_empty(), "{report:?}");
+    assert_eq!(report.allows.len(), 1, "{report:?}");
+    assert_eq!(report.allows[0].rule, Rule::R9);
+}
+
+#[test]
+fn module_scope_allow_covers_the_block_in_single_file_mode() {
+    // Satellite fix: `--check-file` (analyze_source) must honor allows
+    // bound to a `mod` header exactly as workspace mode does.
+    let report = check("allow_module_scope.rs", "crates/net/src/scratch.rs");
+    let rules = rules_of(&report);
+    assert_eq!(
+        rules,
+        vec![Rule::R1],
+        "only the violation outside the mod survives: {report:?}"
+    );
+    // One audit-trail entry per suppressed site, all carrying the one
+    // annotation's reason: use, return type, constructor.
+    assert_eq!(report.allows.len(), 3, "{report:?}");
+    assert!(
+        report
+            .allows
+            .iter()
+            .all(|a| a.rule == Rule::R1 && a.reason.contains("scratch cache module")),
+        "{report:?}"
+    );
+}
+
+#[test]
+fn file_scope_allow_covers_the_whole_file_in_single_file_mode() {
+    let report = check("allow_file_scope.rs", "crates/core/src/clock.rs");
+    assert!(report.violations.is_empty(), "{report:?}");
+    // The import line plus both `Instant` mentions, every suppression
+    // traced back to the single file-scope annotation.
+    assert_eq!(report.allows.len(), 3, "{report:?}");
+    assert!(
+        report.allows.iter().all(|a| a.rule == Rule::R2),
+        "{report:?}"
+    );
+}
+
+#[test]
+fn json_report_is_stable_and_carries_locations() {
+    let report = check("r9_violate.rs", "crates/net/src/relay.rs");
+    let json = acc_lint::render_json(1, &report.violations, &report.allows);
+    assert!(json.contains("\"tool\": \"acc-lint\""), "{json}");
+    assert!(json.contains("\"files_scanned\": 1"), "{json}");
+    assert!(json.contains("\"rule\": \"R9\""), "{json}");
+    assert!(
+        json.contains("\"path\": \"crates/net/src/relay.rs\""),
+        "{json}"
+    );
+    assert!(json.contains("\"line\": 5"), "{json}");
+}
+
 /// The workspace itself must be clean: zero violations, and every
 /// surviving allow annotation carries its justification.
 #[test]

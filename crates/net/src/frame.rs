@@ -144,6 +144,7 @@ impl PayloadView {
 
     /// Copy the viewed bytes into a fresh `Vec`.
     pub fn to_vec(&self) -> Vec<u8> {
+        // acc-lint: allow(R7, reason = "the explicit copy-out API itself: callers opt into materialization; the forwarding path clones views instead")
         self.as_slice().to_vec()
     }
 
@@ -156,6 +157,7 @@ impl PayloadView {
     pub fn make_mut(&mut self) -> &mut [u8] {
         let whole = self.off == 0 && self.len as usize == self.bytes.len();
         if !whole || Rc::strong_count(&self.bytes) != 1 {
+            // acc-lint: allow(R7, reason = "copy-on-write fallback: copies only when the allocation is shared or sub-ranged, the one sanctioned materialization point")
             *self = PayloadView::new(self.to_vec());
         }
         Rc::get_mut(&mut self.bytes).expect("payload COW buffer uniquely owned")
@@ -182,6 +184,7 @@ impl From<Vec<u8>> for PayloadView {
 
 impl From<&[u8]> for PayloadView {
     fn from(bytes: &[u8]) -> PayloadView {
+        // acc-lint: allow(R7, reason = "ingress conversion from borrowed bytes must own an allocation; runs at frame creation, never on the forwarding path")
         PayloadView::new(bytes.to_vec())
     }
 }

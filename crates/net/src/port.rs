@@ -44,6 +44,7 @@ pub struct EgressPort {
     /// Owner's index for this port, echoed in [`PortTxDone`].
     own_port: usize,
     /// Queued frames not yet serializing.
+    // acc-lint: allow(R9, reason = "drop-tail bounded in bytes, not frames: enqueue rejects any frame once `buffered + size` exceeds `capacity`, so the ring never outgrows capacity / min-frame-size entries")
     queue: VecDeque<Frame>,
     /// Bytes currently buffered (queue + in-flight frame).
     buffered: DataSize,

@@ -180,6 +180,7 @@ impl SegHeader {
         // this check corrupted-but-accepted segments could differ on the
         // wire yet decode identically — a hole both the corruption
         // property tests and real middlebox behaviour care about.
+        // acc-lint: allow(R8, reason = "reserved padding 27..40: the encoder zero-fills it implicitly (fresh buffer), and decode reads it only to reject nonzero bytes, never into a field")
         if payload[27..IP_TCP_HEADER].iter().any(|&b| b != 0) {
             return None;
         }
@@ -238,6 +239,7 @@ struct SentSeg {
 /// Per-connection TCP state (both directions).
 struct TcpConn {
     // --- send side ---
+    // acc-lint: allow(R9, reason = "send staging drained at MSS per window grant; the lockstep drivers offer one round's legs at a time, so occupancy is bounded by the per-round send volume")
     send_buf: VecDeque<u8>,
     snd_una: u64,
     snd_nxt: u64,

@@ -229,6 +229,7 @@ pub struct TimingWheel {
     /// Near zone: imminent events sorted ascending by key; front pops
     /// next. Sorted-insert cost is O(1) for in-order arrivals (the
     /// common case) and bounded by the ring length otherwise.
+    // acc-lint: allow(R9, reason = "holds only the imminent time window: settle() refills it one wheel slot at a time, so occupancy tracks events within a single slot horizon, not the whole future-event list")
     near: VecDeque<NearEvent>,
     /// Event pool for wheel/overflow events; free slots are threaded
     /// through `free_head`.

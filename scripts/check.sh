@@ -20,18 +20,26 @@ cargo build --release --workspace
 echo "== acc-lint (static determinism/wire-safety invariants)"
 ./target/release/acc-lint
 
+echo "== acc-verify --schedules --smoke (static collective-schedule proofs, p <= 64)"
+# Proves leg pairing / deadlock-freedom, reduce conservation, failover
+# tag headroom and CLB admissibility for every algorithm x op x p cell
+# without running the engine. The nightly job extends this to p=4096.
+./target/release/acc-verify --schedules --smoke --max-p 64 --quiet
+
 echo "== cargo test"
 cargo test -q
 
 echo "== cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps
 
-echo "== bench_wallclock --smoke --check (timings recorded, not gated)"
+echo "== bench_wallclock --smoke --check (gating: per-point noise bounds)"
 # ACC_JOBS=2 forces the threaded work-queue path even on one core, so
 # the serial-vs-parallel determinism assert inside the binary always
-# compares both executor code paths. --check diffs this run against the
-# last BENCH_history.jsonl entry and warns (never fails) on a >25%
-# median slowdown.
+# compares both executor code paths. --check gates: each point is
+# compared against the median of the last five same-mode
+# BENCH_history.jsonl entries and fails past ACC_BENCH_TOLERANCE_PCT
+# (default 25%). ACC_BENCH_GATE=off reports without gating on
+# known-noisy hosts.
 ACC_JOBS=2 ./target/release/bench_wallclock --smoke --check
 
 echo "== ablation_collectives --smoke (executor-fanned collective matrix)"
