@@ -10,6 +10,7 @@ use acc_bench::repro::{self, ReproArtifact, ReproWorkload, EXPECTED_CLEAN};
 use acc_bench::Executor;
 use acc_chaos::{FaultEvent, FaultPlan, LinkId};
 use acc_core::{ClusterSpec, RunOutcome, RunRequest, Technology};
+use acc_net::FabricSpec;
 use acc_sim::{SimDuration, SimTime};
 
 const P: usize = 4;
@@ -69,6 +70,7 @@ fn main() {
             P,
             Technology::InicIdeal,
             workload,
+            FabricSpec::SingleSwitch,
             &hang_plan(),
         )
     });
@@ -85,6 +87,7 @@ fn main() {
         p: P,
         technology: Technology::InicIdeal,
         workload,
+        fabric: FabricSpec::SingleSwitch,
         expected: EXPECTED_CLEAN.to_owned(),
         observed,
         plan: minimal,

@@ -5,14 +5,17 @@
 //! cargo run --release -p acc-bench --bin acc_cluster -- fft inic-ideal 8 256
 //! cargo run --release -p acc-bench --bin acc_cluster -- sort gigabit-tcp 4 1048576
 //! cargo run --release -p acc-bench --bin acc_cluster -- allreduce inic-prototype 8 262144
+//! cargo run --release -p acc-bench --bin acc_cluster -- --topology=fat-tree:4 allreduce inic-ideal 16 262144
 //! ```
 
 use acc_core::cluster::{run_allreduce, run_fft, run_sort, ClusterSpec, Technology};
+use acc_net::FabricSpec;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: acc_cluster <fft|sort|allreduce> <technology> <P> <size>\n\
+        "usage: acc_cluster [--topology=<fabric>] <fft|sort|allreduce> <technology> <P> <size>\n\
          technologies: fast-ethernet gigabit-tcp inic-ideal inic-prototype inic-protocol-only\n\
+         fabric: single (default) | fat-tree:<k> | torus:<dx>x<dy>x<dz>\n\
          size: matrix edge (fft), total keys (sort), vector elements (allreduce)"
     );
     std::process::exit(2);
@@ -29,14 +32,31 @@ fn parse_tech(s: &str) -> Technology {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fabric = FabricSpec::SingleSwitch;
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| match a.strip_prefix("--topology=") {
+            Some(label) => {
+                fabric = FabricSpec::parse(label).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                });
+                false
+            }
+            None => true,
+        })
+        .collect();
     let [app, tech, p, size] = args.as_slice() else {
         usage();
     };
     let tech = parse_tech(tech);
     let p: usize = p.parse().unwrap_or_else(|_| usage());
     let size: u64 = size.parse().unwrap_or_else(|_| usage());
-    let spec = ClusterSpec::new(p, tech);
+    if let Err(e) = fabric.validate(p) {
+        eprintln!("topology does not fit p={p}: {e}");
+        usage()
+    }
+    let spec = ClusterSpec::new(p, tech).with_fabric(fabric);
     match app.as_str() {
         "fft" => {
             let r = run_fft(spec, size as usize);

@@ -44,6 +44,7 @@ use acc_bench::{executor, figure_spec, Executor};
 use acc_coll::{Algorithm, CollectiveOp};
 use acc_core::cluster::Technology;
 use acc_core::{RunOutcome, RunRequest};
+use acc_net::FabricSpec;
 
 const TECHNOLOGIES: [Technology; 4] = [
     Technology::GigabitTcp,
@@ -112,6 +113,47 @@ fn points(smoke: bool) -> Vec<(String, RunRequest)> {
             }
         }
     }
+    // Multi-switch fabric points. `fabric_hop` prices the routed
+    // multi-hop path (fat-tree allreduce, every round crossing trunks)
+    // against the flat single-switch points above; `trunk_contention`
+    // funnels an all-to-all through a torus's few ring trunks, the
+    // worst case for per-hop queueing. Both run the cluster's full
+    // routing machinery, so table construction cost is in the number.
+    let (fabric, fabric_p, torus, torus_p, fabric_elems) = if smoke {
+        (
+            FabricSpec::FatTree { k: 4 },
+            16usize,
+            FabricSpec::Torus3D { dims: [2, 2, 1] },
+            4usize,
+            1usize << 10,
+        )
+    } else {
+        (
+            FabricSpec::FatTree { k: 8 },
+            64,
+            FabricSpec::Torus3D { dims: [2, 2, 2] },
+            8,
+            1 << 14,
+        )
+    };
+    out.push((
+        format!("fabric_hop_p{fabric_p}"),
+        RunRequest::collective(
+            figure_spec(fabric_p, Technology::InicIdeal).with_fabric(fabric),
+            CollectiveOp::AllReduce,
+            Algorithm::Ring,
+            fabric_elems,
+        ),
+    ));
+    out.push((
+        format!("trunk_contention_p{torus_p}"),
+        RunRequest::collective(
+            figure_spec(torus_p, Technology::InicIdeal).with_fabric(torus),
+            CollectiveOp::AllToAll,
+            Algorithm::Bruck,
+            fabric_elems.min(1 << 12),
+        ),
+    ));
     out
 }
 

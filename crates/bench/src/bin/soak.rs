@@ -19,6 +19,13 @@
 //! before the process exits nonzero. Clean output and exit 0 mean the
 //! cluster survived every round.
 //!
+//! Every fourth round (see [`round_fabric`]) runs on a 4-switch torus
+//! fabric instead of the single switch — one host per switch, trunk
+//! hops on every exchange, and a coin-flipped trunk outage the routing
+//! layer must detour around — so multi-switch wiring, re-route epochs
+//! and the per-trunk conservation audit soak under the same chaos as
+//! everything else. Repro artifacts record the topology and replay it.
+//!
 //! `--coll` adds one engine collective per `(round, technology)` cell,
 //! rotating through all six operations (see `COLL_ROTATION`). The
 //! collective cell runs the round's full plan — permanent card deaths
@@ -42,6 +49,7 @@ use acc_chaos::{FaultEvent, FaultPlan, LinkId};
 use acc_coll::{Algorithm, CollectiveOp};
 use acc_core::cluster::{ClusterSpec, Technology};
 use acc_core::{FaultDiagnostics, RunRequest};
+use acc_net::FabricSpec;
 use acc_sim::{DataSize, SimDuration, SimRng, SimTime};
 
 /// Cluster size every round runs on.
@@ -79,13 +87,27 @@ fn ms(n: u64) -> SimTime {
     SimTime::ZERO + SimDuration::from_millis(n)
 }
 
+/// The fabric round `round` runs on: every fourth round swaps the
+/// single switch for a 4-switch torus ring (one host per switch), so
+/// the nightly campaign soaks multi-switch routing — trunk hops,
+/// re-route epochs, per-trunk conservation audits — under the same
+/// randomized background faults as the classic rounds. Purely a
+/// function of the round index, so artifacts can rebuild it.
+fn round_fabric(round: u64) -> FabricSpec {
+    if round % 4 == 2 {
+        FabricSpec::Torus3D { dims: [2, 2, 1] }
+    } else {
+        FabricSpec::SingleSwitch
+    }
+}
+
 /// Build round `round`'s randomized plan. All randomness comes from the
 /// (seed, round) pair; the returned plan validates against [`P`].
 ///
 /// The transient windows are sized to stay inside the protocol's
 /// retransmit-abandon horizon, so every fault here is *survivable* by
 /// design — a run that fails anyway found a real bug.
-fn round_plan(seed: u64, round: u64) -> FaultPlan {
+fn round_plan(seed: u64, round: u64, fabric: &FabricSpec) -> FaultPlan {
     let mut rng = SimRng::seed_from(seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut plan = FaultPlan::new(rng.next_u64());
     // Always-on background noise on every link.
@@ -148,6 +170,22 @@ fn round_plan(seed: u64, round: u64) -> FaultPlan {
             at: ms(1 + rng.gen_range(65)),
         });
     }
+    // Fabric rounds additionally coin-flip a trunk outage. The torus
+    // ring always has a detour around any one down trunk and routing
+    // re-plans at the outage edges, so the window can be generous and
+    // the fault stays survivable. Drawn last: single-switch rounds use
+    // exactly the draw sequence they always did.
+    let trunks = fabric.build(P).trunks;
+    if !trunks.is_empty() && rng.gen_bool(0.5) {
+        let (a, b) = trunks[rng.gen_range(trunks.len() as u64) as usize];
+        let from = ms(1 + rng.gen_range(60));
+        plan.push(FaultEvent::LinkDown {
+            a: a as u32,
+            b: b as u32,
+            from,
+            until: from + SimDuration::from_millis(1 + rng.gen_range(3)),
+        });
+    }
     plan
 }
 
@@ -192,6 +230,7 @@ struct CellFailure {
 fn run_cell(
     round: u64,
     tech: Technology,
+    fabric: FabricSpec,
     plan: &FaultPlan,
     coll: Option<(CollectiveOp, Algorithm, usize)>,
 ) -> Result<Vec<String>, CellFailure> {
@@ -203,7 +242,9 @@ fn run_cell(
             fault_line(faults),
         )
     };
-    let spec = ClusterSpec::new(P, tech).with_fault_plan(plan.clone());
+    let spec = ClusterSpec::new(P, tech)
+        .with_fabric(fabric)
+        .with_fault_plan(plan.clone());
     let outcome = execute_caught(RunRequest::sort(spec, SORT_KEYS));
     let sort_line = match failure_of(&outcome) {
         Some(observed) => {
@@ -219,7 +260,9 @@ fn run_cell(
             line("sort", r.total, &r.faults)
         }
     };
-    let spec = ClusterSpec::new(P, tech).with_fault_plan(plan.clone());
+    let spec = ClusterSpec::new(P, tech)
+        .with_fabric(fabric)
+        .with_fault_plan(plan.clone());
     let outcome = execute_caught(RunRequest::fft(spec, FFT_ROWS));
     let fft_line = match failure_of(&outcome) {
         Some(observed) => {
@@ -237,7 +280,9 @@ fn run_cell(
     };
     let mut lines = vec![sort_line, fft_line];
     if let Some((op, algo, elems)) = coll {
-        let spec = ClusterSpec::new(P, tech).with_fault_plan(plan.clone());
+        let spec = ClusterSpec::new(P, tech)
+            .with_fabric(fabric)
+            .with_fault_plan(plan.clone());
         let outcome = execute_caught(RunRequest::collective(spec, op, algo, elems));
         match failure_of(&outcome) {
             Some(observed) => {
@@ -286,8 +331,10 @@ fn replay(path: &str) -> ! {
 /// Minimize the first failing cell's plan, write the repro artifact,
 /// and report — the deterministic failure epilogue of a soak run.
 fn emit_repro(ex: &Executor, seed: u64, failure: &CellFailure) {
-    // Every cell — collectives included — ran the round's full plan.
-    let plan = round_plan(seed, failure.round);
+    // Every cell — collectives included — ran the round's full plan on
+    // the round's fabric.
+    let fabric = round_fabric(failure.round);
+    let plan = round_plan(seed, failure.round, &fabric);
     println!(
         "minimizing round {:03} {} {} plan ({} events) ...",
         failure.round,
@@ -296,7 +343,7 @@ fn emit_repro(ex: &Executor, seed: u64, failure: &CellFailure) {
         plan.events().len(),
     );
     let minimized = repro::with_silent_panics(|| {
-        repro::minimize_failure(ex, P, failure.tech, failure.workload, &plan)
+        repro::minimize_failure(ex, P, failure.tech, failure.workload, fabric, &plan)
     });
     let artifact = ReproArtifact {
         campaign_seed: seed,
@@ -304,6 +351,7 @@ fn emit_repro(ex: &Executor, seed: u64, failure: &CellFailure) {
         p: P,
         technology: failure.tech,
         workload: failure.workload,
+        fabric,
         expected: EXPECTED_CLEAN.to_owned(),
         observed: failure.observed.clone(),
         plan: minimized,
@@ -364,8 +412,9 @@ fn main() {
     type CellTask = Box<dyn FnOnce() -> Result<Vec<String>, CellFailure> + Send>;
     let mut tasks: Vec<CellTask> = Vec::new();
     for round in 0..rounds {
-        let plan = round_plan(seed, round);
-        plan.validate(P as u32)
+        let fabric = round_fabric(round);
+        let plan = round_plan(seed, round, &fabric);
+        plan.validate_for_fabric(P as u32, SimTime::MAX, &fabric)
             .unwrap_or_else(|e| panic!("round {round} built an invalid plan: {e}"));
         let coll_cell = coll.then(|| COLL_ROTATION[(round % COLL_ROTATION.len() as u64) as usize]);
         let kinds: Vec<&str> = plan
@@ -381,12 +430,23 @@ fn main() {
                 FaultEvent::NodeStall { .. } => "stall",
                 FaultEvent::CardFailure { .. } => "card-kill",
                 FaultEvent::CardReconfigure { .. } => "reconfig",
+                FaultEvent::LinkDown { .. } => "link-down",
+                FaultEvent::SwitchFailure { .. } => "switch-kill",
             })
             .collect();
-        plan_lines.push(format!("round {round:03}: plan [{}]", kinds.join(" ")));
+        let topology = match fabric {
+            FabricSpec::SingleSwitch => String::new(),
+            other => format!(" topology={}", other.label()),
+        };
+        plan_lines.push(format!(
+            "round {round:03}: plan [{}]{topology}",
+            kinds.join(" ")
+        ));
         for tech in TECHNOLOGIES {
             let plan = plan.clone();
-            tasks.push(Box::new(move || run_cell(round, tech, &plan, coll_cell)));
+            tasks.push(Box::new(move || {
+                run_cell(round, tech, fabric, &plan, coll_cell)
+            }));
         }
     }
     let runs = (if coll { 3 } else { 2 }) * tasks.len() as u64;

@@ -33,6 +33,8 @@
 use acc_chaos::FaultPlan;
 use acc_coll::{Algorithm, CollectiveOp};
 use acc_core::{ClusterSpec, RunOutcome, RunRequest, Technology, Workload};
+use acc_net::FabricSpec;
+use acc_sim::SimTime;
 
 use crate::executor::Executor;
 
@@ -136,6 +138,10 @@ pub struct ReproArtifact {
     pub technology: Technology,
     /// The failing workload.
     pub workload: ReproWorkload,
+    /// The fabric the cluster was wired with. Single-switch artifacts
+    /// omit the `topology` line, so pre-fabric artifacts parse
+    /// unchanged.
+    pub fabric: FabricSpec,
     /// What should have happened.
     pub expected: String,
     /// What happened instead (the deterministic observation string).
@@ -147,13 +153,17 @@ pub struct ReproArtifact {
 impl ReproArtifact {
     /// Serialize to the `# acc soak repro v1` text format.
     pub fn to_text(&self) -> String {
+        let topology = match self.fabric {
+            FabricSpec::SingleSwitch => String::new(),
+            other => format!("topology {}\n", other.label()),
+        };
         format!(
             "# acc soak repro v1\n\
              campaign-seed {:#x}\n\
              round {}\n\
              p {}\n\
              technology {}\n\
-             workload {}\n\
+             {topology}workload {}\n\
              expected {}\n\
              observed {}\n\
              # minimized fault plan\n\
@@ -180,6 +190,7 @@ impl ReproArtifact {
         let mut p: Option<usize> = None;
         let mut technology = None;
         let mut workload = None;
+        let mut fabric = FabricSpec::SingleSwitch;
         let mut expected = None;
         let mut observed = None;
         let mut plan_text = String::new();
@@ -210,6 +221,9 @@ impl ReproArtifact {
                     );
                 }
                 "workload" => workload = Some(ReproWorkload::parse(value, ln)?),
+                "topology" => {
+                    fabric = FabricSpec::parse(value).map_err(|e| format!("line {ln}: {e}"))?;
+                }
                 "expected" => expected = Some(value.to_owned()),
                 "observed" => observed = Some(value.to_owned()),
                 // Anything else is a fault-plan directive; collect the
@@ -222,7 +236,12 @@ impl ReproArtifact {
         }
         let plan = FaultPlan::from_text(&plan_text)?;
         let p = p.ok_or("missing 'p' line")?;
-        plan.validate(p as u32)
+        fabric
+            .validate(p)
+            .map_err(|e| format!("topology is invalid for p={p}: {e}"))?;
+        // `SimTime::MAX` as the horizon: an artifact carries no run
+        // deadline, so only structural and topology checks apply.
+        plan.validate_for_fabric(p as u32, SimTime::MAX, &fabric)
             .map_err(|e| format!("embedded plan is invalid for p={p}: {e}"))?;
         Ok(ReproArtifact {
             campaign_seed: campaign_seed.ok_or("missing 'campaign-seed' line")?,
@@ -230,6 +249,7 @@ impl ReproArtifact {
             p,
             technology: technology.ok_or("missing 'technology' line")?,
             workload: workload.ok_or("missing 'workload' line")?,
+            fabric,
             expected: expected.ok_or("missing 'expected' line")?,
             observed: observed.ok_or("missing 'observed' line")?,
             plan,
@@ -240,6 +260,7 @@ impl ReproArtifact {
     /// the failure, so the engine's stderr dumps are noise).
     pub fn spec(&self) -> ClusterSpec {
         ClusterSpec::new(self.p, self.technology)
+            .with_fabric(self.fabric)
             .with_fault_plan(self.plan.clone())
             .with_quiet(true)
     }
@@ -332,6 +353,7 @@ pub fn minimize_failure(
     p: usize,
     technology: Technology,
     workload: ReproWorkload,
+    fabric: FabricSpec,
     plan: &FaultPlan,
 ) -> FaultPlan {
     plan.minimize(|batch| {
@@ -339,6 +361,7 @@ pub fn minimize_failure(
             .iter()
             .map(|candidate| {
                 let spec = ClusterSpec::new(p, technology)
+                    .with_fabric(fabric)
                     .with_fault_plan(candidate.clone())
                     .with_quiet(true);
                 move || observe(spec, workload).is_some()
@@ -379,6 +402,7 @@ mod tests {
             p: 4,
             technology: Technology::InicIdeal,
             workload: ReproWorkload::Sort { keys: 1 << 14 },
+            fabric: FabricSpec::SingleSwitch,
             expected: EXPECTED_CLEAN.to_owned(),
             observed: "hung: simulated-time deadline exceeded; stuck in exchange on rank 1"
                 .to_owned(),
@@ -423,6 +447,33 @@ mod tests {
         );
         let err = ReproArtifact::from_text(&garbled).unwrap_err();
         assert!(err.contains("warp-speed"), "{err}");
+    }
+
+    #[test]
+    fn fabric_artifacts_roundtrip_and_validate_topology() {
+        // Single-switch artifacts carry no `topology` line, so the
+        // pre-fabric text format is unchanged.
+        assert!(!artifact().to_text().contains("topology"));
+        let mut a = artifact();
+        a.fabric = FabricSpec::Torus3D { dims: [2, 2, 1] };
+        a.plan = FaultPlan::new(0x5EED).with(FaultEvent::LinkDown {
+            a: 0,
+            b: 1,
+            from: SimTime::ZERO + SimDuration::from_micros(1),
+            until: SimTime::ZERO + SimDuration::from_millis(1),
+        });
+        let text = a.to_text();
+        assert!(text.contains("topology torus:2x2x1"), "{text}");
+        assert_eq!(ReproArtifact::from_text(&text), Ok(a.clone()));
+        // A fabric fault without a matching topology is caught at
+        // parse time, not as a wiring panic at replay time.
+        let no_topology = text.replace("topology torus:2x2x1\n", "");
+        let err = ReproArtifact::from_text(&no_topology).unwrap_err();
+        assert!(err.contains("invalid for p=4"), "{err}");
+        // As is a topology too small for the recorded cluster size.
+        let tiny = text.replace("torus:2x2x1", "torus:2x1x1");
+        let err = ReproArtifact::from_text(&tiny).unwrap_err();
+        assert!(err.contains("topology is invalid for p=4"), "{err}");
     }
 
     #[test]

@@ -17,6 +17,7 @@ use acc_bench::repro::{self, ReproArtifact, ReproWorkload, EXPECTED_CLEAN};
 use acc_bench::Executor;
 use acc_chaos::{FaultEvent, FaultPlan, LinkId};
 use acc_core::{ClusterSpec, HangCause, RunOutcome, RunRequest, Technology};
+use acc_net::FabricSpec;
 use acc_sim::{SimDuration, SimTime};
 
 const P: usize = 4;
@@ -84,6 +85,7 @@ fn seeded_hang_is_detected_attributed_minimized_and_replayable() {
                 P,
                 Technology::InicIdeal,
                 workload,
+                FabricSpec::SingleSwitch,
                 &hang_plan(),
             )
         })
@@ -128,6 +130,7 @@ fn seeded_hang_is_detected_attributed_minimized_and_replayable() {
         p: P,
         technology: Technology::InicIdeal,
         workload,
+        fabric: FabricSpec::SingleSwitch,
         expected: EXPECTED_CLEAN.to_owned(),
         observed: observed.clone(),
         plan: minimal,

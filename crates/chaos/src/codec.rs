@@ -100,6 +100,15 @@ impl FaultPlan {
                     time_ps(at),
                     hold.as_ps()
                 ),
+                FaultEvent::LinkDown { a, b, from, until } => writeln!(
+                    out,
+                    "link-down a={a} b={b} from={} until={}",
+                    time_ps(from),
+                    time_ps(until)
+                ),
+                FaultEvent::SwitchFailure { switch, at } => {
+                    writeln!(out, "switch-failure switch={switch} at={}", time_ps(at))
+                }
             }
             .expect("write to String");
         }
@@ -175,6 +184,16 @@ impl FaultPlan {
                     at: time_field(&rest, "at", ln)?,
                     hold: SimDuration::from_ps(u64_field(&rest, "hold", ln)?),
                 }),
+                "link-down" => events.push(FaultEvent::LinkDown {
+                    a: switch_field(&rest, "a", ln)?,
+                    b: switch_field(&rest, "b", ln)?,
+                    from: time_field(&rest, "from", ln)?,
+                    until: time_field(&rest, "until", ln)?,
+                }),
+                "switch-failure" => events.push(FaultEvent::SwitchFailure {
+                    switch: switch_field(&rest, "switch", ln)?,
+                    at: time_field(&rest, "at", ln)?,
+                }),
                 other => {
                     return Err(format!("line {ln}: unknown directive '{other}'"));
                 }
@@ -218,6 +237,12 @@ fn node_field(rest: &[&str], ln: usize) -> Result<u32, String> {
     let v = field(rest, "node", ln)?;
     v.parse()
         .map_err(|_| format!("line {ln}: '{v}' is not a node index"))
+}
+
+fn switch_field(rest: &[&str], key: &str, ln: usize) -> Result<u32, String> {
+    let v = field(rest, key, ln)?;
+    v.parse()
+        .map_err(|_| format!("line {ln}: '{v}' is not a switch index"))
 }
 
 fn time_field(rest: &[&str], key: &str, ln: usize) -> Result<SimTime, String> {
@@ -296,6 +321,16 @@ mod tests {
                 at: ms(10),
                 hold: SimDuration::from_millis(2),
             })
+            .with(FaultEvent::LinkDown {
+                a: 0,
+                b: 8,
+                from: ms(11),
+                until: ms(12),
+            })
+            .with(FaultEvent::SwitchFailure {
+                switch: 17,
+                at: ms(13),
+            })
     }
 
     #[test]
@@ -319,7 +354,7 @@ mod tests {
                 };
                 let t =
                     |rng: &mut SimRng| SimTime::ZERO + SimDuration::from_ps(rng.next_u64() >> 20);
-                let ev = match rng.gen_range(9) {
+                let ev = match rng.gen_range(11) {
                     0 => FaultEvent::FrameLoss {
                         link,
                         prob: rng.gen_f64(),
@@ -357,10 +392,20 @@ mod tests {
                         node: rng.gen_range(8) as u32,
                         at: t(&mut rng),
                     },
-                    _ => FaultEvent::CardReconfigure {
+                    8 => FaultEvent::CardReconfigure {
                         node: rng.gen_range(8) as u32,
                         at: t(&mut rng),
                         hold: SimDuration::from_ps(rng.gen_range(1 << 40)),
+                    },
+                    9 => FaultEvent::LinkDown {
+                        a: rng.gen_range(64) as u32,
+                        b: rng.gen_range(64) as u32,
+                        from: t(&mut rng),
+                        until: t(&mut rng),
+                    },
+                    _ => FaultEvent::SwitchFailure {
+                        switch: rng.gen_range(64) as u32,
+                        at: t(&mut rng),
                     },
                 };
                 plan.push(ev);
@@ -394,6 +439,10 @@ mod tests {
         assert!(bad.contains("bad link"), "{bad}");
         let bad = FaultPlan::from_text("seed 1\nseed 2\n").unwrap_err();
         assert!(bad.contains("duplicate seed"), "{bad}");
+        let bad = FaultPlan::from_text("seed 1\nlink-down a=0 from=1 until=2\n").unwrap_err();
+        assert!(bad.contains("'b='"), "{bad}");
+        let bad = FaultPlan::from_text("seed 1\nswitch-failure switch=x at=2\n").unwrap_err();
+        assert!(bad.contains("not a switch index"), "{bad}");
     }
 
     #[test]

@@ -106,6 +106,22 @@ pub enum FaultEvent {
         at: SimTime,
         hold: SimDuration,
     },
+    /// Fabric fault: the trunk between switches `a` and `b` carries
+    /// nothing during `[from, until)` (both directions black out, and
+    /// routing swaps to failover tables at the boundary). Only
+    /// meaningful on multi-switch fabrics; switch ids are validated
+    /// against the topology by
+    /// [`validate_for_fabric`](FaultPlan::validate_for_fabric).
+    LinkDown {
+        a: u32,
+        b: u32,
+        from: SimTime,
+        until: SimTime,
+    },
+    /// Fabric fault: switch `switch` dies permanently at `at`. Frames
+    /// already queued drain; everything arriving later is blackholed,
+    /// and ranks homed on the switch lose their primary attachment.
+    SwitchFailure { switch: u32, at: SimTime },
 }
 
 /// A seeded, fully deterministic fault schedule for one run.
@@ -258,6 +274,67 @@ impl FaultPlan {
             .collect()
     }
 
+    /// Trunk outage windows, as `(a, b, from, until)` in event order.
+    pub fn link_downs(&self) -> Vec<(u32, u32, SimTime, SimTime)> {
+        self.events
+            .iter()
+            .filter_map(|ev| match *ev {
+                FaultEvent::LinkDown { a, b, from, until } => Some((a, b, from, until)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Permanent switch deaths, as `(switch, at)` pairs in event order.
+    pub fn switch_failures(&self) -> Vec<(u32, SimTime)> {
+        self.events
+            .iter()
+            .filter_map(|ev| match *ev {
+                FaultEvent::SwitchFailure { switch, at } => Some((switch, at)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether the plan injects any fabric-level fault (trunk outage or
+    /// switch death).
+    pub fn has_fabric_faults(&self) -> bool {
+        self.events.iter().any(|ev| {
+            matches!(
+                ev,
+                FaultEvent::LinkDown { .. } | FaultEvent::SwitchFailure { .. }
+            )
+        })
+    }
+
+    /// Compile the [`LinkDown`](FaultEvent::LinkDown) windows covering
+    /// the trunk `(from_switch, to_switch)` (matched in either order)
+    /// into an outage impairment for that *direction* of the trunk, or
+    /// `None` if the trunk is clean. Each direction draws its own RNG
+    /// stream, disjoint from every node link's stream.
+    pub fn trunk_impairment(&self, from_switch: u32, to_switch: u32) -> Option<Impairment> {
+        let key = (1u64 << 32) | (u64::from(from_switch) << 16) | u64::from(to_switch);
+        let rng = SimRng::seed_from(
+            self.seed
+                .wrapping_add(key.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        let mut imp = Impairment::new(rng);
+        for ev in &self.events {
+            if let FaultEvent::LinkDown { a, b, from, until } = *ev {
+                let hit =
+                    (a == from_switch && b == to_switch) || (a == to_switch && b == from_switch);
+                if hit {
+                    imp = imp.with_outage(from, until);
+                }
+            }
+        }
+        if imp.is_active() {
+            Some(imp)
+        } else {
+            None
+        }
+    }
+
     /// The last instant at which the plan's *stateful* events can
     /// still be perturbing a run: the maximum end of any window, card
     /// death, or reconfigure hold. `None` for plans of purely
@@ -272,8 +349,11 @@ impl FaultPlan {
             .filter_map(|ev| match *ev {
                 FaultEvent::LinkOutage { until, .. }
                 | FaultEvent::BufferSqueeze { until, .. }
-                | FaultEvent::NodeStall { until, .. } => Some(until),
-                FaultEvent::CardFailure { at, .. } => Some(at),
+                | FaultEvent::NodeStall { until, .. }
+                | FaultEvent::LinkDown { until, .. } => Some(until),
+                FaultEvent::CardFailure { at, .. } | FaultEvent::SwitchFailure { at, .. } => {
+                    Some(at)
+                }
                 FaultEvent::CardReconfigure { at, hold, .. } => Some(at + hold),
                 FaultEvent::FrameLoss { .. }
                 | FaultEvent::FrameCorruption { .. }
@@ -328,6 +408,8 @@ impl FaultPlan {
         };
         let mut outages: Vec<(LinkId, SimTime, SimTime)> = Vec::new();
         let mut dead_cards: Vec<u32> = Vec::new();
+        let mut trunk_downs: Vec<((u32, u32), SimTime, SimTime)> = Vec::new();
+        let mut dead_switches: Vec<u32> = Vec::new();
         for ev in &self.events {
             match *ev {
                 FaultEvent::FrameLoss { link, .. } => check_link("FrameLoss", link)?,
@@ -391,6 +473,95 @@ impl FaultPlan {
                     }
                     check_start(format!("CardReconfigure on node {node}"), at)?;
                 }
+                FaultEvent::LinkDown { a, b, from, until } => {
+                    if a == b {
+                        return Err(format!("LinkDown names switch {a} on both ends"));
+                    }
+                    if until <= from {
+                        return Err(format!(
+                            "LinkDown on trunk {a}-{b} has zero duration ({from} .. {until})"
+                        ));
+                    }
+                    let key = (a.min(b), a.max(b));
+                    for &(other, f, u) in &trunk_downs {
+                        if other == key && from < u && f < until {
+                            return Err(format!(
+                                "overlapping LinkDowns on trunk {a}-{b}: [{f} .. {u}) and \
+                                 [{from} .. {until})"
+                            ));
+                        }
+                    }
+                    trunk_downs.push((key, from, until));
+                    check_start(format!("LinkDown on trunk {a}-{b}"), from)?;
+                }
+                FaultEvent::SwitchFailure { switch, at } => {
+                    if dead_switches.contains(&switch) {
+                        return Err(format!(
+                            "switch {switch} has more than one SwitchFailure: a switch dies \
+                             permanently, so the second failure has nothing left to kill"
+                        ));
+                    }
+                    dead_switches.push(switch);
+                    check_start(format!("SwitchFailure on switch {switch}"), at)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// [`validate_for`](FaultPlan::validate_for), plus topology checks
+    /// for fabric faults: every [`LinkDown`](FaultEvent::LinkDown) must
+    /// name an existing trunk of `fabric` and every
+    /// [`SwitchFailure`](FaultEvent::SwitchFailure) an existing switch;
+    /// fabric faults on a single-switch cluster are rejected outright
+    /// (there is no trunk to cut).
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate_for_fabric(
+        &self,
+        p: u32,
+        run_horizon: SimTime,
+        fabric: &acc_net::FabricSpec,
+    ) -> Result<(), String> {
+        self.validate_impl(p, Some(run_horizon))?;
+        if !self.has_fabric_faults() {
+            return Ok(());
+        }
+        if *fabric == acc_net::FabricSpec::SingleSwitch {
+            return Err(
+                "plan injects fabric faults, but the cluster is a single switch \
+                 with no trunks"
+                    .to_string(),
+            );
+        }
+        fabric.validate(p as usize)?;
+        let topo = fabric.build(p as usize);
+        for ev in &self.events {
+            match *ev {
+                FaultEvent::LinkDown { a, b, .. } => {
+                    let n = topo.switch_count as u32;
+                    if a >= n || b >= n {
+                        return Err(format!(
+                            "LinkDown on trunk {a}-{b}, but fabric {fabric} has {n} switches"
+                        ));
+                    }
+                    if !topo.has_trunk(a as usize, b as usize) {
+                        return Err(format!(
+                            "LinkDown on {a}-{b}, but fabric {fabric} has no such trunk"
+                        ));
+                    }
+                }
+                FaultEvent::SwitchFailure { switch, .. } => {
+                    let n = topo.switch_count as u32;
+                    if switch >= n {
+                        return Err(format!(
+                            "SwitchFailure on switch {switch}, but fabric {fabric} has \
+                             {n} switches"
+                        ));
+                    }
+                }
+                _ => {}
             }
         }
         Ok(())
@@ -693,6 +864,138 @@ mod tests {
                 at: ms(60),
             });
         assert_eq!(plan.horizon(), Some(ms(75)));
+    }
+
+    #[test]
+    fn fabric_faults_extracted_and_extend_horizon() {
+        let plan = FaultPlan::new(2)
+            .with(FaultEvent::LinkDown {
+                a: 0,
+                b: 8,
+                from: ms(5),
+                until: ms(50),
+            })
+            .with(FaultEvent::SwitchFailure {
+                switch: 3,
+                at: ms(80),
+            });
+        assert!(plan.has_fabric_faults());
+        assert_eq!(plan.link_downs(), vec![(0, 8, ms(5), ms(50))]);
+        assert_eq!(plan.switch_failures(), vec![(3, ms(80))]);
+        assert_eq!(plan.horizon(), Some(ms(80)));
+        assert!(!FaultPlan::new(2).has_fabric_faults());
+    }
+
+    #[test]
+    fn trunk_impairment_covers_both_orders_with_distinct_streams() {
+        let plan = FaultPlan::new(7).with(FaultEvent::LinkDown {
+            a: 1,
+            b: 4,
+            from: ms(10),
+            until: ms(20),
+        });
+        for (f, t) in [(1u32, 4u32), (4, 1)] {
+            let mut imp = plan.trunk_impairment(f, t).expect("trunk is faulted");
+            assert!(matches!(imp.judge(ms(15)), Verdict::Drop));
+            assert!(matches!(imp.judge(ms(25)), Verdict::Deliver));
+        }
+        assert!(plan.trunk_impairment(0, 1).is_none());
+        assert!(plan.trunk_impairment(2, 4).is_none());
+    }
+
+    #[test]
+    fn validate_rejects_malformed_fabric_faults() {
+        let plan = FaultPlan::new(1).with(FaultEvent::LinkDown {
+            a: 2,
+            b: 2,
+            from: ms(1),
+            until: ms(2),
+        });
+        assert!(plan.validate(4).unwrap_err().contains("both ends"));
+        let plan = FaultPlan::new(1).with(FaultEvent::LinkDown {
+            a: 1,
+            b: 2,
+            from: ms(2),
+            until: ms(2),
+        });
+        assert!(plan.validate(4).unwrap_err().contains("zero duration"));
+        let plan = FaultPlan::new(1)
+            .with(FaultEvent::LinkDown {
+                a: 1,
+                b: 2,
+                from: ms(1),
+                until: ms(5),
+            })
+            .with(FaultEvent::LinkDown {
+                a: 2,
+                b: 1,
+                from: ms(4),
+                until: ms(9),
+            });
+        assert!(plan.validate(4).unwrap_err().contains("overlapping"));
+        let plan = FaultPlan::new(1)
+            .with(FaultEvent::SwitchFailure {
+                switch: 1,
+                at: ms(1),
+            })
+            .with(FaultEvent::SwitchFailure {
+                switch: 1,
+                at: ms(2),
+            });
+        assert!(plan
+            .validate(4)
+            .unwrap_err()
+            .contains("more than one SwitchFailure"));
+    }
+
+    #[test]
+    fn validate_for_fabric_checks_the_topology() {
+        use acc_net::FabricSpec;
+        let horizon = ms(1_000);
+        let tree = FabricSpec::FatTree { k: 4 };
+        let ok = FaultPlan::new(1)
+            .with(FaultEvent::LinkDown {
+                a: 0,
+                b: 8,
+                from: ms(1),
+                until: ms(2),
+            })
+            .with(FaultEvent::SwitchFailure {
+                switch: 19,
+                at: ms(5),
+            });
+        assert_eq!(ok.validate_for_fabric(16, horizon, &tree), Ok(()));
+
+        // Edge 0 and edge 1 share no trunk in a fat-tree.
+        let bad_trunk = FaultPlan::new(1).with(FaultEvent::LinkDown {
+            a: 0,
+            b: 1,
+            from: ms(1),
+            until: ms(2),
+        });
+        assert!(bad_trunk
+            .validate_for_fabric(16, horizon, &tree)
+            .unwrap_err()
+            .contains("no such trunk"));
+        let bad_switch = FaultPlan::new(1).with(FaultEvent::SwitchFailure {
+            switch: 20,
+            at: ms(5),
+        });
+        assert!(bad_switch
+            .validate_for_fabric(16, horizon, &tree)
+            .unwrap_err()
+            .contains("20 switches"));
+        // Fabric faults on a single switch are a scenario bug.
+        assert!(ok
+            .validate_for_fabric(16, horizon, &FabricSpec::SingleSwitch)
+            .unwrap_err()
+            .contains("single switch"));
+        // Node-level plans remain valid on any fabric.
+        let node_plan = FaultPlan::new(1).with(FaultEvent::CardFailure { node: 3, at: ms(5) });
+        assert_eq!(
+            node_plan.validate_for_fabric(16, horizon, &FabricSpec::SingleSwitch),
+            Ok(())
+        );
     }
 
     #[test]

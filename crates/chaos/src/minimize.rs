@@ -223,10 +223,14 @@ fn halvings(ev: &FaultEvent) -> Vec<FaultEvent> {
             .map(|(from, until)| FaultEvent::NodeStall { node, from, until })
             .into_iter()
             .collect(),
-        // An instantaneous, magnitude-free event: nothing to shrink.
-        FaultEvent::CardFailure { .. } => Vec::new(),
+        // Instantaneous, magnitude-free events: nothing to shrink.
+        FaultEvent::CardFailure { .. } | FaultEvent::SwitchFailure { .. } => Vec::new(),
         FaultEvent::CardReconfigure { node, at, hold } => half_dur(hold)
             .map(|hold| FaultEvent::CardReconfigure { node, at, hold })
+            .into_iter()
+            .collect(),
+        FaultEvent::LinkDown { a, b, from, until } => half_window(from, until)
+            .map(|(from, until)| FaultEvent::LinkDown { a, b, from, until })
             .into_iter()
             .collect(),
     }
@@ -359,6 +363,77 @@ mod tests {
             vec![true; batch.len()]
         });
         assert_eq!(minimal.events(), &[culprit_a()]);
+        assert_eq!(batches, 0, "no candidates were ever generated");
+    }
+
+    #[test]
+    fn ddmin_isolates_a_switch_failure_from_noise() {
+        // Mirrors ddmin_isolates_a_two_event_culprit_from_noise for the
+        // fabric fault kinds: a SwitchFailure + LinkDown pair buried in
+        // link noise survives, everything else is shed.
+        let kill = FaultEvent::SwitchFailure {
+            switch: 9,
+            at: ms(4),
+        };
+        let cut = FaultEvent::LinkDown {
+            a: 0,
+            b: 8,
+            from: ms(1),
+            until: ms(3),
+        };
+        let mut plan = FaultPlan::new(11).with(kill.clone());
+        for i in 0..6 {
+            plan.push(noise(i));
+        }
+        plan.push(cut.clone());
+        let minimal = plan.minimize(needs_all(vec![kill.clone(), cut.clone()]));
+        assert_eq!(minimal.events(), &[kill, cut]);
+    }
+
+    #[test]
+    fn link_down_window_shrinks_to_the_failing_minimum() {
+        let threshold = SimDuration::from_millis(8);
+        let plan = FaultPlan::new(13).with(FaultEvent::LinkDown {
+            a: 2,
+            b: 5,
+            from: ms(10),
+            until: ms(74),
+        });
+        let oracle = |batch: &[FaultPlan]| {
+            batch
+                .iter()
+                .map(|p| {
+                    p.events().iter().any(|ev| match *ev {
+                        FaultEvent::LinkDown { from, until, .. } => until.since(from) >= threshold,
+                        _ => false,
+                    })
+                })
+                .collect()
+        };
+        let minimal = plan.minimize(oracle);
+        match minimal.events() {
+            [FaultEvent::LinkDown { a, b, from, until }] => {
+                assert_eq!((*a, *b), (2, 5), "endpoints survive shrinking");
+                assert_eq!(until.since(*from), threshold);
+                assert_eq!(*from, ms(10), "window start is preserved");
+            }
+            other => panic!("unexpected minimal events: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn switch_failure_is_magnitude_free() {
+        let kill = FaultEvent::SwitchFailure {
+            switch: 3,
+            at: ms(2),
+        };
+        let plan = FaultPlan::new(5).with(kill.clone());
+        let mut batches = 0;
+        let minimal = plan.minimize(|batch: &[FaultPlan]| {
+            batches += 1;
+            vec![true; batch.len()]
+        });
+        assert_eq!(minimal.events(), &[kill]);
         assert_eq!(batches, 0, "no candidates were ever generated");
     }
 

@@ -18,6 +18,14 @@
 //!   an upper bound on the bytes senders charge against them
 //!   (`credit_bytes_consumed ≤ credit_bytes_granted`), and no sender's
 //!   outstanding window ever exceeds the credit window;
+//! * **switch conservation**, per routed fabric switch: every frame a
+//!   switch accepts resolves to exactly one fate — forwarded into an
+//!   output queue, queue-dropped, blackholed (dead switch), or
+//!   unroutable (partitioned destination): `frames_fwd + frames_dropped +
+//!   frames_blackholed + frames_unroutable ≤ frames_in` while running
+//!   (the remainder is in the forwarding pipeline), with equality at
+//!   quiescence. Routed switches never flood, so the equality is exact
+//!   — a silent multi-port replication or a lost frame both violate it;
 //! * **datapath conservation**, per card: bytes leaving the gather
 //!   datapath toward the host never exceed the bytes that entered it
 //!   plus any zero-fill the card itself generated (`gather_bytes_out ≤
@@ -38,6 +46,10 @@ pub struct AuditConfig {
     pub ports: Vec<String>,
     /// Stats labels of every INIC card (empty on commodity runs).
     pub cards: Vec<String>,
+    /// Stats labels of every routed fabric switch (empty on the
+    /// single-switch baseline, whose flooding replicates frames and has
+    /// no one-fate-per-frame invariant).
+    pub switches: Vec<String>,
     /// The cards' credit window in bytes (outstanding-bytes bound).
     pub credit_window: u64,
     /// Whether every instrumented port must have fully drained at the
@@ -120,6 +132,19 @@ pub fn check_running(stats: &StatsRegistry, cfg: &AuditConfig) {
              queue_drops={queue_drops} impair_drops={impair_drops}"
         );
     }
+    for sw in &cfg.switches {
+        let frames_in = counter(stats, sw, "frames_in");
+        let fwd = counter(stats, sw, "frames_fwd");
+        let dropped = counter(stats, sw, "frames_dropped");
+        let blackholed = counter(stats, sw, "frames_blackholed");
+        let unroutable = counter(stats, sw, "frames_unroutable");
+        assert!(
+            fwd + dropped + blackholed + unroutable <= frames_in,
+            "AUDIT VIOLATION: switch {sw} accounts for more frames than \
+             arrived: in={frames_in} fwd={fwd} dropped={dropped} \
+             blackholed={blackholed} unroutable={unroutable}"
+        );
+    }
     let mut granted_total = 0u64;
     let mut consumed_total = 0u64;
     for card in &cfg.cards {
@@ -154,6 +179,24 @@ pub fn check_running(stats: &StatsRegistry, cfg: &AuditConfig) {
 /// delivered or dropped.
 pub fn final_check(stats: &StatsRegistry, cfg: &AuditConfig) {
     check_running(stats, cfg);
+    // Switch conservation tightens to an equality unconditionally: the
+    // forwarding pipeline always drains (a dead switch still counts its
+    // pipeline casualties as blackholed), so even a run that strands
+    // port queues must account for every arrived frame.
+    for sw in &cfg.switches {
+        let frames_in = counter(stats, sw, "frames_in");
+        let fwd = counter(stats, sw, "frames_fwd");
+        let dropped = counter(stats, sw, "frames_dropped");
+        let blackholed = counter(stats, sw, "frames_blackholed");
+        let unroutable = counter(stats, sw, "frames_unroutable");
+        assert_eq!(
+            frames_in,
+            fwd + dropped + blackholed + unroutable,
+            "AUDIT VIOLATION: switch {sw} lost track of frames: \
+             in={frames_in} fwd={fwd} dropped={dropped} \
+             blackholed={blackholed} unroutable={unroutable}"
+        );
+    }
     if !cfg.expect_quiescent_ports {
         return;
     }
@@ -180,6 +223,7 @@ mod tests {
         AuditConfig {
             ports: vec!["up0".into()],
             cards: vec!["inic0".into()],
+            switches: vec![],
             credit_window: 1000,
             expect_quiescent_ports: true,
             p: 1,
@@ -200,6 +244,45 @@ mod tests {
         stats.gauge("inic0", "outstanding_bytes").set(900.0);
         check_running(&stats, &cfg());
         final_check(&stats, &cfg());
+    }
+
+    #[test]
+    fn switch_conservation_accepts_all_four_fates() {
+        let mut stats = StatsRegistry::new();
+        stats.counter("fsw0", "frames_in").add(10);
+        stats.counter("fsw0", "frames_fwd").add(6);
+        stats.counter("fsw0", "frames_dropped").add(1);
+        stats.counter("fsw0", "frames_blackholed").add(2);
+        stats.counter("fsw0", "frames_unroutable").add(1);
+        let mut c = cfg();
+        c.switches = vec!["fsw0".into()];
+        check_running(&stats, &c);
+        final_check(&stats, &c);
+    }
+
+    #[test]
+    #[should_panic(expected = "accounts for more frames")]
+    fn switch_over_accounting_is_a_violation() {
+        let mut stats = StatsRegistry::new();
+        stats.counter("fsw0", "frames_in").add(3);
+        stats.counter("fsw0", "frames_fwd").add(4);
+        let mut c = cfg();
+        c.switches = vec!["fsw0".into()];
+        check_running(&stats, &c);
+    }
+
+    #[test]
+    #[should_panic(expected = "lost track of frames")]
+    fn switch_losing_a_frame_fails_the_final_equality() {
+        // One arrived frame never resolved to any fate — a silent loss.
+        let mut stats = StatsRegistry::new();
+        stats.counter("fsw0", "frames_in").add(5);
+        stats.counter("fsw0", "frames_fwd").add(4);
+        let mut c = cfg();
+        c.switches = vec!["fsw0".into()];
+        // Even with non-quiescent ports the switch equality must hold.
+        c.expect_quiescent_ports = false;
+        final_check(&stats, &c);
     }
 
     #[test]

@@ -17,8 +17,14 @@ use acc_fpga::{
     CardPorts, FpgaDevice, InicCard, InicKill, InicMode, InicReconfigure, CREDIT_WINDOW,
 };
 use acc_host::{HostKernels, InterruptCosts, ModerationPolicy, StallSchedule};
+use std::collections::BTreeMap;
+
 use acc_net::port::EgressPort;
-use acc_net::{EthernetKind, LinkParams, MacAddr, Switch, SwitchParams};
+use acc_net::routing::Attachment as FabricAttachment;
+use acc_net::{
+    compute_schedule, EthernetKind, FabricSchedule, FabricSpec, LinkParams, MacAddr,
+    PartitionReport, RouteUpdate, Switch, SwitchKill, SwitchParams, TrunkOutage,
+};
 use acc_proto::{HostPathCosts, TcpHostNic, TcpParams};
 use acc_sim::{ComponentId, HangKind, SimDuration, SimTime, Simulation};
 
@@ -112,6 +118,14 @@ pub struct ClusterSpec {
     /// (if the plan kills cards) wires a commodity fallback NIC per
     /// node and schedules the failures.
     pub fault_plan: Option<FaultPlan>,
+    /// Switch fabric shape. [`FabricSpec::SingleSwitch`] (the default)
+    /// wires the paper's single store-and-forward switch exactly as
+    /// before — byte-identical to every existing golden. The
+    /// multi-switch shapes instantiate one switch per topology node,
+    /// joined by trunk links, with deterministic minimal routing tables
+    /// (D-mod-k on the fat-tree, dimension-order on the torus; see
+    /// `acc_net::fabric` and `acc_net::routing`).
+    pub fabric: FabricSpec,
     /// How the cluster recovers from permanent card failures. Ignored
     /// on fault-free runs and for [`Technology::InicProtocol`] (a pure
     /// protocol processor has no card datapath worth keeping, so it
@@ -133,6 +147,7 @@ impl ClusterSpec {
             seed: 0xACC,
             verify: true,
             fault_plan: None,
+            fabric: FabricSpec::SingleSwitch,
             recovery: RecoveryPolicy::default(),
             quiet: false,
         }
@@ -150,6 +165,22 @@ impl ClusterSpec {
             panic!("invalid fault plan: {e}");
         }
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Choose the switch fabric (builder style).
+    ///
+    /// # Panics
+    /// Panics if the shape is invalid or cannot seat `p` hosts (a
+    /// fat-tree of arity `k` seats `k³/4`, a torus one host per
+    /// switch). Fault plans carrying fabric faults are re-checked
+    /// against the concrete topology when the cluster is wired.
+    #[must_use]
+    pub fn with_fabric(mut self, fabric: FabricSpec) -> ClusterSpec {
+        if let Err(e) = fabric.validate(self.p) {
+            panic!("invalid fabric: {e}");
+        }
+        self.fabric = fabric;
         self
     }
 
@@ -231,11 +262,27 @@ struct Wiring {
     sim: Simulation,
     drivers: Vec<ComponentId>,
     nics: Vec<ComponentId>,
-    switch: ComponentId,
+    switches: Vec<ComponentId>,
     technology: Technology,
+    /// The precomputed routing timeline; present only on multi-switch
+    /// fabrics. Hangs consult it to attribute the stall to a partition.
+    fabric: Option<FabricSchedule>,
     /// What the Auditor watches; present only on faulted runs. The
     /// end-of-run [`audit::final_check`] reads it after `sim.run()`.
     audit: Option<AuditConfig>,
+}
+
+/// Translate one switch's next-hop table (dst MAC → neighbour switch
+/// id, as `acc_net::routing` computes it) into the concrete egress
+/// ports this wiring attached.
+fn to_port_routes(
+    table: &BTreeMap<MacAddr, usize>,
+    trunk_ports: &BTreeMap<usize, usize>,
+) -> BTreeMap<MacAddr, usize> {
+    table
+        .iter()
+        .map(|(mac, nb)| (*mac, trunk_ports[nb]))
+        .collect()
 }
 
 /// Build the sim, switch, and per-node network attachment for `spec`;
@@ -251,19 +298,71 @@ fn wire(
     }
     let link = LinkParams::for_kind(spec.technology.link_kind());
     let plan = spec.fault_plan.as_ref();
+    let topo = spec.fabric.build(spec.p);
+    let fabric_mode = spec.fabric != FabricSpec::SingleSwitch;
+    if let Some(pl) = plan {
+        if fabric_mode || pl.has_fabric_faults() {
+            // Topology-aware re-validation: fabric faults must name real
+            // trunks and switches of this concrete shape, and can never
+            // apply to the single switch (no trunks to cut).
+            if let Err(e) = pl.validate_for_fabric(spec.p as u32, SimTime::MAX, &spec.fabric) {
+                panic!("invalid fault plan for fabric {}: {e}", spec.fabric);
+            }
+        }
+    }
     let macs: Vec<MacAddr> = (0..spec.p).map(|i| MacAddr::for_node(i, 0)).collect();
     let driver_ids: Vec<ComponentId> = (0..spec.p).map(|_| sim.reserve_id()).collect();
     let nic_ids: Vec<ComponentId> = (0..spec.p).map(|_| sim.reserve_id()).collect();
-    let switch_id = sim.reserve_id();
-    let mut switch = Switch::new("switch", SwitchParams::default());
-    // When the plan can kill a card, every node gets a commodity
-    // fallback NIC on a second switch port: whichever recovery policy
-    // applies, every rank needs the path — under full restart the whole
-    // collective degrades, under rank-local recovery healthy ranks use
-    // it for the mixed-technology side streams. The fallback links
-    // carry no impairments — the scenario under test is the card
-    // failure itself.
-    let with_fallback = spec.technology.is_inic() && plan.is_some_and(FaultPlan::has_card_failures);
+    let switch_ids: Vec<ComponentId> = (0..topo.switch_count).map(|_| sim.reserve_id()).collect();
+    let mut switches: Vec<Switch> = (0..topo.switch_count)
+        .map(|i| {
+            // The single-switch label stays "switch" so every existing
+            // stats scope and golden byte sequence is untouched.
+            let label = if fabric_mode {
+                format!("fsw{i}")
+            } else {
+                "switch".to_owned()
+            };
+            Switch::new(label, SwitchParams::default())
+        })
+        .collect();
+    // A dead edge switch takes every rank homed on it off the fabric at
+    // one instant — indistinguishable, from the cluster's point of
+    // view, from all those cards dying at once. Treat the victims as
+    // card-failure casualties so the same recovery machinery (fallback
+    // NIC, round checkpoints, mixed-technology replan) applies; their
+    // fallback NICs are dual-homed on a *different* edge switch
+    // ([`Topology::fallback_home`]), so the failure never strands both
+    // attachment points.
+    let switch_kills: Vec<(usize, SimTime)> = plan
+        .map(|pl| {
+            pl.switch_failures()
+                .iter()
+                .map(|&(s, at)| (s as usize, at))
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut victim_kills: Vec<(u32, SimTime)> = Vec::new();
+    for &(s, at) in &switch_kills {
+        for rank in 0..spec.p {
+            if topo.home[rank] == s {
+                victim_kills.push((rank as u32, at));
+            }
+        }
+    }
+    // Switches the plan will kill make useless fallback homes: a rank
+    // dual-homed there would lose both attachment points at once.
+    let doomed: std::collections::BTreeSet<usize> = switch_kills.iter().map(|&(s, _)| s).collect();
+    let fb_home_of = |rank: usize| topo.fallback_home_avoiding(rank, &doomed);
+    // When the plan can kill a card (or an edge switch under an INIC
+    // technology), every node gets a commodity fallback NIC on a second
+    // switch port: whichever recovery policy applies, every rank needs
+    // the path — under full restart the whole collective degrades,
+    // under rank-local recovery healthy ranks use it for the
+    // mixed-technology side streams. The fallback links carry no
+    // impairments — the scenario under test is the failure itself.
+    let with_fallback = spec.technology.is_inic()
+        && (plan.is_some_and(FaultPlan::has_card_failures) || !victim_kills.is_empty());
     let fallback_macs: Vec<MacAddr> = (0..spec.p).map(|i| MacAddr::for_node(i, 1)).collect();
     let fallback_ids: Vec<ComponentId> = if with_fallback {
         (0..spec.p).map(|_| sim.reserve_id()).collect()
@@ -286,12 +385,13 @@ fn wire(
     };
     let mut port_labels: Vec<String> = Vec::new();
     for rank in 0..spec.p {
-        let sw_port = switch.attach(macs[rank], nic_ids[rank], 0, link);
+        let home = topo.home[rank];
+        let sw_port = switches[home].attach(macs[rank], nic_ids[rank], 0, link);
         let mut uplink = EgressPort::new(
             link.rate,
             link.prop_delay,
             acc_net::presets::NIC_BUFFER,
-            switch_id,
+            switch_ids[home],
             sw_port,
             0,
         );
@@ -300,28 +400,34 @@ fn wire(
                 uplink.set_impairment(imp);
             }
             if let Some(imp) = pl.impairment_for(LinkId::SwitchDownlink(rank as u32)) {
-                switch.set_port_impairment(sw_port, imp);
+                switches[home].set_port_impairment(sw_port, imp);
             }
             // Conservation counters for the Auditor, faulted runs only
             // (unlabelled ports publish nothing — the pristine wiring
             // stays byte-identical).
             uplink.set_stats_label(format!("up{rank}"));
-            switch.set_port_stats_label(sw_port, format!("swdown{rank}"));
+            switches[home].set_port_stats_label(sw_port, format!("swdown{rank}"));
             port_labels.push(format!("up{rank}"));
             port_labels.push(format!("swdown{rank}"));
         }
         let fallback = if with_fallback {
-            let fb_port = switch.attach(fallback_macs[rank], fallback_ids[rank], 0, link);
+            // On the single switch `fallback_home` is the same switch —
+            // the second port of the original wiring. On a fabric it is
+            // the next host-bearing edge switch that no planned switch
+            // kill dooms.
+            let fb_home = fb_home_of(rank);
+            let fb_port =
+                switches[fb_home].attach(fallback_macs[rank], fallback_ids[rank], 0, link);
             let mut fb_uplink = EgressPort::new(
                 link.rate,
                 link.prop_delay,
                 acc_net::presets::NIC_BUFFER,
-                switch_id,
+                switch_ids[fb_home],
                 fb_port,
                 0,
             );
             fb_uplink.set_stats_label(format!("fb{rank}"));
-            switch.set_port_stats_label(fb_port, format!("swfb{rank}"));
+            switches[fb_home].set_port_stats_label(fb_port, format!("swfb{rank}"));
             port_labels.push(format!("fb{rank}"));
             port_labels.push(format!("swfb{rank}"));
             sim.register(
@@ -341,6 +447,12 @@ fn wire(
         } else {
             None
         };
+        // INIC reliability (NACK/retransmit recovery) turns on for any
+        // faulted run, and also for every multi-switch fabric: the
+        // card's no-loss scheduling guarantee only covers the single
+        // switch it was derived for — shared trunks can legitimately
+        // drop under contention, and a re-routed path must recover the
+        // frames the old one had in flight.
         let attachment = match spec.technology {
             Technology::FastEthernet | Technology::GigabitTcp => {
                 sim.register(
@@ -373,7 +485,7 @@ fn wire(
                         FpgaDevice::virtex_next_gen(),
                         CardPorts::ideal(),
                     )
-                    .with_reliability(plan.is_some())
+                    .with_reliability(plan.is_some() || fabric_mode)
                     .with_peers(macs.clone()),
                 );
                 Attachment::Inic {
@@ -399,7 +511,7 @@ fn wire(
                         FpgaDevice::xc4085xla(),
                         CardPorts::aceii(),
                     )
-                    .with_reliability(plan.is_some())
+                    .with_reliability(plan.is_some() || fabric_mode)
                     .with_peers(macs.clone()),
                 );
                 Attachment::Inic {
@@ -423,7 +535,94 @@ fn wire(
             DriverBox::Coll(d) => sim.register(driver_ids[rank], *d),
         }
     }
-    sim.register(switch_id, switch);
+    // Trunk ports append after every host attachment, so both ends'
+    // indices are computable up front: walk the canonical (sorted)
+    // trunk list once, in order.
+    let mut trunk_port: Vec<BTreeMap<usize, usize>> = vec![BTreeMap::new(); topo.switch_count];
+    {
+        let mut next_port: Vec<usize> = switches.iter().map(Switch::port_count).collect();
+        for &(a, b) in &topo.trunks {
+            let (pa, pb) = (next_port[a], next_port[b]);
+            next_port[a] += 1;
+            next_port[b] += 1;
+            assert_eq!(switches[a].attach_trunk(switch_ids[b], pb, link), pa);
+            assert_eq!(switches[b].attach_trunk(switch_ids[a], pa, link), pb);
+            trunk_port[a].insert(b, pa);
+            trunk_port[b].insert(a, pb);
+            if let Some(pl) = plan {
+                // LinkDown windows darken both directions of the trunk;
+                // the two directions draw disjoint RNG streams.
+                if let Some(imp) = pl.trunk_impairment(a as u32, b as u32) {
+                    switches[a].set_port_impairment(pa, imp);
+                }
+                if let Some(imp) = pl.trunk_impairment(b as u32, a as u32) {
+                    switches[b].set_port_impairment(pb, imp);
+                }
+                switches[a].set_port_stats_label(pa, format!("trunk{a}-{b}"));
+                switches[b].set_port_stats_label(pb, format!("trunk{b}-{a}"));
+                port_labels.push(format!("trunk{a}-{b}"));
+                port_labels.push(format!("trunk{b}-{a}"));
+            }
+        }
+    }
+    // Precompute the routing timeline and arm the fabric: epoch-0
+    // tables install before the first event, later epochs swap in via
+    // RouteUpdate at their boundary instants, switch deaths fire as
+    // SwitchKill. All of it is derived deterministically from the spec,
+    // so identical specs wire identical fabrics at any thread count.
+    let fabric_sched = if fabric_mode {
+        let mut attachments: Vec<FabricAttachment> = (0..spec.p)
+            .map(|rank| FabricAttachment {
+                mac: macs[rank],
+                switch: topo.home[rank],
+                rank,
+            })
+            .collect();
+        if with_fallback {
+            attachments.extend((0..spec.p).map(|rank| FabricAttachment {
+                mac: fallback_macs[rank],
+                switch: fb_home_of(rank),
+                rank,
+            }));
+        }
+        let outages: Vec<TrunkOutage> = plan
+            .map(|pl| {
+                pl.link_downs()
+                    .iter()
+                    .map(|&(a, b, from, until)| TrunkOutage {
+                        a: a as usize,
+                        b: b as usize,
+                        from,
+                        until,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let sched = compute_schedule(&topo, &attachments, &outages, &switch_kills);
+        for (s, sw) in switches.iter_mut().enumerate() {
+            sw.enable_routing(to_port_routes(&sched.epochs[0].tables[s], &trunk_port[s]));
+        }
+        for e in &sched.epochs[1..] {
+            for (s, &sid) in switch_ids.iter().enumerate() {
+                sim.schedule_at(
+                    e.start,
+                    sid,
+                    RouteUpdate {
+                        routes: to_port_routes(&e.tables[s], &trunk_port[s]),
+                    },
+                );
+            }
+        }
+        for &(s, at) in &switch_kills {
+            sim.schedule_at(at, switch_ids[s], SwitchKill);
+        }
+        Some(sched)
+    } else {
+        None
+    };
+    for (&sid, sw) in switch_ids.iter().zip(switches) {
+        sim.register(sid, sw);
+    }
     if let Some(coord) = coordinator {
         sim.register(coord, RecoveryCoordinator::new(driver_ids.clone()));
     }
@@ -442,10 +641,16 @@ fn wire(
             } else {
                 Vec::new()
             },
+            switches: if fabric_mode {
+                (0..topo.switch_count).map(|i| format!("fsw{i}")).collect()
+            } else {
+                Vec::new()
+            },
             credit_window: CREDIT_WINDOW,
             // A killed card legitimately strands whatever its uplink and
-            // switch port still queued.
-            expect_quiescent_ports: !pl.has_card_failures(),
+            // switch port still queued; a killed switch does the same to
+            // every victim rank's uplink.
+            expect_quiescent_ports: !pl.has_card_failures() && switch_kills.is_empty(),
             p: spec.p as u64,
         };
         let auditor_id = sim.reserve_id();
@@ -466,6 +671,18 @@ fn wire(
                     sim.schedule_at(at, d, CardFailed { node });
                 }
             }
+            // Switch-failure victims: every rank homed on a dead edge
+            // switch loses its primary datapath at that instant. The
+            // kill reuses the card-death path wholesale — the card goes
+            // dark, every driver hears CardFailed, and recovery resumes
+            // from the last round checkpoint over the dual-homed
+            // fallback NIC once the coordinator agrees.
+            for &(node, at) in &victim_kills {
+                sim.schedule_at(at, nic_ids[node as usize], InicKill);
+                for &d in &driver_ids {
+                    sim.schedule_at(at, d, CardFailed { node });
+                }
+            }
             // Schedule the transient reconfiguration windows: the card
             // buffers and recovers on its own, so only the card hears
             // about them. (On commodity technologies there is no card —
@@ -481,8 +698,9 @@ fn wire(
         sim,
         drivers: driver_ids,
         nics: nic_ids,
-        switch: switch_id,
+        switches: switch_ids,
         technology: spec.technology,
+        fabric: fabric_sched,
         audit: audit_cfg,
     }
 }
@@ -512,14 +730,18 @@ impl Wiring {
             .collect();
         match outcome {
             Ok(_) if ranks.iter().all(|r| r.done) => Ok(()),
-            Ok(_) => Err(Box::new(HangReport::diagnose(
-                HangCause::Deadlock,
-                self.technology,
-                self.sim.now(),
-                ranks,
-                hierarchy,
-                None,
-            ))),
+            Ok(_) => {
+                let mut report = HangReport::diagnose(
+                    HangCause::Deadlock,
+                    self.technology,
+                    self.sim.now(),
+                    ranks,
+                    hierarchy,
+                    None,
+                );
+                report.partition = self.partition_at_hang();
+                Err(Box::new(report))
+            }
             // A deadline that fires after every rank is done is not a
             // hang: the application completed inside its budget and the
             // only events left are protocol tail chatter — typically a
@@ -534,20 +756,41 @@ impl Wiring {
             {
                 Ok(())
             }
-            Err(sim_report) => Err(Box::new(HangReport::diagnose(
-                HangCause::Watchdog(sim_report.kind),
-                self.technology,
-                self.sim.now(),
-                ranks,
-                hierarchy,
-                Some(*sim_report),
-            ))),
+            Err(sim_report) => {
+                let mut report = HangReport::diagnose(
+                    HangCause::Watchdog(sim_report.kind),
+                    self.technology,
+                    self.sim.now(),
+                    ranks,
+                    hierarchy,
+                    Some(*sim_report),
+                );
+                report.partition = self.partition_at_hang();
+                Err(Box::new(report))
+            }
         }
     }
 
-    /// Frames dropped at switch output queues during the run.
+    /// The fabric partition to blame for a hang: the one in effect at
+    /// abort time, or — if the fabric had already healed — the first
+    /// the routing timeline ever saw. `None` on single-switch runs and
+    /// on fabrics whose fault schedule never disconnected anyone.
+    fn partition_at_hang(&self) -> Option<PartitionReport> {
+        let sched = self.fabric.as_ref()?;
+        sched
+            .epoch_at(self.sim.now())
+            .partition
+            .clone()
+            .or_else(|| sched.first_partition().cloned())
+    }
+
+    /// Frames dropped at switch output queues during the run, across
+    /// every switch of the fabric.
     fn switch_drops(&self) -> u64 {
-        self.sim.component::<Switch>(self.switch).total_drops()
+        self.switches
+            .iter()
+            .map(|&s| self.sim.component::<Switch>(s).total_drops())
+            .sum()
     }
 
     /// Total retransmissions across the cluster, whichever stack did
@@ -723,7 +966,13 @@ pub fn try_run_fft(spec: ClusterSpec, rows: usize) -> Result<FftRunResult, Box<H
         false
     };
     let switch_drops = w.switch_drops();
-    if spec.technology.is_inic() && spec.fault_plan.is_none() {
+    // The card's no-loss scheduling guarantee is single-switch: shared
+    // trunks of a multi-switch fabric can contend, and INIC reliability
+    // recovers those drops instead.
+    if spec.technology.is_inic()
+        && spec.fault_plan.is_none()
+        && spec.fabric == FabricSpec::SingleSwitch
+    {
         assert_eq!(
             switch_drops, 0,
             "INIC schedule must never oversubscribe switch buffers"
@@ -905,7 +1154,13 @@ pub fn try_run_sort_custom(
         false
     };
     let switch_drops = w.switch_drops();
-    if spec.technology.is_inic() && spec.fault_plan.is_none() {
+    // The card's no-loss scheduling guarantee is single-switch: shared
+    // trunks of a multi-switch fabric can contend, and INIC reliability
+    // recovers those drops instead.
+    if spec.technology.is_inic()
+        && spec.fault_plan.is_none()
+        && spec.fabric == FabricSpec::SingleSwitch
+    {
         assert_eq!(
             switch_drops, 0,
             "INIC schedule must never oversubscribe switch buffers"
@@ -1130,11 +1385,22 @@ fn run_schedules(
     // sim-time surprise.
     if let Some((device, mode)) = inic_device_mode(spec.technology) {
         if let Some(plan) = &spec.fault_plan {
-            let dead: std::collections::BTreeSet<usize> = plan
+            let card_dead: std::collections::BTreeSet<usize> = plan
                 .card_failures()
                 .iter()
                 .map(|&(node, _)| node as usize)
                 .collect();
+            // Ranks a switch failure will strand degrade exactly like
+            // card deaths (the wiring kills their cards at that
+            // instant), so the pre-flight prices them the same way.
+            let home = spec.fabric.build(spec.p).home;
+            let dead = acc_coll::recovery::with_partitioned(
+                &card_dead,
+                plan.switch_failures().iter().flat_map(|&(s, _)| {
+                    let home = &home;
+                    (0..spec.p).filter(move |&r| home[r] == s as usize)
+                }),
+            );
             if !dead.is_empty() {
                 for (rank, s) in schedules.iter().enumerate() {
                     if dead.contains(&rank) {
@@ -1221,7 +1487,12 @@ fn run_schedules(
     } else {
         false
     };
-    if spec.technology.is_inic() && spec.fault_plan.is_none() {
+    // Single-switch only, as in the application runners: fabric trunks
+    // may contend and rely on INIC reliability instead.
+    if spec.technology.is_inic()
+        && spec.fault_plan.is_none()
+        && spec.fabric == FabricSpec::SingleSwitch
+    {
         assert_eq!(w.switch_drops(), 0, "INIC collective must not drop");
     }
     w.final_audit();

@@ -20,6 +20,8 @@
 //! but the tighter INIC bound is what makes hang *detection* cheap
 //! enough for the fault-plan minimizer to run dozens of candidate runs.
 
+use acc_net::routing::Attachment as FabricAttachment;
+use acc_net::{compute_schedule, FabricSpec, MacAddr, TrunkOutage};
 use acc_sim::{SimDuration, SimTime, Watchdog};
 
 use acc_coll::CollectiveOp;
@@ -110,7 +112,7 @@ impl DeadlineHierarchy {
         let coll_tech = budget_technology(spec);
         let coll_slack = self::slack(coll_tech);
         let coll_scaled = |predicted| scale(predicted, coll_slack);
-        let (phases, payload_kib) = match *workload {
+        let (mut phases, payload_kib) = match *workload {
             Workload::Fft { rows } => {
                 let model = FftModel::new(rows);
                 let fft = scaled(model.t_compute(p) / 2);
@@ -178,6 +180,22 @@ impl DeadlineHierarchy {
                 collective_budgets(&model, coll_tech, p, &coll_scaled)
             }
         };
+        // Multi-switch fabrics legitimately inflate every phase: a
+        // frame crossing five switches pays five store-and-forward
+        // latencies plus per-hop queueing, and failover detours stretch
+        // the worst path further. Price the budgets at the worst-case
+        // hop inflation over every routing epoch the fault plan
+        // induces, so a degraded-but-live run never trips a false
+        // deadline.
+        let inflation = fabric_inflation(spec);
+        if inflation > 1 {
+            for ph in &mut phases {
+                ph.budget = ph
+                    .budget
+                    .checked_mul(inflation)
+                    .unwrap_or(SimDuration::from_ps(u64::MAX));
+            }
+        }
         let mut run_budget = SimDuration::from_secs(1); // configuration etc.
         for ph in &phases {
             run_budget = run_budget.saturating_add(ph.budget);
@@ -229,15 +247,67 @@ impl DeadlineHierarchy {
 /// dead rank on the commodity Gigabit fallback NIC, and every lockstep
 /// round then waits on that rank.
 fn budget_technology(spec: &ClusterSpec) -> Technology {
-    let card_kill = spec
-        .fault_plan
-        .as_ref()
-        .is_some_and(acc_chaos::FaultPlan::has_card_failures);
-    if spec.technology.is_inic() && card_kill {
+    let Some(plan) = &spec.fault_plan else {
+        return spec.technology;
+    };
+    if !spec.technology.is_inic() {
+        return spec.technology;
+    }
+    // A dead edge switch degrades every rank homed on it to the
+    // commodity fallback NIC exactly like a card death (see the cluster
+    // wiring), so it prices the budgets the same way.
+    let switch_victims =
+        spec.fabric != FabricSpec::SingleSwitch && !plan.switch_failures().is_empty() && {
+            let topo = spec.fabric.build(spec.p);
+            plan.switch_failures()
+                .iter()
+                .any(|&(s, _)| topo.home.contains(&(s as usize)))
+        };
+    if plan.has_card_failures() || switch_victims {
         Technology::GigabitTcp
     } else {
         spec.technology
     }
+}
+
+/// Worst-case routed-path length (in switches) across every routing
+/// epoch of the spec's fabric, relative to the single-switch baseline
+/// of 1. Pure: recomputed from the spec exactly as the cluster wiring
+/// computes it, so the budgets and the fabric always agree.
+fn fabric_inflation(spec: &ClusterSpec) -> u64 {
+    if spec.fabric == FabricSpec::SingleSwitch {
+        return 1;
+    }
+    let topo = spec.fabric.build(spec.p);
+    let attachments: Vec<FabricAttachment> = topo
+        .home
+        .iter()
+        .enumerate()
+        .map(|(rank, &switch)| FabricAttachment {
+            mac: MacAddr::for_node(rank, 0),
+            switch,
+            rank,
+        })
+        .collect();
+    let (outages, kills) = match &spec.fault_plan {
+        Some(pl) => (
+            pl.link_downs()
+                .iter()
+                .map(|&(a, b, from, until)| TrunkOutage {
+                    a: a as usize,
+                    b: b as usize,
+                    from,
+                    until,
+                })
+                .collect(),
+            pl.switch_failures()
+                .iter()
+                .map(|&(s, at)| (s as usize, at))
+                .collect(),
+        ),
+        None => (Vec::new(), Vec::new()),
+    };
+    compute_schedule(&topo, &attachments, &outages, &kills).max_inflation() as u64
 }
 
 /// Per-phase budgets for an engine schedule: the collective model's

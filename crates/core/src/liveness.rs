@@ -11,6 +11,7 @@
 
 use std::fmt;
 
+use acc_net::PartitionReport;
 use acc_sim::{LivenessReport, SimDuration, SimTime};
 
 use crate::cluster::Technology;
@@ -57,6 +58,12 @@ pub struct HangReport {
     /// The simulation-level report, present when the cause was a
     /// watchdog abort (wait states, queue head, trace tail).
     pub sim: Option<LivenessReport>,
+    /// The fabric partition to blame, when the cluster ran on a
+    /// multi-switch fabric whose routing timeline disconnected ranks:
+    /// the unreachable rank set plus the cut trunks and dead switches
+    /// that caused it. `None` on single-switch runs and on hangs with
+    /// no partition in the timeline.
+    pub partition: Option<PartitionReport>,
 }
 
 impl HangReport {
@@ -95,6 +102,7 @@ impl HangReport {
             culprit,
             overdue,
             sim,
+            partition: None,
         }
     }
 
@@ -131,6 +139,9 @@ impl fmt::Display for HangReport {
                     ""
                 }
             )?;
+        }
+        if let Some(p) = &self.partition {
+            writeln!(f, "  fabric partition: {p}")?;
         }
         writeln!(f, "  ranks:")?;
         for r in &self.ranks {

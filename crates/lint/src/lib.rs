@@ -688,6 +688,8 @@ const R7_HOT_MODULES: &[&str] = &[
     "crates/net/src/port.rs",
     "crates/net/src/frame.rs",
     "crates/net/src/impair.rs",
+    "crates/net/src/fabric.rs",
+    "crates/net/src/routing.rs",
     "crates/sim/src/engine.rs",
     "crates/sim/src/event.rs",
 ];

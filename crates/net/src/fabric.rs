@@ -1,0 +1,451 @@
+//! Multi-switch fabric topologies built from the existing output-queued
+//! [`Switch`](crate::switch::Switch).
+//!
+//! A [`FabricSpec`] names the shape — the paper's single switch, a k-ary
+//! fat-tree (the scale-out datacenter shape), or a 3D torus (the APEnet+
+//! shape) — and [`FabricSpec::build`] expands it into a [`Topology`]:
+//! switch count, rank→edge-switch homes, and the canonical trunk list.
+//! Everything downstream (routing tables, fault validation, cluster
+//! wiring, deadline pricing) derives from the `Topology` alone, so all
+//! consumers agree on switch ids and trunk identities by construction.
+//!
+//! Switch id layout is deterministic and documented per shape:
+//!
+//! * **Fat-tree(k)** — `k` pods of `k/2` edge + `k/2` aggregation
+//!   switches plus `(k/2)²` cores. Ids: edges `0..k²/2` (pod-major),
+//!   then aggregations `k²/2..k²`, then cores `k²..k²+(k/2)²`.
+//!   Edge `e` of pod `P` links to every aggregation of `P`; aggregation
+//!   `a` of `P` links to cores `a·k/2..(a+1)·k/2`. Hosts fill edge
+//!   switches in rank order, `k/2` per edge, capacity `k³/4`.
+//! * **Torus3D(dims)** — one switch per lattice point, id
+//!   `x + dx·(y + dy·z)`; ±1 ring links per dimension of size ≥ 2 (a
+//!   2-ring is a single link, not a doubled one). One host per switch,
+//!   capacity `dx·dy·dz`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The fabric shape a cluster run is wired with.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FabricSpec {
+    /// The paper's baseline: every rank on one output-queued switch.
+    SingleSwitch,
+    /// k-ary fat-tree (k even): full bisection, multipath via ECMP.
+    FatTree {
+        /// Pod arity; capacity is `k³/4` hosts.
+        k: usize,
+    },
+    /// 3D torus of the given dimension sizes, one host per switch.
+    Torus3D {
+        /// Ring sizes per dimension; capacity is their product.
+        dims: [usize; 3],
+    },
+}
+
+impl FabricSpec {
+    /// Stable text label, round-tripped by [`FabricSpec::parse`] (used
+    /// by soak repro artifacts and campaign tables).
+    pub fn label(&self) -> String {
+        match self {
+            FabricSpec::SingleSwitch => "single".to_string(),
+            FabricSpec::FatTree { k } => format!("fat-tree:{k}"),
+            FabricSpec::Torus3D { dims } => {
+                format!("torus:{}x{}x{}", dims[0], dims[1], dims[2])
+            }
+        }
+    }
+
+    /// Parse a [`label`](FabricSpec::label) back into a spec.
+    pub fn parse(text: &str) -> Result<FabricSpec, String> {
+        if text == "single" {
+            return Ok(FabricSpec::SingleSwitch);
+        }
+        if let Some(k) = text.strip_prefix("fat-tree:") {
+            let k: usize = k
+                .parse()
+                .map_err(|_| format!("bad fat-tree arity in {text:?}"))?;
+            return Ok(FabricSpec::FatTree { k });
+        }
+        if let Some(dims) = text.strip_prefix("torus:") {
+            let parts: Vec<&str> = dims.split('x').collect();
+            if parts.len() != 3 {
+                return Err(format!("torus label needs 3 dims: {text:?}"));
+            }
+            let mut d = [0usize; 3];
+            for (slot, part) in d.iter_mut().zip(&parts) {
+                *slot = part
+                    .parse()
+                    .map_err(|_| format!("bad torus dimension in {text:?}"))?;
+            }
+            return Ok(FabricSpec::Torus3D { dims: d });
+        }
+        Err(format!("unknown fabric label {text:?}"))
+    }
+
+    /// Host capacity of the shape (`None` = unbounded single switch).
+    pub fn capacity(&self) -> Option<usize> {
+        match self {
+            FabricSpec::SingleSwitch => None,
+            FabricSpec::FatTree { k } => Some(k * k * k / 4),
+            FabricSpec::Torus3D { dims } => Some(dims[0] * dims[1] * dims[2]),
+        }
+    }
+
+    /// Check the shape itself and that it can seat `p` hosts.
+    pub fn validate(&self, p: usize) -> Result<(), String> {
+        match self {
+            FabricSpec::SingleSwitch => Ok(()),
+            FabricSpec::FatTree { k } => {
+                if *k < 2 || k % 2 != 0 {
+                    return Err(format!("fat-tree arity k={k} must be even and >= 2"));
+                }
+                let cap = k * k * k / 4;
+                if p > cap {
+                    return Err(format!("fat-tree k={k} seats {cap} hosts, p={p} asked"));
+                }
+                Ok(())
+            }
+            FabricSpec::Torus3D { dims } => {
+                if dims.contains(&0) {
+                    return Err(format!("torus dims {dims:?} must all be >= 1"));
+                }
+                let cap = dims[0] * dims[1] * dims[2];
+                if p > cap {
+                    return Err(format!("torus {dims:?} seats {cap} hosts, p={p} asked"));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Expand to a concrete [`Topology`] for `p` ranks. Panics on an
+    /// invalid spec — callers validate at the cluster-spec boundary.
+    pub fn build(&self, p: usize) -> Topology {
+        if let Err(e) = self.validate(p) {
+            panic!("invalid fabric spec: {e}");
+        }
+        match *self {
+            FabricSpec::SingleSwitch => Topology {
+                spec: *self,
+                switch_count: 1,
+                home: vec![0; p],
+                trunks: Vec::new(),
+                neighbors: vec![Vec::new()],
+            },
+            FabricSpec::FatTree { k } => build_fat_tree(*self, k, p),
+            FabricSpec::Torus3D { dims } => build_torus(*self, dims, p),
+        }
+    }
+}
+
+impl fmt::Display for FabricSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A concrete fabric: switches, host homes, and trunk links. All ids
+/// follow the layout documented on [`FabricSpec`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Topology {
+    /// The spec this topology was built from.
+    pub spec: FabricSpec,
+    /// Number of switches in the fabric.
+    pub switch_count: usize,
+    /// `home[rank]` = the edge switch the rank's primary NIC attaches to.
+    pub home: Vec<usize>,
+    /// Canonical trunk list, each `(a, b)` with `a < b`, sorted.
+    pub trunks: Vec<(usize, usize)>,
+    /// Sorted adjacency per switch (derived from `trunks`).
+    neighbors: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// Sorted trunk neighbors of switch `s`.
+    pub fn neighbors(&self, s: usize) -> &[usize] {
+        &self.neighbors[s]
+    }
+
+    /// Whether `(a, b)` (either order) is a trunk of this topology.
+    pub fn has_trunk(&self, a: usize, b: usize) -> bool {
+        let key = (a.min(b), a.max(b));
+        self.trunks.binary_search(&key).is_ok()
+    }
+
+    /// Edge switch seating a rank's *fallback* NIC: the next host-bearing
+    /// switch after its home, so a single switch failure never strands
+    /// both of a rank's attachment points. Deterministic; if a fault
+    /// plan kills this switch too the rank shows up in the
+    /// [`PartitionReport`](crate::routing::PartitionReport) instead.
+    pub fn fallback_home(&self, rank: usize) -> usize {
+        self.fallback_home_avoiding(rank, &BTreeSet::new())
+    }
+
+    /// Like [`fallback_home`](Topology::fallback_home), but skipping
+    /// `avoid` — the switches a fault plan is already known to kill.
+    /// Dual-homing a rank on a doomed switch would strand both of its
+    /// attachment points at once, so the wiring layer steers fallback
+    /// NICs to the next host-bearing switch that actually survives.
+    /// Falls back to the plain next-after-home choice when every
+    /// alternative is avoided (the partition is then real and reported).
+    pub fn fallback_home_avoiding(&self, rank: usize, avoid: &BTreeSet<usize>) -> usize {
+        let hosting: Vec<usize> = {
+            let mut hs: Vec<usize> = self
+                .home
+                .iter()
+                .copied()
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            if hs.len() < 2 {
+                // Degenerate fabrics (one edge switch): fall back to any
+                // other switch, or the home itself when there is only one.
+                hs = (0..self.switch_count.max(1)).collect();
+            }
+            hs
+        };
+        let home = self.home[rank];
+        let at = hosting.iter().position(|&s| s == home).unwrap_or(0);
+        for step in 1..=hosting.len() {
+            let s = hosting[(at + step) % hosting.len()];
+            if s != home && !avoid.contains(&s) {
+                return s;
+            }
+        }
+        hosting[(at + 1) % hosting.len()]
+    }
+
+    /// For a torus, the (dimension, positive-direction) of the trunk
+    /// `from → to`; `None` for non-torus shapes or non-adjacent pairs.
+    /// Used by dimension-order tie-breaking in routing.
+    pub fn torus_edge(&self, from: usize, to: usize) -> Option<(usize, bool)> {
+        let FabricSpec::Torus3D { dims } = self.spec else {
+            return None;
+        };
+        let a = torus_coords(from, dims);
+        let b = torus_coords(to, dims);
+        for dim in 0..3 {
+            let (x, y) = (a[dim], b[dim]);
+            if x == y {
+                continue;
+            }
+            let others_equal = (0..3).filter(|&d| d != dim).all(|d| a[d] == b[d]);
+            if !others_equal {
+                return None;
+            }
+            let n = dims[dim];
+            let plus = (x + 1) % n == y;
+            let minus = (y + 1) % n == x;
+            return match (plus, minus) {
+                // On a 2-ring both directions name the same link; call
+                // it positive for a stable sort key.
+                (true, true) => Some((dim, true)),
+                (true, false) => Some((dim, true)),
+                (false, true) => Some((dim, false)),
+                (false, false) => None,
+            };
+        }
+        None
+    }
+}
+
+fn build_fat_tree(spec: FabricSpec, k: usize, p: usize) -> Topology {
+    let half = k / 2;
+    let edges = k * half; // k pods x k/2 edge switches
+    let aggs = k * half;
+    let cores = half * half;
+    let switch_count = edges + aggs + cores;
+    let mut trunks = BTreeSet::new();
+    for pod in 0..k {
+        for e in 0..half {
+            let edge = pod * half + e;
+            for a in 0..half {
+                let agg = edges + pod * half + a;
+                trunks.insert((edge.min(agg), edge.max(agg)));
+            }
+        }
+        for a in 0..half {
+            let agg = edges + pod * half + a;
+            for c in 0..half {
+                let core = edges + aggs + a * half + c;
+                trunks.insert((agg.min(core), agg.max(core)));
+            }
+        }
+    }
+    let home = (0..p).map(|r| r / half).collect();
+    finish(spec, switch_count, home, trunks)
+}
+
+fn torus_coords(id: usize, dims: [usize; 3]) -> [usize; 3] {
+    let x = id % dims[0];
+    let y = (id / dims[0]) % dims[1];
+    let z = id / (dims[0] * dims[1]);
+    [x, y, z]
+}
+
+fn torus_id(c: [usize; 3], dims: [usize; 3]) -> usize {
+    c[0] + dims[0] * (c[1] + dims[1] * c[2])
+}
+
+fn build_torus(spec: FabricSpec, dims: [usize; 3], p: usize) -> Topology {
+    let switch_count = dims[0] * dims[1] * dims[2];
+    let mut trunks = BTreeSet::new();
+    for id in 0..switch_count {
+        let c = torus_coords(id, dims);
+        for dim in 0..3 {
+            if dims[dim] < 2 {
+                continue;
+            }
+            let mut n = c;
+            n[dim] = (c[dim] + 1) % dims[dim];
+            let other = torus_id(n, dims);
+            if other != id {
+                trunks.insert((id.min(other), id.max(other)));
+            }
+        }
+    }
+    let home = (0..p).collect();
+    finish(spec, switch_count, home, trunks)
+}
+
+fn finish(
+    spec: FabricSpec,
+    switch_count: usize,
+    home: Vec<usize>,
+    trunks: BTreeSet<(usize, usize)>,
+) -> Topology {
+    let trunks: Vec<(usize, usize)> = trunks.into_iter().collect();
+    let mut neighbors = vec![Vec::new(); switch_count];
+    for &(a, b) in &trunks {
+        neighbors[a].push(b);
+        neighbors[b].push(a);
+    }
+    for n in &mut neighbors {
+        n.sort_unstable();
+    }
+    Topology {
+        spec,
+        switch_count,
+        home,
+        trunks,
+        neighbors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_roundtrip() {
+        for spec in [
+            FabricSpec::SingleSwitch,
+            FabricSpec::FatTree { k: 4 },
+            FabricSpec::FatTree { k: 8 },
+            FabricSpec::Torus3D { dims: [2, 2, 2] },
+            FabricSpec::Torus3D { dims: [4, 4, 8] },
+        ] {
+            assert_eq!(FabricSpec::parse(&spec.label()), Ok(spec));
+        }
+        assert!(FabricSpec::parse("mesh:9").is_err());
+        assert!(FabricSpec::parse("torus:2x2").is_err());
+    }
+
+    #[test]
+    fn fat_tree_shape() {
+        // k=4: 8 edges, 8 aggs, 4 cores; 16 hosts; 32 trunks.
+        let t = FabricSpec::FatTree { k: 4 }.build(16);
+        assert_eq!(t.switch_count, 20);
+        assert_eq!(t.trunks.len(), 32);
+        assert_eq!(t.home[0], 0);
+        assert_eq!(t.home[2], 1);
+        assert_eq!(t.home[15], 7);
+        // Edge 0 (pod 0) links to aggs 8, 9 and nothing else.
+        assert_eq!(t.neighbors(0), &[8, 9]);
+        // Agg 8 links to edges 0, 1 and cores 16, 17.
+        assert_eq!(t.neighbors(8), &[0, 1, 16, 17]);
+        // Core 16 links to agg 0 of every pod: 8, 10, 12, 14.
+        assert_eq!(t.neighbors(16), &[8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn fat_tree_k8_half_filled() {
+        let t = FabricSpec::FatTree { k: 8 }.build(64);
+        assert_eq!(t.switch_count, 32 + 32 + 16);
+        assert_eq!(t.home[63], 15, "64 ranks fill edges 0..=15 at 4 per edge");
+        assert!(FabricSpec::FatTree { k: 8 }.validate(128).is_ok());
+        assert!(FabricSpec::FatTree { k: 8 }.validate(129).is_err());
+        assert!(FabricSpec::FatTree { k: 3 }.validate(1).is_err());
+    }
+
+    #[test]
+    fn torus_shape() {
+        let t = FabricSpec::Torus3D { dims: [2, 2, 2] }.build(8);
+        assert_eq!(t.switch_count, 8);
+        // 2-rings collapse to single links: 3 links per node x 8 / 2.
+        assert_eq!(t.trunks.len(), 12);
+        assert_eq!(t.neighbors(0), &[1, 2, 4]);
+        assert_eq!(t.torus_edge(0, 1), Some((0, true)));
+        assert_eq!(t.torus_edge(0, 2), Some((1, true)));
+        assert_eq!(t.torus_edge(0, 4), Some((2, true)));
+        assert_eq!(t.torus_edge(0, 7), None);
+
+        let t4 = FabricSpec::Torus3D { dims: [4, 1, 1] }.build(4);
+        assert_eq!(t4.trunks.len(), 4, "a 4-ring in x only");
+        assert_eq!(t4.torus_edge(3, 0), Some((0, true)), "wraparound is +1");
+        assert_eq!(t4.torus_edge(0, 3), Some((0, false)));
+    }
+
+    #[test]
+    fn degenerate_dims_have_no_links() {
+        let t = FabricSpec::Torus3D { dims: [1, 1, 1] }.build(1);
+        assert_eq!(t.trunks.len(), 0);
+        assert_eq!(t.switch_count, 1);
+    }
+
+    #[test]
+    fn fallback_home_differs_from_home() {
+        let t = FabricSpec::FatTree { k: 4 }.build(16);
+        for r in 0..16 {
+            assert_ne!(t.fallback_home(r), t.home[r], "rank {r}");
+        }
+        let torus = FabricSpec::Torus3D { dims: [2, 2, 1] }.build(4);
+        for r in 0..4 {
+            assert_ne!(torus.fallback_home(r), torus.home[r], "rank {r}");
+        }
+    }
+
+    #[test]
+    fn fallback_home_avoids_doomed_switches() {
+        let torus = FabricSpec::Torus3D { dims: [2, 2, 2] }.build(8);
+        // Unconstrained, rank 0 dual-homes on the next switch (1).
+        assert_eq!(torus.fallback_home(0), 1);
+        // If switch 1 is doomed, the choice skips to 2; the avoiding
+        // variant with an empty set matches the plain one exactly.
+        let doomed: BTreeSet<usize> = [1].into_iter().collect();
+        assert_eq!(torus.fallback_home_avoiding(0, &doomed), 2);
+        for r in 0..8 {
+            assert_eq!(
+                torus.fallback_home_avoiding(r, &BTreeSet::new()),
+                torus.fallback_home(r),
+                "rank {r}"
+            );
+            assert_ne!(torus.fallback_home_avoiding(r, &doomed), 1, "rank {r}");
+        }
+        // Every alternative doomed: degrade to the plain choice rather
+        // than panic — the partition is then real and gets reported.
+        let all: BTreeSet<usize> = (0..8).collect();
+        assert_eq!(
+            torus.fallback_home_avoiding(0, &all),
+            torus.fallback_home(0)
+        );
+    }
+
+    #[test]
+    fn has_trunk_both_orders() {
+        let t = FabricSpec::Torus3D { dims: [2, 2, 2] }.build(8);
+        assert!(t.has_trunk(0, 1));
+        assert!(t.has_trunk(1, 0));
+        assert!(!t.has_trunk(0, 7));
+    }
+}

@@ -18,14 +18,20 @@
 
 #![forbid(unsafe_code)]
 
+pub mod fabric;
 pub mod frame;
 pub mod impair;
 pub mod port;
 pub mod presets;
+pub mod routing;
 pub mod switch;
 
+pub use fabric::{FabricSpec, Topology};
 pub use frame::{EtherType, Frame, FrameError, MacAddr, PayloadView};
 pub use impair::{ImpairCounters, Impairment, Verdict};
 pub use port::{EgressPort, FrameArrival, PortTxDone};
 pub use presets::{EthernetKind, LinkParams, SwitchParams};
-pub use switch::Switch;
+pub use routing::{
+    compute_schedule, walk_path, Attachment, Epoch, FabricSchedule, PartitionReport, TrunkOutage,
+};
+pub use switch::{RouteUpdate, Switch, SwitchKill};

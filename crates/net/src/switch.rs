@@ -16,15 +16,44 @@ struct Forward {
     frame: Frame,
 }
 
+/// Fabric event: swap in a new next-hop table (scheduled at routing
+/// epoch boundaries by the cluster wiring; see `acc_net::routing`).
+pub struct RouteUpdate {
+    /// Destination MAC → egress port index, replacing the previous table.
+    pub routes: BTreeMap<MacAddr, usize>,
+}
+
+/// Fabric fault event: the switch dies. Frames already accepted into an
+/// output queue drain (store-and-forward pipeline completes), but every
+/// later arrival is blackholed and counted.
+pub struct SwitchKill;
+
 /// A non-blocking output-queued switch: any set of inputs can forward
 /// concurrently; contention appears only at output ports, whose bounded
 /// buffers drop-tail when overrun — the loss mechanism TCP reacts to in
 /// the Gigabit Ethernet experiments.
+///
+/// Two forwarding modes share the datapath:
+///
+/// * **Flood** (default) — unknown unicast and broadcast replicate to
+///   every port but the ingress, as a learning switch would. This is
+///   the paper's single-switch baseline.
+/// * **Routed** ([`enable_routing`](Switch::enable_routing)) — a fabric
+///   member: misses in the local MAC table consult the installed
+///   next-hop table instead of flooding; broadcast and table misses are
+///   dropped and counted as unroutable, so a partition surfaces as
+///   attributed counters, never as silent replication storms.
 pub struct Switch {
     label: String,
     params: SwitchParams,
     ports: Vec<EgressPort>,
     mac_table: BTreeMap<MacAddr, usize>,
+    /// Routed mode: next-hop table (dst MAC → port), swapped by
+    /// [`RouteUpdate`] at epoch boundaries.
+    routes: Option<BTreeMap<MacAddr, usize>>,
+    dead: bool,
+    blackhole_drops: u64,
+    unroutable_drops: u64,
 }
 
 impl Switch {
@@ -35,6 +64,10 @@ impl Switch {
             params,
             ports: Vec::new(),
             mac_table: BTreeMap::new(),
+            routes: None,
+            dead: false,
+            blackhole_drops: 0,
+            unroutable_drops: 0,
         }
     }
 
@@ -61,6 +94,44 @@ impl Switch {
         let prev = self.mac_table.insert(mac, idx);
         assert!(prev.is_none(), "MAC {mac:?} attached twice");
         idx
+    }
+
+    /// Attach a trunk to a peer switch: a new egress port toward `peer`
+    /// (its [`FrameArrival::port`] will be `peer_port`) with no MAC
+    /// table entry — trunks carry whatever the next-hop table sends.
+    pub fn attach_trunk(&mut self, peer: ComponentId, peer_port: usize, link: LinkParams) -> usize {
+        let idx = self.ports.len();
+        self.ports.push(EgressPort::new(
+            link.rate,
+            link.prop_delay,
+            self.params.port_buffer,
+            peer,
+            peer_port,
+            idx,
+        ));
+        idx
+    }
+
+    /// Switch to routed (fabric) mode with an initial next-hop table.
+    /// In this mode unknown unicast and broadcast never flood.
+    pub fn enable_routing(&mut self, routes: BTreeMap<MacAddr, usize>) {
+        self.routes = Some(routes);
+    }
+
+    /// Frames discarded because this switch was dead when they arrived.
+    pub fn blackhole_drops(&self) -> u64 {
+        self.blackhole_drops
+    }
+
+    /// Frames discarded in routed mode for lack of any next hop
+    /// (partitioned or unknown destination, or broadcast).
+    pub fn unroutable_drops(&self) -> u64 {
+        self.unroutable_drops
+    }
+
+    /// Whether a [`SwitchKill`] has taken this switch down.
+    pub fn is_dead(&self) -> bool {
+        self.dead
     }
 
     /// Number of attached ports.
@@ -111,20 +182,51 @@ impl Switch {
     fn forward(&mut self, ingress: usize, frame: Frame, ctx: &mut Ctx) {
         let latency = self.params.forwarding_latency;
         if frame.dst == MacAddr::BROADCAST {
-            self.flood(ingress, frame, ctx);
+            if self.routes.is_some() {
+                // Fabric members never flood: replicating a broadcast
+                // across trunks would storm the whole fabric. No cluster
+                // protocol broadcasts, so this only catches bugs.
+                self.drop_unroutable(ctx);
+            } else {
+                self.flood(ingress, frame, ctx);
+            }
             return;
         }
-        match self.mac_table.get(&frame.dst) {
-            Some(&out) => {
-                debug_assert_ne!(out, ingress, "frame forwarded to its ingress port");
-                ctx.self_in(latency, Forward { out, frame });
-            }
+        if let Some(&out) = self.mac_table.get(&frame.dst) {
+            debug_assert_ne!(out, ingress, "frame forwarded to its ingress port");
+            ctx.self_in(latency, Forward { out, frame });
+            return;
+        }
+        match &self.routes {
+            Some(routes) => match routes.get(&frame.dst) {
+                Some(&out) => {
+                    // Next hops strictly decrease BFS distance to the
+                    // destination, so a route never points back out the
+                    // ingress trunk.
+                    debug_assert_ne!(out, ingress, "frame forwarded to its ingress port");
+                    ctx.self_in(latency, Forward { out, frame });
+                }
+                // Partitioned or unknown destination: structured loss,
+                // surfaced via counters and wait_state instead of a
+                // silent flood.
+                None => self.drop_unroutable(ctx),
+            },
             None => {
                 // Unknown unicast: flood, as a learning switch would before
                 // the table is warm.
                 self.flood(ingress, frame, ctx);
             }
         }
+    }
+
+    fn drop_unroutable(&mut self, ctx: &mut Ctx) {
+        self.unroutable_drops += 1;
+        ctx.stats().counter(&self.label, "frames_unroutable").inc();
+    }
+
+    fn drop_blackhole(&mut self, ctx: &mut Ctx) {
+        self.blackhole_drops += 1;
+        ctx.stats().counter(&self.label, "frames_blackholed").inc();
     }
 
     /// Replicate `frame` to every port except `ingress`. Each replica
@@ -157,13 +259,23 @@ impl Component for Switch {
         let ev = match ev.downcast::<FrameArrival>() {
             Ok(arrival) => {
                 ctx.stats().counter(&self.label, "frames_in").inc();
-                self.forward(arrival.port, arrival.frame, ctx);
+                if self.dead {
+                    self.drop_blackhole(ctx);
+                } else {
+                    self.forward(arrival.port, arrival.frame, ctx);
+                }
                 return;
             }
             Err(ev) => ev,
         };
         let ev = match ev.downcast::<Forward>() {
             Ok(fwd) => {
+                if self.dead {
+                    // Died mid-pipeline: the frame was counted in but
+                    // never reaches an output queue.
+                    self.drop_blackhole(ctx);
+                    return;
+                }
                 let ok = self.ports[fwd.out].enqueue(fwd.frame, ctx);
                 if ok {
                     ctx.stats().counter(&self.label, "frames_fwd").inc();
@@ -174,14 +286,44 @@ impl Component for Switch {
             }
             Err(ev) => ev,
         };
-        match ev.downcast::<PortTxDone>() {
-            Ok(done) => self.ports[done.port].tx_done(ctx),
+        let ev = match ev.downcast::<PortTxDone>() {
+            Ok(done) => {
+                self.ports[done.port].tx_done(ctx);
+                return;
+            }
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<RouteUpdate>() {
+            Ok(update) => {
+                self.routes = Some(update.routes);
+                return;
+            }
+            Err(ev) => ev,
+        };
+        match ev.downcast::<SwitchKill>() {
+            Ok(_) => self.dead = true,
             Err(_) => panic!("switch {}: unknown event type", self.label),
         }
     }
 
     fn name(&self) -> &str {
         &self.label
+    }
+
+    fn wait_state(&self) -> Option<String> {
+        if self.dead {
+            return Some(format!(
+                "switch failed ({} frames blackholed)",
+                self.blackhole_drops
+            ));
+        }
+        if self.unroutable_drops > 0 {
+            return Some(format!(
+                "{} frames unroutable (partitioned destination)",
+                self.unroutable_drops
+            ));
+        }
+        None
     }
 }
 
@@ -372,6 +514,175 @@ mod tests {
             sw_dropped > 0,
             "expected switch drop-tail under 2:1 output overload"
         );
+    }
+
+    /// Two switches joined by a trunk, one host on each, routed mode.
+    /// Returns (sim, host ids, switch ids).
+    fn build_routed_pair() -> (
+        Simulation,
+        [acc_sim::ComponentId; 2],
+        [acc_sim::ComponentId; 2],
+    ) {
+        let mut sim = Simulation::new(1);
+        let link = LinkParams::for_kind(EthernetKind::Gigabit);
+        let h0 = sim.reserve_id();
+        let h1 = sim.reserve_id();
+        let sa = sim.reserve_id();
+        let sb = sim.reserve_id();
+        let mut a = Switch::new("swa", SwitchParams::default());
+        let mut b = Switch::new("swb", SwitchParams::default());
+        let pa0 = a.attach(MacAddr::for_node(0, 0), h0, 0, link);
+        let pb0 = b.attach(MacAddr::for_node(1, 0), h1, 0, link);
+        let ta = a.attach_trunk(sb, 1, link);
+        let tb = b.attach_trunk(sa, 1, link);
+        assert_eq!((ta, tb), (1, 1));
+        a.enable_routing([(MacAddr::for_node(1, 0), ta)].into());
+        b.enable_routing([(MacAddr::for_node(0, 0), tb)].into());
+        sim.register(sa, a);
+        sim.register(sb, b);
+        for (hid, swid, swport, i) in [(h0, sa, pa0, 0usize), (h1, sb, pb0, 1usize)] {
+            sim.register(
+                hid,
+                Host {
+                    uplink: Some(EgressPort::new(
+                        link.rate,
+                        link.prop_delay,
+                        DataSize::from_kib(512),
+                        swid,
+                        swport,
+                        0,
+                    )),
+                    outbox: if i == 0 {
+                        vec![unicast(0, 1, 700)]
+                    } else {
+                        vec![]
+                    },
+                    inbox: vec![],
+                },
+            );
+            sim.schedule_at(SimTime::ZERO, hid, ());
+        }
+        (sim, [h0, h1], [sa, sb])
+    }
+
+    #[test]
+    fn routed_unicast_crosses_trunk() {
+        let (mut sim, hosts, switches) = build_routed_pair();
+        sim.run();
+        let inbox = &sim.component::<Host>(hosts[1]).inbox;
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox[0].1.payload, vec![0u8; 700]);
+        for sw in switches {
+            let s = sim.component::<Switch>(sw);
+            assert_eq!(s.unroutable_drops(), 0);
+            assert_eq!(s.blackhole_drops(), 0);
+            assert!(s.wait_state().is_none());
+        }
+    }
+
+    #[test]
+    fn routed_mode_never_floods() {
+        // Unknown unicast and broadcast both drop as unroutable instead
+        // of replicating across the fabric.
+        let (mut sim, hosts, switches) = build_routed_pair();
+        {
+            let host = sim.component_mut::<Host>(hosts[0]);
+            host.outbox = vec![
+                unicast(0, 9, 100), // no such destination
+                Frame::new(
+                    MacAddr::for_node(0, 0),
+                    MacAddr::BROADCAST,
+                    EtherType::Other(0),
+                    vec![7; 100],
+                ),
+            ];
+        }
+        sim.run();
+        assert_eq!(sim.component::<Host>(hosts[1]).inbox.len(), 0);
+        let a = sim.component::<Switch>(switches[0]);
+        assert_eq!(a.unroutable_drops(), 2);
+        assert!(a
+            .wait_state()
+            .expect("unroutable drops must surface in wait_state")
+            .contains("unroutable"));
+    }
+
+    #[test]
+    fn killed_switch_blackholes_arrivals() {
+        let (mut sim, hosts, switches) = build_routed_pair();
+        // The kill is scheduled before the host's frame finishes
+        // serializing, so the arrival hits a dead switch.
+        sim.schedule_at(SimTime::ZERO, switches[0], SwitchKill);
+        sim.run();
+        assert_eq!(sim.component::<Host>(hosts[1]).inbox.len(), 0);
+        let a = sim.component::<Switch>(switches[0]);
+        assert!(a.is_dead());
+        assert_eq!(a.blackhole_drops(), 1);
+        assert!(a
+            .wait_state()
+            .expect("a dead switch must surface in wait_state")
+            .contains("switch failed"));
+    }
+
+    #[test]
+    fn route_update_swaps_table() {
+        let (mut sim, hosts, switches) = build_routed_pair();
+        // Empty the table before the frame arrives: it must drop.
+        sim.schedule_at(
+            SimTime::ZERO,
+            switches[0],
+            RouteUpdate {
+                routes: BTreeMap::new(),
+            },
+        );
+        sim.run();
+        assert_eq!(sim.component::<Host>(hosts[1]).inbox.len(), 0);
+        assert_eq!(sim.component::<Switch>(switches[0]).unroutable_drops(), 1);
+    }
+
+    #[test]
+    fn flooded_frame_outage_drops_count_per_port() {
+        // A broadcast replicated to two outage-darkened egress ports is
+        // charged one drop per port, not one per frame.
+        let (mut sim, ids, sw) = build_star(3, |i| {
+            if i == 0 {
+                vec![Frame::new(
+                    MacAddr::for_node(0, 0),
+                    MacAddr::BROADCAST,
+                    EtherType::Other(0),
+                    vec![3; 200],
+                )]
+            } else {
+                vec![]
+            }
+        });
+        let far = SimTime::ZERO + SimDuration::from_secs(1);
+        for port in [1usize, 2] {
+            let imp = crate::impair::Impairment::new(acc_sim::SimRng::seed_from(5))
+                .with_outage(SimTime::ZERO, far);
+            sim.component_mut::<Switch>(sw)
+                .set_port_impairment(port, imp);
+        }
+        sim.run();
+        assert_eq!(sim.component::<Host>(ids[1]).inbox.len(), 0);
+        assert_eq!(sim.component::<Host>(ids[2]).inbox.len(), 0);
+        let s = sim.component::<Switch>(sw);
+        assert_eq!(
+            s.impair_lost_total(),
+            2,
+            "one outage drop per egress port replica"
+        );
+        for port in [1usize, 2] {
+            assert_eq!(
+                s.port(port)
+                    .impairment()
+                    .expect("impairment installed above")
+                    .counters()
+                    .outage_drops,
+                1,
+                "port {port}"
+            );
+        }
     }
 
     #[test]

@@ -52,4 +52,9 @@ echo "== ablation_coll_faults --smoke (collective recovery-policy grid)"
 # mid-schedule card kill under all three recovery policies.
 ACC_JOBS=2 ./target/release/ablation_coll_faults --smoke > /dev/null
 
+echo "== ablation_fabric_faults --smoke (multi-switch fault-tolerance grid)"
+# Smoke sweep of the fabric grid: trunk outages and switch kills on a
+# fat-tree, verified bit-correct under all three recovery policies.
+ACC_JOBS=2 ./target/release/ablation_fabric_faults --smoke > /dev/null
+
 echo "All tier-1 checks passed."
